@@ -1,0 +1,118 @@
+// Ablation A5: exploration-mode patrols (paper Sec. V-B's suggestion to
+// "plan patrol routes that explicitly target areas with high model
+// uncertainty") vs robust and uncertainty-blind patrols. Measures, on the
+// SWS-like park, (a) the mean model uncertainty visited by each mode and
+// (b) the ground-truth expected detections each mode gives up or gains —
+// the data-collection / detection trade-off. Uses the MFNP-like park,
+// whose detection probabilities are large enough for the three objectives
+// to separate cleanly.
+#include <cstdio>
+#include <functional>
+
+#include "core/pipeline.h"
+#include "plan/exploration.h"
+#include "plan/game.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace paws;
+  std::printf("=== Ablation A5: exploration vs robust vs blind planning ===\n");
+  const Scenario scenario = MakeScenario(ParkPreset::kMfnp, 42);
+  ScenarioData data = SimulateScenario(scenario, 7);
+  IWareConfig cfg;
+  cfg.weak_learner = WeakLearnerKind::kGaussianProcessBagging;
+  cfg.num_thresholds = 5;
+  cfg.cv_folds = 2;
+  cfg.bagging.num_estimators = 5;
+  cfg.gp.max_points = 100;
+  cfg.bagging.balanced = false;
+  PawsPipeline pipeline(std::move(data), cfg);
+  Rng rng(11);
+  if (!pipeline.Train(&rng).ok()) {
+    std::fprintf(stderr, "train failed\n");
+    return 1;
+  }
+  const Park& park = pipeline.data().park;
+  const int t = pipeline.test_t_begin();
+  DetectionModel detect_model;
+  const auto detect = [&](double c) {
+    return detect_model.DetectProbability(c);
+  };
+
+  PlannerConfig planner;
+  planner.horizon = 6;
+  planner.num_patrols = 3;
+  planner.pwl_segments = 8;
+  planner.milp.max_nodes = 60;
+
+  CsvWriter csv({"post", "mode", "mean_visited_uncertainty",
+                 "expected_detections"});
+  std::printf("%-5s %-12s %22s %20s\n", "post", "mode", "visited uncertainty",
+              "expected detections");
+  double nu_blind = 0.0, nu_robust = 0.0, nu_explore = 0.0;
+  int n = 0;
+  for (size_t pi = 0; pi < park.patrol_posts().size(); ++pi) {
+    const PlanningGraph graph =
+        BuildPlanningGraph(park, park.patrol_posts()[pi], 3);
+    const CellPredictors preds = MakeCellPredictors(
+        pipeline.model(), park, pipeline.data().history, t,
+        graph.park_cell_ids);
+    std::vector<double> truth;
+    for (int id : graph.park_cell_ids) {
+      truth.push_back(pipeline.data().attacks.AttackProbability(id, t, 0.0));
+    }
+
+    struct Mode {
+      const char* name;
+      std::vector<std::function<double(double)>> utils;
+    };
+    RobustParams blind;
+    blind.beta = 0.0;
+    RobustParams robust;
+    robust.beta = 1.0;
+    ExplorationParams explore;
+    explore.bonus = 2.0;
+    const Mode modes[] = {
+        {"blind", MakeRobustUtilities(preds.g, preds.nu, blind)},
+        {"robust", MakeRobustUtilities(preds.g, preds.nu, robust)},
+        {"explore", MakeExplorationUtilities(preds.g, preds.nu, explore)},
+    };
+    // Judge *where* each plan goes with the uncertainty at a fixed
+    // reference effort, so the comparison is not confounded by nu's own
+    // dependence on the assigned effort.
+    std::vector<std::function<double(double)>> nu_at_ref;
+    for (const auto& nu_fn : preds.nu) {
+      const double ref = nu_fn(2.0);
+      nu_at_ref.push_back([ref](double) { return ref; });
+    }
+    for (const Mode& mode : modes) {
+      auto plan = PlanPatrols(graph, mode.utils, planner);
+      if (!plan.ok()) continue;
+      const double visited_nu =
+          MeanPatrolledUncertainty(plan->coverage, nu_at_ref);
+      const double detections =
+          ExpectedDetections(plan->coverage, truth, detect);
+      std::printf("%-5zu %-12s %22.4f %20.4f\n", pi, mode.name, visited_nu,
+                  detections);
+      csv.AddTextRow({std::to_string(pi), mode.name,
+                      FormatDouble(visited_nu), FormatDouble(detections)});
+      if (mode.name[0] == 'b') nu_blind += visited_nu;
+      if (mode.name[0] == 'r') nu_robust += visited_nu;
+      if (mode.name[0] == 'e') nu_explore += visited_nu;
+    }
+    ++n;
+  }
+  if (n > 0) {
+    std::printf(
+        "\nMean visited uncertainty: robust %.4f <= blind %.4f <= explore "
+        "%.4f\nShape check: exploration visits the most model uncertainty, "
+        "robustness the least: %s\n",
+        nu_robust / n, nu_blind / n, nu_explore / n,
+        (nu_robust <= nu_blind + 1e-9 && nu_blind <= nu_explore + 1e-9)
+            ? "OK"
+            : "X (ordering holds only partially at this scale)");
+  }
+  const auto st = csv.WriteFile("ablation_exploration.csv");
+  if (!st.ok()) std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
+  return 0;
+}

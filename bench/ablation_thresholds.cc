@@ -1,0 +1,85 @@
+// Ablation A3 (DESIGN.md): iWare-E enhancement 2 — effort thresholds from
+// patrol-effort percentiles vs the original uniform grid on [0, 7.5] km.
+// Percentile thresholds give every weak learner a consistent amount of
+// training data and adapt to sparse effort distributions (paper Sec. IV).
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace paws;
+  std::printf("=== Ablation A3: percentile vs uniform iWare-E thresholds ===\n");
+  std::printf("%-9s %-6s %11s %9s %9s\n", "park", "year", "percentile",
+              "uniform", "delta");
+  CsvWriter csv({"park", "test_year", "percentile_auc", "uniform_auc",
+                 "percentile_learners", "uniform_learners"});
+
+  double total_delta = 0.0;
+  int n = 0;
+  for (const ParkPreset preset : {ParkPreset::kMfnp, ParkPreset::kSws}) {
+    const Scenario scenario = MakeScenario(preset, 42);
+    const ScenarioData data = SimulateScenario(scenario, 7);
+    for (int year = scenario.num_years - 3; year < scenario.num_years;
+         ++year) {
+      auto split = SplitByYear(data, year);
+      if (!split.ok() || split->test.CountPositives() == 0) continue;
+      IWareConfig cfg;
+      cfg.weak_learner = WeakLearnerKind::kDecisionTreeBagging;
+      cfg.num_thresholds = 8;
+      cfg.cv_folds = 2;
+      cfg.bagging.num_estimators = 8;
+      cfg.bagging.balanced = preset == ParkPreset::kSws;
+
+      double pct_auc = 0.0, uni_auc = 0.0;
+      int pct_learners = 0, uni_learners = 0;
+      int seeds = 0;
+      for (uint64_t seed = 1; seed <= 2; ++seed) {
+        IWareConfig pct = cfg;
+        pct.percentile_thresholds = true;
+        IWareConfig uniform = cfg;
+        uniform.percentile_thresholds = false;
+        uniform.theta_min = 0.0;
+        uniform.theta_max = 7.5;  // the original iWare-E grid
+        Rng rng_a(seed), rng_b(seed);
+        IWareEnsemble m_pct(pct), m_uni(uniform);
+        if (!m_pct.Fit(split->train, &rng_a).ok() ||
+            !m_uni.Fit(split->train, &rng_b).ok()) {
+          continue;
+        }
+        auto a = AucRoc(m_pct.PredictDataset(split->test),
+                        split->test.labels());
+        auto b = AucRoc(m_uni.PredictDataset(split->test),
+                        split->test.labels());
+        if (!a.ok() || !b.ok()) continue;
+        pct_auc += a.value();
+        uni_auc += b.value();
+        pct_learners = m_pct.num_learners();
+        uni_learners = m_uni.num_learners();
+        ++seeds;
+      }
+      if (seeds == 0) continue;
+      pct_auc /= seeds;
+      uni_auc /= seeds;
+      std::printf("%-9s %-6d %11.3f %9.3f %+9.3f   (learners %d vs %d)\n",
+                  scenario.name.c_str(), year, pct_auc, uni_auc,
+                  pct_auc - uni_auc, pct_learners, uni_learners);
+      csv.AddTextRow({scenario.name, std::to_string(year),
+                      FormatDouble(pct_auc), FormatDouble(uni_auc),
+                      std::to_string(pct_learners),
+                      std::to_string(uni_learners)});
+      total_delta += pct_auc - uni_auc;
+      ++n;
+    }
+  }
+  if (n > 0) {
+    std::printf(
+        "\nMean (percentile - uniform) AUC: %+.3f over %d splits.\n"
+        "Percentile thresholds also avoid empty/degenerate subsets (compare\n"
+        "the trained-learner counts), which is the paper's main argument.\n",
+        total_delta / n, n);
+  }
+  const auto st = csv.WriteFile("ablation_thresholds.csv");
+  if (!st.ok()) std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation A1 (DESIGN.md): balanced (undersampled) bagging vs plain bagging
+// under SWS-grade class imbalance. Paper Sec. V-A: "This undersampling
+// approach improved our AUC by 15% on average on the SWS dataset."
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace paws;
+  std::printf("=== Ablation A1: balanced vs plain bagging under imbalance ===\n");
+  std::printf("%-9s %-6s %9s %9s %9s\n", "park", "year", "plain", "balanced",
+              "gain");
+  CsvWriter csv({"park", "test_year", "plain_auc", "balanced_auc"});
+
+  double total_gain = 0.0;
+  int n = 0;
+  for (const ParkPreset preset : {ParkPreset::kSws, ParkPreset::kSwsDry}) {
+    const Scenario scenario = MakeScenario(preset, 42);
+    const ScenarioData data = SimulateScenario(scenario, 7);
+    for (int year = scenario.num_years - 3; year < scenario.num_years;
+         ++year) {
+      auto split = SplitByYear(data, year);
+      if (!split.ok() || split->test.CountPositives() == 0 ||
+          split->train.CountPositives() == 0) {
+        continue;
+      }
+      IWareConfig cfg;
+      cfg.weak_learner = WeakLearnerKind::kDecisionTreeBagging;
+      cfg.num_thresholds = 5;
+      cfg.cv_folds = 2;
+      cfg.bagging.num_estimators = 10;
+      // Average over seeds: single-digit positive counts make individual
+      // AUCs noisy.
+      double plain_auc = 0.0, bal_auc = 0.0;
+      int seeds = 0;
+      for (uint64_t seed = 1; seed <= 3; ++seed) {
+        IWareConfig plain = cfg;
+        plain.bagging.balanced = false;
+        IWareConfig balanced = cfg;
+        balanced.bagging.balanced = true;
+        Rng rng_a(seed), rng_b(seed);
+        auto a = EvaluateIWareAuc(plain, *split, &rng_a);
+        auto b = EvaluateIWareAuc(balanced, *split, &rng_b);
+        if (!a.ok() || !b.ok()) continue;
+        plain_auc += a->auc;
+        bal_auc += b->auc;
+        ++seeds;
+      }
+      if (seeds == 0) continue;
+      plain_auc /= seeds;
+      bal_auc /= seeds;
+      std::printf("%-9s %-6d %9.3f %9.3f %+9.3f\n", scenario.name.c_str(),
+                  year, plain_auc, bal_auc, bal_auc - plain_auc);
+      csv.AddTextRow({scenario.name, std::to_string(year),
+                      FormatDouble(plain_auc), FormatDouble(bal_auc)});
+      total_gain += bal_auc - plain_auc;
+      ++n;
+    }
+  }
+  if (n > 0) {
+    std::printf(
+        "\nMean balanced-bagging gain: %+.3f AUC over %d splits\n"
+        "(paper: +15%% AUC on SWS).\n",
+        total_gain / n, n);
+  }
+  const auto st = csv.WriteFile("ablation_undersample.csv");
+  if (!st.ok()) std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
+  return 0;
+}

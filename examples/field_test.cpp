@@ -1,0 +1,60 @@
+// Simulated deployment: reproduce the paper's field-test protocol end to
+// end on the MFNP-like park — train on history, rank 2x2 km blocks among
+// rarely-patrolled areas into high/medium/low risk, send (simulated) blind
+// patrols, and evaluate with detections per cell and a chi-squared test
+// (paper Sec. VII).
+#include <cstdio>
+
+#include "core/pipeline.h"
+
+int main() {
+  using namespace paws;
+  const Scenario scenario = MakeScenario(ParkPreset::kMfnp, 8);
+  ScenarioData data = SimulateScenario(scenario, 9);
+
+  IWareConfig model_config;
+  model_config.weak_learner = WeakLearnerKind::kDecisionTreeBagging;
+  model_config.num_thresholds = 5;
+  model_config.cv_folds = 2;
+  model_config.bagging.num_estimators = 20;
+  PawsPipeline pipeline(std::move(data), model_config);
+  Rng rng(10);
+  if (!pipeline.Train(&rng).ok()) {
+    std::fprintf(stderr, "training failed\n");
+    return 1;
+  }
+  std::printf("model trained; test-year AUC %.3f\n",
+              pipeline.TestAuc().ok() ? *pipeline.TestAuc() : 0.5);
+
+  FieldTestConfig ft;
+  ft.block_size = 2;           // 2x2 km regions, as in the MFNP trials
+  ft.blocks_per_group = 8;
+  ft.effort_per_block_km = 32; // a multi-week sweep; more would saturate
+  ft.attack_waves = 3;         // snares accumulate over the trial months
+
+  for (int trial = 1; trial <= 2; ++trial) {
+    const auto result = pipeline.RunFieldTestTrial(ft, &rng);
+    if (!result.ok()) {
+      std::fprintf(stderr, "field test failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\ntrial %d:\n%-8s %6s %8s %9s %12s\n", trial, "Risk",
+                "# Obs", "# Cells", "Effort", "#Obs/#Cells");
+    for (const GroupResult& group : result->groups) {
+      std::printf("%-8s %6d %8d %9.1f %12.2f\n", group.group.c_str(),
+                  group.num_observed, group.num_cells, group.effort_km,
+                  group.ObsPerCell());
+    }
+    std::printf("chi-squared: statistic %.2f, dof %d, p = %.4f%s\n",
+                result->chi_squared.statistic,
+                result->chi_squared.degrees_of_freedom,
+                result->chi_squared.p_value,
+                result->chi_squared.p_value < 0.05 ? "  (significant)" : "");
+  }
+  std::printf(
+      "\nLike the paper's trials, high-risk blocks should out-produce\n"
+      "low-risk blocks in detections per patrolled cell, validating that\n"
+      "the model's risk ranking carries to (simulated) ground truth.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Predictive pipeline walkthrough: build the SWS-like park (extreme 1:200
+// class imbalance, seasonality, motorbike patrols), train the three weak-
+// learner families with and without iWare-E, report AUCs, and render the
+// GPB-iW risk and uncertainty maps as ASCII art — the paper's Sec. V
+// evaluation in one program.
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "geo/raster_ops.h"
+
+int main() {
+  using namespace paws;
+  const Scenario scenario = MakeScenario(ParkPreset::kSws, 5);
+  const ScenarioData data = SimulateScenario(scenario, 6);
+  const Dataset all = BuildDataset(data.park, data.history);
+  std::printf("SWS-like park: %d cells, %d points, %.2f%% positive labels\n",
+              data.park.num_cells(), all.size(),
+              100.0 * all.PositiveFraction());
+
+  auto split = SplitByYear(data, scenario.num_years - 1);
+  if (!split.ok()) {
+    std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("train: %d rows (%d positive), test: %d rows (%d positive)\n",
+              split->train.size(), split->train.CountPositives(),
+              split->test.size(), split->test.CountPositives());
+
+  const WeakLearnerKind kinds[] = {WeakLearnerKind::kSvmBagging,
+                                   WeakLearnerKind::kDecisionTreeBagging,
+                                   WeakLearnerKind::kGaussianProcessBagging};
+  std::printf("\n%-6s %12s %12s\n", "model", "baseline", "iWare-E");
+  for (const WeakLearnerKind kind : kinds) {
+    IWareConfig cfg;
+    cfg.weak_learner = kind;
+    cfg.num_thresholds = 5;
+    cfg.cv_folds = 2;
+    cfg.bagging.num_estimators = 6;
+    cfg.bagging.balanced = true;  // undersampling for the imbalance
+    cfg.gp.max_points = 100;
+    Rng rng_a(9), rng_b(9);
+    const auto base = EvaluateBaselineAuc(cfg, *split, &rng_a);
+    const auto iware = EvaluateIWareAuc(cfg, *split, &rng_b);
+    std::printf("%-6s %12.3f %12.3f\n", WeakLearnerName(kind),
+                base.ok() ? base->auc : 0.5, iware.ok() ? iware->auc : 0.5);
+  }
+
+  // Risk + uncertainty maps from the full pipeline (GPB-iW).
+  IWareConfig cfg;
+  cfg.weak_learner = WeakLearnerKind::kGaussianProcessBagging;
+  cfg.num_thresholds = 5;
+  cfg.cv_folds = 2;
+  cfg.bagging.num_estimators = 6;
+  cfg.bagging.balanced = true;
+  cfg.gp.max_points = 100;
+  PawsPipeline pipeline(data, cfg);
+  Rng rng(10);
+  if (!pipeline.Train(&rng).ok()) return 1;
+  const RiskMaps maps = pipeline.PredictRisk(/*assumed_effort=*/4.0);
+  std::printf("\nPredicted poaching risk at 4 km effort:\n%s",
+              AsciiHeatmap(ToGrid(data.park, maps.risk), data.park.mask())
+                  .c_str());
+  std::printf("\nPrediction uncertainty (GP variance):\n%s",
+              AsciiHeatmap(ToGrid(data.park, maps.variance), data.park.mask())
+                  .c_str());
+  std::printf("\nHistorical patrol effort (compare: uncertainty is high "
+              "where patrols rarely go):\n%s",
+              AsciiHeatmap(ToGrid(data.park, data.history.TotalEffort()),
+                           data.park.mask())
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,216 @@
+#include "core/iware.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/cross_validation.h"
+#include "ml/weight_optimizer.h"
+
+namespace paws {
+
+const char* WeakLearnerName(WeakLearnerKind kind) {
+  switch (kind) {
+    case WeakLearnerKind::kSvmBagging:
+      return "SVB";
+    case WeakLearnerKind::kDecisionTreeBagging:
+      return "DTB";
+    case WeakLearnerKind::kGaussianProcessBagging:
+      return "GPB";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Classifier> MakeWeakLearner(const IWareConfig& config) {
+  std::unique_ptr<Classifier> base;
+  switch (config.weak_learner) {
+    case WeakLearnerKind::kSvmBagging:
+      base = std::make_unique<LinearSvm>(config.svm);
+      break;
+    case WeakLearnerKind::kDecisionTreeBagging:
+      base = std::make_unique<DecisionTree>(config.tree);
+      break;
+    case WeakLearnerKind::kGaussianProcessBagging:
+      base = std::make_unique<GaussianProcessClassifier>(config.gp);
+      break;
+  }
+  return std::make_unique<BaggingClassifier>(std::move(base), config.bagging);
+}
+
+std::vector<double> IWareEnsemble::ComputeThresholds(
+    const Dataset& data) const {
+  std::vector<double> thresholds;
+  const int count = config_.num_thresholds;
+  if (config_.percentile_thresholds) {
+    // Enhancement 2: theta_i at evenly spaced effort percentiles, starting
+    // at 0% so the first learner keeps every row. Percentiles keep the
+    // amount of discarded data consistent across learners and adapt to the
+    // effort distribution's sparsity.
+    for (int i = 0; i < count; ++i) {
+      thresholds.push_back(data.EffortPercentile(100.0 * i / count));
+    }
+  } else {
+    // Original iWare-E: uniform grid on [theta_min, theta_max].
+    for (int i = 0; i < count; ++i) {
+      thresholds.push_back(config_.theta_min +
+                           (config_.theta_max - config_.theta_min) * i /
+                               std::max(1, count - 1));
+    }
+  }
+  // Deduplicate (sparse effort distributions can repeat percentiles).
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+  return thresholds;
+}
+
+Status IWareEnsemble::Fit(const Dataset& data, Rng* rng) {
+  if (data.size() < config_.min_subset_rows) {
+    return Status::InvalidArgument("IWareEnsemble: too few rows");
+  }
+  const int pos = data.CountPositives();
+  if (pos == 0 || pos == data.size()) {
+    return Status::InvalidArgument("IWareEnsemble: single-class data");
+  }
+  CheckOrDie(rng != nullptr, "IWareEnsemble::Fit requires an Rng");
+
+  const std::vector<double> all_thresholds = ComputeThresholds(data);
+
+  // Train one weak learner per usable threshold on the filtered subset.
+  auto train_set = [&](const Dataset& d, const std::vector<double>& thetas,
+                       std::vector<std::unique_ptr<Classifier>>* out,
+                       std::vector<double>* kept_thetas,
+                       Rng* fit_rng) -> Status {
+    out->clear();
+    kept_thetas->clear();
+    for (double theta : thetas) {
+      const Dataset subset = d.FilterNegativesBelowEffort(theta);
+      const int sp = subset.CountPositives();
+      if (subset.size() < config_.min_subset_rows || sp == 0 ||
+          sp == subset.size()) {
+        continue;
+      }
+      auto learner = MakeWeakLearner(config_);
+      PAWS_RETURN_IF_ERROR(learner->Fit(subset, fit_rng));
+      out->push_back(std::move(learner));
+      kept_thetas->push_back(theta);
+    }
+    if (out->empty()) {
+      return Status::FailedPrecondition(
+          "IWareEnsemble: no threshold produced a trainable subset");
+    }
+    return Status::OK();
+  };
+
+  // Enhancement 1: learn classifier weights from out-of-fold predictions.
+  if (config_.optimize_weights && data.size() >= 4 * config_.cv_folds) {
+    const std::vector<std::vector<int>> folds =
+        StratifiedKFold(data.labels(), config_.cv_folds, rng);
+    WeightOptimizationProblem problem;
+    for (int f = 0; f < config_.cv_folds; ++f) {
+      std::vector<int> train_rows;
+      for (int g = 0; g < config_.cv_folds; ++g) {
+        if (g == f) continue;
+        train_rows.insert(train_rows.end(), folds[g].begin(), folds[g].end());
+      }
+      const Dataset fold_train = data.Subset(train_rows);
+      std::vector<std::unique_ptr<Classifier>> fold_learners;
+      std::vector<double> fold_thetas;
+      const Status st = train_set(fold_train, all_thresholds, &fold_learners,
+                                  &fold_thetas, rng);
+      if (!st.ok()) continue;  // degenerate fold: skip its rows
+      for (int row : folds[f]) {
+        const std::vector<double> x = data.RowVector(row);
+        const double effort = data.effort(row);
+        std::vector<double> probs(all_thresholds.size(), 0.5);
+        std::vector<uint8_t> qualified(all_thresholds.size(), 0);
+        // Map fold learners back onto the global threshold list; a
+        // learner votes when qualified (theta <= effort).
+        bool any = false;
+        for (size_t i = 0; i < all_thresholds.size(); ++i) {
+          const auto it = std::find(fold_thetas.begin(), fold_thetas.end(),
+                                    all_thresholds[i]);
+          if (it == fold_thetas.end()) continue;
+          const size_t li = it - fold_thetas.begin();
+          if (all_thresholds[i] <= effort) {
+            probs[i] = fold_learners[li]->PredictProb(x);
+            qualified[i] = 1;
+            any = true;
+          }
+        }
+        if (!any) {
+          // Below every threshold: the loosest learner still votes.
+          probs[0] = fold_learners[0]->PredictProb(x);
+          qualified[0] = 1;
+        }
+        problem.probs.push_back(std::move(probs));
+        problem.qualified.push_back(std::move(qualified));
+        problem.labels.push_back(data.label(row));
+      }
+    }
+    if (!problem.probs.empty()) {
+      auto weights = OptimizeEnsembleWeights(problem);
+      if (weights.ok()) {
+        weights_ = std::move(weights).value();
+      }
+    }
+  }
+
+  // Final training pass over the full dataset.
+  PAWS_RETURN_IF_ERROR(
+      train_set(data, all_thresholds, &learners_, &thresholds_, rng));
+  if (weights_.size() != static_cast<size_t>(all_thresholds.size()) ||
+      !config_.optimize_weights) {
+    weights_.assign(all_thresholds.size(), 1.0 / all_thresholds.size());
+  }
+  // Align weights with the thresholds that survived the final pass.
+  std::vector<double> aligned;
+  for (double theta : thresholds_) {
+    const auto it = std::find(all_thresholds.begin(), all_thresholds.end(),
+                              theta);
+    CheckOrDie(it != all_thresholds.end(), "iWare: threshold bookkeeping");
+    aligned.push_back(weights_[it - all_thresholds.begin()]);
+  }
+  double z = 0.0;
+  for (double w : aligned) z += w;
+  if (z <= 0.0) {
+    aligned.assign(thresholds_.size(), 1.0 / thresholds_.size());
+  } else {
+    for (double& w : aligned) w /= z;
+  }
+  weights_ = std::move(aligned);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Prediction IWareEnsemble::Predict(const std::vector<double>& x,
+                                  double effort) const {
+  CheckOrDie(fitted_, "IWareEnsemble::Predict before Fit");
+  double wsum = 0.0, mean = 0.0, second = 0.0;
+  for (size_t i = 0; i < learners_.size(); ++i) {
+    if (thresholds_[i] > effort) continue;
+    const Prediction p = learners_[i]->PredictWithVariance(x);
+    wsum += weights_[i];
+    mean += weights_[i] * p.prob;
+    second += weights_[i] * (p.variance + p.prob * p.prob);
+  }
+  if (wsum <= 0.0) {
+    // Effort below every threshold: fall back to the loosest learner.
+    return learners_[0]->PredictWithVariance(x);
+  }
+  mean /= wsum;
+  second /= wsum;
+  Prediction out;
+  out.prob = mean;
+  out.variance = std::max(0.0, second - mean * mean);
+  return out;
+}
+
+std::vector<double> IWareEnsemble::PredictDataset(const Dataset& data) const {
+  std::vector<double> out(data.size());
+  for (int i = 0; i < data.size(); ++i) {
+    out[i] = PredictProb(data.RowVector(i), data.effort(i));
+  }
+  return out;
+}
+
+}  // namespace paws

@@ -1,0 +1,101 @@
+#ifndef PAWS_CORE_IWARE_H_
+#define PAWS_CORE_IWARE_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/bagging.h"
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+#include "ml/gaussian_process.h"
+#include "ml/linear_svm.h"
+
+namespace paws {
+
+/// Weak-learner family used inside iWare-E (paper Table II):
+/// SVB = bagging of linear SVMs, DTB = bagging of decision trees
+/// (a random forest), GPB = bagging of Gaussian-process classifiers.
+enum class WeakLearnerKind {
+  kSvmBagging,
+  kDecisionTreeBagging,
+  kGaussianProcessBagging,
+};
+
+const char* WeakLearnerName(WeakLearnerKind kind);
+
+/// Configuration of the enhanced iWare-E ensemble with the paper's three
+/// enhancements (Sec. IV):
+///  1. CV-optimized classifier weights (optimize_weights),
+///  2. thresholds from patrol-effort percentiles (percentile_thresholds),
+///  3. Gaussian-process weak learners exposing predictive variance.
+struct IWareConfig {
+  /// Number of weak learners I (the paper's single hyperparameter after
+  /// enhancement 2; 20 for MFNP/QENP, 10 for SWS).
+  int num_thresholds = 8;
+  /// Enhancement 2: percentile-based thresholds; false reverts to the
+  /// original uniform grid [theta_min, theta_max] (ablation A3).
+  bool percentile_thresholds = true;
+  double theta_min = 0.0;
+  double theta_max = 7.5;
+  /// Enhancement 1: optimize classifier weights by cross-validated log
+  /// loss; false reverts to equal weights (ablation A2).
+  bool optimize_weights = true;
+  int cv_folds = 3;
+  /// Minimum rows (and at least one of each class) a filtered subset needs
+  /// for its weak learner to be trained.
+  int min_subset_rows = 20;
+
+  WeakLearnerKind weak_learner = WeakLearnerKind::kGaussianProcessBagging;
+  BaggingConfig bagging;
+  DecisionTreeConfig tree;
+  LinearSvmConfig svm;
+  GaussianProcessConfig gp;
+};
+
+/// Builds the bagging weak learner (SVB / DTB / GPB) described by `config`
+/// — also usable standalone as the paper's non-iWare baselines.
+std::unique_ptr<Classifier> MakeWeakLearner(const IWareConfig& config);
+
+/// The imperfect-observation-aware ensemble. Weak learner C_{theta_i} is
+/// trained on the subset D_{theta_i} where negative rows with patrol effort
+/// <= theta_i are removed (positives always kept). At prediction time the
+/// weak learners with theta_i <= (the point's patrol effort) are
+/// "qualified" and vote with the learned weights, so the prediction is a
+/// function of both features and hypothetical patrol effort — exactly the
+/// black-box g_v(c) the planner optimizes.
+class IWareEnsemble {
+ public:
+  explicit IWareEnsemble(IWareConfig config) : config_(std::move(config)) {}
+
+  /// Trains thresholds, weak learners and weights. Fails if the data are
+  /// too small or single-class.
+  Status Fit(const Dataset& data, Rng* rng);
+
+  /// Predicted detection probability and mixture variance for features `x`
+  /// under hypothetical current patrol effort `effort`.
+  Prediction Predict(const std::vector<double>& x, double effort) const;
+  double PredictProb(const std::vector<double>& x, double effort) const {
+    return Predict(x, effort).prob;
+  }
+
+  /// Scores every row of `data` using each row's own effort channel.
+  std::vector<double> PredictDataset(const Dataset& data) const;
+
+  int num_learners() const { return static_cast<int>(learners_.size()); }
+  const std::vector<double>& thresholds() const { return thresholds_; }
+  const std::vector<double>& weights() const { return weights_; }
+  const IWareConfig& config() const { return config_; }
+
+ private:
+  std::vector<double> ComputeThresholds(const Dataset& data) const;
+
+  IWareConfig config_;
+  std::vector<double> thresholds_;
+  std::vector<std::unique_ptr<Classifier>> learners_;
+  std::vector<double> weights_;
+  bool fitted_ = false;
+};
+
+}  // namespace paws
+
+#endif  // PAWS_CORE_IWARE_H_

@@ -1,0 +1,97 @@
+#ifndef PAWS_CORE_PIPELINE_H_
+#define PAWS_CORE_PIPELINE_H_
+
+#include <vector>
+
+#include "core/iware.h"
+#include "core/presets.h"
+#include "core/risk_map.h"
+#include "geo/park.h"
+#include "ml/metrics.h"
+#include "plan/planner.h"
+#include "plan/robust.h"
+#include "sim/dataset_builder.h"
+#include "sim/field_test.h"
+#include "sim/patrol_sim.h"
+
+namespace paws {
+
+/// A fully materialized scenario: the park, its ground-truth processes and
+/// the simulated multi-year patrol history — the synthetic analogue of one
+/// park's SMART database plus GIS layers.
+struct ScenarioData {
+  Scenario scenario;
+  Park park;
+  AttackModel attacks;
+  DetectionModel detection;
+  PatrolHistory history;
+
+  int num_steps() const { return history.num_steps(); }
+  int steps_per_year() const { return scenario.steps_per_year; }
+};
+
+/// Generates the park and simulates the full history for a scenario.
+ScenarioData SimulateScenario(const Scenario& scenario, uint64_t sim_seed);
+
+/// Train/test split by year (paper Sec. V-A: "training on the first three
+/// years and testing on the fourth"). `test_year` is 0-based; training
+/// covers the `train_years` years preceding it.
+struct YearSplit {
+  Dataset train;
+  Dataset test;
+  int test_t_begin = 0;  // first time step of the test year
+};
+StatusOr<YearSplit> SplitByYear(const ScenarioData& data, int test_year,
+                                int train_years = 3);
+
+/// Fits a model (iWare or plain bagging baseline) on the split's training
+/// set and reports test AUC — one cell of the paper's Table II.
+struct AucResult {
+  double auc = 0.5;
+  int test_rows = 0;
+  int test_positives = 0;
+};
+StatusOr<AucResult> EvaluateIWareAuc(const IWareConfig& config,
+                                     const YearSplit& split, Rng* rng);
+StatusOr<AucResult> EvaluateBaselineAuc(const IWareConfig& config,
+                                        const YearSplit& split, Rng* rng);
+
+/// End-to-end convenience wrapper: scenario -> model -> risk map -> robust
+/// patrol plans -> simulated field test. Each stage is also reachable
+/// individually for benchmarks; this class is the examples' entry point.
+class PawsPipeline {
+ public:
+  PawsPipeline(ScenarioData data, IWareConfig model_config)
+      : data_(std::move(data)), model_config_(std::move(model_config)) {}
+
+  /// Trains the model on all years except the last.
+  Status Train(Rng* rng);
+
+  /// Test-year AUC of the trained model.
+  StatusOr<double> TestAuc() const;
+
+  const IWareEnsemble& model() const { return *model_; }
+  const ScenarioData& data() const { return data_; }
+  int test_t_begin() const { return split_->test_t_begin; }
+
+  /// Risk/uncertainty maps at the test year's first step.
+  RiskMaps PredictRisk(double assumed_effort) const;
+
+  /// Plans robust patrols around patrol post `post_index`.
+  StatusOr<PatrolPlan> PlanForPost(int post_index, const PlannerConfig& config,
+                                   const RobustParams& robust) const;
+
+  /// Runs a simulated field test using the trained model's risk map.
+  StatusOr<FieldTestResult> RunFieldTestTrial(const FieldTestConfig& config,
+                                              Rng* rng) const;
+
+ private:
+  ScenarioData data_;
+  IWareConfig model_config_;
+  std::optional<YearSplit> split_;
+  std::unique_ptr<IWareEnsemble> model_;
+};
+
+}  // namespace paws
+
+#endif  // PAWS_CORE_PIPELINE_H_

@@ -1,0 +1,107 @@
+#include "core/presets.h"
+
+namespace paws {
+
+const char* ParkPresetName(ParkPreset preset) {
+  switch (preset) {
+    case ParkPreset::kMfnp:
+      return "MFNP";
+    case ParkPreset::kQenp:
+      return "QENP";
+    case ParkPreset::kSws:
+      return "SWS";
+    case ParkPreset::kSwsDry:
+      return "SWS dry";
+  }
+  return "unknown";
+}
+
+Scenario MakeScenario(ParkPreset preset, uint64_t seed) {
+  Scenario s;
+  s.name = ParkPresetName(preset);
+  s.park.seed = seed;
+  switch (preset) {
+    case ParkPreset::kMfnp: {
+      // Paper: 4,613 cells, 22 features, 14.3% positive, circular with a
+      // protected core. Scaled ~1:4 by area.
+      s.park.name = "MFNP";
+      s.park.width = 44;
+      s.park.height = 36;
+      s.park.shape = ParkShape::kCircular;
+      s.park.num_rivers = 3;
+      s.park.num_roads = 2;
+      s.park.num_villages = 5;
+      s.park.num_patrol_posts = 4;
+      s.park.num_extra_features = 10;  // 11 base + 10 noise + lag = 22
+      s.behavior.intercept = 1.7;
+      s.behavior.seasonal_amplitude = 0.0;
+      s.patrol.patrols_per_post = 10;
+      s.patrol.patrol_length_km = 18;
+      break;
+    }
+    case ParkPreset::kQenp: {
+      // Paper: 2,522 cells, 19 features, 4.7% positive, elongated so the
+      // center is accessible from the boundary.
+      s.park.name = "QENP";
+      s.park.width = 56;
+      s.park.height = 22;
+      s.park.shape = ParkShape::kElongated;
+      s.park.num_rivers = 2;
+      s.park.num_roads = 3;
+      s.park.num_villages = 6;
+      s.park.num_patrol_posts = 4;
+      s.park.num_extra_features = 7;  // 11 base + 7 noise + lag = 19
+      s.behavior.intercept = -0.5;
+      s.behavior.seasonal_amplitude = 0.0;
+      s.patrol.patrols_per_post = 10;
+      s.patrol.patrol_length_km = 18;
+      break;
+    }
+    case ParkPreset::kSws:
+    case ParkPreset::kSwsDry: {
+      // Paper: 3,750 cells, 21 features, 0.36% positive (0.25% dry),
+      // motorbike patrols (sparser waypoints), strong seasonality, only 72
+      // rangers. Dry season uses 2-month steps for 3 points per season.
+      s.park.name = preset == ParkPreset::kSws ? "SWS" : "SWS-dry";
+      s.park.width = 46;
+      s.park.height = 34;
+      s.park.shape = ParkShape::kCircular;
+      s.park.boundary_noise = 0.25;
+      s.park.num_rivers = 4;
+      s.park.num_roads = 2;
+      s.park.num_villages = 4;
+      s.park.num_patrol_posts = 3;
+      s.park.num_extra_features = 9;  // 11 base + 9 noise + lag = 21
+      s.behavior.intercept = preset == ParkPreset::kSws ? -5.0 : -5.2;
+      // Poaching in SWS is concentrated in a few hotspots: the park-wide
+      // positive rate is tiny (Table I: 0.36%) yet field-test High blocks
+      // yielded 0.34 detections per cell (Table III). Strong nonlinear
+      // terms concentrate the ground-truth attack mass accordingly.
+      s.behavior.w_animal_forest = 5.0;
+      s.behavior.w_village_band = 3.5;
+      s.behavior.seasonal_amplitude = 1.2;
+      s.behavior.season_period = preset == ParkPreset::kSws ? 4 : 3;
+      // Motorbikes: fewer patrols covering more ground per step, with
+      // less careful observation (lower detection rate).
+      s.patrol.patrols_per_post = 9;
+      s.patrol.patrol_length_km = 28;
+      s.patrol.km_per_step = 2.0;
+      // Motorbikes range far from the post, follow terrain rather than
+      // wildlife, and observe less carefully. The weak coupling between
+      // patrol location and animal density leaves most poaching hotspots
+      // under-patrolled (the paper's motivation for testing in SWS).
+      s.patrol.attraction_animal = 0.3;
+      s.patrol.outward_momentum = 1.3;
+      s.patrol.revisit_penalty = 2.0;
+      s.behavior.w_dist_patrol_post = 0.0;
+      s.detection.rate = 0.10;
+      if (preset == ParkPreset::kSwsDry) {
+        s.steps_per_year = 3;  // three 2-month points per dry season
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace paws

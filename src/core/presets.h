@@ -1,0 +1,51 @@
+#ifndef PAWS_CORE_PRESETS_H_
+#define PAWS_CORE_PRESETS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geo/synth.h"
+#include "sim/behavior.h"
+#include "sim/detection.h"
+#include "sim/patrol_sim.h"
+
+namespace paws {
+
+/// The paper's four datasets (Table I). Paper-scale values are noted per
+/// preset in presets.cc; the defaults here are scaled down so the full
+/// experiment suite runs on one laptop core while preserving each park's
+/// distinguishing characteristics:
+///   MFNP  — circular savanna, protected core, mild imbalance (~14% pos);
+///   QENP  — elongated, accessible center, ~5% positive;
+///   SWS   — dense, motorbike patrols, extreme imbalance (~0.4% pos),
+///           strong north/south seasonality;
+///   SWS dry — SWS restricted to dry-season dynamics, 2-month steps,
+///           even rarer positives (~0.25%).
+enum class ParkPreset {
+  kMfnp,
+  kQenp,
+  kSws,
+  kSwsDry,
+};
+
+const char* ParkPresetName(ParkPreset preset);
+
+/// Everything needed to regenerate a park's multi-year SMART-style history.
+struct Scenario {
+  std::string name;
+  SynthParkConfig park;
+  BehaviorConfig behavior;
+  DetectionModel detection;
+  PatrolSimConfig patrol;
+  int steps_per_year = 4;  // 3-month discretization (paper Sec. III-B)
+  int num_years = 6;       // Table I: "Number of points (6 years)"
+};
+
+/// Builds the scenario for a preset. `seed` controls every random layer
+/// (terrain, behaviour, patrols), so a (preset, seed) pair is a fully
+/// reproducible dataset.
+Scenario MakeScenario(ParkPreset preset, uint64_t seed);
+
+}  // namespace paws
+
+#endif  // PAWS_CORE_PRESETS_H_

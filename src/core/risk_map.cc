@@ -1,0 +1,65 @@
+#include "core/risk_map.h"
+
+#include "sim/dataset_builder.h"
+
+namespace paws {
+
+RiskMaps PredictRiskMap(const IWareEnsemble& model, const Park& park,
+                        const PatrolHistory& history, int t,
+                        double assumed_effort) {
+  const Dataset rows = BuildPredictionRows(park, history, t, assumed_effort);
+  RiskMaps maps;
+  maps.assumed_effort = assumed_effort;
+  maps.risk.resize(park.num_cells());
+  maps.variance.resize(park.num_cells());
+  for (int i = 0; i < rows.size(); ++i) {
+    const Prediction p = model.Predict(rows.RowVector(i), assumed_effort);
+    const int id = rows.cell_id(i);
+    maps.risk[id] = p.prob;
+    maps.variance[id] = p.variance;
+  }
+  return maps;
+}
+
+GridD ToGrid(const Park& park, const std::vector<double>& values) {
+  CheckOrDie(static_cast<int>(values.size()) == park.num_cells(),
+             "ToGrid: size mismatch");
+  GridD grid(park.width(), park.height(), 0.0);
+  for (int id = 0; id < park.num_cells(); ++id) {
+    grid.At(park.CellOf(id)) = values[id];
+  }
+  return grid;
+}
+
+CellPredictors MakeCellPredictors(const IWareEnsemble& model, const Park& park,
+                                  const PatrolHistory& history, int t,
+                                  const std::vector<int>& cell_ids) {
+  CellPredictors out;
+  const int k = park.num_features() + 1;
+  for (int id : cell_ids) {
+    std::vector<double> x(k);
+    const std::vector<double> static_x = park.FeatureVector(id);
+    std::copy(static_x.begin(), static_x.end(), x.begin());
+    x[k - 1] = (t > 0 && t - 1 < history.num_steps())
+                   ? history.steps[t - 1].effort[id]
+                   : 0.0;
+    out.g.push_back([&model, x](double c) { return model.Predict(x, c).prob; });
+    out.nu.push_back(
+        [&model, x](double c) { return model.Predict(x, c).variance; });
+  }
+  return out;
+}
+
+std::vector<double> ConvolveRisk(const Park& park,
+                                 const std::vector<double>& risk,
+                                 int block_radius) {
+  const GridD grid = ToGrid(park, risk);
+  const GridD blurred = BoxBlur(grid, park.mask(), block_radius);
+  std::vector<double> out(park.num_cells());
+  for (int id = 0; id < park.num_cells(); ++id) {
+    out[id] = blurred.At(park.CellOf(id));
+  }
+  return out;
+}
+
+}  // namespace paws

@@ -1,0 +1,54 @@
+#ifndef PAWS_CORE_RISK_MAP_H_
+#define PAWS_CORE_RISK_MAP_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/iware.h"
+#include "geo/park.h"
+#include "geo/raster_ops.h"
+#include "sim/patrol_sim.h"
+
+namespace paws {
+
+/// Per-cell risk and uncertainty layers — the paper's Fig. 6 artifacts:
+/// "predicted probability of detecting poaching activity" (red maps) and
+/// "corresponding uncertainty of the predictions" (green maps) at a given
+/// hypothetical patrol effort.
+struct RiskMaps {
+  std::vector<double> risk;      // per dense cell id
+  std::vector<double> variance;  // per dense cell id
+  double assumed_effort = 0.0;
+};
+
+/// Predicts risk/uncertainty for every park cell at time step `t`,
+/// assuming each cell receives `assumed_effort` km of patrol during the
+/// step (lagged coverage read from `history`).
+RiskMaps PredictRiskMap(const IWareEnsemble& model, const Park& park,
+                        const PatrolHistory& history, int t,
+                        double assumed_effort);
+
+/// Rasterizes a per-dense-cell vector onto the park grid (out-of-park = 0).
+GridD ToGrid(const Park& park, const std::vector<double>& values);
+
+/// Builds the planner's black-box inputs for a set of park cells: for each
+/// cell id, g(c) = model probability and nu(c) = model variance as
+/// functions of hypothetical effort c, with features/lagged coverage fixed
+/// at time `t`.
+struct CellPredictors {
+  std::vector<std::function<double(double)>> g;
+  std::vector<std::function<double(double)>> nu;
+};
+CellPredictors MakeCellPredictors(const IWareEnsemble& model, const Park& park,
+                                  const PatrolHistory& history, int t,
+                                  const std::vector<int>& cell_ids);
+
+/// Averages risk over block_size x block_size neighborhoods ("convolving
+/// the risk map", Sec. VII-B) — returns a per-dense-cell block score.
+std::vector<double> ConvolveRisk(const Park& park,
+                                 const std::vector<double>& risk,
+                                 int block_radius);
+
+}  // namespace paws
+
+#endif  // PAWS_CORE_RISK_MAP_H_

@@ -1,0 +1,25 @@
+#include "geo/grid.h"
+
+#include <cmath>
+
+namespace paws {
+
+std::vector<Cell> Neighbors4(const Grid2D<double>& grid, const Cell& c) {
+  static const int kDx[4] = {1, -1, 0, 0};
+  static const int kDy[4] = {0, 0, 1, -1};
+  std::vector<Cell> out;
+  out.reserve(4);
+  for (int d = 0; d < 4; ++d) {
+    const Cell n{c.x + kDx[d], c.y + kDy[d]};
+    if (grid.InBounds(n)) out.push_back(n);
+  }
+  return out;
+}
+
+double CellDistance(const Cell& a, const Cell& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace paws

@@ -1,0 +1,69 @@
+#include "geo/noise.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paws {
+
+namespace {
+
+// Deterministic lattice hash -> [0, 1).
+double LatticeValue(int64_t xi, int64_t yi, uint64_t seed) {
+  uint64_t h = seed;
+  h ^= static_cast<uint64_t>(xi) * 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h ^= static_cast<uint64_t>(yi) * 0x94d049bb133111ebULL;
+  h = (h ^ (h >> 27)) * 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 31;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double SmoothStep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+}  // namespace
+
+double ValueNoise2D(double x, double y, uint64_t seed) {
+  const int64_t xi = static_cast<int64_t>(std::floor(x));
+  const int64_t yi = static_cast<int64_t>(std::floor(y));
+  const double tx = SmoothStep(x - xi);
+  const double ty = SmoothStep(y - yi);
+  const double v00 = LatticeValue(xi, yi, seed);
+  const double v10 = LatticeValue(xi + 1, yi, seed);
+  const double v01 = LatticeValue(xi, yi + 1, seed);
+  const double v11 = LatticeValue(xi + 1, yi + 1, seed);
+  const double a = v00 + (v10 - v00) * tx;
+  const double b = v01 + (v11 - v01) * tx;
+  return a + (b - a) * ty;
+}
+
+GridD FractalNoise(int width, int height, const NoiseParams& params,
+                   uint64_t seed) {
+  GridD out(width, height);
+  double lo = 1e300, hi = -1e300;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      double amp = 1.0;
+      double freq = params.base_frequency;
+      double sum = 0.0;
+      double norm = 0.0;
+      for (int o = 0; o < params.octaves; ++o) {
+        sum += amp * ValueNoise2D(x * freq, y * freq, seed + 0x1234567ULL * o);
+        norm += amp;
+        amp *= params.persistence;
+        freq *= params.lacunarity;
+      }
+      const double v = norm > 0 ? sum / norm : 0.0;
+      out.At(x, y) = v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  // Normalize to [0, 1] so downstream layers can treat noise uniformly.
+  const double span = hi - lo;
+  if (span > 0) {
+    for (double& v : out.data()) v = (v - lo) / span;
+  }
+  return out;
+}
+
+}  // namespace paws

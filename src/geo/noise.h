@@ -1,0 +1,31 @@
+#ifndef PAWS_GEO_NOISE_H_
+#define PAWS_GEO_NOISE_H_
+
+#include <cstdint>
+
+#include "geo/grid.h"
+
+namespace paws {
+
+/// Smooth fractal value noise over a grid: several octaves of bilinear-
+/// interpolated lattice noise. Output is normalized to [0, 1]. Used to
+/// synthesize terrain layers (elevation, forest cover, animal density, net
+/// primary productivity) with realistic spatial autocorrelation.
+struct NoiseParams {
+  double base_frequency = 0.08;  // lattice cells per grid cell at octave 0
+  int octaves = 4;
+  double persistence = 0.5;  // amplitude decay per octave
+  double lacunarity = 2.0;   // frequency growth per octave
+};
+
+/// Generates a width x height fractal noise field, deterministic in `seed`.
+GridD FractalNoise(int width, int height, const NoiseParams& params,
+                   uint64_t seed);
+
+/// Single smooth noise value at continuous coordinates (used internally and
+/// exposed for tests; deterministic in seed).
+double ValueNoise2D(double x, double y, uint64_t seed);
+
+}  // namespace paws
+
+#endif  // PAWS_GEO_NOISE_H_

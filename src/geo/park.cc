@@ -1,0 +1,57 @@
+#include "geo/park.h"
+
+namespace paws {
+
+Park::Park(std::string name, GridB mask)
+    : name_(std::move(name)), mask_(std::move(mask)) {
+  dense_id_.assign(mask_.size(), -1);
+  for (int i = 0; i < mask_.size(); ++i) {
+    if (mask_.AtIndex(i)) {
+      dense_id_[i] = static_cast<int>(cell_indices_.size());
+      cell_indices_.push_back(i);
+    }
+  }
+  CheckOrDie(!cell_indices_.empty(), "Park has no in-park cells");
+}
+
+int Park::DenseId(int grid_index) const {
+  CheckOrDie(grid_index >= 0 && grid_index < mask_.size(),
+             "Park::DenseId out of bounds");
+  return dense_id_[grid_index];
+}
+
+Cell Park::CellOf(int id) const {
+  CheckOrDie(id >= 0 && id < num_cells(), "Park::CellOf out of bounds");
+  return mask_.CellAt(cell_indices_[id]);
+}
+
+int Park::AddFeature(std::string feature_name, GridD raster) {
+  CheckOrDie(raster.width() == mask_.width() &&
+                 raster.height() == mask_.height(),
+             "Park::AddFeature raster shape mismatch");
+  feature_names_.push_back(std::move(feature_name));
+  features_.push_back(std::move(raster));
+  return static_cast<int>(features_.size()) - 1;
+}
+
+StatusOr<int> Park::FeatureIndex(const std::string& feature_name) const {
+  for (size_t i = 0; i < feature_names_.size(); ++i) {
+    if (feature_names_[i] == feature_name) return static_cast<int>(i);
+  }
+  return Status::NotFound("no feature named " + feature_name);
+}
+
+std::vector<double> Park::FeatureVector(int dense_id) const {
+  const Cell c = CellOf(dense_id);
+  std::vector<double> x(features_.size());
+  for (size_t f = 0; f < features_.size(); ++f) x[f] = features_[f].At(c);
+  return x;
+}
+
+void Park::AddPatrolPost(const Cell& c) {
+  CheckOrDie(mask_.InBounds(c) && mask_.At(c),
+             "Park::AddPatrolPost outside the park");
+  patrol_posts_.push_back(c);
+}
+
+}  // namespace paws

@@ -1,0 +1,72 @@
+#ifndef PAWS_GEO_PARK_H_
+#define PAWS_GEO_PARK_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/grid.h"
+#include "util/status.h"
+
+namespace paws {
+
+/// A protected area discretized into 1x1 km cells, with static geospatial
+/// feature rasters. Mirrors the paper's dataset processing (Sec. III-B):
+/// terrain features (elevation, slope, forest cover), landscape features
+/// (distance to rivers, roads, villages, patrol posts, park boundary) and
+/// ecological features (animal density, net primary productivity).
+class Park {
+ public:
+  Park(std::string name, GridB mask);
+
+  const std::string& name() const { return name_; }
+  int width() const { return mask_.width(); }
+  int height() const { return mask_.height(); }
+
+  /// Boolean raster: true for cells inside the protected area.
+  const GridB& mask() const { return mask_; }
+
+  /// Number of in-park cells (the paper's N).
+  int num_cells() const { return static_cast<int>(cell_indices_.size()); }
+
+  /// Flat grid indices of in-park cells, in row-major order. The position
+  /// of an index in this list is the cell's dense id in [0, num_cells()).
+  const std::vector<int>& cell_indices() const { return cell_indices_; }
+
+  /// Dense id of the in-park cell with flat grid index `grid_index`, or -1.
+  int DenseId(int grid_index) const;
+  int DenseIdOf(const Cell& c) const { return DenseId(mask_.Index(c)); }
+
+  /// Cell of dense id `id`.
+  Cell CellOf(int id) const;
+
+  /// Registers a static feature raster. Values at out-of-park cells are
+  /// ignored. Returns the feature's column index.
+  int AddFeature(std::string feature_name, GridD raster);
+
+  int num_features() const { return static_cast<int>(features_.size()); }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  const GridD& feature(int f) const { return features_[f]; }
+  StatusOr<int> FeatureIndex(const std::string& feature_name) const;
+
+  /// Static feature vector (length num_features()) of a dense cell id.
+  std::vector<double> FeatureVector(int dense_id) const;
+
+  /// Patrol posts: cells where every patrol must start and end.
+  void AddPatrolPost(const Cell& c);
+  const std::vector<Cell>& patrol_posts() const { return patrol_posts_; }
+
+ private:
+  std::string name_;
+  GridB mask_;
+  std::vector<int> cell_indices_;
+  std::vector<int> dense_id_;  // grid index -> dense id or -1
+  std::vector<std::string> feature_names_;
+  std::vector<GridD> features_;
+  std::vector<Cell> patrol_posts_;
+};
+
+}  // namespace paws
+
+#endif  // PAWS_GEO_PARK_H_

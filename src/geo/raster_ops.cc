@@ -1,0 +1,167 @@
+#include "geo/raster_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+namespace paws {
+
+GridD DistanceTransform(const GridB& mask, const std::vector<Cell>& sources) {
+  const int w = mask.width();
+  const int h = mask.height();
+  const double kInf = std::numeric_limits<double>::infinity();
+  GridD dist(w, h, kInf);
+  std::deque<Cell> queue;
+  for (const Cell& s : sources) {
+    if (!mask.InBounds(s) || !mask.At(s)) continue;
+    if (dist.At(s) == 0.0) continue;
+    dist.At(s) = 0.0;
+    queue.push_back(s);
+  }
+  static const int kDx[4] = {1, -1, 0, 0};
+  static const int kDy[4] = {0, 0, 1, -1};
+  while (!queue.empty()) {
+    const Cell c = queue.front();
+    queue.pop_front();
+    const double d = dist.At(c);
+    for (int k = 0; k < 4; ++k) {
+      const Cell n{c.x + kDx[k], c.y + kDy[k]};
+      if (!mask.InBounds(n) || !mask.At(n)) continue;
+      if (dist.At(n) > d + 1.0) {
+        dist.At(n) = d + 1.0;
+        queue.push_back(n);
+      }
+    }
+  }
+  return dist;
+}
+
+void RasterizePolyline(const std::vector<Cell>& vertices, GridB* out) {
+  CheckOrDie(out != nullptr, "RasterizePolyline: null output");
+  if (vertices.empty()) return;
+  auto clamp_cell = [&](Cell c) {
+    c.x = std::clamp(c.x, 0, out->width() - 1);
+    c.y = std::clamp(c.y, 0, out->height() - 1);
+    return c;
+  };
+  Cell prev = clamp_cell(vertices[0]);
+  out->At(prev) = true;
+  for (size_t i = 1; i < vertices.size(); ++i) {
+    Cell cur = clamp_cell(vertices[i]);
+    // Bresenham line from prev to cur.
+    int x0 = prev.x, y0 = prev.y;
+    const int x1 = cur.x, y1 = cur.y;
+    const int dx = std::abs(x1 - x0), dy = -std::abs(y1 - y0);
+    const int sx = x0 < x1 ? 1 : -1, sy = y0 < y1 ? 1 : -1;
+    int err = dx + dy;
+    while (true) {
+      out->At(x0, y0) = true;
+      if (x0 == x1 && y0 == y1) break;
+      const int e2 = 2 * err;
+      if (e2 >= dy) {
+        err += dy;
+        x0 += sx;
+      }
+      if (e2 <= dx) {
+        err += dx;
+        y0 += sy;
+      }
+    }
+    prev = cur;
+  }
+}
+
+GridD BoxBlur(const GridD& in, const GridB& mask, int radius) {
+  CheckOrDie(in.width() == mask.width() && in.height() == mask.height(),
+             "BoxBlur: grid/mask shape mismatch");
+  CheckOrDie(radius >= 0, "BoxBlur: radius must be >= 0");
+  GridD out(in.width(), in.height(), 0.0);
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      if (!mask.At(x, y)) continue;
+      double sum = 0.0;
+      int count = 0;
+      for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+          const int nx = x + dx, ny = y + dy;
+          if (!in.InBounds(nx, ny) || !mask.At(nx, ny)) continue;
+          sum += in.At(nx, ny);
+          ++count;
+        }
+      }
+      out.At(x, y) = count > 0 ? sum / count : 0.0;
+    }
+  }
+  return out;
+}
+
+GridD GradientMagnitude(const GridD& in) {
+  GridD out(in.width(), in.height(), 0.0);
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      const int xl = std::max(0, x - 1), xr = std::min(in.width() - 1, x + 1);
+      const int yl = std::max(0, y - 1), yr = std::min(in.height() - 1, y + 1);
+      const double gx = (in.At(xr, y) - in.At(xl, y)) / std::max(1, xr - xl);
+      const double gy = (in.At(x, yr) - in.At(x, yl)) / std::max(1, yr - yl);
+      out.At(x, y) = std::sqrt(gx * gx + gy * gy);
+    }
+  }
+  return out;
+}
+
+void RescaleInPlace(GridD* grid, const GridB& mask, double lo, double hi) {
+  CheckOrDie(grid != nullptr, "RescaleInPlace: null grid");
+  CheckOrDie(hi >= lo, "RescaleInPlace: hi < lo");
+  double vmin = std::numeric_limits<double>::infinity();
+  double vmax = -vmin;
+  for (int i = 0; i < grid->size(); ++i) {
+    if (!mask.AtIndex(i)) continue;
+    vmin = std::min(vmin, grid->AtIndex(i));
+    vmax = std::max(vmax, grid->AtIndex(i));
+  }
+  if (!(vmax > vmin)) {
+    for (int i = 0; i < grid->size(); ++i) {
+      if (mask.AtIndex(i)) grid->AtIndex(i) = lo;
+    }
+    return;
+  }
+  const double scale = (hi - lo) / (vmax - vmin);
+  for (int i = 0; i < grid->size(); ++i) {
+    if (mask.AtIndex(i)) {
+      grid->AtIndex(i) = lo + (grid->AtIndex(i) - vmin) * scale;
+    }
+  }
+}
+
+std::string AsciiHeatmap(const GridD& grid, const GridB& mask, int max_width) {
+  static const char kRamp[] = " .:-=+*#%@";
+  const int levels = 9;
+  double vmin = std::numeric_limits<double>::infinity();
+  double vmax = -vmin;
+  for (int i = 0; i < grid.size(); ++i) {
+    if (!mask.AtIndex(i)) continue;
+    vmin = std::min(vmin, grid.AtIndex(i));
+    vmax = std::max(vmax, grid.AtIndex(i));
+  }
+  if (!(vmax > vmin)) vmax = vmin + 1.0;
+  // Downsample columns/rows if the grid is wider than max_width.
+  const int step = std::max(1, (grid.width() + max_width - 1) / max_width);
+  std::string out;
+  for (int y = 0; y < grid.height(); y += step) {
+    for (int x = 0; x < grid.width(); x += step) {
+      if (!mask.At(x, y)) {
+        out += ' ';
+        continue;
+      }
+      const double t = (grid.At(x, y) - vmin) / (vmax - vmin);
+      const int idx = 1 + std::min(levels - 1,
+                                   static_cast<int>(t * (levels - 1) + 0.5));
+      out += kRamp[idx];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace paws

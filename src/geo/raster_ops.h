@@ -1,0 +1,43 @@
+#ifndef PAWS_GEO_RASTER_OPS_H_
+#define PAWS_GEO_RASTER_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/grid.h"
+
+namespace paws {
+
+/// Multi-source grid distance transform: the 4-neighbor BFS distance (in km)
+/// from each cell to the nearest source cell. Cells where `mask` is false
+/// are excluded (distance = +inf). Sources outside the mask are ignored.
+/// If there are no valid sources, every distance is +inf.
+GridD DistanceTransform(const GridB& mask, const std::vector<Cell>& sources);
+
+/// Rasterizes a polyline (sequence of cells connected by straight segments)
+/// onto a boolean grid using Bresenham's algorithm. Out-of-bounds vertices
+/// are clamped to the grid.
+void RasterizePolyline(const std::vector<Cell>& vertices, GridB* out);
+
+/// Mean filter over a (2r+1)x(2r+1) window, respecting `mask` (cells
+/// outside the mask contribute nothing and receive 0). This implements the
+/// paper's "convolving the risk map" step used to build 3x3 km blocks.
+GridD BoxBlur(const GridD& in, const GridB& mask, int radius);
+
+/// Gradient magnitude (central differences) of a raster; used as the
+/// "slope" feature derived from elevation.
+GridD GradientMagnitude(const GridD& in);
+
+/// Linearly rescales values at masked cells to [lo, hi]. If the raster is
+/// constant over the mask, all masked cells get lo.
+void RescaleInPlace(GridD* grid, const GridB& mask, double lo, double hi);
+
+/// Renders a raster as an ASCII heatmap (one character per cell, darker
+/// characters = larger values); rows are emitted top-to-bottom. Cells
+/// outside `mask` render as spaces. Intended for examples and bench output.
+std::string AsciiHeatmap(const GridD& grid, const GridB& mask,
+                         int max_width = 70);
+
+}  // namespace paws
+
+#endif  // PAWS_GEO_RASTER_OPS_H_

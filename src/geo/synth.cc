@@ -1,0 +1,286 @@
+#include "geo/synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "geo/noise.h"
+#include "geo/raster_ops.h"
+#include "util/rng.h"
+
+namespace paws {
+
+namespace {
+
+// Builds the park outline: an ellipse (circular or elongated) whose radius
+// is modulated by low-frequency noise, mimicking irregular park boundaries.
+GridB MakeMask(const SynthParkConfig& cfg, Rng* rng) {
+  GridB mask(cfg.width, cfg.height, false);
+  const double cx = 0.5 * (cfg.width - 1);
+  const double cy = 0.5 * (cfg.height - 1);
+  // Elongated parks stretch along x (QENP is "long").
+  const double rx =
+      cfg.shape == ParkShape::kElongated ? 0.48 * cfg.width : 0.44 * cfg.width;
+  const double ry = cfg.shape == ParkShape::kElongated ? 0.30 * cfg.height
+                                                       : 0.44 * cfg.height;
+  const uint64_t noise_seed = rng->NextUint64();
+  for (int y = 0; y < cfg.height; ++y) {
+    for (int x = 0; x < cfg.width; ++x) {
+      const double nx = (x - cx) / rx;
+      const double ny = (y - cy) / ry;
+      const double r = std::sqrt(nx * nx + ny * ny);
+      const double wobble =
+          cfg.boundary_noise *
+          (ValueNoise2D(x * 0.07, y * 0.07, noise_seed) - 0.5) * 2.0;
+      if (r <= 1.0 + wobble) mask.At(x, y) = true;
+    }
+  }
+  // Keep only the largest connected component so the patrol graph is
+  // connected.
+  GridI comp(cfg.width, cfg.height, -1);
+  int best_comp = -1, best_size = 0, num_comp = 0;
+  for (int i = 0; i < mask.size(); ++i) {
+    if (!mask.AtIndex(i) || comp.AtIndex(i) != -1) continue;
+    // BFS flood fill.
+    std::vector<int> stack = {i};
+    comp.AtIndex(i) = num_comp;
+    int size = 0;
+    while (!stack.empty()) {
+      const int cur = stack.back();
+      stack.pop_back();
+      ++size;
+      const Cell c = mask.CellAt(cur);
+      const int dx[4] = {1, -1, 0, 0}, dy[4] = {0, 0, 1, -1};
+      for (int k = 0; k < 4; ++k) {
+        const int nx2 = c.x + dx[k], ny2 = c.y + dy[k];
+        if (!mask.InBounds(nx2, ny2) || !mask.At(nx2, ny2)) continue;
+        const int ni = mask.Index(nx2, ny2);
+        if (comp.AtIndex(ni) == -1) {
+          comp.AtIndex(ni) = num_comp;
+          stack.push_back(ni);
+        }
+      }
+    }
+    if (size > best_size) {
+      best_size = size;
+      best_comp = num_comp;
+    }
+    ++num_comp;
+  }
+  for (int i = 0; i < mask.size(); ++i) {
+    if (mask.AtIndex(i) && comp.AtIndex(i) != best_comp) {
+      mask.AtIndex(i) = false;
+    }
+  }
+  return mask;
+}
+
+// Boundary cells: in-park cells with at least one out-of-park 4-neighbor
+// or on the grid edge.
+std::vector<Cell> BoundaryCells(const GridB& mask) {
+  std::vector<Cell> out;
+  for (int y = 0; y < mask.height(); ++y) {
+    for (int x = 0; x < mask.width(); ++x) {
+      if (!mask.At(x, y)) continue;
+      bool edge = (x == 0 || y == 0 || x == mask.width() - 1 ||
+                   y == mask.height() - 1);
+      const int dx[4] = {1, -1, 0, 0}, dy[4] = {0, 0, 1, -1};
+      for (int k = 0; k < 4 && !edge; ++k) {
+        const int nx = x + dx[k], ny = y + dy[k];
+        if (mask.InBounds(nx, ny) && !mask.At(nx, ny)) edge = true;
+      }
+      if (edge) out.push_back(Cell{x, y});
+    }
+  }
+  return out;
+}
+
+// A meandering polyline across the park: straight baseline between two
+// random boundary cells plus perpendicular noise.
+std::vector<Cell> MeanderingLine(const GridB& mask,
+                                 const std::vector<Cell>& boundary, Rng* rng) {
+  CheckOrDie(boundary.size() >= 2, "MeanderingLine needs a boundary");
+  const Cell a = boundary[rng->UniformInt(static_cast<int>(boundary.size()))];
+  Cell b = a;
+  // Pick an endpoint far from a to cross the park.
+  double best = -1.0;
+  for (int tries = 0; tries < 20; ++tries) {
+    const Cell cand =
+        boundary[rng->UniformInt(static_cast<int>(boundary.size()))];
+    const double d = CellDistance(a, cand);
+    if (d > best) {
+      best = d;
+      b = cand;
+    }
+  }
+  const int segments = 8;
+  std::vector<Cell> pts;
+  const double px = -(b.y - a.y), py = (b.x - a.x);  // perpendicular
+  const double plen = std::max(1.0, std::sqrt(px * px + py * py));
+  for (int s = 0; s <= segments; ++s) {
+    const double t = static_cast<double>(s) / segments;
+    const double amp = (s == 0 || s == segments)
+                           ? 0.0
+                           : rng->Uniform(-0.12, 0.12) * best;
+    const int x = static_cast<int>(std::lround(a.x + t * (b.x - a.x) +
+                                               amp * px / plen));
+    const int y = static_cast<int>(std::lround(a.y + t * (b.y - a.y) +
+                                               amp * py / plen));
+    pts.push_back(Cell{std::clamp(x, 0, mask.width() - 1),
+                       std::clamp(y, 0, mask.height() - 1)});
+  }
+  return pts;
+}
+
+// Distance raster capped at a finite value (unreachable cells get the cap)
+// so ML features stay finite.
+GridD CappedDistance(const GridB& mask, const std::vector<Cell>& sources) {
+  GridD d = DistanceTransform(mask, sources);
+  double cap = 0.0;
+  for (int i = 0; i < d.size(); ++i) {
+    if (mask.AtIndex(i) && std::isfinite(d.AtIndex(i))) {
+      cap = std::max(cap, d.AtIndex(i));
+    }
+  }
+  if (cap <= 0.0) cap = mask.width() + mask.height();
+  for (int i = 0; i < d.size(); ++i) {
+    if (!std::isfinite(d.AtIndex(i))) d.AtIndex(i) = cap;
+  }
+  return d;
+}
+
+}  // namespace
+
+Park GenerateSyntheticPark(const SynthParkConfig& cfg) {
+  CheckOrDie(cfg.width >= 8 && cfg.height >= 8,
+             "synthetic park must be at least 8x8");
+  CheckOrDie(cfg.num_patrol_posts >= 1, "park needs at least one patrol post");
+  Rng rng(cfg.seed);
+  const GridB mask = MakeMask(cfg, &rng);
+  Park park(cfg.name, mask);
+  const std::vector<Cell> boundary = BoundaryCells(mask);
+
+  // --- Terrain features ---
+  NoiseParams terrain;
+  terrain.base_frequency = 0.06;
+  GridD elevation = FractalNoise(cfg.width, cfg.height, terrain,
+                                 rng.NextUint64());
+  GridD slope = GradientMagnitude(elevation);
+  RescaleInPlace(&slope, mask, 0.0, 1.0);
+
+  NoiseParams veg;
+  veg.base_frequency = 0.10;
+  GridD forest = FractalNoise(cfg.width, cfg.height, veg, rng.NextUint64());
+
+  // --- Hydrology / infrastructure ---
+  GridB river_raster(cfg.width, cfg.height, false);
+  for (int r = 0; r < cfg.num_rivers; ++r) {
+    RasterizePolyline(MeanderingLine(mask, boundary, &rng), &river_raster);
+  }
+  std::vector<Cell> river_cells;
+  for (int i = 0; i < river_raster.size(); ++i) {
+    if (river_raster.AtIndex(i) && mask.AtIndex(i)) {
+      river_cells.push_back(river_raster.CellAt(i));
+    }
+  }
+  GridD dist_river = CappedDistance(mask, river_cells);
+
+  GridB road_raster(cfg.width, cfg.height, false);
+  for (int r = 0; r < cfg.num_roads; ++r) {
+    RasterizePolyline(MeanderingLine(mask, boundary, &rng), &road_raster);
+  }
+  std::vector<Cell> road_cells;
+  for (int i = 0; i < road_raster.size(); ++i) {
+    if (road_raster.AtIndex(i) && mask.AtIndex(i)) {
+      road_cells.push_back(road_raster.CellAt(i));
+    }
+  }
+  GridD dist_road = CappedDistance(mask, road_cells);
+
+  // Villages sit on the boundary (people live at the park edge).
+  std::vector<Cell> villages;
+  for (int v = 0; v < cfg.num_villages && !boundary.empty(); ++v) {
+    villages.push_back(
+        boundary[rng.UniformInt(static_cast<int>(boundary.size()))]);
+  }
+  GridD dist_village = CappedDistance(mask, villages);
+
+  GridD dist_boundary = CappedDistance(mask, boundary);
+
+  // --- Ecology ---
+  // Animal density: smooth noise concentrated away from villages and roads
+  // (animals avoid people), boosted near rivers (water).
+  NoiseParams eco;
+  eco.base_frequency = 0.05;
+  GridD animal = FractalNoise(cfg.width, cfg.height, eco, rng.NextUint64());
+  for (int i = 0; i < animal.size(); ++i) {
+    if (!mask.AtIndex(i)) continue;
+    const double far_people =
+        1.0 - std::exp(-0.25 * std::min(dist_village.AtIndex(i),
+                                        dist_road.AtIndex(i)));
+    const double near_water = std::exp(-0.15 * dist_river.AtIndex(i));
+    animal.AtIndex(i) =
+        0.5 * animal.AtIndex(i) + 0.3 * far_people + 0.2 * near_water;
+  }
+  RescaleInPlace(&animal, mask, 0.0, 1.0);
+
+  // Net primary productivity tracks forest cover with its own texture.
+  NoiseParams npp_noise;
+  npp_noise.base_frequency = 0.12;
+  GridD npp = FractalNoise(cfg.width, cfg.height, npp_noise, rng.NextUint64());
+  for (int i = 0; i < npp.size(); ++i) {
+    npp.AtIndex(i) = 0.6 * forest.AtIndex(i) + 0.4 * npp.AtIndex(i);
+  }
+  RescaleInPlace(&npp, mask, 0.0, 1.0);
+
+  // --- Patrol posts: near the boundary, spread apart (farthest-point) ---
+  std::vector<Cell> posts;
+  if (!boundary.empty()) {
+    posts.push_back(
+        boundary[rng.UniformInt(static_cast<int>(boundary.size()))]);
+    while (static_cast<int>(posts.size()) < cfg.num_patrol_posts) {
+      Cell best = boundary[0];
+      double best_d = -1.0;
+      for (const Cell& cand : boundary) {
+        double dmin = std::numeric_limits<double>::infinity();
+        for (const Cell& p : posts) dmin = std::min(dmin, CellDistance(cand, p));
+        if (dmin > best_d) {
+          best_d = dmin;
+          best = cand;
+        }
+      }
+      posts.push_back(best);
+    }
+  }
+  GridD dist_post = CappedDistance(mask, posts);
+  for (const Cell& p : posts) park.AddPatrolPost(p);
+
+  GridD water(cfg.width, cfg.height, 0.0);
+  for (int i = 0; i < water.size(); ++i) {
+    water.AtIndex(i) = river_raster.AtIndex(i) ? 1.0 : 0.0;
+  }
+
+  park.AddFeature("elevation", std::move(elevation));
+  park.AddFeature("slope", std::move(slope));
+  park.AddFeature("forest_cover", std::move(forest));
+  park.AddFeature("animal_density", std::move(animal));
+  park.AddFeature("npp", std::move(npp));
+  park.AddFeature("dist_river", std::move(dist_river));
+  park.AddFeature("dist_road", std::move(dist_road));
+  park.AddFeature("dist_village", std::move(dist_village));
+  park.AddFeature("dist_patrol_post", std::move(dist_post));
+  park.AddFeature("dist_boundary", std::move(dist_boundary));
+  park.AddFeature("water", std::move(water));
+
+  NoiseParams extra;
+  extra.base_frequency = 0.15;
+  for (int f = 0; f < cfg.num_extra_features; ++f) {
+    park.AddFeature("noise_" + std::to_string(f),
+                    FractalNoise(cfg.width, cfg.height, extra,
+                                 rng.NextUint64()));
+  }
+  return park;
+}
+
+}  // namespace paws

@@ -1,0 +1,48 @@
+#ifndef PAWS_GEO_SYNTH_H_
+#define PAWS_GEO_SYNTH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geo/park.h"
+
+namespace paws {
+
+/// Shape of the synthetic protected area. The paper contrasts MFNP
+/// (circular, protected core, poaching at the edges) with QENP (elongated,
+/// center accessible from the boundary).
+enum class ParkShape {
+  kCircular,
+  kElongated,
+};
+
+/// Parameters of the synthetic park generator. Defaults produce a small
+/// park suitable for tests; presets in core/presets.h scale these to the
+/// paper's three parks.
+struct SynthParkConfig {
+  std::string name = "synthetic";
+  int width = 40;
+  int height = 30;
+  ParkShape shape = ParkShape::kCircular;
+  double boundary_noise = 0.15;  // irregularity of the park outline
+  int num_rivers = 3;
+  int num_roads = 2;
+  int num_villages = 4;   // villages sit just outside / at the boundary
+  int num_patrol_posts = 4;
+  /// Number of extra uninformative noise features appended so total feature
+  /// counts can match the paper's per-park k (Table I: 22 / 19 / 21).
+  int num_extra_features = 0;
+  uint64_t seed = 7;
+};
+
+/// Generates a synthetic park with the standard feature stack:
+///   elevation, slope, forest_cover, animal_density, npp,
+///   dist_river, dist_road, dist_village, dist_patrol_post, dist_boundary,
+///   water (binary river raster), plus `num_extra_features` noise layers.
+/// All features are rescaled to [0, 1] over in-park cells except distances,
+/// which are in km. Patrol posts are placed near the boundary, spaced apart.
+Park GenerateSyntheticPark(const SynthParkConfig& config);
+
+}  // namespace paws
+
+#endif  // PAWS_GEO_SYNTH_H_

@@ -1,0 +1,117 @@
+#include "ml/bagging.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paws {
+
+std::vector<int> BaggingClassifier::DrawBootstrap(const Dataset& data,
+                                                  Rng* rng) const {
+  const int n = data.size();
+  std::vector<int> rows;
+  if (config_.balanced) {
+    // Undersample negatives to the positive count; resample positives.
+    std::vector<int> pos, neg;
+    for (int i = 0; i < n; ++i) {
+      (data.label(i) == 1 ? pos : neg).push_back(i);
+    }
+    // With no positives (possible in tiny folds) fall back to plain
+    // bootstrap so Fit still succeeds.
+    if (pos.empty() || neg.empty()) {
+      for (int i = 0; i < n; ++i) {
+        rows.push_back(rng->UniformInt(n));
+      }
+      return rows;
+    }
+    const int m = static_cast<int>(pos.size());
+    for (int i = 0; i < m; ++i) {
+      rows.push_back(pos[rng->UniformInt(m)]);
+      rows.push_back(neg[rng->UniformInt(static_cast<int>(neg.size()))]);
+    }
+    return rows;
+  }
+  const int draws = std::max(1, static_cast<int>(config_.subsample * n));
+  for (int i = 0; i < draws; ++i) rows.push_back(rng->UniformInt(n));
+  return rows;
+}
+
+Status BaggingClassifier::Fit(const Dataset& data, Rng* rng) {
+  if (data.empty()) return Status::InvalidArgument("Bagging: empty data");
+  CheckOrDie(rng != nullptr, "BaggingClassifier::Fit requires an Rng");
+  members_.clear();
+  bootstrap_counts_.clear();
+  num_train_rows_ = data.size();
+  for (int b = 0; b < config_.num_estimators; ++b) {
+    const std::vector<int> rows = DrawBootstrap(data, rng);
+    if (config_.track_bootstrap_counts) {
+      std::vector<int> counts(num_train_rows_, 0);
+      for (int r : rows) ++counts[r];
+      bootstrap_counts_.push_back(std::move(counts));
+    }
+    auto member = base_->CloneUntrained();
+    PAWS_RETURN_IF_ERROR(member->Fit(data.Subset(rows), rng));
+    members_.push_back(std::move(member));
+  }
+  return Status::OK();
+}
+
+double BaggingClassifier::PredictProb(const std::vector<double>& x) const {
+  CheckOrDie(!members_.empty(), "BaggingClassifier::PredictProb before Fit");
+  double sum = 0.0;
+  for (const auto& m : members_) sum += m->PredictProb(x);
+  return sum / members_.size();
+}
+
+Prediction BaggingClassifier::PredictWithVariance(
+    const std::vector<double>& x) const {
+  CheckOrDie(!members_.empty(), "BaggingClassifier before Fit");
+  const int b = static_cast<int>(members_.size());
+  double mean = 0.0;
+  double second_moment = 0.0;  // E[v_i + m_i^2]
+  for (const auto& m : members_) {
+    const Prediction p = m->PredictWithVariance(x);
+    mean += p.prob;
+    second_moment += p.variance + p.prob * p.prob;
+  }
+  mean /= b;
+  second_moment /= b;
+  Prediction out;
+  out.prob = mean;
+  out.variance = std::max(0.0, second_moment - mean * mean);
+  return out;
+}
+
+std::unique_ptr<Classifier> BaggingClassifier::CloneUntrained() const {
+  return std::make_unique<BaggingClassifier>(base_->CloneUntrained(), config_);
+}
+
+StatusOr<double> BaggingClassifier::InfinitesimalJackknifeVariance(
+    const std::vector<double>& x) const {
+  if (!config_.track_bootstrap_counts || bootstrap_counts_.empty()) {
+    return Status::FailedPrecondition(
+        "IJ variance requires track_bootstrap_counts");
+  }
+  const int b = static_cast<int>(members_.size());
+  std::vector<double> preds(b);
+  double t_bar = 0.0;
+  for (int j = 0; j < b; ++j) {
+    preds[j] = members_[j]->PredictProb(x);
+    t_bar += preds[j];
+  }
+  t_bar /= b;
+  double var = 0.0;
+  for (int i = 0; i < num_train_rows_; ++i) {
+    double n_bar = 0.0;
+    for (int j = 0; j < b; ++j) n_bar += bootstrap_counts_[j][i];
+    n_bar /= b;
+    double cov = 0.0;
+    for (int j = 0; j < b; ++j) {
+      cov += (bootstrap_counts_[j][i] - n_bar) * (preds[j] - t_bar);
+    }
+    cov /= b;
+    var += cov * cov;
+  }
+  return var;
+}
+
+}  // namespace paws

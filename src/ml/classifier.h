@@ -1,0 +1,51 @@
+#ifndef PAWS_ML_CLASSIFIER_H_
+#define PAWS_ML_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace paws {
+
+/// A probability with an attached predictive-uncertainty score. For weak
+/// learners that do not model uncertainty, variance is 0.
+struct Prediction {
+  double prob = 0.0;
+  double variance = 0.0;
+};
+
+/// Abstract binary probabilistic classifier. All PAWS weak learners
+/// (decision trees, SVMs, Gaussian processes) and ensembles implement this.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on `data`. Stochastic learners draw from `rng` (never null).
+  virtual Status Fit(const Dataset& data, Rng* rng) = 0;
+
+  /// P(y = 1 | x). Must only be called after a successful Fit.
+  virtual double PredictProb(const std::vector<double>& x) const = 0;
+
+  /// Probability plus a predictive-uncertainty score. The default
+  /// implementation reports zero variance.
+  virtual Prediction PredictWithVariance(const std::vector<double>& x) const {
+    return Prediction{PredictProb(x), 0.0};
+  }
+
+  /// True if PredictWithVariance returns a model-intrinsic uncertainty
+  /// (Gaussian processes) rather than the zero default.
+  virtual bool ProvidesVariance() const { return false; }
+
+  /// A fresh, untrained copy configured identically (for ensembles).
+  virtual std::unique_ptr<Classifier> CloneUntrained() const = 0;
+};
+
+/// Convenience: scores every row of `data` with PredictProb.
+std::vector<double> PredictAll(const Classifier& model, const Dataset& data);
+
+}  // namespace paws
+
+#endif  // PAWS_ML_CLASSIFIER_H_

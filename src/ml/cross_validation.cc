@@ -1,0 +1,57 @@
+#include "ml/cross_validation.h"
+
+namespace paws {
+
+std::vector<std::vector<int>> StratifiedKFold(const std::vector<int>& labels,
+                                              int num_folds, Rng* rng) {
+  CheckOrDie(num_folds >= 2, "StratifiedKFold requires >= 2 folds");
+  CheckOrDie(rng != nullptr, "StratifiedKFold requires an Rng");
+  std::vector<int> pos, neg;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    (labels[i] == 1 ? pos : neg).push_back(static_cast<int>(i));
+  }
+  auto shuffle = [&](std::vector<int>* v) {
+    const std::vector<int> perm = rng->Permutation(static_cast<int>(v->size()));
+    std::vector<int> out(v->size());
+    for (size_t i = 0; i < v->size(); ++i) out[i] = (*v)[perm[i]];
+    *v = std::move(out);
+  };
+  shuffle(&pos);
+  shuffle(&neg);
+  std::vector<std::vector<int>> folds(num_folds);
+  int next = 0;
+  for (int i : pos) folds[next++ % num_folds].push_back(i);
+  for (int i : neg) folds[next++ % num_folds].push_back(i);
+  return folds;
+}
+
+StatusOr<std::vector<double>> OutOfFoldPredictions(const Classifier& proto,
+                                                   const Dataset& data,
+                                                   int num_folds, Rng* rng) {
+  if (data.size() < num_folds) {
+    return Status::InvalidArgument("OutOfFoldPredictions: too few rows");
+  }
+  const std::vector<std::vector<int>> folds =
+      StratifiedKFold(data.labels(), num_folds, rng);
+  std::vector<double> preds(data.size(), 0.0);
+  for (int f = 0; f < num_folds; ++f) {
+    std::vector<int> train_rows;
+    for (int g = 0; g < num_folds; ++g) {
+      if (g == f) continue;
+      train_rows.insert(train_rows.end(), folds[g].begin(), folds[g].end());
+    }
+    const Dataset train = data.Subset(train_rows);
+    const double base_rate = train.PositiveFraction();
+    const int pos = train.CountPositives();
+    if (pos == 0 || pos == train.size()) {
+      for (int i : folds[f]) preds[i] = base_rate;
+      continue;
+    }
+    auto model = proto.CloneUntrained();
+    PAWS_RETURN_IF_ERROR(model->Fit(train, rng));
+    for (int i : folds[f]) preds[i] = model->PredictProb(data.RowVector(i));
+  }
+  return preds;
+}
+
+}  // namespace paws

@@ -1,0 +1,28 @@
+#ifndef PAWS_ML_CROSS_VALIDATION_H_
+#define PAWS_ML_CROSS_VALIDATION_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+namespace paws {
+
+/// Stratified k-fold assignment: shuffles positives and negatives
+/// separately and deals them round-robin so each fold preserves the class
+/// ratio (essential under 1:200 imbalance). Returns, for each fold, the
+/// list of validation row indices. Every row appears in exactly one fold.
+std::vector<std::vector<int>> StratifiedKFold(const std::vector<int>& labels,
+                                              int num_folds, Rng* rng);
+
+/// Out-of-fold predictions: for each fold, trains a fresh clone of `proto`
+/// on the other folds and scores the held-out rows. The returned vector is
+/// indexed by dataset row. Rows whose training split degenerates (single
+/// class) receive the training-set base rate.
+StatusOr<std::vector<double>> OutOfFoldPredictions(const Classifier& proto,
+                                                   const Dataset& data,
+                                                   int num_folds, Rng* rng);
+
+}  // namespace paws
+
+#endif  // PAWS_ML_CROSS_VALIDATION_H_

@@ -1,0 +1,57 @@
+#ifndef PAWS_ML_DECISION_TREE_H_
+#define PAWS_ML_DECISION_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace paws {
+
+/// CART configuration.
+struct DecisionTreeConfig {
+  int max_depth = 10;
+  int min_samples_split = 4;
+  int min_samples_leaf = 2;
+  /// Number of features considered per split; 0 means all (plain CART).
+  /// Bagged trees use a random subset, making the ensemble a random forest.
+  int max_features = 0;
+};
+
+/// Binary CART decision tree with Gini impurity splits. Leaf probabilities
+/// are Laplace-smoothed positive fractions, (n_pos + 1) / (n + 2), so pure
+/// leaves never emit exactly 0 or 1.
+class DecisionTree : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeConfig config = {}) : config_(config) {}
+
+  Status Fit(const Dataset& data, Rng* rng) override;
+  double PredictProb(const std::vector<double>& x) const override;
+  std::unique_ptr<Classifier> CloneUntrained() const override;
+
+  /// Number of nodes in the fitted tree (0 before Fit).
+  int NodeCount() const { return static_cast<int>(nodes_.size()); }
+
+  /// Depth of the fitted tree (0 for a single leaf).
+  int Depth() const;
+
+ private:
+  struct Node {
+    // Internal node: feature/threshold and children; leaf: prob, left == -1.
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double prob = 0.5;
+  };
+
+  int BuildNode(const Dataset& data, std::vector<int>* indices, int begin,
+                int end, int depth, Rng* rng);
+
+  DecisionTreeConfig config_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace paws
+
+#endif  // PAWS_ML_DECISION_TREE_H_

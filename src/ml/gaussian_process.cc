@@ -1,0 +1,160 @@
+#include "ml/gaussian_process.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/special.h"
+
+namespace paws {
+
+Status GaussianProcessClassifier::Fit(const Dataset& data, Rng* rng) {
+  if (data.empty()) {
+    return Status::InvalidArgument("GaussianProcess: empty data");
+  }
+  CheckOrDie(rng != nullptr, "GaussianProcessClassifier::Fit requires an Rng");
+  standardizer_ = Standardizer::Fit(data);
+  kernel_ = config_.kernel;
+  if (config_.scale_length_with_dim) {
+    kernel_.length_scale *= std::sqrt(static_cast<double>(data.num_features()));
+  }
+
+  // Subsample to max_points: keep positives first (they are scarce and
+  // reliable), fill the remainder with random negatives.
+  std::vector<int> pos, neg;
+  for (int i = 0; i < data.size(); ++i) {
+    (data.label(i) == 1 ? pos : neg).push_back(i);
+  }
+  std::vector<int> chosen;
+  if (data.size() <= config_.max_points) {
+    for (int i = 0; i < data.size(); ++i) chosen.push_back(i);
+  } else {
+    if (static_cast<int>(pos.size()) > config_.max_points / 2) {
+      // Cap positives at half the budget to keep some negatives.
+      const std::vector<int> sub = rng->SampleWithoutReplacement(
+          static_cast<int>(pos.size()), config_.max_points / 2);
+      for (int s : sub) chosen.push_back(pos[s]);
+    } else {
+      chosen = pos;
+    }
+    const int want_neg = config_.max_points - static_cast<int>(chosen.size());
+    const int take = std::min<int>(want_neg, static_cast<int>(neg.size()));
+    const std::vector<int> sub =
+        rng->SampleWithoutReplacement(static_cast<int>(neg.size()), take);
+    for (int s : sub) chosen.push_back(neg[s]);
+  }
+
+  const int n = static_cast<int>(chosen.size());
+  x_train_.assign(n, {});
+  std::vector<double> y(n);  // +/- 1
+  for (int i = 0; i < n; ++i) {
+    x_train_[i] = standardizer_.Transform(data.RowVector(chosen[i]));
+    y[i] = data.label(chosen[i]) == 1 ? 1.0 : -1.0;
+  }
+
+  const Matrix k = kernel_.GramMatrix(x_train_);
+
+  // Laplace mode finding (R&W Algorithm 3.1) with the logistic likelihood:
+  //   p(y_i | f_i) = sigmoid(y_i f_i)
+  //   grad_i = (y_i + 1)/2 - pi_i          with pi_i = sigmoid(f_i)
+  //   W_ii  = pi_i (1 - pi_i)
+  std::vector<double> f(n, 0.0);
+  std::vector<double> grad(n), w(n);
+  double prev_objective = -1e300;
+  for (int it = 0; it < config_.max_newton_iterations; ++it) {
+    for (int i = 0; i < n; ++i) {
+      const double pi = Sigmoid(f[i]);
+      grad[i] = (y[i] + 1.0) / 2.0 - pi;
+      w[i] = std::max(1e-10, pi * (1.0 - pi));
+    }
+    // B = I + W^1/2 K W^1/2.
+    Matrix b(n, n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        b(i, j) = std::sqrt(w[i]) * k(i, j) * std::sqrt(w[j]);
+      }
+      b(i, i) += 1.0;
+    }
+    auto chol = CholeskyFactor(b);
+    if (!chol.ok()) return chol.status();
+    // b_vec = W f + grad;  a = b_vec - W^1/2 B^{-1} W^1/2 K b_vec.
+    std::vector<double> b_vec(n);
+    for (int i = 0; i < n; ++i) b_vec[i] = w[i] * f[i] + grad[i];
+    std::vector<double> kb = k.MultiplyVector(b_vec);
+    std::vector<double> rhs(n);
+    for (int i = 0; i < n; ++i) rhs[i] = std::sqrt(w[i]) * kb[i];
+    const std::vector<double> solved = CholeskySolve(chol.value(), rhs);
+    std::vector<double> a(n);
+    for (int i = 0; i < n; ++i) a[i] = b_vec[i] - std::sqrt(w[i]) * solved[i];
+    f = k.MultiplyVector(a);
+
+    // Objective: -0.5 a^T f + sum log sigmoid(y_i f_i).
+    double objective = -0.5 * Dot(a, f);
+    for (int i = 0; i < n; ++i) objective += -Log1pExp(-y[i] * f[i]);
+    if (std::fabs(objective - prev_objective) < config_.newton_tolerance) {
+      prev_objective = objective;
+      break;
+    }
+    prev_objective = objective;
+  }
+
+  // Cache quantities for prediction (Algorithm 3.2).
+  grad_log_lik_.assign(n, 0.0);
+  sqrt_w_.assign(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double pi = Sigmoid(f[i]);
+    grad_log_lik_[i] = (y[i] + 1.0) / 2.0 - pi;
+    sqrt_w_[i] = std::sqrt(std::max(1e-10, pi * (1.0 - pi)));
+  }
+  Matrix b(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      b(i, j) = sqrt_w_[i] * k(i, j) * sqrt_w_[j];
+    }
+    b(i, i) += 1.0;
+  }
+  auto chol = CholeskyFactor(b);
+  if (!chol.ok()) return chol.status();
+  chol_b_ = std::move(chol).value();
+  fitted_ = true;
+  return Status::OK();
+}
+
+void GaussianProcessClassifier::LatentPosterior(const std::vector<double>& z,
+                                                double* mean,
+                                                double* variance) const {
+  const int n = static_cast<int>(x_train_.size());
+  const std::vector<double> k_star = kernel_.CrossVector(x_train_, z);
+  *mean = Dot(k_star, grad_log_lik_);
+  // v = L \ (W^1/2 k_star); var = k(x,x) - v.v.
+  std::vector<double> rhs(n);
+  for (int i = 0; i < n; ++i) rhs[i] = sqrt_w_[i] * k_star[i];
+  const std::vector<double> v = ForwardSubstitute(chol_b_, rhs);
+  const double prior = kernel_.signal_variance;
+  *variance = std::max(0.0, prior - Dot(v, v));
+}
+
+double GaussianProcessClassifier::PredictProb(
+    const std::vector<double>& x) const {
+  return PredictWithVariance(x).prob;
+}
+
+Prediction GaussianProcessClassifier::PredictWithVariance(
+    const std::vector<double>& x) const {
+  CheckOrDie(fitted_, "GaussianProcessClassifier before Fit");
+  const std::vector<double> z = standardizer_.Transform(x);
+  double mean = 0.0, var = 0.0;
+  LatentPosterior(z, &mean, &var);
+  // MacKay's approximation of the logistic-Gaussian integral:
+  //   E[sigmoid(f)] ~= sigmoid(kappa * mean), kappa = 1/sqrt(1 + pi v / 8).
+  const double kappa = 1.0 / std::sqrt(1.0 + M_PI * var / 8.0);
+  Prediction out;
+  out.prob = Sigmoid(kappa * mean);
+  out.variance = var;
+  return out;
+}
+
+std::unique_ptr<Classifier> GaussianProcessClassifier::CloneUntrained() const {
+  return std::make_unique<GaussianProcessClassifier>(config_);
+}
+
+}  // namespace paws

@@ -1,0 +1,67 @@
+#ifndef PAWS_ML_GAUSSIAN_PROCESS_H_
+#define PAWS_ML_GAUSSIAN_PROCESS_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/kernel.h"
+#include "util/matrix.h"
+
+namespace paws {
+
+/// Gaussian-process binary classifier with a logistic likelihood, fitted by
+/// the Laplace approximation (Rasmussen & Williams 2006, Algorithms 3.1 and
+/// 3.2). This is the paper's key weak learner: it attaches an intrinsic
+/// predictive variance to each prediction, which the planner later exploits
+/// for robustness (Sec. IV, Eq. 1).
+///
+/// Exact GP inference is cubic in the number of training points, so Fit
+/// subsamples at most `max_points` rows (keeping all positives first —
+/// matching the library's treatment of unreliable negatives).
+struct GaussianProcessConfig {
+  RbfKernel kernel{/*length_scale=*/1.0, /*signal_variance=*/1.0};
+  /// If true (default) the kernel length scale is multiplied by
+  /// sqrt(num_features) at fit time. Standardized independent feature
+  /// vectors sit at expected squared distance 2k, so a dimension-blind
+  /// length scale would make the kernel vanish in high dimensions.
+  bool scale_length_with_dim = true;
+  int max_points = 250;
+  int max_newton_iterations = 30;
+  double newton_tolerance = 1e-6;
+};
+
+class GaussianProcessClassifier : public Classifier {
+ public:
+  explicit GaussianProcessClassifier(GaussianProcessConfig config = {})
+      : config_(config) {}
+
+  Status Fit(const Dataset& data, Rng* rng) override;
+  double PredictProb(const std::vector<double>& x) const override;
+
+  /// Returns the averaged predictive probability and the *latent* predictive
+  /// variance Var[f_*] — the paper's per-prediction uncertainty score.
+  Prediction PredictWithVariance(const std::vector<double>& x) const override;
+  bool ProvidesVariance() const override { return true; }
+  std::unique_ptr<Classifier> CloneUntrained() const override;
+
+  int num_inducing_points() const { return static_cast<int>(x_train_.size()); }
+
+ private:
+  /// Latent mean and variance at a standardized input.
+  void LatentPosterior(const std::vector<double>& z, double* mean,
+                       double* variance) const;
+
+  GaussianProcessConfig config_;
+  RbfKernel kernel_;  // effective kernel (length scale resolved at fit time)
+  Standardizer standardizer_;
+  std::vector<std::vector<double>> x_train_;  // standardized inducing inputs
+  std::vector<double> grad_log_lik_;          // d log p(y|f) at the mode
+  std::vector<double> sqrt_w_;                // W^{1/2} diagonal
+  Matrix chol_b_;                             // L with B = I + W^1/2 K W^1/2
+  bool fitted_ = false;
+};
+
+}  // namespace paws
+
+#endif  // PAWS_ML_GAUSSIAN_PROCESS_H_

@@ -1,0 +1,46 @@
+#include "ml/kernel.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace paws {
+
+double RbfKernel::operator()(const std::vector<double>& a,
+                             const std::vector<double>& b) const {
+  CheckOrDie(a.size() == b.size(), "RbfKernel: dimension mismatch");
+  double sq = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sq += d * d;
+  }
+  return signal_variance *
+         std::exp(-sq / (2.0 * length_scale * length_scale));
+}
+
+Matrix RbfKernel::GramMatrix(const std::vector<std::vector<double>>& x,
+                             double jitter) const {
+  const int n = static_cast<int>(x.size());
+  Matrix k(n, n);
+  for (int i = 0; i < n; ++i) {
+    k(i, i) = signal_variance + jitter;
+    for (int j = i + 1; j < n; ++j) {
+      const double v = (*this)(x[i], x[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+std::vector<double> RbfKernel::CrossVector(
+    const std::vector<std::vector<double>>& x_train,
+    const std::vector<double>& x_star) const {
+  std::vector<double> out(x_train.size());
+  for (size_t i = 0; i < x_train.size(); ++i) {
+    out[i] = (*this)(x_train[i], x_star);
+  }
+  return out;
+}
+
+}  // namespace paws

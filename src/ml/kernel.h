@@ -1,0 +1,32 @@
+#ifndef PAWS_ML_KERNEL_H_
+#define PAWS_ML_KERNEL_H_
+
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace paws {
+
+/// Radial basis function (squared-exponential) kernel:
+///   k(a, b) = signal_variance * exp(-|a - b|^2 / (2 * length_scale^2)).
+struct RbfKernel {
+  double length_scale = 1.0;
+  double signal_variance = 1.0;
+
+  double operator()(const std::vector<double>& a,
+                    const std::vector<double>& b) const;
+
+  /// Gram matrix K(X, X) with `jitter` added to the diagonal for numerical
+  /// stability of the Cholesky factorization.
+  Matrix GramMatrix(const std::vector<std::vector<double>>& x,
+                    double jitter = 1e-8) const;
+
+  /// Cross-covariances k(x_*, x_i) for all training points.
+  std::vector<double> CrossVector(
+      const std::vector<std::vector<double>>& x_train,
+      const std::vector<double>& x_star) const;
+};
+
+}  // namespace paws
+
+#endif  // PAWS_ML_KERNEL_H_

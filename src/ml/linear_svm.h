@@ -1,0 +1,46 @@
+#ifndef PAWS_ML_LINEAR_SVM_H_
+#define PAWS_ML_LINEAR_SVM_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace paws {
+
+/// Linear SVM trained with Pegasos (stochastic sub-gradient on the hinge
+/// loss), with probabilities calibrated by Platt scaling on the training
+/// margins. Features are standardized internally. This is the paper's
+/// weakest weak learner — SVB rows in Table II sit near 0.5 AUC on the
+/// hardest datasets — and is included as the faithful baseline.
+struct LinearSvmConfig {
+  double lambda = 1e-3;  // L2 regularization strength
+  int epochs = 20;       // passes over the data
+  int platt_iterations = 50;
+};
+
+class LinearSvm : public Classifier {
+ public:
+  explicit LinearSvm(LinearSvmConfig config = {}) : config_(config) {}
+
+  Status Fit(const Dataset& data, Rng* rng) override;
+  double PredictProb(const std::vector<double>& x) const override;
+  std::unique_ptr<Classifier> CloneUntrained() const override;
+
+  /// Raw decision value w.x + b on standardized features.
+  double DecisionValue(const std::vector<double>& x) const;
+
+ private:
+  LinearSvmConfig config_;
+  Standardizer standardizer_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  // Platt scaling parameters: p = sigmoid(-(a*f + b)).
+  double platt_a_ = -1.0;
+  double platt_b_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace paws
+
+#endif  // PAWS_ML_LINEAR_SVM_H_

@@ -1,0 +1,109 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/classifier.h"
+
+namespace paws {
+
+std::vector<double> PredictAll(const Classifier& model, const Dataset& data) {
+  std::vector<double> out(data.size());
+  for (int i = 0; i < data.size(); ++i) {
+    out[i] = model.PredictProb(data.RowVector(i));
+  }
+  return out;
+}
+
+StatusOr<double> AucRoc(const std::vector<double>& scores,
+                        const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("AucRoc: size mismatch");
+  }
+  const int n = static_cast<int>(scores.size());
+  int n_pos = 0;
+  for (int y : labels) n_pos += y;
+  const int n_neg = n - n_pos;
+  if (n_pos == 0 || n_neg == 0) {
+    return Status::InvalidArgument(
+        "AucRoc requires both positive and negative labels");
+  }
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return scores[a] < scores[b]; });
+  // Average ranks over tie groups.
+  std::vector<double> rank(n);
+  int i = 0;
+  while (i < n) {
+    int j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = 0.5 * (i + j) + 1.0;  // 1-based
+    for (int k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0.0;
+  for (int k = 0; k < n; ++k) {
+    if (labels[k] == 1) pos_rank_sum += rank[k];
+  }
+  const double auc =
+      (pos_rank_sum - 0.5 * n_pos * (n_pos + 1)) /
+      (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+  return auc;
+}
+
+double LogLoss(const std::vector<double>& probs, const std::vector<int>& labels,
+               double eps) {
+  CheckOrDie(probs.size() == labels.size(), "LogLoss: size mismatch");
+  CheckOrDie(!probs.empty(), "LogLoss: empty input");
+  double total = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const double p = std::clamp(probs[i], eps, 1.0 - eps);
+    total += labels[i] == 1 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return total / probs.size();
+}
+
+double BrierScore(const std::vector<double>& probs,
+                  const std::vector<int>& labels) {
+  CheckOrDie(probs.size() == labels.size(), "BrierScore: size mismatch");
+  CheckOrDie(!probs.empty(), "BrierScore: empty input");
+  double total = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const double d = probs[i] - labels[i];
+    total += d * d;
+  }
+  return total / probs.size();
+}
+
+double Accuracy(const std::vector<double>& probs, const std::vector<int>& labels,
+                double threshold) {
+  CheckOrDie(probs.size() == labels.size(), "Accuracy: size mismatch");
+  CheckOrDie(!probs.empty(), "Accuracy: empty input");
+  int correct = 0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const int pred = probs[i] >= threshold ? 1 : 0;
+    if (pred == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / probs.size();
+}
+
+PrecisionRecall PrecisionRecallAt(const std::vector<double>& probs,
+                                  const std::vector<int>& labels,
+                                  double threshold) {
+  CheckOrDie(probs.size() == labels.size(), "PrecisionRecall: size mismatch");
+  int tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const int pred = probs[i] >= threshold ? 1 : 0;
+    if (pred == 1 && labels[i] == 1) ++tp;
+    if (pred == 1 && labels[i] == 0) ++fp;
+    if (pred == 0 && labels[i] == 1) ++fn;
+  }
+  PrecisionRecall pr;
+  if (tp + fp > 0) pr.precision = static_cast<double>(tp) / (tp + fp);
+  if (tp + fn > 0) pr.recall = static_cast<double>(tp) / (tp + fn);
+  return pr;
+}
+
+}  // namespace paws

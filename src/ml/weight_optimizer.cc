@@ -1,0 +1,111 @@
+#include "ml/weight_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paws {
+
+namespace {
+
+Status ValidateProblem(const WeightOptimizationProblem& p) {
+  if (p.probs.empty()) {
+    return Status::InvalidArgument("weight optimizer: no validation rows");
+  }
+  const size_t n = p.probs.size();
+  const size_t num_classifiers = p.probs[0].size();
+  if (num_classifiers == 0) {
+    return Status::InvalidArgument("weight optimizer: no classifiers");
+  }
+  if (p.qualified.size() != n || p.labels.size() != n) {
+    return Status::InvalidArgument("weight optimizer: size mismatch");
+  }
+  for (size_t r = 0; r < n; ++r) {
+    if (p.probs[r].size() != num_classifiers ||
+        p.qualified[r].size() != num_classifiers) {
+      return Status::InvalidArgument("weight optimizer: ragged rows");
+    }
+    bool any = false;
+    for (uint8_t q : p.qualified[r]) any = any || q;
+    if (!any) {
+      return Status::InvalidArgument(
+          "weight optimizer: row with no qualified classifier");
+    }
+  }
+  return Status::OK();
+}
+
+// Mixture probability for one row under weights w.
+double RowMixture(const WeightOptimizationProblem& p, int r,
+                  const std::vector<double>& w, double* total_weight) {
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (!p.qualified[r][i]) continue;
+    num += w[i] * p.probs[r][i];
+    den += w[i];
+  }
+  *total_weight = den;
+  return den > 0.0 ? num / den : 0.5;
+}
+
+}  // namespace
+
+StatusOr<double> MixtureLogLoss(const WeightOptimizationProblem& problem,
+                                const std::vector<double>& weights,
+                                double prob_clip) {
+  PAWS_RETURN_IF_ERROR(ValidateProblem(problem));
+  if (weights.size() != problem.probs[0].size()) {
+    return Status::InvalidArgument("MixtureLogLoss: weight width mismatch");
+  }
+  const int n = static_cast<int>(problem.probs.size());
+  double loss = 0.0;
+  for (int r = 0; r < n; ++r) {
+    double den = 0.0;
+    const double p =
+        std::clamp(RowMixture(problem, r, weights, &den), prob_clip,
+                   1.0 - prob_clip);
+    loss += problem.labels[r] == 1 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return loss / n;
+}
+
+StatusOr<std::vector<double>> OptimizeEnsembleWeights(
+    const WeightOptimizationProblem& problem,
+    const WeightOptimizerConfig& config) {
+  PAWS_RETURN_IF_ERROR(ValidateProblem(problem));
+  const int n = static_cast<int>(problem.probs.size());
+  const int num_classifiers = static_cast<int>(problem.probs[0].size());
+
+  std::vector<double> w(num_classifiers, 1.0 / num_classifiers);
+  std::vector<double> grad(num_classifiers);
+  for (int it = 0; it < config.iterations; ++it) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (int r = 0; r < n; ++r) {
+      double den = 0.0;
+      const double p_raw = RowMixture(problem, r, w, &den);
+      const double p =
+          std::clamp(p_raw, config.prob_clip, 1.0 - config.prob_clip);
+      // dL/dp for binary cross entropy.
+      const double dl_dp =
+          problem.labels[r] == 1 ? -1.0 / p : 1.0 / (1.0 - p);
+      // dp/dw_i = q_i (probs_i - p_raw) / den.
+      for (int i = 0; i < num_classifiers; ++i) {
+        if (!problem.qualified[r][i] || den <= 0.0) continue;
+        grad[i] += dl_dp * (problem.probs[r][i] - p_raw) / den;
+      }
+    }
+    for (double& g : grad) g /= n;
+    // Exponentiated-gradient step keeps w on the simplex.
+    double z = 0.0;
+    for (int i = 0; i < num_classifiers; ++i) {
+      w[i] *= std::exp(-config.learning_rate * grad[i]);
+      // Floor avoids weights collapsing to exactly 0, which would leave
+      // rows qualified only for that classifier without a vote.
+      w[i] = std::max(w[i], 1e-12);
+      z += w[i];
+    }
+    for (double& wi : w) wi /= z;
+  }
+  return w;
+}
+
+}  // namespace paws

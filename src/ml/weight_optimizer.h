@@ -1,0 +1,46 @@
+#ifndef PAWS_ML_WEIGHT_OPTIMIZER_H_
+#define PAWS_ML_WEIGHT_OPTIMIZER_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace paws {
+
+/// Input to the ensemble-weight optimization: per-classifier validation
+/// predictions with a qualification mask. Row r of `probs` holds the
+/// predictions of all I classifiers on validation point r; `qualified[r][i]`
+/// says whether classifier i may vote on point r (in iWare-E, classifier
+/// C_{theta_i} is qualified when theta_i <= the point's patrol effort).
+/// Each row must have at least one qualified classifier.
+struct WeightOptimizationProblem {
+  std::vector<std::vector<double>> probs;     // n x I
+  std::vector<std::vector<uint8_t>> qualified;  // n x I
+  std::vector<int> labels;                    // n
+};
+
+struct WeightOptimizerConfig {
+  int iterations = 300;
+  double learning_rate = 0.5;
+  double prob_clip = 1e-6;
+};
+
+/// Finds simplex weights w (w_i >= 0, sum = 1) minimizing the log loss of
+/// the qualified weighted mixture
+///   p_r = sum_i q_{ri} w_i probs_{ri} / sum_i q_{ri} w_i
+/// via exponentiated-gradient descent — the paper's "systematic way to
+/// compute optimal classifier weights" (Sec. IV enhancement 1). Returns the
+/// optimized weights.
+StatusOr<std::vector<double>> OptimizeEnsembleWeights(
+    const WeightOptimizationProblem& problem,
+    const WeightOptimizerConfig& config = {});
+
+/// Log loss of the qualified mixture under the given weights (the objective
+/// OptimizeEnsembleWeights minimizes); exposed for tests and ablations.
+StatusOr<double> MixtureLogLoss(const WeightOptimizationProblem& problem,
+                                const std::vector<double>& weights,
+                                double prob_clip = 1e-6);
+
+}  // namespace paws
+
+#endif  // PAWS_ML_WEIGHT_OPTIMIZER_H_

@@ -1,0 +1,43 @@
+#include "plan/exploration.h"
+
+#include "plan/robust.h"
+#include "util/status.h"
+
+namespace paws {
+
+std::function<double(double)> MakeExplorationUtility(
+    std::function<double(double)> g, std::function<double(double)> nu,
+    const ExplorationParams& params) {
+  CheckOrDie(params.bonus >= 0.0, "ExplorationParams: bonus must be >= 0");
+  return [g = std::move(g), nu = std::move(nu), params](double c) {
+    return g(c) + params.bonus * SquashUncertainty(nu(c), params.squash_scale);
+  };
+}
+
+std::vector<std::function<double(double)>> MakeExplorationUtilities(
+    const std::vector<std::function<double(double)>>& g,
+    const std::vector<std::function<double(double)>>& nu,
+    const ExplorationParams& params) {
+  CheckOrDie(g.size() == nu.size(), "MakeExplorationUtilities: size mismatch");
+  std::vector<std::function<double(double)>> out;
+  out.reserve(g.size());
+  for (size_t v = 0; v < g.size(); ++v) {
+    out.push_back(MakeExplorationUtility(g[v], nu[v], params));
+  }
+  return out;
+}
+
+double MeanPatrolledUncertainty(
+    const std::vector<double>& coverage,
+    const std::vector<std::function<double(double)>>& nu) {
+  CheckOrDie(coverage.size() == nu.size(),
+             "MeanPatrolledUncertainty: size mismatch");
+  double weighted = 0.0, total = 0.0;
+  for (size_t v = 0; v < coverage.size(); ++v) {
+    weighted += coverage[v] * nu[v](coverage[v]);
+    total += coverage[v];
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+}  // namespace paws

@@ -1,0 +1,46 @@
+#ifndef PAWS_PLAN_EXPLORATION_H_
+#define PAWS_PLAN_EXPLORATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/status.h"
+
+namespace paws {
+
+/// Exploration-mode patrol objectives. The paper (Sec. V-B) points out that
+/// the uncertainty maps "could also be used to plan patrol routes that
+/// explicitly target areas with high model uncertainty in order to reduce
+/// the existing data bias". This is the optimistic mirror image of the
+/// robust objective in plan/robust.h:
+///   U_v(c) = g_v(c) + bonus * squash(nu_v(c))
+/// sends patrols where the model knows least (bonus > 0), trading
+/// immediate detections for future data quality.
+struct ExplorationParams {
+  /// Weight of the uncertainty bonus relative to detection probability.
+  double bonus = 1.0;
+  /// Logistic squashing scale, as in RobustParams.
+  double squash_scale = 0.5;
+};
+
+/// Builds U(c) = g(c) + bonus * squash(nu(c)).
+std::function<double(double)> MakeExplorationUtility(
+    std::function<double(double)> g, std::function<double(double)> nu,
+    const ExplorationParams& params);
+
+/// Vector version: one exploration utility per cell.
+std::vector<std::function<double(double)>> MakeExplorationUtilities(
+    const std::vector<std::function<double(double)>>& g,
+    const std::vector<std::function<double(double)>>& nu,
+    const ExplorationParams& params);
+
+/// Coverage-weighted mean raw uncertainty of a plan — the quantity
+/// exploration maximizes and robustness minimizes; used to verify the two
+/// modes pull in opposite directions.
+double MeanPatrolledUncertainty(
+    const std::vector<double>& coverage,
+    const std::vector<std::function<double(double)>>& nu);
+
+}  // namespace paws
+
+#endif  // PAWS_PLAN_EXPLORATION_H_

@@ -1,0 +1,77 @@
+#include "plan/graph.h"
+
+#include <deque>
+
+namespace paws {
+
+PlanningGraph BuildPlanningGraph(const Park& park, const Cell& post,
+                                 int radius) {
+  CheckOrDie(park.mask().InBounds(post) && park.mask().At(post),
+             "BuildPlanningGraph: post outside park");
+  CheckOrDie(radius >= 1, "BuildPlanningGraph: radius must be >= 1");
+
+  // BFS from the post collecting cells within the radius.
+  const int post_id = park.DenseIdOf(post);
+  std::vector<int> dist(park.num_cells(), -1);
+  std::deque<int> queue = {post_id};
+  dist[post_id] = 0;
+  std::vector<int> cells = {post_id};
+  while (!queue.empty()) {
+    const int cur = queue.front();
+    queue.pop_front();
+    if (dist[cur] >= radius) continue;
+    const Cell c = park.CellOf(cur);
+    static const int kDx[4] = {1, -1, 0, 0};
+    static const int kDy[4] = {0, 0, 1, -1};
+    for (int k = 0; k < 4; ++k) {
+      const Cell n{c.x + kDx[k], c.y + kDy[k]};
+      if (!park.mask().InBounds(n) || !park.mask().At(n)) continue;
+      const int nid = park.DenseIdOf(n);
+      if (dist[nid] != -1) continue;
+      dist[nid] = dist[cur] + 1;
+      queue.push_back(nid);
+      cells.push_back(nid);
+    }
+  }
+
+  PlanningGraph graph;
+  graph.park_cell_ids = cells;
+  std::vector<int> local_of(park.num_cells(), -1);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    local_of[cells[i]] = static_cast<int>(i);
+  }
+  graph.source = local_of[post_id];
+  graph.neighbors.resize(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    graph.neighbors[i].push_back(static_cast<int>(i));  // waiting allowed
+    const Cell c = park.CellOf(cells[i]);
+    static const int kDx[4] = {1, -1, 0, 0};
+    static const int kDy[4] = {0, 0, 1, -1};
+    for (int k = 0; k < 4; ++k) {
+      const Cell n{c.x + kDx[k], c.y + kDy[k]};
+      if (!park.mask().InBounds(n) || !park.mask().At(n)) continue;
+      const int nid = park.DenseIdOf(n);
+      if (local_of[nid] >= 0) graph.neighbors[i].push_back(local_of[nid]);
+    }
+  }
+  return graph;
+}
+
+std::vector<int> DistancesFromSource(const PlanningGraph& graph) {
+  std::vector<int> dist(graph.num_cells(), -1);
+  std::deque<int> queue = {graph.source};
+  dist[graph.source] = 0;
+  while (!queue.empty()) {
+    const int cur = queue.front();
+    queue.pop_front();
+    for (int n : graph.neighbors[cur]) {
+      if (dist[n] == -1) {
+        dist[n] = dist[cur] + 1;
+        queue.push_back(n);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace paws

@@ -1,0 +1,36 @@
+#ifndef PAWS_PLAN_GRAPH_H_
+#define PAWS_PLAN_GRAPH_H_
+
+#include <vector>
+
+#include "geo/park.h"
+
+namespace paws {
+
+/// Planning subgraph around a patrol post. The paper plans per patrol post
+/// on the park's grid graph G = (V, E); we restrict to the cells reachable
+/// within `radius` steps of the post, which bounds MILP size while leaving
+/// the reachable region within a T-step patrol unchanged for radius >= T/2.
+///
+/// Cells are re-indexed locally: 0..num_cells()-1, with `park_cell_ids`
+/// mapping back to the park's dense ids. Every cell's neighbor list
+/// contains itself (waiting in a cell is allowed and accumulates effort).
+struct PlanningGraph {
+  std::vector<int> park_cell_ids;          // local -> park dense id
+  std::vector<std::vector<int>> neighbors; // local adjacency incl. self-loop
+  int source = 0;                          // local index of the patrol post
+
+  int num_cells() const { return static_cast<int>(park_cell_ids.size()); }
+};
+
+/// Builds the radius-bounded planning graph around `post` (must be an
+/// in-park cell). BFS over the park's 4-neighborhood.
+PlanningGraph BuildPlanningGraph(const Park& park, const Cell& post,
+                                 int radius);
+
+/// Steps (graph distance) from the source to each local cell.
+std::vector<int> DistancesFromSource(const PlanningGraph& graph);
+
+}  // namespace paws
+
+#endif  // PAWS_PLAN_GRAPH_H_

@@ -1,0 +1,50 @@
+#include "plan/greedy.h"
+
+namespace paws {
+
+StatusOr<PatrolPlan> GreedyPlan(
+    const PlanningGraph& graph,
+    const std::vector<std::function<double(double)>>& utility,
+    const PlannerConfig& config) {
+  if (static_cast<int>(utility.size()) != graph.num_cells()) {
+    return Status::InvalidArgument(
+        "GreedyPlan: one utility function per cell required");
+  }
+  if (config.horizon < 2 || config.num_patrols < 1) {
+    return Status::InvalidArgument("GreedyPlan: bad horizon or num_patrols");
+  }
+  const std::vector<int> dist = DistancesFromSource(graph);
+
+  PatrolPlan plan;
+  plan.coverage.assign(graph.num_cells(), 0.0);
+  // Marginal gain of adding one more km of effort at cell v.
+  auto marginal = [&](int v) {
+    return utility[v](plan.coverage[v] + 1.0) - utility[v](plan.coverage[v]);
+  };
+
+  for (int k = 0; k < config.num_patrols; ++k) {
+    int cur = graph.source;
+    plan.coverage[cur] += 1.0;  // presence at t = 0
+    for (int t = 1; t < config.horizon; ++t) {
+      const int remaining = config.horizon - 1 - t;
+      int best = -1;
+      double best_gain = -kLpInfinity;
+      for (int n : graph.neighbors[cur]) {
+        if (dist[n] > remaining) continue;  // must be able to return
+        const double gain = marginal(n);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = n;
+        }
+      }
+      if (best < 0) best = cur;  // should not happen on valid graphs
+      cur = best;
+      plan.coverage[cur] += 1.0;
+    }
+  }
+  plan.objective = EvaluateCoverage(plan.coverage, utility);
+  plan.proven_optimal = false;
+  return plan;
+}
+
+}  // namespace paws

@@ -1,0 +1,24 @@
+#ifndef PAWS_PLAN_GREEDY_H_
+#define PAWS_PLAN_GREEDY_H_
+
+#include <functional>
+#include <vector>
+
+#include "plan/graph.h"
+#include "plan/planner.h"
+
+namespace paws {
+
+/// Greedy baseline planner: simulates the K patrols sequentially; each
+/// patrol walks `horizon` steps, at every step moving to the feasible
+/// neighbor (one that still allows returning to the post in time) with the
+/// largest marginal utility gain. Feasible by construction, optimal only by
+/// luck — it is the baseline for the MILP-planner ablation (DESIGN.md A4).
+StatusOr<PatrolPlan> GreedyPlan(
+    const PlanningGraph& graph,
+    const std::vector<std::function<double(double)>>& utility,
+    const PlannerConfig& config);
+
+}  // namespace paws
+
+#endif  // PAWS_PLAN_GREEDY_H_

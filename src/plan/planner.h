@@ -1,0 +1,73 @@
+#ifndef PAWS_PLAN_PLANNER_H_
+#define PAWS_PLAN_PLANNER_H_
+
+#include <functional>
+#include <vector>
+
+#include "plan/graph.h"
+#include "solver/milp.h"
+#include "solver/pwl.h"
+
+namespace paws {
+
+/// Configuration of the prescriptive patrol-planning MILP (paper problem P,
+/// Sec. VI-B). A patrol is a path of `horizon` time steps on the
+/// time-unrolled planning graph, beginning and ending at the patrol post;
+/// the defender runs `num_patrols` (K) such patrols, so per-cell effort is
+/// c_v = K * (expected visits of v).
+struct PlannerConfig {
+  int horizon = 8;       // T: time steps per patrol (km walked)
+  int num_patrols = 4;   // K
+  int pwl_segments = 10; // m: segments in each PWL approximation
+  /// Domain cap for per-cell effort; 0 means horizon * num_patrols (no
+  /// artificial cap). Smaller caps concentrate PWL resolution where the
+  /// model is most accurate.
+  double max_cell_effort = 0.0;
+  MilpOptions milp;
+};
+
+/// The prescriptive output: per-cell coverage (effort, km) plus solver
+/// metadata.
+struct PatrolPlan {
+  /// Effort per local planning-graph cell (c_v in the paper).
+  std::vector<double> coverage;
+  /// Objective value sum_v U_v^PWL(c_v).
+  double objective = 0.0;
+  /// Whether the MILP was solved to optimality (vs. node-limit incumbent).
+  bool proven_optimal = true;
+  double mip_gap = 0.0;
+  long simplex_iterations = 0;
+  int nodes_explored = 0;
+};
+
+/// One weighted patrol route from a flow decomposition of the plan.
+struct PatrolRoute {
+  double weight = 0.0;            // fraction of patrols using this route
+  std::vector<int> cells;         // local cell per time step (size = horizon)
+};
+
+/// Plans patrols that maximize sum_v U_v(c_v), where `utility[v]` maps
+/// per-cell effort to expected utility (a black-box function sampled into a
+/// PWL approximation with `config.pwl_segments` segments). Fails with
+/// InvalidArgument on shape mismatches; propagates solver failures.
+StatusOr<PatrolPlan> PlanPatrols(
+    const PlanningGraph& graph,
+    const std::vector<std::function<double(double)>>& utility,
+    const PlannerConfig& config);
+
+/// As PlanPatrols but also returns the flow decomposition of the defender
+/// mixed strategy into explicit routes (at most |E'| routes).
+StatusOr<PatrolPlan> PlanPatrolsWithRoutes(
+    const PlanningGraph& graph,
+    const std::vector<std::function<double(double)>>& utility,
+    const PlannerConfig& config, std::vector<PatrolRoute>* routes);
+
+/// Evaluates a coverage vector under arbitrary per-cell utilities — used to
+/// score a plan on "ground truth" utilities it was not optimized for
+/// (Fig. 8's evaluation protocol).
+double EvaluateCoverage(const std::vector<double>& coverage,
+                        const std::vector<std::function<double(double)>>& utility);
+
+}  // namespace paws
+
+#endif  // PAWS_PLAN_PLANNER_H_

@@ -1,0 +1,48 @@
+#ifndef PAWS_PLAN_ROBUST_H_
+#define PAWS_PLAN_ROBUST_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/status.h"
+
+namespace paws {
+
+/// Parameters of the paper's robust (risk-averse) patrol objective, Eq. 4:
+///   U_v(c) = g_v(c) - beta * g_v(c) * nu_v(c)
+/// where g is detection probability, nu the squashed uncertainty score, and
+/// beta in [0, 1] tunes robustness (beta = 0: ignore uncertainty; beta = 1:
+/// fully robust).
+struct RobustParams {
+  double beta = 1.0;
+  /// Scale of the logistic squashing that maps raw GP variances to [0, 1):
+  /// squash(v) = 2 * sigmoid(v / scale) - 1.
+  double squash_scale = 0.5;
+};
+
+/// Maps a raw (non-negative) uncertainty score to [0, 1) via the logistic
+/// squashing function the paper describes.
+double SquashUncertainty(double raw_variance, double scale);
+
+/// Builds U_v(c) = g(c) * (1 - beta * squash(nu(c))) from black-box g and
+/// raw-variance nu. The result is non-negative whenever g is.
+std::function<double(double)> MakeRobustUtility(
+    std::function<double(double)> g, std::function<double(double)> nu,
+    const RobustParams& params);
+
+/// Vector version: one robust utility per cell.
+std::vector<std::function<double(double)>> MakeRobustUtilities(
+    const std::vector<std::function<double(double)>>& g,
+    const std::vector<std::function<double(double)>>& nu,
+    const RobustParams& params);
+
+/// The evaluation functional of Fig. 8: U_beta(C) = sum_v g_v(c_v) *
+/// (1 - beta * squash(nu_v(c_v))) for a coverage vector C.
+double RobustObjective(const std::vector<double>& coverage,
+                       const std::vector<std::function<double(double)>>& g,
+                       const std::vector<std::function<double(double)>>& nu,
+                       const RobustParams& params);
+
+}  // namespace paws
+
+#endif  // PAWS_PLAN_ROBUST_H_

@@ -1,0 +1,80 @@
+#include "sim/behavior.h"
+
+#include <cmath>
+
+#include "util/special.h"
+
+namespace paws {
+
+namespace {
+
+// Feature value by name, or 0 if the park lacks it.
+double FeatureOr0(const Park& park, const std::string& name, int cell_id) {
+  const auto idx = park.FeatureIndex(name);
+  if (!idx.ok()) return 0.0;
+  return park.feature(idx.value()).At(park.CellOf(cell_id));
+}
+
+}  // namespace
+
+AttackModel::AttackModel(const Park& park, const BehaviorConfig& config)
+    : config_(config) {
+  CheckOrDie(config.season_period >= 1, "season_period must be >= 1");
+  const int n = park.num_cells();
+  static_logit_.resize(n);
+  seasonal_sign_.resize(n);
+  const double mid_y = 0.5 * (park.height() - 1);
+  for (int id = 0; id < n; ++id) {
+    double logit = config.intercept;
+    logit += config.w_animal_density * FeatureOr0(park, "animal_density", id);
+    logit += config.w_dist_village * FeatureOr0(park, "dist_village", id);
+    logit += config.w_dist_road * FeatureOr0(park, "dist_road", id);
+    logit += config.w_dist_boundary * FeatureOr0(park, "dist_boundary", id);
+    logit +=
+        config.w_dist_patrol_post * FeatureOr0(park, "dist_patrol_post", id);
+    logit += config.w_forest_cover * FeatureOr0(park, "forest_cover", id);
+    logit += config.w_slope * FeatureOr0(park, "slope", id);
+    // Nonlinear terms (see BehaviorConfig): prey x concealment interaction
+    // and a Gaussian band of preferred village distance.
+    const double animal = FeatureOr0(park, "animal_density", id);
+    const double forest = FeatureOr0(park, "forest_cover", id);
+    logit += config.w_animal_forest * (2.0 * animal - 1.0) *
+             (2.0 * forest - 1.0);
+    const double dv = FeatureOr0(park, "dist_village", id);
+    const double z =
+        (dv - config.village_band_center_km) / config.village_band_width_km;
+    logit += config.w_village_band * std::exp(-0.5 * z * z);
+    static_logit_[id] = logit;
+    // North half (small y) gets +1: more attacks in the dry phase.
+    seasonal_sign_[id] = park.CellOf(id).y < mid_y ? 1.0 : -1.0;
+  }
+}
+
+double AttackModel::AttackProbability(int cell_id, int t,
+                                      double prev_effort) const {
+  CheckOrDie(cell_id >= 0 && cell_id < num_cells(),
+             "AttackProbability: bad cell id");
+  double logit = static_logit_[cell_id] + config_.deterrence * prev_effort;
+  if (config_.seasonal_amplitude != 0.0) {
+    const double phase =
+        2.0 * M_PI * (t % config_.season_period) / config_.season_period;
+    logit += config_.seasonal_amplitude * seasonal_sign_[cell_id] *
+             std::cos(phase);
+  }
+  return Sigmoid(logit);
+}
+
+std::vector<uint8_t> AttackModel::SampleAttacks(
+    int t, const std::vector<double>& prev_effort, Rng* rng) const {
+  CheckOrDie(static_cast<int>(prev_effort.size()) == num_cells(),
+             "SampleAttacks: effort vector size mismatch");
+  CheckOrDie(rng != nullptr, "SampleAttacks requires an Rng");
+  std::vector<uint8_t> attacks(num_cells(), 0);
+  for (int id = 0; id < num_cells(); ++id) {
+    attacks[id] =
+        rng->Bernoulli(AttackProbability(id, t, prev_effort[id])) ? 1 : 0;
+  }
+  return attacks;
+}
+
+}  // namespace paws

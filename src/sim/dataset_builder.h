@@ -1,0 +1,48 @@
+#ifndef PAWS_SIM_DATASET_BUILDER_H_
+#define PAWS_SIM_DATASET_BUILDER_H_
+
+#include <vector>
+
+#include "geo/park.h"
+#include "ml/dataset.h"
+#include "sim/patrol_sim.h"
+
+namespace paws {
+
+/// Options for converting a PatrolHistory into a supervised dataset,
+/// following the paper's dataset processing (Sec. III-B): one row per
+/// *patrolled* (cell, time step); features are the park's static geospatial
+/// features plus one time-variant covariate, the previous step's patrol
+/// coverage c_{t-1,n} (deterrence proxy); the label is whether illegal
+/// activity was detected; the effort channel is the current effort c_{t,n}.
+struct DatasetBuilderOptions {
+  int t_begin = 0;
+  int t_end = -1;  // -1 = all steps
+  /// Include unpatrolled cells as (unreliable) negative rows with zero
+  /// effort. The paper's datasets contain only patrolled points; risk-map
+  /// prediction uses BuildPredictionRows instead.
+  bool include_unpatrolled = false;
+};
+
+/// Builds a Dataset from the history. Feature width = park.num_features()+1
+/// (the trailing feature is the lagged patrol coverage).
+Dataset BuildDataset(const Park& park, const PatrolHistory& history,
+                     const DatasetBuilderOptions& options = {});
+
+/// Builds one unlabeled row per park cell for risk-map prediction at time
+/// step `t` (lagged coverage read from `history` when t > 0; zero
+/// otherwise). Labels are filled with the ground-truth attack indicator
+/// when `attacked` is non-null (useful for evaluation against truth);
+/// otherwise 0. The effort channel is `assumed_effort` for every row —
+/// "what would we detect if we patrolled each cell this hard?"
+Dataset BuildPredictionRows(const Park& park, const PatrolHistory& history,
+                            int t, double assumed_effort,
+                            const std::vector<uint8_t>* attacked = nullptr);
+
+/// Fraction of positive labels among rows whose current effort is >= the
+/// q-th percentile of positive-effort rows; reproduces Fig. 4's x-axis.
+double PositiveRateAboveEffortPercentile(const Dataset& data, double q);
+
+}  // namespace paws
+
+#endif  // PAWS_SIM_DATASET_BUILDER_H_

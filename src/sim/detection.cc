@@ -1,0 +1,13 @@
+#include "sim/detection.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paws {
+
+double DetectionModel::DetectProbability(double effort_km) const {
+  if (effort_km <= 0.0) return 0.0;
+  return max_detect * (1.0 - std::exp(-rate * effort_km));
+}
+
+}  // namespace paws

@@ -1,0 +1,24 @@
+#ifndef PAWS_SIM_DETECTION_H_
+#define PAWS_SIM_DETECTION_H_
+
+namespace paws {
+
+/// One-sided detection noise model (paper Sec. III-C): if a cell is
+/// attacked, rangers find the sign with probability that increases with the
+/// patrol effort spent in the cell; if a cell is not attacked, nothing can
+/// be found. Positives are therefore reliable while negatives are not —
+/// the central data pathology iWare-E addresses.
+struct DetectionModel {
+  /// P(detect | attack, effort) = max_detect * (1 - exp(-rate * effort)).
+  /// The rate is deliberately low relative to typical per-cell efforts
+  /// (1-8 km per quarter) so detection keeps improving across the whole
+  /// observed effort range — the driver of the paper's Fig. 4.
+  double rate = 0.10;        // per-km detection rate
+  double max_detect = 0.95;  // even saturated effort can miss snares
+
+  double DetectProbability(double effort_km) const;
+};
+
+}  // namespace paws
+
+#endif  // PAWS_SIM_DETECTION_H_

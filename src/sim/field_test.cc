@@ -1,0 +1,173 @@
+#include "sim/field_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paws {
+
+namespace {
+
+struct Block {
+  std::vector<int> cell_ids;  // dense ids of in-park cells in the block
+  double risk = 0.0;          // mean model risk
+  double historical_effort = 0.0;
+};
+
+// Tiles the park into non-overlapping block_size x block_size windows and
+// keeps windows that are mostly inside the park.
+std::vector<Block> EnumerateBlocks(const Park& park,
+                                   const std::vector<double>& risk,
+                                   const std::vector<double>& hist,
+                                   int block_size) {
+  std::vector<Block> blocks;
+  const int need = std::max(1, block_size * block_size / 2);
+  for (int by = 0; by + block_size <= park.height(); by += block_size) {
+    for (int bx = 0; bx + block_size <= park.width(); bx += block_size) {
+      Block b;
+      double risk_sum = 0.0, hist_sum = 0.0;
+      for (int dy = 0; dy < block_size; ++dy) {
+        for (int dx = 0; dx < block_size; ++dx) {
+          const Cell c{bx + dx, by + dy};
+          if (!park.mask().At(c)) continue;
+          const int id = park.DenseIdOf(c);
+          b.cell_ids.push_back(id);
+          risk_sum += risk[id];
+          hist_sum += hist[id];
+        }
+      }
+      if (static_cast<int>(b.cell_ids.size()) < need) continue;
+      b.risk = risk_sum / b.cell_ids.size();
+      b.historical_effort = hist_sum / b.cell_ids.size();
+      blocks.push_back(std::move(b));
+    }
+  }
+  return blocks;
+}
+
+}  // namespace
+
+StatusOr<FieldTestResult> RunFieldTest(
+    const Park& park, const std::vector<double>& risk,
+    const std::vector<double>& historical_effort, const AttackModel& attacks,
+    const DetectionModel& detection, const FieldTestConfig& config, int t,
+    const std::vector<double>& prev_effort, Rng* rng) {
+  if (static_cast<int>(risk.size()) != park.num_cells() ||
+      static_cast<int>(historical_effort.size()) != park.num_cells()) {
+    return Status::InvalidArgument("RunFieldTest: vector size mismatch");
+  }
+  CheckOrDie(rng != nullptr, "RunFieldTest requires an Rng");
+
+  std::vector<Block> blocks = EnumerateBlocks(park, risk, historical_effort,
+                                              config.block_size);
+  if (blocks.size() < 10) {
+    return Status::FailedPrecondition("RunFieldTest: too few blocks");
+  }
+
+  // Step 2: drop frequently-patrolled blocks.
+  std::vector<double> efforts;
+  efforts.reserve(blocks.size());
+  for (const Block& b : blocks) efforts.push_back(b.historical_effort);
+  const double effort_cap =
+      Percentile(efforts, config.max_historical_effort_percentile);
+  std::vector<Block> candidates;
+  for (Block& b : blocks) {
+    if (b.historical_effort <= effort_cap) candidates.push_back(std::move(b));
+  }
+  if (static_cast<int>(candidates.size()) < 3 * config.blocks_per_group) {
+    return Status::FailedPrecondition(
+        "RunFieldTest: too few low-effort candidate blocks");
+  }
+
+  // Step 3: percentile bands on block risk.
+  std::vector<double> risks;
+  risks.reserve(candidates.size());
+  for (const Block& b : candidates) risks.push_back(b.risk);
+  auto in_band = [&](double r, double lo, double hi) {
+    const double v_lo = Percentile(risks, lo);
+    const double v_hi = Percentile(risks, hi);
+    return r >= v_lo && r <= v_hi;
+  };
+  struct Band {
+    const char* name;
+    double lo, hi;
+  };
+  const Band bands[3] = {{"High", config.high_lo, config.high_hi},
+                         {"Medium", config.medium_lo, config.medium_hi},
+                         {"Low", config.low_lo, config.low_hi}};
+
+  // Sample one ground-truth attack layer per wave of the trial.
+  const int waves = std::max(1, config.attack_waves);
+  std::vector<std::vector<uint8_t>> attacked;
+  for (int w = 0; w < waves; ++w) {
+    attacked.push_back(attacks.SampleAttacks(t, prev_effort, rng));
+  }
+
+  FieldTestResult result;
+  std::vector<std::vector<double>> contingency;  // per group: [obs, no-obs]
+  for (const Band& band : bands) {
+    std::vector<int> pool;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (in_band(candidates[i].risk, band.lo, band.hi)) {
+        pool.push_back(static_cast<int>(i));
+      }
+    }
+    if (static_cast<int>(pool.size()) < config.blocks_per_group) {
+      return Status::FailedPrecondition(
+          std::string("RunFieldTest: not enough blocks in band ") + band.name);
+    }
+    const std::vector<int> chosen_idx = rng->SampleWithoutReplacement(
+        static_cast<int>(pool.size()), config.blocks_per_group);
+
+    GroupResult group;
+    group.group = band.name;
+    for (int ci : chosen_idx) {
+      const Block& b = candidates[pool[ci]];
+      // Step 4: rangers (blind to the band) spread a noisy effort budget
+      // over a random subset of the block's cells.
+      const double budget =
+          config.effort_per_block_km *
+          std::exp(config.effort_spread * rng->Normal());
+      const int covered = std::max(
+          1, static_cast<int>(config.cell_coverage * b.cell_ids.size()));
+      const std::vector<int> visit = rng->SampleWithoutReplacement(
+          static_cast<int>(b.cell_ids.size()), covered);
+      // Random effort split (uniform stick-breaking).
+      std::vector<double> split(covered);
+      double z = 0.0;
+      for (double& s : split) {
+        s = rng->Uniform(0.5, 1.5);
+        z += s;
+      }
+      for (int v = 0; v < covered; ++v) {
+        const int id = b.cell_ids[visit[v]];
+        const double effort = budget * split[v] / z;
+        group.effort_km += effort;
+        ++group.num_cells;
+        bool observed = false;
+        for (int w = 0; w < waves; ++w) {
+          if (attacked[w][id] &&
+              rng->Bernoulli(
+                  detection.DetectProbability(effort / waves))) {
+            observed = true;
+          }
+        }
+        group.num_observed += observed;
+      }
+    }
+    contingency.push_back(
+        {static_cast<double>(group.num_observed),
+         static_cast<double>(group.num_cells - group.num_observed)});
+    result.groups.push_back(std::move(group));
+  }
+
+  auto chi = ChiSquaredIndependence(contingency);
+  if (chi.ok()) {
+    result.chi_squared = chi.value();
+  } else {
+    // Degenerate tables (e.g. zero detections everywhere) yield p = 1.
+    result.chi_squared = ChiSquaredResult{0.0, 2, 1.0};
+  }
+  return result;
+}
+
+}  // namespace paws

@@ -1,0 +1,83 @@
+#ifndef PAWS_SIM_FIELD_TEST_H_
+#define PAWS_SIM_FIELD_TEST_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/park.h"
+#include "sim/behavior.h"
+#include "sim/detection.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace paws {
+
+/// Protocol of the paper's field tests (Sec. VII), simulated end-to-end:
+///  1. aggregate per-cell risk into block_size x block_size blocks
+///     (convolution of the risk map);
+///  2. discard blocks with historical patrol effort above a percentile, so
+///     the test probes predictive power rather than past patterns;
+///  3. pick blocks whose risk falls in the high / medium / low percentile
+///     bands;
+///  4. rangers — blind to the labels — spend an effort budget per block;
+///  5. score detections per patrolled cell and run a chi-squared
+///     independence test on (risk group x observed/not-observed).
+struct FieldTestConfig {
+  int block_size = 3;       // 3x3 km blocks (SWS); MFNP used 2x2
+  int blocks_per_group = 5;
+  /// Blocks above this percentile of historical effort are discarded
+  /// ("we discarded all blocks with historical patrol effort above the
+  /// 50th percentile").
+  double max_historical_effort_percentile = 50.0;
+  /// Risk percentile bands: high 80-100, medium 40-60, low 0-20.
+  double high_lo = 80.0, high_hi = 100.0;
+  double medium_lo = 40.0, medium_hi = 60.0;
+  double low_lo = 0.0, low_hi = 20.0;
+  /// Ranger effort budget per block over the trial, in km, and its
+  /// multiplicative spread (rangers do not allocate evenly).
+  double effort_per_block_km = 18.0;
+  double effort_spread = 0.5;
+  /// Fraction of a block's cells a patrol actually covers.
+  double cell_coverage = 0.9;
+  /// Nominal per-cell patrol effort at which the model's risk map is
+  /// evaluated when ranking blocks ("the prediction of the model at a
+  /// nominal patrol effort, which the rangers will likely be able to
+  /// achieve", Sec. VII-A).
+  double nominal_effort_km = 4.0;
+  /// Attack waves during the trial. The paper's trials spanned 2-5 months,
+  /// over which poachers keep placing snares; each wave is one independent
+  /// draw from the ground-truth attack model, and a cell counts as observed
+  /// if any wave's snares are detected (effort is split across waves).
+  int attack_waves = 2;
+};
+
+/// Per-risk-group outcome, matching Table III's columns.
+struct GroupResult {
+  std::string group;       // "High" / "Medium" / "Low"
+  int num_observed = 0;    // cells with detected poaching (# Obs)
+  int num_cells = 0;       // cells actually patrolled (# Cells)
+  double effort_km = 0.0;  // total effort expended (Effort)
+  double ObsPerCell() const {
+    return num_cells > 0 ? static_cast<double>(num_observed) / num_cells : 0.0;
+  }
+};
+
+struct FieldTestResult {
+  std::vector<GroupResult> groups;  // High, Medium, Low
+  ChiSquaredResult chi_squared;     // independence of (group, observed)
+};
+
+/// Runs one simulated field-test trial.
+/// `risk[cell_id]` is the model's per-cell risk score; `historical_effort`
+/// is the per-cell total past effort; `t` is the trial's time step and
+/// `prev_effort` the previous step's per-cell effort (for deterrence in the
+/// ground-truth attack draw). Fails if too few candidate blocks exist.
+StatusOr<FieldTestResult> RunFieldTest(
+    const Park& park, const std::vector<double>& risk,
+    const std::vector<double>& historical_effort, const AttackModel& attacks,
+    const DetectionModel& detection, const FieldTestConfig& config, int t,
+    const std::vector<double>& prev_effort, Rng* rng);
+
+}  // namespace paws
+
+#endif  // PAWS_SIM_FIELD_TEST_H_

@@ -1,0 +1,160 @@
+#include "sim/patrol_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paws {
+
+std::vector<double> PatrolHistory::TotalEffort() const {
+  std::vector<double> total(num_cells(), 0.0);
+  for (const StepRecord& s : steps) {
+    for (size_t i = 0; i < s.effort.size(); ++i) total[i] += s.effort[i];
+  }
+  return total;
+}
+
+std::vector<int> PatrolHistory::TotalDetections() const {
+  std::vector<int> total(num_cells(), 0);
+  for (const StepRecord& s : steps) {
+    for (size_t i = 0; i < s.detected.size(); ++i) total[i] += s.detected[i];
+  }
+  return total;
+}
+
+namespace {
+
+// BFS distance (in steps) from `post` to every in-park cell.
+std::vector<int> StepsToPost(const Park& park, const Cell& post) {
+  std::vector<int> dist(park.num_cells(), -1);
+  std::vector<int> queue = {park.DenseIdOf(post)};
+  dist[queue[0]] = 0;
+  static const int kDx[4] = {1, -1, 0, 0};
+  static const int kDy[4] = {0, 0, 1, -1};
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const int cur = queue[head];
+    const Cell c = park.CellOf(cur);
+    for (int k = 0; k < 4; ++k) {
+      const Cell n{c.x + kDx[k], c.y + kDy[k]};
+      if (!park.mask().InBounds(n) || !park.mask().At(n)) continue;
+      const int nid = park.DenseIdOf(n);
+      if (dist[nid] == -1) {
+        dist[nid] = dist[cur] + 1;
+        queue.push_back(nid);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<double> SimulateEffortStep(const Park& park,
+                                       const PatrolSimConfig& config,
+                                       Rng* rng) {
+  CheckOrDie(rng != nullptr, "SimulateEffortStep requires an Rng");
+  CheckOrDie(!park.patrol_posts().empty(),
+             "SimulateEffortStep: park has no patrol posts");
+  std::vector<double> effort(park.num_cells(), 0.0);
+
+  const auto animal_idx = park.FeatureIndex("animal_density");
+  const auto slope_idx = park.FeatureIndex("slope");
+  const GridD* animal = animal_idx.ok() ? &park.feature(animal_idx.value())
+                                        : nullptr;
+  const GridD* slope = slope_idx.ok() ? &park.feature(slope_idx.value())
+                                      : nullptr;
+  const GridD dummy(park.width(), park.height(), 0.0);
+
+  for (const Cell& post : park.patrol_posts()) {
+    const std::vector<int> steps_home = StepsToPost(park, post);
+    // This time step's sector focus for the post (see PatrolSimConfig).
+    const double focus_angle = rng->Uniform(0.0, 2.0 * M_PI);
+    const double fx = std::cos(focus_angle), fy = std::sin(focus_angle);
+    for (int p = 0; p < config.patrols_per_post; ++p) {
+      Cell cur = post;
+      const int total_steps = std::max(
+          2, static_cast<int>(config.patrol_length_km / config.km_per_step));
+      std::vector<uint8_t> visited(park.num_cells(), 0);
+      visited[park.DenseIdOf(post)] = 1;
+      for (int s = 0; s < total_steps; ++s) {
+        const int remaining = total_steps - s;
+        const bool must_return =
+            steps_home[park.DenseIdOf(cur)] >= remaining - 1;
+        const std::vector<Cell> nbrs = Neighbors4(dummy, cur);
+        std::vector<Cell> valid;
+        for (const Cell& n : nbrs) {
+          if (!park.mask().At(n)) continue;
+          // On the return leg only strictly home-ward moves are allowed,
+          // so the patrol ends at the post without retracing one path.
+          if (must_return && steps_home[park.DenseIdOf(n)] >=
+                                 steps_home[park.DenseIdOf(cur)]) {
+            continue;
+          }
+          valid.push_back(n);
+        }
+        if (valid.empty()) break;  // already home (or stuck)
+        std::vector<double> weights(valid.size());
+        for (size_t i = 0; i < valid.size(); ++i) {
+          double w = 1.0;
+          if (animal != nullptr) {
+            w *= std::exp(config.attraction_animal * animal->At(valid[i]));
+          }
+          if (slope != nullptr) {
+            w *= std::exp(-config.aversion_slope * slope->At(valid[i]));
+          }
+          const int nid = park.DenseIdOf(valid[i]);
+          if (visited[nid]) w *= std::exp(-config.revisit_penalty);
+          if (!must_return) {
+            // Momentum away from the post reaches deeper cells.
+            const double d_new = CellDistance(valid[i], post);
+            const double d_cur = CellDistance(cur, post);
+            if (d_new > d_cur) w *= std::exp(config.outward_momentum);
+            // Lean toward this step's sector focus.
+            if (config.sector_focus != 0.0) {
+              const double vx = valid[i].x - post.x;
+              const double vy = valid[i].y - post.y;
+              const double len = std::sqrt(vx * vx + vy * vy);
+              if (len > 0.5) {
+                const double cos_to_focus = (vx * fx + vy * fy) / len;
+                w *= std::exp(config.sector_focus * cos_to_focus);
+              }
+            }
+          }
+          weights[i] = w;
+        }
+        cur = valid[rng->Categorical(weights)];
+        const int cur_id = park.DenseIdOf(cur);
+        visited[cur_id] = 1;
+        effort[cur_id] += config.km_per_step;
+      }
+    }
+  }
+  return effort;
+}
+
+PatrolHistory SimulateHistory(const Park& park, const AttackModel& attacks,
+                              const DetectionModel& detection,
+                              const PatrolSimConfig& config, int num_steps,
+                              Rng* rng) {
+  CheckOrDie(num_steps >= 1, "SimulateHistory requires >= 1 step");
+  CheckOrDie(attacks.num_cells() == park.num_cells(),
+             "SimulateHistory: attack model/park mismatch");
+  PatrolHistory history;
+  std::vector<double> prev_effort(park.num_cells(), 0.0);
+  for (int t = 0; t < num_steps; ++t) {
+    StepRecord rec;
+    rec.attacked = attacks.SampleAttacks(t, prev_effort, rng);
+    rec.effort = SimulateEffortStep(park, config, rng);
+    rec.detected.assign(park.num_cells(), 0);
+    for (int id = 0; id < park.num_cells(); ++id) {
+      if (rec.attacked[id] &&
+          rng->Bernoulli(detection.DetectProbability(rec.effort[id]))) {
+        rec.detected[id] = 1;
+      }
+    }
+    prev_effort = rec.effort;
+    history.steps.push_back(std::move(rec));
+  }
+  return history;
+}
+
+}  // namespace paws

@@ -1,0 +1,82 @@
+#ifndef PAWS_SIM_PATROL_SIM_H_
+#define PAWS_SIM_PATROL_SIM_H_
+
+#include <vector>
+
+#include "geo/park.h"
+#include "sim/behavior.h"
+#include "sim/detection.h"
+#include "util/rng.h"
+
+namespace paws {
+
+/// Configuration of the historical-patrol simulator. It replays the data-
+/// collection process that produced the paper's SMART datasets: rangers
+/// walk (or ride) from patrol posts, coverage is heavily biased toward the
+/// posts and attractive terrain, and effort per cell is the kilometres
+/// walked across it in a time step.
+struct PatrolSimConfig {
+  /// Patrols launched from each post per time step.
+  int patrols_per_post = 6;
+  /// Steps (km) per patrol. Rangers walk out for half and return.
+  int patrol_length_km = 14;
+  /// Random-walk bias toward high animal density (rangers protect wildlife
+  /// hot spots) — this is exactly the coverage bias the paper describes.
+  double attraction_animal = 1.5;
+  /// Bias against steep slope.
+  double aversion_slope = 1.0;
+  /// Tendency to keep heading away from the post on the outbound leg.
+  double outward_momentum = 0.8;
+  /// Bias against stepping into a cell this patrol already visited; spreads
+  /// coverage the way real patrol loops do.
+  double revisit_penalty = 1.5;
+  /// Strength of the per-time-step "sector focus": every step each post
+  /// draws a random compass direction and its patrols lean that way. This
+  /// makes *current* effort unpredictable from static features — rangers
+  /// rotate their plans — which is why the iWare-E qualification mechanism
+  /// (keyed on current effort) carries information the features lack.
+  double sector_focus = 2.0;
+  /// Motorbike parks (SWS): each step covers more km, so effort is sparser
+  /// per cell and spread farther (paper Sec. III-A challenge (b)).
+  double km_per_step = 1.0;
+};
+
+/// Everything the simulator produced for one time step.
+struct StepRecord {
+  std::vector<double> effort;     // km patrolled per dense cell id
+  std::vector<uint8_t> attacked;  // ground-truth attacks
+  std::vector<uint8_t> detected;  // observed (one-sided noise)
+};
+
+/// A full multi-year history: per-step effort, ground-truth attacks, and
+/// detections. This is the synthetic stand-in for a park's SMART database.
+struct PatrolHistory {
+  std::vector<StepRecord> steps;
+
+  int num_steps() const { return static_cast<int>(steps.size()); }
+  int num_cells() const {
+    return steps.empty() ? 0 : static_cast<int>(steps[0].effort.size());
+  }
+
+  /// Total effort per cell across all steps (the paper's Fig. 3/6a layer).
+  std::vector<double> TotalEffort() const;
+  /// Number of steps in which each cell had a detection (Fig. 6b layer).
+  std::vector<int> TotalDetections() const;
+};
+
+/// Simulates one time step of patrol effort (no attacks/detections).
+std::vector<double> SimulateEffortStep(const Park& park,
+                                       const PatrolSimConfig& config,
+                                       Rng* rng);
+
+/// Simulates `num_steps` of the full generative loop:
+///   attacks_t ~ AttackModel(prev effort) ;  effort_t ~ patrols ;
+///   detected_t = attacked_t AND Bernoulli(DetectProbability(effort_t)).
+PatrolHistory SimulateHistory(const Park& park, const AttackModel& attacks,
+                              const DetectionModel& detection,
+                              const PatrolSimConfig& config, int num_steps,
+                              Rng* rng);
+
+}  // namespace paws
+
+#endif  // PAWS_SIM_PATROL_SIM_H_

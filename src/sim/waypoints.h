@@ -1,0 +1,59 @@
+#ifndef PAWS_SIM_WAYPOINTS_H_
+#define PAWS_SIM_WAYPOINTS_H_
+
+#include <vector>
+
+#include "geo/park.h"
+#include "sim/patrol_sim.h"
+#include "util/rng.h"
+
+namespace paws {
+
+/// SMART-style patrol records. Rangers' GPS units log a waypoint roughly
+/// every 30 minutes, not continuously (paper Sec. III-B), and the paper
+/// *rebuilds* per-cell patrol effort by interpolating trajectories between
+/// sequential waypoints. Motorbike patrols (SWS) cover more ground between
+/// fixes, so their reconstructed effort is less accurate — one of the
+/// challenges the paper calls out (Sec. III-A (b)).
+
+/// One recorded GPS fix.
+struct Waypoint {
+  Cell cell;
+  int patrol_id = 0;  // fixes with the same id belong to one patrol
+};
+
+/// A patrol's full ground-truth trajectory plus its thinned GPS log.
+struct PatrolTrack {
+  std::vector<Cell> truth;        // every cell entered, in order
+  std::vector<Waypoint> logged;   // every `interval`-th fix, endpoints kept
+};
+
+/// Simulates one time step of patrols (same walk model as
+/// SimulateEffortStep) but returns the raw tracks instead of aggregated
+/// effort, thinning each track to one waypoint every `waypoint_interval`
+/// steps (>= 1; endpoints always logged).
+std::vector<PatrolTrack> SimulateTracks(const Park& park,
+                                        const PatrolSimConfig& config,
+                                        int waypoint_interval, Rng* rng);
+
+/// Rebuilds per-cell effort (km) from waypoint logs by interpolating a
+/// shortest in-park path between consecutive fixes — the paper's
+/// trajectory-reconstruction step. `km_per_step` scales each interpolated
+/// cell transition.
+std::vector<double> ReconstructEffort(const Park& park,
+                                      const std::vector<PatrolTrack>& tracks,
+                                      double km_per_step);
+
+/// Ground-truth per-cell effort of the same tracks (for reconstruction-
+/// error studies).
+std::vector<double> TrueEffort(const Park& park,
+                               const std::vector<PatrolTrack>& tracks,
+                               double km_per_step);
+
+/// Mean absolute per-cell error between reconstructed and true effort.
+double ReconstructionError(const std::vector<double>& reconstructed,
+                           const std::vector<double>& truth);
+
+}  // namespace paws
+
+#endif  // PAWS_SIM_WAYPOINTS_H_

@@ -1,0 +1,57 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace paws {
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CheckOrDie(!header_.empty(), "CsvWriter requires a non-empty header");
+}
+
+void CsvWriter::AddRow(const std::vector<double>& row) {
+  CheckOrDie(row.size() == header_.size(), "CsvWriter row width mismatch");
+  std::vector<std::string> text;
+  text.reserve(row.size());
+  for (double v : row) text.push_back(FormatDouble(v));
+  rows_.push_back(std::move(text));
+}
+
+void CsvWriter::AddTextRow(const std::vector<std::string>& row) {
+  CheckOrDie(row.size() == header_.size(), "CsvWriter row width mismatch");
+  rows_.push_back(row);
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (i) out += ',';
+    out += header_[i];
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ',';
+      out += row[i];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::Internal("cannot open file for writing: " + path);
+  f << ToString();
+  if (!f) return Status::Internal("failed writing file: " + path);
+  return Status::OK();
+}
+
+}  // namespace paws

@@ -1,0 +1,42 @@
+#ifndef PAWS_UTIL_CSV_H_
+#define PAWS_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace paws {
+
+/// Minimal CSV writer used by the benchmark harnesses to dump series that
+/// correspond to the paper's figures. Values are written with '%.6g'.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header width.
+  void AddRow(const std::vector<double>& row);
+
+  /// Appends a row of preformatted strings; must match the header width.
+  void AddTextRow(const std::vector<std::string>& row);
+
+  /// Serializes header + rows to CSV text.
+  std::string ToString() const;
+
+  /// Writes the CSV to `path`, creating or truncating the file.
+  Status WriteFile(const std::string& path) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double like printf("%.*g"). Helper shared by CSV and table
+/// printers.
+std::string FormatDouble(double v, int precision = 6);
+
+}  // namespace paws
+
+#endif  // PAWS_UTIL_CSV_H_

@@ -1,0 +1,49 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace paws {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kInfeasible:
+      return "Infeasible";
+    case StatusCode::kUnbounded:
+      return "Unbounded";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+void CheckOrDie(bool condition, const char* msg) {
+  if (!condition) {
+    std::fprintf(stderr, "PAWS check failed: %s\n", msg);
+    std::abort();
+  }
+}
+
+}  // namespace paws

@@ -1,0 +1,162 @@
+#include "ml/bagging.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace paws {
+namespace {
+
+Dataset Separable(int n, Rng* rng, double pos_rate = 0.5) {
+  Dataset d(2);
+  for (int i = 0; i < n; ++i) {
+    const bool pos = rng->Uniform() < pos_rate;
+    // Positives centered at +0.7, negatives at -0.7 on x0 with noise.
+    const double x0 = (pos ? 0.7 : -0.7) + rng->Normal() * 0.5;
+    d.AddRow({x0, rng->Uniform(-1.0, 1.0)}, pos ? 1 : 0, 1.0);
+  }
+  return d;
+}
+
+std::unique_ptr<BaggingClassifier> MakeBagger(BaggingConfig cfg) {
+  DecisionTreeConfig tree;
+  tree.max_features = 1;
+  return std::make_unique<BaggingClassifier>(
+      std::make_unique<DecisionTree>(tree), cfg);
+}
+
+TEST(BaggingTest, FitsAllMembers) {
+  Rng rng(1);
+  const Dataset train = Separable(300, &rng);
+  BaggingConfig cfg;
+  cfg.num_estimators = 7;
+  auto model = MakeBagger(cfg);
+  ASSERT_TRUE(model->Fit(train, &rng).ok());
+  EXPECT_EQ(model->num_fitted(), 7);
+}
+
+TEST(BaggingTest, ImprovesOverNoise) {
+  Rng rng(2);
+  const Dataset train = Separable(600, &rng);
+  const Dataset test = Separable(400, &rng);
+  BaggingConfig cfg;
+  cfg.num_estimators = 15;
+  auto model = MakeBagger(cfg);
+  ASSERT_TRUE(model->Fit(train, &rng).ok());
+  const auto auc = AucRoc(PredictAll(*model, test), test.labels());
+  ASSERT_TRUE(auc.ok());
+  EXPECT_GT(auc.value(), 0.9);
+}
+
+TEST(BaggingTest, VarianceIsSpreadOfMembers) {
+  Rng rng(3);
+  const Dataset train = Separable(300, &rng);
+  BaggingConfig cfg;
+  cfg.num_estimators = 10;
+  auto model = MakeBagger(cfg);
+  ASSERT_TRUE(model->Fit(train, &rng).ok());
+  const Prediction p = model->PredictWithVariance({0.0, 0.0});
+  // Variance must equal the member spread computed by hand.
+  double mean = 0.0, ss = 0.0;
+  for (int b = 0; b < model->num_fitted(); ++b) {
+    const double q = model->member(b).PredictProb({0.0, 0.0});
+    mean += q;
+    ss += q * q;
+  }
+  mean /= model->num_fitted();
+  ss /= model->num_fitted();
+  EXPECT_NEAR(p.prob, mean, 1e-12);
+  EXPECT_NEAR(p.variance, ss - mean * mean, 1e-12);
+}
+
+TEST(BaggingTest, BalancedModeHandlesExtremeImbalance) {
+  Rng rng(4);
+  const Dataset train = Separable(3000, &rng, /*pos_rate=*/0.01);
+  ASSERT_GT(train.CountPositives(), 5);
+  BaggingConfig cfg;
+  cfg.num_estimators = 10;
+  cfg.balanced = true;
+  auto model = MakeBagger(cfg);
+  ASSERT_TRUE(model->Fit(train, &rng).ok());
+  const Dataset test = Separable(1000, &rng, 0.05);
+  const auto auc = AucRoc(PredictAll(*model, test), test.labels());
+  ASSERT_TRUE(auc.ok());
+  EXPECT_GT(auc.value(), 0.85);
+}
+
+TEST(BaggingTest, BalancedBeatsPlainUnderImbalance) {
+  // The paper: "This undersampling approach improved our AUC by 15% on
+  // average on the SWS dataset." Verify the direction on synthetic data.
+  Rng rng(5);
+  const Dataset train = Separable(4000, &rng, /*pos_rate=*/0.008);
+  const Dataset test = Separable(2000, &rng, 0.05);
+  BaggingConfig plain;
+  plain.num_estimators = 8;
+  BaggingConfig balanced = plain;
+  balanced.balanced = true;
+  // Shallow trees exaggerate the imbalance pathology.
+  DecisionTreeConfig tree;
+  tree.max_depth = 3;
+  tree.min_samples_leaf = 30;
+  BaggingClassifier plain_model(std::make_unique<DecisionTree>(tree), plain);
+  BaggingClassifier bal_model(std::make_unique<DecisionTree>(tree), balanced);
+  Rng rng_a(6), rng_b(6);
+  ASSERT_TRUE(plain_model.Fit(train, &rng_a).ok());
+  ASSERT_TRUE(bal_model.Fit(train, &rng_b).ok());
+  const double auc_plain =
+      AucRoc(PredictAll(plain_model, test), test.labels()).value();
+  const double auc_bal =
+      AucRoc(PredictAll(bal_model, test), test.labels()).value();
+  EXPECT_GE(auc_bal, auc_plain - 0.02);
+}
+
+TEST(BaggingTest, InfinitesimalJackknifeVarianceNonNegative) {
+  Rng rng(7);
+  const Dataset train = Separable(200, &rng);
+  BaggingConfig cfg;
+  cfg.num_estimators = 20;
+  auto model = MakeBagger(cfg);
+  ASSERT_TRUE(model->Fit(train, &rng).ok());
+  for (int i = 0; i < 20; ++i) {
+    auto v = model->InfinitesimalJackknifeVariance(
+        {rng.Uniform(-1, 1), rng.Uniform(-1, 1)});
+    ASSERT_TRUE(v.ok());
+    EXPECT_GE(v.value(), 0.0);
+  }
+}
+
+TEST(BaggingTest, IJVarianceRequiresTracking) {
+  Rng rng(8);
+  const Dataset train = Separable(100, &rng);
+  BaggingConfig cfg;
+  cfg.track_bootstrap_counts = false;
+  auto model = MakeBagger(cfg);
+  ASSERT_TRUE(model->Fit(train, &rng).ok());
+  EXPECT_FALSE(model->InfinitesimalJackknifeVariance({0.0, 0.0}).ok());
+}
+
+TEST(BaggingTest, CloneUntrainedPreservesConfig) {
+  Rng rng(9);
+  BaggingConfig cfg;
+  cfg.num_estimators = 4;
+  auto model = MakeBagger(cfg);
+  auto clone = model->CloneUntrained();
+  const Dataset train = Separable(150, &rng);
+  ASSERT_TRUE(clone->Fit(train, &rng).ok());
+  auto* bag = dynamic_cast<BaggingClassifier*>(clone.get());
+  ASSERT_NE(bag, nullptr);
+  EXPECT_EQ(bag->num_fitted(), 4);
+}
+
+TEST(BaggingTest, RejectsEmptyData) {
+  Rng rng(10);
+  Dataset d(2);
+  auto model = MakeBagger(BaggingConfig{});
+  EXPECT_FALSE(model->Fit(d, &rng).ok());
+}
+
+}  // namespace
+}  // namespace paws

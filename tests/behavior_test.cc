@@ -1,0 +1,146 @@
+#include "sim/behavior.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "geo/synth.h"
+
+namespace paws {
+namespace {
+
+Park TestPark(uint64_t seed = 3) {
+  SynthParkConfig cfg;
+  cfg.width = 24;
+  cfg.height = 20;
+  cfg.seed = seed;
+  return GenerateSyntheticPark(cfg);
+}
+
+TEST(AttackModelTest, ProbabilitiesAreValid) {
+  const Park park = TestPark();
+  AttackModel model(park, BehaviorConfig{});
+  for (int id = 0; id < park.num_cells(); ++id) {
+    const double p = model.AttackProbability(id, 0, 0.0);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(AttackModelTest, InterceptControlsBaseRate) {
+  const Park park = TestPark();
+  BehaviorConfig lo, hi;
+  lo.intercept = -6.0;
+  hi.intercept = 0.0;
+  AttackModel model_lo(park, lo), model_hi(park, hi);
+  double mean_lo = 0.0, mean_hi = 0.0;
+  for (int id = 0; id < park.num_cells(); ++id) {
+    mean_lo += model_lo.AttackProbability(id, 0, 0.0);
+    mean_hi += model_hi.AttackProbability(id, 0, 0.0);
+  }
+  EXPECT_LT(mean_lo * 5.0, mean_hi);
+}
+
+TEST(AttackModelTest, DeterrenceReducesAttackProbability) {
+  const Park park = TestPark();
+  BehaviorConfig cfg;
+  cfg.deterrence = -0.5;
+  AttackModel model(park, cfg);
+  for (int id = 0; id < park.num_cells(); id += 7) {
+    EXPECT_LT(model.AttackProbability(id, 0, 5.0),
+              model.AttackProbability(id, 0, 0.0));
+  }
+}
+
+TEST(AttackModelTest, NoSeasonalityMeansTimeInvariance) {
+  const Park park = TestPark();
+  BehaviorConfig cfg;
+  cfg.seasonal_amplitude = 0.0;
+  AttackModel model(park, cfg);
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_DOUBLE_EQ(model.AttackProbability(0, t, 0.0),
+                     model.AttackProbability(0, 0, 0.0));
+  }
+}
+
+TEST(AttackModelTest, SeasonalityShiftsNorthSouth) {
+  // Dry phase (t=0, cos=1): north cells get +amplitude, south -amplitude.
+  const Park park = TestPark();
+  BehaviorConfig cfg;
+  cfg.seasonal_amplitude = 2.0;
+  cfg.season_period = 4;
+  AttackModel seasonal(park, cfg);
+  cfg.seasonal_amplitude = 0.0;
+  AttackModel flat(park, cfg);
+  // Find a clearly-north and clearly-south cell.
+  int north = -1, south = -1;
+  for (int id = 0; id < park.num_cells(); ++id) {
+    const Cell c = park.CellOf(id);
+    if (c.y < park.height() / 4 && north < 0) north = id;
+    if (c.y > 3 * park.height() / 4 && south < 0) south = id;
+  }
+  ASSERT_GE(north, 0);
+  ASSERT_GE(south, 0);
+  EXPECT_GT(seasonal.AttackProbability(north, 0, 0.0),
+            flat.AttackProbability(north, 0, 0.0));
+  EXPECT_LT(seasonal.AttackProbability(south, 0, 0.0),
+            flat.AttackProbability(south, 0, 0.0));
+  // Half a season later (t = 2, cos = -1) the pattern flips.
+  EXPECT_LT(seasonal.AttackProbability(north, 2, 0.0),
+            flat.AttackProbability(north, 2, 0.0));
+  EXPECT_GT(seasonal.AttackProbability(south, 2, 0.0),
+            flat.AttackProbability(south, 2, 0.0));
+}
+
+TEST(AttackModelTest, PreyConcealmentInteractionMatters) {
+  // The ground truth contains a centered (2a-1)(2f-1) interaction: cells
+  // with high animal density AND high forest cover are attractive, while
+  // high-animal/low-forest cells are not — an XOR-like pattern no linear
+  // model can represent. Verify the interaction by toggling the weight.
+  const Park park = TestPark();
+  BehaviorConfig with_int;   // default w_animal_forest > 0
+  BehaviorConfig without_int = with_int;
+  without_int.w_animal_forest = 0.0;
+  AttackModel m_with(park, with_int), m_without(park, without_int);
+  const int fa = park.FeatureIndex("animal_density").value();
+  const int ff = park.FeatureIndex("forest_cover").value();
+  // Find a both-high cell and a split (high/low) cell.
+  int both_high = -1, split_cell = -1;
+  for (int id = 0; id < park.num_cells(); ++id) {
+    const double a = park.feature(fa).At(park.CellOf(id));
+    const double f = park.feature(ff).At(park.CellOf(id));
+    if (a > 0.7 && f > 0.7 && both_high < 0) both_high = id;
+    if (a > 0.7 && f < 0.3 && split_cell < 0) split_cell = id;
+  }
+  ASSERT_GE(both_high, 0);
+  ASSERT_GE(split_cell, 0);
+  // The interaction raises both-high cells and lowers split cells,
+  // relative to the interaction-free model.
+  EXPECT_GT(m_with.AttackProbability(both_high, 0, 0.0),
+            m_without.AttackProbability(both_high, 0, 0.0));
+  EXPECT_LT(m_with.AttackProbability(split_cell, 0, 0.0),
+            m_without.AttackProbability(split_cell, 0, 0.0));
+}
+
+TEST(AttackModelTest, SampleMatchesProbabilities) {
+  const Park park = TestPark();
+  BehaviorConfig cfg;
+  cfg.intercept = -1.0;
+  AttackModel model(park, cfg);
+  Rng rng(11);
+  const std::vector<double> no_effort(park.num_cells(), 0.0);
+  double expected = 0.0;
+  for (int id = 0; id < park.num_cells(); ++id) {
+    expected += model.AttackProbability(id, 0, 0.0);
+  }
+  double observed = 0.0;
+  const int trials = 200;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto attacks = model.SampleAttacks(0, no_effort, &rng);
+    for (uint8_t a : attacks) observed += a;
+  }
+  observed /= trials;
+  EXPECT_NEAR(observed, expected, 0.05 * expected + 1.0);
+}
+
+}  // namespace
+}  // namespace paws

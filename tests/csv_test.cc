@@ -1,0 +1,45 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "gtest/gtest.h"
+
+namespace paws {
+namespace {
+
+TEST(CsvTest, HeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.AddRow({1.5, 2.0});
+  csv.AddTextRow({"x", "y"});
+  EXPECT_EQ(csv.ToString(), "a,b\n1.5,2\nx,y\n");
+  EXPECT_EQ(csv.num_rows(), 2);
+}
+
+TEST(CsvTest, WriteFileRoundTrip) {
+  CsvWriter csv({"col"});
+  csv.AddRow({3.25});
+  const std::string path = ::testing::TempDir() + "/paws_csv_test.csv";
+  ASSERT_TRUE(csv.WriteFile(path).ok());
+  std::ifstream f(path);
+  std::string line1, line2;
+  std::getline(f, line1);
+  std::getline(f, line2);
+  EXPECT_EQ(line1, "col");
+  EXPECT_EQ(line2, "3.25");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteFileFailsOnBadPath) {
+  CsvWriter csv({"col"});
+  EXPECT_FALSE(csv.WriteFile("/nonexistent_dir_xyz/file.csv").ok());
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(1.0), "1");
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 3), "0.333");
+}
+
+}  // namespace
+}  // namespace paws

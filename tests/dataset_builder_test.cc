@@ -1,0 +1,121 @@
+#include "sim/dataset_builder.h"
+
+#include "gtest/gtest.h"
+#include "geo/synth.h"
+
+namespace paws {
+namespace {
+
+struct Fixture {
+  Fixture() : park(MakePark()), attacks(park, MakeBehavior()) {
+    Rng rng(21);
+    history = SimulateHistory(park, attacks, DetectionModel{},
+                              PatrolSimConfig{}, 8, &rng);
+  }
+  static Park MakePark() {
+    SynthParkConfig cfg;
+    cfg.width = 24;
+    cfg.height = 20;
+    cfg.seed = 6;
+    return GenerateSyntheticPark(cfg);
+  }
+  static BehaviorConfig MakeBehavior() {
+    BehaviorConfig cfg;
+    cfg.intercept = -1.0;
+    return cfg;
+  }
+  Park park;
+  AttackModel attacks;
+  PatrolHistory history;
+};
+
+TEST(DatasetBuilderTest, OnlyPatrolledCellsBecomeRows) {
+  Fixture f;
+  const Dataset d = BuildDataset(f.park, f.history);
+  EXPECT_GT(d.size(), 0);
+  for (int i = 0; i < d.size(); ++i) {
+    EXPECT_GT(d.effort(i), 0.0);
+  }
+}
+
+TEST(DatasetBuilderTest, FeatureWidthIsStaticPlusLag) {
+  Fixture f;
+  const Dataset d = BuildDataset(f.park, f.history);
+  EXPECT_EQ(d.num_features(), f.park.num_features() + 1);
+}
+
+TEST(DatasetBuilderTest, LaggedCoverageMatchesHistory) {
+  Fixture f;
+  const Dataset d = BuildDataset(f.park, f.history);
+  const int lag = d.num_features() - 1;
+  for (int i = 0; i < d.size(); ++i) {
+    const int t = d.time_step(i);
+    const int cell = d.cell_id(i);
+    const double expected =
+        t > 0 ? f.history.steps[t - 1].effort[cell] : 0.0;
+    EXPECT_DOUBLE_EQ(d.Row(i)[lag], expected);
+  }
+}
+
+TEST(DatasetBuilderTest, LabelsMatchDetections) {
+  Fixture f;
+  const Dataset d = BuildDataset(f.park, f.history);
+  for (int i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d.label(i),
+              f.history.steps[d.time_step(i)].detected[d.cell_id(i)] ? 1 : 0);
+  }
+}
+
+TEST(DatasetBuilderTest, TimeRangeRestrictsRows) {
+  Fixture f;
+  DatasetBuilderOptions opt;
+  opt.t_begin = 2;
+  opt.t_end = 5;
+  const Dataset d = BuildDataset(f.park, f.history, opt);
+  for (int i = 0; i < d.size(); ++i) {
+    EXPECT_GE(d.time_step(i), 2);
+    EXPECT_LT(d.time_step(i), 5);
+  }
+}
+
+TEST(DatasetBuilderTest, IncludeUnpatrolledAddsZeroEffortRows) {
+  Fixture f;
+  DatasetBuilderOptions opt;
+  opt.include_unpatrolled = true;
+  const Dataset d = BuildDataset(f.park, f.history, opt);
+  EXPECT_EQ(d.size(), f.park.num_cells() * f.history.num_steps());
+}
+
+TEST(PredictionRowsTest, OneRowPerCellWithAssumedEffort) {
+  Fixture f;
+  const Dataset rows = BuildPredictionRows(f.park, f.history, 3, 2.0);
+  EXPECT_EQ(rows.size(), f.park.num_cells());
+  for (int i = 0; i < rows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rows.effort(i), 2.0);
+    EXPECT_EQ(rows.cell_id(i), i);
+  }
+}
+
+TEST(PredictionRowsTest, GroundTruthLabelsWhenProvided) {
+  Fixture f;
+  const auto& attacked = f.history.steps[3].attacked;
+  const Dataset rows =
+      BuildPredictionRows(f.park, f.history, 3, 1.0, &attacked);
+  for (int i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows.label(i), attacked[i] ? 1 : 0);
+  }
+}
+
+TEST(PositiveRateTest, IncreasesWithEffortPercentile) {
+  // Fig. 4's core phenomenon: higher patrol effort -> more reliable
+  // positives detected per patrolled cell.
+  Fixture f;
+  const Dataset d = BuildDataset(f.park, f.history);
+  ASSERT_GT(d.CountPositives(), 0);
+  const double rate_lo = PositiveRateAboveEffortPercentile(d, 0.0);
+  const double rate_hi = PositiveRateAboveEffortPercentile(d, 80.0);
+  EXPECT_GT(rate_hi, rate_lo);
+}
+
+}  // namespace
+}  // namespace paws

@@ -1,0 +1,96 @@
+#include "ml/dataset_io.h"
+
+#include <cstdio>
+
+#include "gtest/gtest.h"
+#include "core/pipeline.h"
+
+namespace paws {
+namespace {
+
+Dataset Toy() {
+  Dataset d(2);
+  d.AddRow({1.5, -0.25}, 1, 0.75, 0, 3);
+  d.AddRow({2.0, 0.0}, 0, 2.0, 1, 7);
+  return d;
+}
+
+TEST(DatasetIoTest, RoundTripPreservesEverything) {
+  const Dataset original = Toy();
+  auto parsed = DatasetFromCsv(DatasetToCsv(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), original.size());
+  ASSERT_EQ(parsed->num_features(), original.num_features());
+  for (int i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed->label(i), original.label(i));
+    EXPECT_DOUBLE_EQ(parsed->effort(i), original.effort(i));
+    EXPECT_EQ(parsed->time_step(i), original.time_step(i));
+    EXPECT_EQ(parsed->cell_id(i), original.cell_id(i));
+    EXPECT_EQ(parsed->RowVector(i), original.RowVector(i));
+  }
+}
+
+TEST(DatasetIoTest, FileRoundTrip) {
+  const Dataset original = Toy();
+  const std::string path = ::testing::TempDir() + "/paws_dataset_io.csv";
+  ASSERT_TRUE(WriteDatasetCsv(original, path).ok());
+  auto parsed = ReadDatasetCsv(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, SimulatedParkRoundTripsThroughCsv) {
+  // The real adoption path: dataset-builder output -> CSV -> dataset.
+  Scenario s = MakeScenario(ParkPreset::kMfnp, 3);
+  s.park.width = 22;
+  s.park.height = 18;
+  s.num_years = 2;
+  const ScenarioData data = SimulateScenario(s, 4);
+  const Dataset built = BuildDataset(data.park, data.history);
+  auto parsed = DatasetFromCsv(DatasetToCsv(built));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), built.size());
+  EXPECT_EQ(parsed->CountPositives(), built.CountPositives());
+  for (int i = 0; i < built.size(); i += 37) {
+    EXPECT_EQ(parsed->RowVector(i), built.RowVector(i));
+  }
+}
+
+TEST(DatasetIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(DatasetFromCsv("").ok());
+  EXPECT_FALSE(DatasetFromCsv("wrong,header\n").ok());
+  EXPECT_FALSE(
+      DatasetFromCsv("label,effort,time_step,cell_id\n").ok());  // no features
+  // Ragged row.
+  EXPECT_FALSE(
+      DatasetFromCsv("label,effort,time_step,cell_id,f0\n1,1.0,0\n").ok());
+  // Non-binary label.
+  EXPECT_FALSE(
+      DatasetFromCsv("label,effort,time_step,cell_id,f0\n2,1.0,0,0,0.5\n")
+          .ok());
+  // Negative effort.
+  EXPECT_FALSE(
+      DatasetFromCsv("label,effort,time_step,cell_id,f0\n1,-1.0,0,0,0.5\n")
+          .ok());
+  // Garbage number.
+  EXPECT_FALSE(
+      DatasetFromCsv("label,effort,time_step,cell_id,f0\n1,1.0,0,0,abc\n")
+          .ok());
+}
+
+TEST(DatasetIoTest, ReadMissingFileIsNotFound) {
+  auto result = ReadDatasetCsv("/nonexistent/paws.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetIoTest, BlankLinesIgnored) {
+  auto parsed = DatasetFromCsv(
+      "label,effort,time_step,cell_id,f0\n\n1,1.0,0,0,0.5\n\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 1);
+}
+
+}  // namespace
+}  // namespace paws

@@ -1,0 +1,107 @@
+#include "ml/dataset.h"
+
+#include "gtest/gtest.h"
+
+namespace paws {
+namespace {
+
+Dataset MakeToy() {
+  Dataset d(2);
+  d.AddRow({1.0, 0.0}, 1, 0.5, /*time_step=*/0, /*cell_id=*/10);
+  d.AddRow({2.0, 1.0}, 0, 1.5, 0, 11);
+  d.AddRow({3.0, 2.0}, 0, 2.5, 1, 10);
+  d.AddRow({4.0, 3.0}, 1, 3.5, 2, 12);
+  return d;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  const Dataset d = MakeToy();
+  EXPECT_EQ(d.size(), 4);
+  EXPECT_EQ(d.num_features(), 2);
+  EXPECT_EQ(d.label(0), 1);
+  EXPECT_DOUBLE_EQ(d.effort(1), 1.5);
+  EXPECT_EQ(d.time_step(2), 1);
+  EXPECT_EQ(d.cell_id(3), 12);
+  EXPECT_DOUBLE_EQ(d.Row(2)[1], 2.0);
+  EXPECT_EQ(d.RowVector(0), (std::vector<double>{1.0, 0.0}));
+}
+
+TEST(DatasetTest, PositiveCounting) {
+  const Dataset d = MakeToy();
+  EXPECT_EQ(d.CountPositives(), 2);
+  EXPECT_DOUBLE_EQ(d.PositiveFraction(), 0.5);
+}
+
+TEST(DatasetTest, SubsetPreservesMetadataAndAllowsDuplicates) {
+  const Dataset d = MakeToy();
+  const Dataset s = d.Subset({3, 3, 0});
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.label(0), 1);
+  EXPECT_EQ(s.cell_id(0), 12);
+  EXPECT_EQ(s.cell_id(2), 10);
+}
+
+TEST(DatasetTest, FilterKeepsAllPositives) {
+  // iWare-E's key insight: only unreliable *negatives* are dropped.
+  const Dataset d = MakeToy();
+  const Dataset f = d.FilterNegativesBelowEffort(100.0);
+  EXPECT_EQ(f.size(), 2);
+  EXPECT_EQ(f.CountPositives(), 2);
+}
+
+TEST(DatasetTest, FilterDropsLowEffortNegativesOnly) {
+  const Dataset d = MakeToy();
+  const Dataset f = d.FilterNegativesBelowEffort(1.5);
+  // Row 1 (neg, 1.5 <= 1.5) dropped; row 2 (neg, 2.5 > 1.5) kept.
+  EXPECT_EQ(f.size(), 3);
+  EXPECT_EQ(f.CountPositives(), 2);
+}
+
+TEST(DatasetTest, FilterAtZeroKeepsPatrolledNegatives) {
+  const Dataset d = MakeToy();
+  EXPECT_EQ(d.FilterNegativesBelowEffort(0.0).size(), 4);
+}
+
+TEST(DatasetTest, RowsInTimeRange) {
+  const Dataset d = MakeToy();
+  EXPECT_EQ(d.RowsInTimeRange(0, 1).size(), 2u);
+  EXPECT_EQ(d.RowsInTimeRange(1, 3).size(), 2u);
+  EXPECT_EQ(d.RowsInTimeRange(5, 9).size(), 0u);
+}
+
+TEST(DatasetTest, EffortPercentile) {
+  const Dataset d = MakeToy();
+  EXPECT_DOUBLE_EQ(d.EffortPercentile(0), 0.5);
+  EXPECT_DOUBLE_EQ(d.EffortPercentile(100), 3.5);
+  EXPECT_DOUBLE_EQ(d.EffortPercentile(50), 2.0);
+}
+
+TEST(StandardizerTest, ZeroMeanUnitVariance) {
+  Dataset d(1);
+  d.AddRow({2.0}, 0, 1.0);
+  d.AddRow({4.0}, 1, 1.0);
+  d.AddRow({6.0}, 0, 1.0);
+  const Standardizer s = Standardizer::Fit(d);
+  EXPECT_DOUBLE_EQ(s.mean()[0], 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev()[0], 2.0);
+  EXPECT_DOUBLE_EQ(s.Transform({4.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.Transform({6.0})[0], 1.0);
+}
+
+TEST(StandardizerTest, ConstantFeatureMapsToZero) {
+  Dataset d(1);
+  d.AddRow({5.0}, 0, 1.0);
+  d.AddRow({5.0}, 1, 1.0);
+  const Standardizer s = Standardizer::Fit(d);
+  EXPECT_DOUBLE_EQ(s.Transform({5.0})[0], 0.0);
+}
+
+TEST(DatasetDeathTest, RejectsBadRows) {
+  Dataset d(2);
+  EXPECT_DEATH(d.AddRow({1.0}, 0, 1.0), "width mismatch");
+  EXPECT_DEATH(d.AddRow({1.0, 2.0}, 2, 1.0), "binary");
+  EXPECT_DEATH(d.AddRow({1.0, 2.0}, 0, -1.0), "non-negative");
+}
+
+}  // namespace
+}  // namespace paws

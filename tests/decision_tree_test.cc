@@ -1,0 +1,147 @@
+#include "ml/decision_tree.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace paws {
+namespace {
+
+// Axis-aligned separable data: y = 1 iff x0 > 0.
+Dataset Separable(int n, Rng* rng) {
+  Dataset d(2);
+  for (int i = 0; i < n; ++i) {
+    const double x0 = rng->Uniform(-1.0, 1.0);
+    const double x1 = rng->Uniform(-1.0, 1.0);
+    d.AddRow({x0, x1}, x0 > 0 ? 1 : 0, 1.0);
+  }
+  return d;
+}
+
+TEST(DecisionTreeTest, LearnsAxisAlignedSplit) {
+  Rng rng(1);
+  const Dataset train = Separable(400, &rng);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(train, &rng).ok());
+  EXPECT_GT(tree.PredictProb({0.5, 0.0}), 0.8);
+  EXPECT_LT(tree.PredictProb({-0.5, 0.0}), 0.2);
+}
+
+TEST(DecisionTreeTest, HighAucOnSeparableTestSet) {
+  Rng rng(2);
+  const Dataset train = Separable(500, &rng);
+  const Dataset test = Separable(300, &rng);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(train, &rng).ok());
+  const auto auc = AucRoc(PredictAll(tree, test), test.labels());
+  ASSERT_TRUE(auc.ok());
+  EXPECT_GT(auc.value(), 0.95);
+}
+
+TEST(DecisionTreeTest, LearnsXorWithDepth) {
+  // XOR requires depth >= 2; a depth-1 stump cannot learn it.
+  Rng rng(3);
+  Dataset d(2);
+  for (int i = 0; i < 600; ++i) {
+    const double a = rng.Uniform(-1, 1), b = rng.Uniform(-1, 1);
+    d.AddRow({a, b}, (a > 0) != (b > 0) ? 1 : 0, 1.0);
+  }
+  DecisionTreeConfig deep;
+  deep.max_depth = 4;
+  DecisionTree tree(deep);
+  ASSERT_TRUE(tree.Fit(d, &rng).ok());
+  EXPECT_GT(tree.PredictProb({0.5, -0.5}), 0.7);
+  EXPECT_GT(tree.PredictProb({-0.5, 0.5}), 0.7);
+  EXPECT_LT(tree.PredictProb({0.5, 0.5}), 0.3);
+  EXPECT_LT(tree.PredictProb({-0.5, -0.5}), 0.3);
+}
+
+TEST(DecisionTreeTest, StumpCannotLearnXor) {
+  Rng rng(4);
+  Dataset d(2);
+  for (int i = 0; i < 600; ++i) {
+    const double a = rng.Uniform(-1, 1), b = rng.Uniform(-1, 1);
+    d.AddRow({a, b}, (a > 0) != (b > 0) ? 1 : 0, 1.0);
+  }
+  DecisionTreeConfig stump;
+  stump.max_depth = 1;
+  DecisionTree tree(stump);
+  ASSERT_TRUE(tree.Fit(d, &rng).ok());
+  // Every prediction stays near the base rate.
+  for (double a : {-0.5, 0.5}) {
+    for (double b : {-0.5, 0.5}) {
+      EXPECT_NEAR(tree.PredictProb({a, b}), 0.5, 0.25);
+    }
+  }
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  Rng rng(5);
+  const Dataset train = Separable(500, &rng);
+  DecisionTreeConfig cfg;
+  cfg.max_depth = 3;
+  DecisionTree tree(cfg);
+  ASSERT_TRUE(tree.Fit(train, &rng).ok());
+  EXPECT_LE(tree.Depth(), 3);
+}
+
+TEST(DecisionTreeTest, PureDataYieldsSingleLeaf) {
+  Rng rng(6);
+  Dataset d(1);
+  for (int i = 0; i < 50; ++i) d.AddRow({rng.Uniform()}, 0, 1.0);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(d, &rng).ok());
+  EXPECT_EQ(tree.NodeCount(), 1);
+  // Laplace-smoothed leaf: 1/52.
+  EXPECT_NEAR(tree.PredictProb({0.5}), 1.0 / 52.0, 1e-12);
+}
+
+TEST(DecisionTreeTest, LeafProbsAreSmoothed) {
+  Rng rng(7);
+  const Dataset train = Separable(400, &rng);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(train, &rng).ok());
+  // Probabilities never hit exact 0/1 thanks to Laplace smoothing.
+  for (int i = 0; i < 50; ++i) {
+    const double p =
+        tree.PredictProb({rng.Uniform(-1, 1), rng.Uniform(-1, 1)});
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST(DecisionTreeTest, FeatureSubsamplingStillLearns) {
+  Rng rng(8);
+  const Dataset train = Separable(500, &rng);
+  DecisionTreeConfig cfg;
+  cfg.max_features = 1;  // random single feature per split
+  DecisionTree tree(cfg);
+  ASSERT_TRUE(tree.Fit(train, &rng).ok());
+  const auto auc = AucRoc(PredictAll(tree, train), train.labels());
+  ASSERT_TRUE(auc.ok());
+  EXPECT_GT(auc.value(), 0.8);
+}
+
+TEST(DecisionTreeTest, RejectsEmptyData) {
+  Rng rng(9);
+  Dataset d(1);
+  DecisionTree tree;
+  EXPECT_FALSE(tree.Fit(d, &rng).ok());
+}
+
+TEST(DecisionTreeTest, CloneUntrainedIsIndependent) {
+  Rng rng(10);
+  const Dataset train = Separable(200, &rng);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(train, &rng).ok());
+  auto clone = tree.CloneUntrained();
+  ASSERT_TRUE(clone->Fit(train, &rng).ok());
+  // Both are usable; the clone trained on the same data agrees closely.
+  EXPECT_NEAR(clone->PredictProb({0.5, 0.0}), tree.PredictProb({0.5, 0.0}),
+              0.3);
+}
+
+}  // namespace
+}  // namespace paws

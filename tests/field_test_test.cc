@@ -1,0 +1,146 @@
+#include "sim/field_test.h"
+
+#include "gtest/gtest.h"
+#include "geo/synth.h"
+#include "sim/patrol_sim.h"
+
+namespace paws {
+namespace {
+
+struct Fixture {
+  Fixture() : park(MakePark()), attacks(park, MakeBehavior()) {
+    Rng rng(31);
+    history = SimulateHistory(park, attacks, detection, PatrolSimConfig{}, 6,
+                              &rng);
+  }
+  static Park MakePark() {
+    SynthParkConfig cfg;
+    cfg.width = 36;
+    cfg.height = 30;
+    cfg.seed = 8;
+    return GenerateSyntheticPark(cfg);
+  }
+  static BehaviorConfig MakeBehavior() {
+    BehaviorConfig cfg;
+    cfg.intercept = -1.2;
+    return cfg;
+  }
+  // Ground-truth attack probabilities as the "oracle" risk map.
+  std::vector<double> OracleRisk() const {
+    std::vector<double> risk(park.num_cells());
+    for (int id = 0; id < park.num_cells(); ++id) {
+      risk[id] = attacks.AttackProbability(id, 0, 0.0);
+    }
+    return risk;
+  }
+  Park park;
+  AttackModel attacks;
+  DetectionModel detection;
+  PatrolHistory history;
+};
+
+FieldTestConfig SmallConfig() {
+  FieldTestConfig cfg;
+  cfg.block_size = 3;
+  cfg.blocks_per_group = 4;
+  return cfg;
+}
+
+TEST(FieldTestTest, ProducesThreeGroups) {
+  Fixture f;
+  Rng rng(1);
+  auto result = RunFieldTest(f.park, f.OracleRisk(), f.history.TotalEffort(),
+                             f.attacks, f.detection, SmallConfig(), 0,
+                             f.history.steps[0].effort, &rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->groups.size(), 3u);
+  EXPECT_EQ(result->groups[0].group, "High");
+  EXPECT_EQ(result->groups[1].group, "Medium");
+  EXPECT_EQ(result->groups[2].group, "Low");
+  for (const GroupResult& g : result->groups) {
+    EXPECT_GT(g.num_cells, 0);
+    EXPECT_GT(g.effort_km, 0.0);
+    EXPECT_LE(g.num_observed, g.num_cells);
+  }
+}
+
+TEST(FieldTestTest, OracleRiskRanksHighAboveLow) {
+  // With the true attack probabilities as the risk map, High-risk blocks
+  // must out-produce Low-risk blocks on average (Table III's pattern).
+  Fixture f;
+  Rng rng(2);
+  double high = 0.0, low = 0.0;
+  int trials = 0;
+  for (int rep = 0; rep < 8; ++rep) {
+    auto result = RunFieldTest(f.park, f.OracleRisk(),
+                               f.history.TotalEffort(), f.attacks,
+                               f.detection, SmallConfig(), 0,
+                               f.history.steps[0].effort, &rng);
+    ASSERT_TRUE(result.ok()) << result.status();
+    high += result->groups[0].ObsPerCell();
+    low += result->groups[2].ObsPerCell();
+    ++trials;
+  }
+  EXPECT_GT(high / trials, low / trials);
+}
+
+TEST(FieldTestTest, RandomRiskShowsNoSeparation) {
+  Fixture f;
+  Rng rng(3);
+  Rng risk_rng(99);
+  std::vector<double> random_risk(f.park.num_cells());
+  for (double& r : random_risk) r = risk_rng.Uniform();
+  double high = 0.0, low = 0.0;
+  for (int rep = 0; rep < 8; ++rep) {
+    auto result = RunFieldTest(f.park, random_risk, f.history.TotalEffort(),
+                               f.attacks, f.detection, SmallConfig(), 0,
+                               f.history.steps[0].effort, &rng);
+    ASSERT_TRUE(result.ok()) << result.status();
+    high += result->groups[0].ObsPerCell();
+    low += result->groups[2].ObsPerCell();
+  }
+  // Random ranking: no systematic gap (allow generous slack).
+  EXPECT_NEAR(high, low, 0.8 + 0.5 * (high + low));
+}
+
+TEST(FieldTestTest, ChiSquaredFieldsPopulated) {
+  Fixture f;
+  Rng rng(4);
+  auto result = RunFieldTest(f.park, f.OracleRisk(), f.history.TotalEffort(),
+                             f.attacks, f.detection, SmallConfig(), 0,
+                             f.history.steps[0].effort, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->chi_squared.p_value, 0.0);
+  EXPECT_LE(result->chi_squared.p_value, 1.0);
+  EXPECT_GE(result->chi_squared.statistic, 0.0);
+}
+
+TEST(FieldTestTest, RejectsMismatchedInputs) {
+  Fixture f;
+  Rng rng(5);
+  std::vector<double> short_risk(3, 0.5);
+  auto result = RunFieldTest(f.park, short_risk, f.history.TotalEffort(),
+                             f.attacks, f.detection, SmallConfig(), 0,
+                             f.history.steps[0].effort, &rng);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(FieldTestTest, FailsWhenParkTooSmallForBlocks) {
+  SynthParkConfig cfg;
+  cfg.width = 10;
+  cfg.height = 10;
+  cfg.seed = 9;
+  const Park tiny = GenerateSyntheticPark(cfg);
+  AttackModel attacks(tiny, BehaviorConfig{});
+  Rng rng(6);
+  const std::vector<double> risk(tiny.num_cells(), 0.5);
+  const std::vector<double> effort(tiny.num_cells(), 1.0);
+  FieldTestConfig big_blocks;
+  big_blocks.block_size = 6;
+  auto result = RunFieldTest(tiny, risk, effort, attacks, DetectionModel{},
+                             big_blocks, 0, effort, &rng);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace paws

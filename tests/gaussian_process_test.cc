@@ -1,0 +1,139 @@
+#include "ml/gaussian_process.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace paws {
+namespace {
+
+Dataset Blobs(int n, Rng* rng, double separation = 1.5) {
+  Dataset d(2);
+  for (int i = 0; i < n; ++i) {
+    const bool pos = rng->Bernoulli(0.5);
+    const double cx = pos ? separation / 2 : -separation / 2;
+    d.AddRow({cx + 0.5 * rng->Normal(), 0.5 * rng->Normal()}, pos ? 1 : 0,
+             1.0);
+  }
+  return d;
+}
+
+TEST(GpTest, ClassifiesSeparatedBlobs) {
+  Rng rng(1);
+  const Dataset train = Blobs(200, &rng);
+  GaussianProcessClassifier gp;
+  ASSERT_TRUE(gp.Fit(train, &rng).ok());
+  EXPECT_GT(gp.PredictProb({1.0, 0.0}), 0.7);
+  EXPECT_LT(gp.PredictProb({-1.0, 0.0}), 0.3);
+}
+
+TEST(GpTest, HighAucOnHeldOut) {
+  Rng rng(2);
+  const Dataset train = Blobs(250, &rng);
+  const Dataset test = Blobs(200, &rng);
+  GaussianProcessClassifier gp;
+  ASSERT_TRUE(gp.Fit(train, &rng).ok());
+  const auto auc = AucRoc(PredictAll(gp, test), test.labels());
+  ASSERT_TRUE(auc.ok());
+  EXPECT_GT(auc.value(), 0.95);
+}
+
+TEST(GpTest, VarianceGrowsAwayFromTrainingData) {
+  // The GP's defining property for this paper: predictive variance is
+  // small near observed data and large in unexplored regions (Sec. V-B).
+  Rng rng(3);
+  const Dataset train = Blobs(150, &rng);
+  GaussianProcessClassifier gp;
+  ASSERT_TRUE(gp.Fit(train, &rng).ok());
+  const double var_near = gp.PredictWithVariance({0.0, 0.0}).variance;
+  const double var_far = gp.PredictWithVariance({30.0, 30.0}).variance;
+  EXPECT_GT(var_far, var_near * 1.5);
+  // Far-from-data variance approaches the prior.
+  EXPECT_NEAR(var_far, 1.0, 0.1);
+}
+
+TEST(GpTest, FarFromDataPredictionNearPrior) {
+  Rng rng(4);
+  const Dataset train = Blobs(150, &rng);
+  GaussianProcessClassifier gp;
+  ASSERT_TRUE(gp.Fit(train, &rng).ok());
+  // With a zero-mean latent prior, the far-field probability tends to 0.5.
+  EXPECT_NEAR(gp.PredictProb({50.0, -50.0}), 0.5, 0.1);
+}
+
+TEST(GpTest, VarianceNotDeterminedByPrediction) {
+  // Fig. 7: GP variance is *not* a function of the predicted probability
+  // (unlike bagged-tree spread). Two points with similar predictions but
+  // different distances to data must have different variances.
+  Rng rng(5);
+  const Dataset train = Blobs(200, &rng);
+  GaussianProcessClassifier gp;
+  ASSERT_TRUE(gp.Fit(train, &rng).ok());
+  const Prediction near = gp.PredictWithVariance({0.0, 0.0});
+  const Prediction far = gp.PredictWithVariance({0.0, 40.0});
+  EXPECT_NEAR(near.prob, far.prob, 0.25);  // both uncertain in probability
+  EXPECT_GT(far.variance, near.variance + 0.2);
+}
+
+TEST(GpTest, SubsamplesLargeDatasets) {
+  Rng rng(6);
+  const Dataset train = Blobs(2000, &rng);
+  GaussianProcessConfig cfg;
+  cfg.max_points = 100;
+  GaussianProcessClassifier gp(cfg);
+  ASSERT_TRUE(gp.Fit(train, &rng).ok());
+  EXPECT_LE(gp.num_inducing_points(), 100);
+  EXPECT_GT(gp.PredictProb({1.0, 0.0}), 0.6);
+}
+
+TEST(GpTest, KeepsScarcePositivesWhenSubsampling) {
+  Rng rng(7);
+  Dataset d(1);
+  for (int i = 0; i < 1000; ++i) d.AddRow({-1.0 + 0.1 * rng.Normal()}, 0, 1.0);
+  for (int i = 0; i < 12; ++i) d.AddRow({1.0 + 0.1 * rng.Normal()}, 1, 1.0);
+  GaussianProcessConfig cfg;
+  cfg.max_points = 80;
+  GaussianProcessClassifier gp(cfg);
+  ASSERT_TRUE(gp.Fit(d, &rng).ok());
+  // All 12 positives survive the subsample, so the positive blob is known.
+  EXPECT_GT(gp.PredictProb({1.0}), 0.5);
+}
+
+TEST(GpTest, ProvidesVarianceFlag) {
+  GaussianProcessClassifier gp;
+  EXPECT_TRUE(gp.ProvidesVariance());
+}
+
+TEST(GpTest, RejectsEmptyData) {
+  Rng rng(8);
+  Dataset d(1);
+  GaussianProcessClassifier gp;
+  EXPECT_FALSE(gp.Fit(d, &rng).ok());
+}
+
+TEST(KernelTest, RbfBasics) {
+  RbfKernel k{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(k({0.0}, {0.0}), 2.0);  // signal variance on diagonal
+  EXPECT_NEAR(k({0.0}, {1.0}), 2.0 * std::exp(-0.5), 1e-12);
+  EXPECT_GT(k({0.0}, {1.0}), k({0.0}, {2.0}));  // decays with distance
+}
+
+TEST(KernelTest, GramMatrixIsSymmetricPd) {
+  Rng rng(9);
+  std::vector<std::vector<double>> x;
+  for (int i = 0; i < 30; ++i) x.push_back({rng.Normal(), rng.Normal()});
+  RbfKernel k{1.0, 1.0};
+  const Matrix gram = k.GramMatrix(x, 1e-6);
+  for (int i = 0; i < 30; ++i) {
+    for (int j = 0; j < 30; ++j) {
+      EXPECT_DOUBLE_EQ(gram(i, j), gram(j, i));
+    }
+  }
+  EXPECT_TRUE(CholeskyFactor(gram).ok());
+}
+
+}  // namespace
+}  // namespace paws

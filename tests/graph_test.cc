@@ -1,0 +1,94 @@
+#include "plan/graph.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "geo/synth.h"
+
+namespace paws {
+namespace {
+
+Park TestPark() {
+  SynthParkConfig cfg;
+  cfg.width = 24;
+  cfg.height = 20;
+  cfg.seed = 12;
+  return GenerateSyntheticPark(cfg);
+}
+
+TEST(PlanningGraphTest, SourceIsThePost) {
+  const Park park = TestPark();
+  const Cell post = park.patrol_posts()[0];
+  const PlanningGraph g = BuildPlanningGraph(park, post, 4);
+  EXPECT_EQ(g.park_cell_ids[g.source], park.DenseIdOf(post));
+}
+
+TEST(PlanningGraphTest, RadiusBoundsTheRegion) {
+  const Park park = TestPark();
+  const Cell post = park.patrol_posts()[0];
+  const PlanningGraph g = BuildPlanningGraph(park, post, 3);
+  const std::vector<int> dist = DistancesFromSource(g);
+  for (int v = 0; v < g.num_cells(); ++v) {
+    EXPECT_LE(dist[v], 3);
+    EXPECT_GE(dist[v], 0);
+  }
+}
+
+TEST(PlanningGraphTest, LargerRadiusNeverShrinks) {
+  const Park park = TestPark();
+  const Cell post = park.patrol_posts()[0];
+  int prev = 0;
+  for (int r = 1; r <= 6; ++r) {
+    const PlanningGraph g = BuildPlanningGraph(park, post, r);
+    EXPECT_GE(g.num_cells(), prev);
+    prev = g.num_cells();
+  }
+}
+
+TEST(PlanningGraphTest, EveryCellHasSelfLoop) {
+  const Park park = TestPark();
+  const PlanningGraph g = BuildPlanningGraph(park, park.patrol_posts()[0], 4);
+  for (int v = 0; v < g.num_cells(); ++v) {
+    EXPECT_NE(std::find(g.neighbors[v].begin(), g.neighbors[v].end(), v),
+              g.neighbors[v].end());
+  }
+}
+
+TEST(PlanningGraphTest, AdjacencyIsSymmetric) {
+  const Park park = TestPark();
+  const PlanningGraph g = BuildPlanningGraph(park, park.patrol_posts()[0], 5);
+  for (int u = 0; u < g.num_cells(); ++u) {
+    for (int v : g.neighbors[u]) {
+      if (v == u) continue;
+      EXPECT_NE(std::find(g.neighbors[v].begin(), g.neighbors[v].end(), u),
+                g.neighbors[v].end())
+          << u << " -> " << v;
+    }
+  }
+}
+
+TEST(PlanningGraphTest, NeighborsAreGridAdjacent) {
+  const Park park = TestPark();
+  const PlanningGraph g = BuildPlanningGraph(park, park.patrol_posts()[0], 5);
+  for (int u = 0; u < g.num_cells(); ++u) {
+    const Cell cu = park.CellOf(g.park_cell_ids[u]);
+    for (int v : g.neighbors[u]) {
+      const Cell cv = park.CellOf(g.park_cell_ids[v]);
+      EXPECT_LE(std::abs(cu.x - cv.x) + std::abs(cu.y - cv.y), 1);
+    }
+  }
+}
+
+TEST(PlanningGraphTest, DistancesSatisfyTriangleStep) {
+  const Park park = TestPark();
+  const PlanningGraph g = BuildPlanningGraph(park, park.patrol_posts()[0], 6);
+  const std::vector<int> dist = DistancesFromSource(g);
+  for (int u = 0; u < g.num_cells(); ++u) {
+    for (int v : g.neighbors[u]) {
+      EXPECT_LE(std::abs(dist[u] - dist[v]), 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paws

@@ -1,0 +1,105 @@
+#include "plan/greedy.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "geo/synth.h"
+
+namespace paws {
+namespace {
+
+Park TestPark() {
+  SynthParkConfig cfg;
+  cfg.width = 20;
+  cfg.height = 16;
+  cfg.seed = 15;
+  return GenerateSyntheticPark(cfg);
+}
+
+std::function<double(double)> Saturating(double weight) {
+  return [weight](double c) { return weight * (1.0 - std::exp(-0.8 * c)); };
+}
+
+TEST(GreedyTest, ProducesFeasibleBudget) {
+  const Park park = TestPark();
+  const PlanningGraph g = BuildPlanningGraph(park, park.patrol_posts()[0], 4);
+  std::vector<std::function<double(double)>> utils(g.num_cells(),
+                                                   Saturating(1.0));
+  PlannerConfig cfg;
+  cfg.horizon = 6;
+  cfg.num_patrols = 3;
+  auto plan = GreedyPlan(g, utils, cfg);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  double total = 0.0;
+  for (double c : plan->coverage) {
+    EXPECT_GE(c, 0.0);
+    total += c;
+  }
+  EXPECT_NEAR(total, 6.0 * 3.0, 1e-9);
+}
+
+TEST(GreedyTest, NeverExceedsReachableCells) {
+  const Park park = TestPark();
+  const PlanningGraph g = BuildPlanningGraph(park, park.patrol_posts()[0], 8);
+  std::vector<std::function<double(double)>> utils(g.num_cells(),
+                                                   Saturating(1.0));
+  PlannerConfig cfg;
+  cfg.horizon = 4;
+  cfg.num_patrols = 2;
+  auto plan = GreedyPlan(g, utils, cfg);
+  ASSERT_TRUE(plan.ok());
+  const std::vector<int> dist = DistancesFromSource(g);
+  for (int v = 0; v < g.num_cells(); ++v) {
+    if (dist[v] > (cfg.horizon - 1) / 2 && v != g.source) {
+      EXPECT_DOUBLE_EQ(plan->coverage[v], 0.0) << v;
+    }
+  }
+}
+
+TEST(GreedyTest, ChasesHighValueCell) {
+  const Park park = TestPark();
+  const PlanningGraph g = BuildPlanningGraph(park, park.patrol_posts()[0], 4);
+  const std::vector<int> dist = DistancesFromSource(g);
+  int target = -1;
+  for (int v = 0; v < g.num_cells(); ++v) {
+    if (dist[v] == 1 && v != g.source) {
+      target = v;
+      break;
+    }
+  }
+  ASSERT_GE(target, 0);
+  std::vector<std::function<double(double)>> utils(g.num_cells(),
+                                                   Saturating(0.01));
+  utils[target] = Saturating(5.0);
+  PlannerConfig cfg;
+  cfg.horizon = 6;
+  cfg.num_patrols = 2;
+  auto plan = GreedyPlan(g, utils, cfg);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan->coverage[target], 0.5);
+}
+
+TEST(GreedyTest, ReportsHeuristicStatus) {
+  const Park park = TestPark();
+  const PlanningGraph g = BuildPlanningGraph(park, park.patrol_posts()[0], 3);
+  std::vector<std::function<double(double)>> utils(g.num_cells(),
+                                                   Saturating(1.0));
+  PlannerConfig cfg;
+  cfg.horizon = 4;
+  cfg.num_patrols = 1;
+  auto plan = GreedyPlan(g, utils, cfg);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->proven_optimal);
+  EXPECT_NEAR(plan->objective, EvaluateCoverage(plan->coverage, utils), 1e-9);
+}
+
+TEST(GreedyTest, RejectsBadInputs) {
+  const Park park = TestPark();
+  const PlanningGraph g = BuildPlanningGraph(park, park.patrol_posts()[0], 3);
+  std::vector<std::function<double(double)>> too_few(1, Saturating(1.0));
+  PlannerConfig cfg;
+  EXPECT_FALSE(GreedyPlan(g, too_few, cfg).ok());
+}
+
+}  // namespace
+}  // namespace paws

@@ -1,0 +1,68 @@
+#include "geo/grid.h"
+
+#include "gtest/gtest.h"
+
+namespace paws {
+namespace {
+
+TEST(GridTest, IndexRoundTrip) {
+  GridD g(5, 3);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 5; ++x) {
+      const int idx = g.Index(x, y);
+      const Cell c = g.CellAt(idx);
+      EXPECT_EQ(c.x, x);
+      EXPECT_EQ(c.y, y);
+    }
+  }
+}
+
+TEST(GridTest, InBounds) {
+  GridD g(4, 4);
+  EXPECT_TRUE(g.InBounds(0, 0));
+  EXPECT_TRUE(g.InBounds(3, 3));
+  EXPECT_FALSE(g.InBounds(-1, 0));
+  EXPECT_FALSE(g.InBounds(0, 4));
+  EXPECT_FALSE(g.InBounds(4, 0));
+}
+
+TEST(GridTest, FillAndAccess) {
+  GridD g(3, 3, 1.5);
+  EXPECT_DOUBLE_EQ(g.At(1, 1), 1.5);
+  g.At(1, 1) = 2.5;
+  EXPECT_DOUBLE_EQ(g.At(1, 1), 2.5);
+  g.Fill(0.0);
+  EXPECT_DOUBLE_EQ(g.At(1, 1), 0.0);
+}
+
+TEST(GridTest, SizeMatchesDimensions) {
+  GridD g(7, 5);
+  EXPECT_EQ(g.size(), 35);
+  EXPECT_EQ(g.width(), 7);
+  EXPECT_EQ(g.height(), 5);
+}
+
+TEST(Neighbors4Test, InteriorCellHasFour) {
+  GridD g(5, 5);
+  const auto n = Neighbors4(g, Cell{2, 2});
+  EXPECT_EQ(n.size(), 4u);
+}
+
+TEST(Neighbors4Test, CornerCellHasTwo) {
+  GridD g(5, 5);
+  EXPECT_EQ(Neighbors4(g, Cell{0, 0}).size(), 2u);
+  EXPECT_EQ(Neighbors4(g, Cell{4, 4}).size(), 2u);
+}
+
+TEST(Neighbors4Test, EdgeCellHasThree) {
+  GridD g(5, 5);
+  EXPECT_EQ(Neighbors4(g, Cell{2, 0}).size(), 3u);
+}
+
+TEST(CellDistanceTest, EuclideanMetric) {
+  EXPECT_DOUBLE_EQ(CellDistance(Cell{0, 0}, Cell{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(CellDistance(Cell{2, 2}, Cell{2, 2}), 0.0);
+}
+
+}  // namespace
+}  // namespace paws

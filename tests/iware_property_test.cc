@@ -1,0 +1,113 @@
+// Parameterized property suite for the iWare-E ensemble across weak
+// learners, threshold counts and imbalance levels.
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "core/iware.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace paws {
+namespace {
+
+struct IWareCase {
+  WeakLearnerKind kind;
+  int num_thresholds;
+  double positive_rate;
+  uint64_t seed;
+};
+
+void PrintTo(const IWareCase& c, std::ostream* os) {
+  *os << WeakLearnerName(c.kind) << "_I" << c.num_thresholds << "_p"
+      << static_cast<int>(100 * c.positive_rate) << "_s" << c.seed;
+}
+
+Dataset MakeData(int n, double positive_rate, Rng* rng) {
+  // Attack iff x0 > threshold chosen to hit the requested positive rate
+  // after one-sided detection noise.
+  Dataset d(3);
+  for (int i = 0; i < n; ++i) {
+    const double x0 = rng->Uniform();
+    const double x1 = rng->Uniform(-1.0, 1.0);
+    const double x2 = rng->Uniform(-1.0, 1.0);
+    const bool attacked = x0 > 1.0 - 2.0 * positive_rate;
+    const double effort = rng->Uniform(0.1, 5.0);
+    const bool detected =
+        attacked && rng->Bernoulli(1.0 - std::exp(-0.8 * effort));
+    d.AddRow({x0, x1, x2}, detected ? 1 : 0, effort);
+  }
+  return d;
+}
+
+class IWarePropertyTest : public ::testing::TestWithParam<IWareCase> {};
+
+TEST_P(IWarePropertyTest, StructuralInvariants) {
+  const IWareCase param = GetParam();
+  Rng rng(param.seed);
+  const Dataset train = MakeData(700, param.positive_rate, &rng);
+  if (train.CountPositives() < 4) GTEST_SKIP() << "degenerate draw";
+
+  IWareConfig cfg;
+  cfg.weak_learner = param.kind;
+  cfg.num_thresholds = param.num_thresholds;
+  cfg.cv_folds = 2;
+  cfg.bagging.num_estimators = 4;
+  cfg.tree.max_depth = 6;
+  cfg.gp.max_points = 60;
+  cfg.svm.epochs = 6;
+  IWareEnsemble model(cfg);
+  ASSERT_TRUE(model.Fit(train, &rng).ok());
+
+  // Thresholds strictly increasing; weights a distribution; counts agree.
+  ASSERT_GE(model.num_learners(), 1);
+  ASSERT_LE(model.num_learners(), param.num_thresholds);
+  EXPECT_EQ(model.weights().size(), model.thresholds().size());
+  double wsum = 0.0;
+  for (size_t i = 0; i < model.thresholds().size(); ++i) {
+    if (i > 0) EXPECT_GT(model.thresholds()[i], model.thresholds()[i - 1]);
+    EXPECT_GE(model.weights()[i], 0.0);
+    wsum += model.weights()[i];
+  }
+  EXPECT_NEAR(wsum, 1.0, 1e-9);
+
+  // Predictions are valid probabilities with non-negative variance at any
+  // effort, including below every threshold and far above all of them.
+  for (const double effort : {0.0, 0.5, 2.0, 50.0}) {
+    for (int i = 0; i < 20; ++i) {
+      const Prediction p = model.Predict(train.RowVector(i), effort);
+      EXPECT_GE(p.prob, 0.0);
+      EXPECT_LE(p.prob, 1.0);
+      EXPECT_GE(p.variance, 0.0);
+    }
+  }
+
+  // The model beats chance on its own training distribution (weak but
+  // universal sanity bound; test at high effort where labels are clean).
+  Rng eval_rng(param.seed + 99);
+  Dataset clean(3);
+  for (int i = 0; i < 400; ++i) {
+    const double x0 = eval_rng.Uniform();
+    clean.AddRow({x0, 0.0, 0.0},
+                 x0 > 1.0 - 2.0 * param.positive_rate ? 1 : 0, 4.5);
+  }
+  if (clean.CountPositives() > 0 &&
+      clean.CountPositives() < clean.size()) {
+    const auto auc = AucRoc(model.PredictDataset(clean), clean.labels());
+    ASSERT_TRUE(auc.ok());
+    EXPECT_GT(auc.value(), 0.55);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IWarePropertyTest,
+    ::testing::Values(
+        IWareCase{WeakLearnerKind::kDecisionTreeBagging, 3, 0.3, 1},
+        IWareCase{WeakLearnerKind::kDecisionTreeBagging, 6, 0.15, 2},
+        IWareCase{WeakLearnerKind::kDecisionTreeBagging, 10, 0.05, 3},
+        IWareCase{WeakLearnerKind::kSvmBagging, 4, 0.3, 4},
+        IWareCase{WeakLearnerKind::kSvmBagging, 8, 0.15, 5},
+        IWareCase{WeakLearnerKind::kGaussianProcessBagging, 3, 0.3, 6},
+        IWareCase{WeakLearnerKind::kGaussianProcessBagging, 5, 0.15, 7}));
+
+}  // namespace
+}  // namespace paws

@@ -1,0 +1,182 @@
+#include "core/iware.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace paws {
+namespace {
+
+// Synthetic one-sided-noise dataset, the exact pathology iWare-E targets:
+// attack iff x0 > 0; detection probability grows with patrol effort, so
+// low-effort negatives are unreliable.
+Dataset OneSidedNoise(int n, Rng* rng) {
+  Dataset d(2);
+  for (int i = 0; i < n; ++i) {
+    const double x0 = rng->Uniform(-1.0, 1.0);
+    const double x1 = rng->Uniform(-1.0, 1.0);
+    const bool attacked = x0 > 0.0;
+    const double effort = rng->Uniform(0.0, 4.0);
+    const bool detected =
+        attacked && rng->Bernoulli(1.0 - std::exp(-1.2 * effort));
+    d.AddRow({x0, x1}, detected ? 1 : 0, effort);
+  }
+  return d;
+}
+
+IWareConfig FastConfig(WeakLearnerKind kind) {
+  IWareConfig cfg;
+  cfg.num_thresholds = 4;
+  cfg.cv_folds = 2;
+  cfg.weak_learner = kind;
+  cfg.bagging.num_estimators = 5;
+  cfg.tree.max_depth = 6;
+  cfg.gp.max_points = 80;
+  return cfg;
+}
+
+TEST(IWareTest, FitsAndPredictsWithTrees) {
+  Rng rng(1);
+  const Dataset train = OneSidedNoise(600, &rng);
+  IWareEnsemble model(FastConfig(WeakLearnerKind::kDecisionTreeBagging));
+  ASSERT_TRUE(model.Fit(train, &rng).ok());
+  EXPECT_GE(model.num_learners(), 2);
+  const Prediction p = model.Predict({0.5, 0.0}, 2.0);
+  EXPECT_GE(p.prob, 0.0);
+  EXPECT_LE(p.prob, 1.0);
+  EXPECT_GE(p.variance, 0.0);
+}
+
+TEST(IWareTest, ThresholdsAreSortedPercentiles) {
+  Rng rng(2);
+  const Dataset train = OneSidedNoise(500, &rng);
+  IWareEnsemble model(FastConfig(WeakLearnerKind::kDecisionTreeBagging));
+  ASSERT_TRUE(model.Fit(train, &rng).ok());
+  const auto& thetas = model.thresholds();
+  for (size_t i = 1; i < thetas.size(); ++i) {
+    EXPECT_GT(thetas[i], thetas[i - 1]);
+  }
+  EXPECT_LE(thetas.front(), train.EffortPercentile(1.0));
+}
+
+TEST(IWareTest, WeightsFormDistribution) {
+  Rng rng(3);
+  const Dataset train = OneSidedNoise(500, &rng);
+  IWareEnsemble model(FastConfig(WeakLearnerKind::kDecisionTreeBagging));
+  ASSERT_TRUE(model.Fit(train, &rng).ok());
+  double sum = 0.0;
+  for (double w : model.weights()) {
+    EXPECT_GE(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(model.weights().size(), model.thresholds().size());
+}
+
+TEST(IWareTest, RecoversSignalDespiteNoise) {
+  Rng rng(4);
+  const Dataset train = OneSidedNoise(900, &rng);
+  IWareEnsemble model(FastConfig(WeakLearnerKind::kDecisionTreeBagging));
+  ASSERT_TRUE(model.Fit(train, &rng).ok());
+  // At high effort, attacked cells should score well above safe cells.
+  EXPECT_GT(model.PredictProb({0.7, 0.0}, 3.5),
+            model.PredictProb({-0.7, 0.0}, 3.5) + 0.2);
+}
+
+TEST(IWareTest, BeatsOrMatchesNonIWareBaseline) {
+  // The paper's central Table II claim: iWare-E lifts AUC over the plain
+  // bagging baseline under one-sided noise.
+  Rng rng(5);
+  const Dataset train = OneSidedNoise(1200, &rng);
+  // Test set labeled with the *true* attack state at high effort, so AUC
+  // measures recovery of the underlying risk.
+  Dataset test(2);
+  for (int i = 0; i < 600; ++i) {
+    const double x0 = rng.Uniform(-1, 1), x1 = rng.Uniform(-1, 1);
+    test.AddRow({x0, x1}, x0 > 0 ? 1 : 0, 3.5);
+  }
+  const IWareConfig cfg = FastConfig(WeakLearnerKind::kDecisionTreeBagging);
+  Rng rng_a(6), rng_b(6);
+  IWareEnsemble iware(cfg);
+  ASSERT_TRUE(iware.Fit(train, &rng_a).ok());
+  auto baseline = MakeWeakLearner(cfg);
+  ASSERT_TRUE(baseline->Fit(train, &rng_b).ok());
+  const double auc_iware =
+      AucRoc(iware.PredictDataset(test), test.labels()).value();
+  const double auc_base =
+      AucRoc(PredictAll(*baseline, test), test.labels()).value();
+  EXPECT_GE(auc_iware, auc_base - 0.03);
+  EXPECT_GT(auc_iware, 0.8);
+}
+
+TEST(IWareTest, PredictionIncreasesWithEffortOnRiskyCells) {
+  // g_v(c) should grow with hypothetical effort: more qualified learners
+  // trained on reliable data vote, and they saw detection grow with effort.
+  Rng rng(7);
+  const Dataset train = OneSidedNoise(900, &rng);
+  IWareEnsemble model(FastConfig(WeakLearnerKind::kDecisionTreeBagging));
+  ASSERT_TRUE(model.Fit(train, &rng).ok());
+  const double lo = model.PredictProb({0.6, 0.0}, 0.2);
+  const double hi = model.PredictProb({0.6, 0.0}, 3.8);
+  EXPECT_GT(hi, lo - 0.05);
+}
+
+TEST(IWareTest, GpWeakLearnerProvidesUsefulVariance) {
+  Rng rng(8);
+  const Dataset train = OneSidedNoise(400, &rng);
+  IWareEnsemble model(FastConfig(WeakLearnerKind::kGaussianProcessBagging));
+  ASSERT_TRUE(model.Fit(train, &rng).ok());
+  // In-distribution vs far out-of-distribution variance.
+  const double var_in = model.Predict({0.0, 0.0}, 2.0).variance;
+  const double var_out = model.Predict({25.0, -25.0}, 2.0).variance;
+  EXPECT_GT(var_out, var_in);
+}
+
+TEST(IWareTest, UniformThresholdModeWorks) {
+  Rng rng(9);
+  const Dataset train = OneSidedNoise(500, &rng);
+  IWareConfig cfg = FastConfig(WeakLearnerKind::kDecisionTreeBagging);
+  cfg.percentile_thresholds = false;
+  cfg.theta_min = 0.0;
+  cfg.theta_max = 4.0;
+  IWareEnsemble model(cfg);
+  ASSERT_TRUE(model.Fit(train, &rng).ok());
+  EXPECT_GE(model.num_learners(), 2);
+}
+
+TEST(IWareTest, EqualWeightModeSkipsOptimization) {
+  Rng rng(10);
+  const Dataset train = OneSidedNoise(500, &rng);
+  IWareConfig cfg = FastConfig(WeakLearnerKind::kDecisionTreeBagging);
+  cfg.optimize_weights = false;
+  IWareEnsemble model(cfg);
+  ASSERT_TRUE(model.Fit(train, &rng).ok());
+  for (double w : model.weights()) {
+    EXPECT_NEAR(w, 1.0 / model.num_learners(), 1e-9);
+  }
+}
+
+TEST(IWareTest, RejectsDegenerateData) {
+  Rng rng(11);
+  IWareEnsemble model(FastConfig(WeakLearnerKind::kDecisionTreeBagging));
+  Dataset tiny(2);
+  tiny.AddRow({0.0, 0.0}, 1, 1.0);
+  EXPECT_FALSE(model.Fit(tiny, &rng).ok());
+  Dataset single_class(2);
+  for (int i = 0; i < 100; ++i) {
+    single_class.AddRow({rng.Uniform(), rng.Uniform()}, 0, 1.0);
+  }
+  EXPECT_FALSE(model.Fit(single_class, &rng).ok());
+}
+
+TEST(IWareTest, WeakLearnerFactoryNames) {
+  EXPECT_STREQ(WeakLearnerName(WeakLearnerKind::kSvmBagging), "SVB");
+  EXPECT_STREQ(WeakLearnerName(WeakLearnerKind::kDecisionTreeBagging), "DTB");
+  EXPECT_STREQ(WeakLearnerName(WeakLearnerKind::kGaussianProcessBagging),
+               "GPB");
+}
+
+}  // namespace
+}  // namespace paws

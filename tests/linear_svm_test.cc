@@ -1,0 +1,103 @@
+#include "ml/linear_svm.h"
+
+#include "gtest/gtest.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace paws {
+namespace {
+
+Dataset LinearlySeparable(int n, Rng* rng, double margin = 0.3) {
+  Dataset d(2);
+  for (int i = 0; i < n; ++i) {
+    const bool pos = rng->Bernoulli(0.5);
+    // Separated along the direction (1, 1).
+    const double offset = pos ? margin : -margin;
+    d.AddRow({offset + 0.2 * rng->Normal(), offset + 0.2 * rng->Normal()},
+             pos ? 1 : 0, 1.0);
+  }
+  return d;
+}
+
+TEST(LinearSvmTest, SeparatesLinearData) {
+  Rng rng(1);
+  const Dataset train = LinearlySeparable(500, &rng);
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Fit(train, &rng).ok());
+  EXPECT_GT(svm.PredictProb({0.5, 0.5}), 0.7);
+  EXPECT_LT(svm.PredictProb({-0.5, -0.5}), 0.3);
+}
+
+TEST(LinearSvmTest, HighAucOnHeldOut) {
+  Rng rng(2);
+  const Dataset train = LinearlySeparable(800, &rng);
+  const Dataset test = LinearlySeparable(400, &rng);
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Fit(train, &rng).ok());
+  const auto auc = AucRoc(PredictAll(svm, test), test.labels());
+  ASSERT_TRUE(auc.ok());
+  EXPECT_GT(auc.value(), 0.95);
+}
+
+TEST(LinearSvmTest, DecisionValueSignMatchesProbability) {
+  Rng rng(3);
+  const Dataset train = LinearlySeparable(400, &rng);
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Fit(train, &rng).ok());
+  for (int i = 0; i < 30; ++i) {
+    const std::vector<double> x = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    const double f = svm.DecisionValue(x);
+    const double p = svm.PredictProb(x);
+    if (f > 0.5) EXPECT_GT(p, 0.5);
+    if (f < -0.5) EXPECT_LT(p, 0.5);
+  }
+}
+
+TEST(LinearSvmTest, ProbabilitiesAreCalibratedShapewise) {
+  // Platt scaling must be monotone in the decision value.
+  Rng rng(4);
+  const Dataset train = LinearlySeparable(500, &rng);
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Fit(train, &rng).ok());
+  double prev = -1.0;
+  for (double t = -1.0; t <= 1.0; t += 0.1) {
+    const double p = svm.PredictProb({t, t});
+    EXPECT_GE(p, prev - 1e-9);
+    prev = p;
+  }
+}
+
+TEST(LinearSvmTest, CannotLearnXorStaysNearChance) {
+  // Linear model on XOR: AUC should hover near 0.5 — this is exactly why
+  // SVB underperforms in Table II.
+  Rng rng(5);
+  Dataset d(2);
+  for (int i = 0; i < 800; ++i) {
+    const double a = rng.Uniform(-1, 1), b = rng.Uniform(-1, 1);
+    d.AddRow({a, b}, (a > 0) != (b > 0) ? 1 : 0, 1.0);
+  }
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Fit(d, &rng).ok());
+  const auto auc = AucRoc(PredictAll(svm, d), d.labels());
+  ASSERT_TRUE(auc.ok());
+  EXPECT_NEAR(auc.value(), 0.5, 0.1);
+}
+
+TEST(LinearSvmTest, RejectsEmptyData) {
+  Rng rng(6);
+  Dataset d(2);
+  LinearSvm svm;
+  EXPECT_FALSE(svm.Fit(d, &rng).ok());
+}
+
+TEST(LinearSvmTest, CloneUntrainedTrainsIndependently) {
+  Rng rng(7);
+  const Dataset train = LinearlySeparable(300, &rng);
+  LinearSvm svm;
+  auto clone = svm.CloneUntrained();
+  ASSERT_TRUE(clone->Fit(train, &rng).ok());
+  EXPECT_GT(clone->PredictProb({0.5, 0.5}), 0.5);
+}
+
+}  // namespace
+}  // namespace paws

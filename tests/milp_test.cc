@@ -1,0 +1,156 @@
+#include "solver/milp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace paws {
+namespace {
+
+TEST(MilpTest, ReducesToLpWithoutIntegers) {
+  LinearProgram lp;
+  const int x = lp.AddVariable(0.0, 4.0, 1.0);
+  lp.AddConstraint({{x, 1.0}}, Relation::kLessEqual, 2.5);
+  auto sol = SolveMilp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, 2.5, 1e-6);
+}
+
+TEST(MilpTest, SolvesSmallKnapsack) {
+  // Classic 0/1 knapsack: values {60, 100, 120}, weights {10, 20, 30},
+  // capacity 50 -> optimum 220 (items 2 and 3).
+  LinearProgram lp;
+  const int a = lp.AddBinaryVariable(60.0);
+  const int b = lp.AddBinaryVariable(100.0);
+  const int c = lp.AddBinaryVariable(120.0);
+  lp.AddConstraint({{a, 10.0}, {b, 20.0}, {c, 30.0}}, Relation::kLessEqual,
+                   50.0);
+  auto sol = SolveMilp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  ASSERT_EQ(sol->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol->objective, 220.0, 1e-6);
+  EXPECT_NEAR(sol->values[a], 0.0, 1e-6);
+  EXPECT_NEAR(sol->values[b], 1.0, 1e-6);
+  EXPECT_NEAR(sol->values[c], 1.0, 1e-6);
+}
+
+TEST(MilpTest, IntegralityChangesOptimum) {
+  // max x s.t. 2x <= 3: LP gives 1.5, integer x gives 1.
+  LinearProgram lp;
+  const int x = lp.AddVariable(0.0, 10.0, 1.0);
+  lp.SetInteger(x, true);
+  lp.AddConstraint({{x, 2.0}}, Relation::kLessEqual, 3.0);
+  auto sol = SolveMilp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, 1.0, 1e-6);
+}
+
+TEST(MilpTest, DetectsIntegerInfeasibility) {
+  // 0.4 <= x <= 0.6 with x integral has no solution.
+  LinearProgram lp;
+  const int x = lp.AddVariable(0.0, 1.0, 1.0);
+  lp.SetInteger(x, true);
+  lp.AddConstraint({{x, 1.0}}, Relation::kGreaterEqual, 0.4);
+  lp.AddConstraint({{x, 1.0}}, Relation::kLessEqual, 0.6);
+  auto sol = SolveMilp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_EQ(sol->status, SolveStatus::kInfeasible);
+}
+
+TEST(MilpTest, EqualityConstrainedAssignment) {
+  // 2x2 assignment problem with binaries; unique optimum.
+  LinearProgram lp;
+  // cost matrix [[5, 1], [2, 4]] -> maximize: pick x01 (1->2) and x10 (2->1)?
+  // maximize 5a + 1b + 2c + 4d with row/col sums = 1: a+d = 9 vs b+c = 3.
+  const int a = lp.AddBinaryVariable(5.0);
+  const int b = lp.AddBinaryVariable(1.0);
+  const int c = lp.AddBinaryVariable(2.0);
+  const int d = lp.AddBinaryVariable(4.0);
+  lp.AddConstraint({{a, 1.0}, {b, 1.0}}, Relation::kEqual, 1.0);
+  lp.AddConstraint({{c, 1.0}, {d, 1.0}}, Relation::kEqual, 1.0);
+  lp.AddConstraint({{a, 1.0}, {c, 1.0}}, Relation::kEqual, 1.0);
+  lp.AddConstraint({{b, 1.0}, {d, 1.0}}, Relation::kEqual, 1.0);
+  auto sol = SolveMilp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, 9.0, 1e-6);
+  EXPECT_NEAR(sol->values[a], 1.0, 1e-6);
+  EXPECT_NEAR(sol->values[d], 1.0, 1e-6);
+}
+
+// Property suite: random knapsacks verified against exhaustive enumeration.
+class MilpKnapsackTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MilpKnapsackTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const int n = 4 + rng.UniformInt(9);  // 4..12 items
+  std::vector<double> value(n), weight(n);
+  double total_weight = 0.0;
+  for (int i = 0; i < n; ++i) {
+    value[i] = rng.Uniform(1.0, 10.0);
+    weight[i] = rng.Uniform(1.0, 5.0);
+    total_weight += weight[i];
+  }
+  const double cap = 0.45 * total_weight;
+
+  LinearProgram lp;
+  std::vector<std::pair<int, double>> terms;
+  for (int i = 0; i < n; ++i) {
+    terms.emplace_back(lp.AddBinaryVariable(value[i]), weight[i]);
+  }
+  lp.AddConstraint(terms, Relation::kLessEqual, cap);
+  auto sol = SolveMilp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  ASSERT_EQ(sol->status, SolveStatus::kOptimal);
+
+  // Brute force over all subsets.
+  double best = 0.0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    double v = 0.0, w = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) {
+        v += value[i];
+        w += weight[i];
+      }
+    }
+    if (w <= cap) best = std::max(best, v);
+  }
+  EXPECT_NEAR(sol->objective, best, 1e-6);
+  EXPECT_LE(lp.MaxViolation(sol->values), 1e-6);
+  // All binaries integral.
+  for (const auto& [var, coef] : terms) {
+    (void)coef;
+    const double x = sol->values[var];
+    EXPECT_NEAR(x, std::round(x), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpKnapsackTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+TEST(MilpTest, NodeLimitReturnsIncumbentWithGap) {
+  // A knapsack big enough to need branching, with a 2-node budget.
+  Rng rng(99);
+  LinearProgram lp;
+  std::vector<std::pair<int, double>> terms;
+  for (int i = 0; i < 25; ++i) {
+    terms.emplace_back(lp.AddBinaryVariable(rng.Uniform(1.0, 10.0)),
+                       rng.Uniform(1.0, 5.0));
+  }
+  lp.AddConstraint(terms, Relation::kLessEqual, 30.0);
+  MilpOptions options;
+  options.max_nodes = 2;
+  auto sol = SolveMilp(lp, options);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  // Either proven optimal fast (rounding heuristic) or limited with a gap.
+  if (sol->status == SolveStatus::kFeasibleLimit) {
+    EXPECT_GE(sol->gap, 0.0);
+  } else {
+    EXPECT_EQ(sol->status, SolveStatus::kOptimal);
+  }
+  EXPECT_LE(lp.MaxViolation(sol->values), 1e-6);
+}
+
+}  // namespace
+}  // namespace paws

@@ -1,0 +1,78 @@
+#include "geo/noise.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "util/stats.h"
+
+namespace paws {
+namespace {
+
+TEST(NoiseTest, DeterministicInSeed) {
+  NoiseParams params;
+  const GridD a = FractalNoise(20, 15, params, 7);
+  const GridD b = FractalNoise(20, 15, params, 7);
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.AtIndex(i), b.AtIndex(i));
+  }
+}
+
+TEST(NoiseTest, DifferentSeedsDiffer) {
+  NoiseParams params;
+  const GridD a = FractalNoise(20, 15, params, 7);
+  const GridD b = FractalNoise(20, 15, params, 8);
+  int different = 0;
+  for (int i = 0; i < a.size(); ++i) {
+    if (a.AtIndex(i) != b.AtIndex(i)) ++different;
+  }
+  EXPECT_GT(different, a.size() / 2);
+}
+
+TEST(NoiseTest, NormalizedToUnitInterval) {
+  const GridD g = FractalNoise(40, 40, NoiseParams{}, 3);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < g.size(); ++i) {
+    EXPECT_GE(g.AtIndex(i), 0.0);
+    EXPECT_LE(g.AtIndex(i), 1.0);
+    lo = std::min(lo, g.AtIndex(i));
+    hi = std::max(hi, g.AtIndex(i));
+  }
+  EXPECT_DOUBLE_EQ(lo, 0.0);
+  EXPECT_DOUBLE_EQ(hi, 1.0);
+}
+
+TEST(NoiseTest, SpatiallySmooth) {
+  // Neighboring cells must be far more similar than random pairs: the
+  // whole point of value noise over white noise.
+  const GridD g = FractalNoise(50, 50, NoiseParams{}, 11);
+  double neighbor_diff = 0.0;
+  int count = 0;
+  for (int y = 0; y < 50; ++y) {
+    for (int x = 0; x + 1 < 50; ++x) {
+      neighbor_diff += std::fabs(g.At(x, y) - g.At(x + 1, y));
+      ++count;
+    }
+  }
+  neighbor_diff /= count;
+  double far_diff = 0.0;
+  count = 0;
+  for (int y = 0; y < 50; ++y) {
+    for (int x = 0; x + 25 < 50; ++x) {
+      far_diff += std::fabs(g.At(x, y) - g.At(x + 25, y));
+      ++count;
+    }
+  }
+  far_diff /= count;
+  EXPECT_LT(neighbor_diff * 3.0, far_diff);
+}
+
+TEST(ValueNoiseTest, ContinuousAcrossLatticePoints) {
+  // Values straddling a lattice coordinate should be close.
+  const double eps = 1e-4;
+  const double a = ValueNoise2D(3.0 - eps, 2.5, 9);
+  const double b = ValueNoise2D(3.0 + eps, 2.5, 9);
+  EXPECT_NEAR(a, b, 1e-2);
+}
+
+}  // namespace
+}  // namespace paws

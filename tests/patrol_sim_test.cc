@@ -1,0 +1,169 @@
+#include "sim/patrol_sim.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "geo/synth.h"
+
+namespace paws {
+namespace {
+
+Park TestPark() {
+  SynthParkConfig cfg;
+  cfg.width = 26;
+  cfg.height = 22;
+  cfg.seed = 4;
+  cfg.num_patrol_posts = 3;
+  return GenerateSyntheticPark(cfg);
+}
+
+TEST(DetectionModelTest, MonotoneSaturating) {
+  DetectionModel m;
+  EXPECT_DOUBLE_EQ(m.DetectProbability(0.0), 0.0);
+  EXPECT_LT(m.DetectProbability(1.0), m.DetectProbability(3.0));
+  EXPECT_LE(m.DetectProbability(1000.0), m.max_detect);
+  EXPECT_NEAR(m.DetectProbability(1000.0), m.max_detect, 1e-9);
+}
+
+TEST(SimulateEffortTest, EffortIsNonNegativeAndPositiveSomewhere) {
+  const Park park = TestPark();
+  Rng rng(1);
+  const auto effort = SimulateEffortStep(park, PatrolSimConfig{}, &rng);
+  ASSERT_EQ(static_cast<int>(effort.size()), park.num_cells());
+  double total = 0.0;
+  for (double e : effort) {
+    EXPECT_GE(e, 0.0);
+    total += e;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(SimulateEffortTest, TotalEffortMatchesPatrolBudget) {
+  const Park park = TestPark();
+  Rng rng(2);
+  PatrolSimConfig cfg;
+  cfg.patrols_per_post = 4;
+  cfg.patrol_length_km = 12;
+  const auto effort = SimulateEffortStep(park, cfg, &rng);
+  double total = 0.0;
+  for (double e : effort) total += e;
+  // Each patrol walks at most patrol_length_km (may end early at the post).
+  const double max_total =
+      4.0 * 12.0 * static_cast<double>(park.patrol_posts().size());
+  EXPECT_LE(total, max_total + 1e-9);
+  EXPECT_GT(total, 0.5 * max_total);
+}
+
+TEST(SimulateEffortTest, CoverageConcentratesNearPosts) {
+  const Park park = TestPark();
+  Rng rng(3);
+  PatrolSimConfig cfg;
+  cfg.patrols_per_post = 20;
+  std::vector<double> effort(park.num_cells(), 0.0);
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto e = SimulateEffortStep(park, cfg, &rng);
+    for (size_t i = 0; i < e.size(); ++i) effort[i] += e[i];
+  }
+  // Mean effort within 4 cells of a post must exceed the far-field mean —
+  // the coverage bias in the paper's Fig. 3.
+  const int f = park.FeatureIndex("dist_patrol_post").value();
+  double near = 0.0, far = 0.0;
+  int n_near = 0, n_far = 0;
+  for (int id = 0; id < park.num_cells(); ++id) {
+    const double d = park.feature(f).At(park.CellOf(id));
+    if (d <= 4.0) {
+      near += effort[id];
+      ++n_near;
+    } else if (d >= 8.0) {
+      far += effort[id];
+      ++n_far;
+    }
+  }
+  ASSERT_GT(n_near, 0);
+  ASSERT_GT(n_far, 0);
+  EXPECT_GT(near / n_near, 2.0 * (far / n_far));
+}
+
+TEST(SimulateHistoryTest, ShapesAndDeterminism) {
+  const Park park = TestPark();
+  AttackModel attacks(park, BehaviorConfig{});
+  DetectionModel detection;
+  Rng rng_a(7), rng_b(7);
+  const PatrolHistory a =
+      SimulateHistory(park, attacks, detection, PatrolSimConfig{}, 6, &rng_a);
+  const PatrolHistory b =
+      SimulateHistory(park, attacks, detection, PatrolSimConfig{}, 6, &rng_b);
+  ASSERT_EQ(a.num_steps(), 6);
+  ASSERT_EQ(a.num_cells(), park.num_cells());
+  for (int t = 0; t < 6; ++t) {
+    EXPECT_EQ(a.steps[t].effort, b.steps[t].effort);
+    EXPECT_EQ(a.steps[t].attacked, b.steps[t].attacked);
+    EXPECT_EQ(a.steps[t].detected, b.steps[t].detected);
+  }
+}
+
+TEST(SimulateHistoryTest, DetectionsImplyAttacksAndEffort) {
+  // One-sided noise: detected => attacked, and detected => patrolled.
+  const Park park = TestPark();
+  BehaviorConfig cfg;
+  cfg.intercept = -0.5;  // plenty of attacks
+  AttackModel attacks(park, cfg);
+  Rng rng(9);
+  const PatrolHistory h =
+      SimulateHistory(park, attacks, DetectionModel{}, PatrolSimConfig{}, 8,
+                      &rng);
+  int detections = 0;
+  for (const StepRecord& s : h.steps) {
+    for (int id = 0; id < park.num_cells(); ++id) {
+      if (s.detected[id]) {
+        ++detections;
+        EXPECT_TRUE(s.attacked[id]);
+        EXPECT_GT(s.effort[id], 0.0);
+      }
+    }
+  }
+  EXPECT_GT(detections, 0);
+}
+
+TEST(SimulateHistoryTest, AggregateLayersSumCorrectly) {
+  const Park park = TestPark();
+  AttackModel attacks(park, BehaviorConfig{});
+  Rng rng(10);
+  const PatrolHistory h =
+      SimulateHistory(park, attacks, DetectionModel{}, PatrolSimConfig{}, 5,
+                      &rng);
+  const std::vector<double> total = h.TotalEffort();
+  const std::vector<int> dets = h.TotalDetections();
+  for (int id = 0; id < park.num_cells(); ++id) {
+    double e = 0.0;
+    int d = 0;
+    for (const StepRecord& s : h.steps) {
+      e += s.effort[id];
+      d += s.detected[id];
+    }
+    EXPECT_DOUBLE_EQ(total[id], e);
+    EXPECT_EQ(dets[id], d);
+  }
+}
+
+TEST(SimulateHistoryTest, MotorbikeStepsCoverMoreKm) {
+  const Park park = TestPark();
+  Rng rng_a(12), rng_b(12);
+  PatrolSimConfig foot;
+  foot.km_per_step = 1.0;
+  foot.patrol_length_km = 16;
+  PatrolSimConfig bike = foot;
+  bike.km_per_step = 2.0;
+  const auto e_foot = SimulateEffortStep(park, foot, &rng_a);
+  const auto e_bike = SimulateEffortStep(park, bike, &rng_b);
+  // Same km budget, but the bike visits ~half the cells.
+  int cells_foot = 0, cells_bike = 0;
+  for (size_t i = 0; i < e_foot.size(); ++i) {
+    cells_foot += e_foot[i] > 0;
+    cells_bike += e_bike[i] > 0;
+  }
+  EXPECT_LT(cells_bike, cells_foot);
+}
+
+}  // namespace
+}  // namespace paws

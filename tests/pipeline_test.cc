@@ -1,0 +1,124 @@
+#include "core/pipeline.h"
+
+#include "gtest/gtest.h"
+
+namespace paws {
+namespace {
+
+Scenario SmallScenario() {
+  Scenario s = MakeScenario(ParkPreset::kMfnp, 21);
+  s.park.width = 30;
+  s.park.height = 26;
+  s.num_years = 4;
+  return s;
+}
+
+IWareConfig FastModel() {
+  IWareConfig cfg;
+  cfg.num_thresholds = 3;
+  cfg.cv_folds = 2;
+  cfg.weak_learner = WeakLearnerKind::kDecisionTreeBagging;
+  cfg.bagging.num_estimators = 5;
+  return cfg;
+}
+
+TEST(SimulateScenarioTest, ProducesConsistentShapes) {
+  const ScenarioData data = SimulateScenario(SmallScenario(), 3);
+  EXPECT_EQ(data.num_steps(), 4 * 4);
+  EXPECT_EQ(data.history.num_cells(), data.park.num_cells());
+  EXPECT_GT(data.park.patrol_posts().size(), 0u);
+}
+
+TEST(SplitByYearTest, SeparatesTimeRanges) {
+  const ScenarioData data = SimulateScenario(SmallScenario(), 3);
+  auto split = SplitByYear(data, /*test_year=*/3, /*train_years=*/3);
+  ASSERT_TRUE(split.ok()) << split.status();
+  EXPECT_EQ(split->test_t_begin, 12);
+  for (int i = 0; i < split->train.size(); ++i) {
+    EXPECT_LT(split->train.time_step(i), 12);
+    EXPECT_GE(split->train.time_step(i), 0);
+  }
+  for (int i = 0; i < split->test.size(); ++i) {
+    EXPECT_GE(split->test.time_step(i), 12);
+    EXPECT_LT(split->test.time_step(i), 16);
+  }
+}
+
+TEST(SplitByYearTest, RejectsOutOfRangeYears) {
+  const ScenarioData data = SimulateScenario(SmallScenario(), 3);
+  EXPECT_FALSE(SplitByYear(data, 0).ok());
+  EXPECT_FALSE(SplitByYear(data, 9).ok());
+}
+
+TEST(EvaluateAucTest, IWareBeatsChanceOnSyntheticPark) {
+  const ScenarioData data = SimulateScenario(SmallScenario(), 3);
+  auto split = SplitByYear(data, 3);
+  ASSERT_TRUE(split.ok());
+  Rng rng(5);
+  auto result = EvaluateIWareAuc(FastModel(), *split, &rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->auc, 0.55);  // learnable signal present
+  EXPECT_GT(result->test_positives, 0);
+}
+
+TEST(EvaluateAucTest, BaselineRunsToo) {
+  const ScenarioData data = SimulateScenario(SmallScenario(), 3);
+  auto split = SplitByYear(data, 3);
+  ASSERT_TRUE(split.ok());
+  Rng rng(6);
+  auto result = EvaluateBaselineAuc(FastModel(), *split, &rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->auc, 0.4);
+}
+
+// Full end-to-end coverage of the PawsPipeline wrapper: train, risk map,
+// plan, field test. One heavier integration test.
+TEST(PipelineTest, EndToEnd) {
+  ScenarioData data = SimulateScenario(SmallScenario(), 7);
+  PawsPipeline pipeline(std::move(data), FastModel());
+  Rng rng(8);
+  ASSERT_TRUE(pipeline.Train(&rng).ok());
+
+  auto auc = pipeline.TestAuc();
+  ASSERT_TRUE(auc.ok());
+  EXPECT_GT(*auc, 0.5);
+
+  const RiskMaps maps = pipeline.PredictRisk(1.0);
+  EXPECT_EQ(static_cast<int>(maps.risk.size()),
+            pipeline.data().park.num_cells());
+
+  PlannerConfig planner;
+  planner.horizon = 5;
+  planner.num_patrols = 2;
+  planner.pwl_segments = 5;
+  planner.milp.max_nodes = 200;
+  RobustParams robust;
+  robust.beta = 0.5;
+  auto plan = pipeline.PlanForPost(0, planner, robust);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  double total = 0.0;
+  for (double c : plan->coverage) total += c;
+  EXPECT_NEAR(total, 5.0 * 2.0, 1e-4);
+
+  FieldTestConfig ft;
+  ft.block_size = 3;
+  ft.blocks_per_group = 3;
+  auto field = pipeline.RunFieldTestTrial(ft, &rng);
+  ASSERT_TRUE(field.ok()) << field.status();
+  EXPECT_EQ(field->groups.size(), 3u);
+}
+
+TEST(PipelineTest, MethodsRequireTraining) {
+  ScenarioData data = SimulateScenario(SmallScenario(), 9);
+  PawsPipeline pipeline(std::move(data), FastModel());
+  EXPECT_FALSE(pipeline.TestAuc().ok());
+  Rng rng(1);
+  FieldTestConfig ft;
+  EXPECT_FALSE(pipeline.RunFieldTestTrial(ft, &rng).ok());
+  PlannerConfig planner;
+  RobustParams robust;
+  EXPECT_FALSE(pipeline.PlanForPost(0, planner, robust).ok());
+}
+
+}  // namespace
+}  // namespace paws

@@ -1,0 +1,191 @@
+#include "plan/planner.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "geo/synth.h"
+
+namespace paws {
+namespace {
+
+Park TestPark() {
+  SynthParkConfig cfg;
+  cfg.width = 20;
+  cfg.height = 16;
+  cfg.seed = 14;
+  return GenerateSyntheticPark(cfg);
+}
+
+// Concave saturating utility with per-cell weight.
+std::function<double(double)> Saturating(double weight) {
+  return [weight](double c) { return weight * (1.0 - std::exp(-0.8 * c)); };
+}
+
+PlannerConfig SmallConfig() {
+  PlannerConfig cfg;
+  cfg.horizon = 6;
+  cfg.num_patrols = 3;
+  cfg.pwl_segments = 8;
+  return cfg;
+}
+
+TEST(PlannerTest, CoverageSumsToHorizonTimesPatrols) {
+  const Park park = TestPark();
+  const PlanningGraph g = BuildPlanningGraph(park, park.patrol_posts()[0], 3);
+  std::vector<std::function<double(double)>> utils(g.num_cells(),
+                                                   Saturating(1.0));
+  auto plan = PlanPatrols(g, utils, SmallConfig());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  double total = 0.0;
+  for (double c : plan->coverage) {
+    EXPECT_GE(c, -1e-9);
+    total += c;
+  }
+  // sum_v c_v = T * K (last constraint of problem P).
+  EXPECT_NEAR(total, 6.0 * 3.0, 1e-5);
+}
+
+TEST(PlannerTest, ObjectiveMatchesPwlOfCoverage) {
+  const Park park = TestPark();
+  const PlanningGraph g = BuildPlanningGraph(park, park.patrol_posts()[0], 3);
+  std::vector<std::function<double(double)>> utils(g.num_cells(),
+                                                   Saturating(1.0));
+  const PlannerConfig cfg = SmallConfig();
+  auto plan = PlanPatrols(g, utils, cfg);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // The reported objective equals the sum of PWL values at the coverage.
+  const double cap = cfg.horizon * cfg.num_patrols;
+  double expected = 0.0;
+  for (size_t v = 0; v < utils.size(); ++v) {
+    const auto pwl = PiecewiseLinear::FromFunction(utils[v], 0.0, cap,
+                                                   cfg.pwl_segments);
+    expected += pwl.Eval(plan->coverage[v]);
+  }
+  EXPECT_NEAR(plan->objective, expected, 1e-4);
+}
+
+TEST(PlannerTest, PrefersHighValueCells) {
+  const Park park = TestPark();
+  const PlanningGraph g = BuildPlanningGraph(park, park.patrol_posts()[0], 3);
+  const std::vector<int> dist = DistancesFromSource(g);
+  // One highly valuable reachable cell; everything else worthless.
+  int target = -1;
+  for (int v = 0; v < g.num_cells(); ++v) {
+    if (v != g.source && dist[v] == 2) {
+      target = v;
+      break;
+    }
+  }
+  ASSERT_GE(target, 0);
+  std::vector<std::function<double(double)>> utils(g.num_cells(),
+                                                   Saturating(0.01));
+  utils[target] = Saturating(10.0);
+  auto plan = PlanPatrols(g, utils, SmallConfig());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_GT(plan->coverage[target], 1.0);
+}
+
+TEST(PlannerTest, UnreachableCellsGetZeroCoverage) {
+  const Park park = TestPark();
+  const PlanningGraph g = BuildPlanningGraph(park, park.patrol_posts()[0], 8);
+  std::vector<std::function<double(double)>> utils(g.num_cells(),
+                                                   Saturating(1.0));
+  PlannerConfig cfg = SmallConfig();
+  cfg.horizon = 4;  // round trip reaches distance <= 1 ... (4-1)/2 = 1
+  auto plan = PlanPatrols(g, utils, cfg);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const std::vector<int> dist = DistancesFromSource(g);
+  for (int v = 0; v < g.num_cells(); ++v) {
+    if (dist[v] > (cfg.horizon - 1) / 2) {
+      EXPECT_DOUBLE_EQ(plan->coverage[v], 0.0);
+    }
+  }
+}
+
+TEST(PlannerTest, MoreSegmentsNeverHurtsMuch) {
+  // Fig. 9b: utility converges as PWL segments grow.
+  const Park park = TestPark();
+  const PlanningGraph g = BuildPlanningGraph(park, park.patrol_posts()[0], 3);
+  std::vector<std::function<double(double)>> utils(g.num_cells(),
+                                                   Saturating(1.0));
+  PlannerConfig coarse = SmallConfig();
+  coarse.pwl_segments = 2;
+  PlannerConfig fine = SmallConfig();
+  fine.pwl_segments = 20;
+  auto plan_coarse = PlanPatrols(g, utils, coarse);
+  auto plan_fine = PlanPatrols(g, utils, fine);
+  ASSERT_TRUE(plan_coarse.ok() && plan_fine.ok());
+  // Evaluate both coverages on the *true* utility.
+  const double true_coarse = EvaluateCoverage(plan_coarse->coverage, utils);
+  const double true_fine = EvaluateCoverage(plan_fine->coverage, utils);
+  EXPECT_GE(true_fine, true_coarse - 0.05);
+}
+
+TEST(PlannerTest, RouteDecompositionIsConsistent) {
+  const Park park = TestPark();
+  const PlanningGraph g = BuildPlanningGraph(park, park.patrol_posts()[0], 3);
+  std::vector<std::function<double(double)>> utils(g.num_cells(),
+                                                   Saturating(1.0));
+  std::vector<PatrolRoute> routes;
+  const PlannerConfig cfg = SmallConfig();
+  auto plan = PlanPatrolsWithRoutes(g, utils, cfg, &routes);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_FALSE(routes.empty());
+  double total_weight = 0.0;
+  for (const PatrolRoute& r : routes) {
+    total_weight += r.weight;
+    ASSERT_EQ(static_cast<int>(r.cells.size()), cfg.horizon);
+    // Routes start and end at the post.
+    EXPECT_EQ(r.cells.front(), g.source);
+    EXPECT_EQ(r.cells.back(), g.source);
+    // Consecutive cells are graph neighbors.
+    for (size_t t = 0; t + 1 < r.cells.size(); ++t) {
+      const auto& nbrs = g.neighbors[r.cells[t]];
+      EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), r.cells[t + 1]),
+                nbrs.end());
+    }
+  }
+  EXPECT_NEAR(total_weight, 1.0, 1e-5);
+}
+
+TEST(PlannerTest, RejectsBadInputs) {
+  const Park park = TestPark();
+  const PlanningGraph g = BuildPlanningGraph(park, park.patrol_posts()[0], 3);
+  std::vector<std::function<double(double)>> too_few(2, Saturating(1.0));
+  EXPECT_FALSE(PlanPatrols(g, too_few, SmallConfig()).ok());
+  std::vector<std::function<double(double)>> utils(g.num_cells(),
+                                                   Saturating(1.0));
+  PlannerConfig bad = SmallConfig();
+  bad.horizon = 1;
+  EXPECT_FALSE(PlanPatrols(g, utils, bad).ok());
+  bad = SmallConfig();
+  bad.num_patrols = 0;
+  EXPECT_FALSE(PlanPatrols(g, utils, bad).ok());
+}
+
+TEST(PlannerTest, NonConcaveUtilityStillSolved) {
+  // Step-like utilities (qualification jumps in iWare-E) make the PWL
+  // non-concave; the MILP must still return a valid plan.
+  const Park park = TestPark();
+  const PlanningGraph g = BuildPlanningGraph(park, park.patrol_posts()[0], 2);
+  std::vector<std::function<double(double)>> utils(g.num_cells());
+  for (int v = 0; v < g.num_cells(); ++v) {
+    utils[v] = [v](double c) {
+      // Sigmoid step at a per-cell location: non-concave near 0.
+      const double knee = 1.0 + 0.3 * (v % 3);
+      return 1.0 / (1.0 + std::exp(-3.0 * (c - knee)));
+    };
+  }
+  PlannerConfig cfg = SmallConfig();
+  cfg.horizon = 5;
+  cfg.pwl_segments = 6;
+  cfg.milp.max_nodes = 500;
+  auto plan = PlanPatrols(g, utils, cfg);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  double total = 0.0;
+  for (double c : plan->coverage) total += c;
+  EXPECT_NEAR(total, 5.0 * 3.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace paws

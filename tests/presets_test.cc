@@ -1,0 +1,80 @@
+#include "core/presets.h"
+
+#include "gtest/gtest.h"
+#include "core/pipeline.h"
+
+namespace paws {
+namespace {
+
+TEST(PresetsTest, NamesMatch) {
+  EXPECT_STREQ(ParkPresetName(ParkPreset::kMfnp), "MFNP");
+  EXPECT_STREQ(ParkPresetName(ParkPreset::kQenp), "QENP");
+  EXPECT_STREQ(ParkPresetName(ParkPreset::kSws), "SWS");
+  EXPECT_STREQ(ParkPresetName(ParkPreset::kSwsDry), "SWS dry");
+}
+
+TEST(PresetsTest, FeatureCountsMatchTableI) {
+  // Static features + lagged coverage must equal the paper's k.
+  struct Want {
+    ParkPreset preset;
+    int features;  // Table I "Number of features"
+  };
+  for (const Want& want : {Want{ParkPreset::kMfnp, 22},
+                           Want{ParkPreset::kQenp, 19},
+                           Want{ParkPreset::kSws, 21},
+                           Want{ParkPreset::kSwsDry, 21}}) {
+    const Scenario s = MakeScenario(want.preset, 1);
+    // 11 base features + extras; +1 lag in the dataset builder.
+    EXPECT_EQ(11 + s.park.num_extra_features + 1, want.features)
+        << ParkPresetName(want.preset);
+  }
+}
+
+TEST(PresetsTest, SwsIsSeasonalOthersAreNot) {
+  EXPECT_GT(MakeScenario(ParkPreset::kSws, 1).behavior.seasonal_amplitude,
+            0.0);
+  EXPECT_GT(MakeScenario(ParkPreset::kSwsDry, 1).behavior.seasonal_amplitude,
+            0.0);
+  EXPECT_EQ(MakeScenario(ParkPreset::kMfnp, 1).behavior.seasonal_amplitude,
+            0.0);
+  EXPECT_EQ(MakeScenario(ParkPreset::kQenp, 1).behavior.seasonal_amplitude,
+            0.0);
+}
+
+TEST(PresetsTest, SwsDryUsesShorterDiscretization) {
+  // Paper: "we discretize time into two-month periods (rather than three)
+  // to obtain three points per year" for the dry season.
+  EXPECT_EQ(MakeScenario(ParkPreset::kSwsDry, 1).steps_per_year, 3);
+  EXPECT_EQ(MakeScenario(ParkPreset::kSws, 1).steps_per_year, 4);
+}
+
+TEST(PresetsTest, SwsUsesMotorbikes) {
+  EXPECT_GT(MakeScenario(ParkPreset::kSws, 1).patrol.km_per_step, 1.0);
+  EXPECT_EQ(MakeScenario(ParkPreset::kMfnp, 1).patrol.km_per_step, 1.0);
+}
+
+TEST(PresetsTest, ImbalanceOrderingMatchesPaper) {
+  // MFNP > QENP >> SWS: positive rate ordering of Table I, on a small
+  // simulated sample.
+  double rates[3];
+  const ParkPreset presets[3] = {ParkPreset::kMfnp, ParkPreset::kQenp,
+                                 ParkPreset::kSws};
+  for (int i = 0; i < 3; ++i) {
+    const ScenarioData data =
+        SimulateScenario(MakeScenario(presets[i], 11), 17);
+    rates[i] = BuildDataset(data.park, data.history).PositiveFraction();
+  }
+  EXPECT_GT(rates[0], rates[1]);
+  EXPECT_GT(rates[1], rates[2]);
+  EXPECT_LT(rates[2], 0.02);  // SWS is extreme (paper: 0.36%)
+}
+
+TEST(PresetsTest, QenpIsElongated) {
+  EXPECT_EQ(MakeScenario(ParkPreset::kQenp, 1).park.shape,
+            ParkShape::kElongated);
+  EXPECT_EQ(MakeScenario(ParkPreset::kMfnp, 1).park.shape,
+            ParkShape::kCircular);
+}
+
+}  // namespace
+}  // namespace paws

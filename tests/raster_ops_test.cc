@@ -1,0 +1,143 @@
+#include "geo/raster_ops.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace paws {
+namespace {
+
+GridB FullMask(int w, int h) { return GridB(w, h, 1); }
+
+TEST(DistanceTransformTest, SingleSourceManhattanBall) {
+  const GridB mask = FullMask(5, 5);
+  const GridD d = DistanceTransform(mask, {Cell{2, 2}});
+  EXPECT_DOUBLE_EQ(d.At(2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(d.At(3, 2), 1.0);
+  EXPECT_DOUBLE_EQ(d.At(4, 4), 4.0);  // Manhattan on 4-neighborhood
+  EXPECT_DOUBLE_EQ(d.At(0, 0), 4.0);
+}
+
+TEST(DistanceTransformTest, MultipleSourcesTakeNearest) {
+  const GridB mask = FullMask(7, 1);
+  const GridD d = DistanceTransform(mask, {Cell{0, 0}, Cell{6, 0}});
+  EXPECT_DOUBLE_EQ(d.At(3, 0), 3.0);
+  EXPECT_DOUBLE_EQ(d.At(5, 0), 1.0);
+}
+
+TEST(DistanceTransformTest, MaskBlocksPropagation) {
+  GridB mask = FullMask(5, 1);
+  mask.At(2, 0) = 0;  // wall in the middle
+  const GridD d = DistanceTransform(mask, {Cell{0, 0}});
+  EXPECT_TRUE(std::isinf(d.At(4, 0)));  // unreachable behind the wall
+  EXPECT_TRUE(std::isinf(d.At(2, 0)));  // outside mask
+}
+
+TEST(DistanceTransformTest, NoSourcesAllInfinite) {
+  const GridD d = DistanceTransform(FullMask(3, 3), {});
+  for (int i = 0; i < d.size(); ++i) EXPECT_TRUE(std::isinf(d.AtIndex(i)));
+}
+
+TEST(RasterizePolylineTest, HorizontalAndDiagonalLines) {
+  GridB g(10, 10, 0);
+  RasterizePolyline({Cell{1, 1}, Cell{5, 1}}, &g);
+  for (int x = 1; x <= 5; ++x) EXPECT_TRUE(g.At(x, 1));
+  GridB g2(10, 10, 0);
+  RasterizePolyline({Cell{0, 0}, Cell{4, 4}}, &g2);
+  for (int i = 0; i <= 4; ++i) EXPECT_TRUE(g2.At(i, i));
+}
+
+TEST(RasterizePolylineTest, ClampsOutOfBoundsVertices) {
+  GridB g(4, 4, 0);
+  RasterizePolyline({Cell{-5, 2}, Cell{10, 2}}, &g);
+  for (int x = 0; x < 4; ++x) EXPECT_TRUE(g.At(x, 2));
+}
+
+TEST(RasterizePolylineTest, MultiSegmentConnectsVertices) {
+  GridB g(10, 10, 0);
+  RasterizePolyline({Cell{0, 0}, Cell{3, 0}, Cell{3, 3}}, &g);
+  EXPECT_TRUE(g.At(0, 0));
+  EXPECT_TRUE(g.At(3, 0));
+  EXPECT_TRUE(g.At(3, 3));
+  EXPECT_TRUE(g.At(3, 2));
+}
+
+TEST(BoxBlurTest, ConstantFieldUnchanged) {
+  const GridB mask = FullMask(6, 6);
+  GridD in(6, 6, 2.0);
+  const GridD out = BoxBlur(in, mask, 1);
+  for (int i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out.AtIndex(i), 2.0, 1e-12);
+  }
+}
+
+TEST(BoxBlurTest, AveragesNeighborhood) {
+  const GridB mask = FullMask(3, 3);
+  GridD in(3, 3, 0.0);
+  in.At(1, 1) = 9.0;
+  const GridD out = BoxBlur(in, mask, 1);
+  EXPECT_NEAR(out.At(1, 1), 1.0, 1e-12);  // 9 / 9 cells
+  EXPECT_NEAR(out.At(0, 0), 9.0 / 4.0, 1e-12);
+}
+
+TEST(BoxBlurTest, RespectsMask) {
+  GridB mask = FullMask(3, 1);
+  mask.At(2, 0) = 0;
+  GridD in(3, 1, 0.0);
+  in.At(0, 0) = 4.0;
+  const GridD out = BoxBlur(in, mask, 1);
+  EXPECT_NEAR(out.At(1, 0), 2.0, 1e-12);  // averages only masked cells
+  EXPECT_DOUBLE_EQ(out.At(2, 0), 0.0);    // outside mask stays 0
+}
+
+TEST(GradientMagnitudeTest, LinearRampHasConstantSlope) {
+  GridD in(5, 5);
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 5; ++x) in.At(x, y) = 2.0 * x;
+  }
+  const GridD g = GradientMagnitude(in);
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 5; ++x) EXPECT_NEAR(g.At(x, y), 2.0, 1e-12);
+  }
+}
+
+TEST(RescaleTest, MapsToTargetRange) {
+  const GridB mask = FullMask(2, 2);
+  GridD g(2, 2);
+  g.At(0, 0) = 1.0;
+  g.At(1, 0) = 2.0;
+  g.At(0, 1) = 3.0;
+  g.At(1, 1) = 5.0;
+  RescaleInPlace(&g, mask, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(g.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(g.At(1, 1), 1.0);
+  EXPECT_NEAR(g.At(1, 0), 0.25, 1e-12);
+}
+
+TEST(RescaleTest, ConstantFieldMapsToLow) {
+  const GridB mask = FullMask(2, 2);
+  GridD g(2, 2, 7.0);
+  RescaleInPlace(&g, mask, -1.0, 1.0);
+  for (int i = 0; i < g.size(); ++i) EXPECT_DOUBLE_EQ(g.AtIndex(i), -1.0);
+}
+
+TEST(AsciiHeatmapTest, ProducesOneRowPerGridRow) {
+  const GridB mask = FullMask(8, 3);
+  GridD g(8, 3, 0.5);
+  g.At(0, 0) = 1.0;
+  const std::string art = AsciiHeatmap(g, mask);
+  int rows = 0;
+  for (char c : art) rows += c == '\n';
+  EXPECT_EQ(rows, 3);
+}
+
+TEST(AsciiHeatmapTest, MasksRenderAsSpaces) {
+  GridB mask(3, 1, 1);
+  mask.At(1, 0) = 0;
+  GridD g(3, 1, 1.0);
+  const std::string art = AsciiHeatmap(g, mask);
+  EXPECT_EQ(art[1], ' ');
+}
+
+}  // namespace
+}  // namespace paws

@@ -1,0 +1,119 @@
+// End-to-end reproducibility and cross-module consistency checks: the
+// properties a downstream user relies on when citing numbers produced by
+// this library.
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "core/pipeline.h"
+
+namespace paws {
+namespace {
+
+Scenario SmallScenario(uint64_t seed) {
+  Scenario s = MakeScenario(ParkPreset::kMfnp, seed);
+  s.park.width = 26;
+  s.park.height = 22;
+  s.num_years = 3;
+  return s;
+}
+
+IWareConfig FastModel() {
+  IWareConfig cfg;
+  cfg.num_thresholds = 3;
+  cfg.cv_folds = 2;
+  cfg.weak_learner = WeakLearnerKind::kDecisionTreeBagging;
+  cfg.bagging.num_estimators = 4;
+  return cfg;
+}
+
+TEST(ReproducibilityTest, IdenticalSeedsIdenticalDatasets) {
+  const ScenarioData a = SimulateScenario(SmallScenario(3), 11);
+  const ScenarioData b = SimulateScenario(SmallScenario(3), 11);
+  const Dataset da = BuildDataset(a.park, a.history);
+  const Dataset db = BuildDataset(b.park, b.history);
+  ASSERT_EQ(da.size(), db.size());
+  for (int i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da.label(i), db.label(i));
+    EXPECT_DOUBLE_EQ(da.effort(i), db.effort(i));
+    EXPECT_EQ(da.RowVector(i), db.RowVector(i));
+  }
+}
+
+TEST(ReproducibilityTest, DifferentSimSeedsDifferentHistories) {
+  const ScenarioData a = SimulateScenario(SmallScenario(3), 11);
+  const ScenarioData b = SimulateScenario(SmallScenario(3), 12);
+  // Same park (same scenario seed) but different patrol/attack draws.
+  ASSERT_EQ(a.park.num_cells(), b.park.num_cells());
+  int diff = 0;
+  for (int id = 0; id < a.park.num_cells(); ++id) {
+    if (a.history.steps[0].effort[id] != b.history.steps[0].effort[id]) {
+      ++diff;
+    }
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(ReproducibilityTest, TrainingIsDeterministicGivenSeed) {
+  ScenarioData data = SimulateScenario(SmallScenario(5), 7);
+  IWareEnsemble m1(FastModel()), m2(FastModel());
+  const Dataset train = BuildDataset(data.park, data.history);
+  Rng r1(42), r2(42);
+  ASSERT_TRUE(m1.Fit(train, &r1).ok());
+  ASSERT_TRUE(m2.Fit(train, &r2).ok());
+  ASSERT_EQ(m1.num_learners(), m2.num_learners());
+  EXPECT_EQ(m1.weights(), m2.weights());
+  for (int i = 0; i < 25; ++i) {
+    const auto x = train.RowVector(i);
+    EXPECT_DOUBLE_EQ(m1.PredictProb(x, 2.0), m2.PredictProb(x, 2.0));
+  }
+}
+
+TEST(ReproducibilityTest, RiskMapConsistentWithDirectPrediction) {
+  ScenarioData data = SimulateScenario(SmallScenario(5), 7);
+  PawsPipeline pipeline(data, FastModel());
+  Rng rng(1);
+  ASSERT_TRUE(pipeline.Train(&rng).ok());
+  const RiskMaps maps = pipeline.PredictRisk(2.0);
+  const Dataset rows = BuildPredictionRows(data.park, data.history,
+                                           pipeline.test_t_begin(), 2.0);
+  for (int i = 0; i < rows.size(); i += 17) {
+    const Prediction direct =
+        pipeline.model().Predict(rows.RowVector(i), 2.0);
+    EXPECT_DOUBLE_EQ(maps.risk[rows.cell_id(i)], direct.prob);
+    EXPECT_DOUBLE_EQ(maps.variance[rows.cell_id(i)], direct.variance);
+  }
+}
+
+TEST(ReproducibilityTest, SeasonalParkShiftsAttacksAcrossSeasons) {
+  // Cross-module check: the SWS preset's seasonality must show up in the
+  // simulated attack rates of the north half across time steps.
+  Scenario s = MakeScenario(ParkPreset::kSws, 6);
+  s.park.width = 30;
+  s.park.height = 26;
+  s.num_years = 2;
+  const ScenarioData data = SimulateScenario(s, 8);
+  const AttackModel& attacks = data.attacks;
+  double north_dry = 0.0, north_wet = 0.0;
+  int n = 0;
+  for (int id = 0; id < data.park.num_cells(); ++id) {
+    if (data.park.CellOf(id).y < data.park.height() / 2) {
+      north_dry += attacks.AttackProbability(id, 0, 0.0);  // cos phase +1
+      north_wet += attacks.AttackProbability(id, 2, 0.0);  // cos phase -1
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_GT(north_dry / n, north_wet / n);
+}
+
+TEST(ReproducibilityTest, DeterrenceVisibleInGroundTruth) {
+  const ScenarioData data = SimulateScenario(SmallScenario(9), 10);
+  // Higher previous effort must not increase any cell's attack probability.
+  for (int id = 0; id < data.park.num_cells(); id += 11) {
+    EXPECT_LE(data.attacks.AttackProbability(id, 1, 8.0),
+              data.attacks.AttackProbability(id, 1, 0.0) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace paws

@@ -1,0 +1,90 @@
+#include "core/risk_map.h"
+
+#include "gtest/gtest.h"
+#include "core/pipeline.h"
+
+namespace paws {
+namespace {
+
+// Shared fixture: one small trained model (training is the slow part).
+class RiskMapTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Scenario scenario = MakeScenario(ParkPreset::kMfnp, 3);
+    scenario.park.width = 26;
+    scenario.park.height = 22;
+    scenario.num_years = 3;
+    data_ = new ScenarioData(SimulateScenario(scenario, 5));
+    IWareConfig cfg;
+    cfg.num_thresholds = 3;
+    cfg.cv_folds = 2;
+    cfg.weak_learner = WeakLearnerKind::kDecisionTreeBagging;
+    cfg.bagging.num_estimators = 5;
+    model_ = new IWareEnsemble(cfg);
+    Rng rng(7);
+    const Dataset train = BuildDataset(data_->park, data_->history);
+    CheckOrDie(model_->Fit(train, &rng).ok(), "fixture fit failed");
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete data_;
+  }
+  static ScenarioData* data_;
+  static IWareEnsemble* model_;
+};
+
+ScenarioData* RiskMapTest::data_ = nullptr;
+IWareEnsemble* RiskMapTest::model_ = nullptr;
+
+TEST_F(RiskMapTest, MapsCoverEveryCellWithValidValues) {
+  const RiskMaps maps = PredictRiskMap(*model_, data_->park, data_->history,
+                                       data_->num_steps() - 1, 1.0);
+  ASSERT_EQ(static_cast<int>(maps.risk.size()), data_->park.num_cells());
+  for (int id = 0; id < data_->park.num_cells(); ++id) {
+    EXPECT_GE(maps.risk[id], 0.0);
+    EXPECT_LE(maps.risk[id], 1.0);
+    EXPECT_GE(maps.variance[id], 0.0);
+  }
+}
+
+TEST_F(RiskMapTest, ToGridPlacesValuesAtCells) {
+  std::vector<double> values(data_->park.num_cells(), 0.0);
+  values[0] = 7.0;
+  const GridD grid = ToGrid(data_->park, values);
+  EXPECT_DOUBLE_EQ(grid.At(data_->park.CellOf(0)), 7.0);
+}
+
+TEST_F(RiskMapTest, CellPredictorsMatchModelPredictions) {
+  const std::vector<int> cells = {0, 1, 2};
+  const CellPredictors preds = MakeCellPredictors(
+      *model_, data_->park, data_->history, data_->num_steps() - 1, cells);
+  ASSERT_EQ(preds.g.size(), 3u);
+  // Against a direct model call with the same feature construction.
+  const Dataset rows = BuildPredictionRows(data_->park, data_->history,
+                                           data_->num_steps() - 1, 2.0);
+  for (int i = 0; i < 3; ++i) {
+    const Prediction direct = model_->Predict(rows.RowVector(cells[i]), 2.0);
+    EXPECT_NEAR(preds.g[i](2.0), direct.prob, 1e-12);
+    EXPECT_NEAR(preds.nu[i](2.0), direct.variance, 1e-12);
+  }
+}
+
+TEST_F(RiskMapTest, ConvolveRiskSmoothsField) {
+  const RiskMaps maps = PredictRiskMap(*model_, data_->park, data_->history,
+                                       data_->num_steps() - 1, 1.0);
+  const std::vector<double> blocks = ConvolveRisk(data_->park, maps.risk, 1);
+  ASSERT_EQ(blocks.size(), maps.risk.size());
+  // Smoothed field has no larger spread than the original.
+  const auto mm = [](const std::vector<double>& v) {
+    double lo = 1e300, hi = -1e300;
+    for (double x : v) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    return hi - lo;
+  };
+  EXPECT_LE(mm(blocks), mm(maps.risk) + 1e-12);
+}
+
+}  // namespace
+}  // namespace paws

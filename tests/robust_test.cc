@@ -1,0 +1,106 @@
+#include "plan/robust.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace paws {
+namespace {
+
+TEST(SquashTest, MapsToUnitInterval) {
+  EXPECT_DOUBLE_EQ(SquashUncertainty(0.0, 0.5), 0.0);
+  EXPECT_GT(SquashUncertainty(0.1, 0.5), 0.0);
+  EXPECT_LE(SquashUncertainty(100.0, 0.5), 1.0);
+  EXPECT_NEAR(SquashUncertainty(1000.0, 0.5), 1.0, 1e-6);
+}
+
+TEST(SquashTest, MonotoneInVariance) {
+  double prev = -1.0;
+  for (double v = 0.0; v < 5.0; v += 0.25) {
+    const double s = SquashUncertainty(v, 0.5);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(RobustUtilityTest, BetaZeroRecoversG) {
+  const auto g = [](double c) { return 0.5 * c; };
+  const auto nu = [](double) { return 3.0; };
+  RobustParams params;
+  params.beta = 0.0;
+  const auto u = MakeRobustUtility(g, nu, params);
+  for (double c : {0.0, 1.0, 2.0}) EXPECT_DOUBLE_EQ(u(c), g(c));
+}
+
+TEST(RobustUtilityTest, PenalizesUncertainty) {
+  const auto g = [](double) { return 0.8; };
+  const auto certain = [](double) { return 0.0; };
+  const auto uncertain = [](double) { return 2.0; };
+  RobustParams params;
+  params.beta = 1.0;
+  const auto u_certain = MakeRobustUtility(g, certain, params);
+  const auto u_uncertain = MakeRobustUtility(g, uncertain, params);
+  EXPECT_DOUBLE_EQ(u_certain(1.0), 0.8);
+  EXPECT_LT(u_uncertain(1.0), 0.8);
+  EXPECT_GT(u_uncertain(1.0), 0.0);  // objective stays positive (Sec. VI-C)
+}
+
+TEST(RobustUtilityTest, PenaltyGrowsWithBeta) {
+  const auto g = [](double) { return 0.6; };
+  const auto nu = [](double) { return 1.0; };
+  double prev = 1.0;
+  for (double beta : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    RobustParams params;
+    params.beta = beta;
+    const double u = MakeRobustUtility(g, nu, params)(1.0);
+    EXPECT_LT(u, prev + 1e-12);
+    prev = u;
+  }
+}
+
+TEST(RobustUtilityTest, MatchesEq4Formula) {
+  const auto g = [](double c) { return 0.3 + 0.1 * c; };
+  const auto nu = [](double c) { return 0.5 * c; };
+  RobustParams params;
+  params.beta = 0.7;
+  params.squash_scale = 0.5;
+  const auto u = MakeRobustUtility(g, nu, params);
+  const double c = 1.3;
+  const double expected =
+      g(c) - 0.7 * g(c) * SquashUncertainty(nu(c), 0.5);
+  EXPECT_NEAR(u(c), expected, 1e-12);
+}
+
+TEST(RobustObjectiveTest, SumsOverCells) {
+  const std::vector<std::function<double(double)>> g = {
+      [](double) { return 0.5; }, [](double) { return 0.2; }};
+  const std::vector<std::function<double(double)>> nu = {
+      [](double) { return 0.0; }, [](double) { return 0.0; }};
+  RobustParams params;
+  params.beta = 1.0;
+  EXPECT_NEAR(RobustObjective({1.0, 1.0}, g, nu, params), 0.7, 1e-12);
+}
+
+TEST(RobustObjectiveTest, VectorBuilderMatchesScalar) {
+  const std::vector<std::function<double(double)>> g = {
+      [](double c) { return 0.1 * c; }};
+  const std::vector<std::function<double(double)>> nu = {
+      [](double c) { return c; }};
+  RobustParams params;
+  params.beta = 0.9;
+  const auto utils = MakeRobustUtilities(g, nu, params);
+  ASSERT_EQ(utils.size(), 1u);
+  EXPECT_NEAR(utils[0](2.0), RobustObjective({2.0}, g, nu, params), 1e-12);
+}
+
+TEST(RobustDeathTest, RejectsBadBeta) {
+  RobustParams params;
+  params.beta = 1.5;
+  EXPECT_DEATH(
+      MakeRobustUtility([](double) { return 0.0; },
+                        [](double) { return 0.0; }, params),
+      "beta");
+}
+
+}  // namespace
+}  // namespace paws

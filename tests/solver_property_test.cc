@@ -1,0 +1,203 @@
+// Cross-cutting property suites for the optimization stack: LP flows,
+// MILP-with-PWL instances verified against exhaustive search, and
+// degenerate/adversarial model shapes.
+#include <algorithm>
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "solver/milp.h"
+#include "solver/pwl.h"
+#include "util/rng.h"
+
+namespace paws {
+namespace {
+
+// --- Transportation problems: integral LPs with a known greedy-checkable
+// optimum via brute force over basic assignments (small sizes). ---
+
+class TransportationLpTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TransportationLpTest, MatchesBruteForceOnTinyInstances) {
+  Rng rng(GetParam());
+  const int suppliers = 2 + rng.UniformInt(2);  // 2..3
+  const int consumers = 2 + rng.UniformInt(2);
+  std::vector<int> supply(suppliers), demand(consumers);
+  int total = 0;
+  for (int& s : supply) {
+    s = 1 + rng.UniformInt(3);
+    total += s;
+  }
+  // Balance demand to the supply total.
+  int left = total;
+  for (int j = 0; j < consumers; ++j) {
+    demand[j] = j + 1 == consumers
+                    ? left
+                    : std::min(left, 1 + rng.UniformInt(3));
+    left -= demand[j];
+  }
+  if (left > 0) demand[consumers - 1] += left;
+  std::vector<std::vector<double>> value(suppliers,
+                                         std::vector<double>(consumers));
+  for (auto& row : value) {
+    for (double& v : row) v = rng.Uniform(0.0, 5.0);
+  }
+
+  LinearProgram lp;
+  std::vector<std::vector<int>> var(suppliers, std::vector<int>(consumers));
+  for (int i = 0; i < suppliers; ++i) {
+    for (int j = 0; j < consumers; ++j) {
+      var[i][j] = lp.AddVariable(0.0, kLpInfinity, value[i][j]);
+    }
+  }
+  for (int i = 0; i < suppliers; ++i) {
+    std::vector<std::pair<int, double>> row;
+    for (int j = 0; j < consumers; ++j) row.emplace_back(var[i][j], 1.0);
+    lp.AddConstraint(row, Relation::kEqual, supply[i]);
+  }
+  for (int j = 0; j < consumers; ++j) {
+    std::vector<std::pair<int, double>> col;
+    for (int i = 0; i < suppliers; ++i) col.emplace_back(var[i][j], 1.0);
+    lp.AddConstraint(col, Relation::kEqual, demand[j]);
+  }
+
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  ASSERT_EQ(sol->status, SolveStatus::kOptimal);
+  EXPECT_LE(lp.MaxViolation(sol->values), 1e-6);
+
+  // Brute force integral assignments by DFS (totals are tiny).
+  double best = -1.0;
+  std::vector<std::vector<int>> x(suppliers, std::vector<int>(consumers, 0));
+  std::function<void(int, std::vector<int>, double)> dfs =
+      [&](int i, std::vector<int> remaining_demand, double acc) {
+        if (i == suppliers) {
+          bool met = true;
+          for (int d : remaining_demand) met = met && d == 0;
+          if (met) best = std::max(best, acc);
+          return;
+        }
+        // Enumerate all ways to split supply[i] across consumers.
+        std::function<void(int, int, double, std::vector<int>&)> split =
+            [&](int j, int left_supply, double a, std::vector<int>& rd) {
+              if (j == consumers) {
+                if (left_supply == 0) dfs(i + 1, rd, a);
+                return;
+              }
+              const int hi = std::min(left_supply, rd[j]);
+              for (int q = 0; q <= hi; ++q) {
+                rd[j] -= q;
+                split(j + 1, left_supply - q, a + q * value[i][j], rd);
+                rd[j] += q;
+              }
+            };
+        split(0, supply[i], acc, remaining_demand);
+      };
+  dfs(0, demand, 0.0);
+  ASSERT_GE(best, 0.0);
+  // LP relaxation of a transportation problem is integral: equal optima.
+  EXPECT_NEAR(sol->objective, best, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransportationLpTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// --- Non-concave PWL maximization over a box, verified by grid search. ---
+
+class PwlMilpPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PwlMilpPropertyTest, SeparableNonConcaveMatchesGridSearch) {
+  Rng rng(GetParam());
+  const int dims = 2;
+  const int points = 4;  // breakpoints per function
+  std::vector<PiecewiseLinear> fns;
+  for (int d = 0; d < dims; ++d) {
+    std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+    std::vector<double> ys;
+    for (int i = 0; i < points; ++i) ys.push_back(rng.Uniform(0.0, 2.0));
+    fns.emplace_back(xs, ys);
+  }
+  const double budget = rng.Uniform(2.0, 4.0);
+
+  LinearProgram lp;
+  std::vector<int> vars;
+  std::vector<std::pair<int, double>> budget_terms;
+  for (int d = 0; d < dims; ++d) {
+    const int x = lp.AddVariable(0.0, 3.0, 0.0);
+    vars.push_back(x);
+    budget_terms.emplace_back(x, 1.0);
+    AddPwlObjectiveTerm(&lp, x, fns[d], 1.0);
+  }
+  lp.AddConstraint(budget_terms, Relation::kLessEqual, budget);
+
+  MilpOptions options;
+  options.max_nodes = 5000;
+  auto sol = SolveMilp(lp, options);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  ASSERT_EQ(sol->status, SolveStatus::kOptimal);
+
+  // Dense grid search over the box intersected with the budget.
+  double best = -1e300;
+  const int grid = 60;
+  for (int i = 0; i <= grid; ++i) {
+    for (int j = 0; j <= grid; ++j) {
+      const double a = 3.0 * i / grid, b = 3.0 * j / grid;
+      if (a + b > budget + 1e-12) continue;
+      best = std::max(best, fns[0].Eval(a) + fns[1].Eval(b));
+    }
+  }
+  EXPECT_GE(sol->objective, best - 0.02);  // grid resolution slack
+  // And the reported solution must be consistent with its own objective.
+  const double check =
+      fns[0].Eval(sol->values[vars[0]]) + fns[1].Eval(sol->values[vars[1]]);
+  EXPECT_NEAR(check, sol->objective, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PwlMilpPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// --- Degenerate shapes the solver must survive. ---
+
+TEST(SolverEdgeCaseTest, EmptyObjectiveIsFeasibilityCheck) {
+  LinearProgram lp;
+  const int x = lp.AddVariable(0.0, 1.0, 0.0);
+  lp.AddConstraint({{x, 1.0}}, Relation::kGreaterEqual, 0.5);
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kOptimal);
+  EXPECT_GE(sol->values[x], 0.5 - 1e-9);
+}
+
+TEST(SolverEdgeCaseTest, FixedVariablesRespected) {
+  LinearProgram lp;
+  const int x = lp.AddVariable(2.0, 2.0, 1.0);  // fixed
+  const int y = lp.AddVariable(0.0, 5.0, 1.0);
+  lp.AddConstraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 4.0);
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol->values[x], 2.0, 1e-9);
+  EXPECT_NEAR(sol->values[y], 2.0, 1e-6);
+}
+
+TEST(SolverEdgeCaseTest, RedundantConstraintsHarmless) {
+  LinearProgram lp;
+  const int x = lp.AddVariable(0.0, 10.0, 1.0);
+  for (int i = 0; i < 8; ++i) {
+    lp.AddConstraint({{x, 1.0}}, Relation::kLessEqual, 3.0);
+  }
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 3.0, 1e-6);
+}
+
+TEST(SolverEdgeCaseTest, EqualityPinnedByBoundsDetectsConflict) {
+  LinearProgram lp;
+  const int x = lp.AddVariable(0.0, 1.0, 1.0);
+  lp.AddConstraint({{x, 1.0}}, Relation::kEqual, 2.0);  // outside bounds
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kInfeasible);
+}
+
+}  // namespace
+}  // namespace paws

@@ -1,0 +1,77 @@
+#include "util/status.h"
+
+#include "gtest/gtest.h"
+
+namespace paws {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoryFunctionsProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Infeasible("x").code(), StatusCode::kInfeasible);
+  EXPECT_EQ(Status::Unbounded("x").code(), StatusCode::kUnbounded);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  ASSERT_TRUE(v.ok());
+  const std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseMacros(int x, int* out) {
+  PAWS_ASSIGN_OR_RETURN(const int h, Half(x));
+  PAWS_RETURN_IF_ERROR(Status::OK());
+  *out = h;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacroPropagatesErrors) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  const Status err = UseMacros(3, &out);
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace paws

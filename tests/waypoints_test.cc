@@ -1,0 +1,104 @@
+#include "sim/waypoints.h"
+
+#include "gtest/gtest.h"
+#include "geo/synth.h"
+
+namespace paws {
+namespace {
+
+Park TestPark() {
+  SynthParkConfig cfg;
+  cfg.width = 26;
+  cfg.height = 22;
+  cfg.seed = 4;
+  cfg.num_patrol_posts = 2;
+  return GenerateSyntheticPark(cfg);
+}
+
+TEST(WaypointsTest, TracksStartAtPostsAndStayInPark) {
+  const Park park = TestPark();
+  Rng rng(1);
+  const auto tracks = SimulateTracks(park, PatrolSimConfig{}, 3, &rng);
+  ASSERT_FALSE(tracks.empty());
+  for (const PatrolTrack& track : tracks) {
+    ASSERT_FALSE(track.truth.empty());
+    bool at_post = false;
+    for (const Cell& post : park.patrol_posts()) {
+      at_post = at_post || track.truth.front() == post;
+    }
+    EXPECT_TRUE(at_post);
+    for (const Cell& c : track.truth) {
+      EXPECT_TRUE(park.mask().At(c));
+    }
+  }
+}
+
+TEST(WaypointsTest, LoggedFixesAreThinnedSubset) {
+  const Park park = TestPark();
+  Rng rng(2);
+  const int interval = 4;
+  const auto tracks = SimulateTracks(park, PatrolSimConfig{}, interval, &rng);
+  for (const PatrolTrack& track : tracks) {
+    EXPECT_LE(track.logged.size(),
+              track.truth.size() / interval + 2);  // + endpoints
+    // Endpoints preserved.
+    EXPECT_EQ(track.logged.front().cell, track.truth.front());
+    EXPECT_EQ(track.logged.back().cell, track.truth.back());
+  }
+}
+
+TEST(WaypointsTest, IntervalOneReconstructsExactly) {
+  // Logging every step means the trajectory is fully observed, so the
+  // reconstruction must match the ground-truth effort exactly (the
+  // interpolated shortest path between adjacent cells is that one step).
+  const Park park = TestPark();
+  Rng rng(3);
+  const auto tracks = SimulateTracks(park, PatrolSimConfig{}, 1, &rng);
+  const auto truth = TrueEffort(park, tracks, 1.0);
+  const auto rebuilt = ReconstructEffort(park, tracks, 1.0);
+  EXPECT_NEAR(ReconstructionError(rebuilt, truth), 0.0, 1e-12);
+}
+
+TEST(WaypointsTest, SparserWaypointsLoseAccuracy) {
+  // The paper's SWS challenge: motorbike waypoints are sparse, so the
+  // rebuilt effort is less faithful. Reconstruction error should grow
+  // with the logging interval.
+  const Park park = TestPark();
+  double prev_err = -1.0;
+  for (const int interval : {1, 4, 8}) {
+    Rng rng(4);  // same walks for every interval
+    const auto tracks = SimulateTracks(park, PatrolSimConfig{}, interval,
+                                       &rng);
+    const auto truth = TrueEffort(park, tracks, 1.0);
+    const auto rebuilt = ReconstructEffort(park, tracks, 1.0);
+    const double err = ReconstructionError(rebuilt, truth);
+    EXPECT_GE(err, prev_err);
+    prev_err = err;
+  }
+  EXPECT_GT(prev_err, 0.0);
+}
+
+TEST(WaypointsTest, ReconstructionConservesRoughMagnitude) {
+  // Shortest-path interpolation can only under-count wandering, never
+  // invent unbounded effort: total rebuilt effort <= total true effort.
+  const Park park = TestPark();
+  Rng rng(5);
+  const auto tracks = SimulateTracks(park, PatrolSimConfig{}, 5, &rng);
+  const auto truth = TrueEffort(park, tracks, 1.0);
+  const auto rebuilt = ReconstructEffort(park, tracks, 1.0);
+  double total_true = 0.0, total_rebuilt = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    total_true += truth[i];
+    total_rebuilt += rebuilt[i];
+  }
+  EXPECT_LE(total_rebuilt, total_true + 1e-9);
+  EXPECT_GT(total_rebuilt, 0.25 * total_true);
+}
+
+TEST(WaypointsTest, ErrorHelpersValidateInput) {
+  EXPECT_DEATH(ReconstructionError({1.0}, {1.0, 2.0}), "size mismatch");
+  EXPECT_DEATH(ReconstructionError({}, {}), "empty");
+}
+
+}  // namespace
+}  // namespace paws

@@ -1,0 +1,109 @@
+#include "ml/weight_optimizer.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace paws {
+namespace {
+
+// Two classifiers: one perfect, one anti-correlated. The optimizer should
+// pile weight on the good one.
+WeightOptimizationProblem GoodVsBad(int n, uint64_t seed) {
+  Rng rng(seed);
+  WeightOptimizationProblem p;
+  for (int r = 0; r < n; ++r) {
+    const int label = rng.Bernoulli(0.4) ? 1 : 0;
+    const double good = label == 1 ? 0.9 : 0.1;
+    const double bad = label == 1 ? 0.2 : 0.8;
+    p.probs.push_back({good, bad});
+    p.qualified.push_back({1, 1});
+    p.labels.push_back(label);
+  }
+  return p;
+}
+
+TEST(WeightOptimizerTest, PrefersAccurateClassifier) {
+  const auto p = GoodVsBad(400, 1);
+  auto w = OptimizeEnsembleWeights(p);
+  ASSERT_TRUE(w.ok());
+  EXPECT_GT((*w)[0], 0.9);
+  EXPECT_LT((*w)[1], 0.1);
+}
+
+TEST(WeightOptimizerTest, WeightsStayOnSimplex) {
+  const auto p = GoodVsBad(200, 2);
+  auto w = OptimizeEnsembleWeights(p);
+  ASSERT_TRUE(w.ok());
+  double sum = 0.0;
+  for (double wi : *w) {
+    EXPECT_GE(wi, 0.0);
+    sum += wi;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(WeightOptimizerTest, OptimizedBeatsEqualWeights) {
+  const auto p = GoodVsBad(500, 3);
+  auto w = OptimizeEnsembleWeights(p);
+  ASSERT_TRUE(w.ok());
+  const double loss_opt = MixtureLogLoss(p, *w).value();
+  const double loss_eq = MixtureLogLoss(p, {0.5, 0.5}).value();
+  EXPECT_LT(loss_opt, loss_eq);
+}
+
+TEST(WeightOptimizerTest, SymmetricClassifiersGetEqualWeights) {
+  Rng rng(4);
+  WeightOptimizationProblem p;
+  for (int r = 0; r < 300; ++r) {
+    const int label = rng.Bernoulli(0.5) ? 1 : 0;
+    // Identical noisy classifiers.
+    const double q = label == 1 ? 0.7 : 0.3;
+    p.probs.push_back({q, q});
+    p.qualified.push_back({1, 1});
+    p.labels.push_back(label);
+  }
+  auto w = OptimizeEnsembleWeights(p);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR((*w)[0], 0.5, 1e-6);
+}
+
+TEST(WeightOptimizerTest, QualificationMaskLimitsVotes) {
+  // Classifier 1 is terrible but only qualified on rows where it is right.
+  WeightOptimizationProblem p;
+  p.probs = {{0.9, 0.9}, {0.1, 0.5}};
+  p.qualified = {{1, 1}, {1, 0}};
+  p.labels = {1, 0};
+  auto loss = MixtureLogLoss(p, {0.5, 0.5});
+  ASSERT_TRUE(loss.ok());
+  // Row 2 uses only classifier 0 (p = 0.1 -> good for label 0).
+  const double expected =
+      (-std::log(0.9) - std::log(1.0 - 0.1)) / 2.0;
+  EXPECT_NEAR(loss.value(), expected, 1e-9);
+}
+
+TEST(WeightOptimizerTest, RejectsMalformedProblems) {
+  WeightOptimizationProblem p;
+  EXPECT_FALSE(OptimizeEnsembleWeights(p).ok());  // empty
+  p.probs = {{0.5, 0.5}};
+  p.qualified = {{0, 0}};  // no qualified classifier
+  p.labels = {1};
+  EXPECT_FALSE(OptimizeEnsembleWeights(p).ok());
+  p.qualified = {{1}};  // ragged
+  EXPECT_FALSE(OptimizeEnsembleWeights(p).ok());
+}
+
+TEST(MixtureLogLossTest, MatchesHandComputation) {
+  WeightOptimizationProblem p;
+  p.probs = {{0.8, 0.6}};
+  p.qualified = {{1, 1}};
+  p.labels = {1};
+  auto loss = MixtureLogLoss(p, {0.25, 0.75});
+  ASSERT_TRUE(loss.ok());
+  const double mix = 0.25 * 0.8 + 0.75 * 0.6;
+  EXPECT_NEAR(loss.value(), -std::log(mix), 1e-12);
+}
+
+}  // namespace
+}  // namespace paws
