@@ -54,9 +54,12 @@ int main() {
   for (size_t pi = 0; pi < park.patrol_posts().size(); ++pi) {
     const PlanningGraph graph =
         BuildPlanningGraph(park, park.patrol_posts()[pi], 3);
-    const CellPredictors preds = MakeCellPredictors(
+    // One batched tabulation of the ensemble serves all three modes.
+    const EffortCurveTable curves = PredictCellEffortCurves(
         pipeline.model(), park, pipeline.data().history, t,
-        graph.park_cell_ids);
+        graph.park_cell_ids,
+        UniformEffortGrid(0.0, PlannerEffortCap(planner),
+                          planner.pwl_segments));
     std::vector<double> truth;
     for (int id : graph.park_cell_ids) {
       truth.push_back(pipeline.data().attacks.AttackProbability(id, t, 0.0));
@@ -64,7 +67,7 @@ int main() {
 
     struct Mode {
       const char* name;
-      std::vector<std::function<double(double)>> utils;
+      std::vector<PiecewiseLinear> utils;
     };
     RobustParams blind;
     blind.beta = 0.0;
@@ -73,18 +76,22 @@ int main() {
     ExplorationParams explore;
     explore.bonus = 2.0;
     const Mode modes[] = {
-        {"blind", MakeRobustUtilities(preds.g, preds.nu, blind)},
-        {"robust", MakeRobustUtilities(preds.g, preds.nu, robust)},
-        {"explore", MakeExplorationUtilities(preds.g, preds.nu, explore)},
+        {"blind", MakeRobustUtilityTables(curves, blind)},
+        {"robust", MakeRobustUtilityTables(curves, robust)},
+        {"explore", MakeExplorationUtilityTables(curves, explore)},
     };
     // Judge *where* each plan goes with the uncertainty at a fixed
     // reference effort, so the comparison is not confounded by nu's own
-    // dependence on the assigned effort.
-    std::vector<std::function<double(double)>> nu_at_ref;
-    for (const auto& nu_fn : preds.nu) {
-      const double ref = nu_fn(2.0);
-      nu_at_ref.push_back([ref](double) { return ref; });
-    }
+    // dependence on the assigned effort. One uniform-effort batch call
+    // gives the exact model variance at the reference effort.
+    const std::vector<double> cell_rows = BuildCellFeatureRows(
+        park, pipeline.data().history, t, graph.park_cell_ids);
+    std::vector<Prediction> at_ref;
+    pipeline.model().PredictBatch(
+        FeatureMatrixView::FromFlat(cell_rows, park.num_features() + 1), 2.0,
+        &at_ref);
+    std::vector<double> nu_at_ref;
+    for (const Prediction& p : at_ref) nu_at_ref.push_back(p.variance);
     for (const Mode& mode : modes) {
       auto plan = PlanPatrols(graph, mode.utils, planner);
       if (!plan.ok()) continue;

@@ -23,10 +23,10 @@ using namespace paws;
 struct SiteContext {
   PlanningGraph graph;
   // Tabulated g / nu per cell (the paper's m x N sampled points): the
-  // planner treats these tables as its black boxes, and the expensive GP
-  // ensemble is evaluated only once per (cell, grid point).
-  std::vector<PiecewiseLinear> g_table;
-  std::vector<PiecewiseLinear> nu_table;
+  // planner treats this table as its black box. One batched
+  // PredictEffortCurves call evaluates the expensive GP ensemble once per
+  // (cell, weak learner) and the whole 24-point grid reuses those votes.
+  EffortCurveTable curves;
   std::vector<double> true_attack;
 };
 
@@ -34,31 +34,17 @@ SiteContext BuildSite(const PawsPipeline& pipeline, const Cell& site,
                       const PlannerConfig& planner) {
   const Park& park = pipeline.data().park;
   const int t = pipeline.test_t_begin();
-  SiteContext ctx{BuildPlanningGraph(park, site, 3), {}, {}, {}};
-  const CellPredictors preds =
-      MakeCellPredictors(pipeline.model(), park, pipeline.data().history, t,
-                         ctx.graph.park_cell_ids);
-  const double cap = planner.horizon * planner.num_patrols;
-  for (int v = 0; v < ctx.graph.num_cells(); ++v) {
-    ctx.g_table.push_back(
-        PiecewiseLinear::FromFunction(preds.g[v], 0.0, cap, 24));
-    ctx.nu_table.push_back(
-        PiecewiseLinear::FromFunction(preds.nu[v], 0.0, cap, 24));
-  }
+  SiteContext ctx{BuildPlanningGraph(park, site, 3), {}, {}};
+  const double cap = PlannerEffortCap(planner);
+  ctx.curves = PredictCellEffortCurves(pipeline.model(), park,
+                                       pipeline.data().history, t,
+                                       ctx.graph.park_cell_ids,
+                                       UniformEffortGrid(0.0, cap, 24));
   for (int id : ctx.graph.park_cell_ids) {
     ctx.true_attack.push_back(
         pipeline.data().attacks.AttackProbability(id, t, 0.0));
   }
   return ctx;
-}
-
-std::vector<std::function<double(double)>> TablesAsFunctions(
-    const std::vector<PiecewiseLinear>& tables) {
-  std::vector<std::function<double(double)>> out;
-  for (const PiecewiseLinear& t : tables) {
-    out.push_back([&t](double c) { return t.Eval(c); });
-  }
-  return out;
 }
 
 // Cells on the frontier between well-patrolled and unexplored territory:
@@ -137,17 +123,20 @@ int main() {
       params.beta = beta;
       PlannerConfig p = planner;
       p.pwl_segments = segments;
-      const auto utils = MakeRobustUtilities(TablesAsFunctions(ctx.g_table),
-                                             TablesAsFunctions(ctx.nu_table),
-                                             params);
+      // Resample the master 24-point table onto the sweep's PWL grid; no
+      // further model evaluations are needed.
+      const auto utils = MakeRobustUtilityTables(
+          ResampleEffortCurves(ctx.curves,
+                               UniformEffortGrid(0.0, PlannerEffortCap(p),
+                                                 segments)),
+          params);
       return PlanPatrols(ctx.graph, utils, p);
     };
     auto robust_value = [&](const SiteContext& ctx,
                             const std::vector<double>& coverage, double beta) {
       RobustParams params;
       params.beta = beta;
-      return RobustObjective(coverage, TablesAsFunctions(ctx.g_table),
-                             TablesAsFunctions(ctx.nu_table), params);
+      return RobustObjective(coverage, ctx.curves, params);
     };
 
     // Baseline plans (beta = 0) per site, reused across both sweeps.

@@ -1,11 +1,14 @@
 // Reproduces Fig. 9: (a) prescriptive-model runtime as a function of the
 // number of PWL segments (google-benchmark timings per park), and (b)
 // convergence of the robust solution's utility U_{beta=1}(C_{beta=1}) with
-// increasing segments (paper: converges by ~20-25 segments).
+// increasing segments (paper: converges by ~20-25 segments). Also measures
+// the serving hot path: batched risk-map / effort-curve prediction vs the
+// legacy cell-at-a-time loop.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
-#include <functional>
 #include <map>
 
 #include "core/pipeline.h"
@@ -17,9 +20,9 @@ using namespace paws;
 
 struct ParkFixture {
   PlanningGraph graph;
-  std::vector<std::function<double(double)>> g;
-  std::vector<std::function<double(double)>> nu;
-  std::unique_ptr<PawsPipeline> pipeline;  // owns the model behind g/nu
+  std::vector<double> cell_rows;  // flat feature rows for graph cells
+  int row_width = 0;
+  std::unique_ptr<PawsPipeline> pipeline;
 };
 
 // Builds (once per park) a trained model and a planning context.
@@ -46,12 +49,18 @@ const ParkFixture& GetFixture(ParkPreset preset) {
   CheckOrDie(fixture.pipeline->Train(&rng).ok(), "fig9: training failed");
   const Park& park = fixture.pipeline->data().park;
   fixture.graph = BuildPlanningGraph(park, park.patrol_posts()[0], 4);
-  const CellPredictors preds = MakeCellPredictors(
-      fixture.pipeline->model(), park, fixture.pipeline->data().history,
+  fixture.cell_rows = BuildCellFeatureRows(
+      park, fixture.pipeline->data().history,
       fixture.pipeline->test_t_begin(), fixture.graph.park_cell_ids);
-  fixture.g = preds.g;
-  fixture.nu = preds.nu;
+  fixture.row_width = park.num_features() + 1;
   return cache->emplace(preset, std::move(fixture)).first->second;
+}
+
+EffortCurveTable CurvesFor(const ParkFixture& fixture, int segments,
+                           const PlannerConfig& planner) {
+  return fixture.pipeline->model().PredictEffortCurves(
+      FeatureMatrixView::FromFlat(fixture.cell_rows, fixture.row_width),
+      UniformEffortGrid(0.0, PlannerEffortCap(planner), segments));
 }
 
 StatusOr<PatrolPlan> SolveOnce(const ParkFixture& fixture, int segments) {
@@ -62,8 +71,27 @@ StatusOr<PatrolPlan> SolveOnce(const ParkFixture& fixture, int segments) {
   planner.num_patrols = 4;
   planner.pwl_segments = segments;
   planner.milp.max_nodes = 10;
-  const auto utils = MakeRobustUtilities(fixture.g, fixture.nu, robust);
+  const auto utils =
+      MakeRobustUtilityTables(CurvesFor(fixture, segments, planner), robust);
   return PlanPatrols(fixture.graph, utils, planner);
+}
+
+// True robust utility of a plan (not the PWL surrogate): the ensemble is
+// re-evaluated at each cell's assigned coverage via the per-row-efforts
+// batch call.
+double ExactRobustUtility(const ParkFixture& fixture,
+                          const std::vector<double>& coverage,
+                          const RobustParams& params) {
+  std::vector<Prediction> preds;
+  fixture.pipeline->model().PredictBatch(
+      FeatureMatrixView::FromFlat(fixture.cell_rows, fixture.row_width),
+      coverage, &preds);
+  double total = 0.0;
+  for (const Prediction& p : preds) {
+    total += p.prob - params.beta * p.prob *
+                          SquashUncertainty(p.variance, params.squash_scale);
+  }
+  return total;
 }
 
 void BM_PlannerRuntime(benchmark::State& state) {
@@ -87,9 +115,111 @@ BENCHMARK(BM_PlannerRuntime)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+void BM_RiskMapBatch(benchmark::State& state) {
+  const ParkFixture& fixture = GetFixture(ParkPreset::kMfnp);
+  for (auto _ : state) {
+    const RiskMaps maps = fixture.pipeline->PredictRisk(2.0);
+    benchmark::DoNotOptimize(maps);
+  }
+}
+BENCHMARK(BM_RiskMapBatch)->Unit(benchmark::kMillisecond);
+
+// The pre-redesign hot path: one virtual Predict call per cell.
+void BM_RiskMapPointwise(benchmark::State& state) {
+  const ParkFixture& fixture = GetFixture(ParkPreset::kMfnp);
+  const auto& data = fixture.pipeline->data();
+  const Dataset rows = BuildPredictionRows(data.park, data.history,
+                                           fixture.pipeline->test_t_begin(),
+                                           2.0);
+  for (auto _ : state) {
+    std::vector<Prediction> preds(rows.size());
+    for (int i = 0; i < rows.size(); ++i) {
+      preds[i] = fixture.pipeline->model().Predict(rows.RowVector(i), 2.0);
+    }
+    benchmark::DoNotOptimize(preds);
+  }
+}
+BENCHMARK(BM_RiskMapPointwise)->Unit(benchmark::kMillisecond);
+
+// Reports the hot-path speedup: tabulated effort curves vs evaluating the
+// ensemble pointwise at every (cell, grid point), and batched vs pointwise
+// risk maps.
+void ReportBatchSpeedups(const ParkFixture& fixture) {
+  using Clock = std::chrono::steady_clock;
+  const auto& model = fixture.pipeline->model();
+  const auto& data = fixture.pipeline->data();
+  const int t = fixture.pipeline->test_t_begin();
+
+  std::printf("=== Batched serving hot path vs pointwise ===\n");
+
+  auto ms_since = [](Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+  };
+
+  // Risk map (one effort level over every park cell).
+  const auto t0 = Clock::now();
+  const RiskMaps batch_maps =
+      PredictRiskMap(model, data.park, data.history, t, 2.0);
+  const double batch_ms = ms_since(t0);
+
+  const Dataset rows = BuildPredictionRows(data.park, data.history, t, 2.0);
+  const auto t1 = Clock::now();
+  std::vector<Prediction> pointwise(rows.size());
+  for (int i = 0; i < rows.size(); ++i) {
+    pointwise[i] = model.Predict(rows.RowVector(i), 2.0);
+  }
+  const double pointwise_ms = ms_since(t1);
+  double max_diff = 0.0;
+  for (int i = 0; i < rows.size(); ++i) {
+    max_diff = std::max(
+        max_diff,
+        std::fabs(batch_maps.risk[rows.cell_id(i)] - pointwise[i].prob));
+  }
+  std::printf(
+      "risk map (%d cells): batch %.2f ms, pointwise %.2f ms -> "
+      "speedup %.2fx (max |diff| = %.3g)\n",
+      rows.size(), batch_ms, pointwise_ms,
+      batch_ms > 0 ? pointwise_ms / batch_ms : 0.0, max_diff);
+
+  // Effort curves over the planner grid vs per-(cell, grid point) calls.
+  PlannerConfig planner;
+  planner.horizon = 8;
+  planner.num_patrols = 4;
+  const std::vector<double> grid =
+      UniformEffortGrid(0.0, PlannerEffortCap(planner), 25);
+  const int num_cells = static_cast<int>(fixture.graph.park_cell_ids.size());
+
+  const auto t2 = Clock::now();
+  const EffortCurveTable curves = model.PredictEffortCurves(
+      FeatureMatrixView::FromFlat(fixture.cell_rows, fixture.row_width),
+      grid);
+  const double curves_ms = ms_since(t2);
+
+  const auto t3 = Clock::now();
+  double sink = 0.0;
+  for (int v = 0; v < num_cells; ++v) {
+    std::vector<double> x(fixture.cell_rows.begin() + v * fixture.row_width,
+                          fixture.cell_rows.begin() +
+                              (v + 1) * fixture.row_width);
+    for (double c : grid) sink += model.Predict(x, c).prob;
+  }
+  const double closure_ms = ms_since(t3);
+  benchmark::DoNotOptimize(sink);
+  std::printf(
+      "effort curves (%d cells x %d grid points): table %.2f ms, "
+      "pointwise %.2f ms -> speedup %.2fx\n\n",
+      num_cells, static_cast<int>(grid.size()), curves_ms, closure_ms,
+      curves_ms > 0 ? closure_ms / curves_ms : 0.0);
+  (void)curves;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Hot-path speedup report (risk maps + effort-curve tables).
+  ReportBatchSpeedups(GetFixture(ParkPreset::kMfnp));
+
   // Part (b): utility convergence with segments.
   std::printf("=== Fig. 9b: utility of robust solution vs PWL segments ===\n");
   std::printf("%6s %10s %10s %10s\n", "segs", "MFNP", "QENP", "SWS");
@@ -106,8 +236,7 @@ int main(int argc, char** argv) {
       double utility = 0.0;
       if (plan.ok()) {
         // True utility of the plan (not the PWL surrogate).
-        utility = RobustObjective(plan->coverage, fixture.g, fixture.nu,
-                                  eval_params);
+        utility = ExactRobustUtility(fixture, plan->coverage, eval_params);
       }
       std::printf(" %10.4f", utility);
       csv.AddTextRow({ParkPresetName(preset), std::to_string(segments),

@@ -33,9 +33,6 @@ int main() {
               post.x, post.y);
 
   const PlanningGraph graph = BuildPlanningGraph(park, post, 4);
-  const CellPredictors preds =
-      MakeCellPredictors(pipeline.model(), park, pipeline.data().history,
-                         pipeline.test_t_begin(), graph.park_cell_ids);
 
   PlannerConfig planner;
   planner.horizon = 8;
@@ -43,10 +40,18 @@ int main() {
   planner.pwl_segments = 10;
   planner.milp.max_nodes = 200;
 
+  // One batched tabulation of the model over the planner's effort grid
+  // serves every beta below — the expensive GP ensemble runs once.
+  const EffortCurveTable curves = PredictCellEffortCurves(
+      pipeline.model(), park, pipeline.data().history,
+      pipeline.test_t_begin(), graph.park_cell_ids,
+      UniformEffortGrid(0.0, PlannerEffortCap(planner),
+                        planner.pwl_segments));
+
   for (const double beta : {0.0, 0.5, 1.0}) {
     RobustParams robust;
     robust.beta = beta;
-    const auto utils = MakeRobustUtilities(preds.g, preds.nu, robust);
+    const auto utils = MakeRobustUtilityTables(curves, robust);
     std::vector<PatrolRoute> routes;
     auto plan = PlanPatrolsWithRoutes(graph, utils, planner, &routes);
     if (!plan.ok()) {
@@ -58,7 +63,8 @@ int main() {
     // push it down.
     double weighted_nu = 0.0, total = 0.0;
     for (int v = 0; v < graph.num_cells(); ++v) {
-      weighted_nu += plan->coverage[v] * preds.nu[v](plan->coverage[v]);
+      weighted_nu +=
+          plan->coverage[v] * curves.EvalVariance(v, plan->coverage[v]);
       total += plan->coverage[v];
     }
     std::printf(

@@ -118,33 +118,68 @@ Status IWareEnsemble::Fit(const Dataset& data, Rng* rng) {
       const Status st = train_set(fold_train, all_thresholds, &fold_learners,
                                   &fold_thetas, rng);
       if (!st.ok()) continue;  // degenerate fold: skip its rows
-      for (int row : folds[f]) {
-        const std::vector<double> x = data.RowVector(row);
-        const double effort = data.effort(row);
-        std::vector<double> probs(all_thresholds.size(), 0.5);
-        std::vector<uint8_t> qualified(all_thresholds.size(), 0);
-        // Map fold learners back onto the global threshold list; a
-        // learner votes when qualified (theta <= effort).
-        bool any = false;
-        for (size_t i = 0; i < all_thresholds.size(); ++i) {
-          const auto it = std::find(fold_thetas.begin(), fold_thetas.end(),
-                                    all_thresholds[i]);
-          if (it == fold_thetas.end()) continue;
-          const size_t li = it - fold_thetas.begin();
-          if (all_thresholds[i] <= effort) {
-            probs[i] = fold_learners[li]->PredictProb(x);
-            qualified[i] = 1;
-            any = true;
+      // Map fold learners back onto the global threshold list; a learner
+      // votes when qualified (theta <= effort). Each fold learner scores
+      // its qualifying held-out rows in one gathered batch.
+      std::vector<int> fold_index(all_thresholds.size(), -1);
+      for (size_t i = 0; i < all_thresholds.size(); ++i) {
+        const auto it = std::find(fold_thetas.begin(), fold_thetas.end(),
+                                  all_thresholds[i]);
+        if (it != fold_thetas.end()) {
+          fold_index[i] = static_cast<int>(it - fold_thetas.begin());
+        }
+      }
+      const int nf = static_cast<int>(folds[f].size());
+      const int width = data.num_features();
+      std::vector<std::vector<double>> probs(
+          nf, std::vector<double>(all_thresholds.size(), 0.5));
+      std::vector<std::vector<uint8_t>> qualified(
+          nf, std::vector<uint8_t>(all_thresholds.size(), 0));
+      std::vector<uint8_t> any(nf, 0);
+      std::vector<double> gathered, buf;
+      std::vector<int> rows_idx;
+      auto gather_rows = [&](const std::vector<int>& idx) {
+        gathered.clear();
+        gathered.reserve(idx.size() * width);
+        for (int j : idx) {
+          const double* row = data.Row(folds[f][j]);
+          gathered.insert(gathered.end(), row, row + width);
+        }
+        return FeatureMatrixView::FromFlat(gathered, width);
+      };
+      for (size_t i = 0; i < all_thresholds.size(); ++i) {
+        if (fold_index[i] < 0) continue;
+        rows_idx.clear();
+        for (int j = 0; j < nf; ++j) {
+          if (all_thresholds[i] <= data.effort(folds[f][j])) {
+            rows_idx.push_back(j);
           }
         }
-        if (!any) {
-          // Below every threshold: the loosest learner still votes.
-          probs[0] = fold_learners[0]->PredictProb(x);
-          qualified[0] = 1;
+        if (rows_idx.empty()) continue;
+        fold_learners[fold_index[i]]->PredictBatch(gather_rows(rows_idx),
+                                                   &buf);
+        for (size_t j = 0; j < rows_idx.size(); ++j) {
+          probs[rows_idx[j]][i] = buf[j];
+          qualified[rows_idx[j]][i] = 1;
+          any[rows_idx[j]] = 1;
         }
-        problem.probs.push_back(std::move(probs));
-        problem.qualified.push_back(std::move(qualified));
-        problem.labels.push_back(data.label(row));
+      }
+      // Below every threshold: the loosest learner still votes.
+      rows_idx.clear();
+      for (int j = 0; j < nf; ++j) {
+        if (!any[j]) rows_idx.push_back(j);
+      }
+      if (!rows_idx.empty()) {
+        fold_learners[0]->PredictBatch(gather_rows(rows_idx), &buf);
+        for (size_t j = 0; j < rows_idx.size(); ++j) {
+          probs[rows_idx[j]][0] = buf[j];
+          qualified[rows_idx[j]][0] = 1;
+        }
+      }
+      for (int j = 0; j < nf; ++j) {
+        problem.probs.push_back(std::move(probs[j]));
+        problem.qualified.push_back(std::move(qualified[j]));
+        problem.labels.push_back(data.label(folds[f][j]));
       }
     }
     if (!problem.probs.empty()) {
@@ -184,32 +219,173 @@ Status IWareEnsemble::Fit(const Dataset& data, Rng* rng) {
 
 Prediction IWareEnsemble::Predict(const std::vector<double>& x,
                                   double effort) const {
-  CheckOrDie(fitted_, "IWareEnsemble::Predict before Fit");
-  double wsum = 0.0, mean = 0.0, second = 0.0;
+  std::vector<Prediction> out;
+  PredictBatch(FeatureMatrixView::OfRow(x), effort, &out);
+  return out[0];
+}
+
+int IWareEnsemble::NumQualified(double effort) const {
+  CheckOrDie(fitted_, "IWareEnsemble::NumQualified before Fit");
+  int count = 0;
+  for (double theta : thresholds_) count += theta <= effort ? 1 : 0;
+  return count;
+}
+
+void IWareEnsemble::PredictBatch(const FeatureMatrixView& x, double effort,
+                                 std::vector<Prediction>* out) const {
+  CheckOrDie(fitted_, "IWareEnsemble::PredictBatch before Fit");
+  const int n = x.rows();
+  // The qualified set depends only on `effort`, so each qualified learner
+  // scores the whole batch once and the mixture is assembled per row.
+  std::vector<double> mean(n, 0.0), second(n, 0.0);
+  std::vector<Prediction> buf;
+  double wsum = 0.0;
   for (size_t i = 0; i < learners_.size(); ++i) {
     if (thresholds_[i] > effort) continue;
-    const Prediction p = learners_[i]->PredictWithVariance(x);
+    learners_[i]->PredictBatchWithVariance(x, &buf);
     wsum += weights_[i];
-    mean += weights_[i] * p.prob;
-    second += weights_[i] * (p.variance + p.prob * p.prob);
+    for (int r = 0; r < n; ++r) {
+      const Prediction& p = buf[r];
+      mean[r] += weights_[i] * p.prob;
+      second[r] += weights_[i] * (p.variance + p.prob * p.prob);
+    }
   }
   if (wsum <= 0.0) {
     // Effort below every threshold: fall back to the loosest learner.
-    return learners_[0]->PredictWithVariance(x);
+    learners_[0]->PredictBatchWithVariance(x, out);
+    return;
   }
-  mean /= wsum;
-  second /= wsum;
-  Prediction out;
-  out.prob = mean;
-  out.variance = std::max(0.0, second - mean * mean);
-  return out;
+  out->resize(n);
+  for (int r = 0; r < n; ++r) {
+    const double m = mean[r] / wsum;
+    const double s = second[r] / wsum;
+    (*out)[r] = Prediction{m, std::max(0.0, s - m * m)};
+  }
+}
+
+void IWareEnsemble::PredictBatch(const FeatureMatrixView& x,
+                                 const std::vector<double>& efforts,
+                                 std::vector<Prediction>* out) const {
+  CheckOrDie(fitted_, "IWareEnsemble::PredictBatch before Fit");
+  CheckOrDie(static_cast<int>(efforts.size()) == x.rows(),
+             "IWareEnsemble::PredictBatch: one effort per row required");
+  const int n = x.rows();
+  const int k = x.cols();
+  std::vector<double> wsum(n, 0.0), mean(n, 0.0), second(n, 0.0);
+  std::vector<double> gathered;  // reused per learner
+  std::vector<int> rows_idx;
+  std::vector<Prediction> buf;
+  auto gather_rows = [&](const std::vector<int>& idx) {
+    gathered.clear();
+    gathered.reserve(idx.size() * k);
+    for (int r : idx) {
+      const double* row = x.Row(r);
+      gathered.insert(gathered.end(), row, row + k);
+    }
+    return FeatureMatrixView::FromFlat(gathered, k);
+  };
+  // Gather each learner's qualifying rows and score them in one batch —
+  // the same learner evaluations as the pointwise loop, amortized.
+  for (size_t i = 0; i < learners_.size(); ++i) {
+    rows_idx.clear();
+    for (int r = 0; r < n; ++r) {
+      if (thresholds_[i] <= efforts[r]) rows_idx.push_back(r);
+    }
+    if (rows_idx.empty()) continue;
+    learners_[i]->PredictBatchWithVariance(gather_rows(rows_idx), &buf);
+    for (size_t j = 0; j < rows_idx.size(); ++j) {
+      const int r = rows_idx[j];
+      const Prediction& p = buf[j];
+      wsum[r] += weights_[i];
+      mean[r] += weights_[i] * p.prob;
+      second[r] += weights_[i] * (p.variance + p.prob * p.prob);
+    }
+  }
+  out->resize(n);
+  // Rows whose effort sits below every threshold fall back to the loosest
+  // learner's raw prediction, exactly as the pointwise path does.
+  rows_idx.clear();
+  for (int r = 0; r < n; ++r) {
+    if (wsum[r] <= 0.0) rows_idx.push_back(r);
+  }
+  if (!rows_idx.empty()) {
+    learners_[0]->PredictBatchWithVariance(gather_rows(rows_idx), &buf);
+    for (size_t j = 0; j < rows_idx.size(); ++j) (*out)[rows_idx[j]] = buf[j];
+  }
+  for (int r = 0; r < n; ++r) {
+    if (wsum[r] <= 0.0) continue;
+    const double m = mean[r] / wsum[r];
+    const double s = second[r] / wsum[r];
+    (*out)[r] = Prediction{m, std::max(0.0, s - m * m)};
+  }
+}
+
+EffortCurveTable IWareEnsemble::PredictEffortCurves(
+    const FeatureMatrixView& x, std::vector<double> effort_grid) const {
+  CheckOrDie(fitted_, "IWareEnsemble::PredictEffortCurves before Fit");
+  CheckOrDie(!effort_grid.empty(), "PredictEffortCurves: empty grid");
+  for (size_t k = 1; k < effort_grid.size(); ++k) {
+    CheckOrDie(effort_grid[k] > effort_grid[k - 1],
+               "PredictEffortCurves: grid must be strictly increasing");
+  }
+  const int n = x.rows();
+  const int m = static_cast<int>(effort_grid.size());
+  const int num_learners = static_cast<int>(learners_.size());
+  // Every weak learner scores the batch at most once; the effort grid only
+  // changes which of these cached votes are mixed at each grid point.
+  // Learners whose threshold exceeds the grid's top never vote and are
+  // skipped entirely (learner 0 always runs: it serves the low-effort
+  // fallback).
+  std::vector<std::vector<Prediction>> votes(num_learners);
+  for (int i = 0; i < num_learners; ++i) {
+    if (i > 0 && thresholds_[i] > effort_grid.back()) continue;
+    learners_[i]->PredictBatchWithVariance(x, &votes[i]);
+  }
+  EffortCurveTable table;
+  table.num_cells = n;
+  table.prob.assign(static_cast<size_t>(n) * m, 0.0);
+  table.variance.assign(static_cast<size_t>(n) * m, 0.0);
+  table.qualified_count.resize(m);
+  std::vector<double> mean(n), second(n);
+  for (int k = 0; k < m; ++k) {
+    const double effort = effort_grid[k];
+    std::fill(mean.begin(), mean.end(), 0.0);
+    std::fill(second.begin(), second.end(), 0.0);
+    double wsum = 0.0;
+    int qualified = 0;
+    for (int i = 0; i < num_learners; ++i) {
+      if (thresholds_[i] > effort) continue;
+      ++qualified;
+      wsum += weights_[i];
+      for (int r = 0; r < n; ++r) {
+        const Prediction& p = votes[i][r];
+        mean[r] += weights_[i] * p.prob;
+        second[r] += weights_[i] * (p.variance + p.prob * p.prob);
+      }
+    }
+    table.qualified_count[k] = qualified;
+    for (int r = 0; r < n; ++r) {
+      const size_t idx = static_cast<size_t>(r) * m + k;
+      if (wsum <= 0.0) {
+        table.prob[idx] = votes[0][r].prob;
+        table.variance[idx] = votes[0][r].variance;
+      } else {
+        const double mu = mean[r] / wsum;
+        const double s = second[r] / wsum;
+        table.prob[idx] = mu;
+        table.variance[idx] = std::max(0.0, s - mu * mu);
+      }
+    }
+  }
+  table.effort_grid = std::move(effort_grid);
+  return table;
 }
 
 std::vector<double> IWareEnsemble::PredictDataset(const Dataset& data) const {
-  std::vector<double> out(data.size());
-  for (int i = 0; i < data.size(); ++i) {
-    out[i] = PredictProb(data.RowVector(i), data.effort(i));
-  }
+  std::vector<Prediction> preds;
+  PredictBatch(data.FeaturesView(), data.efforts(), &preds);
+  std::vector<double> out(preds.size());
+  for (size_t i = 0; i < preds.size(); ++i) out[i] = preds[i].prob;
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include "ml/bagging.h"
 #include "ml/classifier.h"
 #include "ml/decision_tree.h"
+#include "ml/effort_curve.h"
 #include "ml/gaussian_process.h"
 #include "ml/linear_svm.h"
 
@@ -72,14 +73,40 @@ class IWareEnsemble {
   Status Fit(const Dataset& data, Rng* rng);
 
   /// Predicted detection probability and mixture variance for features `x`
-  /// under hypothetical current patrol effort `effort`.
+  /// under hypothetical current patrol effort `effort`. One-row wrapper
+  /// over PredictBatch, so looped pointwise calls and batch calls are
+  /// bit-identical.
   Prediction Predict(const std::vector<double>& x, double effort) const;
   double PredictProb(const std::vector<double>& x, double effort) const {
     return Predict(x, effort).prob;
   }
 
+  /// Batch prediction under one shared hypothetical effort (the risk-map
+  /// hot path): every qualified weak learner scores the whole batch once.
+  void PredictBatch(const FeatureMatrixView& x, double effort,
+                    std::vector<Prediction>* out) const;
+
+  /// Batch prediction with per-row efforts (dataset scoring). Rows are
+  /// gathered per weak learner by qualification, so each learner still only
+  /// scores the rows it votes on.
+  void PredictBatch(const FeatureMatrixView& x,
+                    const std::vector<double>& efforts,
+                    std::vector<Prediction>* out) const;
+
+  /// Tabulates g_v(c) / nu_v(c) for every row of `x` over `effort_grid` in
+  /// one pass: each weak learner is evaluated once per row, and the grid
+  /// reuses those evaluations (effort only gates which learners vote, not
+  /// what they output). This feeds the planner's PWL construction, the
+  /// risk-map sweeps, and the field-test simulator.
+  EffortCurveTable PredictEffortCurves(const FeatureMatrixView& x,
+                                       std::vector<double> effort_grid) const;
+
   /// Scores every row of `data` using each row's own effort channel.
   std::vector<double> PredictDataset(const Dataset& data) const;
+
+  /// Number of weak learners qualified to vote at `effort`
+  /// (non-decreasing in effort).
+  int NumQualified(double effort) const;
 
   int num_learners() const { return static_cast<int>(learners_.size()); }
   const std::vector<double>& thresholds() const { return thresholds_; }

@@ -96,12 +96,18 @@ StatusOr<PatrolPlan> PawsPipeline::PlanForPost(int post_index,
   if (post_index < 0 || post_index >= static_cast<int>(posts.size())) {
     return Status::InvalidArgument("PawsPipeline: bad post index");
   }
+  // Invalid planner configs must surface as Status (as PlanPatrols reports
+  // them), not abort inside the grid construction below.
+  PAWS_RETURN_IF_ERROR(ValidatePlannerConfig(config));
   const PlanningGraph graph = BuildPlanningGraph(
       data_.park, posts[post_index], std::max(2, config.horizon / 2));
-  const CellPredictors preds =
-      MakeCellPredictors(*model_, data_.park, data_.history,
-                         split_->test_t_begin, graph.park_cell_ids);
-  const auto utilities = MakeRobustUtilities(preds.g, preds.nu, robust);
+  // Batch-first hot path: one tabulation of the ensemble over the planner's
+  // PWL breakpoints feeds the whole MILP — no per-cell closures.
+  const EffortCurveTable curves = PredictCellEffortCurves(
+      *model_, data_.park, data_.history, split_->test_t_begin,
+      graph.park_cell_ids,
+      UniformEffortGrid(0.0, PlannerEffortCap(config), config.pwl_segments));
+  const auto utilities = MakeRobustUtilityTables(curves, robust);
   return PlanPatrols(graph, utilities, config);
 }
 

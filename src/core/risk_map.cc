@@ -7,16 +7,24 @@ namespace paws {
 RiskMaps PredictRiskMap(const IWareEnsemble& model, const Park& park,
                         const PatrolHistory& history, int t,
                         double assumed_effort) {
-  const Dataset rows = BuildPredictionRows(park, history, t, assumed_effort);
+  CheckOrDie(assumed_effort >= 0.0, "assumed_effort must be >= 0");
+  // Dense cell ids in order, so prediction i maps straight to cell id i —
+  // one flat feature buffer, no Dataset construction on the hot path.
+  std::vector<int> cell_ids(park.num_cells());
+  for (int id = 0; id < park.num_cells(); ++id) cell_ids[id] = id;
+  const std::vector<double> rows =
+      BuildCellFeatureRows(park, history, t, cell_ids);
+  std::vector<Prediction> preds;
+  model.PredictBatch(
+      FeatureMatrixView::FromFlat(rows, park.num_features() + 1),
+      assumed_effort, &preds);
   RiskMaps maps;
   maps.assumed_effort = assumed_effort;
   maps.risk.resize(park.num_cells());
   maps.variance.resize(park.num_cells());
-  for (int i = 0; i < rows.size(); ++i) {
-    const Prediction p = model.Predict(rows.RowVector(i), assumed_effort);
-    const int id = rows.cell_id(i);
-    maps.risk[id] = p.prob;
-    maps.variance[id] = p.variance;
+  for (int id = 0; id < park.num_cells(); ++id) {
+    maps.risk[id] = preds[id].prob;
+    maps.variance[id] = preds[id].variance;
   }
   return maps;
 }
@@ -31,23 +39,16 @@ GridD ToGrid(const Park& park, const std::vector<double>& values) {
   return grid;
 }
 
-CellPredictors MakeCellPredictors(const IWareEnsemble& model, const Park& park,
-                                  const PatrolHistory& history, int t,
-                                  const std::vector<int>& cell_ids) {
-  CellPredictors out;
-  const int k = park.num_features() + 1;
-  for (int id : cell_ids) {
-    std::vector<double> x(k);
-    const std::vector<double> static_x = park.FeatureVector(id);
-    std::copy(static_x.begin(), static_x.end(), x.begin());
-    x[k - 1] = (t > 0 && t - 1 < history.num_steps())
-                   ? history.steps[t - 1].effort[id]
-                   : 0.0;
-    out.g.push_back([&model, x](double c) { return model.Predict(x, c).prob; });
-    out.nu.push_back(
-        [&model, x](double c) { return model.Predict(x, c).variance; });
-  }
-  return out;
+EffortCurveTable PredictCellEffortCurves(const IWareEnsemble& model,
+                                         const Park& park,
+                                         const PatrolHistory& history, int t,
+                                         const std::vector<int>& cell_ids,
+                                         std::vector<double> effort_grid) {
+  const std::vector<double> rows =
+      BuildCellFeatureRows(park, history, t, cell_ids);
+  return model.PredictEffortCurves(
+      FeatureMatrixView::FromFlat(rows, park.num_features() + 1),
+      std::move(effort_grid));
 }
 
 std::vector<double> ConvolveRisk(const Park& park,

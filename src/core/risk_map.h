@@ -1,12 +1,12 @@
 #ifndef PAWS_CORE_RISK_MAP_H_
 #define PAWS_CORE_RISK_MAP_H_
 
-#include <functional>
 #include <vector>
 
 #include "core/iware.h"
 #include "geo/park.h"
 #include "geo/raster_ops.h"
+#include "ml/effort_curve.h"
 #include "sim/patrol_sim.h"
 
 namespace paws {
@@ -21,9 +21,9 @@ struct RiskMaps {
   double assumed_effort = 0.0;
 };
 
-/// Predicts risk/uncertainty for every park cell at time step `t`,
-/// assuming each cell receives `assumed_effort` km of patrol during the
-/// step (lagged coverage read from `history`).
+/// Predicts risk/uncertainty for every park cell at time step `t` in one
+/// batched ensemble call, assuming each cell receives `assumed_effort` km
+/// of patrol during the step (lagged coverage read from `history`).
 RiskMaps PredictRiskMap(const IWareEnsemble& model, const Park& park,
                         const PatrolHistory& history, int t,
                         double assumed_effort);
@@ -31,17 +31,17 @@ RiskMaps PredictRiskMap(const IWareEnsemble& model, const Park& park,
 /// Rasterizes a per-dense-cell vector onto the park grid (out-of-park = 0).
 GridD ToGrid(const Park& park, const std::vector<double>& values);
 
-/// Builds the planner's black-box inputs for a set of park cells: for each
-/// cell id, g(c) = model probability and nu(c) = model variance as
-/// functions of hypothetical effort c, with features/lagged coverage fixed
-/// at time `t`.
-struct CellPredictors {
-  std::vector<std::function<double(double)>> g;
-  std::vector<std::function<double(double)>> nu;
-};
-CellPredictors MakeCellPredictors(const IWareEnsemble& model, const Park& park,
-                                  const PatrolHistory& history, int t,
-                                  const std::vector<int>& cell_ids);
+/// Builds the planner's black-box inputs for a set of park cells: tabulated
+/// g(c) = model probability and nu(c) = model variance over `effort_grid`,
+/// with features/lagged coverage fixed at time `t`. Replaces the old
+/// per-cell std::function closure pair (CellPredictors): every weak
+/// learner is evaluated once per cell and the whole grid reuses those
+/// evaluations.
+EffortCurveTable PredictCellEffortCurves(const IWareEnsemble& model,
+                                         const Park& park,
+                                         const PatrolHistory& history, int t,
+                                         const std::vector<int>& cell_ids,
+                                         std::vector<double> effort_grid);
 
 /// Averages risk over block_size x block_size neighborhoods ("convolving
 /// the risk map", Sec. VII-B) — returns a per-dense-cell block score.

@@ -55,30 +55,41 @@ Status BaggingClassifier::Fit(const Dataset& data, Rng* rng) {
   return Status::OK();
 }
 
-double BaggingClassifier::PredictProb(const std::vector<double>& x) const {
-  CheckOrDie(!members_.empty(), "BaggingClassifier::PredictProb before Fit");
-  double sum = 0.0;
-  for (const auto& m : members_) sum += m->PredictProb(x);
-  return sum / members_.size();
+void BaggingClassifier::PredictBatch(const FeatureMatrixView& x,
+                                     std::vector<double>* out_probs) const {
+  CheckOrDie(!members_.empty(), "BaggingClassifier::PredictBatch before Fit");
+  const int n = x.rows();
+  out_probs->assign(n, 0.0);
+  std::vector<double> member_probs;
+  for (const auto& m : members_) {
+    m->PredictBatch(x, &member_probs);
+    for (int r = 0; r < n; ++r) (*out_probs)[r] += member_probs[r];
+  }
+  for (int r = 0; r < n; ++r) (*out_probs)[r] /= members_.size();
 }
 
-Prediction BaggingClassifier::PredictWithVariance(
-    const std::vector<double>& x) const {
+void BaggingClassifier::PredictBatchWithVariance(
+    const FeatureMatrixView& x, std::vector<Prediction>* out) const {
   CheckOrDie(!members_.empty(), "BaggingClassifier before Fit");
   const int b = static_cast<int>(members_.size());
-  double mean = 0.0;
-  double second_moment = 0.0;  // E[v_i + m_i^2]
+  const int n = x.rows();
+  std::vector<double> mean(n, 0.0);
+  std::vector<double> second_moment(n, 0.0);  // E[v_i + m_i^2]
+  std::vector<Prediction> member_preds;
   for (const auto& m : members_) {
-    const Prediction p = m->PredictWithVariance(x);
-    mean += p.prob;
-    second_moment += p.variance + p.prob * p.prob;
+    m->PredictBatchWithVariance(x, &member_preds);
+    for (int r = 0; r < n; ++r) {
+      const Prediction& p = member_preds[r];
+      mean[r] += p.prob;
+      second_moment[r] += p.variance + p.prob * p.prob;
+    }
   }
-  mean /= b;
-  second_moment /= b;
-  Prediction out;
-  out.prob = mean;
-  out.variance = std::max(0.0, second_moment - mean * mean);
-  return out;
+  out->resize(n);
+  for (int r = 0; r < n; ++r) {
+    const double m = mean[r] / b;
+    const double s = second_moment[r] / b;
+    (*out)[r] = Prediction{m, std::max(0.0, s - m * m)};
+  }
 }
 
 std::unique_ptr<Classifier> BaggingClassifier::CloneUntrained() const {

@@ -41,8 +41,13 @@ class BaggingClassifier : public Classifier {
   }
 
   Status Fit(const Dataset& data, Rng* rng) override;
-  double PredictProb(const std::vector<double>& x) const override;
-  Prediction PredictWithVariance(const std::vector<double>& x) const override;
+  /// Members vote batch-at-a-time: each member's own PredictBatch runs once
+  /// over all rows, so per-row virtual dispatch is paid per member, not per
+  /// (member, row).
+  void PredictBatch(const FeatureMatrixView& x,
+                    std::vector<double>* out_probs) const override;
+  void PredictBatchWithVariance(const FeatureMatrixView& x,
+                                std::vector<Prediction>* out) const override;
   bool ProvidesVariance() const override { return true; }
   std::unique_ptr<Classifier> CloneUntrained() const override;
 

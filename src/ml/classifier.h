@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ml/dataset.h"
+#include "util/feature_matrix.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -19,6 +20,12 @@ struct Prediction {
 
 /// Abstract binary probabilistic classifier. All PAWS weak learners
 /// (decision trees, SVMs, Gaussian processes) and ensembles implement this.
+///
+/// The interface is batch-first: PredictBatch is the primitive every
+/// learner implements, and the pointwise PredictProb / PredictWithVariance
+/// calls are one-row wrappers over it. Batch and looped-pointwise outputs
+/// are therefore bit-identical by construction, and the serving hot paths
+/// (risk maps, effort curves) never pay a virtual call per row.
 class Classifier {
  public:
   virtual ~Classifier() = default;
@@ -26,16 +33,38 @@ class Classifier {
   /// Trains on `data`. Stochastic learners draw from `rng` (never null).
   virtual Status Fit(const Dataset& data, Rng* rng) = 0;
 
-  /// P(y = 1 | x). Must only be called after a successful Fit.
-  virtual double PredictProb(const std::vector<double>& x) const = 0;
+  /// P(y = 1 | x) for every row of `x`, written to `*out_probs` (resized).
+  /// Must only be called after a successful Fit.
+  virtual void PredictBatch(const FeatureMatrixView& x,
+                            std::vector<double>* out_probs) const = 0;
 
-  /// Probability plus a predictive-uncertainty score. The default
+  /// Probability plus predictive-uncertainty score per row. The default
   /// implementation reports zero variance.
-  virtual Prediction PredictWithVariance(const std::vector<double>& x) const {
-    return Prediction{PredictProb(x), 0.0};
+  virtual void PredictBatchWithVariance(const FeatureMatrixView& x,
+                                        std::vector<Prediction>* out) const {
+    std::vector<double> probs;
+    PredictBatch(x, &probs);
+    out->resize(probs.size());
+    for (size_t i = 0; i < probs.size(); ++i) {
+      (*out)[i] = Prediction{probs[i], 0.0};
+    }
   }
 
-  /// True if PredictWithVariance returns a model-intrinsic uncertainty
+  /// P(y = 1 | x). One-row convenience wrapper over PredictBatch.
+  double PredictProb(const std::vector<double>& x) const {
+    std::vector<double> probs;
+    PredictBatch(FeatureMatrixView::OfRow(x), &probs);
+    return probs[0];
+  }
+
+  /// One-row convenience wrapper over PredictBatchWithVariance.
+  Prediction PredictWithVariance(const std::vector<double>& x) const {
+    std::vector<Prediction> preds;
+    PredictBatchWithVariance(FeatureMatrixView::OfRow(x), &preds);
+    return preds[0];
+  }
+
+  /// True if PredictBatchWithVariance returns a model-intrinsic uncertainty
   /// (Gaussian processes) rather than the zero default.
   virtual bool ProvidesVariance() const { return false; }
 
@@ -43,7 +72,7 @@ class Classifier {
   virtual std::unique_ptr<Classifier> CloneUntrained() const = 0;
 };
 
-/// Convenience: scores every row of `data` with PredictProb.
+/// Convenience: scores every row of `data` in one batch.
 std::vector<double> PredictAll(const Classifier& model, const Dataset& data);
 
 }  // namespace paws

@@ -49,7 +49,20 @@ StatusOr<std::vector<double>> OutOfFoldPredictions(const Classifier& proto,
     }
     auto model = proto.CloneUntrained();
     PAWS_RETURN_IF_ERROR(model->Fit(train, rng));
-    for (int i : folds[f]) preds[i] = model->PredictProb(data.RowVector(i));
+    // Gather the held-out rows and score them in one batch.
+    std::vector<double> gathered;
+    gathered.reserve(folds[f].size() * data.num_features());
+    for (int i : folds[f]) {
+      const double* row = data.Row(i);
+      gathered.insert(gathered.end(), row, row + data.num_features());
+    }
+    std::vector<double> fold_preds;
+    model->PredictBatch(
+        FeatureMatrixView::FromFlat(gathered, data.num_features()),
+        &fold_preds);
+    for (size_t j = 0; j < folds[f].size(); ++j) {
+      preds[folds[f][j]] = fold_preds[j];
+    }
   }
   return preds;
 }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "util/feature_matrix.h"
 #include "util/status.h"
 
 namespace paws {
@@ -31,6 +32,12 @@ class Dataset {
   /// Pointer to the i-th feature vector (num_features() doubles).
   const double* Row(int i) const;
   std::vector<double> RowVector(int i) const;
+
+  /// Zero-copy view of all feature rows for batch prediction. Valid until
+  /// the next AddRow (the backing buffer may reallocate).
+  FeatureMatrixView FeaturesView() const {
+    return FeatureMatrixView(x_.data(), size(), num_features_);
+  }
 
   int label(int i) const { return y_[i]; }
   double effort(int i) const { return effort_[i]; }

@@ -102,16 +102,23 @@ int DecisionTree::BuildNode(const Dataset& data, std::vector<int>* indices,
   return node_id;
 }
 
-double DecisionTree::PredictProb(const std::vector<double>& x) const {
-  CheckOrDie(!nodes_.empty(), "DecisionTree::PredictProb before Fit");
+double DecisionTree::PredictRow(const double* x, int width) const {
   int cur = 0;
   while (nodes_[cur].left != -1) {
     const Node& node = nodes_[cur];
-    CheckOrDie(node.feature < static_cast<int>(x.size()),
-               "DecisionTree: feature vector too short");
+    CheckOrDie(node.feature < width, "DecisionTree: feature vector too short");
     cur = x[node.feature] <= node.threshold ? node.left : node.right;
   }
   return nodes_[cur].prob;
+}
+
+void DecisionTree::PredictBatch(const FeatureMatrixView& x,
+                                std::vector<double>* out_probs) const {
+  CheckOrDie(!nodes_.empty(), "DecisionTree::PredictBatch before Fit");
+  out_probs->resize(x.rows());
+  for (int i = 0; i < x.rows(); ++i) {
+    (*out_probs)[i] = PredictRow(x.Row(i), x.cols());
+  }
 }
 
 std::unique_ptr<Classifier> DecisionTree::CloneUntrained() const {

@@ -26,7 +26,8 @@ class DecisionTree : public Classifier {
   explicit DecisionTree(DecisionTreeConfig config = {}) : config_(config) {}
 
   Status Fit(const Dataset& data, Rng* rng) override;
-  double PredictProb(const std::vector<double>& x) const override;
+  void PredictBatch(const FeatureMatrixView& x,
+                    std::vector<double>* out_probs) const override;
   std::unique_ptr<Classifier> CloneUntrained() const override;
 
   /// Number of nodes in the fitted tree (0 before Fit).
@@ -47,6 +48,7 @@ class DecisionTree : public Classifier {
 
   int BuildNode(const Dataset& data, std::vector<int>* indices, int begin,
                 int end, int depth, Rng* rng);
+  double PredictRow(const double* x, int width) const;
 
   DecisionTreeConfig config_;
   std::vector<Node> nodes_;

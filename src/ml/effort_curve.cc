@@ -1,0 +1,75 @@
+#include "ml/effort_curve.h"
+
+#include <algorithm>
+
+namespace paws {
+
+namespace {
+
+// Linear interpolation of one tabulated curve, clamped at the grid ends.
+// Mirrors PiecewiseLinear::Eval so tabulated and PWL evaluations agree.
+double InterpRow(const std::vector<double>& grid, const double* y,
+                 double x) {
+  const size_t m = grid.size();
+  if (x <= grid.front()) return y[0];
+  if (x >= grid.back()) return y[m - 1];
+  const auto it = std::upper_bound(grid.begin(), grid.end(), x);
+  const size_t hi = it - grid.begin();
+  const size_t lo = hi - 1;
+  const double t = (x - grid[lo]) / (grid[hi] - grid[lo]);
+  return y[lo] + t * (y[hi] - y[lo]);
+}
+
+}  // namespace
+
+double EffortCurveTable::EvalProb(int cell, double effort) const {
+  CheckOrDie(cell >= 0 && cell < num_cells && num_points() > 0,
+             "EffortCurveTable::EvalProb out of bounds");
+  return InterpRow(effort_grid,
+                   prob.data() + static_cast<size_t>(cell) * effort_grid.size(),
+                   effort);
+}
+
+double EffortCurveTable::EvalVariance(int cell, double effort) const {
+  CheckOrDie(cell >= 0 && cell < num_cells && num_points() > 0,
+             "EffortCurveTable::EvalVariance out of bounds");
+  return InterpRow(
+      effort_grid,
+      variance.data() + static_cast<size_t>(cell) * effort_grid.size(),
+      effort);
+}
+
+std::vector<double> UniformEffortGrid(double lo, double hi, int segments) {
+  CheckOrDie(segments >= 1, "UniformEffortGrid: need >= 1 segment");
+  CheckOrDie(hi > lo, "UniformEffortGrid: hi must exceed lo");
+  std::vector<double> grid(segments + 1);
+  for (int i = 0; i <= segments; ++i) {
+    grid[i] = lo + (hi - lo) * i / segments;
+  }
+  return grid;
+}
+
+EffortCurveTable ResampleEffortCurves(const EffortCurveTable& in,
+                                      std::vector<double> new_grid) {
+  CheckOrDie(new_grid.size() >= 2, "ResampleEffortCurves: need >= 2 points");
+  for (size_t k = 1; k < new_grid.size(); ++k) {
+    CheckOrDie(new_grid[k] > new_grid[k - 1],
+               "ResampleEffortCurves: grid must be strictly increasing");
+  }
+  EffortCurveTable out;
+  out.num_cells = in.num_cells;
+  const int m = static_cast<int>(new_grid.size());
+  out.prob.resize(static_cast<size_t>(in.num_cells) * m);
+  out.variance.resize(static_cast<size_t>(in.num_cells) * m);
+  for (int v = 0; v < in.num_cells; ++v) {
+    for (int k = 0; k < m; ++k) {
+      out.prob[static_cast<size_t>(v) * m + k] = in.EvalProb(v, new_grid[k]);
+      out.variance[static_cast<size_t>(v) * m + k] =
+          in.EvalVariance(v, new_grid[k]);
+    }
+  }
+  out.effort_grid = std::move(new_grid);
+  return out;
+}
+
+}  // namespace paws

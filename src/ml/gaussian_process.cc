@@ -119,38 +119,87 @@ Status GaussianProcessClassifier::Fit(const Dataset& data, Rng* rng) {
   return Status::OK();
 }
 
-void GaussianProcessClassifier::LatentPosterior(const std::vector<double>& z,
-                                                double* mean,
-                                                double* variance) const {
-  const int n = static_cast<int>(x_train_.size());
-  const std::vector<double> k_star = kernel_.CrossVector(x_train_, z);
-  *mean = Dot(k_star, grad_log_lik_);
-  // v = L \ (W^1/2 k_star); var = k(x,x) - v.v.
-  std::vector<double> rhs(n);
-  for (int i = 0; i < n; ++i) rhs[i] = sqrt_w_[i] * k_star[i];
-  const std::vector<double> v = ForwardSubstitute(chol_b_, rhs);
-  const double prior = kernel_.signal_variance;
-  *variance = std::max(0.0, prior - Dot(v, v));
+void GaussianProcessClassifier::PredictBatch(
+    const FeatureMatrixView& x, std::vector<double>* out_probs) const {
+  std::vector<Prediction> preds;
+  PredictBatchWithVariance(x, &preds);
+  out_probs->resize(preds.size());
+  for (size_t i = 0; i < preds.size(); ++i) (*out_probs)[i] = preds[i].prob;
 }
 
-double GaussianProcessClassifier::PredictProb(
-    const std::vector<double>& x) const {
-  return PredictWithVariance(x).prob;
-}
-
-Prediction GaussianProcessClassifier::PredictWithVariance(
-    const std::vector<double>& x) const {
+void GaussianProcessClassifier::PredictBatchWithVariance(
+    const FeatureMatrixView& x, std::vector<Prediction>* out) const {
   CheckOrDie(fitted_, "GaussianProcessClassifier before Fit");
-  const std::vector<double> z = standardizer_.Transform(x);
-  double mean = 0.0, var = 0.0;
-  LatentPosterior(z, &mean, &var);
-  // MacKay's approximation of the logistic-Gaussian integral:
-  //   E[sigmoid(f)] ~= sigmoid(kappa * mean), kappa = 1/sqrt(1 + pi v / 8).
-  const double kappa = 1.0 / std::sqrt(1.0 + M_PI * var / 8.0);
-  Prediction out;
-  out.prob = Sigmoid(kappa * mean);
-  out.variance = var;
-  return out;
+  CheckOrDie(x.cols() == standardizer_.num_features(),
+             "GaussianProcessClassifier: feature width mismatch");
+  const int n = static_cast<int>(x_train_.size());
+  const int total = x.rows();
+  const int kf = x.cols();
+  out->resize(total);
+  const std::vector<double>& mu = standardizer_.mean();
+  const std::vector<double>& sd = standardizer_.stddev();
+  const double prior = kernel_.signal_variance;
+  // Rows are processed in column chunks so the (inducing x rows) scratch
+  // blocks stay cache-sized even for park-scale batches.
+  const int kChunk = 256;
+  std::vector<double> z;     // chunk rows, standardized (m x kf)
+  std::vector<double> work;  // K_* then W^1/2 K_* then V = L \ ... (n x m)
+  std::vector<double> mean, var;
+  for (int begin = 0; begin < total; begin += kChunk) {
+    const int m = std::min(kChunk, total - begin);
+    z.resize(static_cast<size_t>(m) * kf);
+    for (int j = 0; j < m; ++j) {
+      const double* row = x.Row(begin + j);
+      for (int f = 0; f < kf; ++f) {
+        z[static_cast<size_t>(j) * kf + f] = (row[f] - mu[f]) / sd[f];
+      }
+    }
+    // Cross-covariance block K_*[i][j] = k(x_train_i, z_j), through the
+    // same RbfKernel::Eval that Fit's Gram matrix uses.
+    work.resize(static_cast<size_t>(n) * m);
+    for (int i = 0; i < n; ++i) {
+      const double* xt = x_train_[i].data();
+      double* krow = work.data() + static_cast<size_t>(i) * m;
+      for (int j = 0; j < m; ++j) {
+        krow[j] = kernel_.Eval(xt, z.data() + static_cast<size_t>(j) * kf, kf);
+      }
+    }
+    // Latent means: mean_j = sum_i K_*[i][j] * grad_i (i ascending, matching
+    // the one-row dot product bit for bit).
+    mean.assign(m, 0.0);
+    for (int i = 0; i < n; ++i) {
+      const double g = grad_log_lik_[i];
+      const double* krow = work.data() + static_cast<size_t>(i) * m;
+      for (int j = 0; j < m; ++j) mean[j] += krow[j] * g;
+    }
+    // Multi-RHS forward substitution, in place: V = L \ (W^1/2 K_*). Each
+    // column follows the scalar ForwardSubstitute order exactly; the row
+    // sweeps vectorize across columns — the batch-only amortization.
+    for (int i = 0; i < n; ++i) {
+      double* vrow = work.data() + static_cast<size_t>(i) * m;
+      for (int j = 0; j < m; ++j) vrow[j] *= sqrt_w_[i];
+      for (int k = 0; k < i; ++k) {
+        const double l_ik = chol_b_(i, k);
+        const double* vk = work.data() + static_cast<size_t>(k) * m;
+        for (int j = 0; j < m; ++j) vrow[j] -= l_ik * vk[j];
+      }
+      const double diag = chol_b_(i, i);
+      for (int j = 0; j < m; ++j) vrow[j] /= diag;
+    }
+    // Latent variances: var_j = prior - sum_i V[i][j]^2 (i ascending).
+    var.assign(m, 0.0);
+    for (int i = 0; i < n; ++i) {
+      const double* vrow = work.data() + static_cast<size_t>(i) * m;
+      for (int j = 0; j < m; ++j) var[j] += vrow[j] * vrow[j];
+    }
+    for (int j = 0; j < m; ++j) {
+      const double v = std::max(0.0, prior - var[j]);
+      // MacKay's approximation of the logistic-Gaussian integral:
+      //   E[sigmoid(f)] ~= sigmoid(kappa * mean), kappa = 1/sqrt(1 + pi v/8).
+      const double kappa = 1.0 / std::sqrt(1.0 + M_PI * v / 8.0);
+      (*out)[begin + j] = Prediction{Sigmoid(kappa * mean[j]), v};
+    }
+  }
 }
 
 std::unique_ptr<Classifier> GaussianProcessClassifier::CloneUntrained() const {

@@ -9,8 +9,12 @@ namespace paws {
 double RbfKernel::operator()(const std::vector<double>& a,
                              const std::vector<double>& b) const {
   CheckOrDie(a.size() == b.size(), "RbfKernel: dimension mismatch");
+  return Eval(a.data(), b.data(), static_cast<int>(a.size()));
+}
+
+double RbfKernel::Eval(const double* a, const double* b, int k) const {
   double sq = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
+  for (int i = 0; i < k; ++i) {
     const double d = a[i] - b[i];
     sq += d * d;
   }
@@ -31,16 +35,6 @@ Matrix RbfKernel::GramMatrix(const std::vector<std::vector<double>>& x,
     }
   }
   return k;
-}
-
-std::vector<double> RbfKernel::CrossVector(
-    const std::vector<std::vector<double>>& x_train,
-    const std::vector<double>& x_star) const {
-  std::vector<double> out(x_train.size());
-  for (size_t i = 0; i < x_train.size(); ++i) {
-    out[i] = (*this)(x_train[i], x_star);
-  }
-  return out;
 }
 
 }  // namespace paws

@@ -16,15 +16,15 @@ struct RbfKernel {
   double operator()(const std::vector<double>& a,
                     const std::vector<double>& b) const;
 
+  /// k(a, b) on flat buffers of `k` doubles — the batch hot-path form; the
+  /// vector overload delegates here so training and prediction share one
+  /// kernel implementation.
+  double Eval(const double* a, const double* b, int k) const;
+
   /// Gram matrix K(X, X) with `jitter` added to the diagonal for numerical
   /// stability of the Cholesky factorization.
   Matrix GramMatrix(const std::vector<std::vector<double>>& x,
                     double jitter = 1e-8) const;
-
-  /// Cross-covariances k(x_*, x_i) for all training points.
-  std::vector<double> CrossVector(
-      const std::vector<std::vector<double>>& x_train,
-      const std::vector<double>& x_star) const;
 };
 
 }  // namespace paws

@@ -85,15 +85,34 @@ Status LinearSvm::Fit(const Dataset& data, Rng* rng) {
   return Status::OK();
 }
 
-double LinearSvm::DecisionValue(const std::vector<double>& x) const {
-  CheckOrDie(fitted_, "LinearSvm::DecisionValue before Fit");
-  const std::vector<double> z = standardizer_.Transform(x);
-  return Dot(weights_, z) + bias_;
+double LinearSvm::DecisionValueRow(const double* x) const {
+  // Standardization fused into the dot product: no per-row temporary.
+  const std::vector<double>& mean = standardizer_.mean();
+  const std::vector<double>& stddev = standardizer_.stddev();
+  double acc = 0.0;
+  for (size_t f = 0; f < weights_.size(); ++f) {
+    acc += weights_[f] * ((x[f] - mean[f]) / stddev[f]);
+  }
+  return acc + bias_;
 }
 
-double LinearSvm::PredictProb(const std::vector<double>& x) const {
-  const double f = DecisionValue(x);
-  return Sigmoid(-(platt_a_ * f + platt_b_));
+double LinearSvm::DecisionValue(const std::vector<double>& x) const {
+  CheckOrDie(fitted_, "LinearSvm::DecisionValue before Fit");
+  CheckOrDie(x.size() == weights_.size(),
+             "LinearSvm::DecisionValue width mismatch");
+  return DecisionValueRow(x.data());
+}
+
+void LinearSvm::PredictBatch(const FeatureMatrixView& x,
+                             std::vector<double>* out_probs) const {
+  CheckOrDie(fitted_, "LinearSvm::PredictBatch before Fit");
+  CheckOrDie(x.cols() == static_cast<int>(weights_.size()),
+             "LinearSvm::PredictBatch width mismatch");
+  out_probs->resize(x.rows());
+  for (int i = 0; i < x.rows(); ++i) {
+    const double f = DecisionValueRow(x.Row(i));
+    (*out_probs)[i] = Sigmoid(-(platt_a_ * f + platt_b_));
+  }
 }
 
 std::unique_ptr<Classifier> LinearSvm::CloneUntrained() const {

@@ -24,13 +24,16 @@ class LinearSvm : public Classifier {
   explicit LinearSvm(LinearSvmConfig config = {}) : config_(config) {}
 
   Status Fit(const Dataset& data, Rng* rng) override;
-  double PredictProb(const std::vector<double>& x) const override;
+  void PredictBatch(const FeatureMatrixView& x,
+                    std::vector<double>* out_probs) const override;
   std::unique_ptr<Classifier> CloneUntrained() const override;
 
   /// Raw decision value w.x + b on standardized features.
   double DecisionValue(const std::vector<double>& x) const;
 
  private:
+  double DecisionValueRow(const double* x) const;
+
   LinearSvmConfig config_;
   Standardizer standardizer_;
   std::vector<double> weights_;

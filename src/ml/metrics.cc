@@ -9,10 +9,8 @@
 namespace paws {
 
 std::vector<double> PredictAll(const Classifier& model, const Dataset& data) {
-  std::vector<double> out(data.size());
-  for (int i = 0; i < data.size(); ++i) {
-    out[i] = model.PredictProb(data.RowVector(i));
-  }
+  std::vector<double> out;
+  model.PredictBatch(data.FeaturesView(), &out);
   return out;
 }
 

@@ -27,6 +27,19 @@ std::vector<std::function<double(double)>> MakeExplorationUtilities(
   return out;
 }
 
+std::vector<PiecewiseLinear> MakeExplorationUtilityTables(
+    const EffortCurveTable& curves, const ExplorationParams& params) {
+  CheckOrDie(params.bonus >= 0.0, "ExplorationParams: bonus must be >= 0");
+  const int m = curves.num_points();
+  std::vector<double> utility(static_cast<size_t>(curves.num_cells) * m);
+  for (size_t i = 0; i < utility.size(); ++i) {
+    utility[i] = curves.prob[i] +
+                 params.bonus * SquashUncertainty(curves.variance[i],
+                                                  params.squash_scale);
+  }
+  return PwlFromGrid(curves.effort_grid, utility, curves.num_cells);
+}
+
 double MeanPatrolledUncertainty(
     const std::vector<double>& coverage,
     const std::vector<std::function<double(double)>>& nu) {
@@ -35,6 +48,18 @@ double MeanPatrolledUncertainty(
   double weighted = 0.0, total = 0.0;
   for (size_t v = 0; v < coverage.size(); ++v) {
     weighted += coverage[v] * nu[v](coverage[v]);
+    total += coverage[v];
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+double MeanPatrolledUncertainty(const std::vector<double>& coverage,
+                                const std::vector<double>& nu) {
+  CheckOrDie(coverage.size() == nu.size(),
+             "MeanPatrolledUncertainty: size mismatch");
+  double weighted = 0.0, total = 0.0;
+  for (size_t v = 0; v < coverage.size(); ++v) {
+    weighted += coverage[v] * nu[v];
     total += coverage[v];
   }
   return total > 0.0 ? weighted / total : 0.0;

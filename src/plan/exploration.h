@@ -4,6 +4,8 @@
 #include <functional>
 #include <vector>
 
+#include "ml/effort_curve.h"
+#include "solver/pwl.h"
 #include "util/status.h"
 
 namespace paws {
@@ -34,12 +36,22 @@ std::vector<std::function<double(double)>> MakeExplorationUtilities(
     const std::vector<std::function<double(double)>>& nu,
     const ExplorationParams& params);
 
+/// Tabulated (batch-first) form: applies the exploration objective to every
+/// grid point of an EffortCurveTable, yielding one PWL utility per cell.
+std::vector<PiecewiseLinear> MakeExplorationUtilityTables(
+    const EffortCurveTable& curves, const ExplorationParams& params);
+
 /// Coverage-weighted mean raw uncertainty of a plan — the quantity
 /// exploration maximizes and robustness minimizes; used to verify the two
 /// modes pull in opposite directions.
 double MeanPatrolledUncertainty(
     const std::vector<double>& coverage,
     const std::vector<std::function<double(double)>>& nu);
+
+/// As above with one fixed uncertainty score per cell (e.g. tabulated at a
+/// reference effort).
+double MeanPatrolledUncertainty(const std::vector<double>& coverage,
+                                const std::vector<double>& nu);
 
 }  // namespace paws
 

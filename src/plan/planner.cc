@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 namespace paws {
 
@@ -26,23 +27,36 @@ bool Active(const std::vector<int>& dist, int v, int t, int horizon) {
   return dist[v] >= 0 && dist[v] <= t && dist[v] <= horizon - 1 - t;
 }
 
-StatusOr<UnrolledModel> BuildModel(
-    const PlanningGraph& graph,
-    const std::vector<std::function<double(double)>>& utility,
-    const PlannerConfig& config) {
-  if (static_cast<int>(utility.size()) != graph.num_cells()) {
+// Hands BuildModel the PWL utility of an active cell. Tabulated utilities
+// are used as-is; closure-based ones are sampled lazily so only cells that
+// actually receive a coverage variable pay the sampling cost.
+struct UtilitySource {
+  const std::vector<PiecewiseLinear>* tables = nullptr;
+  const std::vector<std::function<double(double)>>* fns = nullptr;
+  int segments = 1;
+  double cap = 0.0;
+
+  int size() const {
+    return static_cast<int>(tables != nullptr ? tables->size() : fns->size());
+  }
+  /// Tabulated utilities are handed back by reference (no copy on the hot
+  /// path); closure-based ones are sampled into `*scratch`.
+  const PiecewiseLinear& Get(int v,
+                             std::optional<PiecewiseLinear>* scratch) const {
+    if (tables != nullptr) return (*tables)[v];
+    *scratch = PiecewiseLinear::FromFunction((*fns)[v], 0.0, cap, segments);
+    return **scratch;
+  }
+};
+
+StatusOr<UnrolledModel> BuildModel(const PlanningGraph& graph,
+                                   const UtilitySource& utility,
+                                   const PlannerConfig& config) {
+  if (utility.size() != graph.num_cells()) {
     return Status::InvalidArgument(
         "PlanPatrols: one utility function required per planning cell");
   }
-  if (config.horizon < 2) {
-    return Status::InvalidArgument("PlanPatrols: horizon must be >= 2");
-  }
-  if (config.num_patrols < 1) {
-    return Status::InvalidArgument("PlanPatrols: num_patrols must be >= 1");
-  }
-  if (config.pwl_segments < 1) {
-    return Status::InvalidArgument("PlanPatrols: pwl_segments must be >= 1");
-  }
+  PAWS_RETURN_IF_ERROR(ValidatePlannerConfig(config));
 
   const int num_cells = graph.num_cells();
   const int horizon = config.horizon;
@@ -107,8 +121,7 @@ StatusOr<UnrolledModel> BuildModel(
 
   // Coverage variables: c_v = K * (total visits of v), where visits count
   // the presence at t = 0 (the source) plus inflow at every later step.
-  double cap = horizon * k_patrols;
-  if (config.max_cell_effort > 0.0) cap = std::min(cap, config.max_cell_effort);
+  const double cap = PlannerEffortCap(config);
   model.coverage_vars.resize(num_cells, -1);
   for (int v = 0; v < num_cells; ++v) {
     if (dist[v] < 0 || dist[v] > (horizon - 1) / 2) {
@@ -127,14 +140,38 @@ StatusOr<UnrolledModel> BuildModel(
     model.lp.AddConstraint(terms, Relation::kEqual, rhs);
 
     // PWL objective term U_v^PWL(c_v).
-    const PiecewiseLinear pwl = PiecewiseLinear::FromFunction(
-        utility[v], 0.0, cap, config.pwl_segments);
-    AddPwlObjectiveTerm(&model.lp, c_var, pwl, 1.0);
+    std::optional<PiecewiseLinear> scratch;
+    AddPwlObjectiveTerm(&model.lp, c_var, utility.Get(v, &scratch), 1.0);
   }
   return model;
 }
 
+// Shared solve + extraction behind both public entry points.
+StatusOr<PatrolPlan> PlanPatrolsImpl(const PlanningGraph& graph,
+                                     const UtilitySource& utility,
+                                     const PlannerConfig& config,
+                                     std::vector<PatrolRoute>* routes);
+
 }  // namespace
+
+Status ValidatePlannerConfig(const PlannerConfig& config) {
+  if (config.horizon < 2) {
+    return Status::InvalidArgument("PlanPatrols: horizon must be >= 2");
+  }
+  if (config.num_patrols < 1) {
+    return Status::InvalidArgument("PlanPatrols: num_patrols must be >= 1");
+  }
+  if (config.pwl_segments < 1) {
+    return Status::InvalidArgument("PlanPatrols: pwl_segments must be >= 1");
+  }
+  return Status::OK();
+}
+
+double PlannerEffortCap(const PlannerConfig& config) {
+  double cap = static_cast<double>(config.horizon) * config.num_patrols;
+  if (config.max_cell_effort > 0.0) cap = std::min(cap, config.max_cell_effort);
+  return cap;
+}
 
 double EvaluateCoverage(
     const std::vector<double>& coverage,
@@ -146,6 +183,23 @@ double EvaluateCoverage(
   return total;
 }
 
+double EvaluateCoverage(const std::vector<double>& coverage,
+                        const std::vector<PiecewiseLinear>& utility) {
+  CheckOrDie(coverage.size() == utility.size(),
+             "EvaluateCoverage: size mismatch");
+  double total = 0.0;
+  for (size_t v = 0; v < coverage.size(); ++v) {
+    total += utility[v].Eval(coverage[v]);
+  }
+  return total;
+}
+
+StatusOr<PatrolPlan> PlanPatrols(const PlanningGraph& graph,
+                                 const std::vector<PiecewiseLinear>& utility,
+                                 const PlannerConfig& config) {
+  return PlanPatrolsWithRoutes(graph, utility, config, nullptr);
+}
+
 StatusOr<PatrolPlan> PlanPatrols(
     const PlanningGraph& graph,
     const std::vector<std::function<double(double)>>& utility,
@@ -154,9 +208,38 @@ StatusOr<PatrolPlan> PlanPatrols(
 }
 
 StatusOr<PatrolPlan> PlanPatrolsWithRoutes(
+    const PlanningGraph& graph, const std::vector<PiecewiseLinear>& utility,
+    const PlannerConfig& config, std::vector<PatrolRoute>* routes) {
+  const double cap = PlannerEffortCap(config);
+  for (const PiecewiseLinear& u : utility) {
+    if (u.x_front() > 0.0 || u.x_back() + 1e-9 < cap) {
+      return Status::InvalidArgument(
+          "PlanPatrols: utility table must span [0, PlannerEffortCap]");
+    }
+  }
+  UtilitySource source;
+  source.tables = &utility;
+  return PlanPatrolsImpl(graph, source, config, routes);
+}
+
+StatusOr<PatrolPlan> PlanPatrolsWithRoutes(
     const PlanningGraph& graph,
     const std::vector<std::function<double(double)>>& utility,
     const PlannerConfig& config, std::vector<PatrolRoute>* routes) {
+  PAWS_RETURN_IF_ERROR(ValidatePlannerConfig(config));
+  UtilitySource source;
+  source.fns = &utility;
+  source.segments = config.pwl_segments;
+  source.cap = PlannerEffortCap(config);
+  return PlanPatrolsImpl(graph, source, config, routes);
+}
+
+namespace {
+
+StatusOr<PatrolPlan> PlanPatrolsImpl(const PlanningGraph& graph,
+                                     const UtilitySource& utility,
+                                     const PlannerConfig& config,
+                                     std::vector<PatrolRoute>* routes) {
   PAWS_ASSIGN_OR_RETURN(UnrolledModel model,
                         BuildModel(graph, utility, config));
   PAWS_ASSIGN_OR_RETURN(LpSolution sol, SolveMilp(model.lp, config.milp));
@@ -228,5 +311,7 @@ StatusOr<PatrolPlan> PlanPatrolsWithRoutes(
   }
   return plan;
 }
+
+}  // namespace
 
 }  // namespace paws

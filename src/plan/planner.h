@@ -46,10 +46,29 @@ struct PatrolRoute {
   std::vector<int> cells;         // local cell per time step (size = horizon)
 };
 
-/// Plans patrols that maximize sum_v U_v(c_v), where `utility[v]` maps
-/// per-cell effort to expected utility (a black-box function sampled into a
-/// PWL approximation with `config.pwl_segments` segments). Fails with
-/// InvalidArgument on shape mismatches; propagates solver failures.
+/// Validates horizon / num_patrols / pwl_segments — the single source of
+/// truth for config rules, shared by the planner entry points and callers
+/// that build effort grids from the config before planning.
+Status ValidatePlannerConfig(const PlannerConfig& config);
+
+/// Domain cap for per-cell effort the planner applies to coverage variables
+/// and PWL tables: horizon * num_patrols, tightened by max_cell_effort.
+double PlannerEffortCap(const PlannerConfig& config);
+
+/// Batch-first entry point: plans patrols that maximize sum_v U_v(c_v)
+/// where `utility[v]` is a pre-tabulated PWL per planning cell — typically
+/// built from one EffortCurveTable via MakeRobustUtilityTables, so the
+/// whole hot path is table lookups with no per-cell closures. Each table
+/// must start at effort 0; its breakpoints (not config.pwl_segments) set
+/// the PWL resolution. Fails with InvalidArgument on shape mismatches;
+/// propagates solver failures.
+StatusOr<PatrolPlan> PlanPatrols(const PlanningGraph& graph,
+                                 const std::vector<PiecewiseLinear>& utility,
+                                 const PlannerConfig& config);
+
+/// Closure-based convenience wrapper: samples each utility function into a
+/// PWL with `config.pwl_segments` segments on [0, PlannerEffortCap], then
+/// plans on the tables.
 StatusOr<PatrolPlan> PlanPatrols(
     const PlanningGraph& graph,
     const std::vector<std::function<double(double)>>& utility,
@@ -57,6 +76,9 @@ StatusOr<PatrolPlan> PlanPatrols(
 
 /// As PlanPatrols but also returns the flow decomposition of the defender
 /// mixed strategy into explicit routes (at most |E'| routes).
+StatusOr<PatrolPlan> PlanPatrolsWithRoutes(
+    const PlanningGraph& graph, const std::vector<PiecewiseLinear>& utility,
+    const PlannerConfig& config, std::vector<PatrolRoute>* routes);
 StatusOr<PatrolPlan> PlanPatrolsWithRoutes(
     const PlanningGraph& graph,
     const std::vector<std::function<double(double)>>& utility,
@@ -67,6 +89,10 @@ StatusOr<PatrolPlan> PlanPatrolsWithRoutes(
 /// (Fig. 8's evaluation protocol).
 double EvaluateCoverage(const std::vector<double>& coverage,
                         const std::vector<std::function<double(double)>>& utility);
+
+/// Tabulated form of EvaluateCoverage (PWL interpolation per cell).
+double EvaluateCoverage(const std::vector<double>& coverage,
+                        const std::vector<PiecewiseLinear>& utility);
 
 }  // namespace paws
 

@@ -51,4 +51,35 @@ double RobustObjective(const std::vector<double>& coverage,
   return total;
 }
 
+std::vector<PiecewiseLinear> MakeRobustUtilityTables(
+    const EffortCurveTable& curves, const RobustParams& params) {
+  CheckOrDie(params.beta >= 0.0 && params.beta <= 1.0,
+             "RobustParams: beta must lie in [0, 1]");
+  const int m = curves.num_points();
+  std::vector<double> utility(static_cast<size_t>(curves.num_cells) * m);
+  for (size_t i = 0; i < utility.size(); ++i) {
+    const double gv = curves.prob[i];
+    const double squashed =
+        SquashUncertainty(curves.variance[i], params.squash_scale);
+    utility[i] = gv - params.beta * gv * squashed;
+  }
+  return PwlFromGrid(curves.effort_grid, utility, curves.num_cells);
+}
+
+double RobustObjective(const std::vector<double>& coverage,
+                       const EffortCurveTable& curves,
+                       const RobustParams& params) {
+  CheckOrDie(static_cast<int>(coverage.size()) == curves.num_cells,
+             "RobustObjective: size mismatch");
+  double total = 0.0;
+  for (size_t v = 0; v < coverage.size(); ++v) {
+    const int cell = static_cast<int>(v);
+    const double gv = curves.EvalProb(cell, coverage[v]);
+    total += gv - params.beta * gv *
+                      SquashUncertainty(curves.EvalVariance(cell, coverage[v]),
+                                        params.squash_scale);
+  }
+  return total;
+}
+
 }  // namespace paws

@@ -4,6 +4,8 @@
 #include <functional>
 #include <vector>
 
+#include "ml/effort_curve.h"
+#include "solver/pwl.h"
 #include "util/status.h"
 
 namespace paws {
@@ -41,6 +43,20 @@ std::vector<std::function<double(double)>> MakeRobustUtilities(
 double RobustObjective(const std::vector<double>& coverage,
                        const std::vector<std::function<double(double)>>& g,
                        const std::vector<std::function<double(double)>>& nu,
+                       const RobustParams& params);
+
+/// Tabulated (batch-first) form: applies the robust objective to every grid
+/// point of an EffortCurveTable, yielding one PWL utility per cell for the
+/// planner. No per-cell closures — the table's arrays are consumed
+/// directly, and the grid points carry the exact ensemble outputs, so the
+/// resulting PWLs match the closure-sampled ones bit for bit.
+std::vector<PiecewiseLinear> MakeRobustUtilityTables(
+    const EffortCurveTable& curves, const RobustParams& params);
+
+/// RobustObjective on tabulated curves (linear interpolation between grid
+/// points, clamped outside the grid).
+double RobustObjective(const std::vector<double>& coverage,
+                       const EffortCurveTable& curves,
                        const RobustParams& params);
 
 }  // namespace paws

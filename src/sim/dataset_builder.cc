@@ -40,19 +40,36 @@ Dataset BuildPredictionRows(const Park& park, const PatrolHistory& history,
                             const std::vector<uint8_t>* attacked) {
   CheckOrDie(assumed_effort >= 0.0, "assumed_effort must be >= 0");
   const int k = park.num_features() + 1;
+  std::vector<int> cell_ids(park.num_cells());
+  for (int id = 0; id < park.num_cells(); ++id) cell_ids[id] = id;
+  const std::vector<double> rows =
+      BuildCellFeatureRows(park, history, t, cell_ids);
   Dataset data(k);
   std::vector<double> x(k);
-  const std::vector<double>* prev =
-      (t > 0 && t - 1 < history.num_steps()) ? &history.steps[t - 1].effort
-                                             : nullptr;
   for (int id = 0; id < park.num_cells(); ++id) {
-    const std::vector<double> static_x = park.FeatureVector(id);
-    std::copy(static_x.begin(), static_x.end(), x.begin());
-    x[k - 1] = prev != nullptr ? (*prev)[id] : 0.0;
+    std::copy(rows.begin() + static_cast<size_t>(id) * k,
+              rows.begin() + static_cast<size_t>(id + 1) * k, x.begin());
     const int label = (attacked != nullptr && (*attacked)[id]) ? 1 : 0;
     data.AddRow(x, label, assumed_effort, t, id);
   }
   return data;
+}
+
+std::vector<double> BuildCellFeatureRows(const Park& park,
+                                         const PatrolHistory& history, int t,
+                                         const std::vector<int>& cell_ids) {
+  const int k = park.num_features() + 1;
+  const std::vector<double>* prev =
+      (t > 0 && t - 1 < history.num_steps()) ? &history.steps[t - 1].effort
+                                             : nullptr;
+  std::vector<double> rows;
+  rows.reserve(cell_ids.size() * k);
+  for (int id : cell_ids) {
+    const std::vector<double> static_x = park.FeatureVector(id);
+    rows.insert(rows.end(), static_x.begin(), static_x.end());
+    rows.push_back(prev != nullptr ? (*prev)[id] : 0.0);
+  }
+  return rows;
 }
 
 double PositiveRateAboveEffortPercentile(const Dataset& data, double q) {

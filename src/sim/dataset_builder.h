@@ -39,6 +39,16 @@ Dataset BuildPredictionRows(const Park& park, const PatrolHistory& history,
                             int t, double assumed_effort,
                             const std::vector<uint8_t>* attacked = nullptr);
 
+/// Flat row-major feature rows (static features + lagged patrol coverage at
+/// time `t`) for the given cells — the batch-prediction input behind effort
+/// curves. Row width is park.num_features() + 1; view the result with
+/// FeatureMatrixView::FromFlat. Unlike BuildPredictionRows there is no
+/// effort channel: hypothetical effort is supplied separately to the
+/// ensemble's batch calls.
+std::vector<double> BuildCellFeatureRows(const Park& park,
+                                         const PatrolHistory& history, int t,
+                                         const std::vector<int>& cell_ids);
+
 /// Fraction of positive labels among rows whose current effort is >= the
 /// q-th percentile of positive-effort rows; reproduces Fig. 4's x-axis.
 double PositiveRateAboveEffortPercentile(const Dataset& data, double q);

@@ -59,6 +59,22 @@ double PiecewiseLinear::MaxAbsError(const std::function<double(double)>& fn,
   return worst;
 }
 
+std::vector<PiecewiseLinear> PwlFromGrid(const std::vector<double>& x_grid,
+                                         const std::vector<double>& y_values,
+                                         int num_rows) {
+  const size_t m = x_grid.size();
+  CheckOrDie(num_rows >= 0 && y_values.size() == num_rows * m,
+             "PwlFromGrid: y_values shape mismatch");
+  std::vector<PiecewiseLinear> out;
+  out.reserve(num_rows);
+  for (int v = 0; v < num_rows; ++v) {
+    out.emplace_back(
+        x_grid, std::vector<double>(y_values.begin() + v * m,
+                                    y_values.begin() + (v + 1) * m));
+  }
+  return out;
+}
+
 PwlTermHandle AddPwlObjectiveTerm(LinearProgram* lp, int var_x,
                                   const PiecewiseLinear& f, double weight) {
   CheckOrDie(lp != nullptr, "AddPwlObjectiveTerm: null model");

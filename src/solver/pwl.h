@@ -43,6 +43,14 @@ class PiecewiseLinear {
   std::vector<double> x_, y_;
 };
 
+/// Builds one PWL per row from tabulated y-values on a shared breakpoint
+/// grid (row-major, `num_rows` x `x_grid.size()`), e.g. per-cell utility
+/// curves assembled from an EffortCurveTable. No function evaluations: the
+/// tables become the planner's black boxes directly.
+std::vector<PiecewiseLinear> PwlFromGrid(const std::vector<double>& x_grid,
+                                         const std::vector<double>& y_values,
+                                         int num_rows);
+
 /// Variables created when a PWL term is attached to a model.
 struct PwlTermHandle {
   std::vector<int> lambda_vars;   // convex-combination weights per breakpoint

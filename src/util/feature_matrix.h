@@ -1,0 +1,57 @@
+#ifndef PAWS_UTIL_FEATURE_MATRIX_H_
+#define PAWS_UTIL_FEATURE_MATRIX_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace paws {
+
+/// Non-owning, span-style view over a row-major block of feature rows.
+/// The batch prediction APIs take this view so callers can hand over
+/// Dataset storage, a scratch buffer, or a single feature vector without
+/// copying rows. The viewed buffer must outlive the view.
+class FeatureMatrixView {
+ public:
+  FeatureMatrixView() = default;
+  FeatureMatrixView(const double* data, int rows, int cols)
+      : data_(data), rows_(rows), cols_(cols) {
+    CheckOrDie(rows >= 0 && cols > 0, "FeatureMatrixView: bad shape");
+    CheckOrDie(rows == 0 || data != nullptr,
+               "FeatureMatrixView: null data with rows > 0");
+  }
+
+  /// View over a flat row-major buffer; flat.size() must be a multiple of
+  /// `cols`.
+  static FeatureMatrixView FromFlat(const std::vector<double>& flat,
+                                    int cols) {
+    CheckOrDie(cols > 0 && flat.size() % cols == 0,
+               "FeatureMatrixView::FromFlat: size not a multiple of cols");
+    return FeatureMatrixView(flat.data(), static_cast<int>(flat.size()) / cols,
+                             cols);
+  }
+
+  /// One-row view over a single feature vector.
+  static FeatureMatrixView OfRow(const std::vector<double>& x) {
+    return FeatureMatrixView(x.data(), 1, static_cast<int>(x.size()));
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  /// Pointer to row i (contiguous, cols() doubles).
+  const double* Row(int i) const {
+    CheckOrDie(i >= 0 && i < rows_, "FeatureMatrixView::Row out of bounds");
+    return data_ + static_cast<size_t>(i) * cols_;
+  }
+
+ private:
+  const double* data_ = nullptr;
+  int rows_ = 0;
+  int cols_ = 0;
+};
+
+}  // namespace paws
+
+#endif  // PAWS_UTIL_FEATURE_MATRIX_H_

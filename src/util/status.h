@@ -84,9 +84,13 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
 
+/// Aborts the process with `msg` if `condition` is false. Used for internal
+/// invariants that indicate programmer error rather than bad input.
+void CheckOrDie(bool condition, const char* msg);
+
 /// Either a value of type T or an error Status. Accessing value() on an
-/// error aborts, so callers must check ok() first (Google style: no
-/// exceptions).
+/// error aborts with the status message, so callers must check ok() first
+/// (Google style: no exceptions).
 template <typename T>
 class StatusOr {
  public:
@@ -98,9 +102,18 @@ class StatusOr {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
-  const T& value() const& { return *value_; }
-  T& value() & { return *value_; }
-  T&& value() && { return *std::move(value_); }
+  const T& value() const& {
+    CheckOrDie(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T& value() & {
+    CheckOrDie(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    CheckOrDie(ok(), status_.message().c_str());
+    return *std::move(value_);
+  }
 
   const T& operator*() const& { return *value_; }
   T& operator*() & { return *value_; }
@@ -111,10 +124,6 @@ class StatusOr {
   Status status_;
   std::optional<T> value_;
 };
-
-/// Aborts the process with `msg` if `condition` is false. Used for internal
-/// invariants that indicate programmer error rather than bad input.
-void CheckOrDie(bool condition, const char* msg);
 
 #define PAWS_RETURN_IF_ERROR(expr)              \
   do {                                          \

@@ -54,18 +54,40 @@ TEST_F(RiskMapTest, ToGridPlacesValuesAtCells) {
   EXPECT_DOUBLE_EQ(grid.At(data_->park.CellOf(0)), 7.0);
 }
 
-TEST_F(RiskMapTest, CellPredictorsMatchModelPredictions) {
+TEST_F(RiskMapTest, EffortCurvesMatchModelPredictions) {
   const std::vector<int> cells = {0, 1, 2};
-  const CellPredictors preds = MakeCellPredictors(
-      *model_, data_->park, data_->history, data_->num_steps() - 1, cells);
-  ASSERT_EQ(preds.g.size(), 3u);
-  // Against a direct model call with the same feature construction.
+  const std::vector<double> grid = {0.0, 1.0, 2.0, 4.0};
+  const EffortCurveTable curves = PredictCellEffortCurves(
+      *model_, data_->park, data_->history, data_->num_steps() - 1, cells,
+      grid);
+  ASSERT_EQ(curves.num_cells, 3);
+  ASSERT_EQ(curves.num_points(), 4);
+  // Against a direct model call with the same feature construction: the
+  // tabulated curves must reproduce the pointwise path bit for bit.
   const Dataset rows = BuildPredictionRows(data_->park, data_->history,
                                            data_->num_steps() - 1, 2.0);
   for (int i = 0; i < 3; ++i) {
-    const Prediction direct = model_->Predict(rows.RowVector(cells[i]), 2.0);
-    EXPECT_NEAR(preds.g[i](2.0), direct.prob, 1e-12);
-    EXPECT_NEAR(preds.nu[i](2.0), direct.variance, 1e-12);
+    for (int k = 0; k < curves.num_points(); ++k) {
+      const Prediction direct =
+          model_->Predict(rows.RowVector(cells[i]), grid[k]);
+      EXPECT_EQ(curves.ProbAt(i, k), direct.prob);
+      EXPECT_EQ(curves.VarianceAt(i, k), direct.variance);
+      // Interpolation at a grid point returns the tabulated value.
+      EXPECT_EQ(curves.EvalProb(i, grid[k]), curves.ProbAt(i, k));
+    }
+  }
+}
+
+TEST_F(RiskMapTest, RiskMapMatchesPointwisePredictions) {
+  const int t = data_->num_steps() - 1;
+  const RiskMaps maps = PredictRiskMap(*model_, data_->park, data_->history,
+                                       t, 2.0);
+  const Dataset rows = BuildPredictionRows(data_->park, data_->history, t,
+                                           2.0);
+  for (int i = 0; i < rows.size(); ++i) {
+    const Prediction direct = model_->Predict(rows.RowVector(i), 2.0);
+    EXPECT_EQ(maps.risk[rows.cell_id(i)], direct.prob);
+    EXPECT_EQ(maps.variance[rows.cell_id(i)], direct.variance);
   }
 }
 
