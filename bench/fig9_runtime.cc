@@ -3,13 +3,20 @@
 // convergence of the robust solution's utility U_{beta=1}(C_{beta=1}) with
 // increasing segments (paper: converges by ~20-25 segments). Also measures
 // the serving hot path: batched risk-map / effort-curve prediction vs the
-// legacy cell-at-a-time loop.
+// legacy cell-at-a-time loop, and thread scaling (1 thread vs the hardware
+// default) for bagging training and effort-curve tabulation.
+//
+// `--smoke` runs a tiny-grid version of every report and skips the
+// google-benchmark sweep — CI uses it to catch benchmark bit-rot.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <vector>
 
 #include "core/pipeline.h"
 #include "util/csv.h"
@@ -17,6 +24,9 @@
 namespace {
 
 using namespace paws;
+
+// Shrinks fixtures so the whole binary finishes in CI-smoke time.
+bool g_smoke = false;
 
 struct ParkFixture {
   PlanningGraph graph;
@@ -32,7 +42,12 @@ const ParkFixture& GetFixture(ParkPreset preset) {
   auto it = cache->find(preset);
   if (it != cache->end()) return it->second;
 
-  const Scenario scenario = MakeScenario(preset, 42);
+  Scenario scenario = MakeScenario(preset, 42);
+  if (g_smoke) {
+    scenario.park.width = 26;
+    scenario.park.height = 22;
+    scenario.num_years = 3;
+  }
   ScenarioData data = SimulateScenario(scenario, 7);
   IWareConfig cfg;
   cfg.weak_learner = WeakLearnerKind::kGaussianProcessBagging;
@@ -214,21 +229,108 @@ void ReportBatchSpeedups(const ParkFixture& fixture) {
   (void)curves;
 }
 
+// Thread scaling: identical training / tabulation work pinned to 1 thread
+// vs the hardware default. Outputs are bit-identical by design, so the
+// report also cross-checks that while it measures wall time.
+void ReportThreadScaling(const ParkFixture& fixture) {
+  using Clock = std::chrono::steady_clock;
+  auto ms_since = [](Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+  };
+  const int hw = ParallelismConfig{0}.ResolveNumThreads();
+  std::printf("=== Thread scaling: 1 thread vs %d ===\n", hw);
+
+  // Bagging weak-learner training (the dominant Fit cost): enough members
+  // that every core gets work.
+  const auto& data = fixture.pipeline->data();
+  const Dataset train = BuildDataset(data.park, data.history);
+  DecisionTreeConfig tree;
+  BaggingConfig bag;
+  bag.num_estimators = std::max(8, 2 * hw);
+  auto train_bagger = [&](int threads, double* out_ms) {
+    BaggingConfig cfg = bag;
+    cfg.parallelism.num_threads = threads;
+    BaggingClassifier model(std::make_unique<DecisionTree>(tree), cfg);
+    Rng rng(99);
+    const auto t0 = Clock::now();
+    CheckOrDie(model.Fit(train, &rng).ok(), "thread-scaling fit failed");
+    *out_ms = ms_since(t0);
+    std::vector<double> probs;
+    model.PredictBatch(train.FeaturesView(), &probs);
+    return probs;
+  };
+  double fit1_ms = 0.0, fitn_ms = 0.0;
+  const std::vector<double> probs1 = train_bagger(1, &fit1_ms);
+  const std::vector<double> probsn = train_bagger(0, &fitn_ms);
+  std::printf(
+      "bagging training (%d members, %d rows): 1 thread %.2f ms, "
+      "%d threads %.2f ms -> speedup %.2fx (outputs %s)\n",
+      bag.num_estimators, train.size(), fit1_ms, hw, fitn_ms,
+      fitn_ms > 0 ? fit1_ms / fitn_ms : 0.0,
+      probs1 == probsn ? "bit-identical" : "DIFFER");
+
+  // Effort-curve tabulation over the planner grid.
+  PlannerConfig planner;
+  planner.horizon = 8;
+  planner.num_patrols = 4;
+  const std::vector<double> grid =
+      UniformEffortGrid(0.0, PlannerEffortCap(planner), 25);
+  const FeatureMatrixView cells =
+      FeatureMatrixView::FromFlat(fixture.cell_rows, fixture.row_width);
+  IWareEnsemble& model = fixture.pipeline->mutable_model();
+  model.set_parallelism(ParallelismConfig::Serial());
+  const auto t1 = Clock::now();
+  const EffortCurveTable curves1 = model.PredictEffortCurves(cells, grid);
+  const double curves1_ms = ms_since(t1);
+  model.set_parallelism(ParallelismConfig{});
+  const auto tn = Clock::now();
+  const EffortCurveTable curvesn = model.PredictEffortCurves(cells, grid);
+  const double curvesn_ms = ms_since(tn);
+  std::printf(
+      "effort-curve tabulation (%d cells x %d grid points): 1 thread "
+      "%.2f ms, %d threads %.2f ms -> speedup %.2fx (tables %s)\n\n",
+      curves1.num_cells, curves1.num_points(), curves1_ms, hw, curvesn_ms,
+      curvesn_ms > 0 ? curves1_ms / curvesn_ms : 0.0,
+      curves1.prob == curvesn.prob && curves1.variance == curvesn.variance
+          ? "bit-identical"
+          : "DIFFER");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Hot-path speedup report (risk maps + effort-curve tables).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+
+  // Hot-path speedup report (risk maps + effort-curve tables), and thread
+  // scaling for the two training/serving loops the pool accelerates.
   ReportBatchSpeedups(GetFixture(ParkPreset::kMfnp));
+  ReportThreadScaling(GetFixture(ParkPreset::kMfnp));
 
   // Part (b): utility convergence with segments.
+  const std::vector<ParkPreset> presets =
+      g_smoke ? std::vector<ParkPreset>{ParkPreset::kMfnp}
+              : std::vector<ParkPreset>{ParkPreset::kMfnp, ParkPreset::kQenp,
+                                        ParkPreset::kSws};
+  const std::vector<int> segment_sweep =
+      g_smoke ? std::vector<int>{5, 10} : std::vector<int>{5, 10, 15, 20, 25};
   std::printf("=== Fig. 9b: utility of robust solution vs PWL segments ===\n");
-  std::printf("%6s %10s %10s %10s\n", "segs", "MFNP", "QENP", "SWS");
+  std::printf("%6s", "segs");
+  for (const ParkPreset preset : presets) {
+    std::printf(" %10s", ParkPresetName(preset));
+  }
+  std::printf("\n");
   CsvWriter csv({"park", "segments", "utility"});
-  const ParkPreset presets[] = {ParkPreset::kMfnp, ParkPreset::kQenp,
-                                ParkPreset::kSws};
   RobustParams eval_params;
   eval_params.beta = 1.0;
-  for (const int segments : {5, 10, 15, 20, 25}) {
+  for (const int segments : segment_sweep) {
     std::printf("%6d", segments);
     for (const ParkPreset preset : presets) {
       const ParkFixture& fixture = GetFixture(preset);
@@ -248,6 +350,11 @@ int main(int argc, char** argv) {
               "(paper: convergence by 20-25 segments).\n\n");
   const auto st = csv.WriteFile("fig9_convergence.csv");
   if (!st.ok()) std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
+
+  if (g_smoke) {
+    std::printf("--smoke: skipping the google-benchmark sweep.\n");
+    return 0;
+  }
 
   // Part (a): runtime scaling via google-benchmark.
   std::printf("=== Fig. 9a: planner runtime vs PWL segments ===\n");

@@ -54,6 +54,11 @@ int main() {
   cfg.bagging.balanced = true;
   cfg.gp.max_points = 100;
   PawsPipeline pipeline(data, cfg);
+  // All cores by default; results are bit-identical for any thread count
+  // (set PAWS_NUM_THREADS=1 or SetNumThreads(1) to force the serial path).
+  pipeline.SetNumThreads(0);
+  std::printf("\ntraining on %d threads\n",
+              cfg.parallelism.ResolveNumThreads());
   Rng rng(10);
   if (!pipeline.Train(&rng).ok()) return 1;
   const RiskMaps maps = pipeline.PredictRisk(/*assumed_effort=*/4.0);

@@ -5,8 +5,20 @@
 
 #include "ml/cross_validation.h"
 #include "ml/weight_optimizer.h"
+#include "util/thread_pool.h"
 
 namespace paws {
+
+namespace {
+
+// Row-chunk sizes for the batched prediction paths: large enough that the
+// per-chunk learner dispatch amortizes, small enough that serving-sized
+// batches still split across threads. Effort-curve rows carry more work
+// per row (every learner x the whole grid), hence the smaller grain.
+constexpr int kPredictRowGrain = 64;
+constexpr int kCurveRowGrain = 32;
+
+}  // namespace
 
 const char* WeakLearnerName(WeakLearnerKind kind) {
   switch (kind) {
@@ -33,7 +45,14 @@ std::unique_ptr<Classifier> MakeWeakLearner(const IWareConfig& config) {
       base = std::make_unique<GaussianProcessClassifier>(config.gp);
       break;
   }
-  return std::make_unique<BaggingClassifier>(std::move(base), config.bagging);
+  BaggingConfig bagging = config.bagging;
+  if (bagging.parallelism.num_threads == 0) {
+    // Inherit the ensemble-level thread pin. Inside IWareEnsemble::Fit the
+    // outer parallel region already owns the pool, so member training runs
+    // inline there either way; this matters for standalone baselines.
+    bagging.parallelism = config.parallelism;
+  }
+  return std::make_unique<BaggingClassifier>(std::move(base), bagging);
 }
 
 std::vector<double> IWareEnsemble::ComputeThresholds(
@@ -76,37 +95,73 @@ Status IWareEnsemble::Fit(const Dataset& data, Rng* rng) {
   const std::vector<double> all_thresholds = ComputeThresholds(data);
 
   // Train one weak learner per usable threshold on the filtered subset.
+  // The Rng-free subset filtering runs serially; the expensive learner
+  // fits then run in parallel, one serially forked Rng per learner, so the
+  // trained set is bit-identical for every thread count.
   auto train_set = [&](const Dataset& d, const std::vector<double>& thetas,
                        std::vector<std::unique_ptr<Classifier>>* out,
                        std::vector<double>* kept_thetas,
                        Rng* fit_rng) -> Status {
     out->clear();
     kept_thetas->clear();
+    std::vector<Dataset> subsets;
     for (double theta : thetas) {
-      const Dataset subset = d.FilterNegativesBelowEffort(theta);
+      Dataset subset = d.FilterNegativesBelowEffort(theta);
       const int sp = subset.CountPositives();
       if (subset.size() < config_.min_subset_rows || sp == 0 ||
           sp == subset.size()) {
         continue;
       }
-      auto learner = MakeWeakLearner(config_);
-      PAWS_RETURN_IF_ERROR(learner->Fit(subset, fit_rng));
-      out->push_back(std::move(learner));
+      subsets.push_back(std::move(subset));
       kept_thetas->push_back(theta);
     }
-    if (out->empty()) {
+    if (subsets.empty()) {
+      kept_thetas->clear();
       return Status::FailedPrecondition(
           "IWareEnsemble: no threshold produced a trainable subset");
     }
-    return Status::OK();
+    const int count = static_cast<int>(subsets.size());
+    std::vector<Rng> learner_rngs;
+    learner_rngs.reserve(count);
+    for (int i = 0; i < count; ++i) learner_rngs.push_back(fit_rng->Fork());
+    out->resize(count);
+    std::vector<Status> statuses(count, Status::OK());
+    ParallelFor(config_.parallelism, 0, count, /*grain=*/1,
+                [&](std::int64_t lo, std::int64_t hi) {
+                  for (std::int64_t i = lo; i < hi; ++i) {
+                    auto learner = MakeWeakLearner(config_);
+                    statuses[i] = learner->Fit(subsets[i], &learner_rngs[i]);
+                    (*out)[i] = std::move(learner);
+                  }
+                });
+    const Status st = FirstError(statuses);
+    if (!st.ok()) {
+      out->clear();
+      kept_thetas->clear();
+    }
+    return st;
   };
 
   // Enhancement 1: learn classifier weights from out-of-fold predictions.
   if (config_.optimize_weights && data.size() >= 4 * config_.cv_folds) {
     const std::vector<std::vector<int>> folds =
         StratifiedKFold(data.labels(), config_.cv_folds, rng);
-    WeightOptimizationProblem problem;
+    // Folds are independent given their serially forked Rngs; each fold
+    // fills its own slot and the slots are concatenated in fold order
+    // afterwards, so the optimization problem (and hence the weights) is
+    // identical for every thread count.
+    struct FoldRows {
+      std::vector<std::vector<double>> probs;
+      std::vector<std::vector<uint8_t>> qualified;
+      std::vector<int> labels;
+    };
+    std::vector<FoldRows> fold_rows(config_.cv_folds);
+    std::vector<Rng> fold_rngs;
+    fold_rngs.reserve(config_.cv_folds);
     for (int f = 0; f < config_.cv_folds; ++f) {
+      fold_rngs.push_back(rng->Fork());
+    }
+    auto run_fold = [&](int f) {
       std::vector<int> train_rows;
       for (int g = 0; g < config_.cv_folds; ++g) {
         if (g == f) continue;
@@ -116,8 +171,8 @@ Status IWareEnsemble::Fit(const Dataset& data, Rng* rng) {
       std::vector<std::unique_ptr<Classifier>> fold_learners;
       std::vector<double> fold_thetas;
       const Status st = train_set(fold_train, all_thresholds, &fold_learners,
-                                  &fold_thetas, rng);
-      if (!st.ok()) continue;  // degenerate fold: skip its rows
+                                  &fold_thetas, &fold_rngs[f]);
+      if (!st.ok()) return;  // degenerate fold: skip its rows
       // Map fold learners back onto the global threshold list; a learner
       // votes when qualified (theta <= effort). Each fold learner scores
       // its qualifying held-out rows in one gathered batch.
@@ -130,22 +185,17 @@ Status IWareEnsemble::Fit(const Dataset& data, Rng* rng) {
         }
       }
       const int nf = static_cast<int>(folds[f].size());
-      const int width = data.num_features();
       std::vector<std::vector<double>> probs(
           nf, std::vector<double>(all_thresholds.size(), 0.5));
       std::vector<std::vector<uint8_t>> qualified(
           nf, std::vector<uint8_t>(all_thresholds.size(), 0));
       std::vector<uint8_t> any(nf, 0);
       std::vector<double> gathered, buf;
-      std::vector<int> rows_idx;
+      std::vector<int> rows_idx, row_ids;
       auto gather_rows = [&](const std::vector<int>& idx) {
-        gathered.clear();
-        gathered.reserve(idx.size() * width);
-        for (int j : idx) {
-          const double* row = data.Row(folds[f][j]);
-          gathered.insert(gathered.end(), row, row + width);
-        }
-        return FeatureMatrixView::FromFlat(gathered, width);
+        row_ids.clear();
+        for (int j : idx) row_ids.push_back(folds[f][j]);
+        return GatherRows(data.FeaturesView(), row_ids, &gathered);
       };
       for (size_t i = 0; i < all_thresholds.size(); ++i) {
         if (fold_index[i] < 0) continue;
@@ -177,9 +227,23 @@ Status IWareEnsemble::Fit(const Dataset& data, Rng* rng) {
         }
       }
       for (int j = 0; j < nf; ++j) {
-        problem.probs.push_back(std::move(probs[j]));
-        problem.qualified.push_back(std::move(qualified[j]));
-        problem.labels.push_back(data.label(folds[f][j]));
+        fold_rows[f].probs.push_back(std::move(probs[j]));
+        fold_rows[f].qualified.push_back(std::move(qualified[j]));
+        fold_rows[f].labels.push_back(data.label(folds[f][j]));
+      }
+    };
+    ParallelFor(config_.parallelism, 0, config_.cv_folds, /*grain=*/1,
+                [&](std::int64_t lo, std::int64_t hi) {
+                  for (std::int64_t f = lo; f < hi; ++f) {
+                    run_fold(static_cast<int>(f));
+                  }
+                });
+    WeightOptimizationProblem problem;
+    for (FoldRows& rows : fold_rows) {
+      for (size_t j = 0; j < rows.probs.size(); ++j) {
+        problem.probs.push_back(std::move(rows.probs[j]));
+        problem.qualified.push_back(std::move(rows.qualified[j]));
+        problem.labels.push_back(rows.labels[j]);
       }
     }
     if (!problem.probs.empty()) {
@@ -235,32 +299,46 @@ void IWareEnsemble::PredictBatch(const FeatureMatrixView& x, double effort,
                                  std::vector<Prediction>* out) const {
   CheckOrDie(fitted_, "IWareEnsemble::PredictBatch before Fit");
   const int n = x.rows();
-  // The qualified set depends only on `effort`, so each qualified learner
-  // scores the whole batch once and the mixture is assembled per row.
-  std::vector<double> mean(n, 0.0), second(n, 0.0);
-  std::vector<Prediction> buf;
-  double wsum = 0.0;
-  for (size_t i = 0; i < learners_.size(); ++i) {
-    if (thresholds_[i] > effort) continue;
-    learners_[i]->PredictBatchWithVariance(x, &buf);
-    wsum += weights_[i];
-    for (int r = 0; r < n; ++r) {
-      const Prediction& p = buf[r];
-      mean[r] += weights_[i] * p.prob;
-      second[r] += weights_[i] * (p.variance + p.prob * p.prob);
-    }
-  }
-  if (wsum <= 0.0) {
-    // Effort below every threshold: fall back to the loosest learner.
-    learners_[0]->PredictBatchWithVariance(x, out);
-    return;
-  }
   out->resize(n);
-  for (int r = 0; r < n; ++r) {
-    const double m = mean[r] / wsum;
-    const double s = second[r] / wsum;
-    (*out)[r] = Prediction{m, std::max(0.0, s - m * m)};
-  }
+  if (n == 0) return;
+  // Row chunks are independent: each chunk runs the full learner loop over
+  // its sub-view and writes only its own rows, and the per-row arithmetic
+  // (learner order, weights) does not depend on the chunking, so the
+  // result is bit-identical for every thread count.
+  ParallelFor(
+      config_.parallelism, 0, n, kPredictRowGrain,
+      [&](std::int64_t lo64, std::int64_t hi64) {
+        const int lo = static_cast<int>(lo64);
+        const int cn = static_cast<int>(hi64 - lo64);
+        const FeatureMatrixView chunk(x.Row(lo), cn, x.cols());
+        // The qualified set depends only on `effort`, so each qualified
+        // learner scores the whole chunk once and the mixture is assembled
+        // per row.
+        std::vector<double> mean(cn, 0.0), second(cn, 0.0);
+        std::vector<Prediction> buf;
+        double wsum = 0.0;
+        for (size_t i = 0; i < learners_.size(); ++i) {
+          if (thresholds_[i] > effort) continue;
+          learners_[i]->PredictBatchWithVariance(chunk, &buf);
+          wsum += weights_[i];
+          for (int r = 0; r < cn; ++r) {
+            const Prediction& p = buf[r];
+            mean[r] += weights_[i] * p.prob;
+            second[r] += weights_[i] * (p.variance + p.prob * p.prob);
+          }
+        }
+        if (wsum <= 0.0) {
+          // Effort below every threshold: fall back to the loosest learner.
+          learners_[0]->PredictBatchWithVariance(chunk, &buf);
+          for (int r = 0; r < cn; ++r) (*out)[lo + r] = buf[r];
+          return;
+        }
+        for (int r = 0; r < cn; ++r) {
+          const double m = mean[r] / wsum;
+          const double s = second[r] / wsum;
+          (*out)[lo + r] = Prediction{m, std::max(0.0, s - m * m)};
+        }
+      });
 }
 
 void IWareEnsemble::PredictBatch(const FeatureMatrixView& x,
@@ -271,53 +349,64 @@ void IWareEnsemble::PredictBatch(const FeatureMatrixView& x,
              "IWareEnsemble::PredictBatch: one effort per row required");
   const int n = x.rows();
   const int k = x.cols();
-  std::vector<double> wsum(n, 0.0), mean(n, 0.0), second(n, 0.0);
-  std::vector<double> gathered;  // reused per learner
-  std::vector<int> rows_idx;
-  std::vector<Prediction> buf;
-  auto gather_rows = [&](const std::vector<int>& idx) {
-    gathered.clear();
-    gathered.reserve(idx.size() * k);
-    for (int r : idx) {
-      const double* row = x.Row(r);
-      gathered.insert(gathered.end(), row, row + k);
-    }
-    return FeatureMatrixView::FromFlat(gathered, k);
-  };
-  // Gather each learner's qualifying rows and score them in one batch —
-  // the same learner evaluations as the pointwise loop, amortized.
-  for (size_t i = 0; i < learners_.size(); ++i) {
-    rows_idx.clear();
-    for (int r = 0; r < n; ++r) {
-      if (thresholds_[i] <= efforts[r]) rows_idx.push_back(r);
-    }
-    if (rows_idx.empty()) continue;
-    learners_[i]->PredictBatchWithVariance(gather_rows(rows_idx), &buf);
-    for (size_t j = 0; j < rows_idx.size(); ++j) {
-      const int r = rows_idx[j];
-      const Prediction& p = buf[j];
-      wsum[r] += weights_[i];
-      mean[r] += weights_[i] * p.prob;
-      second[r] += weights_[i] * (p.variance + p.prob * p.prob);
-    }
-  }
   out->resize(n);
-  // Rows whose effort sits below every threshold fall back to the loosest
-  // learner's raw prediction, exactly as the pointwise path does.
-  rows_idx.clear();
-  for (int r = 0; r < n; ++r) {
-    if (wsum[r] <= 0.0) rows_idx.push_back(r);
-  }
-  if (!rows_idx.empty()) {
-    learners_[0]->PredictBatchWithVariance(gather_rows(rows_idx), &buf);
-    for (size_t j = 0; j < rows_idx.size(); ++j) (*out)[rows_idx[j]] = buf[j];
-  }
-  for (int r = 0; r < n; ++r) {
-    if (wsum[r] <= 0.0) continue;
-    const double m = mean[r] / wsum[r];
-    const double s = second[r] / wsum[r];
-    (*out)[r] = Prediction{m, std::max(0.0, s - m * m)};
-  }
+  if (n == 0) return;
+  // Chunked over rows: every chunk gathers and scores its own qualifying
+  // rows per learner. Each row's mixture sees the same learner
+  // evaluations and accumulation order as the serial pass, so the result
+  // is bit-identical for every thread count.
+  ParallelFor(
+      config_.parallelism, 0, n, kPredictRowGrain,
+      [&](std::int64_t lo64, std::int64_t hi64) {
+        const int lo = static_cast<int>(lo64);
+        const int hi = static_cast<int>(hi64);
+        const int cn = hi - lo;
+        const FeatureMatrixView chunk(x.Row(lo), cn, k);
+        std::vector<double> wsum(cn, 0.0), mean(cn, 0.0), second(cn, 0.0);
+        std::vector<double> gathered;  // reused per learner
+        std::vector<int> rows_idx;     // chunk-relative
+        std::vector<Prediction> buf;
+        auto gather_rows = [&](const std::vector<int>& idx) {
+          return GatherRows(chunk, idx, &gathered);
+        };
+        // Gather each learner's qualifying rows and score them in one
+        // batch — the same learner evaluations as the pointwise loop,
+        // amortized.
+        for (size_t i = 0; i < learners_.size(); ++i) {
+          rows_idx.clear();
+          for (int r = 0; r < cn; ++r) {
+            if (thresholds_[i] <= efforts[lo + r]) rows_idx.push_back(r);
+          }
+          if (rows_idx.empty()) continue;
+          learners_[i]->PredictBatchWithVariance(gather_rows(rows_idx), &buf);
+          for (size_t j = 0; j < rows_idx.size(); ++j) {
+            const int r = rows_idx[j];
+            const Prediction& p = buf[j];
+            wsum[r] += weights_[i];
+            mean[r] += weights_[i] * p.prob;
+            second[r] += weights_[i] * (p.variance + p.prob * p.prob);
+          }
+        }
+        // Rows whose effort sits below every threshold fall back to the
+        // loosest learner's raw prediction, exactly as the pointwise path
+        // does.
+        rows_idx.clear();
+        for (int r = 0; r < cn; ++r) {
+          if (wsum[r] <= 0.0) rows_idx.push_back(r);
+        }
+        if (!rows_idx.empty()) {
+          learners_[0]->PredictBatchWithVariance(gather_rows(rows_idx), &buf);
+          for (size_t j = 0; j < rows_idx.size(); ++j) {
+            (*out)[lo + rows_idx[j]] = buf[j];
+          }
+        }
+        for (int r = 0; r < cn; ++r) {
+          if (wsum[r] <= 0.0) continue;
+          const double m = mean[r] / wsum[r];
+          const double s = second[r] / wsum[r];
+          (*out)[lo + r] = Prediction{m, std::max(0.0, s - m * m)};
+        }
+      });
 }
 
 EffortCurveTable IWareEnsemble::PredictEffortCurves(
@@ -331,52 +420,66 @@ EffortCurveTable IWareEnsemble::PredictEffortCurves(
   const int n = x.rows();
   const int m = static_cast<int>(effort_grid.size());
   const int num_learners = static_cast<int>(learners_.size());
-  // Every weak learner scores the batch at most once; the effort grid only
-  // changes which of these cached votes are mixed at each grid point.
-  // Learners whose threshold exceeds the grid's top never vote and are
-  // skipped entirely (learner 0 always runs: it serves the low-effort
-  // fallback).
-  std::vector<std::vector<Prediction>> votes(num_learners);
-  for (int i = 0; i < num_learners; ++i) {
-    if (i > 0 && thresholds_[i] > effort_grid.back()) continue;
-    learners_[i]->PredictBatchWithVariance(x, &votes[i]);
-  }
   EffortCurveTable table;
   table.num_cells = n;
   table.prob.assign(static_cast<size_t>(n) * m, 0.0);
   table.variance.assign(static_cast<size_t>(n) * m, 0.0);
+  // The qualified count per grid point depends only on the thresholds.
   table.qualified_count.resize(m);
-  std::vector<double> mean(n), second(n);
   for (int k = 0; k < m; ++k) {
-    const double effort = effort_grid[k];
-    std::fill(mean.begin(), mean.end(), 0.0);
-    std::fill(second.begin(), second.end(), 0.0);
-    double wsum = 0.0;
     int qualified = 0;
     for (int i = 0; i < num_learners; ++i) {
-      if (thresholds_[i] > effort) continue;
-      ++qualified;
-      wsum += weights_[i];
-      for (int r = 0; r < n; ++r) {
-        const Prediction& p = votes[i][r];
-        mean[r] += weights_[i] * p.prob;
-        second[r] += weights_[i] * (p.variance + p.prob * p.prob);
-      }
+      if (thresholds_[i] <= effort_grid[k]) ++qualified;
     }
     table.qualified_count[k] = qualified;
-    for (int r = 0; r < n; ++r) {
-      const size_t idx = static_cast<size_t>(r) * m + k;
-      if (wsum <= 0.0) {
-        table.prob[idx] = votes[0][r].prob;
-        table.variance[idx] = votes[0][r].variance;
-      } else {
-        const double mu = mean[r] / wsum;
-        const double s = second[r] / wsum;
-        table.prob[idx] = mu;
-        table.variance[idx] = std::max(0.0, s - mu * mu);
-      }
-    }
   }
+  // Cell chunks are independent: every weak learner scores a chunk at most
+  // once (the effort grid only changes which of these cached votes are
+  // mixed at each grid point), each chunk writes only its own table rows,
+  // and per-cell arithmetic does not depend on the chunking — so the table
+  // is bit-identical for every thread count. Learners whose threshold
+  // exceeds the grid's top never vote and are skipped entirely (learner 0
+  // always runs: it serves the low-effort fallback).
+  ParallelFor(
+      config_.parallelism, 0, n, kCurveRowGrain,
+      [&](std::int64_t lo64, std::int64_t hi64) {
+        const int lo = static_cast<int>(lo64);
+        const int cn = static_cast<int>(hi64 - lo64);
+        const FeatureMatrixView chunk(x.Row(lo), cn, x.cols());
+        std::vector<std::vector<Prediction>> votes(num_learners);
+        for (int i = 0; i < num_learners; ++i) {
+          if (i > 0 && thresholds_[i] > effort_grid.back()) continue;
+          learners_[i]->PredictBatchWithVariance(chunk, &votes[i]);
+        }
+        std::vector<double> mean(cn), second(cn);
+        for (int k = 0; k < m; ++k) {
+          const double effort = effort_grid[k];
+          std::fill(mean.begin(), mean.end(), 0.0);
+          std::fill(second.begin(), second.end(), 0.0);
+          double wsum = 0.0;
+          for (int i = 0; i < num_learners; ++i) {
+            if (thresholds_[i] > effort) continue;
+            wsum += weights_[i];
+            for (int r = 0; r < cn; ++r) {
+              const Prediction& p = votes[i][r];
+              mean[r] += weights_[i] * p.prob;
+              second[r] += weights_[i] * (p.variance + p.prob * p.prob);
+            }
+          }
+          for (int r = 0; r < cn; ++r) {
+            const size_t idx = static_cast<size_t>(lo + r) * m + k;
+            if (wsum <= 0.0) {
+              table.prob[idx] = votes[0][r].prob;
+              table.variance[idx] = votes[0][r].variance;
+            } else {
+              const double mu = mean[r] / wsum;
+              const double s = second[r] / wsum;
+              table.prob[idx] = mu;
+              table.variance[idx] = std::max(0.0, s - mu * mu);
+            }
+          }
+        }
+      });
   table.effort_grid = std::move(effort_grid);
   return table;
 }

@@ -51,6 +51,15 @@ struct IWareConfig {
   DecisionTreeConfig tree;
   LinearSvmConfig svm;
   GaussianProcessConfig gp;
+
+  /// Threads used by Fit (CV folds, per-threshold weak-learner training)
+  /// and by the batch prediction paths (row chunks). All parallel regions
+  /// fork their random streams serially first and write disjoint output
+  /// slots, so results are bit-identical for every thread count; 1 runs
+  /// everything inline on the caller. MakeWeakLearner propagates this
+  /// setting to the bagging ensemble unless `bagging.parallelism` was
+  /// pinned explicitly.
+  ParallelismConfig parallelism;
 };
 
 /// Builds the bagging weak learner (SVB / DTB / GPB) described by `config`
@@ -112,6 +121,14 @@ class IWareEnsemble {
   const std::vector<double>& thresholds() const { return thresholds_; }
   const std::vector<double>& weights() const { return weights_; }
   const IWareConfig& config() const { return config_; }
+
+  /// Re-pins the thread count used by the prediction paths (training used
+  /// the value in place at Fit time). Outputs are unaffected: every
+  /// parallel region is bit-identical across thread counts, so this only
+  /// trades wall time — benchmarks use it to measure serial vs parallel.
+  void set_parallelism(ParallelismConfig parallelism) {
+    config_.parallelism = parallelism;
+  }
 
  private:
   std::vector<double> ComputeThresholds(const Dataset& data) const;

@@ -118,8 +118,9 @@ StatusOr<FieldTestResult> PawsPipeline::RunFieldTestTrial(
   }
   const int t = split_->test_t_begin;
   const RiskMaps maps = PredictRisk(config.nominal_effort_km);
-  const std::vector<double> block_risk = ConvolveRisk(
-      data_.park, maps.risk, std::max(1, config.block_size / 2));
+  const std::vector<double> block_risk =
+      ConvolveRisk(data_.park, maps.risk, std::max(1, config.block_size / 2),
+                   model_config_.parallelism);
   const std::vector<double> historical = data_.history.TotalEffort();
   const std::vector<double>& prev_effort =
       t > 0 ? data_.history.steps[t - 1].effort : historical;

@@ -64,6 +64,14 @@ class PawsPipeline {
   PawsPipeline(ScenarioData data, IWareConfig model_config)
       : data_(std::move(data)), model_config_(std::move(model_config)) {}
 
+  /// Pins the thread count for every parallel stage the pipeline drives
+  /// (training, risk maps, effort-curve tabulation). Call before Train;
+  /// 1 = serial, 0 = auto. Results are bit-identical across settings —
+  /// this only trades wall time, which is what benchmarks pin.
+  void SetNumThreads(int num_threads) {
+    model_config_.parallelism.num_threads = num_threads;
+  }
+
   /// Trains the model on all years except the last.
   Status Train(Rng* rng);
 
@@ -71,6 +79,12 @@ class PawsPipeline {
   StatusOr<double> TestAuc() const;
 
   const IWareEnsemble& model() const { return *model_; }
+  /// Mutable handle for re-pinning prediction-path parallelism
+  /// (IWareEnsemble::set_parallelism); requires Train to have succeeded.
+  IWareEnsemble& mutable_model() {
+    CheckOrDie(model_ != nullptr, "PawsPipeline: Train first");
+    return *model_;
+  }
   const ScenarioData& data() const { return data_; }
   int test_t_begin() const { return split_->test_t_begin; }
 

@@ -1,8 +1,17 @@
 #include "core/risk_map.h"
 
 #include "sim/dataset_builder.h"
+#include "util/thread_pool.h"
 
 namespace paws {
+
+namespace {
+
+// Assembly loops (prediction scatter, grid gather) are cheap per cell, so
+// only large parks are worth splitting.
+constexpr int kAssemblyGrain = 4096;
+
+}  // namespace
 
 RiskMaps PredictRiskMap(const IWareEnsemble& model, const Park& park,
                         const PatrolHistory& history, int t,
@@ -10,10 +19,7 @@ RiskMaps PredictRiskMap(const IWareEnsemble& model, const Park& park,
   CheckOrDie(assumed_effort >= 0.0, "assumed_effort must be >= 0");
   // Dense cell ids in order, so prediction i maps straight to cell id i —
   // one flat feature buffer, no Dataset construction on the hot path.
-  std::vector<int> cell_ids(park.num_cells());
-  for (int id = 0; id < park.num_cells(); ++id) cell_ids[id] = id;
-  const std::vector<double> rows =
-      BuildCellFeatureRows(park, history, t, cell_ids);
+  const std::vector<double> rows = BuildCellFeatureRows(park, history, t);
   std::vector<Prediction> preds;
   model.PredictBatch(
       FeatureMatrixView::FromFlat(rows, park.num_features() + 1),
@@ -22,10 +28,13 @@ RiskMaps PredictRiskMap(const IWareEnsemble& model, const Park& park,
   maps.assumed_effort = assumed_effort;
   maps.risk.resize(park.num_cells());
   maps.variance.resize(park.num_cells());
-  for (int id = 0; id < park.num_cells(); ++id) {
-    maps.risk[id] = preds[id].prob;
-    maps.variance[id] = preds[id].variance;
-  }
+  ParallelFor(model.config().parallelism, 0, park.num_cells(), kAssemblyGrain,
+              [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t id = lo; id < hi; ++id) {
+                  maps.risk[id] = preds[id].prob;
+                  maps.variance[id] = preds[id].variance;
+                }
+              });
   return maps;
 }
 
@@ -53,13 +62,17 @@ EffortCurveTable PredictCellEffortCurves(const IWareEnsemble& model,
 
 std::vector<double> ConvolveRisk(const Park& park,
                                  const std::vector<double>& risk,
-                                 int block_radius) {
+                                 int block_radius,
+                                 const ParallelismConfig& parallelism) {
   const GridD grid = ToGrid(park, risk);
   const GridD blurred = BoxBlur(grid, park.mask(), block_radius);
   std::vector<double> out(park.num_cells());
-  for (int id = 0; id < park.num_cells(); ++id) {
-    out[id] = blurred.At(park.CellOf(id));
-  }
+  ParallelFor(parallelism, 0, park.num_cells(), kAssemblyGrain,
+              [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t id = lo; id < hi; ++id) {
+                  out[id] = blurred.At(park.CellOf(static_cast<int>(id)));
+                }
+              });
   return out;
 }
 

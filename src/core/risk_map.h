@@ -8,6 +8,7 @@
 #include "geo/raster_ops.h"
 #include "ml/effort_curve.h"
 #include "sim/patrol_sim.h"
+#include "util/thread_pool.h"
 
 namespace paws {
 
@@ -45,9 +46,11 @@ EffortCurveTable PredictCellEffortCurves(const IWareEnsemble& model,
 
 /// Averages risk over block_size x block_size neighborhoods ("convolving
 /// the risk map", Sec. VII-B) — returns a per-dense-cell block score.
-std::vector<double> ConvolveRisk(const Park& park,
-                                 const std::vector<double>& risk,
-                                 int block_radius);
+/// The gather back onto dense cell ids splits across `parallelism` threads
+/// for large parks (default: serial-equivalent auto threading).
+std::vector<double> ConvolveRisk(
+    const Park& park, const std::vector<double>& risk, int block_radius,
+    const ParallelismConfig& parallelism = ParallelismConfig());
 
 }  // namespace paws
 

@@ -41,18 +41,39 @@ Status BaggingClassifier::Fit(const Dataset& data, Rng* rng) {
   members_.clear();
   bootstrap_counts_.clear();
   num_train_rows_ = data.size();
-  for (int b = 0; b < config_.num_estimators; ++b) {
-    const std::vector<int> rows = DrawBootstrap(data, rng);
+  const int num = config_.num_estimators;
+  // Consume the caller's Rng serially: every member gets its bootstrap and
+  // a forked generator up front, so fitting below is embarrassingly
+  // parallel and bit-identical for any thread count.
+  std::vector<std::vector<int>> bootstraps(num);
+  std::vector<Rng> member_rngs;
+  member_rngs.reserve(num);
+  for (int b = 0; b < num; ++b) {
+    bootstraps[b] = DrawBootstrap(data, rng);
+    member_rngs.push_back(rng->Fork());
     if (config_.track_bootstrap_counts) {
       std::vector<int> counts(num_train_rows_, 0);
-      for (int r : rows) ++counts[r];
+      for (int r : bootstraps[b]) ++counts[r];
       bootstrap_counts_.push_back(std::move(counts));
     }
-    auto member = base_->CloneUntrained();
-    PAWS_RETURN_IF_ERROR(member->Fit(data.Subset(rows), rng));
-    members_.push_back(std::move(member));
   }
-  return Status::OK();
+  members_.resize(num);
+  std::vector<Status> statuses(num, Status::OK());
+  ParallelFor(config_.parallelism, 0, num, /*grain=*/1,
+              [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t b = lo; b < hi; ++b) {
+                  auto member = base_->CloneUntrained();
+                  statuses[b] =
+                      member->Fit(data.Subset(bootstraps[b]), &member_rngs[b]);
+                  members_[b] = std::move(member);
+                }
+              });
+  const Status st = FirstError(statuses);
+  if (!st.ok()) {
+    members_.clear();
+    bootstrap_counts_.clear();
+  }
+  return st;
 }
 
 void BaggingClassifier::PredictBatch(const FeatureMatrixView& x,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ml/classifier.h"
+#include "util/thread_pool.h"
 
 namespace paws {
 
@@ -21,6 +22,10 @@ struct BaggingConfig {
   /// If true, bootstrap membership counts are recorded so the
   /// infinitesimal-jackknife variance estimate is available.
   bool track_bootstrap_counts = true;
+  /// Threads used to fit members. Bootstraps and member RNGs are drawn
+  /// serially from the caller's Rng before the parallel region, so the
+  /// trained ensemble is bit-identical for every thread count.
+  ParallelismConfig parallelism;
 };
 
 /// Bootstrap-aggregated ensemble around any base classifier. A bagging

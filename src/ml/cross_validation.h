@@ -5,6 +5,7 @@
 
 #include "ml/classifier.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace paws {
 
@@ -19,9 +20,14 @@ std::vector<std::vector<int>> StratifiedKFold(const std::vector<int>& labels,
 /// on the other folds and scores the held-out rows. The returned vector is
 /// indexed by dataset row. Rows whose training split degenerates (single
 /// class) receive the training-set base rate.
-StatusOr<std::vector<double>> OutOfFoldPredictions(const Classifier& proto,
-                                                   const Dataset& data,
-                                                   int num_folds, Rng* rng);
+///
+/// Folds train on up to `parallelism` threads. Fold assignment and each
+/// fold's training Rng are drawn from `rng` serially beforehand, and every
+/// fold writes only its own held-out rows, so the result is bit-identical
+/// for every thread count.
+StatusOr<std::vector<double>> OutOfFoldPredictions(
+    const Classifier& proto, const Dataset& data, int num_folds, Rng* rng,
+    const ParallelismConfig& parallelism = ParallelismConfig());
 
 }  // namespace paws
 

@@ -40,10 +40,7 @@ Dataset BuildPredictionRows(const Park& park, const PatrolHistory& history,
                             const std::vector<uint8_t>* attacked) {
   CheckOrDie(assumed_effort >= 0.0, "assumed_effort must be >= 0");
   const int k = park.num_features() + 1;
-  std::vector<int> cell_ids(park.num_cells());
-  for (int id = 0; id < park.num_cells(); ++id) cell_ids[id] = id;
-  const std::vector<double> rows =
-      BuildCellFeatureRows(park, history, t, cell_ids);
+  const std::vector<double> rows = BuildCellFeatureRows(park, history, t);
   Dataset data(k);
   std::vector<double> x(k);
   for (int id = 0; id < park.num_cells(); ++id) {
@@ -70,6 +67,14 @@ std::vector<double> BuildCellFeatureRows(const Park& park,
     rows.push_back(prev != nullptr ? (*prev)[id] : 0.0);
   }
   return rows;
+}
+
+std::vector<double> BuildCellFeatureRows(const Park& park,
+                                         const PatrolHistory& history,
+                                         int t) {
+  std::vector<int> cell_ids(park.num_cells());
+  for (int id = 0; id < park.num_cells(); ++id) cell_ids[id] = id;
+  return BuildCellFeatureRows(park, history, t, cell_ids);
 }
 
 double PositiveRateAboveEffortPercentile(const Dataset& data, double q) {

@@ -49,6 +49,11 @@ std::vector<double> BuildCellFeatureRows(const Park& park,
                                          const PatrolHistory& history, int t,
                                          const std::vector<int>& cell_ids);
 
+/// All-cells convenience overload: rows for every dense cell id in order,
+/// so row i is cell id i.
+std::vector<double> BuildCellFeatureRows(const Park& park,
+                                         const PatrolHistory& history, int t);
+
 /// Fraction of positive labels among rows whose current effort is >= the
 /// q-th percentile of positive-effort rows; reproduces Fig. 4's x-axis.
 double PositiveRateAboveEffortPercentile(const Dataset& data, double q);

@@ -52,6 +52,22 @@ class FeatureMatrixView {
   int cols_ = 0;
 };
 
+/// Packs the given rows of `src` contiguously into `*buf` (overwritten)
+/// and returns a view over the packed block; `*buf` must outlive the view.
+/// The shared gather behind per-learner qualified-row batching and CV fold
+/// scoring.
+inline FeatureMatrixView GatherRows(const FeatureMatrixView& src,
+                                    const std::vector<int>& rows,
+                                    std::vector<double>* buf) {
+  buf->clear();
+  buf->reserve(rows.size() * src.cols());
+  for (int r : rows) {
+    const double* row = src.Row(r);
+    buf->insert(buf->end(), row, row + src.cols());
+  }
+  return FeatureMatrixView::FromFlat(*buf, src.cols());
+}
+
 }  // namespace paws
 
 #endif  // PAWS_UTIL_FEATURE_MATRIX_H_

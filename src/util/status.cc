@@ -46,4 +46,11 @@ void CheckOrDie(bool condition, const char* msg) {
   }
 }
 
+Status FirstError(const std::vector<Status>& statuses) {
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
 }  // namespace paws

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace paws {
 
@@ -87,6 +88,11 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 /// Aborts the process with `msg` if `condition` is false. Used for internal
 /// invariants that indicate programmer error rather than bad input.
 void CheckOrDie(bool condition, const char* msg);
+
+/// First non-OK status in `statuses`, or OK. The deterministic way to
+/// surface an error out of a parallel loop that collected one Status per
+/// index: the reported error does not depend on execution order.
+Status FirstError(const std::vector<Status>& statuses);
 
 /// Either a value of type T or an error Status. Accessing value() on an
 /// error aborts with the status message, so callers must check ok() first
