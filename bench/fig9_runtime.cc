@@ -32,6 +32,7 @@ struct ParkFixture {
   PlanningGraph graph;
   std::vector<double> cell_rows;  // flat feature rows for graph cells
   int row_width = 0;
+  double train_ms = 0.0;  // wall time of Train (load-vs-retrain baseline)
   std::unique_ptr<PawsPipeline> pipeline;
 };
 
@@ -61,7 +62,11 @@ const ParkFixture& GetFixture(ParkPreset preset) {
   fixture.pipeline =
       std::make_unique<PawsPipeline>(std::move(data), cfg);
   Rng rng(13);
+  const auto train_start = std::chrono::steady_clock::now();
   CheckOrDie(fixture.pipeline->Train(&rng).ok(), "fig9: training failed");
+  fixture.train_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - train_start)
+                         .count();
   const Park& park = fixture.pipeline->data().park;
   fixture.graph = BuildPlanningGraph(park, park.patrol_posts()[0], 4);
   fixture.cell_rows = BuildCellFeatureRows(
@@ -297,6 +302,49 @@ void ReportThreadScaling(const ParkFixture& fixture) {
           : "DIFFER");
 }
 
+// Snapshot economics: serialize the trained model (+ park + lagged
+// coverage) to an archive, reload it, verify the served risk map is
+// bit-identical, and report save/load wall time, snapshot size, and the
+// load-vs-retrain speedup — the number CHANGES quotes for the
+// train-once / serve-many story.
+void ReportSnapshotRoundtrip(const ParkFixture& fixture) {
+  using Clock = std::chrono::steady_clock;
+  auto ms_since = [](Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+  };
+  std::printf("=== Model snapshot: save/load vs retrain ===\n");
+
+  const auto t0 = Clock::now();
+  ArchiveWriter writer;
+  fixture.pipeline->SaveModel(&writer);
+  const std::string bytes = writer.Bytes();
+  const double save_ms = ms_since(t0);
+
+  const std::string path = "fig9_snapshot.paws";
+  const auto st = WriteStringToFile(bytes, path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "snapshot: %s\n", st.ToString().c_str());
+    return;
+  }
+  const auto t1 = Clock::now();
+  auto snapshot = PawsPipeline::LoadModel(path);
+  const double load_ms = ms_since(t1);
+  CheckOrDie(snapshot.ok(), "fig9: snapshot load failed");
+
+  const RiskMaps want = fixture.pipeline->PredictRisk(2.0);
+  const RiskMaps got = snapshot->PredictRisk(2.0);
+  std::printf(
+      "snapshot: %.1f KiB, save %.1f ms, load %.1f ms; training took "
+      "%.0f ms -> load-vs-retrain speedup %.0fx (served risk map %s)\n\n",
+      bytes.size() / 1024.0, save_ms, load_ms, fixture.train_ms,
+      load_ms > 0 ? fixture.train_ms / load_ms : 0.0,
+      got.risk == want.risk && got.variance == want.variance
+          ? "bit-identical"
+          : "DIFFERS");
+  std::remove(path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -309,10 +357,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Hot-path speedup report (risk maps + effort-curve tables), and thread
-  // scaling for the two training/serving loops the pool accelerates.
+  // Hot-path speedup report (risk maps + effort-curve tables), thread
+  // scaling for the two training/serving loops the pool accelerates, and
+  // snapshot save/load economics.
   ReportBatchSpeedups(GetFixture(ParkPreset::kMfnp));
   ReportThreadScaling(GetFixture(ParkPreset::kMfnp));
+  ReportSnapshotRoundtrip(GetFixture(ParkPreset::kMfnp));
 
   // Part (b): utility convergence with segments.
   const std::vector<ParkPreset> presets =

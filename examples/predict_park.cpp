@@ -1,23 +1,177 @@
-// Predictive pipeline walkthrough: build the SWS-like park (extreme 1:200
-// class imbalance, seasonality, motorbike patrols), train the three weak-
-// learner families with and without iWare-E, report AUCs, and render the
-// GPB-iW risk and uncertainty maps as ASCII art — the paper's Sec. V
-// evaluation in one program.
+// Predictive pipeline walkthrough plus the train-once / serve-many
+// workflow on top of model snapshots:
+//
+//   example_predict_park                  full walkthrough: AUC table, risk
+//                                         maps, and a save->load->verify
+//                                         snapshot round trip
+//   example_predict_park --train S.paws   train and save a snapshot (the
+//                                         offline path)
+//   example_predict_park --serve S.paws   load the snapshot and serve risk
+//                                         maps + a patrol plan — no
+//                                         training data, no simulator
+//   example_predict_park --hash S.paws    print a 64-bit FNV-1a fingerprint
+//                                         of the served risk map (CI uses
+//                                         this for cross-toolchain checks)
+//   --smoke                               shrink the park (CI-sized runs)
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/pipeline.h"
 #include "geo/raster_ops.h"
 
-int main() {
-  using namespace paws;
-  const Scenario scenario = MakeScenario(ParkPreset::kSws, 5);
-  const ScenarioData data = SimulateScenario(scenario, 6);
+namespace {
+
+using namespace paws;
+
+// Effort level all snapshot-serving reports use, so --hash output is a
+// stable fingerprint of (snapshot bytes -> predictions).
+constexpr double kServeEffortKm = 4.0;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// FNV-1a over the IEEE-754 bit patterns: any single-bit prediction
+// difference changes the fingerprint.
+uint64_t Fingerprint(const std::vector<double>& values) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (double v : values) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+IWareConfig DemoModelConfig() {
+  IWareConfig cfg;
+  cfg.weak_learner = WeakLearnerKind::kGaussianProcessBagging;
+  cfg.num_thresholds = 5;
+  cfg.cv_folds = 2;
+  cfg.bagging.num_estimators = 6;
+  cfg.bagging.balanced = true;  // undersampling for the imbalance
+  cfg.gp.max_points = 100;
+  return cfg;
+}
+
+ScenarioData DemoScenario(bool smoke) {
+  Scenario scenario = MakeScenario(ParkPreset::kSws, 5);
+  if (smoke) {
+    scenario.park.width = 26;
+    scenario.park.height = 22;
+    scenario.num_years = 4;
+  }
+  return SimulateScenario(scenario, 6);
+}
+
+// Offline path: simulate the park, train GPB-iW, snapshot it to `path`.
+int TrainAndSave(const std::string& path, bool smoke) {
+  const ScenarioData data = DemoScenario(smoke);
+  std::printf("training on %s: %d cells, %d steps\n",
+              data.park.name().c_str(), data.park.num_cells(),
+              data.num_steps());
+  PawsPipeline pipeline(data, DemoModelConfig());
+  pipeline.SetNumThreads(0);
+  Rng rng(10);
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status trained = pipeline.Train(&rng);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "train: %s\n", trained.ToString().c_str());
+    return 1;
+  }
+  const double train_ms = MsSince(t0);
+  const auto auc = pipeline.TestAuc();
+  // Serialize once; persist the same bytes.
+  const auto t1 = std::chrono::steady_clock::now();
+  ArchiveWriter writer;
+  pipeline.SaveModel(&writer);
+  const std::string bytes = writer.Bytes();
+  const Status saved = WriteStringToFile(bytes, path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "trained in %.0f ms (test AUC %.3f); snapshot -> %s "
+      "(%zu bytes, saved in %.1f ms)\n",
+      train_ms, auc.ok() ? *auc : 0.5, path.c_str(), bytes.size(),
+      MsSince(t1));
+  return 0;
+}
+
+// Serving path: everything below runs from the snapshot alone.
+int LoadAndServe(const std::string& path) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto snapshot = PawsPipeline::LoadModel(path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "load: %s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %s in %.1f ms: park '%s', %d cells, %d weak learners\n",
+              path.c_str(), MsSince(t0), snapshot->park().name().c_str(),
+              snapshot->park().num_cells(), snapshot->model().num_learners());
+
+  const RiskMaps maps = snapshot->PredictRisk(kServeEffortKm);
+  const Park& park = snapshot->park();
+  std::printf("\nPredicted poaching risk at %.0f km effort:\n%s",
+              kServeEffortKm,
+              AsciiHeatmap(ToGrid(park, maps.risk), park.mask()).c_str());
+  std::printf("\nPrediction uncertainty (GP variance):\n%s",
+              AsciiHeatmap(ToGrid(park, maps.variance), park.mask()).c_str());
+
+  PlannerConfig planner;
+  planner.horizon = 8;
+  planner.num_patrols = 4;
+  planner.pwl_segments = 10;
+  planner.milp.max_nodes = 50;
+  RobustParams robust;
+  robust.beta = 1.0;
+  const auto plan = snapshot->PlanForPost(0, planner, robust);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "plan: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  double planned_km = 0.0;
+  for (double c : plan->coverage) planned_km += c;
+  std::printf(
+      "\nrobust patrol plan from post 0: objective %.4f, %.1f km over %zu "
+      "cells%s\n",
+      plan->objective, planned_km, plan->coverage.size(),
+      plan->proven_optimal ? " (optimal)" : "");
+  return 0;
+}
+
+int HashSnapshot(const std::string& path) {
+  auto snapshot = PawsPipeline::LoadModel(path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "load: %s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  const RiskMaps maps = snapshot->PredictRisk(kServeEffortKm);
+  std::vector<double> all = maps.risk;
+  all.insert(all.end(), maps.variance.begin(), maps.variance.end());
+  std::printf("%016llx\n",
+              static_cast<unsigned long long>(Fingerprint(all)));
+  return 0;
+}
+
+// The original walkthrough (paper Sec. V), now ending with a snapshot
+// round trip that proves save -> load -> predict is bit-identical.
+int Walkthrough(bool smoke) {
+  const ScenarioData data = DemoScenario(smoke);
   const Dataset all = BuildDataset(data.park, data.history);
   std::printf("SWS-like park: %d cells, %d points, %.2f%% positive labels\n",
               data.park.num_cells(), all.size(),
               100.0 * all.PositiveFraction());
 
-  auto split = SplitByYear(data, scenario.num_years - 1);
+  auto split = SplitByYear(data, data.scenario.num_years - 1);
   if (!split.ok()) {
     std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
     return 1;
@@ -31,13 +185,8 @@ int main() {
                                    WeakLearnerKind::kGaussianProcessBagging};
   std::printf("\n%-6s %12s %12s\n", "model", "baseline", "iWare-E");
   for (const WeakLearnerKind kind : kinds) {
-    IWareConfig cfg;
+    IWareConfig cfg = DemoModelConfig();
     cfg.weak_learner = kind;
-    cfg.num_thresholds = 5;
-    cfg.cv_folds = 2;
-    cfg.bagging.num_estimators = 6;
-    cfg.bagging.balanced = true;  // undersampling for the imbalance
-    cfg.gp.max_points = 100;
     Rng rng_a(9), rng_b(9);
     const auto base = EvaluateBaselineAuc(cfg, *split, &rng_a);
     const auto iware = EvaluateIWareAuc(cfg, *split, &rng_b);
@@ -46,23 +195,17 @@ int main() {
   }
 
   // Risk + uncertainty maps from the full pipeline (GPB-iW).
-  IWareConfig cfg;
-  cfg.weak_learner = WeakLearnerKind::kGaussianProcessBagging;
-  cfg.num_thresholds = 5;
-  cfg.cv_folds = 2;
-  cfg.bagging.num_estimators = 6;
-  cfg.bagging.balanced = true;
-  cfg.gp.max_points = 100;
-  PawsPipeline pipeline(data, cfg);
+  PawsPipeline pipeline(data, DemoModelConfig());
   // All cores by default; results are bit-identical for any thread count
   // (set PAWS_NUM_THREADS=1 or SetNumThreads(1) to force the serial path).
   pipeline.SetNumThreads(0);
   std::printf("\ntraining on %d threads\n",
-              cfg.parallelism.ResolveNumThreads());
+              ParallelismConfig{0}.ResolveNumThreads());
   Rng rng(10);
   if (!pipeline.Train(&rng).ok()) return 1;
-  const RiskMaps maps = pipeline.PredictRisk(/*assumed_effort=*/4.0);
-  std::printf("\nPredicted poaching risk at 4 km effort:\n%s",
+  const RiskMaps maps = pipeline.PredictRisk(kServeEffortKm);
+  std::printf("\nPredicted poaching risk at %.0f km effort:\n%s",
+              kServeEffortKm,
               AsciiHeatmap(ToGrid(data.park, maps.risk), data.park.mask())
                   .c_str());
   std::printf("\nPrediction uncertainty (GP variance):\n%s",
@@ -73,5 +216,51 @@ int main() {
               AsciiHeatmap(ToGrid(data.park, data.history.TotalEffort()),
                            data.park.mask())
                   .c_str());
-  return 0;
+
+  // Train-once / serve-many: snapshot the model and verify the loaded copy
+  // predicts bit-identically, without touching the scenario again.
+  ArchiveWriter writer;
+  pipeline.SaveModel(&writer);
+  auto reader = ArchiveReader::FromBytes(writer.Bytes());
+  if (!reader.ok()) return 1;
+  auto snapshot = ModelSnapshot::Load(&*reader);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  const RiskMaps served = snapshot->PredictRisk(kServeEffortKm);
+  const bool identical =
+      served.risk == maps.risk && served.variance == maps.variance;
+  std::printf("\nsnapshot round trip: %zu bytes, served risk map %s\n",
+              writer.Bytes().size(),
+              identical ? "bit-identical" : "DIFFERS (bug!)");
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string mode, path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if ((arg == "--train" || arg == "--serve" || arg == "--hash") &&
+               i + 1 < argc) {
+      mode = arg;
+      path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--train PATH | --serve PATH | "
+                   "--hash PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (mode == "--train") return TrainAndSave(path, smoke);
+  if (mode == "--serve") return LoadAndServe(path);
+  if (mode == "--hash") return HashSnapshot(path);
+  return Walkthrough(smoke);
 }

@@ -52,6 +52,11 @@ struct IWareConfig {
   LinearSvmConfig svm;
   GaussianProcessConfig gp;
 
+  /// Serializes every field above except `parallelism` (below), which
+  /// describes the serving host rather than the model.
+  void Save(ArchiveWriter* ar) const;
+  static StatusOr<IWareConfig> Load(ArchiveReader* ar);
+
   /// Threads used by Fit (CV folds, per-threshold weak-learner training)
   /// and by the batch prediction paths (row chunks). All parallel regions
   /// fork their random streams serially first and write disjoint output
@@ -129,6 +134,12 @@ class IWareEnsemble {
   void set_parallelism(ParallelismConfig parallelism) {
     config_.parallelism = parallelism;
   }
+
+  /// Serializes config, thresholds, optimized weights and every weak
+  /// learner. A loaded ensemble predicts bit-identically to the saved one
+  /// (thread pinning resets to auto; see set_parallelism).
+  void Save(ArchiveWriter* ar) const;
+  static StatusOr<IWareEnsemble> Load(ArchiveReader* ar);
 
  private:
   std::vector<double> ComputeThresholds(const Dataset& data) const;

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <utility>
 
-#include "plan/graph.h"
-
 namespace paws {
 
 ScenarioData SimulateScenario(const Scenario& scenario, uint64_t sim_seed) {
@@ -92,23 +90,29 @@ StatusOr<PatrolPlan> PawsPipeline::PlanForPost(int post_index,
   if (model_ == nullptr) {
     return Status::FailedPrecondition("PawsPipeline: Train first");
   }
-  const auto& posts = data_.park.patrol_posts();
-  if (post_index < 0 || post_index >= static_cast<int>(posts.size())) {
-    return Status::InvalidArgument("PawsPipeline: bad post index");
+  return PlanForPostWithModel(*model_, data_.park, data_.history,
+                              split_->test_t_begin, post_index, config,
+                              robust);
+}
+
+void PawsPipeline::SaveModel(ArchiveWriter* ar) const {
+  CheckOrDie(model_ != nullptr, "PawsPipeline::SaveModel: Train first");
+  const int t = split_->test_t_begin;
+  // The serving-side rows carry the lagged coverage from the step before
+  // the test year — exactly what PredictRisk / PlanForPost read here.
+  const std::vector<double> lagged =
+      t > 0 ? data_.history.steps[t - 1].effort
+            : std::vector<double>(data_.park.num_cells(), 0.0);
+  SaveModelSnapshotParts(*model_, data_.park, lagged, ar);
+}
+
+Status PawsPipeline::SaveModel(const std::string& path) const {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("PawsPipeline: Train first");
   }
-  // Invalid planner configs must surface as Status (as PlanPatrols reports
-  // them), not abort inside the grid construction below.
-  PAWS_RETURN_IF_ERROR(ValidatePlannerConfig(config));
-  const PlanningGraph graph = BuildPlanningGraph(
-      data_.park, posts[post_index], std::max(2, config.horizon / 2));
-  // Batch-first hot path: one tabulation of the ensemble over the planner's
-  // PWL breakpoints feeds the whole MILP — no per-cell closures.
-  const EffortCurveTable curves = PredictCellEffortCurves(
-      *model_, data_.park, data_.history, split_->test_t_begin,
-      graph.park_cell_ids,
-      UniformEffortGrid(0.0, PlannerEffortCap(config), config.pwl_segments));
-  const auto utilities = MakeRobustUtilityTables(curves, robust);
-  return PlanPatrols(graph, utilities, config);
+  ArchiveWriter writer;
+  SaveModel(&writer);
+  return writer.WriteFile(path);
 }
 
 StatusOr<FieldTestResult> PawsPipeline::RunFieldTestTrial(

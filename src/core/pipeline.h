@@ -6,6 +6,7 @@
 #include "core/iware.h"
 #include "core/presets.h"
 #include "core/risk_map.h"
+#include "core/snapshot.h"
 #include "geo/park.h"
 #include "ml/metrics.h"
 #include "plan/planner.h"
@@ -98,6 +99,19 @@ class PawsPipeline {
   /// Runs a simulated field test using the trained model's risk map.
   StatusOr<FieldTestResult> RunFieldTestTrial(const FieldTestConfig& config,
                                               Rng* rng) const;
+
+  /// Serializes the trained model plus its serving context (park geometry,
+  /// lagged coverage at the test step) as a versioned snapshot archive.
+  /// Requires Train; the snapshot serves predictions bit-identical to this
+  /// pipeline's.
+  Status SaveModel(const std::string& path) const;
+  void SaveModel(ArchiveWriter* ar) const;
+
+  /// Loads a snapshot saved by SaveModel — the serve-only entry point: no
+  /// scenario, simulator or training data involved.
+  static StatusOr<ModelSnapshot> LoadModel(const std::string& path) {
+    return ModelSnapshot::ReadFile(path);
+  }
 
  private:
   ScenarioData data_;

@@ -11,7 +11,38 @@ namespace {
 // only large parks are worth splitting.
 constexpr int kAssemblyGrain = 4096;
 
+constexpr uint32_t kRiskMapSchemaVersion = 1;
+constexpr uint32_t kRiskMapSectionTag = FourCc("RISK");
+
 }  // namespace
+
+void SaveRiskMaps(const RiskMaps& maps, ArchiveWriter* ar) {
+  ar->BeginSection(kRiskMapSectionTag);
+  ar->WriteU32(kRiskMapSchemaVersion);
+  ar->WriteDoubleVector(maps.risk);
+  ar->WriteDoubleVector(maps.variance);
+  ar->WriteDouble(maps.assumed_effort);
+  ar->EndSection();
+}
+
+StatusOr<RiskMaps> LoadRiskMaps(ArchiveReader* ar) {
+  PAWS_RETURN_IF_ERROR(ar->EnterSection(kRiskMapSectionTag));
+  uint32_t version = 0;
+  PAWS_RETURN_IF_ERROR(ar->ReadU32(&version));
+  if (version != kRiskMapSchemaVersion) {
+    return Status::InvalidArgument("RiskMaps: unsupported schema version " +
+                                   std::to_string(version));
+  }
+  RiskMaps maps;
+  PAWS_RETURN_IF_ERROR(ar->ReadDoubleVector(&maps.risk));
+  PAWS_RETURN_IF_ERROR(ar->ReadDoubleVector(&maps.variance));
+  PAWS_RETURN_IF_ERROR(ar->ReadDouble(&maps.assumed_effort));
+  PAWS_RETURN_IF_ERROR(ar->LeaveSection());
+  if (maps.risk.size() != maps.variance.size()) {
+    return Status::InvalidArgument("RiskMaps: layer size mismatch");
+  }
+  return maps;
+}
 
 RiskMaps PredictRiskMap(const IWareEnsemble& model, const Park& park,
                         const PatrolHistory& history, int t,

@@ -8,6 +8,7 @@
 #include "geo/raster_ops.h"
 #include "ml/effort_curve.h"
 #include "sim/patrol_sim.h"
+#include "util/archive.h"
 #include "util/thread_pool.h"
 
 namespace paws {
@@ -21,6 +22,11 @@ struct RiskMaps {
   std::vector<double> variance;  // per dense cell id
   double assumed_effort = 0.0;
 };
+
+/// Bit-exact risk-map serialization, so rendered maps can be archived and
+/// re-served without the model that produced them.
+void SaveRiskMaps(const RiskMaps& maps, ArchiveWriter* ar);
+StatusOr<RiskMaps> LoadRiskMaps(ArchiveReader* ar);
 
 /// Predicts risk/uncertainty for every park cell at time step `t` in one
 /// batched ensemble call, assuming each cell receives `assumed_effort` km

@@ -1,0 +1,131 @@
+#include "core/snapshot.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "plan/graph.h"
+
+namespace paws {
+
+namespace {
+
+constexpr uint32_t kSnapshotSchemaVersion = 1;
+constexpr uint32_t kSnapshotSectionTag = FourCc("SNAP");
+
+PatrolHistory OneStepHistory(std::vector<double> lagged_effort) {
+  PatrolHistory history;
+  StepRecord step;
+  step.effort = std::move(lagged_effort);
+  history.steps.push_back(std::move(step));
+  return history;
+}
+
+}  // namespace
+
+ModelSnapshot::ModelSnapshot(IWareEnsemble model, Park park,
+                             std::vector<double> lagged_effort)
+    : model_(std::move(model)),
+      park_(std::move(park)),
+      history_(OneStepHistory(std::move(lagged_effort))) {
+  CheckOrDie(history_.num_cells() == park_.num_cells(),
+             "ModelSnapshot: lagged-effort layer does not match the park");
+}
+
+RiskMaps ModelSnapshot::PredictRisk(double assumed_effort) const {
+  // t = 1: the builders read the lagged layer from steps[0].
+  return PredictRiskMap(model_, park_, history_, /*t=*/1, assumed_effort);
+}
+
+EffortCurveTable ModelSnapshot::PredictCellCurves(
+    const std::vector<int>& cell_ids, std::vector<double> effort_grid) const {
+  return PredictCellEffortCurves(model_, park_, history_, /*t=*/1, cell_ids,
+                                 std::move(effort_grid));
+}
+
+StatusOr<PatrolPlan> ModelSnapshot::PlanForPost(
+    int post_index, const PlannerConfig& config,
+    const RobustParams& robust) const {
+  return PlanForPostWithModel(model_, park_, history_, /*t=*/1, post_index,
+                              config, robust);
+}
+
+void SaveModelSnapshotParts(const IWareEnsemble& model, const Park& park,
+                            const std::vector<double>& lagged_effort,
+                            ArchiveWriter* ar) {
+  CheckOrDie(static_cast<int>(lagged_effort.size()) == park.num_cells(),
+             "SaveModelSnapshotParts: lagged-effort layer/park mismatch");
+  ar->BeginSection(kSnapshotSectionTag);
+  ar->WriteU32(kSnapshotSchemaVersion);
+  model.Save(ar);
+  SavePark(park, ar);
+  ar->WriteDoubleVector(lagged_effort);
+  ar->EndSection();
+}
+
+void ModelSnapshot::Save(ArchiveWriter* ar) const {
+  SaveModelSnapshotParts(model_, park_, history_.steps[0].effort, ar);
+}
+
+StatusOr<ModelSnapshot> ModelSnapshot::Load(ArchiveReader* ar) {
+  PAWS_RETURN_IF_ERROR(ar->EnterSection(kSnapshotSectionTag));
+  uint32_t version = 0;
+  PAWS_RETURN_IF_ERROR(ar->ReadU32(&version));
+  if (version != kSnapshotSchemaVersion) {
+    return Status::InvalidArgument(
+        "ModelSnapshot: unsupported schema version " +
+        std::to_string(version));
+  }
+  PAWS_ASSIGN_OR_RETURN(IWareEnsemble model, IWareEnsemble::Load(ar));
+  if (model.num_learners() == 0) {
+    return Status::InvalidArgument(
+        "ModelSnapshot: archive holds an untrained model");
+  }
+  PAWS_ASSIGN_OR_RETURN(Park park, LoadPark(ar));
+  std::vector<double> lagged;
+  PAWS_RETURN_IF_ERROR(ar->ReadDoubleVector(&lagged));
+  PAWS_RETURN_IF_ERROR(ar->LeaveSection());
+  if (static_cast<int>(lagged.size()) != park.num_cells()) {
+    return Status::InvalidArgument(
+        "ModelSnapshot: lagged-effort layer does not match the park");
+  }
+  return ModelSnapshot(std::move(model), std::move(park), std::move(lagged));
+}
+
+Status ModelSnapshot::WriteFile(const std::string& path) const {
+  ArchiveWriter writer;
+  Save(&writer);
+  return writer.WriteFile(path);
+}
+
+StatusOr<ModelSnapshot> ModelSnapshot::ReadFile(const std::string& path) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader, ArchiveReader::FromFile(path));
+  PAWS_ASSIGN_OR_RETURN(ModelSnapshot snapshot, Load(&reader));
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return snapshot;
+}
+
+StatusOr<PatrolPlan> PlanForPostWithModel(const IWareEnsemble& model,
+                                          const Park& park,
+                                          const PatrolHistory& history, int t,
+                                          int post_index,
+                                          const PlannerConfig& config,
+                                          const RobustParams& robust) {
+  const auto& posts = park.patrol_posts();
+  if (post_index < 0 || post_index >= static_cast<int>(posts.size())) {
+    return Status::InvalidArgument("PlanForPost: bad post index");
+  }
+  // Invalid planner configs must surface as Status (as PlanPatrols reports
+  // them), not abort inside the grid construction below.
+  PAWS_RETURN_IF_ERROR(ValidatePlannerConfig(config));
+  const PlanningGraph graph = BuildPlanningGraph(
+      park, posts[post_index], std::max(2, config.horizon / 2));
+  // Batch-first hot path: one tabulation of the ensemble over the planner's
+  // PWL breakpoints feeds the whole MILP — no per-cell closures.
+  const EffortCurveTable curves = PredictCellEffortCurves(
+      model, park, history, t, graph.park_cell_ids,
+      UniformEffortGrid(0.0, PlannerEffortCap(config), config.pwl_segments));
+  const auto utilities = MakeRobustUtilityTables(curves, robust);
+  return PlanPatrols(graph, utilities, config);
+}
+
+}  // namespace paws

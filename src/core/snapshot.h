@@ -1,0 +1,88 @@
+#ifndef PAWS_CORE_SNAPSHOT_H_
+#define PAWS_CORE_SNAPSHOT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/iware.h"
+#include "core/risk_map.h"
+#include "geo/park.h"
+#include "plan/planner.h"
+#include "plan/robust.h"
+#include "util/archive.h"
+
+namespace paws {
+
+/// The train-once / serve-many artifact: a trained iWare-E ensemble plus
+/// the serving context it needs — the park geometry (mask, feature
+/// rasters, patrol posts) and the lagged patrol-coverage layer at the
+/// serving time step. A loaded snapshot serves risk maps, effort-curve
+/// tables and robust patrol plans with no training data or simulator state
+/// present, and its predictions are bit-identical to the model that was
+/// saved.
+///
+/// Produced by PawsPipeline::SaveModel / LoadModel (or assembled directly
+/// from parts for custom serving stacks).
+class ModelSnapshot {
+ public:
+  /// `lagged_effort` is the previous step's per-dense-cell patrol coverage
+  /// — the time-variant feature every serving-side row carries.
+  ModelSnapshot(IWareEnsemble model, Park park,
+                std::vector<double> lagged_effort);
+
+  const IWareEnsemble& model() const { return model_; }
+  /// For re-pinning prediction parallelism (IWareEnsemble::set_parallelism).
+  IWareEnsemble& mutable_model() { return model_; }
+  const Park& park() const { return park_; }
+  const std::vector<double>& lagged_effort() const {
+    return history_.steps[0].effort;
+  }
+
+  /// Risk/uncertainty maps over every park cell at `assumed_effort` km —
+  /// the serving analogue of PawsPipeline::PredictRisk.
+  RiskMaps PredictRisk(double assumed_effort) const;
+
+  /// Tabulated g_v(c)/nu_v(c) planner inputs for the given cells.
+  EffortCurveTable PredictCellCurves(const std::vector<int>& cell_ids,
+                                     std::vector<double> effort_grid) const;
+
+  /// Plans robust patrols around patrol post `post_index` — the serving
+  /// analogue of PawsPipeline::PlanForPost.
+  StatusOr<PatrolPlan> PlanForPost(int post_index, const PlannerConfig& config,
+                                   const RobustParams& robust) const;
+
+  void Save(ArchiveWriter* ar) const;
+  static StatusOr<ModelSnapshot> Load(ArchiveReader* ar);
+
+  /// Whole-file convenience wrappers around Save/Load.
+  Status WriteFile(const std::string& path) const;
+  static StatusOr<ModelSnapshot> ReadFile(const std::string& path);
+
+ private:
+  IWareEnsemble model_;
+  Park park_;
+  /// One synthetic step holding the lagged coverage layer, so the serving
+  /// calls below reuse the history-based builders at t = 1 unchanged.
+  PatrolHistory history_;
+};
+
+/// Writes the ModelSnapshot wire format from unowned parts — how the
+/// pipeline saves a snapshot without copying its (move-only) trained
+/// model. ModelSnapshot::Save is this applied to its own members.
+void SaveModelSnapshotParts(const IWareEnsemble& model, const Park& park,
+                            const std::vector<double>& lagged_effort,
+                            ArchiveWriter* ar);
+
+/// Shared serving path behind PawsPipeline::PlanForPost and
+/// ModelSnapshot::PlanForPost: validate, build the post's planning graph,
+/// tabulate effort curves at time `t`, and solve the robust MILP.
+StatusOr<PatrolPlan> PlanForPostWithModel(const IWareEnsemble& model,
+                                          const Park& park,
+                                          const PatrolHistory& history, int t,
+                                          int post_index,
+                                          const PlannerConfig& config,
+                                          const RobustParams& robust);
+
+}  // namespace paws
+
+#endif  // PAWS_CORE_SNAPSHOT_H_

@@ -54,4 +54,112 @@ void Park::AddPatrolPost(const Cell& c) {
   patrol_posts_.push_back(c);
 }
 
+namespace {
+
+constexpr uint32_t kParkSchemaVersion = 1;
+constexpr uint32_t kParkSectionTag = FourCc("PARK");
+
+// Rasters travel as width/height plus the flat payload; reads validate the
+// shape so a corrupt archive cannot build an inconsistent grid.
+template <typename Grid, typename WriteVec>
+void SaveGrid(const Grid& grid, ArchiveWriter* ar, WriteVec write_vec) {
+  ar->WriteI32(grid.width());
+  ar->WriteI32(grid.height());
+  (ar->*write_vec)(grid.data());
+}
+
+template <typename Grid, typename Vec,
+          Status (ArchiveReader::*read_vec)(Vec*)>
+StatusOr<Grid> LoadGrid(ArchiveReader* ar) {
+  int width = 0, height = 0;
+  PAWS_RETURN_IF_ERROR(ar->ReadI32(&width));
+  PAWS_RETURN_IF_ERROR(ar->ReadI32(&height));
+  if (width < 0 || height < 0) {
+    return Status::InvalidArgument("park grid: negative shape");
+  }
+  Vec data;
+  PAWS_RETURN_IF_ERROR((ar->*read_vec)(&data));
+  if (data.size() != static_cast<size_t>(width) * height) {
+    return Status::InvalidArgument("park grid: payload/shape mismatch");
+  }
+  Grid grid(width, height);
+  grid.data() = std::move(data);
+  return grid;
+}
+
+}  // namespace
+
+void SavePark(const Park& park, ArchiveWriter* ar) {
+  ar->BeginSection(kParkSectionTag);
+  ar->WriteU32(kParkSchemaVersion);
+  ar->WriteString(park.name());
+  SaveGrid(park.mask(), ar, &ArchiveWriter::WriteU8Vector);
+  ar->WriteU64(park.num_features());
+  for (int f = 0; f < park.num_features(); ++f) {
+    ar->WriteString(park.feature_names()[f]);
+    SaveGrid(park.feature(f), ar, &ArchiveWriter::WriteDoubleVector);
+  }
+  ar->WriteU64(park.patrol_posts().size());
+  for (const Cell& post : park.patrol_posts()) {
+    ar->WriteI32(post.x);
+    ar->WriteI32(post.y);
+  }
+  ar->EndSection();
+}
+
+StatusOr<Park> LoadPark(ArchiveReader* ar) {
+  PAWS_RETURN_IF_ERROR(ar->EnterSection(kParkSectionTag));
+  uint32_t version = 0;
+  PAWS_RETURN_IF_ERROR(ar->ReadU32(&version));
+  if (version != kParkSchemaVersion) {
+    return Status::InvalidArgument("Park: unsupported schema version " +
+                                   std::to_string(version));
+  }
+  std::string name;
+  PAWS_RETURN_IF_ERROR(ar->ReadString(&name));
+  PAWS_ASSIGN_OR_RETURN(
+      GridB mask,
+      (LoadGrid<GridB, std::vector<uint8_t>, &ArchiveReader::ReadU8Vector>(
+          ar)));
+  bool any_inside = false;
+  for (uint8_t m : mask.data()) any_inside = any_inside || m != 0;
+  if (!any_inside) {
+    return Status::InvalidArgument("Park: mask has no in-park cells");
+  }
+  Park park(std::move(name), std::move(mask));
+  uint64_t num_features = 0;
+  PAWS_RETURN_IF_ERROR(ar->ReadU64(&num_features));
+  if (num_features > ar->remaining()) {
+    return Status::InvalidArgument("Park: feature count overruns archive");
+  }
+  for (uint64_t f = 0; f < num_features; ++f) {
+    std::string feature_name;
+    PAWS_RETURN_IF_ERROR(ar->ReadString(&feature_name));
+    PAWS_ASSIGN_OR_RETURN(
+        GridD raster,
+        (LoadGrid<GridD, std::vector<double>, &ArchiveReader::ReadDoubleVector>(
+            ar)));
+    if (raster.width() != park.width() || raster.height() != park.height()) {
+      return Status::InvalidArgument("Park: feature raster shape mismatch");
+    }
+    park.AddFeature(std::move(feature_name), std::move(raster));
+  }
+  uint64_t num_posts = 0;
+  PAWS_RETURN_IF_ERROR(ar->ReadU64(&num_posts));
+  if (num_posts > ar->remaining() / 8) {
+    return Status::InvalidArgument("Park: post count overruns archive");
+  }
+  for (uint64_t p = 0; p < num_posts; ++p) {
+    Cell post;
+    PAWS_RETURN_IF_ERROR(ar->ReadI32(&post.x));
+    PAWS_RETURN_IF_ERROR(ar->ReadI32(&post.y));
+    if (!park.mask().InBounds(post) || !park.mask().At(post)) {
+      return Status::InvalidArgument("Park: patrol post outside the park");
+    }
+    park.AddPatrolPost(post);
+  }
+  PAWS_RETURN_IF_ERROR(ar->LeaveSection());
+  return park;
+}
+
 }  // namespace paws

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "geo/grid.h"
+#include "util/archive.h"
 #include "util/status.h"
 
 namespace paws {
@@ -66,6 +67,12 @@ class Park {
   std::vector<GridD> features_;
   std::vector<Cell> patrol_posts_;
 };
+
+/// Serializes the full park geometry (mask, named feature rasters, patrol
+/// posts) — the metadata a model snapshot needs to serve risk maps and
+/// plans without the training scenario. Bit-exact on feature values.
+void SavePark(const Park& park, ArchiveWriter* ar);
+StatusOr<Park> LoadPark(ArchiveReader* ar);
 
 }  // namespace paws
 

@@ -28,6 +28,11 @@ struct BaggingConfig {
   ParallelismConfig parallelism;
 };
 
+/// Serializes everything except `parallelism`, which is a property of the
+/// serving host, not the model; loaded configs default to auto threading.
+void SaveBaggingConfig(const BaggingConfig& config, ArchiveWriter* ar);
+StatusOr<BaggingConfig> LoadBaggingConfig(ArchiveReader* ar);
+
 /// Bootstrap-aggregated ensemble around any base classifier. A bagging
 /// ensemble of decision trees with per-split feature sampling is equivalent
 /// to a random forest (paper Sec. V-C).
@@ -55,6 +60,14 @@ class BaggingClassifier : public Classifier {
                                 std::vector<Prediction>* out) const override;
   bool ProvidesVariance() const override { return true; }
   std::unique_ptr<Classifier> CloneUntrained() const override;
+
+  /// Serializes the base-learner prototype, every fitted member (both
+  /// polymorphically, through the classifier registry) and the bootstrap
+  /// counts backing the infinitesimal-jackknife estimate.
+  static constexpr uint32_t kArchiveTag = FourCc("BAGG");
+  uint32_t ArchiveTag() const override { return kArchiveTag; }
+  void Save(ArchiveWriter* ar) const override;
+  static StatusOr<std::unique_ptr<Classifier>> Load(ArchiveReader* ar);
 
   int num_fitted() const { return static_cast<int>(members_.size()); }
   const Classifier& member(int i) const { return *members_[i]; }

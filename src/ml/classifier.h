@@ -1,10 +1,12 @@
 #ifndef PAWS_ML_CLASSIFIER_H_
 #define PAWS_ML_CLASSIFIER_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "ml/dataset.h"
+#include "util/archive.h"
 #include "util/feature_matrix.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -70,7 +72,35 @@ class Classifier {
 
   /// A fresh, untrained copy configured identically (for ensembles).
   virtual std::unique_ptr<Classifier> CloneUntrained() const = 0;
+
+  /// Fourcc type tag identifying this learner in archives; the key into
+  /// the loader registry behind LoadClassifier.
+  virtual uint32_t ArchiveTag() const = 0;
+
+  /// Serializes config + fitted state (body only — SaveClassifier frames
+  /// it with the type tag). Untrained models serialize their config, so a
+  /// loaded ensemble prototype still supports CloneUntrained.
+  virtual void Save(ArchiveWriter* ar) const = 0;
 };
+
+/// Writes `model` as a self-describing section: tag + Save body. The
+/// polymorphic counterpart of LoadClassifier.
+void SaveClassifier(const Classifier& model, ArchiveWriter* ar);
+
+/// Loads whichever classifier type the archive holds next, dispatching on
+/// the section tag through the loader registry. Unknown tags and malformed
+/// bodies fail with InvalidArgument.
+StatusOr<std::unique_ptr<Classifier>> LoadClassifier(ArchiveReader* ar);
+
+/// Loader signature: parse a Save() body (the section is already entered)
+/// and return the reconstructed model.
+using ClassifierLoader = StatusOr<std::unique_ptr<Classifier>> (*)(
+    ArchiveReader* ar);
+
+/// Registers a loader for `tag`. The four built-in learners are registered
+/// automatically; call this to make custom Classifier subclasses loadable
+/// through LoadClassifier. Re-registering a tag replaces the loader.
+void RegisterClassifierLoader(uint32_t tag, ClassifierLoader loader);
 
 /// Convenience: scores every row of `data` in one batch.
 std::vector<double> PredictAll(const Classifier& model, const Dataset& data);

@@ -112,4 +112,24 @@ std::vector<double> Standardizer::Transform(
   return out;
 }
 
+void Standardizer::Save(ArchiveWriter* ar) const {
+  ar->WriteDoubleVector(mean_);
+  ar->WriteDoubleVector(stddev_);
+}
+
+StatusOr<Standardizer> Standardizer::Load(ArchiveReader* ar) {
+  Standardizer s;
+  PAWS_RETURN_IF_ERROR(ar->ReadDoubleVector(&s.mean_));
+  PAWS_RETURN_IF_ERROR(ar->ReadDoubleVector(&s.stddev_));
+  if (s.mean_.size() != s.stddev_.size()) {
+    return Status::InvalidArgument("Standardizer: mean/stddev width mismatch");
+  }
+  for (double sd : s.stddev_) {
+    if (!(sd > 0.0)) {
+      return Status::InvalidArgument("Standardizer: non-positive stddev");
+    }
+  }
+  return s;
+}
+
 }  // namespace paws

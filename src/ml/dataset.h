@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "util/archive.h"
 #include "util/feature_matrix.h"
 #include "util/status.h"
 
@@ -90,6 +91,10 @@ class Standardizer {
   int num_features() const { return static_cast<int>(mean_.size()); }
   const std::vector<double>& mean() const { return mean_; }
   const std::vector<double>& stddev() const { return stddev_; }
+
+  /// Bit-exact serialization of the fitted moments.
+  void Save(ArchiveWriter* ar) const;
+  static StatusOr<Standardizer> Load(ArchiveReader* ar);
 
  private:
   std::vector<double> mean_;

@@ -4,10 +4,19 @@
 #include <string>
 
 #include "ml/dataset.h"
+#include "util/archive.h"
 #include "util/status.h"
 
 namespace paws {
 
+/// Dataset import/export in two formats sharing one encoding stack:
+///
+/// - *Binary* (Save/LoadDataset, Write/ReadDatasetBinary): the archive
+///   layer models and snapshots use — endian-safe, CRC-checked,
+///   bit-exact on doubles, and the natural companion to a model snapshot
+///   (same container, same corruption guarantees).
+/// - *CSV* (below): interchange with SMART-style exports.
+///
 /// CSV import/export for datasets, so the pipeline can run on real
 /// SMART-style exports instead of the synthetic simulator. The format is
 /// the one the dataset builders produce:
@@ -33,6 +42,16 @@ StatusOr<Dataset> DatasetFromCsv(const std::string& text);
 
 /// Reads a dataset from a CSV file.
 StatusOr<Dataset> ReadDatasetCsv(const std::string& path);
+
+/// Serializes `data` into an open archive (a "DSET" section), bit-exact on
+/// features and efforts. Validation on load mirrors the CSV reader:
+/// binary labels, non-negative efforts, consistent widths.
+void SaveDataset(const Dataset& data, ArchiveWriter* ar);
+StatusOr<Dataset> LoadDataset(ArchiveReader* ar);
+
+/// Whole-file binary round trip (one dataset per archive).
+Status WriteDatasetBinary(const Dataset& data, const std::string& path);
+StatusOr<Dataset> ReadDatasetBinary(const std::string& path);
 
 }  // namespace paws
 

@@ -18,6 +18,10 @@ struct DecisionTreeConfig {
   int max_features = 0;
 };
 
+void SaveDecisionTreeConfig(const DecisionTreeConfig& config,
+                            ArchiveWriter* ar);
+StatusOr<DecisionTreeConfig> LoadDecisionTreeConfig(ArchiveReader* ar);
+
 /// Binary CART decision tree with Gini impurity splits. Leaf probabilities
 /// are Laplace-smoothed positive fractions, (n_pos + 1) / (n + 2), so pure
 /// leaves never emit exactly 0 or 1.
@@ -29,6 +33,11 @@ class DecisionTree : public Classifier {
   void PredictBatch(const FeatureMatrixView& x,
                     std::vector<double>* out_probs) const override;
   std::unique_ptr<Classifier> CloneUntrained() const override;
+
+  static constexpr uint32_t kArchiveTag = FourCc("TREE");
+  uint32_t ArchiveTag() const override { return kArchiveTag; }
+  void Save(ArchiveWriter* ar) const override;
+  static StatusOr<std::unique_ptr<Classifier>> Load(ArchiveReader* ar);
 
   /// Number of nodes in the fitted tree (0 before Fit).
   int NodeCount() const { return static_cast<int>(nodes_.size()); }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "util/archive.h"
 #include "util/status.h"
 
 namespace paws {
@@ -59,6 +60,11 @@ std::vector<double> UniformEffortGrid(double lo, double hi, int segments);
 /// thresholds).
 EffortCurveTable ResampleEffortCurves(const EffortCurveTable& in,
                                       std::vector<double> new_grid);
+
+/// Bit-exact table serialization — lets a snapshot ship pre-tabulated
+/// planner inputs alongside (or instead of) the model that produced them.
+void SaveEffortCurveTable(const EffortCurveTable& table, ArchiveWriter* ar);
+StatusOr<EffortCurveTable> LoadEffortCurveTable(ArchiveReader* ar);
 
 }  // namespace paws
 

@@ -31,6 +31,10 @@ struct GaussianProcessConfig {
   double newton_tolerance = 1e-6;
 };
 
+void SaveGaussianProcessConfig(const GaussianProcessConfig& config,
+                               ArchiveWriter* ar);
+StatusOr<GaussianProcessConfig> LoadGaussianProcessConfig(ArchiveReader* ar);
+
 class GaussianProcessClassifier : public Classifier {
  public:
   explicit GaussianProcessClassifier(GaussianProcessConfig config = {})
@@ -52,6 +56,14 @@ class GaussianProcessClassifier : public Classifier {
                                 std::vector<Prediction>* out) const override;
   bool ProvidesVariance() const override { return true; }
   std::unique_ptr<Classifier> CloneUntrained() const override;
+
+  /// Serializes the full posterior cache — inducing inputs, likelihood
+  /// gradient at the mode, W^1/2 and the Cholesky factor of B — so a
+  /// loaded GP predicts bit-identically without re-running Newton.
+  static constexpr uint32_t kArchiveTag = FourCc("GPCL");
+  uint32_t ArchiveTag() const override { return kArchiveTag; }
+  void Save(ArchiveWriter* ar) const override;
+  static StatusOr<std::unique_ptr<Classifier>> Load(ArchiveReader* ar);
 
   int num_inducing_points() const { return static_cast<int>(x_train_.size()); }
 

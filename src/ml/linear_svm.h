@@ -19,6 +19,9 @@ struct LinearSvmConfig {
   int platt_iterations = 50;
 };
 
+void SaveLinearSvmConfig(const LinearSvmConfig& config, ArchiveWriter* ar);
+StatusOr<LinearSvmConfig> LoadLinearSvmConfig(ArchiveReader* ar);
+
 class LinearSvm : public Classifier {
  public:
   explicit LinearSvm(LinearSvmConfig config = {}) : config_(config) {}
@@ -27,6 +30,11 @@ class LinearSvm : public Classifier {
   void PredictBatch(const FeatureMatrixView& x,
                     std::vector<double>* out_probs) const override;
   std::unique_ptr<Classifier> CloneUntrained() const override;
+
+  static constexpr uint32_t kArchiveTag = FourCc("LSVM");
+  uint32_t ArchiveTag() const override { return kArchiveTag; }
+  void Save(ArchiveWriter* ar) const override;
+  static StatusOr<std::unique_ptr<Classifier>> Load(ArchiveReader* ar);
 
   /// Raw decision value w.x + b on standardized features.
   double DecisionValue(const std::vector<double>& x) const;

@@ -1,0 +1,348 @@
+#include "util/archive.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace paws {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'A', 'W', 'S'};
+constexpr size_t kHeaderSize = 8;  // magic + container version
+constexpr size_t kCrcSize = 4;
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string FourCcName(uint32_t tag) {
+  std::string out;
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((tag >> (8 * i)) & 0xff);
+    if (c >= 0x20 && c < 0x7f) {
+      out += c;
+    } else {
+      static const char* hex = "0123456789abcdef";
+      out += "\\x";
+      out += hex[(c >> 4) & 0xf];
+      out += hex[c & 0xf];
+    }
+  }
+  return out;
+}
+
+uint32_t Crc32(const void* data, size_t n) {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xffffffffu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+// ------------------------------------------------------------- writer
+
+void ArchiveWriter::WriteU8(uint8_t v) {
+  payload_.push_back(static_cast<char>(v));
+}
+
+void ArchiveWriter::WriteU32(uint32_t v) { AppendU32(&payload_, v); }
+
+void ArchiveWriter::WriteU64(uint64_t v) { AppendU64(&payload_, v); }
+
+void ArchiveWriter::WriteDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void ArchiveWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  payload_.append(s);
+}
+
+void ArchiveWriter::WriteDoubleVector(const std::vector<double>& v) {
+  WriteU64(v.size());
+  for (double x : v) WriteDouble(x);
+}
+
+void ArchiveWriter::WriteIntVector(const std::vector<int>& v) {
+  WriteU64(v.size());
+  for (int x : v) WriteI32(x);
+}
+
+void ArchiveWriter::WriteU8Vector(const std::vector<uint8_t>& v) {
+  WriteU64(v.size());
+  payload_.append(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
+void ArchiveWriter::BeginSection(uint32_t tag) {
+  WriteU32(tag);
+  open_sections_.push_back(payload_.size());
+  WriteU64(0);  // patched by EndSection
+}
+
+void ArchiveWriter::EndSection() {
+  CheckOrDie(!open_sections_.empty(), "ArchiveWriter: EndSection unbalanced");
+  const size_t at = open_sections_.back();
+  open_sections_.pop_back();
+  const uint64_t length = payload_.size() - at - 8;
+  for (int i = 0; i < 8; ++i) {
+    payload_[at + i] = static_cast<char>((length >> (8 * i)) & 0xff);
+  }
+}
+
+std::string ArchiveWriter::Bytes() const {
+  CheckOrDie(open_sections_.empty(),
+             "ArchiveWriter: Bytes() with an open section");
+  std::string out;
+  out.reserve(kHeaderSize + payload_.size() + kCrcSize);
+  out.append(kMagic, sizeof(kMagic));
+  AppendU32(&out, kArchiveFormatVersion);
+  out.append(payload_);
+  AppendU32(&out, Crc32(out.data(), out.size()));
+  return out;
+}
+
+Status ArchiveWriter::WriteFile(const std::string& path) const {
+  return WriteStringToFile(Bytes(), path);
+}
+
+// ------------------------------------------------------------- reader
+
+StatusOr<ArchiveReader> ArchiveReader::FromBytes(std::string bytes) {
+  if (bytes.size() < kHeaderSize + kCrcSize) {
+    return Status::InvalidArgument("archive: truncated (smaller than header)");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("archive: bad magic (not a PAWS archive)");
+  }
+  const uint32_t version = LoadU32(bytes.data() + 4);
+  if (version != kArchiveFormatVersion) {
+    return Status::InvalidArgument(
+        "archive: unsupported container format version " +
+        std::to_string(version) + " (expected " +
+        std::to_string(kArchiveFormatVersion) + ")");
+  }
+  const uint32_t stored_crc = LoadU32(bytes.data() + bytes.size() - kCrcSize);
+  const uint32_t actual_crc = Crc32(bytes.data(), bytes.size() - kCrcSize);
+  if (stored_crc != actual_crc) {
+    return Status::InvalidArgument("archive: CRC mismatch (corrupt file)");
+  }
+  const size_t end = bytes.size() - kCrcSize;
+  return ArchiveReader(std::move(bytes), kHeaderSize, end);
+}
+
+StatusOr<ArchiveReader> ArchiveReader::FromFile(const std::string& path) {
+  PAWS_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  return FromBytes(std::move(bytes));
+}
+
+Status ArchiveReader::Need(size_t n) const {
+  if (pos_ + n > Limit()) {
+    return Status::InvalidArgument(
+        "archive: truncated read (" + std::to_string(n) + " bytes needed, " +
+        std::to_string(Limit() - pos_) + " available)");
+  }
+  return Status::OK();
+}
+
+Status ArchiveReader::ReadCount(size_t elem_size, uint64_t* out) {
+  PAWS_RETURN_IF_ERROR(ReadU64(out));
+  if (*out > (Limit() - pos_) / elem_size) {
+    return Status::InvalidArgument(
+        "archive: container length " + std::to_string(*out) +
+        " overruns the remaining " + std::to_string(Limit() - pos_) +
+        " bytes");
+  }
+  return Status::OK();
+}
+
+Status ArchiveReader::ReadU8(uint8_t* out) {
+  PAWS_RETURN_IF_ERROR(Need(1));
+  *out = static_cast<unsigned char>(bytes_[pos_++]);
+  return Status::OK();
+}
+
+Status ArchiveReader::ReadBool(bool* out) {
+  uint8_t v = 0;
+  PAWS_RETURN_IF_ERROR(ReadU8(&v));
+  if (v > 1) {
+    return Status::InvalidArgument("archive: bool field holds " +
+                                   std::to_string(v));
+  }
+  *out = v != 0;
+  return Status::OK();
+}
+
+Status ArchiveReader::ReadU32(uint32_t* out) {
+  PAWS_RETURN_IF_ERROR(Need(4));
+  *out = LoadU32(bytes_.data() + pos_);
+  pos_ += 4;
+  return Status::OK();
+}
+
+Status ArchiveReader::ReadI32(int* out) {
+  uint32_t v = 0;
+  PAWS_RETURN_IF_ERROR(ReadU32(&v));
+  *out = static_cast<int32_t>(v);
+  return Status::OK();
+}
+
+Status ArchiveReader::ReadU64(uint64_t* out) {
+  PAWS_RETURN_IF_ERROR(Need(8));
+  *out = LoadU64(bytes_.data() + pos_);
+  pos_ += 8;
+  return Status::OK();
+}
+
+Status ArchiveReader::ReadI64(int64_t* out) {
+  uint64_t v = 0;
+  PAWS_RETURN_IF_ERROR(ReadU64(&v));
+  *out = static_cast<int64_t>(v);
+  return Status::OK();
+}
+
+Status ArchiveReader::ReadDouble(double* out) {
+  uint64_t bits = 0;
+  PAWS_RETURN_IF_ERROR(ReadU64(&bits));
+  std::memcpy(out, &bits, sizeof(*out));
+  return Status::OK();
+}
+
+Status ArchiveReader::ReadString(std::string* out) {
+  uint64_t n = 0;
+  PAWS_RETURN_IF_ERROR(ReadCount(1, &n));
+  out->assign(bytes_.data() + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ArchiveReader::ReadDoubleVector(std::vector<double>* out) {
+  uint64_t n = 0;
+  PAWS_RETURN_IF_ERROR(ReadCount(8, &n));
+  out->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    PAWS_RETURN_IF_ERROR(ReadDouble(&(*out)[i]));
+  }
+  return Status::OK();
+}
+
+Status ArchiveReader::ReadIntVector(std::vector<int>* out) {
+  uint64_t n = 0;
+  PAWS_RETURN_IF_ERROR(ReadCount(4, &n));
+  out->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    PAWS_RETURN_IF_ERROR(ReadI32(&(*out)[i]));
+  }
+  return Status::OK();
+}
+
+Status ArchiveReader::ReadU8Vector(std::vector<uint8_t>* out) {
+  uint64_t n = 0;
+  PAWS_RETURN_IF_ERROR(ReadCount(1, &n));
+  out->assign(bytes_.data() + pos_, bytes_.data() + pos_ + n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ArchiveReader::EnterAnySection(uint32_t* tag) {
+  PAWS_RETURN_IF_ERROR(ReadU32(tag));
+  uint64_t length = 0;
+  PAWS_RETURN_IF_ERROR(ReadCount(1, &length));
+  section_ends_.push_back(pos_ + length);
+  return Status::OK();
+}
+
+Status ArchiveReader::EnterSection(uint32_t expected_tag) {
+  uint32_t tag = 0;
+  PAWS_RETURN_IF_ERROR(EnterAnySection(&tag));
+  if (tag != expected_tag) {
+    section_ends_.pop_back();
+    return Status::InvalidArgument("archive: expected section '" +
+                                   FourCcName(expected_tag) + "', found '" +
+                                   FourCcName(tag) + "'");
+  }
+  return Status::OK();
+}
+
+Status ArchiveReader::LeaveSection() {
+  CheckOrDie(!section_ends_.empty(), "ArchiveReader: LeaveSection unbalanced");
+  const size_t sec_end = section_ends_.back();
+  if (pos_ != sec_end) {
+    return Status::InvalidArgument(
+        "archive: section not consumed exactly (" +
+        std::to_string(sec_end - pos_) + " bytes left over)");
+  }
+  section_ends_.pop_back();
+  return Status::OK();
+}
+
+Status ArchiveReader::ExpectEnd() const {
+  if (!section_ends_.empty() || pos_ != end_) {
+    return Status::InvalidArgument("archive: trailing bytes after payload");
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------- file IO
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  if (!f && !f.eof()) return Status::Internal("failed reading: " + path);
+  return std::move(buffer).str();
+}
+
+Status WriteStringToFile(const std::string& data, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::Internal("cannot open for writing: " + path);
+  f.write(data.data(), static_cast<std::streamsize>(data.size()));
+  f.flush();
+  if (!f) return Status::Internal("failed writing: " + path);
+  return Status::OK();
+}
+
+}  // namespace paws

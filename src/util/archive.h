@@ -1,0 +1,162 @@
+#ifndef PAWS_UTIL_ARCHIVE_H_
+#define PAWS_UTIL_ARCHIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace paws {
+
+/// Versioned, endian-safe binary archive — the one encoding layer shared by
+/// model snapshots and dataset files. Design goals, in order:
+///
+///  1. *Bit-exact round trips.* Doubles are stored as their IEEE-754 bit
+///     pattern, so a loaded model predicts bit-identically to the one that
+///     was saved.
+///  2. *Corruption is a Status, never UB.* Every read is bounds-checked
+///     against the payload and the innermost open section; the whole file
+///     carries a CRC-32 checked before any field is parsed; containers are
+///     length-prefixed and their lengths validated against the remaining
+///     bytes before any allocation.
+///  3. *Versioned evolution.* The container header carries a format
+///     version, and each serialized object writes its own schema version
+///     inside its section, so old readers reject new files cleanly and new
+///     readers can keep loading old ones.
+///
+/// Wire format (all integers little-endian):
+///
+///   bytes 0..3   magic "PAWS"
+///   bytes 4..7   container format version (u32)
+///   bytes 8..n-5 payload (sections and fields, see below)
+///   last 4 bytes CRC-32 of everything before them
+///
+/// Sections are `tag (u32 fourcc) + payload length (u64) + payload`; they
+/// nest, and the reader verifies both the tag and that the section was
+/// consumed exactly. Strings and vectors are `count (u64) + elements`.
+
+/// Container format version written into every archive header. Bump when
+/// the *container* layout changes (magic/CRC/section framing); per-object
+/// schema changes bump that object's own version field instead.
+constexpr uint32_t kArchiveFormatVersion = 1;
+
+/// Packs a four-character section/type tag, e.g. FourCc("TREE").
+constexpr uint32_t FourCc(const char (&s)[5]) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(s[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(s[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(s[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(s[3])) << 24;
+}
+
+/// Human-readable form of a fourcc tag for error messages, e.g. "TREE"
+/// (non-printable bytes rendered as hex).
+std::string FourCcName(uint32_t tag);
+
+/// CRC-32 (IEEE 802.3 polynomial) of `n` bytes — the archive's trailer
+/// checksum, exposed for callers that checksum auxiliary payloads.
+uint32_t Crc32(const void* data, size_t n);
+
+/// Append-only archive builder. Write fields in order, bracket logical
+/// objects with Begin/EndSection, then Bytes()/WriteFile() to emit the
+/// framed, checksummed archive. Writing cannot fail until file IO.
+class ArchiveWriter {
+ public:
+  ArchiveWriter() = default;
+
+  void WriteU8(uint8_t v);
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+  void WriteU32(uint32_t v);
+  void WriteI32(int32_t v) { WriteU32(static_cast<uint32_t>(v)); }
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+  /// IEEE-754 bit pattern; round trips NaNs and signed zeros exactly.
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);
+  void WriteDoubleVector(const std::vector<double>& v);
+  void WriteIntVector(const std::vector<int>& v);
+  void WriteU8Vector(const std::vector<uint8_t>& v);
+
+  /// Opens a `tag`-labelled section; its byte length is patched in by the
+  /// matching EndSection. Sections nest.
+  void BeginSection(uint32_t tag);
+  void EndSection();
+
+  /// The complete archive (header + payload + CRC). All sections must be
+  /// closed. The writer remains usable (Bytes is a pure serialization).
+  std::string Bytes() const;
+
+  /// Writes Bytes() to `path` (created or truncated, binary).
+  Status WriteFile(const std::string& path) const;
+
+  size_t payload_size() const { return payload_.size(); }
+
+ private:
+  std::string payload_;
+  std::vector<size_t> open_sections_;  // offsets of length placeholders
+};
+
+/// Cursor over a validated archive. Construction verifies magic, container
+/// version and CRC; every Read* checks bounds against the payload and the
+/// innermost open section, so malformed input surfaces as Status.
+class ArchiveReader {
+ public:
+  /// Parses and validates an archive from memory (takes ownership of the
+  /// buffer; reads never copy it again).
+  static StatusOr<ArchiveReader> FromBytes(std::string bytes);
+  /// Reads and validates an archive file.
+  static StatusOr<ArchiveReader> FromFile(const std::string& path);
+
+  Status ReadU8(uint8_t* out);
+  Status ReadBool(bool* out);
+  Status ReadU32(uint32_t* out);
+  Status ReadI32(int* out);
+  Status ReadU64(uint64_t* out);
+  Status ReadI64(int64_t* out);
+  Status ReadDouble(double* out);
+  Status ReadString(std::string* out);
+  Status ReadDoubleVector(std::vector<double>* out);
+  Status ReadIntVector(std::vector<int>* out);
+  Status ReadU8Vector(std::vector<uint8_t>* out);
+
+  /// Enters a section, failing if the tag is not `expected_tag` or the
+  /// recorded length overruns the enclosing scope.
+  Status EnterSection(uint32_t expected_tag);
+  /// Enters whatever section comes next and reports its tag — the
+  /// polymorphic-load entry point (read tag, dispatch on it).
+  Status EnterAnySection(uint32_t* tag);
+  /// Leaves the innermost section, failing unless it was consumed exactly.
+  Status LeaveSection();
+
+  /// OK iff the payload was consumed exactly (no trailing garbage).
+  Status ExpectEnd() const;
+
+  /// Bytes left in the innermost open section (or the whole payload).
+  size_t remaining() const { return Limit() - pos_; }
+
+ private:
+  explicit ArchiveReader(std::string bytes, size_t payload_begin,
+                         size_t payload_end)
+      : bytes_(std::move(bytes)), pos_(payload_begin), end_(payload_end) {}
+
+  size_t Limit() const {
+    return section_ends_.empty() ? end_ : section_ends_.back();
+  }
+  /// Fails with InvalidArgument unless `n` more bytes fit in scope.
+  Status Need(size_t n) const;
+  /// Reads a u64 element count and validates count * elem_size bytes fit.
+  Status ReadCount(size_t elem_size, uint64_t* out);
+
+  std::string bytes_;
+  size_t pos_ = 0;
+  size_t end_ = 0;
+  std::vector<size_t> section_ends_;
+};
+
+/// Whole-file IO shared by the archive and the CSV dataset codecs.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+Status WriteStringToFile(const std::string& data, const std::string& path);
+
+}  // namespace paws
+
+#endif  // PAWS_UTIL_ARCHIVE_H_

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "util/archive.h"
 #include "util/status.h"
 
 namespace paws {
@@ -43,6 +44,10 @@ class Matrix {
 
   /// this * v. Requires cols() == v.size().
   std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+
+  /// Bit-exact serialization (shape + row-major payload).
+  void Save(ArchiveWriter* ar) const;
+  static StatusOr<Matrix> Load(ArchiveReader* ar);
 
  private:
   int rows_;

@@ -1,0 +1,384 @@
+// Round-trip property tests for the versioned snapshot layer: for every
+// classifier type and for a full pipeline snapshot, save -> load ->
+// PredictBatch must be bit-identical to the in-memory original; effort
+// curves, risk maps and park geometry must round trip exactly; malformed
+// (corrupt / truncated / wrong-version) archives must fail with Status.
+#include "core/snapshot.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/pipeline.h"
+#include "gtest/gtest.h"
+#include "ml/bagging.h"
+#include "ml/decision_tree.h"
+#include "ml/gaussian_process.h"
+#include "ml/linear_svm.h"
+#include "util/rng.h"
+
+namespace paws {
+namespace {
+
+// Noisy two-feature data with an effort channel (iWare qualification input).
+Dataset MakeData(int n, Rng* rng) {
+  Dataset d(2);
+  for (int i = 0; i < n; ++i) {
+    const double x0 = rng->Uniform(-1.0, 1.0);
+    const double x1 = rng->Uniform(-1.0, 1.0);
+    const int y = (x0 + 0.3 * x1 + rng->Uniform(-0.4, 0.4)) > 0 ? 1 : 0;
+    d.AddRow({x0, x1}, y, rng->Uniform(0.0, 4.0));
+  }
+  return d;
+}
+
+std::unique_ptr<Classifier> MakeLearner(const std::string& kind) {
+  if (kind == "tree") return std::make_unique<DecisionTree>();
+  if (kind == "svm") return std::make_unique<LinearSvm>();
+  if (kind == "gp") {
+    GaussianProcessConfig gp;
+    gp.max_points = 60;
+    return std::make_unique<GaussianProcessClassifier>(gp);
+  }
+  // Bagging over GPs also exercises nested polymorphic loading with a
+  // variance-providing member.
+  BaggingConfig bagging;
+  bagging.num_estimators = 3;
+  GaussianProcessConfig gp;
+  gp.max_points = 40;
+  return std::make_unique<BaggingClassifier>(
+      std::make_unique<GaussianProcessClassifier>(gp), bagging);
+}
+
+class ClassifierRoundTripTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(ClassifierRoundTripTest, SaveLoadPredictBatchBitIdentical) {
+  Rng rng(11);
+  const Dataset train = MakeData(200, &rng);
+  const Dataset test = MakeData(48, &rng);
+  auto model = MakeLearner(GetParam());
+  ASSERT_TRUE(model->Fit(train, &rng).ok());
+
+  ArchiveWriter writer;
+  SaveClassifier(*model, &writer);
+  auto reader = ArchiveReader::FromBytes(writer.Bytes());
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  auto loaded = LoadClassifier(&*reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(reader->ExpectEnd().ok());
+  EXPECT_EQ((*loaded)->ArchiveTag(), model->ArchiveTag());
+
+  std::vector<Prediction> want, got;
+  model->PredictBatchWithVariance(test.FeaturesView(), &want);
+  (*loaded)->PredictBatchWithVariance(test.FeaturesView(), &got);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    // EXPECT_EQ, not EXPECT_NEAR: serialization stores bit patterns, so a
+    // loaded model must reproduce the original to the last ulp.
+    EXPECT_EQ(got[i].prob, want[i].prob);
+    EXPECT_EQ(got[i].variance, want[i].variance);
+  }
+}
+
+TEST_P(ClassifierRoundTripTest, UntrainedPrototypeRoundTripsAndRefits) {
+  auto proto = MakeLearner(GetParam());
+  ArchiveWriter writer;
+  SaveClassifier(*proto, &writer);
+  auto reader = ArchiveReader::FromBytes(writer.Bytes());
+  ASSERT_TRUE(reader.ok());
+  auto loaded = LoadClassifier(&*reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  // The loaded prototype keeps its config: fitting it and the original on
+  // identical data and RNG streams must give bit-identical models.
+  Rng data_rng(3);
+  const Dataset train = MakeData(150, &data_rng);
+  Rng fit_a(5), fit_b(5);
+  ASSERT_TRUE(proto->Fit(train, &fit_a).ok());
+  ASSERT_TRUE((*loaded)->Fit(train, &fit_b).ok());
+  std::vector<double> want, got;
+  proto->PredictBatch(train.FeaturesView(), &want);
+  (*loaded)->PredictBatch(train.FeaturesView(), &got);
+  EXPECT_EQ(want, got);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLearners, ClassifierRoundTripTest,
+                         ::testing::Values("tree", "svm", "gp", "bagging"),
+                         [](const auto& info) { return info.param; });
+
+TEST(ClassifierRoundTripTest, UnknownTagFails) {
+  ArchiveWriter writer;
+  writer.BeginSection(FourCc("NOPE"));
+  writer.WriteU32(1);
+  writer.EndSection();
+  auto reader = ArchiveReader::FromBytes(writer.Bytes());
+  ASSERT_TRUE(reader.ok());
+  const auto loaded = LoadClassifier(&*reader);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("NOPE"), std::string::npos);
+}
+
+TEST(ClassifierRoundTripTest, WrongSchemaVersionFails) {
+  ArchiveWriter writer;
+  writer.BeginSection(DecisionTree::kArchiveTag);
+  writer.WriteU32(999);  // future schema version
+  writer.EndSection();
+  auto reader = ArchiveReader::FromBytes(writer.Bytes());
+  ASSERT_TRUE(reader.ok());
+  const auto loaded = LoadClassifier(&*reader);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST(ClassifierRoundTripTest, MalformedTreeNodesFail) {
+  // A node whose child points backwards (cycle) must be rejected.
+  ArchiveWriter writer;
+  writer.BeginSection(DecisionTree::kArchiveTag);
+  writer.WriteU32(1);                     // schema version
+  for (int i = 0; i < 4; ++i) writer.WriteI32(0);  // config
+  writer.WriteU64(1);                     // one node
+  writer.WriteI32(0);                     // feature
+  writer.WriteDouble(0.5);                // threshold
+  writer.WriteI32(0);                     // left -> itself
+  writer.WriteI32(0);                     // right -> itself
+  writer.WriteDouble(0.5);                // prob
+  writer.EndSection();
+  auto reader = ArchiveReader::FromBytes(writer.Bytes());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(LoadClassifier(&*reader).ok());
+}
+
+TEST(IWareRoundTripTest, EnsembleRoundTripsBitIdentical) {
+  Rng rng(17);
+  const Dataset train = MakeData(300, &rng);
+  const Dataset test = MakeData(40, &rng);
+  IWareConfig config;
+  config.num_thresholds = 4;
+  config.cv_folds = 2;
+  config.weak_learner = WeakLearnerKind::kGaussianProcessBagging;
+  config.bagging.num_estimators = 3;
+  config.gp.max_points = 40;
+  IWareEnsemble model(config);
+  ASSERT_TRUE(model.Fit(train, &rng).ok());
+
+  ArchiveWriter writer;
+  model.Save(&writer);
+  auto reader = ArchiveReader::FromBytes(writer.Bytes());
+  ASSERT_TRUE(reader.ok());
+  auto loaded = IWareEnsemble::Load(&*reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(reader->ExpectEnd().ok());
+
+  EXPECT_EQ(loaded->thresholds(), model.thresholds());
+  EXPECT_EQ(loaded->weights(), model.weights());
+  EXPECT_EQ(loaded->num_learners(), model.num_learners());
+  EXPECT_EQ(loaded->config().weak_learner, model.config().weak_learner);
+
+  // Shared-effort batch, per-row-efforts batch, and effort-curve tables
+  // must all be bit-identical to the in-memory original.
+  std::vector<Prediction> want, got;
+  model.PredictBatch(test.FeaturesView(), 2.0, &want);
+  loaded->PredictBatch(test.FeaturesView(), 2.0, &got);
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].prob, want[i].prob);
+    EXPECT_EQ(got[i].variance, want[i].variance);
+  }
+  model.PredictBatch(test.FeaturesView(), test.efforts(), &want);
+  loaded->PredictBatch(test.FeaturesView(), test.efforts(), &got);
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].prob, want[i].prob);
+    EXPECT_EQ(got[i].variance, want[i].variance);
+  }
+  const std::vector<double> grid = UniformEffortGrid(0.0, 4.0, 8);
+  const EffortCurveTable want_curves =
+      model.PredictEffortCurves(test.FeaturesView(), grid);
+  const EffortCurveTable got_curves =
+      loaded->PredictEffortCurves(test.FeaturesView(), grid);
+  EXPECT_EQ(got_curves.prob, want_curves.prob);
+  EXPECT_EQ(got_curves.variance, want_curves.variance);
+  EXPECT_EQ(got_curves.qualified_count, want_curves.qualified_count);
+}
+
+TEST(EffortCurveRoundTripTest, TableRoundTripsExactly) {
+  EffortCurveTable table;
+  table.effort_grid = {0.0, 1.0, 2.5};
+  table.qualified_count = {1, 2, 3};
+  table.num_cells = 2;
+  table.prob = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  table.variance = {0.01, 0.02, 0.03, 0.04, 0.05, 0.06};
+  ArchiveWriter writer;
+  SaveEffortCurveTable(table, &writer);
+  auto reader = ArchiveReader::FromBytes(writer.Bytes());
+  ASSERT_TRUE(reader.ok());
+  auto loaded = LoadEffortCurveTable(&*reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->effort_grid, table.effort_grid);
+  EXPECT_EQ(loaded->qualified_count, table.qualified_count);
+  EXPECT_EQ(loaded->num_cells, table.num_cells);
+  EXPECT_EQ(loaded->prob, table.prob);
+  EXPECT_EQ(loaded->variance, table.variance);
+}
+
+TEST(EffortCurveRoundTripTest, ShapeMismatchFails) {
+  EffortCurveTable table;
+  table.effort_grid = {0.0, 1.0};
+  table.num_cells = 3;        // but only 2 prob entries below
+  table.prob = {0.1, 0.2};
+  table.variance = {0.0, 0.0};
+  ArchiveWriter writer;
+  SaveEffortCurveTable(table, &writer);
+  auto reader = ArchiveReader::FromBytes(writer.Bytes());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(LoadEffortCurveTable(&*reader).ok());
+}
+
+// One trained pipeline shared by the snapshot tests (training dominates
+// the suite's cost).
+class PipelineSnapshotTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Scenario s = MakeScenario(ParkPreset::kMfnp, 21);
+    s.park.width = 30;
+    s.park.height = 26;
+    s.num_years = 4;
+    IWareConfig cfg;
+    cfg.num_thresholds = 3;
+    cfg.cv_folds = 2;
+    cfg.weak_learner = WeakLearnerKind::kGaussianProcessBagging;
+    cfg.bagging.num_estimators = 3;
+    cfg.gp.max_points = 50;
+    pipeline_ = new PawsPipeline(SimulateScenario(s, 7), cfg);
+    Rng rng(8);
+    ASSERT_TRUE(pipeline_->Train(&rng).ok());
+    ArchiveWriter writer;
+    pipeline_->SaveModel(&writer);
+    bytes_ = new std::string(writer.Bytes());
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete bytes_;
+    pipeline_ = nullptr;
+    bytes_ = nullptr;
+  }
+
+  static PawsPipeline* pipeline_;
+  static std::string* bytes_;
+};
+
+PawsPipeline* PipelineSnapshotTest::pipeline_ = nullptr;
+std::string* PipelineSnapshotTest::bytes_ = nullptr;
+
+TEST_F(PipelineSnapshotTest, LoadedSnapshotServesBitIdenticalRiskMaps) {
+  auto reader = ArchiveReader::FromBytes(*bytes_);
+  ASSERT_TRUE(reader.ok());
+  auto snapshot = ModelSnapshot::Load(&*reader);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  EXPECT_EQ(snapshot->park().num_cells(),
+            pipeline_->data().park.num_cells());
+  EXPECT_EQ(snapshot->park().name(), pipeline_->data().park.name());
+
+  const RiskMaps want = pipeline_->PredictRisk(2.0);
+  const RiskMaps got = snapshot->PredictRisk(2.0);
+  EXPECT_EQ(got.risk, want.risk);          // bit-identical, not approximate
+  EXPECT_EQ(got.variance, want.variance);
+}
+
+TEST_F(PipelineSnapshotTest, LoadedSnapshotPlansPatrols) {
+  auto reader = ArchiveReader::FromBytes(*bytes_);
+  ASSERT_TRUE(reader.ok());
+  auto snapshot = ModelSnapshot::Load(&*reader);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  PlannerConfig planner;
+  planner.horizon = 6;
+  planner.num_patrols = 2;
+  planner.pwl_segments = 5;
+  planner.milp.max_nodes = 10;
+  RobustParams robust;
+  const auto want = pipeline_->PlanForPost(0, planner, robust);
+  const auto got = snapshot->PlanForPost(0, planner, robust);
+  ASSERT_TRUE(want.ok()) << want.status();
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->coverage, want->coverage);
+  EXPECT_EQ(got->objective, want->objective);
+}
+
+TEST_F(PipelineSnapshotTest, FileRoundTripAndSaveModelPath) {
+  const std::string path = "snapshot_test_model.paws";
+  ASSERT_TRUE(pipeline_->SaveModel(path).ok());
+  auto snapshot = PawsPipeline::LoadModel(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  const RiskMaps want = pipeline_->PredictRisk(3.0);
+  const RiskMaps got = snapshot->PredictRisk(3.0);
+  EXPECT_EQ(got.risk, want.risk);
+  std::remove(path.c_str());
+}
+
+TEST_F(PipelineSnapshotTest, EffortCurvesMatchThroughSnapshot) {
+  auto reader = ArchiveReader::FromBytes(*bytes_);
+  ASSERT_TRUE(reader.ok());
+  auto snapshot = ModelSnapshot::Load(&*reader);
+  ASSERT_TRUE(snapshot.ok());
+  std::vector<int> cells;
+  for (int id = 0; id < 10; ++id) cells.push_back(id);
+  const std::vector<double> grid = UniformEffortGrid(0.0, 5.0, 6);
+  const EffortCurveTable want = PredictCellEffortCurves(
+      pipeline_->model(), pipeline_->data().park, pipeline_->data().history,
+      pipeline_->test_t_begin(), cells, grid);
+  const EffortCurveTable got = snapshot->PredictCellCurves(cells, grid);
+  EXPECT_EQ(got.prob, want.prob);
+  EXPECT_EQ(got.variance, want.variance);
+}
+
+TEST_F(PipelineSnapshotTest, CorruptAndTruncatedSnapshotsFailWithStatus) {
+  // Every truncation prefix and a sweep of single-byte corruptions must be
+  // rejected cleanly (CRC or structural validation), never crash.
+  for (size_t n = 0; n < bytes_->size(); n += 997) {
+    EXPECT_FALSE(ArchiveReader::FromBytes(bytes_->substr(0, n)).ok());
+  }
+  for (size_t i = 8; i < bytes_->size(); i += 4099) {
+    std::string bad = *bytes_;
+    bad[i] = static_cast<char>(bad[i] ^ 0xff);
+    auto reader = ArchiveReader::FromBytes(bad);
+    if (!reader.ok()) continue;  // CRC caught it
+    EXPECT_FALSE(ModelSnapshot::Load(&*reader).ok()) << "byte " << i;
+  }
+}
+
+TEST_F(PipelineSnapshotTest, RiskMapsRoundTrip) {
+  const RiskMaps maps = pipeline_->PredictRisk(1.5);
+  ArchiveWriter writer;
+  SaveRiskMaps(maps, &writer);
+  auto reader = ArchiveReader::FromBytes(writer.Bytes());
+  ASSERT_TRUE(reader.ok());
+  auto loaded = LoadRiskMaps(&*reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->risk, maps.risk);
+  EXPECT_EQ(loaded->variance, maps.variance);
+  EXPECT_EQ(loaded->assumed_effort, maps.assumed_effort);
+}
+
+TEST_F(PipelineSnapshotTest, ParkGeometryRoundTripsExactly) {
+  const Park& park = pipeline_->data().park;
+  ArchiveWriter writer;
+  SavePark(park, &writer);
+  auto reader = ArchiveReader::FromBytes(writer.Bytes());
+  ASSERT_TRUE(reader.ok());
+  auto loaded = LoadPark(&*reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->name(), park.name());
+  EXPECT_EQ(loaded->num_cells(), park.num_cells());
+  EXPECT_EQ(loaded->cell_indices(), park.cell_indices());
+  EXPECT_EQ(loaded->feature_names(), park.feature_names());
+  ASSERT_EQ(loaded->num_features(), park.num_features());
+  for (int f = 0; f < park.num_features(); ++f) {
+    EXPECT_EQ(loaded->feature(f).data(), park.feature(f).data());
+  }
+  ASSERT_EQ(loaded->patrol_posts().size(), park.patrol_posts().size());
+  for (size_t p = 0; p < park.patrol_posts().size(); ++p) {
+    EXPECT_EQ(loaded->patrol_posts()[p], park.patrol_posts()[p]);
+  }
+}
+
+}  // namespace
+}  // namespace paws
