@@ -3,11 +3,15 @@
 // convergence of the robust solution's utility U_{beta=1}(C_{beta=1}) with
 // increasing segments (paper: converges by ~20-25 segments). Also measures
 // the serving hot path: batched risk-map / effort-curve prediction vs the
-// legacy cell-at-a-time loop, and thread scaling (1 thread vs the hardware
-// default) for bagging training and effort-curve tabulation.
+// legacy cell-at-a-time loop, the compiled-forest (flat SoA) serving layer
+// vs the reference virtual-dispatch path on a DTB ensemble, thread scaling
+// (1 thread vs the hardware default), and snapshot save/load economics.
 //
 // `--smoke` runs a tiny-grid version of every report and skips the
 // google-benchmark sweep — CI uses it to catch benchmark bit-rot.
+// `--json <path>` additionally emits every reported number as a
+// machine-readable JSON document (schema documented in README under
+// "BENCH_fig9.json") so the perf trajectory can be tracked across PRs.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -16,6 +20,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "core/pipeline.h"
@@ -28,6 +33,90 @@ using namespace paws;
 // Shrinks fixtures so the whole binary finishes in CI-smoke time.
 bool g_smoke = false;
 
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// Minimum wall time over `reps` runs — the standard way to de-noise a
+// short benchmark on a shared machine.
+template <typename Fn>
+double MinMs(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = Clock::now();
+    fn();
+    best = std::min(best, MsSince(t0));
+  }
+  return best;
+}
+
+// Minimal ordered JSON emitter for the --json report: one top-level
+// object of (possibly nested) sections, numbers formatted round-trip
+// exactly, non-finite values emitted as null so the document always
+// parses.
+class JsonWriter {
+ public:
+  void Begin(const std::string& key) {
+    Comma();
+    body_ += Quote(key) + ":{";
+    fresh_ = true;
+  }
+  void End() {
+    body_ += "}";
+    fresh_ = false;
+  }
+  void Add(const std::string& key, double value) {
+    Comma();
+    char buf[64];
+    if (std::isfinite(value)) {
+      std::snprintf(buf, sizeof(buf), "%.17g", value);
+    } else {
+      std::snprintf(buf, sizeof(buf), "null");
+    }
+    body_ += Quote(key) + ":" + buf;
+  }
+  void Add(const std::string& key, int value) {
+    Comma();
+    body_ += Quote(key) + ":" + std::to_string(value);
+  }
+  void Add(const std::string& key, bool value) {
+    Comma();
+    body_ += Quote(key) + ":" + (value ? "true" : "false");
+  }
+  void Add(const std::string& key, const std::string& value) {
+    Comma();
+    body_ += Quote(key) + ":" + Quote(value);
+  }
+  // Without this overload a string literal would convert to bool (the
+  // standard conversion beats std::string's user-defined one) and emit
+  // `"key":true`.
+  void Add(const std::string& key, const char* value) {
+    Add(key, std::string(value));
+  }
+
+  std::string ToString() const { return "{" + body_ + "}\n"; }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  }
+  void Comma() {
+    if (!fresh_ && !body_.empty() && body_.back() != '{') body_ += ",";
+    fresh_ = false;
+  }
+
+  std::string body_;
+  bool fresh_ = false;
+};
+
 struct ParkFixture {
   PlanningGraph graph;
   std::vector<double> cell_rows;  // flat feature rows for graph cells
@@ -36,13 +125,10 @@ struct ParkFixture {
   std::unique_ptr<PawsPipeline> pipeline;
 };
 
-// Builds (once per park) a trained model and a planning context.
-const ParkFixture& GetFixture(ParkPreset preset) {
-  static std::map<ParkPreset, ParkFixture>* cache =
-      new std::map<ParkPreset, ParkFixture>();
-  auto it = cache->find(preset);
-  if (it != cache->end()) return it->second;
-
+// Trains a model on `preset` and assembles the shared planning context
+// (graph, flat feature rows). One construction path for every fixture so
+// the compiled-forest report measures an identically-built park.
+ParkFixture BuildFixture(ParkPreset preset, IWareConfig cfg) {
   Scenario scenario = MakeScenario(preset, 42);
   if (g_smoke) {
     scenario.park.width = 26;
@@ -50,6 +136,27 @@ const ParkFixture& GetFixture(ParkPreset preset) {
     scenario.num_years = 3;
   }
   ScenarioData data = SimulateScenario(scenario, 7);
+  ParkFixture fixture;
+  fixture.pipeline = std::make_unique<PawsPipeline>(std::move(data), cfg);
+  Rng rng(13);
+  const auto train_start = Clock::now();
+  CheckOrDie(fixture.pipeline->Train(&rng).ok(), "fig9: training failed");
+  fixture.train_ms = MsSince(train_start);
+  const Park& park = fixture.pipeline->data().park;
+  fixture.graph = BuildPlanningGraph(park, park.patrol_posts()[0], 4);
+  fixture.cell_rows = BuildCellFeatureRows(
+      park, fixture.pipeline->data().history,
+      fixture.pipeline->test_t_begin(), fixture.graph.park_cell_ids);
+  fixture.row_width = park.num_features() + 1;
+  return fixture;
+}
+
+// Builds (once per park) a trained GPB model and a planning context.
+const ParkFixture& GetFixture(ParkPreset preset) {
+  static std::map<ParkPreset, ParkFixture>* cache =
+      new std::map<ParkPreset, ParkFixture>();
+  auto it = cache->find(preset);
+  if (it != cache->end()) return it->second;
   IWareConfig cfg;
   cfg.weak_learner = WeakLearnerKind::kGaussianProcessBagging;
   cfg.num_thresholds = 4;
@@ -58,22 +165,26 @@ const ParkFixture& GetFixture(ParkPreset preset) {
   cfg.gp.max_points = 80;
   cfg.bagging.balanced =
       preset == ParkPreset::kSws || preset == ParkPreset::kSwsDry;
-  ParkFixture fixture;
-  fixture.pipeline =
-      std::make_unique<PawsPipeline>(std::move(data), cfg);
-  Rng rng(13);
-  const auto train_start = std::chrono::steady_clock::now();
-  CheckOrDie(fixture.pipeline->Train(&rng).ok(), "fig9: training failed");
-  fixture.train_ms = std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - train_start)
-                         .count();
-  const Park& park = fixture.pipeline->data().park;
-  fixture.graph = BuildPlanningGraph(park, park.patrol_posts()[0], 4);
-  fixture.cell_rows = BuildCellFeatureRows(
-      park, fixture.pipeline->data().history,
-      fixture.pipeline->test_t_begin(), fixture.graph.park_cell_ids);
-  fixture.row_width = park.num_features() + 1;
-  return cache->emplace(preset, std::move(fixture)).first->second;
+  return cache->emplace(preset, BuildFixture(preset, cfg)).first->second;
+}
+
+// The compiled-forest serving fixture: the same MFNP park served by a DTB
+// (random-forest) iWare-E ensemble — the tree-backed configuration the
+// CompiledForest flattens. Paper-scale threshold count; the trees are
+// regularized the way a production serving forest would be (shallow,
+// generous leaves), which also keeps each flattened tree L1-resident.
+const ParkFixture& GetDtbFixture() {
+  static ParkFixture* fixture = nullptr;
+  if (fixture != nullptr) return *fixture;
+  IWareConfig cfg;
+  cfg.weak_learner = WeakLearnerKind::kDecisionTreeBagging;
+  cfg.num_thresholds = 20;
+  cfg.cv_folds = 2;
+  cfg.bagging.num_estimators = 10;
+  cfg.tree.max_depth = 5;
+  cfg.tree.min_samples_leaf = 16;
+  fixture = new ParkFixture(BuildFixture(ParkPreset::kMfnp, cfg));
+  return *fixture;
 }
 
 EffortCurveTable CurvesFor(const ParkFixture& fixture, int segments,
@@ -164,24 +275,18 @@ BENCHMARK(BM_RiskMapPointwise)->Unit(benchmark::kMillisecond);
 // Reports the hot-path speedup: tabulated effort curves vs evaluating the
 // ensemble pointwise at every (cell, grid point), and batched vs pointwise
 // risk maps.
-void ReportBatchSpeedups(const ParkFixture& fixture) {
-  using Clock = std::chrono::steady_clock;
+void ReportBatchSpeedups(const ParkFixture& fixture, JsonWriter* json) {
   const auto& model = fixture.pipeline->model();
   const auto& data = fixture.pipeline->data();
   const int t = fixture.pipeline->test_t_begin();
 
   std::printf("=== Batched serving hot path vs pointwise ===\n");
 
-  auto ms_since = [](Clock::time_point start) {
-    return std::chrono::duration<double, std::milli>(Clock::now() - start)
-        .count();
-  };
-
   // Risk map (one effort level over every park cell).
   const auto t0 = Clock::now();
   const RiskMaps batch_maps =
       PredictRiskMap(model, data.park, data.history, t, 2.0);
-  const double batch_ms = ms_since(t0);
+  const double batch_ms = MsSince(t0);
 
   const Dataset rows = BuildPredictionRows(data.park, data.history, t, 2.0);
   const auto t1 = Clock::now();
@@ -189,7 +294,7 @@ void ReportBatchSpeedups(const ParkFixture& fixture) {
   for (int i = 0; i < rows.size(); ++i) {
     pointwise[i] = model.Predict(rows.RowVector(i), 2.0);
   }
-  const double pointwise_ms = ms_since(t1);
+  const double pointwise_ms = MsSince(t1);
   double max_diff = 0.0;
   for (int i = 0; i < rows.size(); ++i) {
     max_diff = std::max(
@@ -197,9 +302,9 @@ void ReportBatchSpeedups(const ParkFixture& fixture) {
         std::fabs(batch_maps.risk[rows.cell_id(i)] - pointwise[i].prob));
   }
   std::printf(
-      "risk map (%d cells): batch %.2f ms, pointwise %.2f ms -> "
-      "speedup %.2fx (max |diff| = %.3g)\n",
-      rows.size(), batch_ms, pointwise_ms,
+      "risk map (%d cells): batch %.2f ms (%.0f ns/cell), pointwise %.2f ms "
+      "-> speedup %.2fx (max |diff| = %.3g)\n",
+      rows.size(), batch_ms, batch_ms * 1e6 / rows.size(), pointwise_ms,
       batch_ms > 0 ? pointwise_ms / batch_ms : 0.0, max_diff);
 
   // Effort curves over the planner grid vs per-(cell, grid point) calls.
@@ -214,7 +319,7 @@ void ReportBatchSpeedups(const ParkFixture& fixture) {
   const EffortCurveTable curves = model.PredictEffortCurves(
       FeatureMatrixView::FromFlat(fixture.cell_rows, fixture.row_width),
       grid);
-  const double curves_ms = ms_since(t2);
+  const double curves_ms = MsSince(t2);
 
   const auto t3 = Clock::now();
   double sink = 0.0;
@@ -224,7 +329,7 @@ void ReportBatchSpeedups(const ParkFixture& fixture) {
                               (v + 1) * fixture.row_width);
     for (double c : grid) sink += model.Predict(x, c).prob;
   }
-  const double closure_ms = ms_since(t3);
+  const double closure_ms = MsSince(t3);
   benchmark::DoNotOptimize(sink);
   std::printf(
       "effort curves (%d cells x %d grid points): table %.2f ms, "
@@ -232,17 +337,172 @@ void ReportBatchSpeedups(const ParkFixture& fixture) {
       num_cells, static_cast<int>(grid.size()), curves_ms, closure_ms,
       curves_ms > 0 ? closure_ms / curves_ms : 0.0);
   (void)curves;
+
+  if (json != nullptr) {
+    json->Begin("risk_map");
+    json->Add("cells", rows.size());
+    json->Add("batch_ms", batch_ms);
+    json->Add("ns_per_cell", batch_ms * 1e6 / rows.size());
+    json->Add("pointwise_ms", pointwise_ms);
+    json->Add("speedup", batch_ms > 0 ? pointwise_ms / batch_ms : 0.0);
+    json->Add("max_abs_diff", max_diff);
+    json->End();
+    json->Begin("effort_curves");
+    json->Add("cells", num_cells);
+    json->Add("grid_points", static_cast<int>(grid.size()));
+    json->Add("table_ms", curves_ms);
+    json->Add("pointwise_ms", closure_ms);
+    json->Add("speedup", curves_ms > 0 ? closure_ms / curves_ms : 0.0);
+    json->End();
+  }
+}
+
+// Compiled-forest serving layer: the same DTB model served through the
+// PR-3 reference path (virtual per-member PredictBatch over pointer-ish
+// Node structs, per-call Prediction buffers) vs the flat SoA
+// CompiledForest, single-threaded. Effort-curve tables additionally
+// report the O(E*K) per-effort-level construction — scoring the qualified
+// learners once per grid level, the cost model the batch table replaced —
+// next to the one-pass reference and the score-once compiled build.
+void ReportCompiledForest(JsonWriter* json) {
+  const ParkFixture& fixture = GetDtbFixture();
+  IWareEnsemble& model = fixture.pipeline->mutable_model();
+  CheckOrDie(model.has_compiled_forest(),
+             "fig9: DTB ensemble should compile");
+  model.set_parallelism(ParallelismConfig::Serial());
+  const auto& data = fixture.pipeline->data();
+  const int t = fixture.pipeline->test_t_begin();
+  const std::vector<double> all_rows =
+      BuildCellFeatureRows(data.park, data.history, t);
+  const FeatureMatrixView cells =
+      FeatureMatrixView::FromFlat(all_rows, data.park.num_features() + 1);
+  const int n = cells.rows();
+  PlannerConfig planner;
+  planner.horizon = 8;
+  planner.num_patrols = 4;
+  const std::vector<double> grid =
+      UniformEffortGrid(0.0, PlannerEffortCap(planner), 25);
+  const int m = static_cast<int>(grid.size());
+  const int reps = g_smoke ? 15 : 7;
+  // A single smoke-sized call is only tens of microseconds — too short a
+  // timing window on a shared machine. Each rep times `iters` back-to-back
+  // calls and reports the per-call minimum.
+  const int risk_iters = std::max(1, 2000000 / std::max(1, n));
+  const int curve_iters = std::max(1, risk_iters / (2 * m));
+
+  std::printf(
+      "=== Compiled forest (flat SoA serving) vs reference, 1 thread ===\n");
+  std::printf("DTB ensemble: %d learners x %d trees, %d cells\n",
+              model.num_learners(), model.config().bagging.num_estimators, n);
+
+  // Risk-map scoring (one shared effort over every park cell).
+  std::vector<Prediction> compiled_preds, reference_preds;
+  model.set_compiled_serving(true);
+  const double risk_compiled_ms =
+      MinMs(reps, [&] {
+        for (int k = 0; k < risk_iters; ++k) {
+          model.PredictBatch(cells, 2.0, &compiled_preds);
+        }
+      }) /
+      risk_iters;
+  const EffortCurveTable curves_compiled =
+      model.PredictEffortCurves(cells, grid);
+  const double curves_compiled_ms =
+      MinMs(reps, [&] {
+        for (int k = 0; k < curve_iters; ++k) {
+          model.PredictEffortCurves(cells, grid);
+        }
+      }) /
+      curve_iters;
+  model.set_compiled_serving(false);
+  const double risk_reference_ms =
+      MinMs(reps, [&] {
+        for (int k = 0; k < risk_iters; ++k) {
+          model.PredictBatch(cells, 2.0, &reference_preds);
+        }
+      }) /
+      risk_iters;
+  const EffortCurveTable curves_reference =
+      model.PredictEffortCurves(cells, grid);
+  const double curves_reference_ms =
+      MinMs(reps, [&] {
+        for (int k = 0; k < curve_iters; ++k) {
+          model.PredictEffortCurves(cells, grid);
+        }
+      }) /
+      curve_iters;
+  // The O(E*K) construction the one-pass table replaced: re-score the
+  // qualified learners once per effort level via the reference batch path.
+  std::vector<Prediction> level;
+  const double curves_per_level_ms = MinMs(reps, [&] {
+    for (double effort : grid) model.PredictBatch(cells, effort, &level);
+  });
+  model.set_compiled_serving(true);
+
+  const bool risk_identical =
+      std::equal(compiled_preds.begin(), compiled_preds.end(),
+                 reference_preds.begin(), reference_preds.end(),
+                 [](const Prediction& a, const Prediction& b) {
+                   return a.prob == b.prob && a.variance == b.variance;
+                 });
+  const bool curves_identical =
+      curves_compiled.prob == curves_reference.prob &&
+      curves_compiled.variance == curves_reference.variance;
+
+  const double risk_speedup =
+      risk_compiled_ms > 0 ? risk_reference_ms / risk_compiled_ms : 0.0;
+  const double curves_speedup_ref =
+      curves_compiled_ms > 0 ? curves_reference_ms / curves_compiled_ms : 0.0;
+  const double curves_speedup_level =
+      curves_compiled_ms > 0 ? curves_per_level_ms / curves_compiled_ms : 0.0;
+  std::printf(
+      "risk-map scoring (%d cells): reference %.2f ms (%.0f ns/cell), "
+      "compiled %.2f ms (%.0f ns/cell) -> speedup %.2fx (outputs %s)\n",
+      n, risk_reference_ms, risk_reference_ms * 1e6 / n, risk_compiled_ms,
+      risk_compiled_ms * 1e6 / n, risk_speedup,
+      risk_identical ? "bit-identical" : "DIFFER");
+  std::printf(
+      "effort-curve table (%d cells x %d grid points):\n"
+      "  per-level scoring (O(E*K) sweeps) %.2f ms\n"
+      "  one-pass reference                %.2f ms\n"
+      "  compiled score-once               %.2f ms\n"
+      "  -> speedup %.2fx vs per-level, %.2fx vs one-pass reference "
+      "(tables %s)\n\n",
+      n, m, curves_per_level_ms, curves_reference_ms, curves_compiled_ms,
+      curves_speedup_level, curves_speedup_ref,
+      curves_identical ? "bit-identical" : "DIFFER");
+
+  if (json != nullptr) {
+    json->Begin("compiled_forest");
+    json->Add("learners", model.num_learners());
+    json->Add("trees_per_learner", model.config().bagging.num_estimators);
+    json->Begin("risk_map");
+    json->Add("cells", n);
+    json->Add("reference_ms", risk_reference_ms);
+    json->Add("compiled_ms", risk_compiled_ms);
+    json->Add("reference_ns_per_cell", risk_reference_ms * 1e6 / n);
+    json->Add("compiled_ns_per_cell", risk_compiled_ms * 1e6 / n);
+    json->Add("speedup", risk_speedup);
+    json->Add("bit_identical", risk_identical);
+    json->End();
+    json->Begin("effort_curves");
+    json->Add("cells", n);
+    json->Add("grid_points", m);
+    json->Add("per_level_ms", curves_per_level_ms);
+    json->Add("reference_ms", curves_reference_ms);
+    json->Add("compiled_ms", curves_compiled_ms);
+    json->Add("speedup_vs_per_level", curves_speedup_level);
+    json->Add("speedup_vs_reference", curves_speedup_ref);
+    json->Add("bit_identical", curves_identical);
+    json->End();
+    json->End();
+  }
 }
 
 // Thread scaling: identical training / tabulation work pinned to 1 thread
 // vs the hardware default. Outputs are bit-identical by design, so the
 // report also cross-checks that while it measures wall time.
-void ReportThreadScaling(const ParkFixture& fixture) {
-  using Clock = std::chrono::steady_clock;
-  auto ms_since = [](Clock::time_point start) {
-    return std::chrono::duration<double, std::milli>(Clock::now() - start)
-        .count();
-  };
+void ReportThreadScaling(const ParkFixture& fixture, JsonWriter* json) {
   const int hw = ParallelismConfig{0}.ResolveNumThreads();
   std::printf("=== Thread scaling: 1 thread vs %d ===\n", hw);
 
@@ -260,7 +520,7 @@ void ReportThreadScaling(const ParkFixture& fixture) {
     Rng rng(99);
     const auto t0 = Clock::now();
     CheckOrDie(model.Fit(train, &rng).ok(), "thread-scaling fit failed");
-    *out_ms = ms_since(t0);
+    *out_ms = MsSince(t0);
     std::vector<double> probs;
     model.PredictBatch(train.FeaturesView(), &probs);
     return probs;
@@ -268,12 +528,13 @@ void ReportThreadScaling(const ParkFixture& fixture) {
   double fit1_ms = 0.0, fitn_ms = 0.0;
   const std::vector<double> probs1 = train_bagger(1, &fit1_ms);
   const std::vector<double> probsn = train_bagger(0, &fitn_ms);
+  const bool fit_identical = probs1 == probsn;
   std::printf(
       "bagging training (%d members, %d rows): 1 thread %.2f ms, "
       "%d threads %.2f ms -> speedup %.2fx (outputs %s)\n",
       bag.num_estimators, train.size(), fit1_ms, hw, fitn_ms,
       fitn_ms > 0 ? fit1_ms / fitn_ms : 0.0,
-      probs1 == probsn ? "bit-identical" : "DIFFER");
+      fit_identical ? "bit-identical" : "DIFFER");
 
   // Effort-curve tabulation over the planner grid.
   PlannerConfig planner;
@@ -287,19 +548,33 @@ void ReportThreadScaling(const ParkFixture& fixture) {
   model.set_parallelism(ParallelismConfig::Serial());
   const auto t1 = Clock::now();
   const EffortCurveTable curves1 = model.PredictEffortCurves(cells, grid);
-  const double curves1_ms = ms_since(t1);
+  const double curves1_ms = MsSince(t1);
   model.set_parallelism(ParallelismConfig{});
   const auto tn = Clock::now();
   const EffortCurveTable curvesn = model.PredictEffortCurves(cells, grid);
-  const double curvesn_ms = ms_since(tn);
+  const double curvesn_ms = MsSince(tn);
+  const bool curves_identical =
+      curves1.prob == curvesn.prob && curves1.variance == curvesn.variance;
   std::printf(
       "effort-curve tabulation (%d cells x %d grid points): 1 thread "
       "%.2f ms, %d threads %.2f ms -> speedup %.2fx (tables %s)\n\n",
       curves1.num_cells, curves1.num_points(), curves1_ms, hw, curvesn_ms,
       curvesn_ms > 0 ? curves1_ms / curvesn_ms : 0.0,
-      curves1.prob == curvesn.prob && curves1.variance == curvesn.variance
-          ? "bit-identical"
-          : "DIFFER");
+      curves_identical ? "bit-identical" : "DIFFER");
+
+  if (json != nullptr) {
+    json->Begin("thread_scaling");
+    json->Add("hardware_threads", hw);
+    json->Add("bagging_fit_1t_ms", fit1_ms);
+    json->Add("bagging_fit_nt_ms", fitn_ms);
+    json->Add("bagging_fit_speedup", fitn_ms > 0 ? fit1_ms / fitn_ms : 0.0);
+    json->Add("bagging_fit_bit_identical", fit_identical);
+    json->Add("curves_1t_ms", curves1_ms);
+    json->Add("curves_nt_ms", curvesn_ms);
+    json->Add("curves_speedup", curvesn_ms > 0 ? curves1_ms / curvesn_ms : 0.0);
+    json->Add("curves_bit_identical", curves_identical);
+    json->End();
+  }
 }
 
 // Snapshot economics: serialize the trained model (+ park + lagged
@@ -307,19 +582,14 @@ void ReportThreadScaling(const ParkFixture& fixture) {
 // bit-identical, and report save/load wall time, snapshot size, and the
 // load-vs-retrain speedup — the number CHANGES quotes for the
 // train-once / serve-many story.
-void ReportSnapshotRoundtrip(const ParkFixture& fixture) {
-  using Clock = std::chrono::steady_clock;
-  auto ms_since = [](Clock::time_point start) {
-    return std::chrono::duration<double, std::milli>(Clock::now() - start)
-        .count();
-  };
+void ReportSnapshotRoundtrip(const ParkFixture& fixture, JsonWriter* json) {
   std::printf("=== Model snapshot: save/load vs retrain ===\n");
 
   const auto t0 = Clock::now();
   ArchiveWriter writer;
   fixture.pipeline->SaveModel(&writer);
   const std::string bytes = writer.Bytes();
-  const double save_ms = ms_since(t0);
+  const double save_ms = MsSince(t0);
 
   const std::string path = "fig9_snapshot.paws";
   const auto st = WriteStringToFile(bytes, path);
@@ -329,40 +599,80 @@ void ReportSnapshotRoundtrip(const ParkFixture& fixture) {
   }
   const auto t1 = Clock::now();
   auto snapshot = PawsPipeline::LoadModel(path);
-  const double load_ms = ms_since(t1);
+  const double load_ms = MsSince(t1);
   CheckOrDie(snapshot.ok(), "fig9: snapshot load failed");
 
   const RiskMaps want = fixture.pipeline->PredictRisk(2.0);
   const RiskMaps got = snapshot->PredictRisk(2.0);
+  const bool identical =
+      got.risk == want.risk && got.variance == want.variance;
   std::printf(
       "snapshot: %.1f KiB, save %.1f ms, load %.1f ms; training took "
       "%.0f ms -> load-vs-retrain speedup %.0fx (served risk map %s)\n\n",
       bytes.size() / 1024.0, save_ms, load_ms, fixture.train_ms,
       load_ms > 0 ? fixture.train_ms / load_ms : 0.0,
-      got.risk == want.risk && got.variance == want.variance
-          ? "bit-identical"
-          : "DIFFERS");
+      identical ? "bit-identical" : "DIFFERS");
   std::remove(path.c_str());
+
+  if (json != nullptr) {
+    json->Begin("snapshot");
+    json->Add("size_kib", bytes.size() / 1024.0);
+    json->Add("save_ms", save_ms);
+    json->Add("load_ms", load_ms);
+    json->Add("train_ms", fixture.train_ms);
+    json->Add("load_vs_retrain_speedup",
+              load_ms > 0 ? fixture.train_ms / load_ms : 0.0);
+    json->Add("served_risk_map_bit_identical", identical);
+    json->End();
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       g_smoke = true;
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
-      break;
+      --i;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: %s [--smoke] [--json PATH]\n", argv[0]);
+        return 2;
+      }
+      json_path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      --i;
     }
   }
 
-  // Hot-path speedup report (risk maps + effort-curve tables), thread
-  // scaling for the two training/serving loops the pool accelerates, and
-  // snapshot save/load economics.
-  ReportBatchSpeedups(GetFixture(ParkPreset::kMfnp));
-  ReportThreadScaling(GetFixture(ParkPreset::kMfnp));
-  ReportSnapshotRoundtrip(GetFixture(ParkPreset::kMfnp));
+  JsonWriter json;
+  JsonWriter* jp = json_path.empty() ? nullptr : &json;
+  if (jp != nullptr) {
+    json.Add("schema", "paws.fig9.v1");
+    json.Add("smoke", g_smoke);
+  }
+
+  // Hot-path speedup report (risk maps + effort-curve tables), the
+  // compiled-forest serving layer on a DTB ensemble, thread scaling for
+  // the two training/serving loops the pool accelerates, and snapshot
+  // save/load economics.
+  ReportBatchSpeedups(GetFixture(ParkPreset::kMfnp), jp);
+  ReportCompiledForest(jp);
+  ReportThreadScaling(GetFixture(ParkPreset::kMfnp), jp);
+  ReportSnapshotRoundtrip(GetFixture(ParkPreset::kMfnp), jp);
+
+  if (jp != nullptr) {
+    const auto st = WriteStringToFile(json.ToString(), json_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "json: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
 
   // Part (b): utility convergence with segments.
   const std::vector<ParkPreset> presets =

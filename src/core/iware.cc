@@ -119,7 +119,16 @@ StatusOr<IWareEnsemble> IWareEnsemble::Load(ArchiveReader* ar) {
     }
   }
   PAWS_RETURN_IF_ERROR(ar->LeaveSection());
+  // The compiled serving layer is derived state — rebuilt here rather than
+  // serialized, so the archive format predates and outlives it.
+  model.RebuildCompiledForest();
   return model;
+}
+
+void IWareEnsemble::RebuildCompiledForest() {
+  compiled_forest_ =
+      fitted_ ? CompiledForest::Compile(learners_, thresholds_, weights_)
+              : nullptr;
 }
 
 const char* WeakLearnerName(WeakLearnerKind kind) {
@@ -380,12 +389,16 @@ Status IWareEnsemble::Fit(const Dataset& data, Rng* rng) {
   }
   weights_ = std::move(aligned);
   fitted_ = true;
+  RebuildCompiledForest();
   return Status::OK();
 }
 
 Prediction IWareEnsemble::Predict(const std::vector<double>& x,
                                   double effort) const {
-  std::vector<Prediction> out;
+  // Thread-local scratch: pointwise sweeps (legacy callers, benchmarks)
+  // would otherwise pay one heap allocation per cell. Safe because no
+  // batch implementation calls back into this wrapper.
+  static thread_local std::vector<Prediction> out;
   PredictBatch(FeatureMatrixView::OfRow(x), effort, &out);
   return out[0];
 }
@@ -400,6 +413,10 @@ int IWareEnsemble::NumQualified(double effort) const {
 void IWareEnsemble::PredictBatch(const FeatureMatrixView& x, double effort,
                                  std::vector<Prediction>* out) const {
   CheckOrDie(fitted_, "IWareEnsemble::PredictBatch before Fit");
+  if (compiled_forest_ != nullptr) {
+    compiled_forest_->PredictBatch(x, effort, config_.parallelism, out);
+    return;
+  }
   const int n = x.rows();
   out->resize(n);
   if (n == 0) return;
@@ -449,6 +466,10 @@ void IWareEnsemble::PredictBatch(const FeatureMatrixView& x,
   CheckOrDie(fitted_, "IWareEnsemble::PredictBatch before Fit");
   CheckOrDie(static_cast<int>(efforts.size()) == x.rows(),
              "IWareEnsemble::PredictBatch: one effort per row required");
+  if (compiled_forest_ != nullptr) {
+    compiled_forest_->PredictBatch(x, efforts, config_.parallelism, out);
+    return;
+  }
   const int n = x.rows();
   const int k = x.cols();
   out->resize(n);
@@ -523,9 +544,6 @@ EffortCurveTable IWareEnsemble::PredictEffortCurves(
   const int m = static_cast<int>(effort_grid.size());
   const int num_learners = static_cast<int>(learners_.size());
   EffortCurveTable table;
-  table.num_cells = n;
-  table.prob.assign(static_cast<size_t>(n) * m, 0.0);
-  table.variance.assign(static_cast<size_t>(n) * m, 0.0);
   // The qualified count per grid point depends only on the thresholds.
   table.qualified_count.resize(m);
   for (int k = 0; k < m; ++k) {
@@ -535,6 +553,18 @@ EffortCurveTable IWareEnsemble::PredictEffortCurves(
     }
     table.qualified_count[k] = qualified;
   }
+  if (compiled_forest_ != nullptr) {
+    // Score-once serving: each learner is evaluated once per cell and the
+    // grid is assembled by a weight prefix scan — O(K) tree sweeps plus
+    // cheap mixing instead of the O(E*K) re-accumulation below.
+    compiled_forest_->FillEffortCurves(x, effort_grid, config_.parallelism,
+                                       &table);
+    table.effort_grid = std::move(effort_grid);
+    return table;
+  }
+  table.num_cells = n;
+  table.prob.assign(static_cast<size_t>(n) * m, 0.0);
+  table.variance.assign(static_cast<size_t>(n) * m, 0.0);
   // Cell chunks are independent: every weak learner scores a chunk at most
   // once (the effort grid only changes which of these cached votes are
   // mixed at each grid point), each chunk writes only its own table rows,

@@ -6,6 +6,7 @@
 
 #include "ml/bagging.h"
 #include "ml/classifier.h"
+#include "ml/compiled_forest.h"
 #include "ml/decision_tree.h"
 #include "ml/effort_curve.h"
 #include "ml/gaussian_process.h"
@@ -135,6 +136,20 @@ class IWareEnsemble {
     config_.parallelism = parallelism;
   }
 
+  /// True when the serving calls run through the flat compiled-forest
+  /// layer: every weak learner is a bagging of decision trees (DTB), so
+  /// Fit/Load compiled them into one SoA structure. SVB/GPB ensembles
+  /// serve through the reference path and report false.
+  bool has_compiled_forest() const { return compiled_forest_ != nullptr; }
+
+  /// Drops (false) or rebuilds (true) the compiled serving layer.
+  /// Predictions are bit-identical either way — benchmarks and the
+  /// equivalence tests use this to time/compare the reference path.
+  void set_compiled_serving(bool enabled) {
+    compiled_forest_.reset();
+    if (enabled) RebuildCompiledForest();
+  }
+
   /// Serializes config, thresholds, optimized weights and every weak
   /// learner. A loaded ensemble predicts bit-identically to the saved one
   /// (thread pinning resets to auto; see set_parallelism).
@@ -144,10 +159,16 @@ class IWareEnsemble {
  private:
   std::vector<double> ComputeThresholds(const Dataset& data) const;
 
+  /// Recompiles `learners_` into the flat serving layer (no-op for non-DTB
+  /// ensembles). Called at the end of Fit and Load: the compiled forest is
+  /// derived state, never serialized, so the archive format is untouched.
+  void RebuildCompiledForest();
+
   IWareConfig config_;
   std::vector<double> thresholds_;
   std::vector<std::unique_ptr<Classifier>> learners_;
   std::vector<double> weights_;
+  std::unique_ptr<CompiledForest> compiled_forest_;
   bool fitted_ = false;
 };
 

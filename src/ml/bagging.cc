@@ -37,18 +37,22 @@ std::vector<int> BaggingClassifier::DrawBootstrap(const Dataset& data,
   if (config_.balanced) {
     // Undersample negatives to the positive count; resample positives.
     std::vector<int> pos, neg;
+    pos.reserve(n);
+    neg.reserve(n);
     for (int i = 0; i < n; ++i) {
       (data.label(i) == 1 ? pos : neg).push_back(i);
     }
     // With no positives (possible in tiny folds) fall back to plain
     // bootstrap so Fit still succeeds.
     if (pos.empty() || neg.empty()) {
+      rows.reserve(n);
       for (int i = 0; i < n; ++i) {
         rows.push_back(rng->UniformInt(n));
       }
       return rows;
     }
     const int m = static_cast<int>(pos.size());
+    rows.reserve(2 * static_cast<size_t>(m));
     for (int i = 0; i < m; ++i) {
       rows.push_back(pos[rng->UniformInt(m)]);
       rows.push_back(neg[rng->UniformInt(static_cast<int>(neg.size()))]);
@@ -56,6 +60,7 @@ std::vector<int> BaggingClassifier::DrawBootstrap(const Dataset& data,
     return rows;
   }
   const int draws = std::max(1, static_cast<int>(config_.subsample * n));
+  rows.reserve(draws);
   for (int i = 0; i < draws; ++i) rows.push_back(rng->UniformInt(n));
   return rows;
 }

@@ -20,6 +20,23 @@ struct Prediction {
   double variance = 0.0;
 };
 
+namespace internal {
+
+/// Sets a flag for the lifetime of a scope (exception-safe reset) — backs
+/// the re-entrancy latch in the pointwise prediction wrappers.
+class ScopedFlag {
+ public:
+  explicit ScopedFlag(bool* flag) : flag_(flag) { *flag_ = true; }
+  ~ScopedFlag() { *flag_ = false; }
+  ScopedFlag(const ScopedFlag&) = delete;
+  ScopedFlag& operator=(const ScopedFlag&) = delete;
+
+ private:
+  bool* flag_;
+};
+
+}  // namespace internal
+
 /// Abstract binary probabilistic classifier. All PAWS weak learners
 /// (decision trees, SVMs, Gaussian processes) and ensembles implement this.
 ///
@@ -52,16 +69,33 @@ class Classifier {
     }
   }
 
-  /// P(y = 1 | x). One-row convenience wrapper over PredictBatch.
+  /// P(y = 1 | x). One-row convenience wrapper over PredictBatch. The
+  /// scratch buffer is thread-local so pointwise sweeps don't allocate per
+  /// call; batch implementations must not call back into the same wrapper
+  /// (a custom PredictBatch looping PredictProb per row would overwrite
+  /// the buffer its own caller is reading) — enforced by the guard.
   double PredictProb(const std::vector<double>& x) const {
-    std::vector<double> probs;
+    static thread_local std::vector<double> probs;
+    static thread_local bool entered = false;
+    CheckOrDie(!entered,
+               "Classifier::PredictProb re-entered from a PredictBatch "
+               "implementation; batch impls must not call the one-row "
+               "wrappers");
+    const internal::ScopedFlag guard(&entered);
     PredictBatch(FeatureMatrixView::OfRow(x), &probs);
     return probs[0];
   }
 
-  /// One-row convenience wrapper over PredictBatchWithVariance.
+  /// One-row convenience wrapper over PredictBatchWithVariance; same
+  /// thread-local scratch contract as PredictProb.
   Prediction PredictWithVariance(const std::vector<double>& x) const {
-    std::vector<Prediction> preds;
+    static thread_local std::vector<Prediction> preds;
+    static thread_local bool entered = false;
+    CheckOrDie(!entered,
+               "Classifier::PredictWithVariance re-entered from a "
+               "PredictBatchWithVariance implementation; batch impls must "
+               "not call the one-row wrappers");
+    const internal::ScopedFlag guard(&entered);
     PredictBatchWithVariance(FeatureMatrixView::OfRow(x), &preds);
     return preds[0];
   }

@@ -45,7 +45,6 @@ class DecisionTree : public Classifier {
   /// Depth of the fitted tree (0 for a single leaf).
   int Depth() const;
 
- private:
   struct Node {
     // Internal node: feature/threshold and children; leaf: prob, left == -1.
     int feature = -1;
@@ -54,6 +53,13 @@ class DecisionTree : public Classifier {
     int right = -1;
     double prob = 0.5;
   };
+
+  /// Read-only view of the fitted node pool (node 0 is the root; children
+  /// always come after their parent). CompiledForest flattens trees through
+  /// this without re-walking the prediction API.
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+ private:
 
   int BuildNode(const Dataset& data, std::vector<int>* indices, int begin,
                 int end, int depth, Rng* rng);

@@ -6,18 +6,29 @@ namespace paws {
 
 namespace {
 
-// Linear interpolation of one tabulated curve, clamped at the grid ends.
-// Mirrors PiecewiseLinear::Eval so tabulated and PWL evaluations agree.
-double InterpRow(const std::vector<double>& grid, const double* y,
-                 double x) {
+// Clamped grid-segment lookup shared by every tabulated evaluation:
+// returns the bracketing indices and interpolation weight for `x` (both
+// indices equal at the clamped ends, t = 0). Mirrors
+// PiecewiseLinear::Eval so tabulated and PWL evaluations agree.
+struct GridSegment {
+  size_t lo = 0;
+  size_t hi = 0;
+  double t = 0.0;
+};
+
+GridSegment FindSegment(const std::vector<double>& grid, double x) {
   const size_t m = grid.size();
-  if (x <= grid.front()) return y[0];
-  if (x >= grid.back()) return y[m - 1];
+  if (x <= grid.front()) return {0, 0, 0.0};
+  if (x >= grid.back()) return {m - 1, m - 1, 0.0};
   const auto it = std::upper_bound(grid.begin(), grid.end(), x);
   const size_t hi = it - grid.begin();
   const size_t lo = hi - 1;
-  const double t = (x - grid[lo]) / (grid[hi] - grid[lo]);
-  return y[lo] + t * (y[hi] - y[lo]);
+  return {lo, hi, (x - grid[lo]) / (grid[hi] - grid[lo])};
+}
+
+double Interp(const GridSegment& seg, const double* y) {
+  if (seg.lo == seg.hi) return y[seg.lo];  // clamped at a grid end
+  return y[seg.lo] + seg.t * (y[seg.hi] - y[seg.lo]);
 }
 
 }  // namespace
@@ -25,18 +36,26 @@ double InterpRow(const std::vector<double>& grid, const double* y,
 double EffortCurveTable::EvalProb(int cell, double effort) const {
   CheckOrDie(cell >= 0 && cell < num_cells && num_points() > 0,
              "EffortCurveTable::EvalProb out of bounds");
-  return InterpRow(effort_grid,
-                   prob.data() + static_cast<size_t>(cell) * effort_grid.size(),
-                   effort);
+  return Interp(FindSegment(effort_grid, effort),
+                prob.data() + static_cast<size_t>(cell) * effort_grid.size());
 }
 
 double EffortCurveTable::EvalVariance(int cell, double effort) const {
   CheckOrDie(cell >= 0 && cell < num_cells && num_points() > 0,
              "EffortCurveTable::EvalVariance out of bounds");
-  return InterpRow(
-      effort_grid,
-      variance.data() + static_cast<size_t>(cell) * effort_grid.size(),
-      effort);
+  return Interp(
+      FindSegment(effort_grid, effort),
+      variance.data() + static_cast<size_t>(cell) * effort_grid.size());
+}
+
+void EffortCurveTable::Eval(int cell, double effort, double* prob_out,
+                            double* variance_out) const {
+  CheckOrDie(cell >= 0 && cell < num_cells && num_points() > 0,
+             "EffortCurveTable::Eval out of bounds");
+  const size_t m = effort_grid.size();
+  const GridSegment seg = FindSegment(effort_grid, effort);
+  *prob_out = Interp(seg, prob.data() + static_cast<size_t>(cell) * m);
+  *variance_out = Interp(seg, variance.data() + static_cast<size_t>(cell) * m);
 }
 
 std::vector<double> UniformEffortGrid(double lo, double hi, int segments) {

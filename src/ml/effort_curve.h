@@ -39,6 +39,11 @@ struct EffortCurveTable {
   double EvalProb(int cell, double effort) const;
   /// nu_v(effort) by linear interpolation along the grid, clamped outside.
   double EvalVariance(int cell, double effort) const;
+  /// Both curves at once with a single grid search — bit-identical to
+  /// EvalProb + EvalVariance; the tabulated RobustObjective hot loop uses
+  /// this so it doesn't pay two binary searches per cell.
+  void Eval(int cell, double effort, double* prob_out,
+            double* variance_out) const;
 
  private:
   size_t Index(int cell, int k) const {

@@ -73,11 +73,10 @@ double RobustObjective(const std::vector<double>& coverage,
              "RobustObjective: size mismatch");
   double total = 0.0;
   for (size_t v = 0; v < coverage.size(); ++v) {
-    const int cell = static_cast<int>(v);
-    const double gv = curves.EvalProb(cell, coverage[v]);
+    double gv = 0.0, nuv = 0.0;
+    curves.Eval(static_cast<int>(v), coverage[v], &gv, &nuv);
     total += gv - params.beta * gv *
-                      SquashUncertainty(curves.EvalVariance(cell, coverage[v]),
-                                        params.squash_scale);
+                      SquashUncertainty(nuv, params.squash_scale);
   }
   return total;
 }
