@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "serve/park_service.h"
 #include "util/csv.h"
 
 namespace {
@@ -627,6 +628,125 @@ void ReportSnapshotRoundtrip(const ParkFixture& fixture, JsonWriter* json) {
   }
 }
 
+// Multi-park serving: the DTB model snapshot registered under 8 park ids
+// in one ParkService. Reports repeated-risk-map latency at three serving
+// depths — the uncached per-request path (feature rows re-assembled from
+// the rasters every call), the FeaturePlane path (cached rows, fresh
+// scoring), and ParkService LRU hits — plus batched fleet throughput.
+// Every served map is checked bit-identical to a direct ModelSnapshot
+// call.
+void ReportParkService(JsonWriter* json) {
+  constexpr int kParks = 8;
+  const ParkFixture& fixture = GetDtbFixture();
+  ArchiveWriter writer;
+  fixture.pipeline->SaveModel(&writer);
+  const std::string bytes = writer.Bytes();
+  auto load_snapshot = [&bytes] {
+    auto snapshot = ModelSnapshot::FromBytes(bytes);
+    CheckOrDie(snapshot.ok(), "fig9: snapshot load failed");
+    return std::move(snapshot).value();
+  };
+
+  ParkService service;
+  for (int p = 0; p < kParks; ++p) {
+    CheckOrDie(
+        service.Register("park-" + std::to_string(p), load_snapshot()).ok(),
+        "fig9: register failed");
+  }
+  const ModelSnapshot direct = load_snapshot();
+  const Park& park = direct.park();
+  const int n = park.num_cells();
+  PatrolHistory one_step;
+  StepRecord step;
+  step.effort = direct.lagged_effort();
+  one_step.steps.push_back(std::move(step));
+
+  std::printf("=== Multi-park serving: ParkService over %d parks ===\n",
+              kParks);
+
+  // Bit-identity across the fleet.
+  bool identical = true;
+  const RiskMaps want = direct.PredictRisk(2.0);
+  for (int p = 0; p < kParks; ++p) {
+    const auto served = service.RiskMap("park-" + std::to_string(p), 2.0);
+    CheckOrDie(served.ok(), "fig9: service risk map failed");
+    identical = identical && (*served)->risk == want.risk &&
+                (*served)->variance == want.variance;
+  }
+
+  // Repeated-risk-map latency at the three serving depths. Single calls
+  // are microseconds on the smoke grid, so each rep times `iters`
+  // back-to-back calls and reports the per-call minimum.
+  const int reps = g_smoke ? 15 : 7;
+  const int iters = std::max(1, 500000 / std::max(1, n));
+  const double uncached_ms =
+      MinMs(reps, [&] {
+        for (int k = 0; k < iters; ++k) {
+          const RiskMaps maps =
+              PredictRiskMap(direct.model(), park, one_step, /*t=*/1, 2.0);
+          benchmark::DoNotOptimize(maps);
+        }
+      }) /
+      iters;
+  const double plane_ms =
+      MinMs(reps, [&] {
+        for (int k = 0; k < iters; ++k) {
+          const RiskMaps maps = direct.PredictRisk(2.0);
+          benchmark::DoNotOptimize(maps);
+        }
+      }) /
+      iters;
+  const double cached_ms =
+      MinMs(reps, [&] {
+        for (int k = 0; k < iters; ++k) {
+          auto served = service.RiskMap("park-0", 2.0);
+          benchmark::DoNotOptimize(served);
+        }
+      }) /
+      iters;
+  const double plane_speedup = plane_ms > 0 ? uncached_ms / plane_ms : 0.0;
+  const double cached_speedup = cached_ms > 0 ? uncached_ms / cached_ms : 0.0;
+  std::printf(
+      "repeated risk map (%d cells): per-request re-assembly %.4f ms, "
+      "FeaturePlane %.4f ms (%.2fx), LRU hit %.5f ms (%.0fx) — maps %s\n",
+      n, uncached_ms, plane_ms, plane_speedup, cached_ms, cached_speedup,
+      identical ? "bit-identical" : "DIFFER");
+
+  // Batched fleet throughput: every park at three effort levels per batch.
+  std::vector<ParkService::RiskRequest> requests;
+  for (int p = 0; p < kParks; ++p) {
+    for (double effort : {1.0, 2.0, 3.0}) {
+      requests.push_back({"park-" + std::to_string(p), effort});
+    }
+  }
+  const double batch_ms = MinMs(reps, [&] {
+    auto results = service.RiskMapBatch(requests);
+    benchmark::DoNotOptimize(results);
+  });
+  const double req_per_s =
+      batch_ms > 0 ? 1000.0 * requests.size() / batch_ms : 0.0;
+  std::printf(
+      "batched fleet serving: %zu requests (%d parks x 3 efforts) in "
+      "%.3f ms -> %.0f req/s (warm cache)\n\n",
+      requests.size(), kParks, batch_ms, req_per_s);
+
+  if (json != nullptr) {
+    json->Begin("park_service");
+    json->Add("parks", kParks);
+    json->Add("cells_per_park", n);
+    json->Add("uncached_ms", uncached_ms);
+    json->Add("feature_plane_ms", plane_ms);
+    json->Add("cached_ms", cached_ms);
+    json->Add("feature_plane_speedup", plane_speedup);
+    json->Add("cached_speedup", cached_speedup);
+    json->Add("bit_identical", identical);
+    json->Add("batch_requests", static_cast<int>(requests.size()));
+    json->Add("batch_ms", batch_ms);
+    json->Add("batch_req_per_s", req_per_s);
+    json->End();
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -658,12 +778,13 @@ int main(int argc, char** argv) {
 
   // Hot-path speedup report (risk maps + effort-curve tables), the
   // compiled-forest serving layer on a DTB ensemble, thread scaling for
-  // the two training/serving loops the pool accelerates, and snapshot
-  // save/load economics.
+  // the two training/serving loops the pool accelerates, snapshot
+  // save/load economics, and multi-park ParkService throughput.
   ReportBatchSpeedups(GetFixture(ParkPreset::kMfnp), jp);
   ReportCompiledForest(jp);
   ReportThreadScaling(GetFixture(ParkPreset::kMfnp), jp);
   ReportSnapshotRoundtrip(GetFixture(ParkPreset::kMfnp), jp);
+  ReportParkService(jp);
 
   if (jp != nullptr) {
     const auto st = WriteStringToFile(json.ToString(), json_path);

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compares two BENCH_fig9.json artifacts and flags perf regressions.
+
+Usage:
+  bench_trend_check.py PREV.json CURR.json
+      [--metric compiled_forest.risk_map.compiled_ns_per_cell]
+      [--warn-pct 20] [--fail-pct 50]
+
+The metric is a dotted path into the JSON document; higher is worse
+(nanoseconds, milliseconds). A regression beyond --warn-pct emits a
+GitHub-annotation warning; beyond --fail-pct the script exits non-zero
+and fails the job. Smoke-sized benches on shared CI runners are noisy,
+hence the two-level threshold: warn early, fail only on something no
+noise plausibly explains.
+
+Missing files or metrics exit 0 with a note (first run after a schema
+change must not break CI).
+"""
+
+import argparse
+import json
+import sys
+
+
+def lookup(doc, dotted):
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node if isinstance(node, (int, float)) else None
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("prev")
+    parser.add_argument("curr")
+    parser.add_argument(
+        "--metric", default="compiled_forest.risk_map.compiled_ns_per_cell"
+    )
+    parser.add_argument("--warn-pct", type=float, default=20.0)
+    parser.add_argument("--fail-pct", type=float, default=50.0)
+    args = parser.parse_args()
+
+    docs = []
+    for path in (args.prev, args.curr):
+        try:
+            with open(path) as f:
+                docs.append(json.load(f))
+        except (OSError, ValueError) as err:
+            print(f"bench-trend: cannot read {path} ({err}); skipping check")
+            return 0
+
+    prev_value = lookup(docs[0], args.metric)
+    curr_value = lookup(docs[1], args.metric)
+    if prev_value is None or curr_value is None or prev_value <= 0:
+        print(
+            f"bench-trend: metric '{args.metric}' missing or non-positive "
+            f"(prev={prev_value}, curr={curr_value}); skipping check"
+        )
+        return 0
+
+    change_pct = 100.0 * (curr_value - prev_value) / prev_value
+    summary = (
+        f"{args.metric}: {prev_value:.2f} -> {curr_value:.2f} "
+        f"({change_pct:+.1f}%)"
+    )
+    if change_pct > args.fail_pct:
+        print(f"::error::bench-trend regression beyond {args.fail_pct}%: "
+              f"{summary}")
+        return 1
+    if change_pct > args.warn_pct:
+        print(f"::warning::bench-trend regression beyond {args.warn_pct}%: "
+              f"{summary}")
+        return 0
+    print(f"bench-trend OK: {summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "ml/cross_validation.h"
 #include "ml/weight_optimizer.h"
@@ -10,13 +11,6 @@
 namespace paws {
 
 namespace {
-
-// Row-chunk sizes for the batched prediction paths: large enough that the
-// per-chunk learner dispatch amortizes, small enough that serving-sized
-// batches still split across threads. Effort-curve rows carry more work
-// per row (every learner x the whole grid), hence the smaller grain.
-constexpr int kPredictRowGrain = 64;
-constexpr int kCurveRowGrain = 32;
 
 constexpr uint32_t kIWareConfigSchemaVersion = 1;
 constexpr uint32_t kIWareSchemaVersion = 1;
@@ -119,16 +113,35 @@ StatusOr<IWareEnsemble> IWareEnsemble::Load(ArchiveReader* ar) {
     }
   }
   PAWS_RETURN_IF_ERROR(ar->LeaveSection());
-  // The compiled serving layer is derived state — rebuilt here rather than
+  // The serving backend is derived state — re-selected here rather than
   // serialized, so the archive format predates and outlives it.
-  model.RebuildCompiledForest();
+  model.RebuildScoringBackend();
   return model;
 }
 
-void IWareEnsemble::RebuildCompiledForest() {
-  compiled_forest_ =
-      fitted_ ? CompiledForest::Compile(learners_, thresholds_, weights_)
+void IWareEnsemble::RebuildScoringBackend() {
+  backend_ =
+      fitted_ ? SelectScoringBackend(learners_, thresholds_, weights_)
               : nullptr;
+}
+
+bool IWareEnsemble::has_compiled_backend() const {
+  return backend_ != nullptr &&
+         std::strcmp(backend_->name(), "reference") != 0;
+}
+
+bool IWareEnsemble::has_compiled_forest() const {
+  return backend_ != nullptr &&
+         std::strcmp(backend_->name(), "compiled-dtb") == 0;
+}
+
+void IWareEnsemble::set_compiled_serving(bool enabled) {
+  if (!fitted_) {
+    backend_ = nullptr;
+    return;
+  }
+  backend_ = enabled ? SelectScoringBackend(learners_, thresholds_, weights_)
+                     : MakeReferenceScoringBackend();
 }
 
 const char* WeakLearnerName(WeakLearnerKind kind) {
@@ -389,16 +402,23 @@ Status IWareEnsemble::Fit(const Dataset& data, Rng* rng) {
   }
   weights_ = std::move(aligned);
   fitted_ = true;
-  RebuildCompiledForest();
+  RebuildScoringBackend();
   return Status::OK();
 }
 
 Prediction IWareEnsemble::Predict(const std::vector<double>& x,
                                   double effort) const {
   // Thread-local scratch: pointwise sweeps (legacy callers, benchmarks)
-  // would otherwise pay one heap allocation per cell. Safe because no
-  // batch implementation calls back into this wrapper.
+  // would otherwise pay one heap allocation per cell. Only safe because no
+  // batch implementation calls back into this wrapper — a backend looping
+  // Predict per row would overwrite the buffer its own caller is reading;
+  // the latch turns that bug into an immediate abort.
   static thread_local std::vector<Prediction> out;
+  static thread_local bool entered = false;
+  CheckOrDie(!entered,
+             "IWareEnsemble::Predict re-entered from a batch scoring path; "
+             "backends must not call the one-row wrapper");
+  const internal::ScopedFlag guard(&entered);
   PredictBatch(FeatureMatrixView::OfRow(x), effort, &out);
   return out[0];
 }
@@ -413,51 +433,7 @@ int IWareEnsemble::NumQualified(double effort) const {
 void IWareEnsemble::PredictBatch(const FeatureMatrixView& x, double effort,
                                  std::vector<Prediction>* out) const {
   CheckOrDie(fitted_, "IWareEnsemble::PredictBatch before Fit");
-  if (compiled_forest_ != nullptr) {
-    compiled_forest_->PredictBatch(x, effort, config_.parallelism, out);
-    return;
-  }
-  const int n = x.rows();
-  out->resize(n);
-  if (n == 0) return;
-  // Row chunks are independent: each chunk runs the full learner loop over
-  // its sub-view and writes only its own rows, and the per-row arithmetic
-  // (learner order, weights) does not depend on the chunking, so the
-  // result is bit-identical for every thread count.
-  ParallelFor(
-      config_.parallelism, 0, n, kPredictRowGrain,
-      [&](std::int64_t lo64, std::int64_t hi64) {
-        const int lo = static_cast<int>(lo64);
-        const int cn = static_cast<int>(hi64 - lo64);
-        const FeatureMatrixView chunk(x.Row(lo), cn, x.cols());
-        // The qualified set depends only on `effort`, so each qualified
-        // learner scores the whole chunk once and the mixture is assembled
-        // per row.
-        std::vector<double> mean(cn, 0.0), second(cn, 0.0);
-        std::vector<Prediction> buf;
-        double wsum = 0.0;
-        for (size_t i = 0; i < learners_.size(); ++i) {
-          if (thresholds_[i] > effort) continue;
-          learners_[i]->PredictBatchWithVariance(chunk, &buf);
-          wsum += weights_[i];
-          for (int r = 0; r < cn; ++r) {
-            const Prediction& p = buf[r];
-            mean[r] += weights_[i] * p.prob;
-            second[r] += weights_[i] * (p.variance + p.prob * p.prob);
-          }
-        }
-        if (wsum <= 0.0) {
-          // Effort below every threshold: fall back to the loosest learner.
-          learners_[0]->PredictBatchWithVariance(chunk, &buf);
-          for (int r = 0; r < cn; ++r) (*out)[lo + r] = buf[r];
-          return;
-        }
-        for (int r = 0; r < cn; ++r) {
-          const double m = mean[r] / wsum;
-          const double s = second[r] / wsum;
-          (*out)[lo + r] = Prediction{m, std::max(0.0, s - m * m)};
-        }
-      });
+  backend_->PredictBatch(View(), x, effort, config_.parallelism, out);
 }
 
 void IWareEnsemble::PredictBatch(const FeatureMatrixView& x,
@@ -466,70 +442,7 @@ void IWareEnsemble::PredictBatch(const FeatureMatrixView& x,
   CheckOrDie(fitted_, "IWareEnsemble::PredictBatch before Fit");
   CheckOrDie(static_cast<int>(efforts.size()) == x.rows(),
              "IWareEnsemble::PredictBatch: one effort per row required");
-  if (compiled_forest_ != nullptr) {
-    compiled_forest_->PredictBatch(x, efforts, config_.parallelism, out);
-    return;
-  }
-  const int n = x.rows();
-  const int k = x.cols();
-  out->resize(n);
-  if (n == 0) return;
-  // Chunked over rows: every chunk gathers and scores its own qualifying
-  // rows per learner. Each row's mixture sees the same learner
-  // evaluations and accumulation order as the serial pass, so the result
-  // is bit-identical for every thread count.
-  ParallelFor(
-      config_.parallelism, 0, n, kPredictRowGrain,
-      [&](std::int64_t lo64, std::int64_t hi64) {
-        const int lo = static_cast<int>(lo64);
-        const int hi = static_cast<int>(hi64);
-        const int cn = hi - lo;
-        const FeatureMatrixView chunk(x.Row(lo), cn, k);
-        std::vector<double> wsum(cn, 0.0), mean(cn, 0.0), second(cn, 0.0);
-        std::vector<double> gathered;  // reused per learner
-        std::vector<int> rows_idx;     // chunk-relative
-        std::vector<Prediction> buf;
-        auto gather_rows = [&](const std::vector<int>& idx) {
-          return GatherRows(chunk, idx, &gathered);
-        };
-        // Gather each learner's qualifying rows and score them in one
-        // batch — the same learner evaluations as the pointwise loop,
-        // amortized.
-        for (size_t i = 0; i < learners_.size(); ++i) {
-          rows_idx.clear();
-          for (int r = 0; r < cn; ++r) {
-            if (thresholds_[i] <= efforts[lo + r]) rows_idx.push_back(r);
-          }
-          if (rows_idx.empty()) continue;
-          learners_[i]->PredictBatchWithVariance(gather_rows(rows_idx), &buf);
-          for (size_t j = 0; j < rows_idx.size(); ++j) {
-            const int r = rows_idx[j];
-            const Prediction& p = buf[j];
-            wsum[r] += weights_[i];
-            mean[r] += weights_[i] * p.prob;
-            second[r] += weights_[i] * (p.variance + p.prob * p.prob);
-          }
-        }
-        // Rows whose effort sits below every threshold fall back to the
-        // loosest learner's raw prediction, exactly as the pointwise path
-        // does.
-        rows_idx.clear();
-        for (int r = 0; r < cn; ++r) {
-          if (wsum[r] <= 0.0) rows_idx.push_back(r);
-        }
-        if (!rows_idx.empty()) {
-          learners_[0]->PredictBatchWithVariance(gather_rows(rows_idx), &buf);
-          for (size_t j = 0; j < rows_idx.size(); ++j) {
-            (*out)[lo + rows_idx[j]] = buf[j];
-          }
-        }
-        for (int r = 0; r < cn; ++r) {
-          if (wsum[r] <= 0.0) continue;
-          const double m = mean[r] / wsum[r];
-          const double s = second[r] / wsum[r];
-          (*out)[lo + r] = Prediction{m, std::max(0.0, s - m * m)};
-        }
-      });
+  backend_->PredictBatch(View(), x, efforts, config_.parallelism, out);
 }
 
 EffortCurveTable IWareEnsemble::PredictEffortCurves(
@@ -540,7 +453,6 @@ EffortCurveTable IWareEnsemble::PredictEffortCurves(
     CheckOrDie(effort_grid[k] > effort_grid[k - 1],
                "PredictEffortCurves: grid must be strictly increasing");
   }
-  const int n = x.rows();
   const int m = static_cast<int>(effort_grid.size());
   const int num_learners = static_cast<int>(learners_.size());
   EffortCurveTable table;
@@ -553,65 +465,12 @@ EffortCurveTable IWareEnsemble::PredictEffortCurves(
     }
     table.qualified_count[k] = qualified;
   }
-  if (compiled_forest_ != nullptr) {
-    // Score-once serving: each learner is evaluated once per cell and the
-    // grid is assembled by a weight prefix scan — O(K) tree sweeps plus
-    // cheap mixing instead of the O(E*K) re-accumulation below.
-    compiled_forest_->FillEffortCurves(x, effort_grid, config_.parallelism,
-                                       &table);
-    table.effort_grid = std::move(effort_grid);
-    return table;
-  }
-  table.num_cells = n;
-  table.prob.assign(static_cast<size_t>(n) * m, 0.0);
-  table.variance.assign(static_cast<size_t>(n) * m, 0.0);
-  // Cell chunks are independent: every weak learner scores a chunk at most
-  // once (the effort grid only changes which of these cached votes are
-  // mixed at each grid point), each chunk writes only its own table rows,
-  // and per-cell arithmetic does not depend on the chunking — so the table
-  // is bit-identical for every thread count. Learners whose threshold
-  // exceeds the grid's top never vote and are skipped entirely (learner 0
-  // always runs: it serves the low-effort fallback).
-  ParallelFor(
-      config_.parallelism, 0, n, kCurveRowGrain,
-      [&](std::int64_t lo64, std::int64_t hi64) {
-        const int lo = static_cast<int>(lo64);
-        const int cn = static_cast<int>(hi64 - lo64);
-        const FeatureMatrixView chunk(x.Row(lo), cn, x.cols());
-        std::vector<std::vector<Prediction>> votes(num_learners);
-        for (int i = 0; i < num_learners; ++i) {
-          if (i > 0 && thresholds_[i] > effort_grid.back()) continue;
-          learners_[i]->PredictBatchWithVariance(chunk, &votes[i]);
-        }
-        std::vector<double> mean(cn), second(cn);
-        for (int k = 0; k < m; ++k) {
-          const double effort = effort_grid[k];
-          std::fill(mean.begin(), mean.end(), 0.0);
-          std::fill(second.begin(), second.end(), 0.0);
-          double wsum = 0.0;
-          for (int i = 0; i < num_learners; ++i) {
-            if (thresholds_[i] > effort) continue;
-            wsum += weights_[i];
-            for (int r = 0; r < cn; ++r) {
-              const Prediction& p = votes[i][r];
-              mean[r] += weights_[i] * p.prob;
-              second[r] += weights_[i] * (p.variance + p.prob * p.prob);
-            }
-          }
-          for (int r = 0; r < cn; ++r) {
-            const size_t idx = static_cast<size_t>(lo + r) * m + k;
-            if (wsum <= 0.0) {
-              table.prob[idx] = votes[0][r].prob;
-              table.variance[idx] = votes[0][r].variance;
-            } else {
-              const double mu = mean[r] / wsum;
-              const double s = second[r] / wsum;
-              table.prob[idx] = mu;
-              table.variance[idx] = std::max(0.0, s - mu * mu);
-            }
-          }
-        }
-      });
+  // The backend fills num_cells/prob/variance: compiled backends score
+  // each learner once per cell and assemble the grid by a weight prefix
+  // scan; the reference backend re-mixes cached votes per grid point.
+  // Either way the table is bit-identical.
+  backend_->FillEffortCurves(View(), x, effort_grid, config_.parallelism,
+                             &table);
   table.effort_grid = std::move(effort_grid);
   return table;
 }

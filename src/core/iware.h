@@ -6,11 +6,11 @@
 
 #include "ml/bagging.h"
 #include "ml/classifier.h"
-#include "ml/compiled_forest.h"
 #include "ml/decision_tree.h"
 #include "ml/effort_curve.h"
 #include "ml/gaussian_process.h"
 #include "ml/linear_svm.h"
+#include "ml/scoring_backend.h"
 
 namespace paws {
 
@@ -136,19 +136,32 @@ class IWareEnsemble {
     config_.parallelism = parallelism;
   }
 
-  /// True when the serving calls run through the flat compiled-forest
-  /// layer: every weak learner is a bagging of decision trees (DTB), so
-  /// Fit/Load compiled them into one SoA structure. SVB/GPB ensembles
-  /// serve through the reference path and report false.
-  bool has_compiled_forest() const { return compiled_forest_ != nullptr; }
+  /// The ScoringBackend every serving call dispatches through — selected
+  /// per ensemble when the learner set changes (Fit / Load /
+  /// set_compiled_serving): "compiled-dtb" (flat SoA forest) for bagged
+  /// trees, "compiled-svb" (flat weight-matrix GEMV) for bagged linear
+  /// SVMs, "reference" (virtual dispatch) otherwise. All backends are
+  /// bit-identical; only wall time differs.
+  const ScoringBackend& scoring_backend() const {
+    CheckOrDie(backend_ != nullptr, "IWareEnsemble: backend before Fit");
+    return *backend_;
+  }
+  /// scoring_backend().name(), or "none" before Fit/Load.
+  const char* scoring_backend_name() const {
+    return backend_ != nullptr ? backend_->name() : "none";
+  }
+  /// True when serving runs through a compiled (non-reference) backend.
+  bool has_compiled_backend() const;
+  /// True when the selected backend is the flat compiled-DTB forest
+  /// (kept for DTB-specific benchmarks/tests; SVB compiles to
+  /// "compiled-svb" and also reports has_compiled_backend()).
+  bool has_compiled_forest() const;
 
-  /// Drops (false) or rebuilds (true) the compiled serving layer.
+  /// Re-selects the serving backend: false pins the reference path, true
+  /// restores the best compiled backend the learner set supports.
   /// Predictions are bit-identical either way — benchmarks and the
   /// equivalence tests use this to time/compare the reference path.
-  void set_compiled_serving(bool enabled) {
-    compiled_forest_.reset();
-    if (enabled) RebuildCompiledForest();
-  }
+  void set_compiled_serving(bool enabled);
 
   /// Serializes config, thresholds, optimized weights and every weak
   /// learner. A loaded ensemble predicts bit-identically to the saved one
@@ -159,16 +172,23 @@ class IWareEnsemble {
  private:
   std::vector<double> ComputeThresholds(const Dataset& data) const;
 
-  /// Recompiles `learners_` into the flat serving layer (no-op for non-DTB
-  /// ensembles). Called at the end of Fit and Load: the compiled forest is
-  /// derived state, never serialized, so the archive format is untouched.
-  void RebuildCompiledForest();
+  /// Re-selects the serving backend for `learners_` (SelectScoringBackend:
+  /// compiled-DTB, compiled-SVB, or reference). Called at the end of Fit
+  /// and Load: the backend is derived state, never serialized, so the
+  /// archive format is untouched.
+  void RebuildScoringBackend();
+
+  /// The per-call ensemble view the backend reads (reference backend only;
+  /// compiled backends own flattened copies).
+  WeakLearnerSetView View() const {
+    return WeakLearnerSetView{learners_, thresholds_, weights_};
+  }
 
   IWareConfig config_;
   std::vector<double> thresholds_;
   std::vector<std::unique_ptr<Classifier>> learners_;
   std::vector<double> weights_;
-  std::unique_ptr<CompiledForest> compiled_forest_;
+  std::unique_ptr<ScoringBackend> backend_;
   bool fitted_ = false;
 };
 

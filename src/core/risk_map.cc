@@ -44,22 +44,22 @@ StatusOr<RiskMaps> LoadRiskMaps(ArchiveReader* ar) {
   return maps;
 }
 
-RiskMaps PredictRiskMap(const IWareEnsemble& model, const Park& park,
-                        const PatrolHistory& history, int t,
-                        double assumed_effort) {
+namespace {
+
+// Scores the all-cells view (row i = dense cell id i) and scatters the
+// predictions into risk/variance layers.
+RiskMaps ScoreCellsToMaps(const IWareEnsemble& model,
+                          const FeatureMatrixView& cells,
+                          double assumed_effort) {
   CheckOrDie(assumed_effort >= 0.0, "assumed_effort must be >= 0");
-  // Dense cell ids in order, so prediction i maps straight to cell id i —
-  // one flat feature buffer, no Dataset construction on the hot path.
-  const std::vector<double> rows = BuildCellFeatureRows(park, history, t);
   std::vector<Prediction> preds;
-  model.PredictBatch(
-      FeatureMatrixView::FromFlat(rows, park.num_features() + 1),
-      assumed_effort, &preds);
+  model.PredictBatch(cells, assumed_effort, &preds);
+  const int n = cells.rows();
   RiskMaps maps;
   maps.assumed_effort = assumed_effort;
-  maps.risk.resize(park.num_cells());
-  maps.variance.resize(park.num_cells());
-  ParallelFor(model.config().parallelism, 0, park.num_cells(), kAssemblyGrain,
+  maps.risk.resize(n);
+  maps.variance.resize(n);
+  ParallelFor(model.config().parallelism, 0, n, kAssemblyGrain,
               [&](std::int64_t lo, std::int64_t hi) {
                 for (std::int64_t id = lo; id < hi; ++id) {
                   maps.risk[id] = preds[id].prob;
@@ -67,6 +67,26 @@ RiskMaps PredictRiskMap(const IWareEnsemble& model, const Park& park,
                 }
               });
   return maps;
+}
+
+}  // namespace
+
+RiskMaps PredictRiskMap(const IWareEnsemble& model, const Park& park,
+                        const PatrolHistory& history, int t,
+                        double assumed_effort) {
+  // Dense cell ids in order, so prediction i maps straight to cell id i —
+  // one flat feature buffer, no Dataset construction on the hot path.
+  const std::vector<double> rows = BuildCellFeatureRows(park, history, t);
+  return ScoreCellsToMaps(
+      model, FeatureMatrixView::FromFlat(rows, park.num_features() + 1),
+      assumed_effort);
+}
+
+RiskMaps PredictRiskMap(const IWareEnsemble& model, const FeaturePlane& plane,
+                        double assumed_effort) {
+  // The plane's rows are byte-identical to BuildCellFeatureRows output for
+  // the same coverage layer, so this only skips the per-request assembly.
+  return ScoreCellsToMaps(model, plane.Cells(), assumed_effort);
 }
 
 GridD ToGrid(const Park& park, const std::vector<double>& values) {
@@ -89,6 +109,15 @@ EffortCurveTable PredictCellEffortCurves(const IWareEnsemble& model,
   return model.PredictEffortCurves(
       FeatureMatrixView::FromFlat(rows, park.num_features() + 1),
       std::move(effort_grid));
+}
+
+EffortCurveTable PredictCellEffortCurves(const IWareEnsemble& model,
+                                         const FeaturePlane& plane,
+                                         const std::vector<int>& cell_ids,
+                                         std::vector<double> effort_grid) {
+  std::vector<double> buf;
+  const FeatureMatrixView rows = plane.GatherCells(cell_ids, &buf);
+  return model.PredictEffortCurves(rows, std::move(effort_grid));
 }
 
 std::vector<double> ConvolveRisk(const Park& park,

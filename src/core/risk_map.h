@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/iware.h"
+#include "geo/feature_plane.h"
 #include "geo/park.h"
 #include "geo/raster_ops.h"
 #include "ml/effort_curve.h"
@@ -35,6 +36,14 @@ RiskMaps PredictRiskMap(const IWareEnsemble& model, const Park& park,
                         const PatrolHistory& history, int t,
                         double assumed_effort);
 
+/// Serving-side variant over a prebuilt FeaturePlane: the per-request
+/// feature-row assembly is skipped entirely (the plane caches all-cells
+/// rows as derived state), so repeated risk maps only pay the model
+/// scoring. Bit-identical to the history-based overload built from the
+/// same coverage layer.
+RiskMaps PredictRiskMap(const IWareEnsemble& model, const FeaturePlane& plane,
+                        double assumed_effort);
+
 /// Rasterizes a per-dense-cell vector onto the park grid (out-of-park = 0).
 GridD ToGrid(const Park& park, const std::vector<double>& values);
 
@@ -47,6 +56,14 @@ GridD ToGrid(const Park& park, const std::vector<double>& values);
 EffortCurveTable PredictCellEffortCurves(const IWareEnsemble& model,
                                          const Park& park,
                                          const PatrolHistory& history, int t,
+                                         const std::vector<int>& cell_ids,
+                                         std::vector<double> effort_grid);
+
+/// Serving-side variant over a prebuilt FeaturePlane (rows gathered from
+/// the cache instead of re-assembled from the rasters). Bit-identical to
+/// the history-based overload built from the same coverage layer.
+EffortCurveTable PredictCellEffortCurves(const IWareEnsemble& model,
+                                         const FeaturePlane& plane,
                                          const std::vector<int>& cell_ids,
                                          std::vector<double> effort_grid);
 

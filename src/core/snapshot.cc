@@ -12,12 +12,40 @@ namespace {
 constexpr uint32_t kSnapshotSchemaVersion = 1;
 constexpr uint32_t kSnapshotSectionTag = FourCc("SNAP");
 
-PatrolHistory OneStepHistory(std::vector<double> lagged_effort) {
-  PatrolHistory history;
-  StepRecord step;
-  step.effort = std::move(lagged_effort);
-  history.steps.push_back(std::move(step));
-  return history;
+// Validates the post/config, builds the post's planning graph and solves
+// the robust MILP from curves supplied by `tabulate(cell_ids, grid)` — the
+// shared skeleton of the history- and plane-backed planning paths.
+template <typename TabulateFn>
+StatusOr<PatrolPlan> PlanForPostImpl(const Park& park, int post_index,
+                                     const PlannerConfig& config,
+                                     const RobustParams& robust,
+                                     const TabulateFn& tabulate) {
+  const auto& posts = park.patrol_posts();
+  if (post_index < 0 || post_index >= static_cast<int>(posts.size())) {
+    return Status::InvalidArgument("PlanForPost: bad post index");
+  }
+  // Invalid planner configs must surface as Status (as PlanPatrols reports
+  // them), not abort inside the grid construction below.
+  PAWS_RETURN_IF_ERROR(ValidatePlannerConfig(config));
+  const PlanningGraph graph = BuildPlanningGraph(
+      park, posts[post_index], std::max(2, config.horizon / 2));
+  // Batch-first hot path: one tabulation of the ensemble over the planner's
+  // PWL breakpoints feeds the whole MILP — no per-cell closures.
+  const EffortCurveTable curves = tabulate(
+      graph.park_cell_ids,
+      UniformEffortGrid(0.0, PlannerEffortCap(config), config.pwl_segments));
+  const auto utilities = MakeRobustUtilityTables(curves, robust);
+  return PlanPatrols(graph, utilities, config);
+}
+
+// FeaturePlane treats an empty vector as all-zero coverage; a snapshot
+// must not — an accidentally defaulted coverage layer from a custom
+// serving stack should fail loudly, exactly as a wrong-sized one does.
+std::vector<double> RequireParkSizedLag(const Park& park,
+                                        std::vector<double> lagged_effort) {
+  CheckOrDie(static_cast<int>(lagged_effort.size()) == park.num_cells(),
+             "ModelSnapshot: lagged-effort layer does not match the park");
+  return lagged_effort;
 }
 
 }  // namespace
@@ -26,27 +54,29 @@ ModelSnapshot::ModelSnapshot(IWareEnsemble model, Park park,
                              std::vector<double> lagged_effort)
     : model_(std::move(model)),
       park_(std::move(park)),
-      history_(OneStepHistory(std::move(lagged_effort))) {
-  CheckOrDie(history_.num_cells() == park_.num_cells(),
+      plane_(park_, RequireParkSizedLag(park_, std::move(lagged_effort))) {}
+
+void ModelSnapshot::UpdateLaggedEffort(std::vector<double> lagged_effort) {
+  CheckOrDie(static_cast<int>(lagged_effort.size()) == park_.num_cells(),
              "ModelSnapshot: lagged-effort layer does not match the park");
+  plane_.UpdateLaggedEffort(std::move(lagged_effort));
 }
 
 RiskMaps ModelSnapshot::PredictRisk(double assumed_effort) const {
-  // t = 1: the builders read the lagged layer from steps[0].
-  return PredictRiskMap(model_, park_, history_, /*t=*/1, assumed_effort);
+  return PredictRiskMap(model_, plane_, assumed_effort);
 }
 
 EffortCurveTable ModelSnapshot::PredictCellCurves(
     const std::vector<int>& cell_ids, std::vector<double> effort_grid) const {
-  return PredictCellEffortCurves(model_, park_, history_, /*t=*/1, cell_ids,
+  return PredictCellEffortCurves(model_, plane_, cell_ids,
                                  std::move(effort_grid));
 }
 
 StatusOr<PatrolPlan> ModelSnapshot::PlanForPost(
     int post_index, const PlannerConfig& config,
     const RobustParams& robust) const {
-  return PlanForPostWithModel(model_, park_, history_, /*t=*/1, post_index,
-                              config, robust);
+  return PlanForPostWithPlane(model_, park_, plane_, post_index, config,
+                              robust);
 }
 
 void SaveModelSnapshotParts(const IWareEnsemble& model, const Park& park,
@@ -63,7 +93,7 @@ void SaveModelSnapshotParts(const IWareEnsemble& model, const Park& park,
 }
 
 void ModelSnapshot::Save(ArchiveWriter* ar) const {
-  SaveModelSnapshotParts(model_, park_, history_.steps[0].effort, ar);
+  SaveModelSnapshotParts(model_, park_, plane_.lagged_effort(), ar);
 }
 
 StatusOr<ModelSnapshot> ModelSnapshot::Load(ArchiveReader* ar) {
@@ -104,28 +134,39 @@ StatusOr<ModelSnapshot> ModelSnapshot::ReadFile(const std::string& path) {
   return snapshot;
 }
 
+StatusOr<ModelSnapshot> ModelSnapshot::FromBytes(const std::string& bytes) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader, ArchiveReader::FromBytes(bytes));
+  PAWS_ASSIGN_OR_RETURN(ModelSnapshot snapshot, Load(&reader));
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return snapshot;
+}
+
 StatusOr<PatrolPlan> PlanForPostWithModel(const IWareEnsemble& model,
                                           const Park& park,
                                           const PatrolHistory& history, int t,
                                           int post_index,
                                           const PlannerConfig& config,
                                           const RobustParams& robust) {
-  const auto& posts = park.patrol_posts();
-  if (post_index < 0 || post_index >= static_cast<int>(posts.size())) {
-    return Status::InvalidArgument("PlanForPost: bad post index");
-  }
-  // Invalid planner configs must surface as Status (as PlanPatrols reports
-  // them), not abort inside the grid construction below.
-  PAWS_RETURN_IF_ERROR(ValidatePlannerConfig(config));
-  const PlanningGraph graph = BuildPlanningGraph(
-      park, posts[post_index], std::max(2, config.horizon / 2));
-  // Batch-first hot path: one tabulation of the ensemble over the planner's
-  // PWL breakpoints feeds the whole MILP — no per-cell closures.
-  const EffortCurveTable curves = PredictCellEffortCurves(
-      model, park, history, t, graph.park_cell_ids,
-      UniformEffortGrid(0.0, PlannerEffortCap(config), config.pwl_segments));
-  const auto utilities = MakeRobustUtilityTables(curves, robust);
-  return PlanPatrols(graph, utilities, config);
+  return PlanForPostImpl(
+      park, post_index, config, robust,
+      [&](const std::vector<int>& cell_ids, std::vector<double> grid) {
+        return PredictCellEffortCurves(model, park, history, t, cell_ids,
+                                       std::move(grid));
+      });
+}
+
+StatusOr<PatrolPlan> PlanForPostWithPlane(const IWareEnsemble& model,
+                                          const Park& park,
+                                          const FeaturePlane& plane,
+                                          int post_index,
+                                          const PlannerConfig& config,
+                                          const RobustParams& robust) {
+  return PlanForPostImpl(
+      park, post_index, config, robust,
+      [&](const std::vector<int>& cell_ids, std::vector<double> grid) {
+        return PredictCellEffortCurves(model, plane, cell_ids,
+                                       std::move(grid));
+      });
 }
 
 }  // namespace paws

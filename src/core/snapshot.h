@@ -6,6 +6,7 @@
 
 #include "core/iware.h"
 #include "core/risk_map.h"
+#include "geo/feature_plane.h"
 #include "geo/park.h"
 #include "plan/planner.h"
 #include "plan/robust.h"
@@ -21,6 +22,13 @@ namespace paws {
 /// present, and its predictions are bit-identical to the model that was
 /// saved.
 ///
+/// Serving reads feature rows from a FeaturePlane built once at
+/// construction/load (derived state, never serialized): all-cells rows
+/// plus the lagged-coverage column, so no per-request raster re-assembly.
+/// UpdateLaggedEffort is the only invalidation point — it rewrites the
+/// plane's coverage column and bumps coverage_version(), which serving
+/// caches above (ParkService) key on.
+///
 /// Produced by PawsPipeline::SaveModel / LoadModel (or assembled directly
 /// from parts for custom serving stacks).
 class ModelSnapshot {
@@ -34,9 +42,17 @@ class ModelSnapshot {
   /// For re-pinning prediction parallelism (IWareEnsemble::set_parallelism).
   IWareEnsemble& mutable_model() { return model_; }
   const Park& park() const { return park_; }
+  const FeaturePlane& feature_plane() const { return plane_; }
   const std::vector<double>& lagged_effort() const {
-    return history_.steps[0].effort;
+    return plane_.lagged_effort();
   }
+  /// Bumped by every UpdateLaggedEffort (see FeaturePlane).
+  uint64_t coverage_version() const { return plane_.coverage_version(); }
+
+  /// Installs a new lagged patrol-coverage layer (a fresh step of SMART
+  /// data arriving in the field): rewrites the plane's coverage column in
+  /// place and invalidates anything keyed on coverage_version().
+  void UpdateLaggedEffort(std::vector<double> lagged_effort);
 
   /// Risk/uncertainty maps over every park cell at `assumed_effort` km —
   /// the serving analogue of PawsPipeline::PredictRisk.
@@ -57,13 +73,17 @@ class ModelSnapshot {
   /// Whole-file convenience wrappers around Save/Load.
   Status WriteFile(const std::string& path) const;
   static StatusOr<ModelSnapshot> ReadFile(const std::string& path);
+  /// Load from an in-memory archive (the wire bytes WriteFile persists) —
+  /// how a serving fleet hydrates snapshots received over the network.
+  /// Same validation as ReadFile, including trailing-garbage rejection.
+  static StatusOr<ModelSnapshot> FromBytes(const std::string& bytes);
 
  private:
   IWareEnsemble model_;
   Park park_;
-  /// One synthetic step holding the lagged coverage layer, so the serving
-  /// calls below reuse the history-based builders at t = 1 unchanged.
-  PatrolHistory history_;
+  /// Derived serving state: cached all-cells feature rows + lagged
+  /// coverage (rebuilt on construction/load, never serialized).
+  FeaturePlane plane_;
 };
 
 /// Writes the ModelSnapshot wire format from unowned parts — how the
@@ -79,6 +99,17 @@ void SaveModelSnapshotParts(const IWareEnsemble& model, const Park& park,
 StatusOr<PatrolPlan> PlanForPostWithModel(const IWareEnsemble& model,
                                           const Park& park,
                                           const PatrolHistory& history, int t,
+                                          int post_index,
+                                          const PlannerConfig& config,
+                                          const RobustParams& robust);
+
+/// FeaturePlane-backed variant (the snapshot/ParkService serving path):
+/// effort curves are tabulated from the plane's cached rows instead of
+/// re-assembling them from the rasters. Bit-identical plans for the same
+/// coverage layer.
+StatusOr<PatrolPlan> PlanForPostWithPlane(const IWareEnsemble& model,
+                                          const Park& park,
+                                          const FeaturePlane& plane,
                                           int post_index,
                                           const PlannerConfig& config,
                                           const RobustParams& robust);

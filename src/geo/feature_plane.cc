@@ -1,0 +1,63 @@
+#include "geo/feature_plane.h"
+
+#include <utility>
+
+namespace paws {
+
+std::vector<double> FeaturePlane::BuildRows(const Park& park,
+                                            const std::vector<double>* lagged,
+                                            const std::vector<int>& cell_ids) {
+  std::vector<double> rows;
+  rows.reserve(cell_ids.size() * (park.num_features() + 1));
+  for (int id : cell_ids) {
+    const std::vector<double> static_x = park.FeatureVector(id);
+    rows.insert(rows.end(), static_x.begin(), static_x.end());
+    rows.push_back(lagged != nullptr ? (*lagged)[id] : 0.0);
+  }
+  return rows;
+}
+
+FeaturePlane::FeaturePlane(const Park& park,
+                           std::vector<double> lagged_effort)
+    : num_cells_(park.num_cells()), row_width_(park.num_features() + 1) {
+  if (lagged_effort.empty()) {
+    lagged_effort.assign(num_cells_, 0.0);
+  }
+  CheckOrDie(static_cast<int>(lagged_effort.size()) == num_cells_,
+             "FeaturePlane: lagged-effort layer does not match the park");
+  lagged_effort_ = std::move(lagged_effort);
+  std::vector<int> cell_ids(num_cells_);
+  for (int id = 0; id < num_cells_; ++id) cell_ids[id] = id;
+  rows_ = BuildRows(park, &lagged_effort_, cell_ids);
+}
+
+FeatureMatrixView FeaturePlane::GatherCells(const std::vector<int>& cell_ids,
+                                            std::vector<double>* buf) const {
+  buf->clear();
+  buf->reserve(cell_ids.size() * row_width_);
+  for (int id : cell_ids) {
+    CheckOrDie(id >= 0 && id < num_cells_,
+               "FeaturePlane::GatherCells: cell id out of range");
+    const double* row = rows_.data() + static_cast<size_t>(id) * row_width_;
+    buf->insert(buf->end(), row, row + row_width_);
+  }
+  return FeatureMatrixView::FromFlat(*buf, row_width_);
+}
+
+void FeaturePlane::UpdateLaggedEffort(std::vector<double> lagged_effort) {
+  if (lagged_effort.empty()) {
+    lagged_effort.assign(num_cells_, 0.0);
+  }
+  CheckOrDie(static_cast<int>(lagged_effort.size()) == num_cells_,
+             "FeaturePlane::UpdateLaggedEffort: layer/park mismatch");
+  lagged_effort_ = std::move(lagged_effort);
+  // Only the trailing column carries time-variant state: a strided column
+  // rewrite, no re-gather of the static feature rasters.
+  double* column = rows_.data() + (row_width_ - 1);
+  for (int id = 0; id < num_cells_; ++id) {
+    column[static_cast<size_t>(id) * row_width_] = lagged_effort_[id];
+  }
+  ++coverage_version_;
+}
+
+}  // namespace paws

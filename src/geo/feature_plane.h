@@ -1,0 +1,81 @@
+#ifndef PAWS_GEO_FEATURE_PLANE_H_
+#define PAWS_GEO_FEATURE_PLANE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/park.h"
+#include "util/feature_matrix.h"
+
+namespace paws {
+
+/// Cached per-cell feature rows for a park at serving time: every dense
+/// cell's static geospatial features plus the one time-variant covariate —
+/// the lagged patrol-coverage column — assembled once as derived state
+/// instead of per request. Serving calls take zero-copy
+/// FeatureMatrixView's over the cache; the rows are byte-identical to what
+/// BuildCellFeatureRows produces from the same park and coverage layer, so
+/// migrating a caller never changes its predictions.
+///
+/// Invalidation contract: the static feature columns are immutable (they
+/// mirror the Park's rasters); only the trailing lagged-coverage column
+/// ever changes. UpdateLaggedEffort rewrites that column in place (a
+/// strided column write — no re-gather of the raster features) and bumps
+/// coverage_version(), which cache layers above (ParkService's LRU of
+/// served risk maps) fold into their keys so stale entries can never be
+/// returned.
+class FeaturePlane {
+ public:
+  /// Builds the plane for every dense cell of `park`. `lagged_effort` is
+  /// the previous step's per-cell patrol coverage; pass an empty vector
+  /// for the t = 0 semantics (zero lagged coverage everywhere).
+  FeaturePlane(const Park& park, std::vector<double> lagged_effort);
+
+  int num_cells() const { return num_cells_; }
+  /// park.num_features() + 1: the trailing column is the lagged coverage.
+  int row_width() const { return row_width_; }
+
+  /// All-cells view, row i = dense cell id i. Valid until the plane is
+  /// destroyed or updated.
+  FeatureMatrixView Cells() const {
+    return FeatureMatrixView::FromFlat(rows_, row_width_);
+  }
+  /// The flat row-major buffer behind Cells().
+  const std::vector<double>& rows() const { return rows_; }
+
+  /// Packs the given cells' rows into `*buf` and returns a view over it
+  /// (the subset analogue of Cells(); `*buf` must outlive the view).
+  FeatureMatrixView GatherCells(const std::vector<int>& cell_ids,
+                                std::vector<double>* buf) const;
+
+  /// The lagged-coverage column (one value per dense cell).
+  const std::vector<double>& lagged_effort() const { return lagged_effort_; }
+
+  /// Monotone counter bumped by every UpdateLaggedEffort — the cache-key
+  /// component that invalidates anything derived from the old coverage.
+  uint64_t coverage_version() const { return coverage_version_; }
+
+  /// Replaces the lagged-coverage layer: rewrites the trailing column of
+  /// every cached row and bumps coverage_version(). Size must match
+  /// num_cells() (or be empty for all-zero coverage).
+  void UpdateLaggedEffort(std::vector<double> lagged_effort);
+
+  /// Assembles flat feature rows (static features + lagged coverage) for
+  /// the given cells without a plane — the one shared assembly loop behind
+  /// this class and BuildCellFeatureRows. `lagged` may be null (zero
+  /// coverage).
+  static std::vector<double> BuildRows(const Park& park,
+                                       const std::vector<double>* lagged,
+                                       const std::vector<int>& cell_ids);
+
+ private:
+  int num_cells_ = 0;
+  int row_width_ = 0;
+  std::vector<double> rows_;  // row-major [cell * row_width_ + column]
+  std::vector<double> lagged_effort_;
+  uint64_t coverage_version_ = 0;
+};
+
+}  // namespace paws
+
+#endif  // PAWS_GEO_FEATURE_PLANE_H_

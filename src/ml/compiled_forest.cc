@@ -8,29 +8,6 @@ namespace paws {
 
 namespace {
 
-// Row-block sizes for the blocked traversal: a block's feature rows stay
-// resident while every tree sweeps over it, and one tree's nodes stay hot
-// across the whole block. Matches the reference path's parallel grains so
-// thread-count sweeps compare like with like.
-constexpr int kRowBlock = 256;
-constexpr int kCurveRowBlock = 256;
-static_assert(kCurveRowBlock <= kRowBlock, "scratch is sized by kRowBlock");
-
-// Fixed-size per-chunk scratch: ParallelFor chunks are capped at kRowBlock
-// rows, so every per-row intermediate lives on the worker's stack and the
-// serving paths allocate nothing per call beyond their output buffers.
-struct ChunkScratch {
-  int idx[kRowBlock];
-  int q[kRowBlock];
-  double sum[kRowBlock];
-  double sum2[kRowBlock];
-  double lmean[kRowBlock];
-  double lvar[kRowBlock];
-  double wsum[kRowBlock];
-  double mean[kRowBlock];
-  double second[kRowBlock];
-};
-
 // One traversal step for one interleaved lane: cursor `c`, feature row
 // `p`. Tree walking is a dependent-load chain (node -> child ->
 // grandchild), so a single row is latency-bound; stepping four lanes with
@@ -50,105 +27,6 @@ struct ChunkScratch {
     live |= static_cast<int>(node.feature >= 0);                            \
     (c) = node.feature >= 0 ? next : (c);                                   \
   }
-
-// Runs `fn(lo, cn)` over [0, n) in chunks of at most `block` rows. The
-// parallel grain is `block`, but a serial ParallelFor hands the whole
-// range to one call, so the body re-blocks itself — every chunk reaching
-// `fn` fits the fixed ChunkScratch capacity.
-template <typename Fn>
-void ForEachBlock(const ParallelismConfig& parallelism, int n, int block,
-                  const Fn& fn) {
-  ParallelFor(parallelism, 0, n, block,
-              [&](std::int64_t lo64, std::int64_t hi64) {
-                for (std::int64_t b = lo64; b < hi64; b += block) {
-                  fn(static_cast<int>(b),
-                     static_cast<int>(
-                         std::min<std::int64_t>(block, hi64 - b)));
-                }
-              });
-}
-
-}  // namespace
-
-bool CompiledForest::FlattenTree(
-    const std::vector<DecisionTree::Node>& nodes) {
-  // Breadth-first renumbering: children are allocated adjacently in queue
-  // order, so each level of the tree occupies one contiguous span — the
-  // span the level-synchronous interleaved traversal hits.
-  struct Item {
-    int src;
-    int32_t dst;
-    int depth;
-  };
-  tree_root_.push_back(static_cast<int32_t>(nodes_.size()));
-  tree_depth_.push_back(0);
-  nodes_.emplace_back();
-  std::vector<Item> queue{{0, tree_root_.back(), 0}};
-  for (size_t head = 0; head < queue.size(); ++head) {
-    const Item item = queue[head];
-    if (item.src < 0 || item.src >= static_cast<int>(nodes.size()) ||
-        queue.size() > nodes.size()) {
-      return false;  // malformed tree: caller abandons compilation
-    }
-    const DecisionTree::Node& node = nodes[item.src];
-    if (node.left < 0) {
-      nodes_[item.dst] = Node{-1, 0, node.prob};
-      tree_depth_.back() = std::max(tree_depth_.back(), item.depth);
-      continue;
-    }
-    if (node.feature < 0) return false;
-    const int32_t kids = static_cast<int32_t>(nodes_.size());
-    nodes_.emplace_back();
-    nodes_.emplace_back();
-    nodes_[item.dst] = Node{node.feature, kids, node.threshold};
-    num_features_ = std::max(num_features_, node.feature + 1);
-    queue.push_back({node.left, kids, item.depth + 1});
-    queue.push_back({node.right, kids + 1, item.depth + 1});
-  }
-  return true;
-}
-
-std::unique_ptr<CompiledForest> CompiledForest::Compile(
-    const std::vector<std::unique_ptr<Classifier>>& learners,
-    const std::vector<double>& thresholds,
-    const std::vector<double>& weights) {
-  if (learners.empty() || learners.size() != thresholds.size() ||
-      learners.size() != weights.size()) {
-    return nullptr;
-  }
-  // The prefix-scan mixing assumes the qualified set at any effort is a
-  // prefix of the learner list, i.e. ascending thresholds.
-  for (size_t i = 1; i < thresholds.size(); ++i) {
-    if (!(thresholds[i] > thresholds[i - 1])) return nullptr;
-  }
-  std::unique_ptr<CompiledForest> forest(new CompiledForest());
-  forest->thresholds_ = thresholds;
-  forest->weights_ = weights;
-  forest->learner_tree_begin_.push_back(0);
-  for (const auto& learner : learners) {
-    const auto* bag = dynamic_cast<const BaggingClassifier*>(learner.get());
-    if (bag == nullptr || bag->num_fitted() == 0) return nullptr;
-    for (int b = 0; b < bag->num_fitted(); ++b) {
-      const auto* tree = dynamic_cast<const DecisionTree*>(&bag->member(b));
-      if (tree == nullptr || tree->NodeCount() == 0) return nullptr;
-      if (!forest->FlattenTree(tree->nodes())) return nullptr;
-    }
-    forest->learner_members_.push_back(bag->num_fitted());
-    forest->learner_tree_begin_.push_back(
-        static_cast<int32_t>(forest->tree_root_.size()));
-  }
-  return forest;
-}
-
-int CompiledForest::NumQualified(double effort) const {
-  // thresholds_ is ascending, so the qualified set is the prefix below the
-  // first threshold exceeding `effort`.
-  return static_cast<int>(std::upper_bound(thresholds_.begin(),
-                                           thresholds_.end(), effort) -
-                          thresholds_.begin());
-}
-
-namespace {
 
 // Walks one flattened tree over the selected rows, accumulating each leaf
 // value and its square into sum/sum2. The first tree of a learner assigns
@@ -221,6 +99,68 @@ void WalkTree(const CompiledForest::Node* nodes, int root, int depth,
 
 }  // namespace
 
+bool CompiledForest::FlattenTree(
+    const std::vector<DecisionTree::Node>& nodes) {
+  // Breadth-first renumbering: children are allocated adjacently in queue
+  // order, so each level of the tree occupies one contiguous span — the
+  // span the level-synchronous interleaved traversal hits.
+  struct Item {
+    int src;
+    int32_t dst;
+    int depth;
+  };
+  tree_root_.push_back(static_cast<int32_t>(nodes_.size()));
+  tree_depth_.push_back(0);
+  nodes_.emplace_back();
+  std::vector<Item> queue{{0, tree_root_.back(), 0}};
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const Item item = queue[head];
+    if (item.src < 0 || item.src >= static_cast<int>(nodes.size()) ||
+        queue.size() > nodes.size()) {
+      return false;  // malformed tree: caller abandons compilation
+    }
+    const DecisionTree::Node& node = nodes[item.src];
+    if (node.left < 0) {
+      nodes_[item.dst] = Node{-1, 0, node.prob};
+      tree_depth_.back() = std::max(tree_depth_.back(), item.depth);
+      continue;
+    }
+    if (node.feature < 0) return false;
+    const int32_t kids = static_cast<int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_.emplace_back();
+    nodes_[item.dst] = Node{node.feature, kids, node.threshold};
+    num_features_ = std::max(num_features_, node.feature + 1);
+    queue.push_back({node.left, kids, item.depth + 1});
+    queue.push_back({node.right, kids + 1, item.depth + 1});
+  }
+  return true;
+}
+
+std::unique_ptr<CompiledForest> CompiledForest::Compile(
+    const std::vector<std::unique_ptr<Classifier>>& learners,
+    const std::vector<double>& thresholds,
+    const std::vector<double>& weights) {
+  if (!ValidEnsembleShape(learners, thresholds, weights)) return nullptr;
+  std::unique_ptr<CompiledForest> forest(new CompiledForest());
+  forest->thresholds_ = thresholds;
+  forest->weights_ = weights;
+  forest->learner_tree_begin_.push_back(0);
+  for (const auto& learner : learners) {
+    const auto* bag = dynamic_cast<const BaggingClassifier*>(learner.get());
+    if (bag == nullptr || bag->num_fitted() == 0) return nullptr;
+    for (int b = 0; b < bag->num_fitted(); ++b) {
+      const auto* tree = dynamic_cast<const DecisionTree*>(&bag->member(b));
+      if (tree == nullptr || tree->NodeCount() == 0) return nullptr;
+      if (!forest->FlattenTree(tree->nodes())) return nullptr;
+    }
+    forest->learner_members_.push_back(bag->num_fitted());
+    forest->learner_tree_begin_.push_back(
+        static_cast<int32_t>(forest->tree_root_.size()));
+  }
+  return forest;
+}
+
 void CompiledForest::ScoreLearner(int learner, const double* rows, int stride,
                                   const int* idx, int count, double* sum,
                                   double* sum2, double* mean,
@@ -244,186 +184,6 @@ void CompiledForest::ScoreLearner(int learner, const double* rows, int stride,
     mean[i] = m;
     variance[i] = std::max(0.0, s - m * m);
   }
-}
-
-void CompiledForest::PredictBatch(const FeatureMatrixView& x, double effort,
-                                  const ParallelismConfig& parallelism,
-                                  std::vector<Prediction>* out) const {
-  const int n = x.rows();
-  out->resize(n);
-  if (n == 0) return;
-  CheckOrDie(x.cols() >= num_features_,
-             "CompiledForest: feature rows too narrow");
-  const int q = NumQualified(effort);
-  auto run_block = [&](int lo, int cn) {
-    const double* rows = x.Row(lo);
-    ChunkScratch s;
-    for (int r = 0; r < cn; ++r) s.idx[r] = r;
-    std::fill(s.mean, s.mean + cn, 0.0);
-    std::fill(s.second, s.second + cn, 0.0);
-    double wsum = 0.0;
-    for (int i = 0; i < q; ++i) {
-      ScoreLearner(i, rows, x.cols(), s.idx, cn, s.sum, s.sum2, s.lmean,
-                   s.lvar);
-      const double w = weights_[i];
-      wsum += w;
-      for (int r = 0; r < cn; ++r) {
-        s.mean[r] += w * s.lmean[r];
-        s.second[r] += w * (s.lvar[r] + s.lmean[r] * s.lmean[r]);
-      }
-    }
-    if (wsum <= 0.0) {
-      // Effort below every threshold (or zero qualified weight): the
-      // loosest learner's raw prediction, as the reference path does.
-      ScoreLearner(0, rows, x.cols(), s.idx, cn, s.sum, s.sum2, s.lmean,
-                   s.lvar);
-      for (int r = 0; r < cn; ++r) {
-        (*out)[lo + r] = Prediction{s.lmean[r], s.lvar[r]};
-      }
-      return;
-    }
-    for (int r = 0; r < cn; ++r) {
-      const double m = s.mean[r] / wsum;
-      const double sec = s.second[r] / wsum;
-      (*out)[lo + r] = Prediction{m, std::max(0.0, sec - m * m)};
-    }
-  };
-  ForEachBlock(parallelism, n, kRowBlock, run_block);
-}
-
-void CompiledForest::PredictBatch(const FeatureMatrixView& x,
-                                  const std::vector<double>& efforts,
-                                  const ParallelismConfig& parallelism,
-                                  std::vector<Prediction>* out) const {
-  const int n = x.rows();
-  CheckOrDie(static_cast<int>(efforts.size()) == n,
-             "CompiledForest: one effort per row required");
-  out->resize(n);
-  if (n == 0) return;
-  CheckOrDie(x.cols() >= num_features_,
-             "CompiledForest: feature rows too narrow");
-  auto run_block = [&](int lo, int cn) {
-    const double* rows = x.Row(lo);
-    // Per-row qualified prefix length; learner i scores exactly the
-    // rows with q[r] > i, compacted into `idx`, so accumulation per
-    // row still runs in learner order — the reference's
-    // gather-per-learner pass without copying any feature rows.
-    ChunkScratch s;
-    int max_q = 0;
-    for (int r = 0; r < cn; ++r) {
-      s.q[r] = NumQualified(efforts[lo + r]);
-      max_q = std::max(max_q, s.q[r]);
-    }
-    std::fill(s.wsum, s.wsum + cn, 0.0);
-    std::fill(s.mean, s.mean + cn, 0.0);
-    std::fill(s.second, s.second + cn, 0.0);
-    for (int i = 0; i < max_q; ++i) {
-      int count = 0;
-      for (int r = 0; r < cn; ++r) {
-        if (s.q[r] > i) s.idx[count++] = r;
-      }
-      if (count == 0) continue;
-      ScoreLearner(i, rows, x.cols(), s.idx, count, s.sum, s.sum2,
-                   s.lmean, s.lvar);
-      const double w = weights_[i];
-      for (int j = 0; j < count; ++j) {
-        const int r = s.idx[j];
-        s.wsum[r] += w;
-        s.mean[r] += w * s.lmean[j];
-        s.second[r] += w * (s.lvar[j] + s.lmean[j] * s.lmean[j]);
-      }
-    }
-    // Rows whose effort sits below every threshold (or whose
-    // qualified weights sum to zero) fall back to the loosest learner.
-    int fallback = 0;
-    for (int r = 0; r < cn; ++r) {
-      if (s.wsum[r] <= 0.0) s.idx[fallback++] = r;
-    }
-    if (fallback > 0) {
-      ScoreLearner(0, rows, x.cols(), s.idx, fallback, s.sum, s.sum2,
-                   s.lmean, s.lvar);
-      for (int j = 0; j < fallback; ++j) {
-        (*out)[lo + s.idx[j]] = Prediction{s.lmean[j], s.lvar[j]};
-      }
-    }
-    for (int r = 0; r < cn; ++r) {
-      if (s.wsum[r] <= 0.0) continue;
-      const double m = s.mean[r] / s.wsum[r];
-      const double sec = s.second[r] / s.wsum[r];
-      (*out)[lo + r] = Prediction{m, std::max(0.0, sec - m * m)};
-    }
-  };
-  ForEachBlock(parallelism, n, kRowBlock, run_block);
-}
-
-void CompiledForest::FillEffortCurves(const FeatureMatrixView& x,
-                                      const std::vector<double>& effort_grid,
-                                      const ParallelismConfig& parallelism,
-                                      EffortCurveTable* table) const {
-  const int n = x.rows();
-  const int m = static_cast<int>(effort_grid.size());
-  table->num_cells = n;
-  table->prob.assign(static_cast<size_t>(n) * m, 0.0);
-  table->variance.assign(static_cast<size_t>(n) * m, 0.0);
-  if (n == 0) return;
-  CheckOrDie(x.cols() >= num_features_,
-             "CompiledForest: feature rows too narrow");
-  // Score once: learners beyond the grid's top can never qualify; learner
-  // 0 always runs because it serves the below-every-threshold fallback.
-  const int q_max = NumQualified(effort_grid.back());
-  const int num_scored = std::max(1, q_max);
-  auto run_block = [&](int lo, int cn) {
-    const double* rows = x.Row(lo);
-    ChunkScratch s;
-    for (int r = 0; r < cn; ++r) s.idx[r] = r;
-    // Learner scores, [learner * cn + row]. The one heap buffer on
-    // this path: its height is the learner count, which ChunkScratch
-    // cannot bound.
-    std::vector<double> lmean(static_cast<size_t>(num_scored) * cn);
-    std::vector<double> lvar(static_cast<size_t>(num_scored) * cn);
-    for (int i = 0; i < num_scored; ++i) {
-      ScoreLearner(i, rows, x.cols(), s.idx, cn, s.sum, s.sum2,
-                   lmean.data() + static_cast<size_t>(i) * cn,
-                   lvar.data() + static_cast<size_t>(i) * cn);
-    }
-    // Weight prefix scan along the grid, one row at a time: extending
-    // the running mixture with learner qi replays the reference's
-    // from-zero accumulation (same terms, same order), so every grid
-    // point is bit-identical while the per-point cost drops from O(K)
-    // to amortized O(1). Row-major emission keeps the accumulators in
-    // registers and the table writes sequential.
-    const double* thresholds = thresholds_.data();
-    const double* weights = weights_.data();
-    for (int r = 0; r < cn; ++r) {
-      double* prob_row =
-          table->prob.data() + static_cast<size_t>(lo + r) * m;
-      double* var_row =
-          table->variance.data() + static_cast<size_t>(lo + r) * m;
-      double wsum = 0.0, mean = 0.0, second = 0.0;
-      int qi = 0;
-      for (int k = 0; k < m; ++k) {
-        while (qi < q_max && thresholds[qi] <= effort_grid[k]) {
-          const double w = weights[qi];
-          const double lm = lmean[static_cast<size_t>(qi) * cn + r];
-          const double lv = lvar[static_cast<size_t>(qi) * cn + r];
-          wsum += w;
-          mean += w * lm;
-          second += w * (lv + lm * lm);
-          ++qi;
-        }
-        if (wsum <= 0.0) {
-          prob_row[k] = lmean[r];
-          var_row[k] = lvar[r];
-        } else {
-          const double mu = mean / wsum;
-          const double sec = second / wsum;
-          prob_row[k] = mu;
-          var_row[k] = std::max(0.0, sec - mu * mu);
-        }
-      }
-    }
-  };
-  ForEachBlock(parallelism, n, kCurveRowBlock, run_block);
 }
 
 }  // namespace paws

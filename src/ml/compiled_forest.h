@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ml/classifier.h"
+#include "ml/compiled_backend.h"
 #include "ml/decision_tree.h"
 #include "ml/effort_curve.h"
 #include "util/feature_matrix.h"
@@ -13,7 +14,7 @@
 
 namespace paws {
 
-/// Flat structure-of-arrays serving layer for an iWare-E ensemble whose
+/// Flat structure-of-arrays ScoringBackend for an iWare-E ensemble whose
 /// weak learners are all baggings of decision trees (DTB / random forest —
 /// the traffic-facing configuration for large parks). Every tree of every
 /// threshold learner is flattened into one contiguous node pool laid out
@@ -27,49 +28,29 @@ namespace paws {
 /// IWareEnsemble::PredictBatch / PredictEffortCurves) bit for bit — member
 /// probabilities are accumulated in member order, learner mixtures in
 /// learner order, and every divide / clamp is performed exactly where the
-/// reference performs it. Effort-curve tables additionally exploit that the
-/// qualified set at any effort is a prefix of the threshold-sorted learner
-/// list: each learner is scored once per cell and every grid point is
-/// assembled by extending a running weight prefix scan, turning the O(E*K)
-/// re-mixing sweep into O(K) scoring plus O(E + K) mixing.
+/// reference performs it. The shared-mixing harness (qualified prefixes,
+/// per-row compaction, score-once effort-curve prefix scan) lives in
+/// internal::CompiledBackendBase and is shared with the compiled-SVB
+/// backend; this class contributes the flattened trees and their
+/// interleaved traversal.
 ///
-/// Instances are derived state: IWareEnsemble rebuilds its compiled forest
-/// at the end of Fit and after Load (never serialized). Ensembles whose
-/// learners are not bagged trees (SVB, GPB) simply have no compiled forest
-/// and serve through the reference path.
-class CompiledForest {
+/// Instances are derived state: IWareEnsemble selects its backend at the
+/// end of Fit and after Load (never serialized). Ensembles whose learners
+/// are not bagged trees compile to another backend or fall back to the
+/// reference path.
+class CompiledForest : public internal::CompiledBackendBase<CompiledForest> {
  public:
   /// Flattens `learners` (parallel to ascending `thresholds` and mixing
-  /// `weights`). Returns nullptr — caller falls back to the reference
-  /// path — unless every learner is a fitted BaggingClassifier whose
-  /// members are all fitted DecisionTrees and the thresholds are strictly
-  /// increasing (the prefix-scan precondition).
+  /// `weights`). Returns nullptr — caller tries the next backend — unless
+  /// every learner is a fitted BaggingClassifier whose members are all
+  /// fitted DecisionTrees and the thresholds are strictly increasing (the
+  /// prefix-scan precondition).
   static std::unique_ptr<CompiledForest> Compile(
       const std::vector<std::unique_ptr<Classifier>>& learners,
       const std::vector<double>& thresholds,
       const std::vector<double>& weights);
 
-  /// Batch prediction under one shared hypothetical effort. Bit-identical
-  /// to the reference IWareEnsemble::PredictBatch(x, effort, out).
-  void PredictBatch(const FeatureMatrixView& x, double effort,
-                    const ParallelismConfig& parallelism,
-                    std::vector<Prediction>* out) const;
-
-  /// Batch prediction with per-row efforts. Bit-identical to the reference
-  /// IWareEnsemble::PredictBatch(x, efforts, out).
-  void PredictBatch(const FeatureMatrixView& x,
-                    const std::vector<double>& efforts,
-                    const ParallelismConfig& parallelism,
-                    std::vector<Prediction>* out) const;
-
-  /// Fills `table->num_cells`, `table->prob` and `table->variance` for the
-  /// given strictly increasing grid (the caller owns `effort_grid` and
-  /// `qualified_count`). Bit-identical to the reference
-  /// IWareEnsemble::PredictEffortCurves via the score-once prefix scan.
-  void FillEffortCurves(const FeatureMatrixView& x,
-                        const std::vector<double>& effort_grid,
-                        const ParallelismConfig& parallelism,
-                        EffortCurveTable* table) const;
+  const char* name() const override { return "compiled-dtb"; }
 
   /// One flattened tree node, packed to 16 bytes so a visit touches a
   /// single cache line. Internal node: `feature >= 0`, `value` is the
@@ -81,34 +62,32 @@ class CompiledForest {
     double value = 0.0;
   };
 
-  int num_learners() const {
-    return static_cast<int>(learner_tree_begin_.size()) - 1;
-  }
   int num_trees() const { return static_cast<int>(tree_root_.size()); }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
-  /// Widest feature index any tree splits on, plus one — the minimum row
-  /// width accepted by the predict calls.
-  int num_features() const { return num_features_; }
 
  private:
+  friend class internal::CompiledBackendBase<CompiledForest>;
+
   CompiledForest() = default;
 
   bool FlattenTree(const std::vector<DecisionTree::Node>& nodes);
 
-  int NumQualified(double effort) const;
-
-  /// Scores one learner over the `count` rows selected by `idx` (indices
-  /// into the row-major block at `rows` with stride `stride`): per selected
-  /// row, the member-order sum of tree outputs and squares in `sum`/`sum2`
-  /// (caller-zeroed, length `count`), then the bagging mean and clamped
-  /// ensemble-spread variance in `mean`/`variance` — exactly
-  /// BaggingClassifier::PredictBatchWithVariance. Rows are traversed in
-  /// interleaved groups with independent cursors so the per-level node
-  /// loads of several rows overlap instead of serializing on one
-  /// pointer-chase chain.
+  /// Scores one learner over the `count` rows selected by `idx` (see
+  /// CompiledBackendBase for the exact contract): per selected row, the
+  /// member-order sum of tree outputs and squares in `sum`/`sum2`, then
+  /// the bagging mean and clamped ensemble-spread variance in
+  /// `mean`/`variance`. Rows are traversed in interleaved groups with
+  /// independent cursors so the per-level node loads of several rows
+  /// overlap instead of serializing on one pointer-chase chain.
   void ScoreLearner(int learner, const double* rows, int stride,
                     const int* idx, int count, double* sum, double* sum2,
                     double* mean, double* variance) const;
+
+  /// Trees may never split on trailing features, so wider rows are fine.
+  void CheckRowWidth(int cols) const {
+    CheckOrDie(cols >= num_features_,
+               "CompiledForest: feature rows too narrow");
+  }
 
   // One contiguous node pool for every tree. Each tree's nodes are laid
   // out breadth-first from its root: the interleaved traversal advances
@@ -121,9 +100,6 @@ class CompiledForest {
   // learner_tree_begin_[i + 1]).
   std::vector<int32_t> learner_tree_begin_;  // size num_learners + 1
   std::vector<int32_t> learner_members_;     // bagging denominator B
-  std::vector<double> thresholds_;           // ascending effort thresholds
-  std::vector<double> weights_;              // mixing weights
-  int num_features_ = 0;
 };
 
 }  // namespace paws

@@ -39,6 +39,15 @@ class LinearSvm : public Classifier {
   /// Raw decision value w.x + b on standardized features.
   double DecisionValue(const std::vector<double>& x) const;
 
+  /// Fitted-parameter access for the compiled-SVB serving backend, which
+  /// flattens these into one weight matrix (see ml/compiled_linear.h).
+  bool fitted() const { return fitted_; }
+  const Standardizer& standardizer() const { return standardizer_; }
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  double platt_a() const { return platt_a_; }
+  double platt_b() const { return platt_b_; }
+
  private:
   double DecisionValueRow(const double* x) const;
 

@@ -1,0 +1,87 @@
+#ifndef PAWS_ML_SCORING_BACKEND_H_
+#define PAWS_ML_SCORING_BACKEND_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/effort_curve.h"
+#include "util/feature_matrix.h"
+#include "util/thread_pool.h"
+
+namespace paws {
+
+/// Non-owning view of an iWare-E ensemble's weak-learner state, passed into
+/// every ScoringBackend call. Backends that serve straight off the fitted
+/// learners (the reference path) read it; compiled backends own flattened
+/// copies of everything they need and ignore it. Passing the view per call
+/// (rather than capturing pointers at backend-construction time) keeps
+/// backends valid across moves of the owning ensemble.
+struct WeakLearnerSetView {
+  const std::vector<std::unique_ptr<Classifier>>& learners;
+  /// Ascending effort thresholds, parallel to `learners`: learner i votes
+  /// when thresholds[i] <= the hypothetical effort.
+  const std::vector<double>& thresholds;
+  /// Mixing weights, parallel to `learners`.
+  const std::vector<double>& weights;
+};
+
+/// The serving seam of an iWare-E ensemble: one implementation of the three
+/// batched scoring calls (shared-effort batches, per-row-effort batches,
+/// effort-curve tables). IWareEnsemble selects a backend per ensemble when
+/// the learner set changes (Fit / Load / set_compiled_serving) and
+/// delegates every serving call to it, so the hot paths carry no per-call
+/// branching on learner kind.
+///
+/// Contract: every backend is bit-identical to the reference path — member
+/// probabilities accumulate in member order, learner mixtures in learner
+/// order, and each divide / clamp happens exactly where the reference
+/// performs it. Backends must be safe for concurrent const calls.
+class ScoringBackend {
+ public:
+  virtual ~ScoringBackend() = default;
+
+  /// Stable identifier for logs/tests: "reference", "compiled-dtb",
+  /// "compiled-svb".
+  virtual const char* name() const = 0;
+
+  /// Batch prediction under one shared hypothetical effort (the risk-map
+  /// hot path).
+  virtual void PredictBatch(const WeakLearnerSetView& ensemble,
+                            const FeatureMatrixView& x, double effort,
+                            const ParallelismConfig& parallelism,
+                            std::vector<Prediction>* out) const = 0;
+
+  /// Batch prediction with per-row efforts (dataset scoring).
+  virtual void PredictBatch(const WeakLearnerSetView& ensemble,
+                            const FeatureMatrixView& x,
+                            const std::vector<double>& efforts,
+                            const ParallelismConfig& parallelism,
+                            std::vector<Prediction>* out) const = 0;
+
+  /// Fills `table->num_cells`, `table->prob` and `table->variance` for the
+  /// strictly increasing `effort_grid`; the caller owns `effort_grid` and
+  /// `qualified_count`.
+  virtual void FillEffortCurves(const WeakLearnerSetView& ensemble,
+                                const FeatureMatrixView& x,
+                                const std::vector<double>& effort_grid,
+                                const ParallelismConfig& parallelism,
+                                EffortCurveTable* table) const = 0;
+};
+
+/// The reference backend: virtual-dispatch scoring through the learners'
+/// own PredictBatchWithVariance, mixed per row. Works for every learner
+/// kind; the compiled backends are measured (and tested) against it.
+std::unique_ptr<ScoringBackend> MakeReferenceScoringBackend();
+
+/// Picks the fastest backend the learner set supports: compiled-DTB for
+/// baggings of decision trees, compiled-SVB for baggings of linear SVMs,
+/// otherwise the reference backend. Never returns nullptr.
+std::unique_ptr<ScoringBackend> SelectScoringBackend(
+    const std::vector<std::unique_ptr<Classifier>>& learners,
+    const std::vector<double>& thresholds,
+    const std::vector<double>& weights);
+
+}  // namespace paws
+
+#endif  // PAWS_ML_SCORING_BACKEND_H_

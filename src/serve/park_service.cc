@@ -1,0 +1,252 @@
+#include "serve/park_service.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace paws {
+
+namespace {
+
+Status UnknownPark(const std::string& park_id) {
+  return Status::NotFound("ParkService: no park registered as '" + park_id +
+                          "'");
+}
+
+uint64_t EffortBits(double effort) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &effort, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+size_t ParkService::RiskKeyHash::operator()(const RiskKey& key) const {
+  // FNV-1a over the three key fields.
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(key.snapshot_version);
+  mix(key.coverage_version);
+  mix(key.effort_bits);
+  return static_cast<size_t>(h);
+}
+
+ParkService::ParkService(ParkServiceOptions options)
+    : options_(std::move(options)) {
+  CheckOrDie(options_.risk_cache_capacity > 0,
+             "ParkService: risk_cache_capacity must be positive");
+}
+
+Status ParkService::Register(const std::string& park_id,
+                             ModelSnapshot snapshot) {
+  if (park_id.empty()) {
+    return Status::InvalidArgument("ParkService: empty park id");
+  }
+  auto entry = std::make_shared<Entry>(std::move(snapshot),
+                                       options_.risk_cache_capacity);
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  if (!parks_.emplace(park_id, std::move(entry)).second) {
+    return Status::InvalidArgument("ParkService: park '" + park_id +
+                                   "' already registered");
+  }
+  return Status::OK();
+}
+
+Status ParkService::RegisterFromFile(const std::string& park_id,
+                                     const std::string& path) {
+  PAWS_ASSIGN_OR_RETURN(ModelSnapshot snapshot,
+                        ModelSnapshot::ReadFile(path));
+  return Register(park_id, std::move(snapshot));
+}
+
+bool ParkService::Evict(const std::string& park_id) {
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  return parks_.erase(park_id) > 0;
+}
+
+int ParkService::num_parks() const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  return static_cast<int>(parks_.size());
+}
+
+std::vector<std::string> ParkService::park_ids() const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  std::vector<std::string> ids;
+  ids.reserve(parks_.size());
+  for (const auto& kv : parks_) ids.push_back(kv.first);
+  return ids;
+}
+
+std::shared_ptr<ParkService::Entry> ParkService::Find(
+    const std::string& park_id) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  const auto it = parks_.find(park_id);
+  return it == parks_.end() ? nullptr : it->second;
+}
+
+StatusOr<std::shared_ptr<const RiskMaps>> ParkService::RiskMap(
+    const std::string& park_id, double assumed_effort) const {
+  // Malformed client input must surface as Status: the CheckOrDie inside
+  // the prediction path would abort the whole multi-tenant process.
+  if (!(assumed_effort >= 0.0)) {
+    return Status::InvalidArgument(
+        "ParkService: assumed_effort must be >= 0");
+  }
+  const std::shared_ptr<Entry> entry = Find(park_id);
+  if (entry == nullptr) return UnknownPark(park_id);
+  // Shared snapshot lock for the whole request: a SwapSnapshot or
+  // UpdateCoverage can never tear the (versions, prediction) pair.
+  std::shared_lock<std::shared_mutex> lock(entry->mu);
+  const RiskKey key{entry->snapshot_version,
+                    entry->snapshot.coverage_version(),
+                    EffortBits(assumed_effort)};
+  {
+    std::lock_guard<std::mutex> cache_lock(entry->cache_mu);
+    if (const auto* hit = entry->cache.Get(key)) {
+      entry->hits.fetch_add(1, std::memory_order_relaxed);
+      return *hit;
+    }
+  }
+  entry->misses.fetch_add(1, std::memory_order_relaxed);
+  auto maps = std::make_shared<const RiskMaps>(
+      entry->snapshot.PredictRisk(assumed_effort));
+  {
+    // Two concurrent misses on one key both compute (bit-identical) maps;
+    // the second Put simply refreshes the entry — no special casing.
+    std::lock_guard<std::mutex> cache_lock(entry->cache_mu);
+    entry->cache.Put(key, maps);
+  }
+  return StatusOr<std::shared_ptr<const RiskMaps>>(std::move(maps));
+}
+
+StatusOr<EffortCurveTable> ParkService::CellCurves(
+    const std::string& park_id, const std::vector<int>& cell_ids,
+    std::vector<double> effort_grid) const {
+  // Grid shape is client input here (PredictEffortCurves aborts on it).
+  // The first-point check also rejects NaN anywhere: a NaN head fails
+  // `>= 0`, and a NaN later fails the strictly-increasing comparison.
+  if (effort_grid.empty() || !(effort_grid[0] >= 0.0)) {
+    return Status::InvalidArgument(
+        "ParkService: effort grid must start at a non-negative value");
+  }
+  for (size_t k = 1; k < effort_grid.size(); ++k) {
+    if (!(effort_grid[k] > effort_grid[k - 1])) {
+      return Status::InvalidArgument(
+          "ParkService: effort grid must be strictly increasing");
+    }
+  }
+  const std::shared_ptr<Entry> entry = Find(park_id);
+  if (entry == nullptr) return UnknownPark(park_id);
+  std::shared_lock<std::shared_mutex> lock(entry->mu);
+  for (int id : cell_ids) {
+    if (id < 0 || id >= entry->snapshot.park().num_cells()) {
+      return Status::InvalidArgument("ParkService: cell id out of range");
+    }
+  }
+  return entry->snapshot.PredictCellCurves(cell_ids, std::move(effort_grid));
+}
+
+StatusOr<PatrolPlan> ParkService::PlanForPost(
+    const std::string& park_id, int post_index, const PlannerConfig& config,
+    const RobustParams& robust) const {
+  // Mirror the robust-utility preconditions (robust.cc CheckOrDie's) as
+  // Status: the planner config and post index are already validated
+  // downstream, but RobustParams is client input too.
+  if (!(robust.beta >= 0.0 && robust.beta <= 1.0)) {
+    return Status::InvalidArgument("ParkService: beta must be in [0, 1]");
+  }
+  if (!(robust.squash_scale > 0.0)) {
+    return Status::InvalidArgument(
+        "ParkService: squash_scale must be positive");
+  }
+  const std::shared_ptr<Entry> entry = Find(park_id);
+  if (entry == nullptr) return UnknownPark(park_id);
+  std::shared_lock<std::shared_mutex> lock(entry->mu);
+  return entry->snapshot.PlanForPost(post_index, config, robust);
+}
+
+Status ParkService::UpdateCoverage(const std::string& park_id,
+                                   std::vector<double> lagged_effort) {
+  const std::shared_ptr<Entry> entry = Find(park_id);
+  if (entry == nullptr) return UnknownPark(park_id);
+  std::unique_lock<std::shared_mutex> lock(entry->mu);
+  if (static_cast<int>(lagged_effort.size()) !=
+      entry->snapshot.park().num_cells()) {
+    return Status::InvalidArgument(
+        "ParkService: coverage layer does not match the park");
+  }
+  // Bumps the plane's coverage version; cached maps keyed on the old
+  // version can never be served again and age out of the LRU.
+  entry->snapshot.UpdateLaggedEffort(std::move(lagged_effort));
+  return Status::OK();
+}
+
+Status ParkService::SwapSnapshot(const std::string& park_id,
+                                 ModelSnapshot snapshot) {
+  const std::shared_ptr<Entry> entry = Find(park_id);
+  if (entry == nullptr) return UnknownPark(park_id);
+  std::unique_lock<std::shared_mutex> lock(entry->mu);
+  entry->snapshot = std::move(snapshot);
+  ++entry->snapshot_version;
+  {
+    // Old-version keys are unreachable; clearing just frees them early.
+    std::lock_guard<std::mutex> cache_lock(entry->cache_mu);
+    entry->cache.Clear();
+  }
+  entry->hits.store(0, std::memory_order_relaxed);
+  entry->misses.store(0, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+std::vector<StatusOr<std::shared_ptr<const RiskMaps>>>
+ParkService::RiskMapBatch(const std::vector<RiskRequest>& requests) const {
+  const int n = static_cast<int>(requests.size());
+  std::vector<StatusOr<std::shared_ptr<const RiskMaps>>> results(
+      n, Status::Internal("ParkService: request not executed"));
+  // Requests are independent and each writes only its own slot, so the
+  // batch is bit-identical to a serial loop of RiskMap calls for every
+  // thread count. Fan-out deliberately uses dedicated threads, NOT the
+  // shared ThreadPool: each request acquires the park's reader lock, and
+  // other readers hold that lock while waiting on pool jobs (their
+  // PredictRisk runs ParallelFor). A pool chunk blocking on the lock
+  // while a lock holder waits for the pool — with a writer pending on a
+  // writer-preferring rwlock — would deadlock; keeping pool tasks
+  // lock-free breaks the cycle.
+  const int num_threads =
+      std::min(options_.parallelism.ResolveNumThreads(), n);
+  auto serve = [&](int i) {
+    results[i] = RiskMap(requests[i].park_id, requests[i].assumed_effort);
+  };
+  if (num_threads <= 1) {
+    for (int i = 0; i < n; ++i) serve(i);
+    return results;
+  }
+  std::atomic<int> next{0};
+  auto drain = [&] {
+    for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) serve(i);
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (int t = 0; t < num_threads - 1; ++t) threads.emplace_back(drain);
+  drain();
+  for (auto& t : threads) t.join();
+  return results;
+}
+
+StatusOr<ParkService::CacheStats> ParkService::RiskCacheStats(
+    const std::string& park_id) const {
+  const std::shared_ptr<Entry> entry = Find(park_id);
+  if (entry == nullptr) return UnknownPark(park_id);
+  CacheStats stats;
+  stats.hits = entry->hits.load(std::memory_order_relaxed);
+  stats.misses = entry->misses.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace paws

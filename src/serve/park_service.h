@@ -1,0 +1,165 @@
+#ifndef PAWS_SERVE_PARK_SERVICE_H_
+#define PAWS_SERVE_PARK_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "util/lru_cache.h"
+#include "util/thread_pool.h"
+
+namespace paws {
+
+struct ParkServiceOptions {
+  /// Per-park LRU capacity for served risk maps (entries keyed by
+  /// snapshot version + coverage version + effort).
+  int risk_cache_capacity = 16;
+  /// Fan-out width for the batched request API. Requests run on dedicated
+  /// threads (not the shared pool — pool tasks must stay lock-free; see
+  /// RiskMapBatch) and each request's own model scoring still uses the
+  /// pool.
+  ParallelismConfig parallelism;
+};
+
+/// Multi-tenant serving front end: one process answering risk-map,
+/// effort-curve and patrol-plan queries for many protected areas at once.
+/// Three layers deep — each park's ModelSnapshot carries a FeaturePlane
+/// (cached feature rows), its model scores through the selected
+/// ScoringBackend, and this registry adds concurrent lookup plus a
+/// per-park LRU of recently served risk maps.
+///
+/// Concurrency model (read-mostly):
+///  - The registry map is guarded by a shared_mutex: serving calls take it
+///    shared, Register/Evict take it exclusive. Entries are shared_ptrs,
+///    so an evicted park finishes in-flight requests safely.
+///  - Each park entry has its own shared_mutex: readers (RiskMap,
+///    CellCurves, PlanForPost) hold it shared; writers (SwapSnapshot,
+///    UpdateCoverage) hold it exclusive — a swap can never tear a read.
+///  - Served risk maps are cached per park in an LRU keyed by
+///    (snapshot_version, coverage_version, effort) and returned as
+///    shared_ptr<const RiskMaps>: hits are a map lookup, and version keys
+///    make stale hits impossible after a swap or coverage update
+///    (cache-invalidation contract: README "Serving architecture").
+///
+/// Determinism: all serving is bit-identical to calling the underlying
+/// ModelSnapshot directly — caching only short-circuits recomputation of
+/// identical outputs, and concurrent readers see either the full
+/// before-state or the full after-state of any writer.
+class ParkService {
+ public:
+  explicit ParkService(ParkServiceOptions options = {});
+
+  /// Registers a park under `park_id`. Fails with InvalidArgument if the
+  /// id is empty or already registered (use SwapSnapshot to replace).
+  Status Register(const std::string& park_id, ModelSnapshot snapshot);
+
+  /// Loads a snapshot archive from `path` and registers it.
+  Status RegisterFromFile(const std::string& park_id,
+                          const std::string& path);
+
+  /// Removes a park. In-flight requests against it complete normally.
+  /// Returns false if the id was not registered.
+  bool Evict(const std::string& park_id);
+
+  int num_parks() const;
+  std::vector<std::string> park_ids() const;
+
+  /// Risk/uncertainty maps for every cell of `park_id` at `assumed_effort`
+  /// km — served from the per-park LRU when an identical (snapshot,
+  /// coverage, effort) triple was served recently.
+  StatusOr<std::shared_ptr<const RiskMaps>> RiskMap(
+      const std::string& park_id, double assumed_effort) const;
+
+  /// Tabulated effort curves for the given cells of `park_id`.
+  StatusOr<EffortCurveTable> CellCurves(const std::string& park_id,
+                                        const std::vector<int>& cell_ids,
+                                        std::vector<double> effort_grid) const;
+
+  /// Robust patrol plan around `post_index` of `park_id`.
+  StatusOr<PatrolPlan> PlanForPost(const std::string& park_id, int post_index,
+                                   const PlannerConfig& config,
+                                   const RobustParams& robust) const;
+
+  /// Writer: installs a fresh lagged patrol-coverage layer (invalidates
+  /// cached risk maps via the coverage version key).
+  Status UpdateCoverage(const std::string& park_id,
+                        std::vector<double> lagged_effort);
+
+  /// Writer: atomically replaces the park's snapshot (a retrained model
+  /// arriving from the training fleet). Readers never see a half-swapped
+  /// state; cached risk maps from the old snapshot die with its version.
+  Status SwapSnapshot(const std::string& park_id, ModelSnapshot snapshot);
+
+  /// One batched entry point: requests for different parks (or efforts)
+  /// fan out across dedicated threads — NEVER the shared ThreadPool,
+  /// whose tasks must stay lock-free (see the RiskMapBatch definition for
+  /// the deadlock this avoids). Results line up with the request order;
+  /// each is bit-identical to the corresponding single RiskMap call.
+  struct RiskRequest {
+    std::string park_id;
+    double assumed_effort = 0.0;
+  };
+  std::vector<StatusOr<std::shared_ptr<const RiskMaps>>> RiskMapBatch(
+      const std::vector<RiskRequest>& requests) const;
+
+  /// Cumulative risk-map cache counters for one park (zeroed on
+  /// SwapSnapshot; Evict discards them).
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  StatusOr<CacheStats> RiskCacheStats(const std::string& park_id) const;
+
+ private:
+  struct RiskKey {
+    uint64_t snapshot_version = 0;
+    uint64_t coverage_version = 0;
+    /// IEEE-754 bit pattern of the requested effort: equality and hash
+    /// agree by construction (numeric == would make 0.0 and -0.0 equal
+    /// keys with different hashes, corrupting the LRU's index).
+    uint64_t effort_bits = 0;
+
+    bool operator==(const RiskKey& other) const {
+      return snapshot_version == other.snapshot_version &&
+             coverage_version == other.coverage_version &&
+             effort_bits == other.effort_bits;
+    }
+  };
+  struct RiskKeyHash {
+    size_t operator()(const RiskKey& key) const;
+  };
+
+  struct Entry {
+    Entry(ModelSnapshot snap, int cache_capacity)
+        : snapshot(std::move(snap)), cache(cache_capacity) {}
+
+    /// Guards `snapshot` and `snapshot_version`: serving reads hold it
+    /// shared, SwapSnapshot/UpdateCoverage hold it exclusive.
+    mutable std::shared_mutex mu;
+    ModelSnapshot snapshot;
+    uint64_t snapshot_version = 1;
+
+    /// The LRU itself is guarded by its own small mutex so cache hits
+    /// from concurrent readers (who only hold `mu` shared) stay safe.
+    mutable std::mutex cache_mu;
+    mutable LruCache<RiskKey, std::shared_ptr<const RiskMaps>, RiskKeyHash>
+        cache;
+    mutable std::atomic<uint64_t> hits{0};
+    mutable std::atomic<uint64_t> misses{0};
+  };
+
+  /// Shared-locked registry lookup; nullptr when absent.
+  std::shared_ptr<Entry> Find(const std::string& park_id) const;
+
+  ParkServiceOptions options_;
+  mutable std::shared_mutex registry_mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> parks_;
+};
+
+}  // namespace paws
+
+#endif  // PAWS_SERVE_PARK_SERVICE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "geo/feature_plane.h"
 #include "util/stats.h"
 
 namespace paws {
@@ -55,18 +56,12 @@ Dataset BuildPredictionRows(const Park& park, const PatrolHistory& history,
 std::vector<double> BuildCellFeatureRows(const Park& park,
                                          const PatrolHistory& history, int t,
                                          const std::vector<int>& cell_ids) {
-  const int k = park.num_features() + 1;
   const std::vector<double>* prev =
       (t > 0 && t - 1 < history.num_steps()) ? &history.steps[t - 1].effort
                                              : nullptr;
-  std::vector<double> rows;
-  rows.reserve(cell_ids.size() * k);
-  for (int id : cell_ids) {
-    const std::vector<double> static_x = park.FeatureVector(id);
-    rows.insert(rows.end(), static_x.begin(), static_x.end());
-    rows.push_back(prev != nullptr ? (*prev)[id] : 0.0);
-  }
-  return rows;
+  // One shared assembly loop with the serving-side FeaturePlane cache, so
+  // cached and per-request rows are byte-identical by construction.
+  return FeaturePlane::BuildRows(park, prev, cell_ids);
 }
 
 std::vector<double> BuildCellFeatureRows(const Park& park,

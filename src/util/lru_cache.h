@@ -1,0 +1,67 @@
+#ifndef PAWS_UTIL_LRU_CACHE_H_
+#define PAWS_UTIL_LRU_CACHE_H_
+
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "util/status.h"
+
+namespace paws {
+
+/// Small bounded map with least-recently-used eviction — the cache shape
+/// behind ParkService's per-park store of recently served risk maps. Not
+/// thread-safe: callers guard it with their own mutex (the service keeps
+/// the critical section to a lookup/insert; values are shared_ptrs so
+/// evicted entries stay alive for readers already holding them).
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {
+    CheckOrDie(capacity > 0, "LruCache: capacity must be positive");
+  }
+
+  size_t size() const { return index_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Returns the cached value and marks it most-recently-used, or nullptr.
+  /// The pointer is valid until the next non-const call.
+  const V* Get(const K& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    items_.splice(items_.begin(), items_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+  /// beyond capacity.
+  void Put(const K& key, V value) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      items_.splice(items_.begin(), items_, it->second);
+      return;
+    }
+    items_.emplace_front(key, std::move(value));
+    index_.emplace(key, items_.begin());
+    if (index_.size() > capacity_) {
+      index_.erase(items_.back().first);
+      items_.pop_back();
+    }
+  }
+
+  void Clear() {
+    items_.clear();
+    index_.clear();
+  }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<K, V>> items_;  // front = most recently used
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash>
+      index_;
+};
+
+}  // namespace paws
+
+#endif  // PAWS_UTIL_LRU_CACHE_H_

@@ -1,0 +1,65 @@
+#include "util/lru_cache.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace paws {
+namespace {
+
+TEST(LruCacheTest, GetReturnsNullForMissingKey) {
+  LruCache<int, std::string> cache(2);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, PutThenGetRoundTrips) {
+  LruCache<int, std::string> cache(2);
+  cache.Put(1, "one");
+  ASSERT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(*cache.Get(1), "one");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedBeyondCapacity) {
+  LruCache<int, std::string> cache(2);
+  cache.Put(1, "one");
+  cache.Put(2, "two");
+  cache.Put(3, "three");  // evicts 1 (least recently used)
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, GetRefreshesRecency) {
+  LruCache<int, std::string> cache(2);
+  cache.Put(1, "one");
+  cache.Put(2, "two");
+  EXPECT_NE(cache.Get(1), nullptr);  // 1 becomes most recent
+  cache.Put(3, "three");             // evicts 2, not 1
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+}
+
+TEST(LruCacheTest, PutRefreshesExistingKeyWithoutEviction) {
+  LruCache<int, std::string> cache(2);
+  cache.Put(1, "one");
+  cache.Put(2, "two");
+  cache.Put(1, "uno");  // refresh, no eviction
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(*cache.Get(1), "uno");
+  EXPECT_NE(cache.Get(2), nullptr);
+}
+
+TEST(LruCacheTest, ClearEmptiesTheCache) {
+  LruCache<int, std::string> cache(2);
+  cache.Put(1, "one");
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get(1), nullptr);
+}
+
+}  // namespace
+}  // namespace paws

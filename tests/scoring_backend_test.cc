@@ -1,16 +1,19 @@
-// CompiledForest equivalence: the flat SoA serving layer a DTB iWare-E
-// ensemble compiles itself into must be bit-identical to the reference
-// (virtual-dispatch) path on every serving call — shared-effort batches,
-// per-row-effort batches, full effort-curve tables — for every thread
-// count, and must survive a snapshot round trip. Non-tree ensembles select
-// another ScoringBackend (compiled-svb for bagged SVMs, reference for GPB;
-// see scoring_backend_test.cc for the SVB equivalence suite).
+// ScoringBackend seam: every iWare-E serving call dispatches through one
+// selected backend — "compiled-dtb" for bagged trees, "compiled-svb" (the
+// flat weight-matrix GEMV layer) for bagged linear SVMs, "reference"
+// otherwise — and every backend must be bit-identical to the reference
+// path on every serving call, for every thread count, and through
+// snapshot round trips. Also covers the re-entrancy latch on the one-row
+// Predict* wrappers (backends must never call back into them).
+#include "ml/scoring_backend.h"
+
 #include <memory>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "core/iware.h"
-#include "ml/compiled_forest.h"
+#include "ml/compiled_linear.h"
+#include "ml/linear_svm.h"
 #include "util/archive.h"
 #include "util/rng.h"
 
@@ -31,13 +34,12 @@ Dataset MakeData(int n, Rng* rng) {
   return d;
 }
 
-IWareConfig DtbConfig() {
+IWareConfig SvbConfig() {
   IWareConfig cfg;
   cfg.num_thresholds = 4;
   cfg.cv_folds = 2;
-  cfg.weak_learner = WeakLearnerKind::kDecisionTreeBagging;
+  cfg.weak_learner = WeakLearnerKind::kSvmBagging;
   cfg.bagging.num_estimators = 5;
-  cfg.tree.max_features = 1;  // random-forest-style per-split sampling
   return cfg;
 }
 
@@ -60,14 +62,14 @@ void ExpectTablesEq(const EffortCurveTable& a, const EffortCurveTable& b) {
   EXPECT_EQ(a.variance, b.variance);
 }
 
-class CompiledForestTest : public ::testing::Test {
+class CompiledSvbTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    Rng rng(17);
-    train_ = new Dataset(MakeData(500, &rng));
+    Rng rng(29);
+    train_ = new Dataset(MakeData(420, &rng));
     test_ = new Dataset(MakeData(96, &rng));
-    model_ = new IWareEnsemble(DtbConfig());
-    CheckOrDie(model_->Fit(*train_, &rng).ok(), "DTB fixture fit failed");
+    model_ = new IWareEnsemble(SvbConfig());
+    CheckOrDie(model_->Fit(*train_, &rng).ok(), "SVB fixture fit failed");
   }
   static void TearDownTestSuite() {
     delete model_;
@@ -79,32 +81,34 @@ class CompiledForestTest : public ::testing::Test {
   static IWareEnsemble* model_;
 };
 
-Dataset* CompiledForestTest::train_ = nullptr;
-Dataset* CompiledForestTest::test_ = nullptr;
-IWareEnsemble* CompiledForestTest::model_ = nullptr;
+Dataset* CompiledSvbTest::train_ = nullptr;
+Dataset* CompiledSvbTest::test_ = nullptr;
+IWareEnsemble* CompiledSvbTest::model_ = nullptr;
 
-TEST_F(CompiledForestTest, DtbEnsembleCompilesAfterFit) {
-  EXPECT_TRUE(model_->has_compiled_forest());
+TEST_F(CompiledSvbTest, SvbEnsembleSelectsCompiledSvbBackend) {
+  EXPECT_STREQ(model_->scoring_backend_name(), "compiled-svb");
   EXPECT_TRUE(model_->has_compiled_backend());
-  EXPECT_STREQ(model_->scoring_backend_name(), "compiled-dtb");
+  // The DTB-specific probe stays false: the flat forest is a different
+  // backend.
+  EXPECT_FALSE(model_->has_compiled_forest());
 }
 
-TEST_F(CompiledForestTest, SharedEffortBatchBitIdenticalToReference) {
+TEST_F(CompiledSvbTest, SharedEffortBatchBitIdenticalToReference) {
   // 0.0 sits below every threshold (fallback), 10.0 above every one.
   for (const double effort : {0.0, 0.5, 1.7, 3.9, 10.0}) {
     std::vector<Prediction> compiled, reference;
     model_->set_compiled_serving(true);
-    ASSERT_TRUE(model_->has_compiled_forest());
+    ASSERT_STREQ(model_->scoring_backend_name(), "compiled-svb");
     model_->PredictBatch(test_->FeaturesView(), effort, &compiled);
     model_->set_compiled_serving(false);
-    ASSERT_FALSE(model_->has_compiled_forest());
+    ASSERT_STREQ(model_->scoring_backend_name(), "reference");
     model_->PredictBatch(test_->FeaturesView(), effort, &reference);
     model_->set_compiled_serving(true);
     ExpectPredictionsEq(compiled, reference);
   }
 }
 
-TEST_F(CompiledForestTest, PerRowEffortBatchBitIdenticalToReference) {
+TEST_F(CompiledSvbTest, PerRowEffortBatchBitIdenticalToReference) {
   // Per-row efforts spanning below-all-thresholds through above-all.
   std::vector<double> efforts = test_->efforts();
   efforts[0] = 0.0;
@@ -118,7 +122,7 @@ TEST_F(CompiledForestTest, PerRowEffortBatchBitIdenticalToReference) {
   ExpectPredictionsEq(compiled, reference);
 }
 
-TEST_F(CompiledForestTest, EffortCurveTableBitIdenticalToReference) {
+TEST_F(CompiledSvbTest, EffortCurveTableBitIdenticalToReference) {
   // Grid starts below every threshold (fallback points) and tops out past
   // the highest one, so the prefix scan crosses every qualification edge.
   const std::vector<double> grid = UniformEffortGrid(0.0, 5.0, 25);
@@ -132,7 +136,7 @@ TEST_F(CompiledForestTest, EffortCurveTableBitIdenticalToReference) {
   ExpectTablesEq(compiled, reference);
 }
 
-TEST_F(CompiledForestTest, OneRowPredictMatchesBatchRow) {
+TEST_F(CompiledSvbTest, OneRowPredictMatchesBatchRow) {
   std::vector<Prediction> batch;
   model_->PredictBatch(test_->FeaturesView(), 2.0, &batch);
   for (int i = 0; i < test_->size(); ++i) {
@@ -142,7 +146,7 @@ TEST_F(CompiledForestTest, OneRowPredictMatchesBatchRow) {
   }
 }
 
-TEST_F(CompiledForestTest, ParallelCompiledServingBitIdenticalToSerial) {
+TEST_F(CompiledSvbTest, ParallelCompiledServingBitIdenticalToSerial) {
   const std::vector<double> grid = UniformEffortGrid(0.0, 4.0, 20);
   for (const int threads : {1, 2, 4, 7}) {
     model_->set_parallelism(ParallelismConfig{threads});
@@ -165,15 +169,15 @@ TEST_F(CompiledForestTest, ParallelCompiledServingBitIdenticalToSerial) {
   model_->set_parallelism(ParallelismConfig{});
 }
 
-TEST_F(CompiledForestTest, SnapshotLoadRebuildsCompiledForest) {
+TEST_F(CompiledSvbTest, SnapshotLoadRebuildsCompiledSvbBackend) {
   ArchiveWriter writer;
   model_->Save(&writer);
   auto reader = ArchiveReader::FromBytes(writer.Bytes());
   ASSERT_TRUE(reader.ok());
   auto loaded = IWareEnsemble::Load(&reader.value());
   ASSERT_TRUE(loaded.ok());
-  // The compiled layer is derived state: never archived, always rebuilt.
-  EXPECT_TRUE(loaded->has_compiled_forest());
+  // The backend is derived state: never archived, always re-selected.
+  EXPECT_STREQ(loaded->scoring_backend_name(), "compiled-svb");
   std::vector<Prediction> want, got;
   model_->PredictBatch(test_->FeaturesView(), 2.5, &want);
   loaded->PredictBatch(test_->FeaturesView(), 2.5, &got);
@@ -183,61 +187,31 @@ TEST_F(CompiledForestTest, SnapshotLoadRebuildsCompiledForest) {
                  loaded->PredictEffortCurves(test_->FeaturesView(), grid));
 }
 
-class CompiledForestFallbackTest
-    : public ::testing::TestWithParam<WeakLearnerKind> {};
-
-TEST_P(CompiledForestFallbackTest, NonTreeEnsemblesSelectAnotherBackend) {
-  Rng rng(23);
-  const Dataset train = MakeData(260, &rng);
-  const Dataset test = MakeData(32, &rng);
-  IWareConfig cfg = DtbConfig();
-  cfg.weak_learner = GetParam();
-  cfg.bagging.num_estimators = 3;
-  cfg.gp.max_points = 50;
-  IWareEnsemble model(cfg);
-  ASSERT_TRUE(model.Fit(train, &rng).ok());
-  // No bagged trees to flatten: the seam selects a different backend —
-  // the flat GEMV layer for SVB, the reference path for GPB.
-  EXPECT_FALSE(model.has_compiled_forest());
-  model.set_compiled_serving(true);
-  EXPECT_FALSE(model.has_compiled_forest());
-  if (GetParam() == WeakLearnerKind::kSvmBagging) {
-    EXPECT_STREQ(model.scoring_backend_name(), "compiled-svb");
-    EXPECT_TRUE(model.has_compiled_backend());
-  } else {
-    EXPECT_STREQ(model.scoring_backend_name(), "reference");
-    EXPECT_FALSE(model.has_compiled_backend());
-  }
-  std::vector<Prediction> preds;
-  model.PredictBatch(test.FeaturesView(), 2.0, &preds);
-  ASSERT_EQ(static_cast<int>(preds.size()), test.size());
-  for (const Prediction& p : preds) {
-    EXPECT_GE(p.prob, 0.0);
-    EXPECT_LE(p.prob, 1.0);
-    EXPECT_GE(p.variance, 0.0);
-  }
-  const EffortCurveTable curves = model.PredictEffortCurves(
-      test.FeaturesView(), UniformEffortGrid(0.0, 4.0, 8));
-  EXPECT_EQ(curves.num_cells, test.size());
-}
-
-INSTANTIATE_TEST_SUITE_P(
-    NonTreeLearners, CompiledForestFallbackTest,
-    ::testing::Values(WeakLearnerKind::kSvmBagging,
-                      WeakLearnerKind::kGaussianProcessBagging),
-    [](const auto& info) { return std::string(WeakLearnerName(info.param)); });
-
-TEST(CompiledForestCompileTest, RejectsNonBaggedLearners) {
+TEST(CompiledLinearCompileTest, RejectsNonBaggedAndNonSvmLearners) {
   Rng rng(5);
   const Dataset train = MakeData(200, &rng);
-  std::vector<std::unique_ptr<Classifier>> learners;
-  learners.push_back(std::make_unique<DecisionTree>());
-  ASSERT_TRUE(learners[0]->Fit(train, &rng).ok());
-  // A bare (unbagged) tree is not a BaggingClassifier: no compilation.
-  EXPECT_EQ(CompiledForest::Compile(learners, {0.5}, {1.0}), nullptr);
+  {
+    // A bare (unbagged) SVM is not a BaggingClassifier: no compilation.
+    std::vector<std::unique_ptr<Classifier>> learners;
+    learners.push_back(std::make_unique<LinearSvm>());
+    ASSERT_TRUE(learners[0]->Fit(train, &rng).ok());
+    EXPECT_EQ(CompiledLinearEnsemble::Compile(learners, {0.5}, {1.0}),
+              nullptr);
+  }
+  {
+    // A bagging of trees belongs to the forest backend, not this one.
+    BaggingConfig bagging;
+    bagging.num_estimators = 2;
+    std::vector<std::unique_ptr<Classifier>> learners;
+    learners.push_back(std::make_unique<BaggingClassifier>(
+        std::make_unique<DecisionTree>(), bagging));
+    ASSERT_TRUE(learners[0]->Fit(train, &rng).ok());
+    EXPECT_EQ(CompiledLinearEnsemble::Compile(learners, {0.5}, {1.0}),
+              nullptr);
+  }
 }
 
-TEST(CompiledForestCompileTest, RejectsNonAscendingThresholds) {
+TEST(CompiledLinearCompileTest, RejectsNonAscendingThresholds) {
   Rng rng(5);
   const Dataset train = MakeData(200, &rng);
   BaggingConfig bagging;
@@ -245,14 +219,42 @@ TEST(CompiledForestCompileTest, RejectsNonAscendingThresholds) {
   std::vector<std::unique_ptr<Classifier>> learners;
   for (int i = 0; i < 2; ++i) {
     learners.push_back(std::make_unique<BaggingClassifier>(
-        std::make_unique<DecisionTree>(), bagging));
+        std::make_unique<LinearSvm>(), bagging));
     ASSERT_TRUE(learners[i]->Fit(train, &rng).ok());
   }
   // The prefix-scan mixing requires strictly increasing thresholds.
-  EXPECT_EQ(CompiledForest::Compile(learners, {1.0, 0.5}, {0.5, 0.5}),
+  EXPECT_EQ(CompiledLinearEnsemble::Compile(learners, {1.0, 0.5}, {0.5, 0.5}),
             nullptr);
-  EXPECT_NE(CompiledForest::Compile(learners, {0.5, 1.0}, {0.5, 0.5}),
+  EXPECT_NE(CompiledLinearEnsemble::Compile(learners, {0.5, 1.0}, {0.5, 0.5}),
             nullptr);
+}
+
+// A broken batch implementation that loops the one-row wrapper per row —
+// exactly the re-entrancy the thread-local scratch contract forbids. The
+// latch must abort instead of silently corrupting the shared buffer.
+class ReenteringClassifier : public Classifier {
+ public:
+  Status Fit(const Dataset&, Rng*) override { return Status::OK(); }
+  void PredictBatch(const FeatureMatrixView& x,
+                    std::vector<double>* out_probs) const override {
+    out_probs->resize(x.rows());
+    for (int i = 0; i < x.rows(); ++i) {
+      const std::vector<double> row(x.Row(i), x.Row(i) + x.cols());
+      (*out_probs)[i] = PredictProb(row);  // re-enters the wrapper
+    }
+  }
+  std::unique_ptr<Classifier> CloneUntrained() const override {
+    return std::make_unique<ReenteringClassifier>();
+  }
+  uint32_t ArchiveTag() const override { return FourCc("REEN"); }
+  void Save(ArchiveWriter*) const override {}
+};
+
+TEST(ScoringBackendDeathTest, OneRowWrapperReentryAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const ReenteringClassifier broken;
+  const std::vector<double> x = {0.5, -0.25};
+  EXPECT_DEATH(broken.PredictProb(x), "re-entered");
 }
 
 }  // namespace
