@@ -1,0 +1,265 @@
+// Load generator for the PAWS network serving path (README "Network
+// serving"): N concurrent connections fire a zipfian mix of RiskMap,
+// CellCurves and Stats requests at a running example_paws_serve daemon and
+// report throughput and latency percentiles.
+//
+//   loadgen --port P [--host H] [--connections N] [--seconds S] [--smoke]
+//           [--parks N] [--zipf-s S] [--json PATH] [--min-req-per-s R]
+//
+//   --connections    concurrent client connections (default 8)
+//   --seconds        measurement window (default 5; --smoke: 2)
+//   --parks          fleet size served by the daemon (default 2); traffic
+//                    is zipfian over park-0..park-(N-1), so a couple of
+//                    parks soak most requests — the cache-friendly shape
+//                    of real fleet traffic
+//   --zipf-s         zipf exponent (default 1.1)
+//   --json PATH      merge a "net_serving" section into PATH (appends to
+//                    an existing BENCH_fig9.json, creates it otherwise)
+//   --min-req-per-s  exit non-zero below this throughput (CI floor)
+//
+// Exit status is non-zero on any request error, zero completed requests,
+// a missed throughput floor, or server-reported protocol errors — so CI
+// can gate on "the serving path works under concurrent load".
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace {
+
+using namespace paws;
+
+using Clock = std::chrono::steady_clock;
+
+struct WorkerResult {
+  std::vector<double> latencies_us;
+  uint64_t errors = 0;
+};
+
+// Zipfian CDF over ranks 1..n with exponent s: traffic concentrates on
+// the first few parks the way real fleet load concentrates on a few
+// hotspot areas.
+std::vector<double> ZipfCdf(int n, double s) {
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (int k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf[k] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+int PickZipf(const std::vector<double>& cdf, Rng* rng) {
+  const double u = rng->Uniform();
+  return static_cast<int>(
+      std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+}
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  if (sorted_in_place->empty()) return 0.0;
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_in_place->size() - 1));
+  return (*sorted_in_place)[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int connections = 8;
+  double seconds = 5.0;
+  bool smoke = false;
+  int parks = 2;
+  double zipf_s = 1.1;
+  std::string json_path;
+  double min_req_per_s = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      host = argv[++i];
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc) {
+      connections = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--parks") == 0 && i + 1 < argc) {
+      parks = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--zipf-s") == 0 && i + 1 < argc) {
+      zipf_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--min-req-per-s") == 0 && i + 1 < argc) {
+      min_req_per_s = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --port P [--host H] [--connections N] "
+                   "[--seconds S] [--smoke] [--parks N] [--zipf-s S] "
+                   "[--json PATH] [--min-req-per-s R]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (port <= 0) {
+    std::fprintf(stderr, "loadgen: --port is required\n");
+    return 2;
+  }
+  if (smoke) seconds = std::min(seconds, 2.0);
+  CheckOrDie(connections >= 1 && parks >= 1, "loadgen: bad arguments");
+
+  const std::vector<double> cdf = ZipfCdf(parks, zipf_s);
+  // A small effort menu keeps the risk-map LRU hot, the way repeated
+  // ranger queries for the same planning efforts would.
+  const double efforts[] = {1.0, 2.0, 3.0};
+  const std::vector<int> curve_cells = {0, 1, 2, 3};
+
+  std::atomic<bool> stop{false};
+  std::vector<WorkerResult> results(connections);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  const auto bench_start = Clock::now();
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      WorkerResult& result = results[c];
+      Rng rng(1234 + static_cast<uint64_t>(c));
+      ParkClient client;
+      if (!client.Connect(host, port).ok()) {
+        result.errors += 1;
+        return;
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string park_id =
+            "park-" + std::to_string(PickZipf(cdf, &rng));
+        // ~90% risk maps, ~8% curve tables, ~2% stats — read-dominated
+        // serving traffic.
+        const double mix = rng.Uniform();
+        const auto t0 = Clock::now();
+        bool ok;
+        if (mix < 0.90) {
+          ok = client.RiskMap(park_id, efforts[rng.UniformInt(3)]).ok();
+        } else if (mix < 0.98) {
+          ok = client
+                   .CellCurves(park_id, curve_cells, {0.0, 1.0, 2.0, 3.0})
+                   .ok();
+        } else {
+          ok = client.Stats(park_id).ok();
+        }
+        const double us =
+            std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                .count();
+        if (ok) {
+          result.latencies_us.push_back(us);
+        } else {
+          result.errors += 1;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop = true;
+  for (auto& thread : threads) thread.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - bench_start).count();
+
+  std::vector<double> latencies;
+  uint64_t errors = 0;
+  for (WorkerResult& result : results) {
+    latencies.insert(latencies.end(), result.latencies_us.begin(),
+                     result.latencies_us.end());
+    errors += result.errors;
+  }
+  const uint64_t completed = latencies.size();
+  const double req_per_s = wall_s > 0 ? completed / wall_s : 0.0;
+  const double p50 = Percentile(&latencies, 0.50);
+  const double p99 = Percentile(&latencies, 0.99);
+
+  // One last connection asks the server for its own view of the run.
+  uint64_t protocol_errors = 0;
+  uint64_t server_frames_in = 0;
+  {
+    ParkClient client;
+    if (client.Connect(host, port).ok()) {
+      const auto stats = client.Stats();
+      if (stats.ok()) {
+        protocol_errors = stats->protocol_errors;
+        server_frames_in = stats->frames_in;
+      }
+    }
+  }
+
+  std::printf("loadgen: %d connections, %.1f s, zipf(%.2f) over %d parks\n",
+              connections, wall_s, zipf_s, parks);
+  std::printf("  completed  %llu requests (%.0f req/s)\n",
+              static_cast<unsigned long long>(completed), req_per_s);
+  std::printf("  latency    p50 %.0f us, p99 %.0f us\n", p50, p99);
+  std::printf("  errors     %llu client, %llu server protocol\n",
+              static_cast<unsigned long long>(errors),
+              static_cast<unsigned long long>(protocol_errors));
+  std::printf("  server     %llu frames in\n",
+              static_cast<unsigned long long>(server_frames_in));
+
+  if (!json_path.empty()) {
+    char section[512];
+    std::snprintf(section, sizeof(section),
+                  "\"net_serving\":{\"connections\":%d,\"seconds\":%.3f,"
+                  "\"completed\":%llu,\"req_per_s\":%.17g,\"p50_us\":%.17g,"
+                  "\"p99_us\":%.17g,\"errors\":%llu,\"protocol_errors\":%llu}",
+                  connections, wall_s,
+                  static_cast<unsigned long long>(completed), req_per_s, p50,
+                  p99, static_cast<unsigned long long>(errors),
+                  static_cast<unsigned long long>(protocol_errors));
+    // Merge into an existing BENCH_fig9.json ({"key":{...},...}\n) so one
+    // artifact carries the whole serving-perf picture; create a fresh
+    // object otherwise.
+    std::string body;
+    if (std::FILE* f = std::fopen(json_path.c_str(), "rb")) {
+      char buf[4096];
+      size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
+      std::fclose(f);
+    }
+    while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
+      body.pop_back();
+    }
+    if (body.size() >= 2 && body.front() == '{' && body.back() == '}') {
+      body.pop_back();
+      body += std::string(",") + section + "}\n";
+    } else {
+      body = std::string("{") + section + "}\n";
+    }
+    std::FILE* f = std::fopen(json_path.c_str(), "wb");
+    CheckOrDie(f != nullptr, "loadgen: cannot write json");
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("  json       %s\n", json_path.c_str());
+  }
+
+  if (completed == 0) {
+    std::fprintf(stderr, "loadgen: FAIL — no requests completed\n");
+    return 1;
+  }
+  if (errors > 0 || protocol_errors > 0) {
+    std::fprintf(stderr, "loadgen: FAIL — errors during the run\n");
+    return 1;
+  }
+  if (min_req_per_s > 0 && req_per_s < min_req_per_s) {
+    std::fprintf(stderr, "loadgen: FAIL — %.0f req/s below floor %.0f\n",
+                 req_per_s, min_req_per_s);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,372 @@
+#include "net/client.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "core/risk_map.h"
+#include "ml/effort_curve.h"
+#include "plan/planner.h"
+#include "util/archive.h"
+
+namespace paws {
+namespace {
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+using Clock = std::chrono::steady_clock;
+
+int MsLeft(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  if (left < 0) return 0;
+  if (left > 1000000000) return 1000000000;
+  return static_cast<int>(left);
+}
+
+Status SetNonBlocking(int fd, bool non_blocking) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::Internal("fcntl(F_GETFL) failed");
+  if (non_blocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return Status::Internal("fcntl(F_SETFL) failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+WireClient::WireClient(ClientOptions options)
+    : options_(std::move(options)), parser_(options_.max_frame_bytes) {}
+
+WireClient::~WireClient() { Close(); }
+
+void WireClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // A half-received response must not leak into the next exchange.
+  parser_ = FrameParser(options_.max_frame_bytes);
+}
+
+Status WireClient::Connect(const std::string& host, int port) {
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("port out of range: " + std::to_string(port));
+  }
+  host_ = host;
+  port_ = port;
+  Close();
+  return EnsureConnected();
+}
+
+Status WireClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  if (port_ < 0) {
+    return Status::FailedPrecondition("WireClient: Connect was never called");
+  }
+  Status last = Status::Internal("connect never attempted");
+  int backoff_ms = options_.backoff_initial_ms;
+  int attempts = options_.max_connect_attempts < 1
+                     ? 1
+                     : options_.max_connect_attempts;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+    last = ConnectOnce();
+    if (last.ok()) return Status::OK();
+  }
+  return last;
+}
+
+Status WireClient::ConnectOnce() {
+  struct addrinfo hints;
+  ::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* result = nullptr;
+  const std::string port_str = std::to_string(port_);
+  int rc = ::getaddrinfo(host_.c_str(), port_str.c_str(), &hints, &result);
+  if (rc != 0 || result == nullptr) {
+    return Status::Internal("getaddrinfo failed for " + host_ + ": " +
+                         std::string(::gai_strerror(rc)));
+  }
+
+  Status last = Status::Internal("no addresses resolved for " + host_);
+  for (struct addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::Internal("socket() failed");
+      continue;
+    }
+    Status nb = SetNonBlocking(fd, true);
+    if (!nb.ok()) {
+      ::close(fd);
+      last = nb;
+      continue;
+    }
+    rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0 && errno == EINPROGRESS) {
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      rc = ::poll(&pfd, 1, options_.connect_timeout_ms);
+      if (rc <= 0) {
+        ::close(fd);
+        last = Status::ResourceExhausted("connect to " + host_ + ":" + port_str +
+                                      " timed out");
+        continue;
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+          err != 0) {
+        ::close(fd);
+        last = Status::Internal("connect to " + host_ + ":" + port_str +
+                             " failed: " + std::string(::strerror(err)));
+        continue;
+      }
+    } else if (rc != 0) {
+      int err = errno;
+      ::close(fd);
+      last = Status::Internal("connect to " + host_ + ":" + port_str +
+                           " failed: " + std::string(::strerror(err)));
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    fd_ = fd;
+    parser_ = FrameParser(options_.max_frame_bytes);
+    ::freeaddrinfo(result);
+    return Status::OK();
+  }
+  ::freeaddrinfo(result);
+  return last;
+}
+
+Status WireClient::SendAll(const std::string& bytes, int deadline_ms) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(
+                         deadline_ms > 0 ? deadline_ms : 1000000000);
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      struct pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      int left = MsLeft(deadline);
+      if (left <= 0) {
+        return Status::ResourceExhausted("request timed out while sending");
+      }
+      int rc = ::poll(&pfd, 1, left);
+      if (rc < 0 && errno != EINTR) {
+        return Status::Internal("poll failed while sending");
+      }
+      if (rc == 0) {
+        return Status::ResourceExhausted("request timed out while sending");
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Internal("connection broken while sending");
+  }
+  return Status::OK();
+}
+
+StatusOr<Frame> WireClient::Call(Opcode opcode, std::string payload) {
+  PAWS_RETURN_IF_ERROR(EnsureConnected());
+
+  Frame request;
+  request.request_id = next_request_id_++;
+  request.opcode = static_cast<uint32_t>(opcode);
+  request.payload = std::move(payload);
+  const std::string bytes = EncodeFrame(request);
+
+  Status sent = SendAll(bytes, options_.request_timeout_ms);
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+
+  const auto deadline =
+      Clock::now() +
+      std::chrono::milliseconds(options_.request_timeout_ms > 0
+                                    ? options_.request_timeout_ms
+                                    : 1000000000);
+  char buf[65536];
+  while (true) {
+    // Drain any already-buffered frame first.
+    Frame response;
+    StatusOr<bool> got = parser_.Next(&response);
+    if (!got.ok()) {
+      Close();
+      return got.status();
+    }
+    if (*got) {
+      if (response.request_id != request.request_id) {
+        // A response to an abandoned (timed-out) earlier request can only
+        // appear if Close() was skipped — treat it as a protocol error.
+        Close();
+        return StatusOr<Frame>(
+            Status::Internal("response id does not match request id"));
+      }
+      return response;
+    }
+
+    int left = MsLeft(deadline);
+    if (left <= 0) {
+      Close();
+      return StatusOr<Frame>(
+          Status::ResourceExhausted("request timed out waiting for response"));
+    }
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int rc = ::poll(&pfd, 1, left);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return StatusOr<Frame>(Status::Internal("poll failed while receiving"));
+    }
+    if (rc == 0) {
+      Close();
+      return StatusOr<Frame>(
+          Status::ResourceExhausted("request timed out waiting for response"));
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      parser_.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      continue;
+    }
+    Close();
+    return StatusOr<Frame>(
+        Status::Internal("connection closed while waiting for response"));
+  }
+}
+
+ParkClient::ParkClient(ClientOptions options) : client_(std::move(options)) {}
+
+Status ParkClient::Connect(const std::string& host, int port) {
+  return client_.Connect(host, port);
+}
+
+StatusOr<std::string> ParkClient::CallOk(Opcode opcode, std::string payload) {
+  PAWS_ASSIGN_OR_RETURN(Frame response,
+                        client_.Call(opcode, std::move(payload)));
+  if (response.opcode == static_cast<uint32_t>(Opcode::kStatusResponse)) {
+    Status carried;
+    PAWS_RETURN_IF_ERROR(DecodeStatusPayload(response.payload, &carried));
+    if (carried.ok()) {
+      return StatusOr<std::string>(
+          Status::Internal("server sent a status frame carrying OK"));
+    }
+    return StatusOr<std::string>(carried);
+  }
+  if (response.opcode != static_cast<uint32_t>(Opcode::kOkResponse)) {
+    return StatusOr<std::string>(Status::Internal(
+        "unexpected response opcode " + OpcodeName(response.opcode)));
+  }
+  return std::move(response.payload);
+}
+
+StatusOr<RiskMaps> ParkClient::RiskMap(const std::string& park_id,
+                                       double assumed_effort) {
+  RiskMapRequest request;
+  request.park_id = park_id;
+  request.assumed_effort = assumed_effort;
+  PAWS_ASSIGN_OR_RETURN(
+      std::string payload,
+      CallOk(Opcode::kRiskMap, EncodeRiskMapRequest(request)));
+  return DecodeRiskMapsPayload(payload);
+}
+
+StatusOr<std::vector<StatusOr<RiskMaps>>> ParkClient::RiskMapBatch(
+    const std::vector<RiskMapRequest>& requests) {
+  RiskMapBatchRequest request;
+  request.requests = requests;
+  PAWS_ASSIGN_OR_RETURN(
+      std::string payload,
+      CallOk(Opcode::kRiskMapBatch, EncodeRiskMapBatchRequest(request)));
+  return DecodeRiskMapBatchPayload(payload);
+}
+
+StatusOr<EffortCurveTable> ParkClient::CellCurves(
+    const std::string& park_id, const std::vector<int>& cell_ids,
+    std::vector<double> effort_grid) {
+  CellCurvesRequest request;
+  request.park_id = park_id;
+  request.cell_ids = cell_ids;
+  request.effort_grid = std::move(effort_grid);
+  PAWS_ASSIGN_OR_RETURN(
+      std::string payload,
+      CallOk(Opcode::kCellCurves, EncodeCellCurvesRequest(request)));
+  return DecodeEffortCurveTablePayload(payload);
+}
+
+StatusOr<PatrolPlan> ParkClient::PlanForPost(const std::string& park_id,
+                                             int post_index,
+                                             const PlannerConfig& config,
+                                             const RobustParams& robust) {
+  PlanForPostRequest request;
+  request.park_id = park_id;
+  request.post_index = post_index;
+  request.config = config;
+  request.robust = robust;
+  PAWS_ASSIGN_OR_RETURN(
+      std::string payload,
+      CallOk(Opcode::kPlanForPost, EncodePlanForPostRequest(request)));
+  return DecodePatrolPlanPayload(payload);
+}
+
+Status ParkClient::SwapSnapshot(const std::string& park_id,
+                                const std::string& snapshot_bytes) {
+  SwapSnapshotRequest request;
+  request.park_id = park_id;
+  request.snapshot_bytes = snapshot_bytes;
+  PAWS_ASSIGN_OR_RETURN(
+      std::string payload,
+      CallOk(Opcode::kSwapSnapshot, EncodeSwapSnapshotRequest(request)));
+  (void)payload;
+  return Status::OK();
+}
+
+StatusOr<ServerStatsReport> ParkClient::Stats(const std::string& park_id) {
+  StatsRequest request;
+  request.park_id = park_id;
+  PAWS_ASSIGN_OR_RETURN(std::string payload,
+                        CallOk(Opcode::kStats, EncodeStatsRequest(request)));
+  return DecodeStatsReportPayload(payload);
+}
+
+}  // namespace paws

@@ -1,0 +1,109 @@
+#ifndef PAWS_NET_CLIENT_H_
+#define PAWS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace paws {
+
+struct ClientOptions {
+  /// Per-connect-attempt timeout.
+  int connect_timeout_ms = 5000;
+  /// End-to-end deadline for one Call (send + wait for the response);
+  /// 0 = wait forever. A timed-out call closes the connection — the
+  /// response may still be in flight and must not be matched to a later
+  /// request.
+  int request_timeout_ms = 30000;
+  /// Connect attempts before giving up (first try + retries).
+  int max_connect_attempts = 3;
+  /// Backoff before the second attempt; doubles per retry.
+  int backoff_initial_ms = 50;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// Blocking single-connection wire client: connect, send a request frame,
+/// wait for the matching response. Reconnects with exponential backoff
+/// when the connection is gone (server restart, idle-timeout close), so a
+/// long-lived field client survives serving-side churn.
+class WireClient {
+ public:
+  explicit WireClient(ClientOptions options = {});
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Resolves and connects (with backoff); remembers the endpoint for
+  /// later reconnects.
+  Status Connect(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// One blocking request/response exchange. Reconnects first if the
+  /// connection is down. Transport failures and timeouts surface as
+  /// Status (ResourceExhausted for a deadline, Internal for a broken
+  /// connection); a served response comes back whole.
+  StatusOr<Frame> Call(Opcode opcode, std::string payload);
+
+ private:
+  Status EnsureConnected();
+  Status ConnectOnce();
+  /// Sends all of `bytes` before `deadline_ms` elapses.
+  Status SendAll(const std::string& bytes, int deadline_ms);
+
+  ClientOptions options_;
+  std::string host_;
+  int port_ = -1;
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  FrameParser parser_;
+};
+
+/// Typed ParkService client: the serving API of ParkService, spoken over
+/// a socket. Every method is bit-transparent — the decoded artifact
+/// equals the server's in-process result exactly (doubles travel as
+/// IEEE-754 bit patterns), enforced by tests/park_server_test.cc.
+class ParkClient {
+ public:
+  explicit ParkClient(ClientOptions options = {});
+
+  Status Connect(const std::string& host, int port);
+  bool connected() const { return client_.connected(); }
+  void Close() { client_.Close(); }
+
+  StatusOr<RiskMaps> RiskMap(const std::string& park_id,
+                             double assumed_effort);
+  StatusOr<std::vector<StatusOr<RiskMaps>>> RiskMapBatch(
+      const std::vector<RiskMapRequest>& requests);
+  StatusOr<EffortCurveTable> CellCurves(const std::string& park_id,
+                                        const std::vector<int>& cell_ids,
+                                        std::vector<double> effort_grid);
+  StatusOr<PatrolPlan> PlanForPost(const std::string& park_id,
+                                   int post_index,
+                                   const PlannerConfig& config,
+                                   const RobustParams& robust);
+  /// Ships a whole snapshot archive (ModelSnapshot wire bytes) to replace
+  /// — or, for an unknown park id, register — the served model.
+  Status SwapSnapshot(const std::string& park_id,
+                      const std::string& snapshot_bytes);
+  /// Server transport counters + per-park cache stats (empty park_id =
+  /// every registered park).
+  StatusOr<ServerStatsReport> Stats(const std::string& park_id = "");
+
+ private:
+  /// Sends the request and unwraps the protocol envelope: a
+  /// kStatusResponse becomes its carried Status, a kOkResponse yields the
+  /// result payload.
+  StatusOr<std::string> CallOk(Opcode opcode, std::string payload);
+
+  WireClient client_;
+};
+
+}  // namespace paws
+
+#endif  // PAWS_NET_CLIENT_H_

@@ -1,0 +1,174 @@
+#ifndef PAWS_NET_SERVER_H_
+#define PAWS_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace paws {
+
+struct FrameServerOptions {
+  /// Listen address; the default binds loopback only (a deliberate
+  /// default for a field-station daemon — widen explicitly).
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral: the kernel picks a free port, reported by port().
+  int port = 0;
+  /// Dedicated request-dispatch threads. Deliberately NOT the shared
+  /// ParallelFor pool: a request holds a park reader lock while its model
+  /// scoring waits on the pool, so pool tasks must stay lock-free (the
+  /// PR 5 deadlock contract, see ParkService::RiskMapBatch).
+  int num_workers = 4;
+  /// Connections beyond this are accepted and immediately closed.
+  int max_connections = 64;
+  /// Per-frame allocation bound; oversized length prefixes break the
+  /// connection before any payload buffering.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Close connections with no read activity, no queued work and nothing
+  /// left to write after this long. 0 = never.
+  int idle_timeout_ms = 60000;
+  /// Requests still queued this long after arrival are answered with a
+  /// ResourceExhausted status frame instead of being dispatched (shed
+  /// load when the workers fall behind). 0 = never expire.
+  int request_deadline_ms = 0;
+  /// Test seam: runs on the worker thread immediately before the handler
+  /// (after the deadline check). Lets tests make dispatch observably slow
+  /// without a timing-dependent workload.
+  std::function<void()> pre_dispatch_hook_for_test;
+};
+
+/// Portable readiness-loop frame server: one listener/event thread owns
+/// every socket (poll(2)-based — the fd counts of a serving daemon are
+/// tens of connections, where poll and epoll are indistinguishable and
+/// poll needs no OS gating), non-blocking accept, per-connection
+/// partial-frame reassembly and buffered partial writes; complete frames
+/// are dispatched to dedicated worker threads whose responses are handed
+/// back to the event thread through a self-pipe wakeup, so sockets are
+/// only ever touched from one thread.
+///
+/// Error handling at the framing layer: a connection that sends bytes the
+/// FrameParser rejects (bad magic, wrong version, oversized length
+/// prefix) is counted in stats().protocol_errors and closed — the stream
+/// is unrecoverable. Malformed *payloads* inside a well-framed request
+/// are the handler's business (ParkServer answers them with
+/// InvalidArgument status frames).
+///
+/// Shutdown() drains gracefully: the listener closes first, already
+///-queued requests finish, their responses flush, then connections close
+/// and the threads join.
+class FrameServer {
+ public:
+  /// Produces the response frame for one request frame. Runs on a worker
+  /// thread; must be thread-safe (ParkService is).
+  using Handler = std::function<Frame(const Frame&)>;
+
+  FrameServer() = default;
+  ~FrameServer() { Shutdown(); }
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  /// Binds, listens and starts the event + worker threads. Fails with
+  /// FailedPrecondition if already started, Internal on socket errors.
+  Status Start(FrameServerOptions options, Handler handler);
+
+  /// The bound port (resolves option port 0), or -1 before Start.
+  int port() const { return port_; }
+
+  /// Graceful drain; idempotent, also called by the destructor.
+  void Shutdown();
+
+  struct Stats {
+    uint64_t accepted_connections = 0;
+    uint64_t rejected_connections = 0;
+    uint64_t active_connections = 0;
+    uint64_t frames_in = 0;
+    uint64_t frames_out = 0;
+    uint64_t protocol_errors = 0;
+    uint64_t deadline_expired = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameParser parser;
+    std::string outbuf;
+    size_t out_pos = 0;
+    std::chrono::steady_clock::time_point last_activity;
+    /// Requests dispatched but whose responses are not yet in outbuf;
+    /// only the event thread touches it.
+    int in_flight = 0;
+  };
+
+  struct Task {
+    uint64_t conn_id = 0;
+    Frame frame;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  struct Response {
+    uint64_t conn_id = 0;
+    std::string bytes;
+  };
+
+  void EventLoop();
+  void WorkerLoop();
+  void WakeEventLoop();
+  void AcceptNewConnections();
+  /// Reads whatever the socket has; returns false if the connection must
+  /// close (EOF, error, protocol violation).
+  bool ReadFromConn(uint64_t conn_id, Conn* conn);
+  /// Flushes buffered output; returns false if the connection must close.
+  bool WriteToConn(Conn* conn);
+  void CloseConn(uint64_t conn_id);
+  void DrainResponseQueue();
+
+  FrameServerOptions options_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int port_ = -1;
+  bool started_ = false;
+
+  std::thread event_thread_;
+  std::vector<std::thread> workers_;
+
+  // Connections: owned and touched by the event thread only.
+  std::unordered_map<uint64_t, Conn> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> work_queue_;
+  bool workers_stop_ = false;
+
+  std::mutex response_mu_;
+  std::deque<Response> response_queue_;
+
+  std::atomic<bool> draining_{false};
+  /// Tasks dequeued by a worker whose response is not yet queued.
+  std::atomic<int> tasks_executing_{0};
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> active_{0};
+  std::atomic<uint64_t> frames_in_{0};
+  std::atomic<uint64_t> frames_out_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> deadline_expired_{0};
+};
+
+}  // namespace paws
+
+#endif  // PAWS_NET_SERVER_H_

@@ -1,0 +1,567 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace paws {
+
+namespace {
+
+// Section tags: RQ** = request bodies, RS** = response bodies, STAT =
+// status frame. Requests/responses for one opcode deliberately use
+// different tags so a misrouted payload fails tag validation instead of
+// half-parsing.
+constexpr uint32_t kStatusTag = FourCc("STAT");
+constexpr uint32_t kRiskMapReqTag = FourCc("RQRM");
+constexpr uint32_t kRiskBatchReqTag = FourCc("RQRB");
+constexpr uint32_t kCurvesReqTag = FourCc("RQCC");
+constexpr uint32_t kPlanReqTag = FourCc("RQPP");
+constexpr uint32_t kSwapReqTag = FourCc("RQSS");
+constexpr uint32_t kStatsReqTag = FourCc("RQST");
+constexpr uint32_t kRiskBatchRespTag = FourCc("RSRB");
+constexpr uint32_t kStatsRespTag = FourCc("RSST");
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+Status BrokenStream(const std::string& what) {
+  return Status::InvalidArgument("wire: " + what);
+}
+
+}  // namespace
+
+std::string OpcodeName(uint32_t opcode) {
+  switch (static_cast<Opcode>(opcode)) {
+    case Opcode::kRiskMap:
+      return "RiskMap";
+    case Opcode::kRiskMapBatch:
+      return "RiskMapBatch";
+    case Opcode::kCellCurves:
+      return "CellCurves";
+    case Opcode::kPlanForPost:
+      return "PlanForPost";
+    case Opcode::kSwapSnapshot:
+      return "SwapSnapshot";
+    case Opcode::kStats:
+      return "Stats";
+    case Opcode::kOkResponse:
+      return "OkResponse";
+    case Opcode::kStatusResponse:
+      return "StatusResponse";
+  }
+  return "unknown(" + std::to_string(opcode) + ")";
+}
+
+bool IsRequestOpcode(uint32_t opcode) {
+  return opcode >= static_cast<uint32_t>(Opcode::kRiskMap) &&
+         opcode <= static_cast<uint32_t>(Opcode::kStats);
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kWireHeaderBytes + frame.payload.size());
+  AppendU32(&out, kWireMagic);
+  AppendU32(&out, kWireProtocolVersion);
+  AppendU64(&out, frame.request_id);
+  AppendU32(&out, frame.opcode);
+  AppendU64(&out, frame.payload.size());
+  out += frame.payload;
+  return out;
+}
+
+void FrameParser::Append(const void* data, size_t n) {
+  buffer_.append(static_cast<const char*>(data), n);
+}
+
+StatusOr<bool> FrameParser::Next(Frame* out) {
+  if (broken_) return BrokenStream("stream already failed");
+  // Validate the header prefix as soon as its bytes arrive: garbage is
+  // rejected after 4 bytes, not buffered until a bogus length shows up.
+  if (buffer_.size() >= 4 && LoadU32(buffer_.data()) != kWireMagic) {
+    broken_ = true;
+    return BrokenStream("bad magic");
+  }
+  if (buffer_.size() >= 8 && LoadU32(buffer_.data() + 4) !=
+                                 kWireProtocolVersion) {
+    broken_ = true;
+    return BrokenStream("unsupported protocol version " +
+                        std::to_string(LoadU32(buffer_.data() + 4)));
+  }
+  if (buffer_.size() < kWireHeaderBytes) return false;
+  const uint64_t payload_len = LoadU64(buffer_.data() + 20);
+  // The length prefix is attacker-controlled until this check passes; it
+  // bounds every subsequent buffer operation.
+  if (payload_len > max_frame_bytes_) {
+    broken_ = true;
+    return BrokenStream("frame length " + std::to_string(payload_len) +
+                        " exceeds cap " + std::to_string(max_frame_bytes_));
+  }
+  if (buffer_.size() < kWireHeaderBytes + payload_len) return false;
+  out->request_id = LoadU64(buffer_.data() + 8);
+  out->opcode = LoadU32(buffer_.data() + 16);
+  out->payload = buffer_.substr(kWireHeaderBytes, payload_len);
+  buffer_.erase(0, kWireHeaderBytes + payload_len);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Error taxonomy.
+
+uint32_t WireCodeFromStatus(StatusCode code) {
+  // Explicit table: the in-process enum order is NOT a wire contract.
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 1;
+    case StatusCode::kFailedPrecondition:
+      return 2;
+    case StatusCode::kNotFound:
+      return 3;
+    case StatusCode::kOutOfRange:
+      return 4;
+    case StatusCode::kInternal:
+      return 5;
+    case StatusCode::kUnimplemented:
+      return 6;
+    case StatusCode::kResourceExhausted:
+      return 7;
+    case StatusCode::kInfeasible:
+      return 8;
+    case StatusCode::kUnbounded:
+      return 9;
+  }
+  return 5;  // unreachable; map to kInternal
+}
+
+StatusCode StatusCodeFromWire(uint32_t wire_code) {
+  switch (wire_code) {
+    case 0:
+      return StatusCode::kOk;
+    case 1:
+      return StatusCode::kInvalidArgument;
+    case 2:
+      return StatusCode::kFailedPrecondition;
+    case 3:
+      return StatusCode::kNotFound;
+    case 4:
+      return StatusCode::kOutOfRange;
+    case 5:
+      return StatusCode::kInternal;
+    case 6:
+      return StatusCode::kUnimplemented;
+    case 7:
+      return StatusCode::kResourceExhausted;
+    case 8:
+      return StatusCode::kInfeasible;
+    case 9:
+      return StatusCode::kUnbounded;
+    default:
+      // A newer peer's code we don't know: surface as an internal error
+      // rather than inventing semantics for it.
+      return StatusCode::kInternal;
+  }
+}
+
+namespace {
+
+class PawsErrorCategory : public std::error_category {
+ public:
+  const char* name() const noexcept override { return "paws"; }
+  std::string message(int condition) const override {
+    return StatusCodeName(
+        StatusCodeFromWire(static_cast<uint32_t>(condition)));
+  }
+};
+
+}  // namespace
+
+const std::error_category& paws_error_category() {
+  static PawsErrorCategory category;
+  return category;
+}
+
+std::error_code MakeWireErrorCode(StatusCode code) {
+  return std::error_code(static_cast<int>(WireCodeFromStatus(code)),
+                         paws_error_category());
+}
+
+std::string EncodeStatusPayload(const Status& status) {
+  ArchiveWriter writer;
+  writer.BeginSection(kStatusTag);
+  writer.WriteU32(WireCodeFromStatus(status.code()));
+  writer.WriteString(status.message());
+  writer.EndSection();
+  return writer.Bytes();
+}
+
+Status DecodeStatusPayload(const std::string& payload, Status* decoded) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  PAWS_RETURN_IF_ERROR(reader.EnterSection(kStatusTag));
+  uint32_t wire_code = 0;
+  std::string message;
+  PAWS_RETURN_IF_ERROR(reader.ReadU32(&wire_code));
+  PAWS_RETURN_IF_ERROR(reader.ReadString(&message));
+  PAWS_RETURN_IF_ERROR(reader.LeaveSection());
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  *decoded = Status(StatusCodeFromWire(wire_code), std::move(message));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Typed payload codecs.
+
+std::string EncodeRiskMapRequest(const RiskMapRequest& req) {
+  ArchiveWriter writer;
+  writer.BeginSection(kRiskMapReqTag);
+  writer.WriteString(req.park_id);
+  writer.WriteDouble(req.assumed_effort);
+  writer.EndSection();
+  return writer.Bytes();
+}
+
+StatusOr<RiskMapRequest> DecodeRiskMapRequest(const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  RiskMapRequest req;
+  PAWS_RETURN_IF_ERROR(reader.EnterSection(kRiskMapReqTag));
+  PAWS_RETURN_IF_ERROR(reader.ReadString(&req.park_id));
+  PAWS_RETURN_IF_ERROR(reader.ReadDouble(&req.assumed_effort));
+  PAWS_RETURN_IF_ERROR(reader.LeaveSection());
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return req;
+}
+
+std::string EncodeRiskMapBatchRequest(const RiskMapBatchRequest& req) {
+  ArchiveWriter writer;
+  writer.BeginSection(kRiskBatchReqTag);
+  writer.WriteU64(req.requests.size());
+  for (const RiskMapRequest& item : req.requests) {
+    writer.WriteString(item.park_id);
+    writer.WriteDouble(item.assumed_effort);
+  }
+  writer.EndSection();
+  return writer.Bytes();
+}
+
+StatusOr<RiskMapBatchRequest> DecodeRiskMapBatchRequest(
+    const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  RiskMapBatchRequest req;
+  PAWS_RETURN_IF_ERROR(reader.EnterSection(kRiskBatchReqTag));
+  uint64_t count = 0;
+  PAWS_RETURN_IF_ERROR(reader.ReadU64(&count));
+  // Each item needs at least a string count + a double; this bounds the
+  // reserve against the section's actual byte budget.
+  if (count > reader.remaining() / (8 + 8)) {
+    return BrokenStream("batch count overruns payload");
+  }
+  req.requests.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    RiskMapRequest item;
+    PAWS_RETURN_IF_ERROR(reader.ReadString(&item.park_id));
+    PAWS_RETURN_IF_ERROR(reader.ReadDouble(&item.assumed_effort));
+    req.requests.push_back(std::move(item));
+  }
+  PAWS_RETURN_IF_ERROR(reader.LeaveSection());
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return req;
+}
+
+std::string EncodeCellCurvesRequest(const CellCurvesRequest& req) {
+  ArchiveWriter writer;
+  writer.BeginSection(kCurvesReqTag);
+  writer.WriteString(req.park_id);
+  writer.WriteIntVector(req.cell_ids);
+  writer.WriteDoubleVector(req.effort_grid);
+  writer.EndSection();
+  return writer.Bytes();
+}
+
+StatusOr<CellCurvesRequest> DecodeCellCurvesRequest(
+    const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  CellCurvesRequest req;
+  PAWS_RETURN_IF_ERROR(reader.EnterSection(kCurvesReqTag));
+  PAWS_RETURN_IF_ERROR(reader.ReadString(&req.park_id));
+  PAWS_RETURN_IF_ERROR(reader.ReadIntVector(&req.cell_ids));
+  PAWS_RETURN_IF_ERROR(reader.ReadDoubleVector(&req.effort_grid));
+  PAWS_RETURN_IF_ERROR(reader.LeaveSection());
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return req;
+}
+
+std::string EncodePlanForPostRequest(const PlanForPostRequest& req) {
+  ArchiveWriter writer;
+  writer.BeginSection(kPlanReqTag);
+  writer.WriteString(req.park_id);
+  writer.WriteI32(req.post_index);
+  writer.WriteI32(req.config.horizon);
+  writer.WriteI32(req.config.num_patrols);
+  writer.WriteI32(req.config.pwl_segments);
+  writer.WriteDouble(req.config.max_cell_effort);
+  writer.WriteI32(req.config.milp.max_nodes);
+  writer.WriteDouble(req.config.milp.absolute_gap_tolerance);
+  writer.WriteDouble(req.config.milp.integrality_tolerance);
+  writer.WriteBool(req.config.milp.use_rounding_heuristic);
+  writer.WriteI64(req.config.milp.simplex.max_iterations);
+  writer.WriteDouble(req.config.milp.simplex.feasibility_tolerance);
+  writer.WriteDouble(req.config.milp.simplex.optimality_tolerance);
+  writer.WriteDouble(req.robust.beta);
+  writer.WriteDouble(req.robust.squash_scale);
+  writer.EndSection();
+  return writer.Bytes();
+}
+
+StatusOr<PlanForPostRequest> DecodePlanForPostRequest(
+    const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  PlanForPostRequest req;
+  PAWS_RETURN_IF_ERROR(reader.EnterSection(kPlanReqTag));
+  PAWS_RETURN_IF_ERROR(reader.ReadString(&req.park_id));
+  PAWS_RETURN_IF_ERROR(reader.ReadI32(&req.post_index));
+  PAWS_RETURN_IF_ERROR(reader.ReadI32(&req.config.horizon));
+  PAWS_RETURN_IF_ERROR(reader.ReadI32(&req.config.num_patrols));
+  PAWS_RETURN_IF_ERROR(reader.ReadI32(&req.config.pwl_segments));
+  PAWS_RETURN_IF_ERROR(reader.ReadDouble(&req.config.max_cell_effort));
+  PAWS_RETURN_IF_ERROR(reader.ReadI32(&req.config.milp.max_nodes));
+  PAWS_RETURN_IF_ERROR(
+      reader.ReadDouble(&req.config.milp.absolute_gap_tolerance));
+  PAWS_RETURN_IF_ERROR(
+      reader.ReadDouble(&req.config.milp.integrality_tolerance));
+  PAWS_RETURN_IF_ERROR(
+      reader.ReadBool(&req.config.milp.use_rounding_heuristic));
+  int64_t simplex_iterations = 0;
+  PAWS_RETURN_IF_ERROR(reader.ReadI64(&simplex_iterations));
+  req.config.milp.simplex.max_iterations =
+      static_cast<long>(simplex_iterations);
+  PAWS_RETURN_IF_ERROR(
+      reader.ReadDouble(&req.config.milp.simplex.feasibility_tolerance));
+  PAWS_RETURN_IF_ERROR(
+      reader.ReadDouble(&req.config.milp.simplex.optimality_tolerance));
+  PAWS_RETURN_IF_ERROR(reader.ReadDouble(&req.robust.beta));
+  PAWS_RETURN_IF_ERROR(reader.ReadDouble(&req.robust.squash_scale));
+  PAWS_RETURN_IF_ERROR(reader.LeaveSection());
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return req;
+}
+
+std::string EncodeSwapSnapshotRequest(const SwapSnapshotRequest& req) {
+  ArchiveWriter writer;
+  writer.BeginSection(kSwapReqTag);
+  writer.WriteString(req.park_id);
+  writer.WriteString(req.snapshot_bytes);
+  writer.EndSection();
+  return writer.Bytes();
+}
+
+StatusOr<SwapSnapshotRequest> DecodeSwapSnapshotRequest(
+    const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  SwapSnapshotRequest req;
+  PAWS_RETURN_IF_ERROR(reader.EnterSection(kSwapReqTag));
+  PAWS_RETURN_IF_ERROR(reader.ReadString(&req.park_id));
+  PAWS_RETURN_IF_ERROR(reader.ReadString(&req.snapshot_bytes));
+  PAWS_RETURN_IF_ERROR(reader.LeaveSection());
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return req;
+}
+
+std::string EncodeStatsRequest(const StatsRequest& req) {
+  ArchiveWriter writer;
+  writer.BeginSection(kStatsReqTag);
+  writer.WriteString(req.park_id);
+  writer.EndSection();
+  return writer.Bytes();
+}
+
+StatusOr<StatsRequest> DecodeStatsRequest(const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  StatsRequest req;
+  PAWS_RETURN_IF_ERROR(reader.EnterSection(kStatsReqTag));
+  PAWS_RETURN_IF_ERROR(reader.ReadString(&req.park_id));
+  PAWS_RETURN_IF_ERROR(reader.LeaveSection());
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return req;
+}
+
+std::string EncodeRiskMapsPayload(const RiskMaps& maps) {
+  ArchiveWriter writer;
+  SaveRiskMaps(maps, &writer);
+  return writer.Bytes();
+}
+
+StatusOr<RiskMaps> DecodeRiskMapsPayload(const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  PAWS_ASSIGN_OR_RETURN(RiskMaps maps, LoadRiskMaps(&reader));
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return maps;
+}
+
+std::string EncodeRiskMapBatchPayload(
+    const std::vector<StatusOr<RiskMaps>>& results) {
+  ArchiveWriter writer;
+  writer.BeginSection(kRiskBatchRespTag);
+  writer.WriteU64(results.size());
+  for (const StatusOr<RiskMaps>& result : results) {
+    writer.WriteBool(result.ok());
+    if (result.ok()) {
+      SaveRiskMaps(*result, &writer);
+    } else {
+      writer.WriteU32(WireCodeFromStatus(result.status().code()));
+      writer.WriteString(result.status().message());
+    }
+  }
+  writer.EndSection();
+  return writer.Bytes();
+}
+
+StatusOr<std::vector<StatusOr<RiskMaps>>> DecodeRiskMapBatchPayload(
+    const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  PAWS_RETURN_IF_ERROR(reader.EnterSection(kRiskBatchRespTag));
+  uint64_t count = 0;
+  PAWS_RETURN_IF_ERROR(reader.ReadU64(&count));
+  if (count > reader.remaining()) {  // >= 1 byte per item (the ok flag)
+    return BrokenStream("batch count overruns payload");
+  }
+  std::vector<StatusOr<RiskMaps>> results;
+  results.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    bool item_ok = false;
+    PAWS_RETURN_IF_ERROR(reader.ReadBool(&item_ok));
+    if (item_ok) {
+      PAWS_ASSIGN_OR_RETURN(RiskMaps maps, LoadRiskMaps(&reader));
+      results.push_back(std::move(maps));
+    } else {
+      uint32_t wire_code = 0;
+      std::string message;
+      PAWS_RETURN_IF_ERROR(reader.ReadU32(&wire_code));
+      PAWS_RETURN_IF_ERROR(reader.ReadString(&message));
+      results.push_back(
+          Status(StatusCodeFromWire(wire_code), std::move(message)));
+    }
+  }
+  PAWS_RETURN_IF_ERROR(reader.LeaveSection());
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return results;
+}
+
+std::string EncodeEffortCurveTablePayload(const EffortCurveTable& table) {
+  ArchiveWriter writer;
+  SaveEffortCurveTable(table, &writer);
+  return writer.Bytes();
+}
+
+StatusOr<EffortCurveTable> DecodeEffortCurveTablePayload(
+    const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  PAWS_ASSIGN_OR_RETURN(EffortCurveTable table,
+                        LoadEffortCurveTable(&reader));
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return table;
+}
+
+std::string EncodePatrolPlanPayload(const PatrolPlan& plan) {
+  ArchiveWriter writer;
+  SavePatrolPlan(plan, &writer);
+  return writer.Bytes();
+}
+
+StatusOr<PatrolPlan> DecodePatrolPlanPayload(const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  PAWS_ASSIGN_OR_RETURN(PatrolPlan plan, LoadPatrolPlan(&reader));
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return plan;
+}
+
+std::string EncodeStatsReportPayload(const ServerStatsReport& report) {
+  ArchiveWriter writer;
+  writer.BeginSection(kStatsRespTag);
+  writer.WriteU64(report.accepted_connections);
+  writer.WriteU64(report.rejected_connections);
+  writer.WriteU64(report.active_connections);
+  writer.WriteU64(report.frames_in);
+  writer.WriteU64(report.frames_out);
+  writer.WriteU64(report.protocol_errors);
+  writer.WriteU64(report.deadline_expired);
+  writer.WriteU64(report.parks.size());
+  for (const ServerStatsReport::ParkStats& park : report.parks) {
+    writer.WriteString(park.park_id);
+    writer.WriteU64(park.risk_hits);
+    writer.WriteU64(park.risk_misses);
+    writer.WriteU64(park.curve_hits);
+    writer.WriteU64(park.curve_misses);
+  }
+  writer.EndSection();
+  return writer.Bytes();
+}
+
+StatusOr<ServerStatsReport> DecodeStatsReportPayload(
+    const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  ServerStatsReport report;
+  PAWS_RETURN_IF_ERROR(reader.EnterSection(kStatsRespTag));
+  PAWS_RETURN_IF_ERROR(reader.ReadU64(&report.accepted_connections));
+  PAWS_RETURN_IF_ERROR(reader.ReadU64(&report.rejected_connections));
+  PAWS_RETURN_IF_ERROR(reader.ReadU64(&report.active_connections));
+  PAWS_RETURN_IF_ERROR(reader.ReadU64(&report.frames_in));
+  PAWS_RETURN_IF_ERROR(reader.ReadU64(&report.frames_out));
+  PAWS_RETURN_IF_ERROR(reader.ReadU64(&report.protocol_errors));
+  PAWS_RETURN_IF_ERROR(reader.ReadU64(&report.deadline_expired));
+  uint64_t count = 0;
+  PAWS_RETURN_IF_ERROR(reader.ReadU64(&count));
+  if (count > reader.remaining() / (8 + 4 * 8)) {
+    return BrokenStream("park count overruns payload");
+  }
+  report.parks.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ServerStatsReport::ParkStats park;
+    PAWS_RETURN_IF_ERROR(reader.ReadString(&park.park_id));
+    PAWS_RETURN_IF_ERROR(reader.ReadU64(&park.risk_hits));
+    PAWS_RETURN_IF_ERROR(reader.ReadU64(&park.risk_misses));
+    PAWS_RETURN_IF_ERROR(reader.ReadU64(&park.curve_hits));
+    PAWS_RETURN_IF_ERROR(reader.ReadU64(&park.curve_misses));
+    report.parks.push_back(std::move(park));
+  }
+  PAWS_RETURN_IF_ERROR(reader.LeaveSection());
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return report;
+}
+
+}  // namespace paws

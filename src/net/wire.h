@@ -1,0 +1,234 @@
+#ifndef PAWS_NET_WIRE_H_
+#define PAWS_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "core/risk_map.h"
+#include "ml/effort_curve.h"
+#include "plan/planner.h"
+#include "plan/robust.h"
+#include "util/archive.h"
+#include "util/status.h"
+
+namespace paws {
+
+/// The PAWS serving wire protocol: length-prefixed binary frames whose
+/// payloads are ordinary PAWS archives, so every request and response body
+/// inherits the archive layer's guarantees (bit-exact doubles, CRC-32,
+/// bounds-checked reads, clean Status on corruption — never UB).
+///
+/// Frame layout (all integers little-endian):
+///
+///   bytes  0..3   magic "PNET"
+///   bytes  4..7   protocol version (u32, currently 1)
+///   bytes  8..15  request id (u64; responses echo the request's id)
+///   bytes 16..19  opcode (u32, see Opcode)
+///   bytes 20..27  payload length (u64, validated against a hard cap
+///                 BEFORE any allocation — an attacker-controlled length
+///                 prefix can never drive a giant reserve)
+///   bytes 28..    payload: one complete archive (ArchiveWriter::Bytes),
+///                 or empty for requests that carry no body
+///
+/// Responses either echo success (`kOkResponse` + an archive-encoded
+/// result whose shape is determined by the request opcode) or carry a
+/// status frame (`kStatusResponse` + wire error code + message). Wire
+/// error codes map onto the existing StatusCode taxonomy through
+/// `paws_error_category()` — the server never invents a parallel error
+/// scheme, and a client can round-trip any library Status.
+
+constexpr uint32_t kWireMagic = FourCc("PNET");
+constexpr uint32_t kWireProtocolVersion = 1;
+constexpr size_t kWireHeaderBytes = 28;
+/// Default per-frame allocation bound (64 MiB). Both sides refuse frames
+/// whose length prefix exceeds their configured cap.
+constexpr size_t kDefaultMaxFrameBytes = 64ull << 20;
+
+/// Request opcodes mirror the ParkService serving API one to one; the two
+/// response opcodes close the protocol (clients dispatch on the request
+/// they issued, not on the response opcode).
+enum class Opcode : uint32_t {
+  kRiskMap = 1,
+  kRiskMapBatch = 2,
+  kCellCurves = 3,
+  kPlanForPost = 4,
+  kSwapSnapshot = 5,
+  kStats = 6,
+  kOkResponse = 100,
+  kStatusResponse = 101,
+};
+
+/// Human-readable opcode name for logs/errors ("RiskMap", "unknown(42)").
+std::string OpcodeName(uint32_t opcode);
+
+/// True for the request opcodes a server dispatches.
+bool IsRequestOpcode(uint32_t opcode);
+
+struct Frame {
+  uint64_t request_id = 0;
+  uint32_t opcode = 0;
+  std::string payload;
+};
+
+/// Serializes header + payload into wire bytes.
+std::string EncodeFrame(const Frame& frame);
+
+/// Incremental frame reassembler for a byte stream: feed whatever the
+/// socket delivered, pull complete frames out. Malformed input (bad magic,
+/// wrong protocol version, oversized length prefix) surfaces as a Status —
+/// the stream is unrecoverable past that point and the connection should
+/// be closed. The length prefix is validated against `max_frame_bytes`
+/// before any payload buffering, so a hostile prefix cannot force a large
+/// allocation.
+class FrameParser {
+ public:
+  explicit FrameParser(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Append(const void* data, size_t n);
+
+  /// Extracts the next complete frame into `*out`. Returns true when a
+  /// frame was produced, false when more bytes are needed; a non-OK
+  /// status means the stream is broken (close the connection).
+  StatusOr<bool> Next(Frame* out);
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  bool broken_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Error taxonomy over the wire (SNIPPETS.md std::error_category idiom).
+
+/// Stable wire value for a StatusCode. The enum's numeric values are an
+/// in-process detail; the wire contract is this mapping.
+uint32_t WireCodeFromStatus(StatusCode code);
+
+/// Inverse mapping; unknown wire codes (a newer peer) decode as kInternal.
+StatusCode StatusCodeFromWire(uint32_t wire_code);
+
+/// std::error_category over the PAWS status taxonomy, so wire errors
+/// interoperate with std::error_code plumbing: name() is "paws" and
+/// message(code) is the StatusCodeName of the mapped StatusCode.
+const std::error_category& paws_error_category();
+
+/// Convenience: the std::error_code for a StatusCode in paws_error_category.
+std::error_code MakeWireErrorCode(StatusCode code);
+
+/// Status frame payload: wire code + message, archive-framed. The decode
+/// writes the carried status to `*decoded`; its return value reports
+/// archive malformation only (out-param because StatusOr<Status> would be
+/// ambiguous between its value and error constructors).
+std::string EncodeStatusPayload(const Status& status);
+Status DecodeStatusPayload(const std::string& payload, Status* decoded);
+
+// ---------------------------------------------------------------------------
+// Typed request/response payload codecs, shared by client and server so the
+// two sides can never drift. Every Encode* returns one complete archive;
+// every Decode* validates it fully (CRC, section framing, trailing-garbage
+// rejection) and returns InvalidArgument on any malformation.
+
+struct RiskMapRequest {
+  std::string park_id;
+  double assumed_effort = 0.0;
+};
+
+struct RiskMapBatchRequest {
+  std::vector<RiskMapRequest> requests;
+};
+
+struct CellCurvesRequest {
+  std::string park_id;
+  std::vector<int> cell_ids;
+  std::vector<double> effort_grid;
+};
+
+struct PlanForPostRequest {
+  std::string park_id;
+  int post_index = 0;
+  PlannerConfig config;
+  RobustParams robust;
+};
+
+/// SwapSnapshot ships the whole snapshot archive (the PR-3 deployment
+/// artifact) as its body — the unit of model rollout over the network.
+struct SwapSnapshotRequest {
+  std::string park_id;
+  std::string snapshot_bytes;
+};
+
+/// Stats request: empty park_id = report every registered park.
+struct StatsRequest {
+  std::string park_id;
+};
+
+/// Stats response: transport counters plus per-park cache economics (the
+/// risk-map LRU and the effort-curve-table LRU).
+struct ServerStatsReport {
+  uint64_t accepted_connections = 0;
+  uint64_t rejected_connections = 0;
+  uint64_t active_connections = 0;
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t deadline_expired = 0;
+  struct ParkStats {
+    std::string park_id;
+    uint64_t risk_hits = 0;
+    uint64_t risk_misses = 0;
+    uint64_t curve_hits = 0;
+    uint64_t curve_misses = 0;
+  };
+  std::vector<ParkStats> parks;
+};
+
+std::string EncodeRiskMapRequest(const RiskMapRequest& req);
+StatusOr<RiskMapRequest> DecodeRiskMapRequest(const std::string& payload);
+
+std::string EncodeRiskMapBatchRequest(const RiskMapBatchRequest& req);
+StatusOr<RiskMapBatchRequest> DecodeRiskMapBatchRequest(
+    const std::string& payload);
+
+std::string EncodeCellCurvesRequest(const CellCurvesRequest& req);
+StatusOr<CellCurvesRequest> DecodeCellCurvesRequest(
+    const std::string& payload);
+
+std::string EncodePlanForPostRequest(const PlanForPostRequest& req);
+StatusOr<PlanForPostRequest> DecodePlanForPostRequest(
+    const std::string& payload);
+
+std::string EncodeSwapSnapshotRequest(const SwapSnapshotRequest& req);
+StatusOr<SwapSnapshotRequest> DecodeSwapSnapshotRequest(
+    const std::string& payload);
+
+std::string EncodeStatsRequest(const StatsRequest& req);
+StatusOr<StatsRequest> DecodeStatsRequest(const std::string& payload);
+
+std::string EncodeRiskMapsPayload(const RiskMaps& maps);
+StatusOr<RiskMaps> DecodeRiskMapsPayload(const std::string& payload);
+
+/// Batch response: one per-item (status, maps) pair, request order.
+std::string EncodeRiskMapBatchPayload(
+    const std::vector<StatusOr<RiskMaps>>& results);
+StatusOr<std::vector<StatusOr<RiskMaps>>> DecodeRiskMapBatchPayload(
+    const std::string& payload);
+
+std::string EncodeEffortCurveTablePayload(const EffortCurveTable& table);
+StatusOr<EffortCurveTable> DecodeEffortCurveTablePayload(
+    const std::string& payload);
+
+std::string EncodePatrolPlanPayload(const PatrolPlan& plan);
+StatusOr<PatrolPlan> DecodePatrolPlanPayload(const std::string& payload);
+
+std::string EncodeStatsReportPayload(const ServerStatsReport& report);
+StatusOr<ServerStatsReport> DecodeStatsReportPayload(
+    const std::string& payload);
+
+}  // namespace paws
+
+#endif  // PAWS_NET_WIRE_H_

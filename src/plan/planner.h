@@ -7,6 +7,7 @@
 #include "plan/graph.h"
 #include "solver/milp.h"
 #include "solver/pwl.h"
+#include "util/archive.h"
 
 namespace paws {
 
@@ -39,6 +40,12 @@ struct PatrolPlan {
   long simplex_iterations = 0;
   int nodes_explored = 0;
 };
+
+/// Bit-exact plan serialization (coverage doubles stored as IEEE-754 bit
+/// patterns) — how the serving front end ships a solved plan over the
+/// wire, and how field devices can archive the plans they executed.
+void SavePatrolPlan(const PatrolPlan& plan, ArchiveWriter* ar);
+StatusOr<PatrolPlan> LoadPatrolPlan(ArchiveReader* ar);
 
 /// One weighted patrol route from a flow decomposition of the plan.
 struct PatrolRoute {

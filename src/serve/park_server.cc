@@ -1,0 +1,214 @@
+#include "serve/park_server.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/snapshot.h"
+
+namespace paws {
+
+Status ParkServer::Start(FrameServerOptions options) {
+  return server_.Start(std::move(options),
+                       [this](const Frame& request) { return Handle(request); });
+}
+
+Frame ParkServer::Handle(const Frame& request) {
+  Status error = Status::OK();
+  std::string payload;
+  switch (request.opcode) {
+    case static_cast<uint32_t>(Opcode::kRiskMap):
+      payload = HandleRiskMap(request.payload, &error);
+      break;
+    case static_cast<uint32_t>(Opcode::kRiskMapBatch):
+      payload = HandleRiskMapBatch(request.payload, &error);
+      break;
+    case static_cast<uint32_t>(Opcode::kCellCurves):
+      payload = HandleCellCurves(request.payload, &error);
+      break;
+    case static_cast<uint32_t>(Opcode::kPlanForPost):
+      payload = HandlePlanForPost(request.payload, &error);
+      break;
+    case static_cast<uint32_t>(Opcode::kSwapSnapshot):
+      payload = HandleSwapSnapshot(request.payload, &error);
+      break;
+    case static_cast<uint32_t>(Opcode::kStats):
+      payload = HandleStats(request.payload, &error);
+      break;
+    default:
+      error = Status::InvalidArgument("unknown request opcode " +
+                                   OpcodeName(request.opcode));
+      break;
+  }
+
+  Frame response;
+  response.request_id = request.request_id;
+  if (error.ok()) {
+    response.opcode = static_cast<uint32_t>(Opcode::kOkResponse);
+    response.payload = std::move(payload);
+  } else {
+    response.opcode = static_cast<uint32_t>(Opcode::kStatusResponse);
+    response.payload = EncodeStatusPayload(error);
+  }
+  return response;
+}
+
+std::string ParkServer::HandleRiskMap(const std::string& payload,
+                                      Status* error) {
+  StatusOr<RiskMapRequest> request = DecodeRiskMapRequest(payload);
+  if (!request.ok()) {
+    *error = request.status();
+    return "";
+  }
+  StatusOr<std::shared_ptr<const RiskMaps>> maps =
+      service_->RiskMap(request->park_id, request->assumed_effort);
+  if (!maps.ok()) {
+    *error = maps.status();
+    return "";
+  }
+  return EncodeRiskMapsPayload(**maps);
+}
+
+std::string ParkServer::HandleRiskMapBatch(const std::string& payload,
+                                           Status* error) {
+  StatusOr<RiskMapBatchRequest> request = DecodeRiskMapBatchRequest(payload);
+  if (!request.ok()) {
+    *error = request.status();
+    return "";
+  }
+  std::vector<ParkService::RiskRequest> service_requests;
+  service_requests.reserve(request->requests.size());
+  for (const RiskMapRequest& item : request->requests) {
+    service_requests.push_back({item.park_id, item.assumed_effort});
+  }
+  std::vector<StatusOr<std::shared_ptr<const RiskMaps>>> served =
+      service_->RiskMapBatch(service_requests);
+  // The wire carries maps by value; per-item statuses travel unchanged.
+  std::vector<StatusOr<RiskMaps>> results;
+  results.reserve(served.size());
+  for (StatusOr<std::shared_ptr<const RiskMaps>>& item : served) {
+    if (item.ok()) {
+      results.push_back(**item);
+    } else {
+      results.push_back(StatusOr<RiskMaps>(item.status()));
+    }
+  }
+  return EncodeRiskMapBatchPayload(results);
+}
+
+std::string ParkServer::HandleCellCurves(const std::string& payload,
+                                         Status* error) {
+  StatusOr<CellCurvesRequest> request = DecodeCellCurvesRequest(payload);
+  if (!request.ok()) {
+    *error = request.status();
+    return "";
+  }
+  StatusOr<std::shared_ptr<const EffortCurveTable>> table =
+      service_->CellCurves(request->park_id, request->cell_ids,
+                           std::move(request->effort_grid));
+  if (!table.ok()) {
+    *error = table.status();
+    return "";
+  }
+  return EncodeEffortCurveTablePayload(**table);
+}
+
+std::string ParkServer::HandlePlanForPost(const std::string& payload,
+                                          Status* error) {
+  StatusOr<PlanForPostRequest> request = DecodePlanForPostRequest(payload);
+  if (!request.ok()) {
+    *error = request.status();
+    return "";
+  }
+  StatusOr<PatrolPlan> plan = service_->PlanForPost(
+      request->park_id, request->post_index, request->config, request->robust);
+  if (!plan.ok()) {
+    *error = plan.status();
+    return "";
+  }
+  return EncodePatrolPlanPayload(*plan);
+}
+
+std::string ParkServer::HandleSwapSnapshot(const std::string& payload,
+                                           Status* error) {
+  StatusOr<SwapSnapshotRequest> request = DecodeSwapSnapshotRequest(payload);
+  if (!request.ok()) {
+    *error = request.status();
+    return "";
+  }
+  StatusOr<ModelSnapshot> snapshot =
+      ModelSnapshot::FromBytes(request->snapshot_bytes);
+  if (!snapshot.ok()) {
+    *error = snapshot.status();
+    return "";
+  }
+  Status swapped =
+      service_->SwapSnapshot(request->park_id, std::move(*snapshot));
+  if (swapped.code() == StatusCode::kNotFound) {
+    // Upsert: the park is new to this daemon — register it. The swap
+    // consumed nothing on NotFound (registry lookup precedes any move), so
+    // decode again rather than guess at moved-from state.
+    StatusOr<ModelSnapshot> fresh =
+        ModelSnapshot::FromBytes(request->snapshot_bytes);
+    if (!fresh.ok()) {
+      *error = fresh.status();
+      return "";
+    }
+    swapped = service_->Register(request->park_id, std::move(*fresh));
+  }
+  if (!swapped.ok()) {
+    *error = swapped;
+    return "";
+  }
+  return "";
+}
+
+std::string ParkServer::HandleStats(const std::string& payload,
+                                    Status* error) {
+  StatusOr<StatsRequest> request = DecodeStatsRequest(payload);
+  if (!request.ok()) {
+    *error = request.status();
+    return "";
+  }
+
+  ServerStatsReport report;
+  const FrameServer::Stats net = server_.stats();
+  report.accepted_connections = net.accepted_connections;
+  report.rejected_connections = net.rejected_connections;
+  report.active_connections = net.active_connections;
+  report.frames_in = net.frames_in;
+  report.frames_out = net.frames_out;
+  report.protocol_errors = net.protocol_errors;
+  report.deadline_expired = net.deadline_expired;
+
+  std::vector<std::string> park_ids;
+  if (request->park_id.empty()) {
+    park_ids = service_->park_ids();
+  } else {
+    park_ids.push_back(request->park_id);
+  }
+  for (const std::string& park_id : park_ids) {
+    StatusOr<ParkService::CacheStats> risk =
+        service_->RiskCacheStats(park_id);
+    StatusOr<ParkService::CacheStats> curve =
+        service_->CurveCacheStats(park_id);
+    if (!risk.ok()) {
+      *error = risk.status();
+      return "";
+    }
+    if (!curve.ok()) {
+      *error = curve.status();
+      return "";
+    }
+    ServerStatsReport::ParkStats park;
+    park.park_id = park_id;
+    park.risk_hits = risk->hits;
+    park.risk_misses = risk->misses;
+    park.curve_hits = curve->hits;
+    park.curve_misses = curve->misses;
+    report.parks.push_back(std::move(park));
+  }
+  return EncodeStatsReportPayload(report);
+}
+
+}  // namespace paws

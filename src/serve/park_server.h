@@ -1,0 +1,54 @@
+#ifndef PAWS_SERVE_PARK_SERVER_H_
+#define PAWS_SERVE_PARK_SERVER_H_
+
+#include <string>
+
+#include "net/server.h"
+#include "net/wire.h"
+#include "serve/park_service.h"
+#include "util/status.h"
+
+namespace paws {
+
+/// Network front end for a ParkService: decodes request frames, calls the
+/// matching serving API, archive-encodes the result. One Handle per
+/// opcode-dispatch — every decode failure and unknown opcode becomes an
+/// InvalidArgument status frame (the connection survives; only broken
+/// *framing* closes it, inside FrameServer).
+///
+/// Wire SwapSnapshot is an upsert: replacing an unknown park id registers
+/// it instead, so a fresh field daemon can be bootstrapped entirely over
+/// the network by the training fleet.
+class ParkServer {
+ public:
+  /// `service` must outlive the server and Shutdown().
+  explicit ParkServer(ParkService* service) : service_(service) {}
+  ~ParkServer() { Shutdown(); }
+
+  ParkServer(const ParkServer&) = delete;
+  ParkServer& operator=(const ParkServer&) = delete;
+
+  Status Start(FrameServerOptions options);
+  int port() const { return server_.port(); }
+  void Shutdown() { server_.Shutdown(); }
+
+  FrameServer::Stats net_stats() const { return server_.stats(); }
+
+  /// Exposed for tests: the exact request→response mapping, minus sockets.
+  Frame Handle(const Frame& request);
+
+ private:
+  std::string HandleRiskMap(const std::string& payload, Status* error);
+  std::string HandleRiskMapBatch(const std::string& payload, Status* error);
+  std::string HandleCellCurves(const std::string& payload, Status* error);
+  std::string HandlePlanForPost(const std::string& payload, Status* error);
+  std::string HandleSwapSnapshot(const std::string& payload, Status* error);
+  std::string HandleStats(const std::string& payload, Status* error);
+
+  ParkService* service_;
+  FrameServer server_;
+};
+
+}  // namespace paws
+
+#endif  // PAWS_SERVE_PARK_SERVER_H_

@@ -37,10 +37,28 @@ size_t ParkService::RiskKeyHash::operator()(const RiskKey& key) const {
   return static_cast<size_t>(h);
 }
 
+size_t ParkService::CurveKeyHash::operator()(const CurveKey& key) const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(key.snapshot_version);
+  mix(key.coverage_version);
+  mix(key.cell_ids.size());
+  for (int id : key.cell_ids) mix(static_cast<uint64_t>(id));
+  for (uint64_t bits : key.grid_bits) mix(bits);
+  return static_cast<size_t>(h);
+}
+
 ParkService::ParkService(ParkServiceOptions options)
     : options_(std::move(options)) {
   CheckOrDie(options_.risk_cache_capacity > 0,
              "ParkService: risk_cache_capacity must be positive");
+  CheckOrDie(options_.curve_cache_capacity > 0,
+             "ParkService: curve_cache_capacity must be positive");
 }
 
 Status ParkService::Register(const std::string& park_id,
@@ -49,7 +67,8 @@ Status ParkService::Register(const std::string& park_id,
     return Status::InvalidArgument("ParkService: empty park id");
   }
   auto entry = std::make_shared<Entry>(std::move(snapshot),
-                                       options_.risk_cache_capacity);
+                                       options_.risk_cache_capacity,
+                                       options_.curve_cache_capacity);
   std::unique_lock<std::shared_mutex> lock(registry_mu_);
   if (!parks_.emplace(park_id, std::move(entry)).second) {
     return Status::InvalidArgument("ParkService: park '" + park_id +
@@ -125,7 +144,7 @@ StatusOr<std::shared_ptr<const RiskMaps>> ParkService::RiskMap(
   return StatusOr<std::shared_ptr<const RiskMaps>>(std::move(maps));
 }
 
-StatusOr<EffortCurveTable> ParkService::CellCurves(
+StatusOr<std::shared_ptr<const EffortCurveTable>> ParkService::CellCurves(
     const std::string& park_id, const std::vector<int>& cell_ids,
     std::vector<double> effort_grid) const {
   // Grid shape is client input here (PredictEffortCurves aborts on it).
@@ -149,7 +168,30 @@ StatusOr<EffortCurveTable> ParkService::CellCurves(
       return Status::InvalidArgument("ParkService: cell id out of range");
     }
   }
-  return entry->snapshot.PredictCellCurves(cell_ids, std::move(effort_grid));
+  // Strictly-increasing grids can still differ only in bit pattern
+  // (-0.0 head vs 0.0), so the key uses the bits — same contract as the
+  // risk-map cache.
+  CurveKey key;
+  key.snapshot_version = entry->snapshot_version;
+  key.coverage_version = entry->snapshot.coverage_version();
+  key.cell_ids = cell_ids;
+  key.grid_bits.reserve(effort_grid.size());
+  for (double e : effort_grid) key.grid_bits.push_back(EffortBits(e));
+  {
+    std::lock_guard<std::mutex> cache_lock(entry->curve_cache_mu);
+    if (const auto* hit = entry->curve_cache.Get(key)) {
+      entry->curve_hits.fetch_add(1, std::memory_order_relaxed);
+      return *hit;
+    }
+  }
+  entry->curve_misses.fetch_add(1, std::memory_order_relaxed);
+  auto table = std::make_shared<const EffortCurveTable>(
+      entry->snapshot.PredictCellCurves(cell_ids, std::move(effort_grid)));
+  {
+    std::lock_guard<std::mutex> cache_lock(entry->curve_cache_mu);
+    entry->curve_cache.Put(std::move(key), table);
+  }
+  return StatusOr<std::shared_ptr<const EffortCurveTable>>(std::move(table));
 }
 
 StatusOr<PatrolPlan> ParkService::PlanForPost(
@@ -199,8 +241,14 @@ Status ParkService::SwapSnapshot(const std::string& park_id,
     std::lock_guard<std::mutex> cache_lock(entry->cache_mu);
     entry->cache.Clear();
   }
+  {
+    std::lock_guard<std::mutex> cache_lock(entry->curve_cache_mu);
+    entry->curve_cache.Clear();
+  }
   entry->hits.store(0, std::memory_order_relaxed);
   entry->misses.store(0, std::memory_order_relaxed);
+  entry->curve_hits.store(0, std::memory_order_relaxed);
+  entry->curve_misses.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -246,6 +294,16 @@ StatusOr<ParkService::CacheStats> ParkService::RiskCacheStats(
   CacheStats stats;
   stats.hits = entry->hits.load(std::memory_order_relaxed);
   stats.misses = entry->misses.load(std::memory_order_relaxed);
+  return stats;
+}
+
+StatusOr<ParkService::CacheStats> ParkService::CurveCacheStats(
+    const std::string& park_id) const {
+  const std::shared_ptr<Entry> entry = Find(park_id);
+  if (entry == nullptr) return UnknownPark(park_id);
+  CacheStats stats;
+  stats.hits = entry->curve_hits.load(std::memory_order_relaxed);
+  stats.misses = entry->curve_misses.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -18,6 +18,9 @@ struct ParkServiceOptions {
   /// Per-park LRU capacity for served risk maps (entries keyed by
   /// snapshot version + coverage version + effort).
   int risk_cache_capacity = 16;
+  /// Per-park LRU capacity for served effort-curve tables (entries keyed
+  /// by snapshot version + coverage version + requested cells + grid).
+  int curve_cache_capacity = 16;
   /// Fan-out width for the batched request API. Requests run on dedicated
   /// threads (not the shared pool — pool tasks must stay lock-free; see
   /// RiskMapBatch) and each request's own model scoring still uses the
@@ -74,10 +77,12 @@ class ParkService {
   StatusOr<std::shared_ptr<const RiskMaps>> RiskMap(
       const std::string& park_id, double assumed_effort) const;
 
-  /// Tabulated effort curves for the given cells of `park_id`.
-  StatusOr<EffortCurveTable> CellCurves(const std::string& park_id,
-                                        const std::vector<int>& cell_ids,
-                                        std::vector<double> effort_grid) const;
+  /// Tabulated effort curves for the given cells of `park_id` — served
+  /// from the per-park curve LRU when an identical (snapshot, coverage,
+  /// cells, grid) tuple was served recently.
+  StatusOr<std::shared_ptr<const EffortCurveTable>> CellCurves(
+      const std::string& park_id, const std::vector<int>& cell_ids,
+      std::vector<double> effort_grid) const;
 
   /// Robust patrol plan around `post_index` of `park_id`.
   StatusOr<PatrolPlan> PlanForPost(const std::string& park_id, int post_index,
@@ -106,13 +111,15 @@ class ParkService {
   std::vector<StatusOr<std::shared_ptr<const RiskMaps>>> RiskMapBatch(
       const std::vector<RiskRequest>& requests) const;
 
-  /// Cumulative risk-map cache counters for one park (zeroed on
-  /// SwapSnapshot; Evict discards them).
+  /// Cumulative cache counters for one park (zeroed on SwapSnapshot;
+  /// Evict discards them).
   struct CacheStats {
     uint64_t hits = 0;
     uint64_t misses = 0;
   };
   StatusOr<CacheStats> RiskCacheStats(const std::string& park_id) const;
+  /// Same counters for the effort-curve-table LRU.
+  StatusOr<CacheStats> CurveCacheStats(const std::string& park_id) const;
 
  private:
   struct RiskKey {
@@ -133,9 +140,31 @@ class ParkService {
     size_t operator()(const RiskKey& key) const;
   };
 
+  /// Curve-table cache key: versions + the full request shape. Effort
+  /// grid points are keyed by IEEE-754 bit pattern for the same reason
+  /// RiskKey is; cell ids and grid are compared in full, so a hash
+  /// collision can never serve the wrong table.
+  struct CurveKey {
+    uint64_t snapshot_version = 0;
+    uint64_t coverage_version = 0;
+    std::vector<int> cell_ids;
+    std::vector<uint64_t> grid_bits;
+
+    bool operator==(const CurveKey& other) const {
+      return snapshot_version == other.snapshot_version &&
+             coverage_version == other.coverage_version &&
+             cell_ids == other.cell_ids && grid_bits == other.grid_bits;
+    }
+  };
+  struct CurveKeyHash {
+    size_t operator()(const CurveKey& key) const;
+  };
+
   struct Entry {
-    Entry(ModelSnapshot snap, int cache_capacity)
-        : snapshot(std::move(snap)), cache(cache_capacity) {}
+    Entry(ModelSnapshot snap, int cache_capacity, int curve_capacity)
+        : snapshot(std::move(snap)),
+          cache(cache_capacity),
+          curve_cache(curve_capacity) {}
 
     /// Guards `snapshot` and `snapshot_version`: serving reads hold it
     /// shared, SwapSnapshot/UpdateCoverage hold it exclusive.
@@ -143,13 +172,20 @@ class ParkService {
     ModelSnapshot snapshot;
     uint64_t snapshot_version = 1;
 
-    /// The LRU itself is guarded by its own small mutex so cache hits
+    /// The LRUs are guarded by their own small mutexes so cache hits
     /// from concurrent readers (who only hold `mu` shared) stay safe.
     mutable std::mutex cache_mu;
     mutable LruCache<RiskKey, std::shared_ptr<const RiskMaps>, RiskKeyHash>
         cache;
     mutable std::atomic<uint64_t> hits{0};
     mutable std::atomic<uint64_t> misses{0};
+
+    mutable std::mutex curve_cache_mu;
+    mutable LruCache<CurveKey, std::shared_ptr<const EffortCurveTable>,
+                     CurveKeyHash>
+        curve_cache;
+    mutable std::atomic<uint64_t> curve_hits{0};
+    mutable std::atomic<uint64_t> curve_misses{0};
   };
 
   /// Shared-locked registry lookup; nullptr when absent.

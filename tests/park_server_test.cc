@@ -1,0 +1,553 @@
+// ParkServer: the network front end. The serving contract is that every
+// artifact fetched over a loopback socket is bit-identical to calling the
+// in-process ParkService directly — framing, archive encoding and the
+// client library must be fully transparent. Malformed input at every
+// layer (broken framing, bad payloads, unknown opcodes) must produce a
+// clean error or connection close, never UB; the ParkServerParallelTest
+// suite hammers one server from many client threads (CI runs it under
+// TSan via the Parallel filter).
+#include "serve/park_server.h"
+
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/pipeline.h"
+#include "net/client.h"
+
+namespace paws {
+namespace {
+
+PlannerConfig TinyPlanner() {
+  PlannerConfig config;
+  config.horizon = 6;
+  config.num_patrols = 2;
+  config.pwl_segments = 5;
+  config.milp.max_nodes = 10;
+  return config;
+}
+
+ClientOptions FastClient() {
+  ClientOptions options;
+  options.connect_timeout_ms = 2000;
+  options.request_timeout_ms = 30000;
+  options.max_connect_attempts = 2;
+  options.backoff_initial_ms = 10;
+  return options;
+}
+
+// Same train-once fixture as the ParkService suite: one small DTB
+// snapshot serialized to bytes, rebuilt per test.
+class ParkServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Scenario scenario = MakeScenario(ParkPreset::kMfnp, 3);
+    scenario.park.width = 26;
+    scenario.park.height = 22;
+    scenario.num_years = 3;
+    ScenarioData data = SimulateScenario(scenario, 5);
+    IWareConfig cfg;
+    cfg.num_thresholds = 3;
+    cfg.cv_folds = 2;
+    cfg.weak_learner = WeakLearnerKind::kDecisionTreeBagging;
+    cfg.bagging.num_estimators = 4;
+    IWareEnsemble model(cfg);
+    Rng rng(7);
+    const Dataset train = BuildDataset(data.park, data.history);
+    CheckOrDie(model.Fit(train, &rng).ok(), "fixture fit failed");
+    const int t = data.num_steps() - 1;
+    ArchiveWriter writer;
+    SaveModelSnapshotParts(model, data.park, data.history.steps[t - 1].effort,
+                           &writer);
+    bytes_ = new std::string(writer.Bytes());
+  }
+  static void TearDownTestSuite() { delete bytes_; }
+
+  static ModelSnapshot MakeSnapshot() {
+    auto snapshot = ModelSnapshot::FromBytes(*bytes_);
+    CheckOrDie(snapshot.ok(), "fixture snapshot load failed");
+    return std::move(snapshot).value();
+  }
+
+  void StartServer(ParkService* service, FrameServerOptions options = {}) {
+    server_ = std::make_unique<ParkServer>(service);
+    options.port = 0;
+    const Status started = server_->Start(std::move(options));
+    CheckOrDie(started.ok(), "server start failed");
+  }
+
+  std::unique_ptr<ParkServer> server_;
+  static std::string* bytes_;
+};
+
+std::string* ParkServerTest::bytes_ = nullptr;
+
+// A blocking loopback connection for sending raw (malformed) bytes.
+class RawConn {
+ public:
+  explicit RawConn(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    CheckOrDie(fd_ >= 0, "raw socket failed");
+    struct sockaddr_in addr;
+    ::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    CheckOrDie(::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                         sizeof(addr)) == 0,
+               "raw connect failed");
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void Send(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, 0);
+      CheckOrDie(n > 0, "raw send failed");
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  /// Reads until EOF; returns everything received.
+  std::string RecvUntilClosed() {
+    std::string got;
+    char buf[4096];
+    while (true) {
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      got.append(buf, static_cast<size_t>(n));
+    }
+    return got;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST_F(ParkServerTest, LoopbackResultsAreBitIdenticalToDirectCalls) {
+  ParkService service;
+  ASSERT_TRUE(service.Register("p", MakeSnapshot()).ok());
+  StartServer(&service);
+
+  ParkClient client(FastClient());
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+
+  // RiskMap: every double equals the in-process result bit for bit.
+  const auto direct_risk = service.RiskMap("p", 2.0);
+  ASSERT_TRUE(direct_risk.ok());
+  const auto wire_risk = client.RiskMap("p", 2.0);
+  ASSERT_TRUE(wire_risk.ok()) << wire_risk.status();
+  EXPECT_EQ(wire_risk->risk, (*direct_risk)->risk);
+  EXPECT_EQ(wire_risk->variance, (*direct_risk)->variance);
+  EXPECT_EQ(wire_risk->assumed_effort, (*direct_risk)->assumed_effort);
+
+  // RiskMapBatch: per-item results and statuses line up with the request
+  // order, including the NotFound hole in the middle.
+  const std::vector<RiskMapRequest> batch = {
+      {"p", 1.0}, {"ghost", 1.0}, {"p", 2.0}};
+  const auto wire_batch = client.RiskMapBatch(batch);
+  ASSERT_TRUE(wire_batch.ok()) << wire_batch.status();
+  ASSERT_EQ(wire_batch->size(), 3u);
+  const auto direct_batch = service.RiskMapBatch(
+      {{"p", 1.0}, {"ghost", 1.0}, {"p", 2.0}});
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ((*wire_batch)[i].ok(), direct_batch[i].ok()) << "item " << i;
+    if (direct_batch[i].ok()) {
+      EXPECT_EQ((*(*wire_batch)[i]).risk, (*direct_batch[i])->risk);
+    } else {
+      EXPECT_EQ((*wire_batch)[i].status().code(),
+                direct_batch[i].status().code());
+    }
+  }
+
+  // CellCurves.
+  const std::vector<int> cells = {0, 3, 11};
+  const std::vector<double> grid = UniformEffortGrid(0.0, 4.0, 8);
+  const auto direct_curves = service.CellCurves("p", cells, grid);
+  ASSERT_TRUE(direct_curves.ok());
+  const auto wire_curves = client.CellCurves("p", cells, grid);
+  ASSERT_TRUE(wire_curves.ok()) << wire_curves.status();
+  EXPECT_EQ(wire_curves->effort_grid, (*direct_curves)->effort_grid);
+  EXPECT_EQ(wire_curves->qualified_count, (*direct_curves)->qualified_count);
+  EXPECT_EQ(wire_curves->num_cells, (*direct_curves)->num_cells);
+  EXPECT_EQ(wire_curves->prob, (*direct_curves)->prob);
+  EXPECT_EQ(wire_curves->variance, (*direct_curves)->variance);
+
+  // PlanForPost.
+  const RobustParams robust;
+  const auto direct_plan = service.PlanForPost("p", 0, TinyPlanner(), robust);
+  ASSERT_TRUE(direct_plan.ok());
+  const auto wire_plan = client.PlanForPost("p", 0, TinyPlanner(), robust);
+  ASSERT_TRUE(wire_plan.ok()) << wire_plan.status();
+  EXPECT_EQ(wire_plan->coverage, direct_plan->coverage);
+  EXPECT_EQ(wire_plan->objective, direct_plan->objective);
+  EXPECT_EQ(wire_plan->proven_optimal, direct_plan->proven_optimal);
+  EXPECT_EQ(wire_plan->mip_gap, direct_plan->mip_gap);
+  EXPECT_EQ(wire_plan->simplex_iterations, direct_plan->simplex_iterations);
+  EXPECT_EQ(wire_plan->nodes_explored, direct_plan->nodes_explored);
+
+  // Stats reflects the traffic this test produced.
+  const auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GE(stats->frames_in, 5u);
+  EXPECT_EQ(stats->protocol_errors, 0u);
+  ASSERT_EQ(stats->parks.size(), 1u);
+  EXPECT_EQ(stats->parks[0].park_id, "p");
+  EXPECT_GE(stats->parks[0].risk_misses, 1u);
+
+  // Serving errors arrive as typed statuses, and the connection survives
+  // them (the next request on the same connection succeeds).
+  EXPECT_EQ(client.RiskMap("ghost", 1.0).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(client.CellCurves("p", cells, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(client.RiskMap("p", 2.0).ok());
+}
+
+TEST_F(ParkServerTest, WireSwapSnapshotReplacesAndUpserts) {
+  ParkService service;
+  ASSERT_TRUE(service.Register("p", MakeSnapshot()).ok());
+  StartServer(&service);
+  ParkClient client(FastClient());
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+
+  // Replace an existing park: the service serves the shipped snapshot.
+  ASSERT_TRUE(client.SwapSnapshot("p", *bytes_).ok());
+  EXPECT_TRUE(service.RiskMap("p", 1.0).ok());
+
+  // Upsert: an unknown id registers instead of failing — how a fresh
+  // daemon is bootstrapped over the wire.
+  ASSERT_TRUE(client.SwapSnapshot("fresh", *bytes_).ok());
+  EXPECT_EQ(service.num_parks(), 2);
+  const auto direct = service.RiskMap("fresh", 1.5);
+  ASSERT_TRUE(direct.ok());
+  const auto wire = client.RiskMap("fresh", 1.5);
+  ASSERT_TRUE(wire.ok());
+  EXPECT_EQ(wire->risk, (*direct)->risk);
+
+  // A corrupt snapshot archive is refused without disturbing the park.
+  EXPECT_EQ(client.SwapSnapshot("p", "not an archive").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(client.RiskMap("p", 1.0).ok());
+}
+
+TEST_F(ParkServerTest, GarbageBytesCloseTheConnectionAndCountAsProtocolError) {
+  ParkService service;
+  ASSERT_TRUE(service.Register("p", MakeSnapshot()).ok());
+  StartServer(&service);
+
+  RawConn raw(server_->port());
+  raw.Send("this is definitely not a PNET frame header................");
+  // The server must close on us (EOF) rather than answer or crash.
+  EXPECT_EQ(raw.RecvUntilClosed(), "");
+  // Poll the counter: the close is asynchronous to our send.
+  for (int i = 0; i < 100 && server_->net_stats().protocol_errors == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server_->net_stats().protocol_errors, 1u);
+
+  // The server is still healthy for well-formed clients.
+  ParkClient client(FastClient());
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  EXPECT_TRUE(client.RiskMap("p", 1.0).ok());
+}
+
+TEST_F(ParkServerTest, OversizedLengthPrefixClosesTheConnection) {
+  ParkService service;
+  FrameServerOptions options;
+  options.max_frame_bytes = 4096;
+  StartServer(&service, options);
+
+  Frame huge;
+  huge.request_id = 1;
+  huge.opcode = static_cast<uint32_t>(Opcode::kRiskMap);
+  std::string header = EncodeFrame(huge);
+  header.resize(kWireHeaderBytes);
+  header[27] = 0x01;  // length prefix claims 2^56 bytes
+  RawConn raw(server_->port());
+  raw.Send(header);
+  EXPECT_EQ(raw.RecvUntilClosed(), "");
+  for (int i = 0; i < 100 && server_->net_stats().protocol_errors == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server_->net_stats().protocol_errors, 1u);
+}
+
+TEST_F(ParkServerTest, UnknownOpcodeAndBadPayloadGetStatusFramesNotCloses) {
+  ParkService service;
+  ASSERT_TRUE(service.Register("p", MakeSnapshot()).ok());
+  StartServer(&service);
+
+  WireClient wire(FastClient());
+  ASSERT_TRUE(wire.Connect("127.0.0.1", server_->port()).ok());
+
+  // Unknown-but-well-framed opcode: InvalidArgument status frame.
+  const auto unknown = wire.Call(static_cast<Opcode>(77), "");
+  ASSERT_TRUE(unknown.ok()) << unknown.status();
+  EXPECT_EQ(unknown->opcode, static_cast<uint32_t>(Opcode::kStatusResponse));
+  Status carried;
+  ASSERT_TRUE(DecodeStatusPayload(unknown->payload, &carried).ok());
+  EXPECT_EQ(carried.code(), StatusCode::kInvalidArgument);
+
+  // Trailing garbage inside a request payload archive: same treatment.
+  RiskMapRequest request;
+  request.park_id = "p";
+  request.assumed_effort = 1.0;
+  const auto bad = wire.Call(Opcode::kRiskMap,
+                             EncodeRiskMapRequest(request) + "trailing junk");
+  ASSERT_TRUE(bad.ok()) << bad.status();
+  EXPECT_EQ(bad->opcode, static_cast<uint32_t>(Opcode::kStatusResponse));
+  ASSERT_TRUE(DecodeStatusPayload(bad->payload, &carried).ok());
+  EXPECT_EQ(carried.code(), StatusCode::kInvalidArgument);
+
+  // Neither malformation closed the connection.
+  const auto good = wire.Call(Opcode::kRiskMap, EncodeRiskMapRequest(request));
+  ASSERT_TRUE(good.ok()) << good.status();
+  EXPECT_EQ(good->opcode, static_cast<uint32_t>(Opcode::kOkResponse));
+  EXPECT_EQ(server_->net_stats().protocol_errors, 0u);
+}
+
+TEST_F(ParkServerTest, QueuedRequestsPastTheDeadlineAreShed) {
+  ParkService service;
+  ASSERT_TRUE(service.Register("p", MakeSnapshot()).ok());
+  FrameServerOptions options;
+  options.num_workers = 1;
+  options.request_deadline_ms = 50;
+  // The single worker stalls on the first request, deterministically
+  // forcing the second to overstay its deadline in the queue.
+  std::atomic<bool> first_dispatch{true};
+  options.pre_dispatch_hook_for_test = [&first_dispatch] {
+    if (first_dispatch.exchange(false)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    }
+  };
+  StartServer(&service, options);
+
+  ParkClient slow(FastClient());
+  ASSERT_TRUE(slow.Connect("127.0.0.1", server_->port()).ok());
+  std::thread slow_call([&slow] {
+    // Dispatched first; stalled by the hook but served normally.
+    EXPECT_TRUE(slow.RiskMap("p", 1.0).ok());
+  });
+  // Give the first request time to reach the worker, then queue a second.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ParkClient shed(FastClient());
+  ASSERT_TRUE(shed.Connect("127.0.0.1", server_->port()).ok());
+  const auto expired = shed.RiskMap("p", 2.0);
+  slow_call.join();
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server_->net_stats().deadline_expired, 1u);
+}
+
+TEST_F(ParkServerTest, ClientTimesOutAgainstANeverRespondingServer) {
+  // A listener that accepts but never answers: connect succeeds, the
+  // request goes nowhere, and the client's deadline must fire.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  struct sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(fd, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len),
+            0);
+  const int port = ntohs(addr.sin_port);
+
+  ClientOptions options = FastClient();
+  options.request_timeout_ms = 50;
+  ParkClient client(options);
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  const auto started = std::chrono::steady_clock::now();
+  const auto result = client.RiskMap("p", 1.0);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - started)
+                           .count();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  // poll(2) may fire up to a tick early; the point is "about the deadline,
+  // not the 2s connect timeout and not forever".
+  EXPECT_GE(elapsed, 40);
+  EXPECT_LT(elapsed, 5000);
+  EXPECT_FALSE(client.connected());
+  ::close(fd);
+}
+
+TEST_F(ParkServerTest, ClientReconnectsAfterCloseAndAfterServerSideClose) {
+  ParkService service;
+  ASSERT_TRUE(service.Register("p", MakeSnapshot()).ok());
+  StartServer(&service);
+
+  ParkClient client(FastClient());
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(client.RiskMap("p", 1.0).ok());
+
+  // Explicit local close: the next call transparently reconnects.
+  client.Close();
+  EXPECT_FALSE(client.connected());
+  EXPECT_TRUE(client.RiskMap("p", 1.0).ok());
+  EXPECT_TRUE(client.connected());
+}
+
+TEST_F(ParkServerTest, ShutdownDrainsInFlightRequests) {
+  ParkService service;
+  ASSERT_TRUE(service.Register("p", MakeSnapshot()).ok());
+  FrameServerOptions options;
+  options.num_workers = 1;
+  std::atomic<bool> in_handler{false};
+  options.pre_dispatch_hook_for_test = [&in_handler] {
+    in_handler = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  };
+  StartServer(&service, options);
+
+  ParkClient client(FastClient());
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  std::thread call([&client] {
+    // In flight when Shutdown starts; graceful drain must still deliver it.
+    const auto result = client.RiskMap("p", 1.0);
+    EXPECT_TRUE(result.ok()) << result.status();
+  });
+  while (!in_handler) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server_->Shutdown();
+  call.join();
+  EXPECT_EQ(server_->net_stats().frames_out, 1u);
+}
+
+TEST_F(ParkServerTest, ConnectionLimitRejectsTheExcessConnection) {
+  ParkService service;
+  ASSERT_TRUE(service.Register("p", MakeSnapshot()).ok());
+  FrameServerOptions options;
+  options.max_connections = 1;
+  StartServer(&service, options);
+
+  ParkClient first(FastClient());
+  ASSERT_TRUE(first.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(first.RiskMap("p", 1.0).ok());
+
+  // The second connection is accepted then immediately closed; its first
+  // request fails (and the client reports the broken transport).
+  ClientOptions one_shot = FastClient();
+  one_shot.max_connect_attempts = 1;
+  one_shot.request_timeout_ms = 2000;
+  ParkClient second(one_shot);
+  const Status connected = second.Connect("127.0.0.1", server_->port());
+  if (connected.ok()) {
+    EXPECT_FALSE(second.RiskMap("p", 1.0).ok());
+  }
+  for (int i = 0; i < 100 && server_->net_stats().rejected_connections == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server_->net_stats().rejected_connections, 1u);
+  // The admitted connection is unaffected.
+  EXPECT_TRUE(first.RiskMap("p", 1.0).ok());
+}
+
+// Concurrency suite: the name contains "Parallel" so CI's TSan job
+// (-R "Parallel|ThreadPool") runs it under race detection.
+using ParkServerParallelTest = ParkServerTest;
+
+TEST_F(ParkServerParallelTest, ManyClientsHammerOneServerWithMixedOpcodes) {
+  ParkService service;
+  ASSERT_TRUE(service.Register("a", MakeSnapshot()).ok());
+  ASSERT_TRUE(service.Register("b", MakeSnapshot()).ok());
+  FrameServerOptions options;
+  options.num_workers = 4;
+  StartServer(&service, options);
+  const int port = server_->port();
+
+  // Reference results computed once, in-process, before the hammer.
+  const auto want_a = service.RiskMap("a", 1.0);
+  const auto want_b = service.RiskMap("b", 2.0);
+  ASSERT_TRUE(want_a.ok());
+  ASSERT_TRUE(want_b.ok());
+  const std::vector<int> cells = {0, 5};
+  const std::vector<double> grid = UniformEffortGrid(0.0, 3.0, 5);
+  const auto want_curves = service.CellCurves("a", cells, grid);
+  ASSERT_TRUE(want_curves.ok());
+
+  constexpr int kClients = 6;
+  constexpr int kIterations = 8;  // small: TSan multiplies the cost
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients + 1);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ParkClient client(FastClient());
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kIterations; ++i) {
+        switch ((c + i) % 3) {
+          case 0: {
+            const auto got = client.RiskMap("a", 1.0);
+            if (!got.ok() || got->risk != (*want_a)->risk) {
+              failures.fetch_add(1);
+            }
+            break;
+          }
+          case 1: {
+            const auto got = client.RiskMap("b", 2.0);
+            if (!got.ok() || got->risk != (*want_b)->risk) {
+              failures.fetch_add(1);
+            }
+            break;
+          }
+          case 2: {
+            const auto got = client.CellCurves("a", cells, grid);
+            if (!got.ok() || got->prob != (*want_curves)->prob) {
+              failures.fetch_add(1);
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  // One writer swaps park "b" snapshots over the wire while readers run;
+  // "a" (whose results we compare exactly) is never written.
+  threads.emplace_back([&] {
+    ParkClient writer(FastClient());
+    if (!writer.Connect("127.0.0.1", port).ok()) {
+      failures.fetch_add(1);
+      return;
+    }
+    for (int i = 0; i < 3; ++i) {
+      if (!writer.SwapSnapshot("b", *bytes_).ok()) failures.fetch_add(1);
+    }
+  });
+  for (auto& thread : threads) thread.join();
+
+  // Park "b" was swapped mid-flight: readers may have raced a swap, but
+  // the serving contract says every response is bit-identical to SOME
+  // valid state — and both states here serve identical bytes, so zero
+  // failures are tolerated.
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = server_->net_stats();
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.frames_in, stats.frames_out);
+  EXPECT_GE(stats.frames_in,
+            static_cast<uint64_t>(kClients * kIterations + 3));
+}
+
+}  // namespace
+}  // namespace paws

@@ -253,8 +253,8 @@ TEST_F(ParkServiceTest, CurvesAndPlansMatchDirectSnapshotCalls) {
   const auto curves = service.CellCurves("p", cells, grid);
   ASSERT_TRUE(curves.ok()) << curves.status();
   const EffortCurveTable want = direct.PredictCellCurves(cells, grid);
-  EXPECT_EQ(curves->prob, want.prob);
-  EXPECT_EQ(curves->variance, want.variance);
+  EXPECT_EQ((*curves)->prob, want.prob);
+  EXPECT_EQ((*curves)->variance, want.variance);
   EXPECT_EQ(service.CellCurves("p", {-1}, grid).status().code(),
             StatusCode::kInvalidArgument);
 
@@ -265,6 +265,61 @@ TEST_F(ParkServiceTest, CurvesAndPlansMatchDirectSnapshotCalls) {
   ASSERT_TRUE(want_plan.ok());
   EXPECT_EQ(plan->objective, want_plan->objective);
   EXPECT_EQ(plan->coverage, want_plan->coverage);
+}
+
+TEST_F(ParkServiceTest, CurveCacheServesTheSameTableAndCountsHits) {
+  ParkService service;
+  ASSERT_TRUE(service.Register("p", MakeSnapshot()).ok());
+  const std::vector<int> cells = {0, 3, 11};
+  const std::vector<double> grid = UniformEffortGrid(0.0, 4.0, 8);
+
+  const auto first = service.CellCurves("p", cells, grid);
+  ASSERT_TRUE(first.ok()) << first.status();
+  const auto second = service.CellCurves("p", cells, grid);
+  ASSERT_TRUE(second.ok());
+  // A hit is the identical cached object, not a recomputed equal one.
+  EXPECT_EQ(first->get(), second->get());
+  auto stats = service.CurveCacheStats("p");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->hits, 1u);
+  EXPECT_EQ(stats->misses, 1u);
+
+  // A different grid (or cell set) is a different key.
+  const auto third =
+      service.CellCurves("p", cells, UniformEffortGrid(0.0, 4.0, 4));
+  ASSERT_TRUE(third.ok());
+  EXPECT_NE(first->get(), third->get());
+}
+
+TEST_F(ParkServiceTest, CurveCacheInvalidatesOnCoverageAndSwap) {
+  ParkService service;
+  ASSERT_TRUE(service.Register("p", MakeSnapshot()).ok());
+  const std::vector<int> cells = {1, 2};
+  const std::vector<double> grid = UniformEffortGrid(0.0, 3.0, 6);
+  const auto before = service.CellCurves("p", cells, grid);
+  ASSERT_TRUE(before.ok());
+
+  // A coverage update bumps the version key: the next request recomputes
+  // against the new lagged-effort layer instead of hitting a stale entry.
+  std::vector<double> coverage(num_cells_, 0.25);
+  ASSERT_TRUE(service.UpdateCoverage("p", coverage).ok());
+  const auto after = service.CellCurves("p", cells, grid);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(before->get(), after->get());
+  ModelSnapshot direct = MakeSnapshot();
+  direct.UpdateLaggedEffort(coverage);
+  const EffortCurveTable want = direct.PredictCellCurves(cells, grid);
+  EXPECT_EQ((*after)->prob, want.prob);
+  EXPECT_EQ((*after)->variance, want.variance);
+
+  // SwapSnapshot zeroes the counters (same contract as the risk LRU).
+  ASSERT_TRUE(service.SwapSnapshot("p", MakeSnapshot()).ok());
+  const auto stats = service.CurveCacheStats("p");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->hits, 0u);
+  EXPECT_EQ(stats->misses, 0u);
+  EXPECT_EQ(service.CurveCacheStats("ghost").status().code(),
+            StatusCode::kNotFound);
 }
 
 TEST_F(ParkServiceTest, RiskMapBatchMatchesSingleCalls) {

@@ -1,0 +1,351 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "plan/planner.h"
+#include "plan/robust.h"
+#include "util/status.h"
+
+namespace paws {
+namespace {
+
+Frame MakeFrame(uint64_t id, Opcode opcode, std::string payload) {
+  Frame frame;
+  frame.request_id = id;
+  frame.opcode = static_cast<uint32_t>(opcode);
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+TEST(WireFrameTest, EncodeThenParseRoundTripsHeaderAndPayload) {
+  const Frame sent = MakeFrame(42, Opcode::kRiskMap, "hello payload");
+  const std::string bytes = EncodeFrame(sent);
+  ASSERT_EQ(bytes.size(), kWireHeaderBytes + sent.payload.size());
+
+  FrameParser parser;
+  parser.Append(bytes.data(), bytes.size());
+  Frame got;
+  const auto ok = parser.Next(&got);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  ASSERT_TRUE(*ok);
+  EXPECT_EQ(got.request_id, 42u);
+  EXPECT_EQ(got.opcode, static_cast<uint32_t>(Opcode::kRiskMap));
+  EXPECT_EQ(got.payload, "hello payload");
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(WireFrameTest, ParserReassemblesByteDribbleAndMultipleFrames) {
+  const std::string a = EncodeFrame(MakeFrame(1, Opcode::kStats, ""));
+  const std::string b =
+      EncodeFrame(MakeFrame(2, Opcode::kCellCurves, std::string(1000, 'x')));
+  const std::string stream = a + b;
+
+  // One byte at a time: frames pop out exactly at their boundaries.
+  FrameParser parser;
+  std::vector<Frame> got;
+  for (char c : stream) {
+    parser.Append(&c, 1);
+    Frame frame;
+    auto ok = parser.Next(&frame);
+    ASSERT_TRUE(ok.ok());
+    if (*ok) got.push_back(std::move(frame));
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].request_id, 1u);
+  EXPECT_EQ(got[1].request_id, 2u);
+  EXPECT_EQ(got[1].payload.size(), 1000u);
+
+  // Both frames in one Append: two consecutive Next calls drain them.
+  FrameParser burst;
+  burst.Append(stream.data(), stream.size());
+  Frame first, second, none;
+  ASSERT_TRUE(*burst.Next(&first));
+  ASSERT_TRUE(*burst.Next(&second));
+  EXPECT_EQ(first.request_id, 1u);
+  EXPECT_EQ(second.request_id, 2u);
+  EXPECT_FALSE(*burst.Next(&none));
+}
+
+TEST(WireFrameTest, TruncatedFrameNeedsMoreBytesAtEveryPrefixLength) {
+  const std::string bytes =
+      EncodeFrame(MakeFrame(7, Opcode::kPlanForPost, "abcdefgh"));
+  // Every strict prefix is "incomplete", never an error and never a frame:
+  // a fuzz sweep over all truncation points.
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    FrameParser parser;
+    parser.Append(bytes.data(), n);
+    Frame frame;
+    const auto ok = parser.Next(&frame);
+    ASSERT_TRUE(ok.ok()) << "prefix length " << n;
+    EXPECT_FALSE(*ok) << "prefix length " << n;
+  }
+}
+
+TEST(WireFrameTest, BadMagicBreaksTheStream) {
+  std::string bytes = EncodeFrame(MakeFrame(1, Opcode::kRiskMap, ""));
+  bytes[0] = 'X';
+  FrameParser parser;
+  parser.Append(bytes.data(), bytes.size());
+  Frame frame;
+  const auto got = parser.Next(&frame);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+  // The stream stays broken: further appends cannot resurrect it.
+  const std::string good = EncodeFrame(MakeFrame(2, Opcode::kRiskMap, ""));
+  parser.Append(good.data(), good.size());
+  EXPECT_FALSE(parser.Next(&frame).ok());
+}
+
+TEST(WireFrameTest, WrongProtocolVersionBreaksTheStream) {
+  std::string bytes = EncodeFrame(MakeFrame(1, Opcode::kRiskMap, ""));
+  bytes[4] = static_cast<char>(kWireProtocolVersion + 1);
+  FrameParser parser;
+  parser.Append(bytes.data(), bytes.size());
+  Frame frame;
+  const auto got = parser.Next(&frame);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireFrameTest, OversizedLengthPrefixIsRejectedBeforeBuffering) {
+  // A hostile length prefix (here: 2^56) must be refused from the header
+  // alone — before any payload bytes arrive or any allocation happens.
+  std::string bytes = EncodeFrame(MakeFrame(1, Opcode::kRiskMap, ""));
+  bytes[27] = 0x01;  // most-significant byte of the little-endian u64 length
+  FrameParser parser(/*max_frame_bytes=*/1024);
+  parser.Append(bytes.data(), bytes.size());
+  Frame frame;
+  const auto got = parser.Next(&frame);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+
+  // Boundary: a payload exactly at the cap still parses.
+  FrameParser tight(kWireHeaderBytes + 8);
+  const std::string small =
+      EncodeFrame(MakeFrame(2, Opcode::kRiskMap, "12345678"));
+  tight.Append(small.data(), small.size());
+  ASSERT_TRUE(*tight.Next(&frame));
+  EXPECT_EQ(frame.payload, "12345678");
+}
+
+TEST(WireFrameTest, OpcodeNamesAndRequestPredicate) {
+  EXPECT_EQ(OpcodeName(static_cast<uint32_t>(Opcode::kRiskMap)), "RiskMap");
+  EXPECT_EQ(OpcodeName(static_cast<uint32_t>(Opcode::kStats)), "Stats");
+  EXPECT_EQ(OpcodeName(999), "unknown(999)");
+  for (Opcode op : {Opcode::kRiskMap, Opcode::kRiskMapBatch,
+                    Opcode::kCellCurves, Opcode::kPlanForPost,
+                    Opcode::kSwapSnapshot, Opcode::kStats}) {
+    EXPECT_TRUE(IsRequestOpcode(static_cast<uint32_t>(op)));
+  }
+  EXPECT_FALSE(IsRequestOpcode(static_cast<uint32_t>(Opcode::kOkResponse)));
+  EXPECT_FALSE(
+      IsRequestOpcode(static_cast<uint32_t>(Opcode::kStatusResponse)));
+  EXPECT_FALSE(IsRequestOpcode(0));
+}
+
+TEST(WireErrorTest, EveryStatusCodeRoundTripsThroughItsWireCode) {
+  const std::vector<StatusCode> codes = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+      StatusCode::kOutOfRange,   StatusCode::kInternal,
+      StatusCode::kUnimplemented, StatusCode::kResourceExhausted,
+      StatusCode::kInfeasible,   StatusCode::kUnbounded};
+  for (StatusCode code : codes) {
+    EXPECT_EQ(StatusCodeFromWire(WireCodeFromStatus(code)), code)
+        << StatusCodeName(code);
+  }
+  // Unknown wire codes (a newer peer) degrade to kInternal, never UB.
+  EXPECT_EQ(StatusCodeFromWire(0xDEADBEEF), StatusCode::kInternal);
+}
+
+TEST(WireErrorTest, ErrorCategorySpeaksTheStatusTaxonomy) {
+  const std::error_category& category = paws_error_category();
+  EXPECT_STREQ(category.name(), "paws");
+  const std::error_code ok = MakeWireErrorCode(StatusCode::kOk);
+  EXPECT_FALSE(ok)  << "kOk must map to the zero error value";
+  const std::error_code not_found = MakeWireErrorCode(StatusCode::kNotFound);
+  EXPECT_TRUE(not_found);
+  EXPECT_EQ(not_found.message(), StatusCodeName(StatusCode::kNotFound));
+  EXPECT_EQ(&not_found.category(), &category);
+}
+
+TEST(WireErrorTest, StatusPayloadRoundTripsCodeAndMessage) {
+  const Status sent = Status::NotFound("park 'mfnp' is not registered");
+  Status got;
+  const Status decode_ok = DecodeStatusPayload(EncodeStatusPayload(sent), &got);
+  ASSERT_TRUE(decode_ok.ok()) << decode_ok;
+  EXPECT_EQ(got.code(), sent.code());
+  EXPECT_EQ(got.message(), sent.message());
+
+  Status ignored;
+  EXPECT_EQ(DecodeStatusPayload("garbage", &ignored).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireCodecTest, RiskMapRequestRoundTripsBitExactEffort) {
+  RiskMapRequest sent;
+  sent.park_id = "mfnp";
+  sent.assumed_effort = 0.1 + 0.2;  // a value with an inexact decimal form
+  const auto got = DecodeRiskMapRequest(EncodeRiskMapRequest(sent));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->park_id, "mfnp");
+  EXPECT_EQ(got->assumed_effort, sent.assumed_effort);
+}
+
+TEST(WireCodecTest, BatchRequestRoundTripsEveryItemInOrder) {
+  RiskMapBatchRequest sent;
+  sent.requests = {{"a", 1.0}, {"b", 2.5}, {"a", 0.0}};
+  const auto got = DecodeRiskMapBatchRequest(EncodeRiskMapBatchRequest(sent));
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_EQ(got->requests.size(), 3u);
+  for (size_t i = 0; i < sent.requests.size(); ++i) {
+    EXPECT_EQ(got->requests[i].park_id, sent.requests[i].park_id);
+    EXPECT_EQ(got->requests[i].assumed_effort,
+              sent.requests[i].assumed_effort);
+  }
+}
+
+TEST(WireCodecTest, CellCurvesRequestRoundTrips) {
+  CellCurvesRequest sent;
+  sent.park_id = "qenp";
+  sent.cell_ids = {0, 7, 42};
+  sent.effort_grid = {0.0, 0.5, 1.0, 2.0};
+  const auto got = DecodeCellCurvesRequest(EncodeCellCurvesRequest(sent));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->park_id, sent.park_id);
+  EXPECT_EQ(got->cell_ids, sent.cell_ids);
+  EXPECT_EQ(got->effort_grid, sent.effort_grid);
+}
+
+TEST(WireCodecTest, PlanForPostRequestRoundTripsEveryPlannerKnob) {
+  PlanForPostRequest sent;
+  sent.park_id = "sws";
+  sent.post_index = 3;
+  sent.config.horizon = 7;
+  sent.config.num_patrols = 2;
+  sent.config.pwl_segments = 5;
+  sent.config.max_cell_effort = 1.25;
+  sent.config.milp.max_nodes = 777;
+  sent.config.milp.absolute_gap_tolerance = 1e-7;
+  sent.config.milp.integrality_tolerance = 1e-8;
+  sent.config.milp.use_rounding_heuristic = false;
+  sent.config.milp.simplex.max_iterations = 12345;
+  sent.config.milp.simplex.feasibility_tolerance = 2e-9;
+  sent.config.milp.simplex.optimality_tolerance = 3e-9;
+  sent.robust.beta = 0.75;
+  sent.robust.squash_scale = 0.4;
+  const auto got = DecodePlanForPostRequest(EncodePlanForPostRequest(sent));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->park_id, sent.park_id);
+  EXPECT_EQ(got->post_index, sent.post_index);
+  EXPECT_EQ(got->config.horizon, sent.config.horizon);
+  EXPECT_EQ(got->config.num_patrols, sent.config.num_patrols);
+  EXPECT_EQ(got->config.pwl_segments, sent.config.pwl_segments);
+  EXPECT_EQ(got->config.max_cell_effort, sent.config.max_cell_effort);
+  EXPECT_EQ(got->config.milp.max_nodes, sent.config.milp.max_nodes);
+  EXPECT_EQ(got->config.milp.absolute_gap_tolerance,
+            sent.config.milp.absolute_gap_tolerance);
+  EXPECT_EQ(got->config.milp.integrality_tolerance,
+            sent.config.milp.integrality_tolerance);
+  EXPECT_EQ(got->config.milp.use_rounding_heuristic,
+            sent.config.milp.use_rounding_heuristic);
+  EXPECT_EQ(got->config.milp.simplex.max_iterations,
+            sent.config.milp.simplex.max_iterations);
+  EXPECT_EQ(got->config.milp.simplex.feasibility_tolerance,
+            sent.config.milp.simplex.feasibility_tolerance);
+  EXPECT_EQ(got->config.milp.simplex.optimality_tolerance,
+            sent.config.milp.simplex.optimality_tolerance);
+  EXPECT_EQ(got->robust.beta, sent.robust.beta);
+  EXPECT_EQ(got->robust.squash_scale, sent.robust.squash_scale);
+}
+
+TEST(WireCodecTest, SwapAndStatsRequestsRoundTrip) {
+  SwapSnapshotRequest swap;
+  swap.park_id = "p";
+  swap.snapshot_bytes = std::string("\x00\x01\x02archive bytes\xff", 16);
+  const auto got_swap =
+      DecodeSwapSnapshotRequest(EncodeSwapSnapshotRequest(swap));
+  ASSERT_TRUE(got_swap.ok()) << got_swap.status();
+  EXPECT_EQ(got_swap->park_id, swap.park_id);
+  EXPECT_EQ(got_swap->snapshot_bytes, swap.snapshot_bytes);
+
+  StatsRequest stats;
+  stats.park_id = "";
+  const auto got_stats = DecodeStatsRequest(EncodeStatsRequest(stats));
+  ASSERT_TRUE(got_stats.ok());
+  EXPECT_TRUE(got_stats->park_id.empty());
+}
+
+TEST(WireCodecTest, PatrolPlanPayloadRoundTrips) {
+  PatrolPlan sent;
+  sent.coverage = {0.0, 1.5, 0.25};
+  sent.objective = 3.14159;
+  sent.proven_optimal = true;
+  sent.mip_gap = 1e-6;
+  sent.simplex_iterations = 4242;
+  sent.nodes_explored = 17;
+  const auto got = DecodePatrolPlanPayload(EncodePatrolPlanPayload(sent));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->coverage, sent.coverage);
+  EXPECT_EQ(got->objective, sent.objective);
+  EXPECT_EQ(got->proven_optimal, sent.proven_optimal);
+  EXPECT_EQ(got->mip_gap, sent.mip_gap);
+  EXPECT_EQ(got->simplex_iterations, sent.simplex_iterations);
+  EXPECT_EQ(got->nodes_explored, sent.nodes_explored);
+}
+
+TEST(WireCodecTest, StatsReportRoundTripsCountersAndParks) {
+  ServerStatsReport sent;
+  sent.accepted_connections = 10;
+  sent.rejected_connections = 2;
+  sent.active_connections = 3;
+  sent.frames_in = 100;
+  sent.frames_out = 99;
+  sent.protocol_errors = 1;
+  sent.deadline_expired = 4;
+  sent.parks = {{"a", 5, 6, 7, 8}, {"b", 0, 1, 0, 2}};
+  const auto got = DecodeStatsReportPayload(EncodeStatsReportPayload(sent));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->accepted_connections, 10u);
+  EXPECT_EQ(got->rejected_connections, 2u);
+  EXPECT_EQ(got->active_connections, 3u);
+  EXPECT_EQ(got->frames_in, 100u);
+  EXPECT_EQ(got->frames_out, 99u);
+  EXPECT_EQ(got->protocol_errors, 1u);
+  EXPECT_EQ(got->deadline_expired, 4u);
+  ASSERT_EQ(got->parks.size(), 2u);
+  EXPECT_EQ(got->parks[0].park_id, "a");
+  EXPECT_EQ(got->parks[0].risk_hits, 5u);
+  EXPECT_EQ(got->parks[0].risk_misses, 6u);
+  EXPECT_EQ(got->parks[0].curve_hits, 7u);
+  EXPECT_EQ(got->parks[0].curve_misses, 8u);
+  EXPECT_EQ(got->parks[1].park_id, "b");
+  EXPECT_EQ(got->parks[1].curve_misses, 2u);
+}
+
+TEST(WireCodecTest, DecodersRejectCorruptionAndTrailingGarbage) {
+  // Truncation fuzz: every strict prefix of a valid payload must decode to
+  // a clean InvalidArgument — never a crash, never a bogus success.
+  const std::string payload =
+      EncodeCellCurvesRequest({"p", {1, 2, 3}, {0.0, 1.0}});
+  for (size_t n = 0; n < payload.size(); ++n) {
+    const auto got = DecodeCellCurvesRequest(payload.substr(0, n));
+    ASSERT_FALSE(got.ok()) << "prefix length " << n;
+    EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument)
+        << "prefix length " << n;
+  }
+  // Trailing garbage after a complete archive is also rejected.
+  const auto trailing = DecodeCellCurvesRequest(payload + "junk");
+  ASSERT_FALSE(trailing.ok());
+  // A payload of the wrong type fails its section tag check.
+  const auto wrong_type =
+      DecodeRiskMapRequest(EncodeStatsRequest(StatsRequest{"p"}));
+  ASSERT_FALSE(wrong_type.ok());
+  EXPECT_EQ(wrong_type.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace paws
