@@ -1,0 +1,41 @@
+// Shared helper for the load generators: merge one `"key":{...}` section
+// into a BENCH_fig9.json-style document ({"k":{...},...}\n) so a single
+// artifact carries the whole serving-perf picture; creates a fresh object
+// when the file is absent or not shaped like one.
+#ifndef PAWS_BENCH_BENCH_JSON_H_
+#define PAWS_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "util/status.h"
+
+namespace paws {
+
+inline void MergeJsonSection(const std::string& json_path,
+                             const std::string& section) {
+  std::string body;
+  if (std::FILE* f = std::fopen(json_path.c_str(), "rb")) {
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
+    std::fclose(f);
+  }
+  while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
+    body.pop_back();
+  }
+  if (body.size() >= 2 && body.front() == '{' && body.back() == '}') {
+    body.pop_back();
+    body += "," + section + "}\n";
+  } else {
+    body = "{" + section + "}\n";
+  }
+  std::FILE* f = std::fopen(json_path.c_str(), "wb");
+  CheckOrDie(f != nullptr, "bench_json: cannot write json");
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace paws
+
+#endif  // PAWS_BENCH_BENCH_JSON_H_

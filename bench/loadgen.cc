@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "net/client.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -222,29 +223,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(completed), req_per_s, p50,
                   p99, static_cast<unsigned long long>(errors),
                   static_cast<unsigned long long>(protocol_errors));
-    // Merge into an existing BENCH_fig9.json ({"key":{...},...}\n) so one
-    // artifact carries the whole serving-perf picture; create a fresh
-    // object otherwise.
-    std::string body;
-    if (std::FILE* f = std::fopen(json_path.c_str(), "rb")) {
-      char buf[4096];
-      size_t n;
-      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
-      std::fclose(f);
-    }
-    while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
-      body.pop_back();
-    }
-    if (body.size() >= 2 && body.front() == '{' && body.back() == '}') {
-      body.pop_back();
-      body += std::string(",") + section + "}\n";
-    } else {
-      body = std::string("{") + section + "}\n";
-    }
-    std::FILE* f = std::fopen(json_path.c_str(), "wb");
-    CheckOrDie(f != nullptr, "loadgen: cannot write json");
-    std::fwrite(body.data(), 1, body.size(), f);
-    std::fclose(f);
+    MergeJsonSection(json_path, section);
     std::printf("  json       %s\n", json_path.c_str());
   }
 

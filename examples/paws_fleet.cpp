@@ -1,0 +1,180 @@
+// End-to-end sharded fleet demo (docs/OPERATIONS.md walks through the
+// same sequence operator-style): bring up three in-process park daemons,
+// author a replicated FleetMap and round-trip it through its artifact
+// file, FleetAdmin-roll one trained snapshot out to a population of park
+// ids (verify-before-advance), serve a zipfian read mix through a
+// FleetRouter with bit-identity checks, then kill one daemon mid-run and
+// show the router failing over with zero client-visible errors.
+//
+//   example_paws_fleet [--smoke]
+//
+//   --smoke   smaller park, fewer ids, shorter hammer (CI)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "fleet/fleet_admin.h"
+#include "fleet/fleet_map.h"
+#include "fleet/fleet_router.h"
+#include "serve/park_server.h"
+#include "util/archive.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace paws;
+
+std::string TrainSnapshot(bool smoke) {
+  Scenario scenario = MakeScenario(ParkPreset::kMfnp, /*seed=*/17);
+  scenario.park.width = smoke ? 24 : 30;
+  scenario.park.height = smoke ? 20 : 24;
+  scenario.num_years = 3;
+  ScenarioData data = SimulateScenario(scenario, 100);
+  IWareConfig cfg;
+  cfg.weak_learner = WeakLearnerKind::kDecisionTreeBagging;
+  cfg.num_thresholds = smoke ? 3 : 4;
+  cfg.cv_folds = 2;
+  cfg.bagging.num_estimators = smoke ? 4 : 5;
+  PawsPipeline pipeline(std::move(data), cfg);
+  Rng rng(7);
+  CheckOrDie(pipeline.Train(&rng).ok(), "paws_fleet: training failed");
+  ArchiveWriter writer;
+  pipeline.SaveModel(&writer);
+  return writer.Bytes();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  const int kNumShards = 3;
+  const int kNumParks = smoke ? 24 : 60;
+  const double kHammerSeconds = smoke ? 1.5 : 4.0;
+
+  // --- 1. The shard fleet: three empty daemons on ephemeral ports. ---
+  // (In production these are three `paws_serve --parks 0` processes on
+  // three machines; in-process servers exercise the identical wire path.)
+  std::vector<std::unique_ptr<ParkService>> services;
+  std::vector<std::unique_ptr<ParkServer>> servers;
+  std::vector<FleetEndpoint> endpoints;
+  for (int s = 0; s < kNumShards; ++s) {
+    services.push_back(std::make_unique<ParkService>());
+    servers.push_back(std::make_unique<ParkServer>(services.back().get()));
+    FrameServerOptions options;
+    options.port = 0;
+    CheckOrDie(servers.back()->Start(options).ok(),
+               "paws_fleet: server start failed");
+    endpoints.push_back(FleetEndpoint{"127.0.0.1", servers.back()->port()});
+    std::printf("shard %d listening on %s\n", s,
+                endpoints.back().ToString().c_str());
+  }
+
+  // --- 2. The FleetMap artifact: authored, persisted, re-read. ---
+  auto built = FleetMap::Create(endpoints, /*replication=*/2);
+  CheckOrDie(built.ok(), "paws_fleet: FleetMap build failed");
+  const std::string map_path = "/tmp/paws_fleet_map.bin";
+  CheckOrDie(built->WriteFile(map_path).ok(), "paws_fleet: map write failed");
+  auto loaded = FleetMap::ReadFile(map_path);
+  CheckOrDie(loaded.ok(), "paws_fleet: map read failed");
+  FleetMap map = std::move(loaded).value();
+  std::printf("fleet map v%llu: %d endpoints, %d replicas (artifact %s)\n",
+              static_cast<unsigned long long>(map.version()),
+              map.num_endpoints(), map.replication(), map_path.c_str());
+
+  // --- 3. Rollout: one artifact to every park id, verify-before-advance. ---
+  std::printf("training artifact and rolling out %d parks...\n", kNumParks);
+  std::fflush(stdout);
+  const std::string snapshot_bytes = TrainSnapshot(smoke);
+  auto reference = ModelSnapshot::FromBytes(snapshot_bytes);
+  CheckOrDie(reference.ok(), "paws_fleet: artifact decode failed");
+  const RiskMaps want = reference->PredictRisk(/*assumed_effort=*/2.0);
+
+  std::vector<std::string> park_ids;
+  FleetAdmin admin(&map);
+  for (int p = 0; p < kNumParks; ++p) {
+    park_ids.push_back("park-" + std::to_string(p));
+    const RolloutReport report =
+        admin.RolloutSnapshot(park_ids.back(), snapshot_bytes);
+    CheckOrDie(report.ok, "paws_fleet: rollout failed");
+  }
+  for (int s = 0; s < kNumShards; ++s) {
+    std::printf("shard %d now serves %d parks\n", s,
+                services[s]->num_parks());
+  }
+
+  // --- 4. Serve through the router; kill a shard mid-hammer. ---
+  FleetRouter router(map);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::thread hammer([&] {
+    Rng rng(99);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string& park_id =
+          park_ids[static_cast<size_t>(rng.UniformInt(kNumParks))];
+      const auto got = router.RiskMap(park_id, 2.0);
+      if (!got.ok()) {
+        errors.fetch_add(1);
+      } else if (got->risk != want.risk || got->variance != want.variance) {
+        mismatches.fetch_add(1);
+      } else {
+        completed.fetch_add(1);
+      }
+    }
+  });
+
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(kHammerSeconds / 2));
+  std::printf("killing shard 1 (%s) mid-run...\n",
+              endpoints[1].ToString().c_str());
+  std::fflush(stdout);
+  servers[1]->Shutdown();
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(kHammerSeconds / 2));
+  stop = true;
+  hammer.join();
+
+  const FleetRouter::Stats stats = router.stats();
+  std::printf("hammer done: %llu ok, %llu errors, %llu mismatches\n",
+              static_cast<unsigned long long>(completed.load()),
+              static_cast<unsigned long long>(errors.load()),
+              static_cast<unsigned long long>(mismatches.load()));
+  std::printf("router: %llu requests, %llu failovers, %llu transport "
+              "errors, %llu exhausted\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.failovers),
+              static_cast<unsigned long long>(stats.transport_errors),
+              static_cast<unsigned long long>(stats.exhausted));
+  for (int e = 0; e < map.num_endpoints(); ++e) {
+    std::printf("shard %d served %llu requests (healthy=%d)\n", e,
+                static_cast<unsigned long long>(
+                    stats.per_endpoint_requests[e]),
+                router.endpoint_healthy(e) ? 1 : 0);
+  }
+
+  for (int s = 0; s < kNumShards; ++s) servers[s]->Shutdown();
+
+  // A dead replica must be invisible to clients: every request either
+  // succeeded bit-identically or failed over and then succeeded.
+  CheckOrDie(completed.load() > 0, "paws_fleet: no requests completed");
+  CheckOrDie(errors.load() == 0, "paws_fleet: client-visible errors");
+  CheckOrDie(mismatches.load() == 0, "paws_fleet: bit-identity violated");
+  CheckOrDie(stats.failovers > 0, "paws_fleet: kill produced no failover");
+  std::printf("OK: zero client-visible errors across a mid-run shard kill\n");
+  return 0;
+}

@@ -6,7 +6,10 @@
 //                      [--max-seconds S]
 //
 //   --smoke        tiny parks, fast training (CI)
-//   --parks N      fleet size (default 2), ids park-0..park-(N-1)
+//   --parks N      fleet size (default 2), ids park-0..park-(N-1);
+//                  0 starts empty — parks arrive over the wire via
+//                  SwapSnapshot upserts (fleet bootstrap, see
+//                  docs/OPERATIONS.md)
 //   --port P       listen port; 0 (default) lets the kernel pick one
 //   --port-file    after binding, write the resolved port to this file —
 //                  how a launcher scripting an ephemeral port finds us
@@ -90,10 +93,15 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  CheckOrDie(num_parks >= 1, "paws_serve: need at least one park");
+  CheckOrDie(num_parks >= 0, "paws_serve: --parks must be >= 0");
 
-  std::printf("training %d parks...\n", num_parks);
-  std::fflush(stdout);
+  if (num_parks > 0) {
+    std::printf("training %d parks...\n", num_parks);
+    std::fflush(stdout);
+  } else {
+    std::printf("starting empty (bootstrap via wire SwapSnapshot)\n");
+    std::fflush(stdout);
+  }
   ParkService service;
   for (int p = 0; p < num_parks; ++p) {
     const std::string bytes = TrainParkSnapshot(p, smoke);

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (CI `docs` job).
+
+Two checks, both stdlib-only:
+
+1. Relative markdown links in README.md and docs/*.md must resolve to
+   files that exist in the repo (anchors are stripped; absolute URLs and
+   mailto: links are skipped).
+2. Drift guard: docs/WIRE_PROTOCOL.md is the normative wire spec, so
+   every enumerator of `enum class Opcode` (src/net/wire.h) and of
+   `enum class StatusCode` (src/util/status.h) must appear in it by
+   exact name (e.g. `kRiskMap`, `kNotFound`). Adding an opcode or a
+   status code without documenting it fails CI.
+
+Exit status: 0 if everything checks out, 1 otherwise (each problem is
+printed on its own line).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — excluding images' extra '!' does not matter for
+# existence checks, so one pattern covers links and images alike.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def markdown_files():
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check_links():
+    problems = []
+    for md in markdown_files():
+        text = md.read_text(encoding="utf-8")
+        # Code is illustrative, not navigable: drop fenced blocks and
+        # inline spans (`preds.g[v](c)` would otherwise parse as a link).
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        text = re.sub(r"`[^`\n]*`", "", text)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{md.relative_to(REPO)}: broken link -> {target}"
+                )
+    return problems
+
+
+def enum_members(header, enum_name):
+    """Return the kSomething enumerator names of one enum class."""
+    text = (REPO / header).read_text(encoding="utf-8")
+    match = re.search(
+        r"enum\s+class\s+" + re.escape(enum_name) + r"\b[^{]*\{(.*?)\}",
+        text,
+        flags=re.DOTALL,
+    )
+    if match is None:
+        raise SystemExit(f"error: enum class {enum_name} not found in {header}")
+    body = re.sub(r"//[^\n]*", "", match.group(1))  # strip comments
+    members = re.findall(r"\b(k\w+)\b\s*(?:=\s*\d+\s*)?(?:,|$)", body)
+    if not members:
+        raise SystemExit(f"error: no enumerators parsed for {enum_name}")
+    return members
+
+
+def check_wire_doc():
+    problems = []
+    doc_path = REPO / "docs" / "WIRE_PROTOCOL.md"
+    if not doc_path.is_file():
+        return ["docs/WIRE_PROTOCOL.md is missing"]
+    doc = doc_path.read_text(encoding="utf-8")
+    for header, enum_name in (
+        ("src/net/wire.h", "Opcode"),
+        ("src/util/status.h", "StatusCode"),
+    ):
+        for member in enum_members(header, enum_name):
+            if member not in doc:
+                problems.append(
+                    f"docs/WIRE_PROTOCOL.md: {enum_name} entry `{member}` "
+                    f"({header}) is undocumented"
+                )
+    return problems
+
+
+def main():
+    problems = check_links() + check_wire_doc()
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"{len(problems)} documentation problem(s).")
+        return 1
+    n_files = len(markdown_files())
+    print(f"docs OK: {n_files} markdown files, links resolve, "
+          f"WIRE_PROTOCOL.md covers every opcode and status code.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

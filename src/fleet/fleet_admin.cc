@@ -1,0 +1,91 @@
+#include "fleet/fleet_admin.h"
+
+#include <utility>
+
+#include "core/snapshot.h"
+
+namespace paws {
+
+FleetAdmin::FleetAdmin(const FleetMap* map, FleetAdminOptions options)
+    : map_(map), options_(std::move(options)) {}
+
+Status FleetAdmin::PushTo(int endpoint_index, const std::string& park_id,
+                          const std::string& snapshot_bytes) {
+  const FleetEndpoint& endpoint = map_->endpoints()[endpoint_index];
+  ParkClient client(options_.client);
+  PAWS_RETURN_IF_ERROR(client.Connect(endpoint.host, endpoint.port));
+  return client.SwapSnapshot(park_id, snapshot_bytes);
+}
+
+Status FleetAdmin::VerifyReplica(int endpoint_index, const std::string& park_id,
+                                 const std::string& snapshot_bytes) {
+  // The reference result: what the artifact itself serves, computed
+  // locally. Decoding also re-validates the bytes end to end.
+  PAWS_ASSIGN_OR_RETURN(ModelSnapshot snapshot,
+                        ModelSnapshot::FromBytes(snapshot_bytes));
+  const RiskMaps want = snapshot.PredictRisk(options_.verify_effort);
+
+  const FleetEndpoint& endpoint = map_->endpoints()[endpoint_index];
+  ParkClient client(options_.client);
+  PAWS_RETURN_IF_ERROR(client.Connect(endpoint.host, endpoint.port));
+  PAWS_ASSIGN_OR_RETURN(RiskMaps got,
+                        client.RiskMap(park_id, options_.verify_effort));
+  if (got.risk != want.risk || got.variance != want.variance) {
+    return Status::Internal("fleet rollout verify: " + endpoint.ToString() +
+                            " serves '" + park_id +
+                            "' with bytes that differ from the pushed "
+                            "artifact's local predictions");
+  }
+  return Status::OK();
+}
+
+RolloutReport FleetAdmin::RolloutSnapshot(
+    const std::string& park_id, const std::string& snapshot_bytes,
+    const std::string& previous_snapshot_bytes) {
+  RolloutReport report;
+  const std::vector<int> replicas = map_->ReplicasFor(park_id);
+  report.replicas.reserve(replicas.size());
+
+  size_t advanced = 0;
+  bool failed = false;
+  for (int endpoint_index : replicas) {
+    RolloutReport::ReplicaResult result;
+    result.endpoint_index = endpoint_index;
+    result.push = PushTo(endpoint_index, park_id, snapshot_bytes);
+    if (result.push.ok() && options_.verify) {
+      result.verify = VerifyReplica(endpoint_index, park_id, snapshot_bytes);
+    }
+    const bool ok = result.push.ok() && result.verify.ok();
+    report.replicas.push_back(std::move(result));
+    if (!ok) {
+      failed = true;
+      break;  // verify-before-advance: do not touch the next replica
+    }
+    ++advanced;
+  }
+
+  if (!failed) {
+    report.ok = true;
+    return report;
+  }
+  if (previous_snapshot_bytes.empty() || advanced == 0) {
+    return report;
+  }
+  // Roll the already-advanced replicas back to the previous artifact so
+  // the park's replica set converges on one version again.
+  report.rollback_attempted = true;
+  report.rollback_ok = true;
+  for (size_t i = 0; i < advanced; ++i) {
+    RolloutReport::ReplicaResult& result = report.replicas[i];
+    const Status rolled =
+        PushTo(result.endpoint_index, park_id, previous_snapshot_bytes);
+    if (rolled.ok()) {
+      result.rolled_back = true;
+    } else {
+      report.rollback_ok = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace paws

@@ -1,0 +1,103 @@
+#ifndef PAWS_FLEET_FLEET_ADMIN_H_
+#define PAWS_FLEET_FLEET_ADMIN_H_
+
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_map.h"
+#include "net/client.h"
+#include "util/status.h"
+
+namespace paws {
+
+struct FleetAdminOptions {
+  /// Per-push client options; snapshot archives are the largest frames
+  /// the fleet moves, so the request timeout is generous.
+  ClientOptions client;
+  /// Effort at which the verify step compares risk maps (any value the
+  /// snapshot can serve; the comparison is bit-exact either way).
+  double verify_effort = 1.0;
+  /// Skip the read-back comparison (push-only rollout). The default is
+  /// the safe path: verify before advancing to the next replica.
+  bool verify = true;
+
+  FleetAdminOptions() {
+    client.connect_timeout_ms = 2000;
+    client.max_connect_attempts = 2;
+    client.request_timeout_ms = 60000;
+  }
+};
+
+/// Outcome of one fleet-wide snapshot rollout.
+struct RolloutReport {
+  struct ReplicaResult {
+    int endpoint_index = -1;
+    /// The SwapSnapshot push (upsert) to this replica.
+    Status push;
+    /// The verify-before-advance read-back (OK when verification is off
+    /// or the replica was never reached).
+    Status verify;
+    /// This replica had already advanced and was reverted to the
+    /// previous artifact after a later failure.
+    bool rolled_back = false;
+  };
+  std::vector<ReplicaResult> replicas;
+  /// Every replica pushed and verified.
+  bool ok = false;
+  /// A failure triggered re-pushing the previous artifact.
+  bool rollback_attempted = false;
+  /// All rollback pushes succeeded (meaningful when rollback_attempted).
+  bool rollback_ok = false;
+};
+
+/// Sequences the per-daemon zero-downtime snapshot swap (wire
+/// SwapSnapshot, an upsert) across every replica of a park:
+///
+///   for each replica in FleetMap preference order:
+///     1. push the new snapshot archive        (SwapSnapshot upsert)
+///     2. read back a risk map and compare it  (verify-before-advance)
+///        bit-exactly against the artifact served locally
+///   on any failure: re-push the previous artifact to the replicas that
+///   already advanced (rollback), so the fleet never stays split between
+///   versions.
+///
+/// The verify step is the fleet-level form of the repo's bit-identity
+/// guarantee: a replica that answers with anything but the exact bytes
+/// the new artifact produces locally is not serving that artifact —
+/// wrong file pushed, disk corruption survived CRC, version skew — and
+/// the rollout must not proceed past it.
+///
+/// FleetAdmin addresses replicas explicitly (no failover): a rollout
+/// that cannot reach a replica must fail loudly, not quietly converge on
+/// the subset that was up.
+class FleetAdmin {
+ public:
+  /// `map` must outlive the admin.
+  explicit FleetAdmin(const FleetMap* map, FleetAdminOptions options = {});
+
+  /// Rolls `snapshot_bytes` out to every replica of `park_id`.
+  /// `previous_snapshot_bytes` is the rollback artifact (the operator
+  /// holds both versions — snapshots are files); empty disables rollback.
+  /// The returned report is populated even on failure; the Status is OK
+  /// iff every replica advanced (rollbacks still return the failure).
+  RolloutReport RolloutSnapshot(const std::string& park_id,
+                                const std::string& snapshot_bytes,
+                                const std::string& previous_snapshot_bytes = "");
+
+  /// The verify primitive, exposed for operator tooling: does
+  /// `endpoint_index` serve `park_id` bit-identically to what
+  /// `snapshot_bytes` produces locally at options.verify_effort?
+  Status VerifyReplica(int endpoint_index, const std::string& park_id,
+                       const std::string& snapshot_bytes);
+
+ private:
+  Status PushTo(int endpoint_index, const std::string& park_id,
+                const std::string& snapshot_bytes);
+
+  const FleetMap* map_;
+  FleetAdminOptions options_;
+};
+
+}  // namespace paws
+
+#endif  // PAWS_FLEET_FLEET_ADMIN_H_

@@ -1,0 +1,192 @@
+#include "fleet/fleet_map.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace paws {
+namespace {
+
+constexpr uint32_t kFleetMapTag = FourCc("FMAP");
+constexpr uint32_t kFleetMapSchemaVersion = 1;
+constexpr int kMaxEndpoints = 4096;
+constexpr int kMaxVnodes = 1024;
+
+}  // namespace
+
+std::string FleetEndpoint::ToString() const {
+  return host + ":" + std::to_string(port);
+}
+
+uint64_t FleetHash64(const std::string& s) {
+  // FNV-1a, 64-bit, then a full avalanche finalizer. Pinned constants:
+  // the ring layout is a cross-process contract (see header).
+  //
+  // The finalizer is load-bearing, not cosmetic. Raw FNV-1a moves the
+  // hash by multiples of the FNV prime (~2^40) when only the last
+  // character changes, so same-length ids like "park-0".."park-9" land
+  // within a sliver of the 2^64 ring and share one primary shard — a
+  // systematic imbalance, not a statistical one. The mix (murmur3's
+  // fmix64) spreads every input bit across all 64 output bits.
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= static_cast<uint64_t>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+StatusOr<FleetMap> FleetMap::Create(std::vector<FleetEndpoint> endpoints,
+                                    int replication, uint64_t version,
+                                    int vnodes_per_endpoint) {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("FleetMap: endpoint list is empty");
+  }
+  if (static_cast<int>(endpoints.size()) > kMaxEndpoints) {
+    return Status::InvalidArgument("FleetMap: too many endpoints");
+  }
+  if (replication < 1) {
+    return Status::InvalidArgument("FleetMap: replication must be >= 1");
+  }
+  if (vnodes_per_endpoint < 1 || vnodes_per_endpoint > kMaxVnodes) {
+    return Status::InvalidArgument("FleetMap: vnodes_per_endpoint out of range");
+  }
+  std::set<std::string> seen;
+  for (const FleetEndpoint& endpoint : endpoints) {
+    if (endpoint.host.empty()) {
+      return Status::InvalidArgument("FleetMap: endpoint host is empty");
+    }
+    if (endpoint.port < 1 || endpoint.port > 65535) {
+      return Status::InvalidArgument("FleetMap: endpoint port out of range: " +
+                                     endpoint.ToString());
+    }
+    if (!seen.insert(endpoint.ToString()).second) {
+      return Status::InvalidArgument("FleetMap: duplicate endpoint " +
+                                     endpoint.ToString());
+    }
+  }
+  FleetMap map;
+  map.version_ = version;
+  map.replication_ = replication;
+  map.vnodes_ = vnodes_per_endpoint;
+  map.endpoints_ = std::move(endpoints);
+  map.BuildRing();
+  return map;
+}
+
+void FleetMap::BuildRing() {
+  ring_.clear();
+  ring_.reserve(endpoints_.size() * static_cast<size_t>(vnodes_));
+  for (int e = 0; e < num_endpoints(); ++e) {
+    const std::string base = endpoints_[e].ToString() + "#";
+    for (int v = 0; v < vnodes_; ++v) {
+      ring_.emplace_back(FleetHash64(base + std::to_string(v)), e);
+    }
+  }
+  // Ties (astronomically unlikely 64-bit hash collisions) break by
+  // endpoint index so the ring order is still fully deterministic.
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::vector<int> FleetMap::ReplicasFor(const std::string& park_id) const {
+  const uint64_t point = FleetHash64(park_id);
+  const int want = std::min(replication_, num_endpoints());
+  std::vector<int> replicas;
+  replicas.reserve(want);
+  // First ring entry at or after the park's point, wrapping.
+  size_t start = std::lower_bound(ring_.begin(), ring_.end(),
+                                  std::make_pair(point, 0)) -
+                 ring_.begin();
+  for (size_t step = 0;
+       step < ring_.size() && static_cast<int>(replicas.size()) < want;
+       ++step) {
+    const int endpoint = ring_[(start + step) % ring_.size()].second;
+    if (std::find(replicas.begin(), replicas.end(), endpoint) ==
+        replicas.end()) {
+      replicas.push_back(endpoint);
+    }
+  }
+  return replicas;
+}
+
+int FleetMap::PreferredFor(const std::string& park_id) const {
+  return ReplicasFor(park_id)[0];
+}
+
+void FleetMap::Save(ArchiveWriter* ar) const {
+  ar->BeginSection(kFleetMapTag);
+  ar->WriteU32(kFleetMapSchemaVersion);
+  ar->WriteU64(version_);
+  ar->WriteI32(replication_);
+  ar->WriteI32(vnodes_);
+  ar->WriteU64(endpoints_.size());
+  for (const FleetEndpoint& endpoint : endpoints_) {
+    ar->WriteString(endpoint.host);
+    ar->WriteI32(endpoint.port);
+  }
+  ar->EndSection();
+}
+
+StatusOr<FleetMap> FleetMap::Load(ArchiveReader* ar) {
+  PAWS_RETURN_IF_ERROR(ar->EnterSection(kFleetMapTag));
+  uint32_t schema = 0;
+  PAWS_RETURN_IF_ERROR(ar->ReadU32(&schema));
+  if (schema != kFleetMapSchemaVersion) {
+    return Status::InvalidArgument("FleetMap: unsupported schema version " +
+                                   std::to_string(schema));
+  }
+  uint64_t version = 0;
+  int replication = 0;
+  int vnodes = 0;
+  uint64_t count = 0;
+  PAWS_RETURN_IF_ERROR(ar->ReadU64(&version));
+  PAWS_RETURN_IF_ERROR(ar->ReadI32(&replication));
+  PAWS_RETURN_IF_ERROR(ar->ReadI32(&vnodes));
+  PAWS_RETURN_IF_ERROR(ar->ReadU64(&count));
+  if (count < 1 || count > static_cast<uint64_t>(kMaxEndpoints)) {
+    return Status::InvalidArgument("FleetMap: endpoint count out of range");
+  }
+  std::vector<FleetEndpoint> endpoints;
+  endpoints.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    FleetEndpoint endpoint;
+    PAWS_RETURN_IF_ERROR(ar->ReadString(&endpoint.host));
+    PAWS_RETURN_IF_ERROR(ar->ReadI32(&endpoint.port));
+    endpoints.push_back(std::move(endpoint));
+  }
+  PAWS_RETURN_IF_ERROR(ar->LeaveSection());
+  // Create re-validates, so a hand-edited or corrupted config that decodes
+  // cleanly still cannot produce an unusable map.
+  return Create(std::move(endpoints), replication, version, vnodes);
+}
+
+std::string FleetMap::ToBytes() const {
+  ArchiveWriter writer;
+  Save(&writer);
+  return writer.Bytes();
+}
+
+StatusOr<FleetMap> FleetMap::FromBytes(const std::string& bytes) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader, ArchiveReader::FromBytes(bytes));
+  PAWS_ASSIGN_OR_RETURN(FleetMap map, Load(&reader));
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return map;
+}
+
+Status FleetMap::WriteFile(const std::string& path) const {
+  ArchiveWriter writer;
+  Save(&writer);
+  return writer.WriteFile(path);
+}
+
+StatusOr<FleetMap> FleetMap::ReadFile(const std::string& path) {
+  PAWS_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  return FromBytes(bytes);
+}
+
+}  // namespace paws

@@ -1,0 +1,262 @@
+#include "fleet/fleet_router.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace paws {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double UnitUniform(uint64_t* state) {
+  return static_cast<double>(SplitMix64(state) >> 11) *
+         (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+FleetRouter::FleetRouter(FleetMap map, FleetRouterOptions options)
+    : map_(std::move(map)),
+      options_(std::move(options)),
+      per_endpoint_requests_(map_.num_endpoints()) {
+  endpoints_.reserve(map_.num_endpoints());
+  for (int e = 0; e < map_.num_endpoints(); ++e) {
+    endpoints_.push_back(std::make_unique<Endpoint>(options_.client));
+  }
+  probe_jitter_state_ = options_.probe_jitter_seed;
+  if (probe_jitter_state_ == 0) {
+    probe_jitter_state_ =
+        static_cast<uint64_t>(Clock::now().time_since_epoch().count()) ^
+        (static_cast<uint64_t>(reinterpret_cast<uintptr_t>(this)) << 1);
+  }
+  if (options_.enable_probe_thread) {
+    probe_thread_ = std::thread([this] { ProbeLoop(); });
+  }
+}
+
+FleetRouter::~FleetRouter() {
+  {
+    std::lock_guard<std::mutex> lock(probe_mu_);
+    stop_ = true;
+  }
+  probe_cv_.notify_all();
+  if (probe_thread_.joinable()) probe_thread_.join();
+}
+
+void FleetRouter::ProbeLoop() {
+  std::unique_lock<std::mutex> lock(probe_mu_);
+  while (!stop_) {
+    probe_cv_.wait_for(lock,
+                       std::chrono::milliseconds(options_.probe_tick_ms));
+    if (stop_) break;
+    lock.unlock();
+    ProbeOnce();
+    lock.lock();
+  }
+}
+
+void FleetRouter::MarkUnhealthy(int endpoint_index) {
+  Endpoint& endpoint = *endpoints_[endpoint_index];
+  endpoint.healthy.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(probe_mu_);
+  endpoint.probe_backoff_ms = options_.probe_initial_backoff_ms;
+  endpoint.next_probe =
+      Clock::now() +
+      std::chrono::milliseconds(JitteredBackoffMs(
+          endpoint.probe_backoff_ms, options_.probe_jitter_pct,
+          UnitUniform(&probe_jitter_state_)));
+}
+
+int FleetRouter::ProbeOnce(bool force) {
+  // Collect the due endpoints under the schedule lock, then probe them
+  // over the network without it — a slow probe must not block request
+  // threads calling MarkUnhealthy.
+  std::vector<int> due;
+  {
+    std::lock_guard<std::mutex> lock(probe_mu_);
+    const auto now = Clock::now();
+    for (int e = 0; e < map_.num_endpoints(); ++e) {
+      if (endpoints_[e]->healthy.load(std::memory_order_relaxed)) continue;
+      if (force || endpoints_[e]->next_probe <= now) due.push_back(e);
+    }
+  }
+  int recovered = 0;
+  for (int e : due) {
+    Endpoint& endpoint = *endpoints_[e];
+    bool ok;
+    {
+      std::lock_guard<std::mutex> lock(endpoint.mu);
+      if (!endpoint.connected_once.load(std::memory_order_relaxed)) {
+        ok = endpoint.client
+                 .Connect(map_.endpoints()[e].host, map_.endpoints()[e].port)
+                 .ok();
+        if (ok) endpoint.connected_once.store(true, std::memory_order_relaxed);
+      } else {
+        ok = true;
+      }
+      // The cheapest opcode the server answers from counters alone.
+      if (ok) ok = endpoint.client.Stats().ok();
+    }
+    if (ok) {
+      endpoint.healthy.store(true, std::memory_order_relaxed);
+      probe_recoveries_.fetch_add(1, std::memory_order_relaxed);
+      ++recovered;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(probe_mu_);
+    endpoint.probe_backoff_ms =
+        std::min(endpoint.probe_backoff_ms * 2, options_.probe_max_backoff_ms);
+    if (endpoint.probe_backoff_ms < options_.probe_initial_backoff_ms) {
+      endpoint.probe_backoff_ms = options_.probe_initial_backoff_ms;
+    }
+    endpoint.next_probe =
+        Clock::now() +
+        std::chrono::milliseconds(JitteredBackoffMs(
+            endpoint.probe_backoff_ms, options_.probe_jitter_pct,
+            UnitUniform(&probe_jitter_state_)));
+  }
+  return recovered;
+}
+
+bool FleetRouter::endpoint_healthy(int endpoint_index) const {
+  return endpoints_[endpoint_index]->healthy.load(std::memory_order_relaxed);
+}
+
+template <typename Fn>
+Status FleetRouter::Attempt(int endpoint_index, Fn&& fn, bool* transport) {
+  Endpoint& endpoint = *endpoints_[endpoint_index];
+  std::lock_guard<std::mutex> lock(endpoint.mu);
+  if (!endpoint.connected_once.load(std::memory_order_relaxed)) {
+    Status connected = endpoint.client.Connect(
+        map_.endpoints()[endpoint_index].host,
+        map_.endpoints()[endpoint_index].port);
+    if (!connected.ok()) {
+      *transport = true;
+      return connected;
+    }
+    endpoint.connected_once.store(true, std::memory_order_relaxed);
+  }
+  // Dropped connections reconnect transparently inside the client
+  // (single attempt: this router owns retry policy, see options).
+  Status status = fn(&endpoint.client);
+  *transport = !status.ok() && endpoint.client.last_error_was_transport();
+  return status;
+}
+
+template <typename Fn>
+Status FleetRouter::Route(const std::string& park_id, Fn&& fn) {
+  const std::vector<int> replicas = map_.ReplicasFor(park_id);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Status last = Status::Internal("fleet: no replica attempted");
+  int failed_attempts = 0;
+  std::vector<bool> attempted(replicas.size(), false);
+  // Pass 0 tries the healthy replicas in preference order; pass 1 is the
+  // last resort — every remaining replica was unhealthy going in, so try
+  // them anyway rather than failing without touching the network.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t r = 0; r < replicas.size(); ++r) {
+      const int endpoint_index = replicas[r];
+      if (attempted[r]) continue;
+      if (pass == 0 && !endpoint_healthy(endpoint_index)) continue;
+      attempted[r] = true;
+      bool transport = false;
+      Status status = Attempt(endpoint_index, fn, &transport);
+      if (status.ok() || !transport) {
+        // Served, or answered with an application status — either way
+        // this endpoint handled the request; never fail over on answers.
+        per_endpoint_requests_[endpoint_index].fetch_add(
+            1, std::memory_order_relaxed);
+        if (failed_attempts > 0) {
+          failovers_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return status;
+      }
+      transport_errors_.fetch_add(1, std::memory_order_relaxed);
+      ++failed_attempts;
+      MarkUnhealthy(endpoint_index);
+      last = status;
+    }
+  }
+  exhausted_.fetch_add(1, std::memory_order_relaxed);
+  return Status(last.code(),
+                "fleet: all " + std::to_string(replicas.size()) +
+                    " replicas of '" + park_id +
+                    "' failed; last: " + last.message());
+}
+
+StatusOr<RiskMaps> FleetRouter::RiskMap(const std::string& park_id,
+                                        double assumed_effort) {
+  StatusOr<RiskMaps> result{Status::Internal("fleet: unrouted")};
+  Status routed = Route(park_id, [&](ParkClient* client) {
+    result = client->RiskMap(park_id, assumed_effort);
+    return result.status();
+  });
+  if (!routed.ok()) return routed;
+  return result;
+}
+
+StatusOr<EffortCurveTable> FleetRouter::CellCurves(
+    const std::string& park_id, const std::vector<int>& cell_ids,
+    std::vector<double> effort_grid) {
+  StatusOr<EffortCurveTable> result{Status::Internal("fleet: unrouted")};
+  Status routed = Route(park_id, [&](ParkClient* client) {
+    result = client->CellCurves(park_id, cell_ids, effort_grid);
+    return result.status();
+  });
+  if (!routed.ok()) return routed;
+  return result;
+}
+
+StatusOr<PatrolPlan> FleetRouter::PlanForPost(const std::string& park_id,
+                                              int post_index,
+                                              const PlannerConfig& config,
+                                              const RobustParams& robust) {
+  StatusOr<PatrolPlan> result{Status::Internal("fleet: unrouted")};
+  Status routed = Route(park_id, [&](ParkClient* client) {
+    result = client->PlanForPost(park_id, post_index, config, robust);
+    return result.status();
+  });
+  if (!routed.ok()) return routed;
+  return result;
+}
+
+StatusOr<ServerStatsReport> FleetRouter::EndpointStats(int endpoint_index) {
+  if (endpoint_index < 0 || endpoint_index >= map_.num_endpoints()) {
+    return Status::InvalidArgument("fleet: endpoint index out of range");
+  }
+  StatusOr<ServerStatsReport> result{Status::Internal("fleet: unrouted")};
+  bool transport = false;
+  Status status = Attempt(
+      endpoint_index,
+      [&](ParkClient* client) {
+        result = client->Stats();
+        return result.status();
+      },
+      &transport);
+  if (!status.ok()) return status;
+  return result;
+}
+
+FleetRouter::Stats FleetRouter::stats() const {
+  Stats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.failovers = failovers_.load(std::memory_order_relaxed);
+  out.transport_errors = transport_errors_.load(std::memory_order_relaxed);
+  out.exhausted = exhausted_.load(std::memory_order_relaxed);
+  out.probe_recoveries = probe_recoveries_.load(std::memory_order_relaxed);
+  out.per_endpoint_requests.reserve(per_endpoint_requests_.size());
+  for (const std::atomic<uint64_t>& count : per_endpoint_requests_) {
+    out.per_endpoint_requests.push_back(
+        count.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+}  // namespace paws

@@ -1,0 +1,167 @@
+#ifndef PAWS_FLEET_FLEET_ROUTER_H_
+#define PAWS_FLEET_FLEET_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/fleet_map.h"
+#include "net/client.h"
+#include "util/status.h"
+
+namespace paws {
+
+struct FleetRouterOptions {
+  /// Per-endpoint client options. The defaults differ from a bare
+  /// ParkClient's: one connect attempt with a short timeout, because the
+  /// router's own health machinery (probes + failover) owns retrying —
+  /// stacking the client's reconnect loop under it would multiply
+  /// worst-case latency on a dead replica.
+  ClientOptions client;
+  /// First re-probe of an endpoint after it is marked unhealthy.
+  int probe_initial_backoff_ms = 100;
+  /// Probe backoff doubles per consecutive failure up to this cap.
+  int probe_max_backoff_ms = 5000;
+  /// ±jitter applied to every probe interval (same rationale as the
+  /// client's reconnect jitter: recovered shards must not be hit by all
+  /// routers' probes at once).
+  double probe_jitter_pct = 0.2;
+  /// Probe scheduler granularity; also the shutdown-latency bound.
+  int probe_tick_ms = 20;
+  /// Jitter stream seed for probe scheduling; 0 = per-router entropy.
+  uint64_t probe_jitter_seed = 0;
+  /// Disable the background probe thread (tests drive ProbeOnce()).
+  bool enable_probe_thread = true;
+
+  FleetRouterOptions() {
+    client.connect_timeout_ms = 1000;
+    client.max_connect_attempts = 1;
+    client.request_timeout_ms = 10000;
+  }
+};
+
+/// The fleet-routing client: one logical ParkService spread over many
+/// `paws_serve` daemons. Wraps a per-endpoint ParkClient, routes every
+/// request to its park's replica set (FleetMap preference order), and
+/// fails over to the next replica on *transport* errors — never on
+/// application status frames, which are answers (a NotFound from a
+/// healthy primary would be a NotFound everywhere; retrying it would
+/// just triple the error latency).
+///
+/// Health: an endpoint that produces a transport error is marked
+/// unhealthy and leaves the routing preference order; a background
+/// thread re-probes it with the cheap Stats opcode under exponential
+/// backoff (+jitter) and marks it recovered on the first success. If
+/// every replica of a park is unhealthy, the request tries them anyway
+/// (last resort) rather than failing without touching the network.
+///
+/// All routed reads are idempotent (RiskMap / CellCurves / PlanForPost /
+/// Stats), so transport-level retry against another replica can never
+/// duplicate a side effect. Writes (snapshot rollout) deliberately do
+/// not route — FleetAdmin addresses replicas explicitly.
+///
+/// Thread safety: a FleetRouter may be shared across threads; each
+/// endpoint's client is serialized by a per-endpoint mutex (one in-flight
+/// request per endpoint per router). Load generators wanting N truly
+/// concurrent sockets per endpoint create N routers.
+class FleetRouter {
+ public:
+  explicit FleetRouter(FleetMap map, FleetRouterOptions options = {});
+  ~FleetRouter();
+
+  FleetRouter(const FleetRouter&) = delete;
+  FleetRouter& operator=(const FleetRouter&) = delete;
+
+  const FleetMap& map() const { return map_; }
+
+  /// Routed serving calls — the ParkClient API minus explicit endpoints.
+  StatusOr<RiskMaps> RiskMap(const std::string& park_id,
+                             double assumed_effort);
+  StatusOr<EffortCurveTable> CellCurves(const std::string& park_id,
+                                        const std::vector<int>& cell_ids,
+                                        std::vector<double> effort_grid);
+  StatusOr<PatrolPlan> PlanForPost(const std::string& park_id, int post_index,
+                                   const PlannerConfig& config,
+                                   const RobustParams& robust);
+
+  /// Unrouted: stats of one specific endpoint (operator tooling).
+  StatusOr<ServerStatsReport> EndpointStats(int endpoint_index);
+
+  bool endpoint_healthy(int endpoint_index) const;
+
+  /// One synchronous probe pass over the currently-unhealthy endpoints
+  /// whose backoff has elapsed (`force` ignores the backoff clock).
+  /// The background thread calls this on its tick; tests call it
+  /// directly for determinism. Returns the number of recoveries.
+  int ProbeOnce(bool force = false);
+
+  struct Stats {
+    /// Routed requests issued through the router.
+    uint64_t requests = 0;
+    /// Requests answered by a replica other than the first one tried.
+    uint64_t failovers = 0;
+    /// Individual transport-level attempt failures.
+    uint64_t transport_errors = 0;
+    /// Requests that failed because every replica failed at transport.
+    uint64_t exhausted = 0;
+    /// Unhealthy endpoints brought back by a successful probe.
+    uint64_t probe_recoveries = 0;
+    /// Requests served per endpoint index (shard balance).
+    std::vector<uint64_t> per_endpoint_requests;
+  };
+  Stats stats() const;
+
+ private:
+  struct Endpoint {
+    /// Serializes the (blocking, single-connection) client.
+    std::mutex mu;
+    ParkClient client;
+    std::atomic<bool> healthy{true};
+    std::atomic<bool> connected_once{false};
+    /// Probe bookkeeping, guarded by probe_mu_.
+    int probe_backoff_ms = 0;
+    std::chrono::steady_clock::time_point next_probe{};
+
+    explicit Endpoint(const ClientOptions& options) : client(options) {}
+  };
+
+  /// Runs `fn(client)` against `park_id`'s replicas with failover.
+  /// `fn` returns the call's Status; `transport` distinguishes retryable
+  /// failures (ParkClient::last_error_was_transport).
+  template <typename Fn>
+  Status Route(const std::string& park_id, Fn&& fn);
+
+  /// Connects lazily (first use / after close) and runs one attempt.
+  template <typename Fn>
+  Status Attempt(int endpoint_index, Fn&& fn, bool* transport);
+
+  void MarkUnhealthy(int endpoint_index);
+  void ProbeLoop();
+
+  FleetMap map_;
+  FleetRouterOptions options_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+
+  mutable std::mutex probe_mu_;
+  std::condition_variable probe_cv_;
+  bool stop_ = false;
+  uint64_t probe_jitter_state_ = 0;
+  std::thread probe_thread_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> transport_errors_{0};
+  std::atomic<uint64_t> exhausted_{0};
+  std::atomic<uint64_t> probe_recoveries_{0};
+  std::vector<std::atomic<uint64_t>> per_endpoint_requests_;
+};
+
+}  // namespace paws
+
+#endif  // PAWS_FLEET_FLEET_ROUTER_H_

@@ -51,10 +51,40 @@ Status SetNonBlocking(int fd, bool non_blocking) {
   return Status::OK();
 }
 
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
+int JitteredBackoffMs(int base_ms, double jitter_pct, double unit_uniform) {
+  if (base_ms <= 0 || jitter_pct <= 0.0) return base_ms < 0 ? 0 : base_ms;
+  const double factor = 1.0 - jitter_pct + 2.0 * jitter_pct * unit_uniform;
+  const double jittered = static_cast<double>(base_ms) * factor;
+  return jittered < 0.0 ? 0 : static_cast<int>(jittered);
+}
+
 WireClient::WireClient(ClientOptions options)
-    : options_(std::move(options)), parser_(options_.max_frame_bytes) {}
+    : options_(std::move(options)), parser_(options_.max_frame_bytes) {
+  jitter_state_ = options_.backoff_jitter_seed;
+  if (jitter_state_ == 0) {
+    // Distinct per client even when many are constructed the same
+    // nanosecond — the whole point is that a fleet of routers must not
+    // share one retry schedule.
+    jitter_state_ =
+        static_cast<uint64_t>(
+            Clock::now().time_since_epoch().count()) ^
+        (static_cast<uint64_t>(reinterpret_cast<uintptr_t>(this)) << 1);
+  }
+}
+
+double WireClient::NextJitterUniform() {
+  return static_cast<double>(SplitMix64(&jitter_state_) >> 11) *
+         (1.0 / 9007199254740992.0);  // 53-bit mantissa / 2^53
+}
 
 WireClient::~WireClient() { Close(); }
 
@@ -89,7 +119,9 @@ Status WireClient::EnsureConnected() {
                      : options_.max_connect_attempts;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          JitteredBackoffMs(backoff_ms, options_.backoff_jitter_pct,
+                            NextJitterUniform())));
       backoff_ms *= 2;
     }
     last = ConnectOnce();
@@ -282,8 +314,12 @@ Status ParkClient::Connect(const std::string& host, int port) {
 }
 
 StatusOr<std::string> ParkClient::CallOk(Opcode opcode, std::string payload) {
-  PAWS_ASSIGN_OR_RETURN(Frame response,
-                        client_.Call(opcode, std::move(payload)));
+  // Until a well-formed status frame arrives, every failure mode here is
+  // the transport's fault: broken connection, timeout, protocol garbage.
+  last_error_transport_ = true;
+  StatusOr<Frame> called = client_.Call(opcode, std::move(payload));
+  if (!called.ok()) return called.status();
+  Frame& response = *called;
   if (response.opcode == static_cast<uint32_t>(Opcode::kStatusResponse)) {
     Status carried;
     PAWS_RETURN_IF_ERROR(DecodeStatusPayload(response.payload, &carried));
@@ -291,12 +327,16 @@ StatusOr<std::string> ParkClient::CallOk(Opcode opcode, std::string payload) {
       return StatusOr<std::string>(
           Status::Internal("server sent a status frame carrying OK"));
     }
+    // A decoded status frame is the server *answering* — the one
+    // non-transport failure shape (FleetRouter must not fail over on it).
+    last_error_transport_ = false;
     return StatusOr<std::string>(carried);
   }
   if (response.opcode != static_cast<uint32_t>(Opcode::kOkResponse)) {
     return StatusOr<std::string>(Status::Internal(
         "unexpected response opcode " + OpcodeName(response.opcode)));
   }
+  last_error_transport_ = false;
   return std::move(response.payload);
 }
 
@@ -308,7 +348,7 @@ StatusOr<RiskMaps> ParkClient::RiskMap(const std::string& park_id,
   PAWS_ASSIGN_OR_RETURN(
       std::string payload,
       CallOk(Opcode::kRiskMap, EncodeRiskMapRequest(request)));
-  return DecodeRiskMapsPayload(payload);
+  return TagDecode(DecodeRiskMapsPayload(payload));
 }
 
 StatusOr<std::vector<StatusOr<RiskMaps>>> ParkClient::RiskMapBatch(
@@ -318,7 +358,7 @@ StatusOr<std::vector<StatusOr<RiskMaps>>> ParkClient::RiskMapBatch(
   PAWS_ASSIGN_OR_RETURN(
       std::string payload,
       CallOk(Opcode::kRiskMapBatch, EncodeRiskMapBatchRequest(request)));
-  return DecodeRiskMapBatchPayload(payload);
+  return TagDecode(DecodeRiskMapBatchPayload(payload));
 }
 
 StatusOr<EffortCurveTable> ParkClient::CellCurves(
@@ -331,7 +371,7 @@ StatusOr<EffortCurveTable> ParkClient::CellCurves(
   PAWS_ASSIGN_OR_RETURN(
       std::string payload,
       CallOk(Opcode::kCellCurves, EncodeCellCurvesRequest(request)));
-  return DecodeEffortCurveTablePayload(payload);
+  return TagDecode(DecodeEffortCurveTablePayload(payload));
 }
 
 StatusOr<PatrolPlan> ParkClient::PlanForPost(const std::string& park_id,
@@ -346,7 +386,7 @@ StatusOr<PatrolPlan> ParkClient::PlanForPost(const std::string& park_id,
   PAWS_ASSIGN_OR_RETURN(
       std::string payload,
       CallOk(Opcode::kPlanForPost, EncodePlanForPostRequest(request)));
-  return DecodePatrolPlanPayload(payload);
+  return TagDecode(DecodePatrolPlanPayload(payload));
 }
 
 Status ParkClient::SwapSnapshot(const std::string& park_id,
@@ -366,7 +406,7 @@ StatusOr<ServerStatsReport> ParkClient::Stats(const std::string& park_id) {
   request.park_id = park_id;
   PAWS_ASSIGN_OR_RETURN(std::string payload,
                         CallOk(Opcode::kStats, EncodeStatsRequest(request)));
-  return DecodeStatsReportPayload(payload);
+  return TagDecode(DecodeStatsReportPayload(payload));
 }
 
 }  // namespace paws

@@ -22,8 +22,24 @@ struct ClientOptions {
   int max_connect_attempts = 3;
   /// Backoff before the second attempt; doubles per retry.
   int backoff_initial_ms = 50;
+  /// Each backoff sleep is scaled by a uniform factor in
+  /// [1 - jitter, 1 + jitter]. Without jitter every client of a restarted
+  /// shard computes the identical retry schedule and reconnects in
+  /// lockstep — a synchronized reconnect storm; ±20% spreads one FleetRouter
+  /// fleet's retries across a 40% window (see JitteredBackoffMs).
+  double backoff_jitter_pct = 0.2;
+  /// Jitter stream seed; 0 (default) derives a per-client seed from the
+  /// clock and the client's address, so concurrently constructed clients
+  /// jitter independently. Tests pin it for reproducible schedules.
+  uint64_t backoff_jitter_seed = 0;
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
 };
+
+/// The jittered backoff sleep: `base_ms` scaled by
+/// (1 - jitter_pct) + 2 * jitter_pct * unit_uniform, clamped to >= 0, where
+/// `unit_uniform` is in [0, 1). Pure so the ±jitter bound is directly
+/// unit-testable (tests/fleet_router_test.cc).
+int JitteredBackoffMs(int base_ms, double jitter_pct, double unit_uniform);
 
 /// Blocking single-connection wire client: connect, send a request frame,
 /// wait for the matching response. Reconnects with exponential backoff
@@ -55,12 +71,15 @@ class WireClient {
   Status ConnectOnce();
   /// Sends all of `bytes` before `deadline_ms` elapses.
   Status SendAll(const std::string& bytes, int deadline_ms);
+  /// Uniform in [0, 1) from the jitter stream (splitmix64).
+  double NextJitterUniform();
 
   ClientOptions options_;
   std::string host_;
   int port_ = -1;
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
+  uint64_t jitter_state_ = 0;
   FrameParser parser_;
 };
 
@@ -68,6 +87,15 @@ class WireClient {
 /// a socket. Every method is bit-transparent — the decoded artifact
 /// equals the server's in-process result exactly (doubles travel as
 /// IEEE-754 bit patterns), enforced by tests/park_server_test.cc.
+///
+/// Error provenance: after a failed call, `last_error_was_transport()`
+/// reports whether the failure was the *transport* (broken connection,
+/// timeout, malformed response) or an *application status frame* the
+/// server deliberately sent (NotFound, InvalidArgument, ...). Replica
+/// failover keys on this — a transport error means the endpoint is
+/// suspect and the request is safely retryable elsewhere; an application
+/// status is an answer, and retrying it against another replica would
+/// only duplicate the same error (FleetRouter's contract).
 class ParkClient {
  public:
   explicit ParkClient(ClientOptions options = {});
@@ -95,13 +123,27 @@ class ParkClient {
   /// every registered park).
   StatusOr<ServerStatsReport> Stats(const std::string& park_id = "");
 
+  /// True iff the most recent failed method call failed at the transport
+  /// layer (see class comment). Meaningful only immediately after a
+  /// non-OK return; reset by every call.
+  bool last_error_was_transport() const { return last_error_transport_; }
+
  private:
   /// Sends the request and unwraps the protocol envelope: a
   /// kStatusResponse becomes its carried Status, a kOkResponse yields the
-  /// result payload.
+  /// result payload. Sets last_error_transport_.
   StatusOr<std::string> CallOk(Opcode opcode, std::string payload);
+  /// Marks a post-envelope result-decode failure as transport-grade: a
+  /// kOkResponse whose archive payload does not decode means the endpoint
+  /// is serving corrupt bytes, not answering the request.
+  template <typename T>
+  StatusOr<T> TagDecode(StatusOr<T> decoded) {
+    if (!decoded.ok()) last_error_transport_ = true;
+    return decoded;
+  }
 
   WireClient client_;
+  bool last_error_transport_ = false;
 };
 
 }  // namespace paws
