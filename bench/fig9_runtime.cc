@@ -7,6 +7,11 @@
 // vs the reference virtual-dispatch path on a DTB ensemble, thread scaling
 // (1 thread vs the hardware default), and snapshot save/load economics.
 //
+// Also rooflines the two compiled serving backends: SIMD forest traversal
+// per dispatch tier vs forest size (`--forest-cells N` scales the serving
+// batch) and the compiled-GP kernel-block sweep vs inducing-point count
+// (`--kernel-size K` pins one kernel size).
+//
 // `--smoke` runs a tiny-grid version of every report and skips the
 // google-benchmark sweep — CI uses it to catch benchmark bit-rot.
 // `--json <path>` additionally emits every reported number as a
@@ -18,14 +23,20 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "core/iware.h"
 #include "core/pipeline.h"
+#include "ml/compiled_forest.h"
+#include "ml/compiled_gp.h"
 #include "serve/park_service.h"
+#include "util/cpu_features.h"
 #include "util/csv.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -33,6 +44,10 @@ using namespace paws;
 
 // Shrinks fixtures so the whole binary finishes in CI-smoke time.
 bool g_smoke = false;
+// Roofline overrides: serving-batch rows for the SIMD traversal sweep and
+// a pinned inducing-point count for the compiled-GP sweep (0 = defaults).
+int g_forest_cells = 0;
+int g_kernel_size = 0;
 
 using Clock = std::chrono::steady_clock;
 
@@ -500,6 +515,332 @@ void ReportCompiledForest(JsonWriter* json) {
   }
 }
 
+// Synthetic training/serving data for the backend rooflines: the park
+// fixtures peak at a handful of features, but the SIMD and kernel-block
+// sweeps need feature width and row count to scale independently of any
+// scenario grid. A mildly nonlinear label keeps the trees honest.
+Dataset MakeSyntheticData(int rows, int features, int seed) {
+  Rng rng(seed);
+  Dataset data(features);
+  std::vector<double> x(features);
+  for (int i = 0; i < rows; ++i) {
+    double score = 0.0;
+    for (int f = 0; f < features; ++f) {
+      x[f] = rng.Uniform(-1.0, 1.0);
+      score += (f % 3 == 0 ? 0.8 : -0.35) * x[f];
+    }
+    score += x[0] * x[1 % features];
+    const int y = score + rng.Uniform(-1.0, 1.0) > 0.0 ? 1 : 0;
+    data.AddRow(x, y, rng.Uniform(0.0, 4.0) + 0.01);
+  }
+  return data;
+}
+
+// Saves PAWS_FORCE_BACKEND on entry and restores it on exit, so the tier
+// sweep can pin tiers without leaking the override into later reports.
+class ScopedBackendEnv {
+ public:
+  ScopedBackendEnv() {
+    const char* old = std::getenv("PAWS_FORCE_BACKEND");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+  }
+  ~ScopedBackendEnv() {
+    if (had_old_) {
+      setenv("PAWS_FORCE_BACKEND", old_.c_str(), /*overwrite=*/1);
+    } else {
+      unsetenv("PAWS_FORCE_BACKEND");
+    }
+  }
+  ScopedBackendEnv(const ScopedBackendEnv&) = delete;
+  ScopedBackendEnv& operator=(const ScopedBackendEnv&) = delete;
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+// Pins the dispatch tier and re-selects the backend: ActiveSimdTier reads
+// the environment at selection time, so setenv + set_compiled_serving(true)
+// is the entire switch (what an operator does to a daemon, minus exec).
+void PinTier(IWareEnsemble* model, SimdTier tier) {
+  setenv("PAWS_FORCE_BACKEND", SimdTierName(tier), /*overwrite=*/1);
+  model->set_compiled_serving(true);
+}
+
+bool PredictionsIdentical(const std::vector<Prediction>& a,
+                          const std::vector<Prediction>& b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end(),
+                    [](const Prediction& x, const Prediction& y) {
+                      return x.prob == y.prob && x.variance == y.variance;
+                    });
+}
+
+// SIMD forest-traversal roofline: synthetic DTB ensembles of growing
+// forest size, served through every dispatch tier this host can execute
+// (PAWS_FORCE_BACKEND pins each in turn) next to the reference path.
+// Growing the node pool pushes the walk out of L1/L2 — exactly where the
+// gathered tiers pull ahead of the 4-lane scalar ILP walk — so the
+// per-tier ns/cell table is the roofline. The headline `risk_map` block
+// (largest forest, strongest tier) is what bench_trend_check tracks, and
+// the printed speedup-vs-forced-scalar is the acceptance number.
+void ReportSimdTraversal(JsonWriter* json) {
+  ScopedBackendEnv restore_env;
+  const int kFeatures = 16;
+  const Dataset train = MakeSyntheticData(g_smoke ? 2000 : 4000, kFeatures, 67);
+  const int cells =
+      g_forest_cells > 0 ? g_forest_cells : (g_smoke ? 8192 : 24576);
+  const Dataset serve = MakeSyntheticData(cells, kFeatures, 68);
+  const FeatureMatrixView view = serve.FeaturesView();
+  const SimdTier detected = DetectSimdTier();
+  std::vector<SimdTier> tiers{SimdTier::kScalar};
+  if (static_cast<int>(detected) >= static_cast<int>(SimdTier::kAvx2)) {
+    tiers.push_back(SimdTier::kAvx2);
+  }
+  if (static_cast<int>(detected) >= static_cast<int>(SimdTier::kAvx512)) {
+    tiers.push_back(SimdTier::kAvx512);
+  }
+  // The headline (last) entry is sized so the node pool spills well past
+  // L2: the scalar walk eats the miss latency serially while the gathered
+  // tiers keep 4-8 rows' misses in flight, which is exactly the regime the
+  // dispatch tiers exist for.
+  const std::vector<int> estimator_sweep =
+      g_smoke ? std::vector<int>{4, 24} : std::vector<int>{4, 8, 24};
+
+  std::printf("=== SIMD forest traversal: dispatch-tier roofline ===\n");
+  std::printf("detected tier %s; %d serving rows x %d features\n",
+              SimdTierName(detected), cells, kFeatures);
+  if (json != nullptr) {
+    json->Begin("simd_traversal");
+    json->Add("detected_tier", SimdTierName(detected));
+    json->Add("features", kFeatures);
+    json->Add("cells", cells);
+    json->Begin("roofline");
+  }
+
+  // Headline numbers come from the largest forest (the last sweep entry).
+  double best_ns = 0.0, scalar_ns = 0.0, reference_ns = 0.0;
+  double headline_pool_kib = 0.0;
+  int headline_trees = 0;
+  bool headline_identical = false;
+  for (const int estimators : estimator_sweep) {
+    IWareConfig cfg;
+    cfg.weak_learner = WeakLearnerKind::kDecisionTreeBagging;
+    cfg.num_thresholds = 6;
+    cfg.cv_folds = 2;
+    cfg.bagging.num_estimators = estimators;
+    cfg.tree.max_depth = 10;
+    cfg.tree.min_samples_leaf = 4;
+    cfg.tree.max_features = 5;
+    IWareEnsemble model(cfg);
+    Rng rng(101 + estimators);
+    CheckOrDie(model.Fit(train, &rng).ok(), "fig9: SIMD sweep fit failed");
+    model.set_parallelism(ParallelismConfig::Serial());
+    const int trees = model.num_learners() * estimators;
+    const auto* forest =
+        dynamic_cast<const CompiledForest*>(&model.scoring_backend());
+    CheckOrDie(forest != nullptr, "fig9: SIMD sweep should compile a forest");
+    const double pool_kib =
+        forest->num_nodes() * sizeof(CompiledForest::Node) / 1024.0;
+
+    // Per-call work grows with cells*trees; aim each rep at a roughly
+    // constant node-step budget so small forests still get a stable window.
+    const int reps = g_smoke ? 3 : 5;
+    const long long steps = 1LL * cells * trees * cfg.tree.max_depth;
+    const int iters =
+        std::max(1, static_cast<int>(60000000 / std::max(1LL, steps)));
+
+    model.set_compiled_serving(false);
+    std::vector<Prediction> reference;
+    const double ref_ms = MinMs(reps, [&] {
+                            for (int k = 0; k < iters; ++k) {
+                              model.PredictBatch(view, 2.0, &reference);
+                            }
+                          }) /
+                          iters;
+    std::vector<double> tier_ms(tiers.size(), 0.0);
+    bool identical = true;
+    for (size_t ti = 0; ti < tiers.size(); ++ti) {
+      PinTier(&model, tiers[ti]);
+      std::vector<Prediction> preds;
+      tier_ms[ti] = MinMs(reps, [&] {
+                      for (int k = 0; k < iters; ++k) {
+                        model.PredictBatch(view, 2.0, &preds);
+                      }
+                    }) /
+                    iters;
+      identical = identical && PredictionsIdentical(preds, reference);
+    }
+
+    std::printf("trees=%3d pool %7.1f KiB: reference %6.0f ns/cell",
+                trees, pool_kib, ref_ms * 1e6 / cells);
+    if (json != nullptr) {
+      json->Begin("trees_" + std::to_string(trees));
+      json->Add("trees", trees);
+      json->Add("node_pool_kib", pool_kib);
+      json->Add("reference_ns_per_cell", ref_ms * 1e6 / cells);
+    }
+    for (size_t ti = 0; ti < tiers.size(); ++ti) {
+      std::printf(", %s %6.0f ns/cell", SimdTierName(tiers[ti]),
+                  tier_ms[ti] * 1e6 / cells);
+      if (json != nullptr) {
+        json->Add(std::string(SimdTierName(tiers[ti])) + "_ns_per_cell",
+                  tier_ms[ti] * 1e6 / cells);
+      }
+    }
+    std::printf(" (outputs %s)\n", identical ? "bit-identical" : "DIFFER");
+    if (json != nullptr) {
+      json->Add("bit_identical", identical);
+      json->End();
+    }
+
+    best_ns = tier_ms.back() * 1e6 / cells;
+    scalar_ns = tier_ms.front() * 1e6 / cells;
+    reference_ns = ref_ms * 1e6 / cells;
+    headline_pool_kib = pool_kib;
+    headline_trees = trees;
+    headline_identical = identical;
+  }
+
+  const double speedup_vs_scalar = best_ns > 0 ? scalar_ns / best_ns : 0.0;
+  const double speedup_vs_reference =
+      best_ns > 0 ? reference_ns / best_ns : 0.0;
+  std::printf(
+      "largest forest (%d trees, %.1f KiB pool): %s tier %.2fx vs forced "
+      "scalar (target >= 1.5x on gathered tiers), %.2fx vs reference\n\n",
+      headline_trees, headline_pool_kib, SimdTierName(tiers.back()),
+      speedup_vs_scalar, speedup_vs_reference);
+  if (json != nullptr) {
+    json->End();  // roofline
+    json->Begin("risk_map");
+    json->Add("cells", cells);
+    json->Add("trees", headline_trees);
+    json->Add("node_pool_kib", headline_pool_kib);
+    json->Add("tier", SimdTierName(tiers.back()));
+    json->Add("ns_per_cell", best_ns);
+    json->Add("scalar_ns_per_cell", scalar_ns);
+    json->Add("reference_ns_per_cell", reference_ns);
+    json->Add("speedup_vs_scalar", speedup_vs_scalar);
+    json->Add("speedup_vs_reference", speedup_vs_reference);
+    json->Add("bit_identical", headline_identical);
+    json->End();
+    json->End();  // simd_traversal
+  }
+}
+
+// Compiled-GP kernel-block roofline: a wide-feature GPB ensemble served
+// through CompiledGpEnsemble vs the reference virtual-dispatch path, over
+// growing inducing-point counts. The reference GP batch is already
+// chunked, so the compiled win is the fused kernel block — squared
+// distances lane across serving columns through a transposed block instead
+// of one non-inlined kernel Eval call (a serial feature-order reduction)
+// per (inducing point, cell) — plus thread-local scratch reuse across
+// calls. Wide features deepen each Eval's serial reduction, which is why
+// this fixture is 48-dimensional. The headline `risk_map` block (largest
+// kernel) is what bench_trend_check tracks; the printed speedup is the
+// acceptance number.
+void ReportCompiledGp(JsonWriter* json) {
+  const int kFeatures = 48;
+  const Dataset train = MakeSyntheticData(g_smoke ? 360 : 520, kFeatures, 77);
+  const int cells = g_smoke ? 1024 : 2048;
+  const Dataset serve = MakeSyntheticData(cells, kFeatures, 78);
+  const FeatureMatrixView view = serve.FeaturesView();
+  const std::vector<int> kernel_sweep =
+      g_kernel_size > 0 ? std::vector<int>{g_kernel_size}
+      : g_smoke         ? std::vector<int>{48, 96}
+                        : std::vector<int>{32, 64, 96};
+
+  std::printf("=== Compiled GP kernel block vs reference, 1 thread ===\n");
+  std::printf("%d serving rows x %d features\n", cells, kFeatures);
+  if (json != nullptr) {
+    json->Begin("compiled_gp");
+    json->Add("features", kFeatures);
+    json->Add("cells", cells);
+    json->Begin("roofline");
+  }
+
+  double compiled_ns = 0.0, reference_ns = 0.0;
+  int headline_inducing = 0, headline_members = 0;
+  bool headline_identical = false;
+  for (const int kernel_size : kernel_sweep) {
+    IWareConfig cfg;
+    cfg.weak_learner = WeakLearnerKind::kGaussianProcessBagging;
+    cfg.num_thresholds = 3;
+    cfg.cv_folds = 2;
+    cfg.bagging.num_estimators = 3;
+    cfg.gp.max_points = kernel_size;
+    IWareEnsemble model(cfg);
+    Rng rng(201 + kernel_size);
+    CheckOrDie(model.Fit(train, &rng).ok(), "fig9: GP sweep fit failed");
+    model.set_parallelism(ParallelismConfig::Serial());
+    const auto* gp =
+        dynamic_cast<const CompiledGpEnsemble*>(&model.scoring_backend());
+    CheckOrDie(gp != nullptr, "fig9: GPB sweep should compile to compiled-gp");
+    // Capture sizes now: the set_compiled_serving toggle below rebuilds the
+    // backend, so `gp` dangles once the reference timing starts.
+    const int inducing = gp->max_inducing_points();
+    const int members = gp->num_members();
+
+    // Even min-of-N is vulnerable to sustained interference on 1-core CI
+    // runners, and this section's headline is trend-checked — take a few
+    // extra reps rather than risk a phantom regression.
+    const int reps = g_smoke ? 5 : 7;
+    std::vector<Prediction> compiled_preds, reference_preds;
+    const double compiled_ms = MinMs(
+        reps, [&] { model.PredictBatch(view, 2.0, &compiled_preds); });
+    model.set_compiled_serving(false);
+    const double reference_ms = MinMs(
+        reps, [&] { model.PredictBatch(view, 2.0, &reference_preds); });
+    model.set_compiled_serving(true);
+    const bool identical =
+        PredictionsIdentical(compiled_preds, reference_preds);
+    const double speedup =
+        compiled_ms > 0 ? reference_ms / compiled_ms : 0.0;
+
+    std::printf(
+        "kernel m=%3d (%d members): reference %7.2f ms (%6.0f ns/cell), "
+        "compiled %6.2f ms (%6.0f ns/cell) -> %.2fx (outputs %s)\n",
+        inducing, members, reference_ms, reference_ms * 1e6 / cells,
+        compiled_ms, compiled_ms * 1e6 / cells, speedup,
+        identical ? "bit-identical" : "DIFFER");
+    if (json != nullptr) {
+      json->Begin("kernel_" + std::to_string(kernel_size));
+      json->Add("inducing_points", inducing);
+      json->Add("members", members);
+      json->Add("reference_ns_per_cell", reference_ms * 1e6 / cells);
+      json->Add("compiled_ns_per_cell", compiled_ms * 1e6 / cells);
+      json->Add("speedup", speedup);
+      json->Add("bit_identical", identical);
+      json->End();
+    }
+
+    compiled_ns = compiled_ms * 1e6 / cells;
+    reference_ns = reference_ms * 1e6 / cells;
+    headline_inducing = inducing;
+    headline_members = members;
+    headline_identical = identical;
+  }
+
+  const double speedup = compiled_ns > 0 ? reference_ns / compiled_ns : 0.0;
+  std::printf(
+      "largest kernel (m=%d): compiled GP %.2fx vs reference "
+      "(target >= 3x)\n\n",
+      headline_inducing, speedup);
+  if (json != nullptr) {
+    json->End();  // roofline
+    json->Begin("risk_map");
+    json->Add("cells", cells);
+    json->Add("inducing_points", headline_inducing);
+    json->Add("members", headline_members);
+    json->Add("ns_per_cell", compiled_ns);
+    json->Add("reference_ns_per_cell", reference_ns);
+    json->Add("speedup", speedup);
+    json->Add("bit_identical", headline_identical);
+    json->End();
+    json->End();  // compiled_gp
+  }
+}
+
 // Thread scaling: identical training / tabulation work pinned to 1 thread
 // vs the hardware default. Outputs are bit-identical by design, so the
 // report also cross-checks that while it measures wall time.
@@ -751,6 +1092,9 @@ void ReportParkService(JsonWriter* json) {
 
 int main(int argc, char** argv) {
   std::string json_path;
+  const char* usage =
+      "usage: %s [--smoke] [--json PATH] [--forest-cells N] "
+      "[--kernel-size K]\n";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       g_smoke = true;
@@ -759,10 +1103,22 @@ int main(int argc, char** argv) {
       --i;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "usage: %s [--smoke] [--json PATH]\n", argv[0]);
+        std::fprintf(stderr, usage, argv[0]);
         return 2;
       }
       json_path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      --i;
+    } else if (std::strcmp(argv[i], "--forest-cells") == 0 ||
+               std::strcmp(argv[i], "--kernel-size") == 0) {
+      if (i + 1 >= argc || std::atoi(argv[i + 1]) <= 0) {
+        std::fprintf(stderr, usage, argv[0]);
+        return 2;
+      }
+      (std::strcmp(argv[i], "--forest-cells") == 0 ? g_forest_cells
+                                                   : g_kernel_size) =
+          std::atoi(argv[i + 1]);
       for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
       argc -= 2;
       --i;
@@ -777,11 +1133,14 @@ int main(int argc, char** argv) {
   }
 
   // Hot-path speedup report (risk maps + effort-curve tables), the
-  // compiled-forest serving layer on a DTB ensemble, thread scaling for
-  // the two training/serving loops the pool accelerates, snapshot
+  // compiled-forest serving layer on a DTB ensemble, the SIMD
+  // dispatch-tier and compiled-GP kernel-block rooflines, thread scaling
+  // for the two training/serving loops the pool accelerates, snapshot
   // save/load economics, and multi-park ParkService throughput.
+  ReportCompiledGp(jp);
   ReportBatchSpeedups(GetFixture(ParkPreset::kMfnp), jp);
   ReportCompiledForest(jp);
+  ReportSimdTraversal(jp);
   ReportThreadScaling(GetFixture(ParkPreset::kMfnp), jp);
   ReportSnapshotRoundtrip(GetFixture(ParkPreset::kMfnp), jp);
   ReportParkService(jp);

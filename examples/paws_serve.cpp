@@ -3,9 +3,13 @@
 // process a ranger station (or the CI load test) actually talks to.
 //
 //   example_paws_serve [--smoke] [--parks N] [--port P] [--port-file PATH]
-//                      [--max-seconds S]
+//                      [--max-seconds S] [--stats]
 //
 //   --smoke        tiny parks, fast training (CI)
+//   --stats        print the SIMD dispatch report — detected/active tier
+//                  and each park's scoring backend — then exit without
+//                  serving (what PAWS_FORCE_BACKEND would give you here;
+//                  remote peers read the same names via the Stats opcode)
 //   --parks N      fleet size (default 2), ids park-0..park-(N-1);
 //                  0 starts empty — parks arrive over the wire via
 //                  SwapSnapshot upserts (fleet bootstrap, see
@@ -31,6 +35,7 @@
 #include "core/pipeline.h"
 #include "serve/park_server.h"
 #include "util/archive.h"
+#include "util/cpu_features.h"
 
 namespace {
 
@@ -70,6 +75,7 @@ std::string TrainParkSnapshot(int slot, bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool stats_only = false;
   int num_parks = 2;
   int port = 0;
   int max_seconds = 0;
@@ -77,6 +83,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats_only = true;
     } else if (std::strcmp(argv[i], "--parks") == 0 && i + 1 < argc) {
       num_parks = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -88,7 +96,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--parks N] [--port P] "
-                   "[--port-file PATH] [--max-seconds S]\n",
+                   "[--port-file PATH] [--max-seconds S] [--stats]\n",
                    argv[0]);
       return 2;
     }
@@ -111,6 +119,20 @@ int main(int argc, char** argv) {
     CheckOrDie(
         service.Register(id, std::move(snapshot).value()).ok(),
         "paws_serve: register failed");
+  }
+
+  if (stats_only) {
+    // The dispatch report: what this host can run, what the environment
+    // override resolved to, and the backend each registered park's model
+    // actually selected — the same names the wire Stats opcode reports.
+    std::printf("simd: detected=%s active=%s\n",
+                SimdTierName(DetectSimdTier()), SimdTierName(ActiveSimdTier()));
+    for (const std::string& id : service.park_ids()) {
+      auto backend = service.ScoringBackendName(id);
+      std::printf("park %s: scoring_backend=%s\n", id.c_str(),
+                  backend.ok() ? backend.value().c_str() : "unknown");
+    }
+    return 0;
   }
 
   ParkServer server(&service);

@@ -11,6 +11,11 @@ Two checks, both stdlib-only:
    `enum class StatusCode` (src/util/status.h) must appear in it by
    exact name (e.g. `kRiskMap`, `kNotFound`). Adding an opcode or a
    status code without documenting it fails CI.
+3. Backend drift guard: docs/ARCHITECTURE.md documents the scoring
+   backends and their SIMD dispatch tiers, so every name in
+   `kScoringBackendNames` (src/ml/scoring_backend.h) must appear in it
+   verbatim (e.g. `compiled-dtb-avx512`). Adding a backend or a
+   dispatch tier without documenting it fails CI.
 
 Exit status: 0 if everything checks out, 1 otherwise (each problem is
 printed on its own line).
@@ -93,8 +98,40 @@ def check_wire_doc():
     return problems
 
 
+def scoring_backend_names():
+    """Return the string literals of kScoringBackendNames."""
+    header = "src/ml/scoring_backend.h"
+    text = (REPO / header).read_text(encoding="utf-8")
+    match = re.search(
+        r"kScoringBackendNames\[\]\s*=\s*\{(.*?)\}", text, flags=re.DOTALL
+    )
+    if match is None:
+        raise SystemExit(f"error: kScoringBackendNames not found in {header}")
+    names = re.findall(r'"([^"]+)"', match.group(1))
+    if not names:
+        raise SystemExit("error: no names parsed from kScoringBackendNames")
+    return names
+
+
+def check_backend_doc():
+    problems = []
+    doc_path = REPO / "docs" / "ARCHITECTURE.md"
+    if not doc_path.is_file():
+        return ["docs/ARCHITECTURE.md is missing"]
+    doc = doc_path.read_text(encoding="utf-8")
+    for name in scoring_backend_names():
+        # Require the exact backend string; `compiled-dtb` alone must not
+        # satisfy `compiled-dtb-avx512`, so match with word-ish boundaries.
+        if re.search(r"(?<![\w-])" + re.escape(name) + r"(?![\w-])", doc) is None:
+            problems.append(
+                f"docs/ARCHITECTURE.md: scoring backend `{name}` "
+                f"(src/ml/scoring_backend.h) is undocumented"
+            )
+    return problems
+
+
 def main():
-    problems = check_links() + check_wire_doc()
+    problems = check_links() + check_wire_doc() + check_backend_doc()
     for p in problems:
         print(p)
     if problems:
@@ -102,7 +139,8 @@ def main():
         return 1
     n_files = len(markdown_files())
     print(f"docs OK: {n_files} markdown files, links resolve, "
-          f"WIRE_PROTOCOL.md covers every opcode and status code.")
+          f"WIRE_PROTOCOL.md covers every opcode and status code, "
+          f"ARCHITECTURE.md covers every scoring backend.")
     return 0
 
 

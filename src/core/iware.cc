@@ -131,8 +131,10 @@ bool IWareEnsemble::has_compiled_backend() const {
 }
 
 bool IWareEnsemble::has_compiled_forest() const {
+  // Prefix match: the compiled forest reports its SIMD dispatch tier as a
+  // name suffix ("compiled-dtb-avx2" etc.).
   return backend_ != nullptr &&
-         std::strcmp(backend_->name(), "compiled-dtb") == 0;
+         std::strncmp(backend_->name(), "compiled-dtb", 12) == 0;
 }
 
 void IWareEnsemble::set_compiled_serving(bool enabled) {

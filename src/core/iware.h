@@ -138,10 +138,13 @@ class IWareEnsemble {
 
   /// The ScoringBackend every serving call dispatches through — selected
   /// per ensemble when the learner set changes (Fit / Load /
-  /// set_compiled_serving): "compiled-dtb" (flat SoA forest) for bagged
-  /// trees, "compiled-svb" (flat weight-matrix GEMV) for bagged linear
-  /// SVMs, "reference" (virtual dispatch) otherwise. All backends are
-  /// bit-identical; only wall time differs.
+  /// set_compiled_serving): "compiled-dtb[-avx2|-avx512]" (flat SoA
+  /// forest at the active SIMD dispatch tier; see util/cpu_features.h
+  /// and the PAWS_FORCE_BACKEND override) for bagged trees,
+  /// "compiled-svb" (flat weight-matrix GEMV) for bagged linear SVMs,
+  /// "compiled-gp" (fused kernel-block sweep) for bagged Gaussian
+  /// processes, "reference" (virtual dispatch) otherwise. All backends
+  /// are bit-identical; only wall time differs.
   const ScoringBackend& scoring_backend() const {
     CheckOrDie(backend_ != nullptr, "IWareEnsemble: backend before Fit");
     return *backend_;
@@ -152,9 +155,10 @@ class IWareEnsemble {
   }
   /// True when serving runs through a compiled (non-reference) backend.
   bool has_compiled_backend() const;
-  /// True when the selected backend is the flat compiled-DTB forest
-  /// (kept for DTB-specific benchmarks/tests; SVB compiles to
-  /// "compiled-svb" and also reports has_compiled_backend()).
+  /// True when the selected backend is the flat compiled-DTB forest at
+  /// any SIMD tier (kept for DTB-specific benchmarks/tests; SVB and GPB
+  /// compile to "compiled-svb"/"compiled-gp" and also report
+  /// has_compiled_backend()).
   bool has_compiled_forest() const;
 
   /// Re-selects the serving backend: false pins the reference path, true

@@ -1,10 +1,24 @@
 #include "ml/compiled_forest.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "ml/bagging.h"
+#include "ml/simd_traversal.h"
 
 namespace paws {
+
+// The gathered walks address node words as cursor * 2 (+1) over a flat
+// 64-bit array, so the packed layout is a wire-level contract of the SIMD
+// tiers, not an implementation detail.
+static_assert(sizeof(CompiledForest::Node) == 16,
+              "Node must pack to 16 bytes (two 64-bit gather words)");
+static_assert(offsetof(CompiledForest::Node, feature) == 0 &&
+                  offsetof(CompiledForest::Node, left) == 4 &&
+                  offsetof(CompiledForest::Node, value) == 8,
+              "Node word layout: feature|left then value");
+static_assert(alignof(CompiledForest::Node) == 8,
+              "Node alignment must divide the pool's 64-byte alignment");
 
 namespace {
 
@@ -141,8 +155,30 @@ std::unique_ptr<CompiledForest> CompiledForest::Compile(
     const std::vector<std::unique_ptr<Classifier>>& learners,
     const std::vector<double>& thresholds,
     const std::vector<double>& weights) {
+  return CompileWithTier(learners, thresholds, weights, ActiveSimdTier());
+}
+
+std::unique_ptr<CompiledForest> CompiledForest::CompileWithTier(
+    const std::vector<std::unique_ptr<Classifier>>& learners,
+    const std::vector<double>& thresholds, const std::vector<double>& weights,
+    SimdTier tier) {
   if (!ValidEnsembleShape(learners, thresholds, weights)) return nullptr;
   std::unique_ptr<CompiledForest> forest(new CompiledForest());
+  tier = std::min(tier, DetectSimdTier());
+  forest->simd_walk_ = internal::GetSimdWalker(tier);
+  if (forest->simd_walk_ == nullptr) tier = SimdTier::kScalar;
+  forest->tier_ = tier;
+  switch (tier) {
+    case SimdTier::kAvx2:
+      forest->name_ = "compiled-dtb-avx2";
+      break;
+    case SimdTier::kAvx512:
+      forest->name_ = "compiled-dtb-avx512";
+      break;
+    case SimdTier::kScalar:
+      forest->name_ = "compiled-dtb";
+      break;
+  }
   forest->thresholds_ = thresholds;
   forest->weights_ = weights;
   forest->learner_tree_begin_.push_back(0);
@@ -169,7 +205,14 @@ void CompiledForest::ScoreLearner(int learner, const double* rows, int stride,
   const int tree_begin = learner_tree_begin_[learner];
   const int tree_end = learner_tree_begin_[learner + 1];
   for (int t = tree_begin; t < tree_end; ++t) {
-    if (t == tree_begin) {
+    // Tier dispatch per tree walk: the gathered walkers accumulate each
+    // row's leaf value with exactly the scalar arithmetic (same NaN
+    // routing, same leaf parking, same add order per row), so every tier
+    // is bit-identical — only rows-in-flight differ.
+    if (simd_walk_ != nullptr) {
+      simd_walk_(nodes, tree_root_[t], tree_depth_[t], rows, stride, idx,
+                 count, sum, sum2, /*assign=*/t == tree_begin);
+    } else if (t == tree_begin) {
       WalkTree<true>(nodes, tree_root_[t], tree_depth_[t], rows, stride, idx,
                      count, sum, sum2);
     } else {

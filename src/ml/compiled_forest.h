@@ -9,6 +9,8 @@
 #include "ml/compiled_backend.h"
 #include "ml/decision_tree.h"
 #include "ml/effort_curve.h"
+#include "util/aligned.h"
+#include "util/cpu_features.h"
 #include "util/feature_matrix.h"
 #include "util/thread_pool.h"
 
@@ -44,13 +46,28 @@ class CompiledForest : public internal::CompiledBackendBase<CompiledForest> {
   /// `weights`). Returns nullptr — caller tries the next backend — unless
   /// every learner is a fitted BaggingClassifier whose members are all
   /// fitted DecisionTrees and the thresholds are strictly increasing (the
-  /// prefix-scan precondition).
+  /// prefix-scan precondition). The traversal dispatch tier is
+  /// ActiveSimdTier(): the strongest gathered walk this CPU executes,
+  /// clamped by the PAWS_FORCE_BACKEND override (scalar/avx2/avx512).
   static std::unique_ptr<CompiledForest> Compile(
       const std::vector<std::unique_ptr<Classifier>>& learners,
       const std::vector<double>& thresholds,
       const std::vector<double>& weights);
 
-  const char* name() const override { return "compiled-dtb"; }
+  /// Compile() pinned to one dispatch tier (still clamped to what this
+  /// build/CPU can execute) — benchmarks and the bit-identity tests use it
+  /// to compare tiers on one model.
+  static std::unique_ptr<CompiledForest> CompileWithTier(
+      const std::vector<std::unique_ptr<Classifier>>& learners,
+      const std::vector<double>& thresholds,
+      const std::vector<double>& weights, SimdTier tier);
+
+  /// "compiled-dtb" for the scalar tier, "compiled-dtb-avx2" /
+  /// "compiled-dtb-avx512" for the gathered walks — operators read the
+  /// suffix off `paws_serve --stats` to confirm what a daemon dispatches.
+  const char* name() const override { return name_; }
+
+  SimdTier simd_tier() const { return tier_; }
 
   /// One flattened tree node, packed to 16 bytes so a visit touches a
   /// single cache line. Internal node: `feature >= 0`, `value` is the
@@ -64,6 +81,11 @@ class CompiledForest : public internal::CompiledBackendBase<CompiledForest> {
 
   int num_trees() const { return static_cast<int>(tree_root_.size()); }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// Base of the flattened node pool — 64-byte aligned so gathered lane
+  /// groups and whole-line node quads never straddle cache lines (the
+  /// alignment regression test reads this).
+  const Node* node_pool() const { return nodes_.data(); }
 
  private:
   friend class internal::CompiledBackendBase<CompiledForest>;
@@ -89,17 +111,29 @@ class CompiledForest : public internal::CompiledBackendBase<CompiledForest> {
                "CompiledForest: feature rows too narrow");
   }
 
-  // One contiguous node pool for every tree. Each tree's nodes are laid
-  // out breadth-first from its root: the interleaved traversal advances
-  // all cursors one level at a time, so every in-flight load lands inside
-  // one contiguous (and for the top levels, tiny) span of the pool.
-  std::vector<Node> nodes_;
+  // One contiguous node pool for every tree, 64-byte aligned (four nodes
+  // per cache line, and a gather-friendly base for the SIMD tiers). Each
+  // tree's nodes are laid out breadth-first from its root: the interleaved
+  // traversal advances all cursors one level at a time, so every in-flight
+  // load lands inside one contiguous (and for the top levels, tiny) span
+  // of the pool.
+  std::vector<Node, AlignedAllocator<Node, 64>> nodes_;
   std::vector<int32_t> tree_root_;   // root node index per tree
   std::vector<int32_t> tree_depth_;  // traversal steps to reach any leaf
   // Trees of learner i: tree_root_[learner_tree_begin_[i] ..
   // learner_tree_begin_[i + 1]).
   std::vector<int32_t> learner_tree_begin_;  // size num_learners + 1
   std::vector<int32_t> learner_members_;     // bagging denominator B
+
+  // Resolved traversal dispatch: the tier, its reported backend name, and
+  // the gathered walker (nullptr on the scalar tier). Derived at Compile
+  // time, never serialized.
+  SimdTier tier_ = SimdTier::kScalar;
+  const char* name_ = "compiled-dtb";
+  void (*simd_walk_)(const Node* nodes, int root, int depth,
+                     const double* rows, int stride, const int* idx,
+                     int count, double* sum, double* sum2,
+                     bool assign) = nullptr;
 };
 
 }  // namespace paws

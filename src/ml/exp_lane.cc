@@ -1,0 +1,252 @@
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE  // dladdr
+#endif
+#include "ml/exp_lane.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+// The replay is glibc-shaped x86 code through and through: it needs the
+// AVX-512 gathers for the 2^(k/128) table and dladdr to find the libm
+// image that holds it. Everything else falls back to the scalar tail.
+#if defined(__x86_64__) && defined(__linux__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define PAWS_EXP_LANE_X86 1
+#include <dlfcn.h>
+#include <immintrin.h>
+
+#include <cstdio>
+#endif
+
+namespace paws {
+namespace internal {
+
+#if defined(PAWS_EXP_LANE_X86)
+
+namespace {
+
+// glibc's FMA exp constant block, in the exact layout the multiarch
+// build anchors its loads on (verified by disassembly): the polynomial
+// header is 8 contiguous doubles, the 2^(i/128) table follows at +0x70
+// interleaved as {tail_bits, scale_bits} pairs.
+struct ExpReplayData {
+  double invln2n;
+  double negln2hin;
+  double negln2lon;
+  double c2, c3, c4, c5;
+  double shift;
+  alignas(64) uint64_t tab[256];
+};
+constexpr size_t kTabFileOffset = 0x70;
+// Signature: invln2N = 128/ln2 (unique in libm) with Shift = 0x1.8p52 at
+// the header's last slot — distinguishes this layout from the generic
+// __exp_data, whose second field is the shift.
+constexpr uint64_t kInvLn2NBits = 0x40671547652B82FEull;
+constexpr uint64_t kShiftBits = 0x4338000000000000ull;
+
+ExpReplayData g_exp_data;
+
+bool LoadExpReplayData(ExpReplayData* out) {
+  void* sym = dlsym(RTLD_DEFAULT, "exp");
+  Dl_info info;
+  if (sym == nullptr || dladdr(sym, &info) == 0 || info.dli_fname == nullptr) {
+    return false;
+  }
+  std::FILE* f = std::fopen(info.dli_fname, "rb");
+  if (f == nullptr) return false;
+  std::vector<unsigned char> image;
+  unsigned char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    image.insert(image.end(), buf, buf + got);
+  }
+  std::fclose(f);
+  const size_t need = kTabFileOffset + sizeof(g_exp_data.tab);
+  if (image.size() < need) return false;
+  unsigned char sig[8], shift_sig[8];
+  std::memcpy(sig, &kInvLn2NBits, 8);
+  std::memcpy(shift_sig, &kShiftBits, 8);
+  for (size_t i = 0; i + need <= image.size(); ++i) {
+    if (std::memcmp(image.data() + i, sig, 8) != 0) continue;
+    if (std::memcmp(image.data() + i + 0x38, shift_sig, 8) != 0) continue;
+    std::memcpy(&out->invln2n, image.data() + i, 8 * sizeof(double));
+    std::memcpy(out->tab, image.data() + i + kTabFileOffset,
+                sizeof(out->tab));
+    return true;
+  }
+  return false;
+}
+
+// The scalar loop the replay must match bit-for-bit — kept noinline so the
+// verification baseline is compiled for the baseline ISA, exactly like
+// kernel_block.cc's scalar tail.
+__attribute__((noinline)) void KernelTailRef(double sv, double denom,
+                                             double* w, int n, int m) {
+  const size_t total = static_cast<size_t>(n) * m;
+  for (size_t j = 0; j < total; ++j) w[j] = sv * std::exp(-w[j] / denom);
+}
+
+__attribute__((target("avx512f"))) void KernelTailAvx512Exp(double sv,
+                                                            double denom,
+                                                            double* w, int n,
+                                                            int m) {
+  const ExpReplayData& d = g_exp_data;
+  const __m512d vsv = _mm512_set1_pd(sv);
+  const __m512d vden = _mm512_set1_pd(denom);
+  const __m512d vsign = _mm512_set1_pd(-0.0);
+  const __m512d vinv = _mm512_set1_pd(d.invln2n);
+  const __m512d vshift = _mm512_set1_pd(d.shift);
+  const __m512d vhi = _mm512_set1_pd(d.negln2hin);
+  const __m512d vlo = _mm512_set1_pd(d.negln2lon);
+  const __m512d vc2 = _mm512_set1_pd(d.c2);
+  const __m512d vc3 = _mm512_set1_pd(d.c3);
+  const __m512d vc4 = _mm512_set1_pd(d.c4);
+  const __m512d vc5 = _mm512_set1_pd(d.c5);
+  const size_t total = static_cast<size_t>(n) * m;
+  for (size_t j0 = 0; j0 < total; j0 += 8) {
+    const int rem = total - j0 < 8 ? static_cast<int>(total - j0) : 8;
+    const __mmask8 mask = static_cast<__mmask8>((1u << rem) - 1u);
+    const __m512d wv = _mm512_maskz_loadu_pd(mask, w + j0);
+    // x = -w / denom: the sign flip is exact (integer xor — the pd xor
+    // needs AVX-512DQ), the divide rounds once — the scalar expression's
+    // ops in the scalar expression's order.
+    const __m512d neg = _mm512_castsi512_pd(_mm512_xor_epi64(
+        _mm512_castpd_si512(wv), _mm512_castpd_si512(vsign)));
+    const __m512d x = _mm512_div_pd(neg, vden);
+    // libm's fast-path gate: biased exponent of |x| in [969, 1031], i.e.
+    // 2^-54 <= |x| < 512. The unsigned-wrap compare routes 0, tiny,
+    // huge, inf and NaN lanes to the scalar patch-up below, where libm
+    // itself handles them.
+    const __m512i ebits = _mm512_and_epi64(
+        _mm512_srli_epi64(_mm512_castpd_si512(x), 52),
+        _mm512_set1_epi64(0x7ff));
+    __mmask8 fast = _mm512_cmple_epu64_mask(
+        _mm512_sub_epi64(ebits, _mm512_set1_epi64(969)),
+        _mm512_set1_epi64(62));
+    fast &= mask;
+    if (fast) {
+      // exp(x) = 2^(k/128) * exp(r). Every fma/mul/add below mirrors one
+      // instruction of the compiled libm fast path, so each lane rounds
+      // exactly as the scalar call chain does.
+      __m512d kd = _mm512_fmadd_pd(x, vinv, vshift);
+      const __m512i ki = _mm512_castpd_si512(kd);
+      kd = _mm512_sub_pd(kd, vshift);
+      const __m512d r =
+          _mm512_fmadd_pd(kd, vlo, _mm512_fmadd_pd(kd, vhi, x));
+      const __m512i idx = _mm512_slli_epi64(
+          _mm512_and_epi64(ki, _mm512_set1_epi64(127)), 1);
+      const __m512d tail = _mm512_mask_i64gather_pd(
+          _mm512_setzero_pd(), fast, idx, d.tab, 8);
+      __m512i sbits = _mm512_mask_i64gather_epi64(
+          _mm512_setzero_si512(), fast,
+          _mm512_or_epi64(idx, _mm512_set1_epi64(1)), d.tab, 8);
+      sbits = _mm512_add_epi64(sbits, _mm512_slli_epi64(ki, 45));
+      const __m512d scale = _mm512_castsi512_pd(sbits);
+      const __m512d p1 = _mm512_fmadd_pd(r, vc3, vc2);
+      const __m512d p2 = _mm512_fmadd_pd(r, vc5, vc4);
+      const __m512d r2 = _mm512_mul_pd(r, r);
+      const __m512d s2 = _mm512_fmadd_pd(r2, p1, _mm512_add_pd(tail, r));
+      const __m512d tmp =
+          _mm512_fmadd_pd(_mm512_mul_pd(r2, r2), p2, s2);
+      const __m512d e = _mm512_fmadd_pd(scale, tmp, scale);
+      _mm512_mask_storeu_pd(w + j0, fast, _mm512_mul_pd(vsv, e));
+    }
+    unsigned slow = mask & static_cast<unsigned>(~fast);
+    while (slow) {
+      const int l = __builtin_ctz(slow);
+      slow &= slow - 1;
+      w[j0 + l] = sv * std::exp(-w[j0 + l] / denom);
+    }
+  }
+}
+
+// Prove the replay before trusting it: run the vector tail and the scalar
+// reference over a probe sweep and require bitwise equality. The sweep
+// covers every biased exponent through and past the fast-path gate with
+// random and extremal mantissas, points adjacent to the k*ln2/128 rounding
+// boundaries (where the shift-trick round-to-int is most delicate), both
+// signs, and the special values the gate must punt on.
+bool VerifyExpReplay() {
+  std::vector<double> probes;
+  probes.reserve(1 << 17);
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state;
+  };
+  for (int e = 958; e <= 1042; ++e) {
+    for (int i = 0; i < 48; ++i) {
+      uint64_t mant = next() & 0xfffffffffffffull;
+      if (i == 0) mant = 0;
+      if (i == 1) mant = 0xfffffffffffffull;
+      const uint64_t bits = (static_cast<uint64_t>(e) << 52) | mant;
+      double v;
+      std::memcpy(&v, &bits, 8);
+      probes.push_back(v);
+      probes.push_back(-v);
+    }
+  }
+  const double step = 0.693147180559945309417 / 128.0;
+  for (int k = 1; k < 65000; k += 11) {
+    const double b = k * step;
+    probes.push_back(b);
+    probes.push_back(std::nextafter(b, 0.0));
+    probes.push_back(std::nextafter(b, 1e9));
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  for (double v : {0.0, -0.0, 0x1p-54, -0x1p-54, 5e-324, 1e-300, 511.999,
+                   512.0, 708.0, 710.0, 1e308, inf, -inf,
+                   std::numeric_limits<double>::quiet_NaN()}) {
+    probes.push_back(v);
+  }
+  // Odd row/column splits so the mask tails run, and denom/sv values that
+  // exercise the leading divide and trailing multiply.
+  const struct {
+    double sv, denom;
+  } cfgs[] = {{1.0, 1.0}, {1.7, 2.0 * 0.7 * 0.7}, {0.25, 98.0}};
+  const int count = static_cast<int>(probes.size());
+  std::vector<double> a(probes.size()), b(probes.size());
+  for (const auto& cfg : cfgs) {
+    for (int m : {count, 7}) {
+      const int n = count / m;
+      std::memcpy(a.data(), probes.data(), 8 * probes.size());
+      std::memcpy(b.data(), probes.data(), 8 * probes.size());
+      KernelTailRef(cfg.sv, cfg.denom, a.data(), n, m);
+      KernelTailAvx512Exp(cfg.sv, cfg.denom, b.data(), n, m);
+      if (std::memcmp(a.data(), b.data(),
+                      8 * static_cast<size_t>(n) * m) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+KernelTailFn GetVectorKernelTail(SimdTier tier) {
+  if (tier != SimdTier::kAvx512 || DetectSimdTier() != SimdTier::kAvx512) {
+    // The AVX2 tier keeps the scalar tail: the replay needs FMA and the
+    // 64-bit gathers, and on AVX2-only hosts libm picks the same FMA
+    // variant only sometimes — not worth a second verified schedule.
+    return nullptr;
+  }
+  static const KernelTailFn resolved = []() -> KernelTailFn {
+    if (!LoadExpReplayData(&g_exp_data)) return nullptr;
+    if (!VerifyExpReplay()) return nullptr;
+    return &KernelTailAvx512Exp;
+  }();
+  return resolved;
+}
+
+#else  // !PAWS_EXP_LANE_X86
+
+KernelTailFn GetVectorKernelTail(SimdTier) { return nullptr; }
+
+#endif
+
+}  // namespace internal
+}  // namespace paws

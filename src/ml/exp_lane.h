@@ -1,0 +1,41 @@
+#ifndef PAWS_ML_EXP_LANE_H_
+#define PAWS_ML_EXP_LANE_H_
+
+#include "util/cpu_features.h"
+
+namespace paws {
+namespace internal {
+
+/// Signature of GpLaneOps::KernelTail: w[i*m+j] = sv * exp(-w[i*m+j] / denom).
+using KernelTailFn = void (*)(double sv, double denom, double* w, int n,
+                              int m);
+
+/// Vectorized kernel tail for `tier`, or nullptr when the scalar tail must
+/// stay. The exp inside the tail is the expensive part: libm's exp is
+/// scalar, and the bit-identity contract forbids a merely-accurate vector
+/// substitute — every tier must reproduce the reference transcendental to
+/// the last bit. This resolver makes that possible by REPLAYING the exact
+/// exp implementation glibc's ifunc selects on FMA hosts (table-driven
+/// 2^(k/N)*exp(r), N=128) lane-parallel, with the same fused steps the
+/// compiled libm uses:
+///
+///   kd  = fma(x, InvLn2N, Shift); ki = bits(kd); kd -= Shift
+///   r   = fma(kd, NegLn2loN, fma(kd, NegLn2hiN, x))
+///   tmp = fma(r2*r2, fma(r, C5, C4), fma(r2, fma(r, C3, C2), tab[2i] + r))
+///   exp = fma(scale, tmp, scale),  scale = bits(tab[2i+1] + (ki << 45))
+///
+/// The coefficient/table block is not exported by libm, so the resolver
+/// locates it by byte signature inside the mapped libm image's file and
+/// then proves the replay: it sweeps ~10^5 probes (every exponent through
+/// and beyond the fast-path gate, k-boundary-adjacent points, NaN/inf/
+/// tiny/huge) and requires the vector tail to match the scalar loop
+/// bit-for-bit. Any miss — different libc, changed algorithm, missing
+/// table — resolves to nullptr and the scalar tail stays. Lanes outside
+/// the fast-path gate (|x| < 2^-54 or >= 512, NaN, inf) are computed with
+/// scalar std::exp inside the vector tail, exactly as libm routes them.
+KernelTailFn GetVectorKernelTail(SimdTier tier);
+
+}  // namespace internal
+}  // namespace paws
+
+#endif  // PAWS_ML_EXP_LANE_H_

@@ -67,6 +67,22 @@ class GaussianProcessClassifier : public Classifier {
 
   int num_inducing_points() const { return static_cast<int>(x_train_.size()); }
 
+  /// Read-only views of the fitted posterior cache (inducing inputs,
+  /// likelihood gradient at the mode, W^1/2, the Cholesky factor of B, the
+  /// effective kernel and the standardizer). The compiled-GP scoring
+  /// backend flattens these into contiguous blocks at selection time; the
+  /// arithmetic it replays over them is PredictBatchWithVariance's, term
+  /// for term.
+  bool fitted() const { return fitted_; }
+  const RbfKernel& effective_kernel() const { return kernel_; }
+  const Standardizer& standardizer() const { return standardizer_; }
+  const std::vector<std::vector<double>>& inducing_inputs() const {
+    return x_train_;
+  }
+  const std::vector<double>& grad_log_lik() const { return grad_log_lik_; }
+  const std::vector<double>& sqrt_w() const { return sqrt_w_; }
+  const Matrix& chol_b() const { return chol_b_; }
+
  private:
 
   GaussianProcessConfig config_;

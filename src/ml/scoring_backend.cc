@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ml/compiled_forest.h"
+#include "ml/compiled_gp.h"
 #include "ml/compiled_linear.h"
 
 namespace paws {
@@ -217,6 +218,9 @@ std::unique_ptr<ScoringBackend> SelectScoringBackend(
   if (auto linear =
           CompiledLinearEnsemble::Compile(learners, thresholds, weights)) {
     return linear;
+  }
+  if (auto gp = CompiledGpEnsemble::Compile(learners, thresholds, weights)) {
+    return gp;
   }
   return MakeReferenceScoringBackend();
 }

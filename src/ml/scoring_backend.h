@@ -41,8 +41,10 @@ class ScoringBackend {
  public:
   virtual ~ScoringBackend() = default;
 
-  /// Stable identifier for logs/tests: "reference", "compiled-dtb",
-  /// "compiled-svb".
+  /// Stable identifier for logs/tests/stats, one of
+  /// kScoringBackendNames below. Compiled-forest names carry the SIMD
+  /// dispatch tier as a suffix ("compiled-dtb-avx2"), so operators can
+  /// read what a serving process actually dispatches.
   virtual const char* name() const = 0;
 
   /// Batch prediction under one shared hypothetical effort (the risk-map
@@ -69,14 +71,29 @@ class ScoringBackend {
                                 EffortCurveTable* table) const = 0;
 };
 
+/// Every backend name a PAWS build can report — the canonical list that
+/// docs/ARCHITECTURE.md's dispatch-tier table is checked against
+/// (scripts/check_docs.py parses this array). Keep entries one per line.
+inline constexpr const char* kScoringBackendNames[] = {
+    "reference",
+    "compiled-dtb",
+    "compiled-dtb-avx2",
+    "compiled-dtb-avx512",
+    "compiled-svb",
+    "compiled-gp",
+};
+
 /// The reference backend: virtual-dispatch scoring through the learners'
 /// own PredictBatchWithVariance, mixed per row. Works for every learner
 /// kind; the compiled backends are measured (and tested) against it.
 std::unique_ptr<ScoringBackend> MakeReferenceScoringBackend();
 
-/// Picks the fastest backend the learner set supports: compiled-DTB for
-/// baggings of decision trees, compiled-SVB for baggings of linear SVMs,
-/// otherwise the reference backend. Never returns nullptr.
+/// Picks the fastest backend the learner set supports: compiled-DTB (at
+/// the active SIMD dispatch tier — see util/cpu_features.h and the
+/// PAWS_FORCE_BACKEND override) for baggings of decision trees,
+/// compiled-SVB for baggings of linear SVMs, compiled-GP for baggings of
+/// Gaussian processes, otherwise the reference backend. Never returns
+/// nullptr.
 std::unique_ptr<ScoringBackend> SelectScoringBackend(
     const std::vector<std::unique_ptr<Classifier>>& learners,
     const std::vector<double>& thresholds,

@@ -526,6 +526,7 @@ std::string EncodeStatsReportPayload(const ServerStatsReport& report) {
     writer.WriteU64(park.risk_misses);
     writer.WriteU64(park.curve_hits);
     writer.WriteU64(park.curve_misses);
+    writer.WriteString(park.scoring_backend);
   }
   writer.EndSection();
   return writer.Bytes();
@@ -557,6 +558,7 @@ StatusOr<ServerStatsReport> DecodeStatsReportPayload(
     PAWS_RETURN_IF_ERROR(reader.ReadU64(&park.risk_misses));
     PAWS_RETURN_IF_ERROR(reader.ReadU64(&park.curve_hits));
     PAWS_RETURN_IF_ERROR(reader.ReadU64(&park.curve_misses));
+    PAWS_RETURN_IF_ERROR(reader.ReadString(&park.scoring_backend));
     report.parks.push_back(std::move(park));
   }
   PAWS_RETURN_IF_ERROR(reader.LeaveSection());

@@ -168,7 +168,8 @@ struct StatsRequest {
 };
 
 /// Stats response: transport counters plus per-park cache economics (the
-/// risk-map LRU and the effort-curve-table LRU).
+/// risk-map LRU and the effort-curve-table LRU) and the scoring backend
+/// each park's model dispatches through.
 struct ServerStatsReport {
   uint64_t accepted_connections = 0;
   uint64_t rejected_connections = 0;
@@ -183,6 +184,11 @@ struct ServerStatsReport {
     uint64_t risk_misses = 0;
     uint64_t curve_hits = 0;
     uint64_t curve_misses = 0;
+    /// ScoringBackend::name() of the park's model (see
+    /// kScoringBackendNames in ml/scoring_backend.h): which compiled
+    /// serving layer — and on forests, which SIMD dispatch tier — this
+    /// process actually runs for the park.
+    std::string scoring_backend;
   };
   std::vector<ParkStats> parks;
 };

@@ -200,12 +200,18 @@ std::string ParkServer::HandleStats(const std::string& payload,
       *error = curve.status();
       return "";
     }
+    StatusOr<std::string> backend = service_->ScoringBackendName(park_id);
+    if (!backend.ok()) {
+      *error = backend.status();
+      return "";
+    }
     ServerStatsReport::ParkStats park;
     park.park_id = park_id;
     park.risk_hits = risk->hits;
     park.risk_misses = risk->misses;
     park.curve_hits = curve->hits;
     park.curve_misses = curve->misses;
+    park.scoring_backend = std::move(backend).value();
     report.parks.push_back(std::move(park));
   }
   return EncodeStatsReportPayload(report);

@@ -307,4 +307,15 @@ StatusOr<ParkService::CacheStats> ParkService::CurveCacheStats(
   return stats;
 }
 
+StatusOr<std::string> ParkService::ScoringBackendName(
+    const std::string& park_id) const {
+  const std::shared_ptr<Entry> entry = Find(park_id);
+  if (entry == nullptr) return UnknownPark(park_id);
+  // Shared lock: the backend pointer lives inside the snapshot's model and
+  // is replaced by SwapSnapshot (exclusive); copying the name out under
+  // the lock keeps the returned string valid past a swap.
+  std::shared_lock<std::shared_mutex> lock(entry->mu);
+  return std::string(entry->snapshot.model().scoring_backend_name());
+}
+
 }  // namespace paws

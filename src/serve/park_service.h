@@ -121,6 +121,12 @@ class ParkService {
   /// Same counters for the effort-curve-table LRU.
   StatusOr<CacheStats> CurveCacheStats(const std::string& park_id) const;
 
+  /// The ScoringBackend the park's model currently dispatches through
+  /// (see kScoringBackendNames in ml/scoring_backend.h) — e.g.
+  /// "compiled-dtb-avx2" on an AVX2 host serving bagged trees. Can change
+  /// across SwapSnapshot: the backend is re-selected per snapshot.
+  StatusOr<std::string> ScoringBackendName(const std::string& park_id) const;
+
  private:
   struct RiskKey {
     uint64_t snapshot_version = 0;

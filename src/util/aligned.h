@@ -1,0 +1,51 @@
+#ifndef PAWS_UTIL_ALIGNED_H_
+#define PAWS_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+
+namespace paws {
+
+/// Minimal over-aligning allocator for std::vector: every allocation starts
+/// on an `Alignment`-byte boundary. The compiled node pools use this so
+/// SIMD gathers and whole-cache-line node groups never straddle lines —
+/// vector's default allocator only guarantees alignof(T).
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's own requirement");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), static_cast<std::align_val_t>(Alignment)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, static_cast<std::align_val_t>(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+}  // namespace paws
+
+#endif  // PAWS_UTIL_ALIGNED_H_

@@ -1,0 +1,68 @@
+#include "util/cpu_features.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace paws {
+
+namespace {
+
+// The gathered traversals are written with GCC/Clang target attributes
+// against the x86 intrinsic set; anything else serves scalar.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+SimdTier ProbeHardware() {
+  // __builtin_cpu_supports consults CPUID (and XGETBV for OS state), so a
+  // "yes" means the instructions are actually executable, not merely
+  // advertised. avx512f covers every instruction the 512-bit walk uses
+  // (vpgatherqq/vgatherqpd and the mask ops are all F-level).
+  if (__builtin_cpu_supports("avx512f")) return SimdTier::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+  return SimdTier::kScalar;
+}
+#else
+SimdTier ProbeHardware() { return SimdTier::kScalar; }
+#endif
+
+}  // namespace
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+bool ParseSimdTier(const char* name, SimdTier* out) {
+  if (name == nullptr) return false;
+  for (const SimdTier tier :
+       {SimdTier::kScalar, SimdTier::kAvx2, SimdTier::kAvx512}) {
+    if (std::strcmp(name, SimdTierName(tier)) == 0) {
+      *out = tier;
+      return true;
+    }
+  }
+  return false;
+}
+
+SimdTier DetectSimdTier() {
+  static const SimdTier detected = ProbeHardware();
+  return detected;
+}
+
+SimdTier ResolveSimdTier(const char* force, SimdTier detected) {
+  SimdTier forced = SimdTier::kScalar;
+  if (!ParseSimdTier(force, &forced)) return detected;
+  return std::min(forced, detected);
+}
+
+SimdTier ActiveSimdTier() {
+  return ResolveSimdTier(std::getenv("PAWS_FORCE_BACKEND"), DetectSimdTier());
+}
+
+}  // namespace paws

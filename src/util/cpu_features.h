@@ -1,0 +1,44 @@
+#ifndef PAWS_UTIL_CPU_FEATURES_H_
+#define PAWS_UTIL_CPU_FEATURES_H_
+
+namespace paws {
+
+/// SIMD dispatch tiers for the runtime-dispatched serving kernels, ordered
+/// weakest to strongest so tiers clamp with std::min. Every tier computes
+/// bit-identical results; only wall time differs.
+enum class SimdTier {
+  kScalar = 0,  // portable 4-lane ILP traversal — always available
+  kAvx2 = 1,    // 8 rows per lane group, gathered node walks
+  kAvx512 = 2,  // 16 rows per lane group, masked gathered walks
+};
+
+/// Lowercase tier name: "scalar" / "avx2" / "avx512". These are both the
+/// `PAWS_FORCE_BACKEND` override values and the `-<tier>` suffix a
+/// compiled-forest backend name reports (scalar keeps the bare name).
+const char* SimdTierName(SimdTier tier);
+
+/// Parses a tier name ("scalar"/"avx2"/"avx512"). Returns false — and
+/// leaves `*out` untouched — for anything else.
+bool ParseSimdTier(const char* name, SimdTier* out);
+
+/// Strongest tier this CPU (and this build) can execute, probed once via
+/// CPUID and cached. Non-x86 builds, and toolchains without the needed
+/// intrinsics, report kScalar.
+SimdTier DetectSimdTier();
+
+/// The tier serving kernels should dispatch to right now: DetectSimdTier()
+/// clamped by the `PAWS_FORCE_BACKEND` environment override when it names
+/// a valid tier (unknown values are ignored). Forcing a tier the hardware
+/// lacks clamps down to the detected tier, so the override can never
+/// select an illegal instruction. Reads the environment on every call —
+/// cheap at backend-selection frequency, and it lets tests flip the
+/// override with setenv.
+SimdTier ActiveSimdTier();
+
+/// min(forced, detected) when `force` names a valid tier, else `detected` —
+/// the pure resolution rule behind ActiveSimdTier, exposed for tests.
+SimdTier ResolveSimdTier(const char* force, SimdTier detected);
+
+}  // namespace paws
+
+#endif  // PAWS_UTIL_CPU_FEATURES_H_

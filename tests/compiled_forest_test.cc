@@ -3,8 +3,10 @@
 // (virtual-dispatch) path on every serving call — shared-effort batches,
 // per-row-effort batches, full effort-curve tables — for every thread
 // count, and must survive a snapshot round trip. Non-tree ensembles select
-// another ScoringBackend (compiled-svb for bagged SVMs, reference for GPB;
-// see scoring_backend_test.cc for the SVB equivalence suite).
+// another ScoringBackend (compiled-svb for bagged SVMs, compiled-gp for
+// GPB; see scoring_backend_test.cc / compiled_gp_test.cc for those
+// equivalence suites). The SIMD tier sweep lives in simd_traversal_test.cc.
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "core/iware.h"
 #include "ml/compiled_forest.h"
 #include "util/archive.h"
+#include "util/cpu_features.h"
 #include "util/rng.h"
 
 namespace paws {
@@ -86,7 +89,21 @@ IWareEnsemble* CompiledForestTest::model_ = nullptr;
 TEST_F(CompiledForestTest, DtbEnsembleCompilesAfterFit) {
   EXPECT_TRUE(model_->has_compiled_forest());
   EXPECT_TRUE(model_->has_compiled_backend());
-  EXPECT_STREQ(model_->scoring_backend_name(), "compiled-dtb");
+  // The forest reports its SIMD dispatch tier as a name suffix; the prefix
+  // is stable across hosts.
+  const char* name = model_->scoring_backend_name();
+  EXPECT_EQ(std::strncmp(name, "compiled-dtb", 12), 0) << name;
+  switch (ActiveSimdTier()) {
+    case SimdTier::kScalar:
+      EXPECT_STREQ(name, "compiled-dtb");
+      break;
+    case SimdTier::kAvx2:
+      EXPECT_STREQ(name, "compiled-dtb-avx2");
+      break;
+    case SimdTier::kAvx512:
+      EXPECT_STREQ(name, "compiled-dtb-avx512");
+      break;
+  }
 }
 
 TEST_F(CompiledForestTest, SharedEffortBatchBitIdenticalToReference) {
@@ -197,17 +214,16 @@ TEST_P(CompiledForestFallbackTest, NonTreeEnsemblesSelectAnotherBackend) {
   IWareEnsemble model(cfg);
   ASSERT_TRUE(model.Fit(train, &rng).ok());
   // No bagged trees to flatten: the seam selects a different backend —
-  // the flat GEMV layer for SVB, the reference path for GPB.
+  // the flat GEMV layer for SVB, the fused kernel-block layer for GPB.
   EXPECT_FALSE(model.has_compiled_forest());
   model.set_compiled_serving(true);
   EXPECT_FALSE(model.has_compiled_forest());
   if (GetParam() == WeakLearnerKind::kSvmBagging) {
     EXPECT_STREQ(model.scoring_backend_name(), "compiled-svb");
-    EXPECT_TRUE(model.has_compiled_backend());
   } else {
-    EXPECT_STREQ(model.scoring_backend_name(), "reference");
-    EXPECT_FALSE(model.has_compiled_backend());
+    EXPECT_STREQ(model.scoring_backend_name(), "compiled-gp");
   }
+  EXPECT_TRUE(model.has_compiled_backend());
   std::vector<Prediction> preds;
   model.PredictBatch(test.FeaturesView(), 2.0, &preds);
   ASSERT_EQ(static_cast<int>(preds.size()), test.size());

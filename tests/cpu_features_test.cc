@@ -1,0 +1,67 @@
+// SIMD tier resolution: the pure rules behind the serving kernels'
+// runtime dispatch — name parsing, the PAWS_FORCE_BACKEND clamp (an
+// override can never select a tier the hardware lacks), and the
+// environment re-read that lets tests and benchmarks flip tiers with
+// setenv between backend selections.
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+#include "util/cpu_features.h"
+
+namespace paws {
+namespace {
+
+TEST(SimdTierTest, NamesRoundTripThroughParse) {
+  for (const SimdTier tier :
+       {SimdTier::kScalar, SimdTier::kAvx2, SimdTier::kAvx512}) {
+    SimdTier parsed = SimdTier::kAvx512;  // sentinel != scalar
+    ASSERT_TRUE(ParseSimdTier(SimdTierName(tier), &parsed));
+    EXPECT_EQ(parsed, tier);
+  }
+}
+
+TEST(SimdTierTest, ParseRejectsUnknownNamesUntouched) {
+  SimdTier out = SimdTier::kAvx2;
+  EXPECT_FALSE(ParseSimdTier(nullptr, &out));
+  EXPECT_FALSE(ParseSimdTier("", &out));
+  EXPECT_FALSE(ParseSimdTier("AVX2", &out));     // case-sensitive
+  EXPECT_FALSE(ParseSimdTier("avx-512", &out));
+  EXPECT_FALSE(ParseSimdTier("sse4.2", &out));
+  EXPECT_EQ(out, SimdTier::kAvx2);  // failed parses leave *out alone
+}
+
+TEST(SimdTierTest, ResolveClampsForcedTierToDetected) {
+  // Forcing above the hardware clamps down (never an illegal
+  // instruction); forcing below always honors the override.
+  EXPECT_EQ(ResolveSimdTier("avx512", SimdTier::kAvx2), SimdTier::kAvx2);
+  EXPECT_EQ(ResolveSimdTier("avx512", SimdTier::kScalar), SimdTier::kScalar);
+  EXPECT_EQ(ResolveSimdTier("avx2", SimdTier::kAvx512), SimdTier::kAvx2);
+  EXPECT_EQ(ResolveSimdTier("scalar", SimdTier::kAvx512), SimdTier::kScalar);
+  EXPECT_EQ(ResolveSimdTier("avx512", SimdTier::kAvx512), SimdTier::kAvx512);
+}
+
+TEST(SimdTierTest, ResolveIgnoresMissingOrUnknownOverride) {
+  EXPECT_EQ(ResolveSimdTier(nullptr, SimdTier::kAvx2), SimdTier::kAvx2);
+  EXPECT_EQ(ResolveSimdTier("turbo", SimdTier::kAvx512), SimdTier::kAvx512);
+  EXPECT_EQ(ResolveSimdTier("", SimdTier::kScalar), SimdTier::kScalar);
+}
+
+TEST(SimdTierTest, DetectIsStableAndActiveReadsEnvironmentEveryCall) {
+  const SimdTier detected = DetectSimdTier();
+  EXPECT_EQ(DetectSimdTier(), detected);  // cached probe
+
+  const char* saved = std::getenv("PAWS_FORCE_BACKEND");
+  const std::string saved_copy = saved != nullptr ? saved : "";
+  ASSERT_EQ(setenv("PAWS_FORCE_BACKEND", "scalar", /*overwrite=*/1), 0);
+  EXPECT_EQ(ActiveSimdTier(), SimdTier::kScalar);
+  ASSERT_EQ(setenv("PAWS_FORCE_BACKEND", "nonsense", 1), 0);
+  EXPECT_EQ(ActiveSimdTier(), detected);  // unknown values are ignored
+  ASSERT_EQ(unsetenv("PAWS_FORCE_BACKEND"), 0);
+  EXPECT_EQ(ActiveSimdTier(), detected);
+  if (saved != nullptr) {
+    setenv("PAWS_FORCE_BACKEND", saved_copy.c_str(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace paws

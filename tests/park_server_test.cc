@@ -205,6 +205,12 @@ TEST_F(ParkServerTest, LoopbackResultsAreBitIdenticalToDirectCalls) {
   ASSERT_EQ(stats->parks.size(), 1u);
   EXPECT_EQ(stats->parks[0].park_id, "p");
   EXPECT_GE(stats->parks[0].risk_misses, 1u);
+  // The wire report carries the park's live scoring-backend name — the
+  // same string the service reports locally.
+  const auto backend = service.ScoringBackendName("p");
+  ASSERT_TRUE(backend.ok());
+  EXPECT_EQ(stats->parks[0].scoring_backend, backend.value());
+  EXPECT_FALSE(stats->parks[0].scoring_backend.empty());
 
   // Serving errors arrive as typed statuses, and the connection survives
   // them (the next request on the same connection succeeds).

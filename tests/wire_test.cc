@@ -306,7 +306,8 @@ TEST(WireCodecTest, StatsReportRoundTripsCountersAndParks) {
   sent.frames_out = 99;
   sent.protocol_errors = 1;
   sent.deadline_expired = 4;
-  sent.parks = {{"a", 5, 6, 7, 8}, {"b", 0, 1, 0, 2}};
+  sent.parks = {{"a", 5, 6, 7, 8, "compiled-dtb-avx2"},
+                {"b", 0, 1, 0, 2, "reference"}};
   const auto got = DecodeStatsReportPayload(EncodeStatsReportPayload(sent));
   ASSERT_TRUE(got.ok()) << got.status();
   EXPECT_EQ(got->accepted_connections, 10u);
@@ -322,8 +323,10 @@ TEST(WireCodecTest, StatsReportRoundTripsCountersAndParks) {
   EXPECT_EQ(got->parks[0].risk_misses, 6u);
   EXPECT_EQ(got->parks[0].curve_hits, 7u);
   EXPECT_EQ(got->parks[0].curve_misses, 8u);
+  EXPECT_EQ(got->parks[0].scoring_backend, "compiled-dtb-avx2");
   EXPECT_EQ(got->parks[1].park_id, "b");
   EXPECT_EQ(got->parks[1].curve_misses, 2u);
+  EXPECT_EQ(got->parks[1].scoring_backend, "reference");
 }
 
 TEST(WireCodecTest, DecodersRejectCorruptionAndTrailingGarbage) {
