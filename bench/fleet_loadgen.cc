@@ -28,11 +28,20 @@
 //   --expect-failovers exit non-zero if no failover happened — the CI
 //                      kill-a-replica run asserts the failure was actually
 //                      exercised, not silently skipped
+//   --resize-endpoints comma-separated *new* daemon addresses: mid-window,
+//                      FleetAdmin::MigrateParks moves parks onto the new
+//                      set (pull → push → verify), publishes the bumped
+//                      FleetMap, and the routers hot-reload it via the
+//                      kMapVersion handshake — all under load
+//   --resize-after     seconds into the window to trigger the resize
+//                      (default: half the window)
+//   --expect-reload    exit non-zero unless every router converged on the
+//                      new map version without restart
 //
 // Exit status is non-zero on any client-visible error (transport
 // exhaustion, application status, bit-identity mismatch), zero completed
-// requests, a missed throughput floor, or --expect-failovers without a
-// failover.
+// requests, a missed throughput floor, --expect-failovers without a
+// failover, or a failed/unconverged resize.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -138,6 +147,7 @@ StatusOr<std::vector<FleetEndpoint>> ParseEndpoints(const std::string& spec) {
 
 int main(int argc, char** argv) {
   std::string endpoints_spec;
+  std::string resize_endpoints_spec;
   std::string map_path;
   std::string map_out_path;
   std::string json_path;
@@ -145,9 +155,11 @@ int main(int argc, char** argv) {
   int parks = 100;
   int connections = 8;
   double seconds = 5.0;
+  double resize_after = -1.0;
   bool smoke = false;
   bool bootstrap = false;
   bool expect_failovers = false;
+  bool expect_reload = false;
   double zipf_s = 1.1;
   double min_req_per_s = 0.0;
   for (int i = 1; i < argc; ++i) {
@@ -171,6 +183,13 @@ int main(int argc, char** argv) {
       bootstrap = true;
     } else if (std::strcmp(argv[i], "--expect-failovers") == 0) {
       expect_failovers = true;
+    } else if (std::strcmp(argv[i], "--resize-endpoints") == 0 &&
+               i + 1 < argc) {
+      resize_endpoints_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--resize-after") == 0 && i + 1 < argc) {
+      resize_after = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--expect-reload") == 0) {
+      expect_reload = true;
     } else if (std::strcmp(argv[i], "--zipf-s") == 0 && i + 1 < argc) {
       zipf_s = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -183,7 +202,9 @@ int main(int argc, char** argv) {
           "usage: %s --endpoints H:P,H:P,... [--replicas R] [--parks N] "
           "[--bootstrap] [--connections N] [--seconds S] [--smoke] "
           "[--zipf-s S] [--json PATH] [--min-req-per-s R] [--map PATH] "
-          "[--map-out PATH] [--expect-failovers]\n",
+          "[--map-out PATH] [--expect-failovers] "
+          "[--resize-endpoints H:P,...] [--resize-after S] "
+          "[--expect-reload]\n",
           argv[0]);
       return 2;
     }
@@ -261,13 +282,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool resize = !resize_endpoints_spec.empty();
   const std::vector<double> cdf = ZipfCdf(parks, zipf_s);
   std::atomic<bool> stop{false};
   std::vector<WorkerResult> results(connections);
   std::vector<std::unique_ptr<FleetRouter>> routers;
   routers.reserve(connections);
   for (int c = 0; c < connections; ++c) {
-    routers.push_back(std::make_unique<FleetRouter>(map));
+    FleetRouterOptions router_options;
+    // During a resize run the routers poll the fleet's published map
+    // version so the hot reload happens through the same handshake
+    // production routers use — no restart, no out-of-band channel.
+    if (resize) router_options.map_refresh_ms = 100;
+    routers.push_back(std::make_unique<FleetRouter>(map, router_options));
   }
 
   std::vector<std::thread> threads;
@@ -317,7 +344,67 @@ int main(int argc, char** argv) {
       }
     });
   }
-  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  bool resize_ok = true;
+  uint64_t resized_version = map.version();
+  if (resize) {
+    if (resize_after < 0.0 || resize_after >= seconds) {
+      resize_after = seconds / 2.0;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(resize_after));
+
+    auto added = ParseEndpoints(resize_endpoints_spec);
+    CheckOrDie(added.ok(), "fleet_loadgen: bad --resize-endpoints");
+    // --resize-endpoints lists the ADDED daemons; the grown map keeps
+    // every current endpoint so consistent hashing moves ~1/N of the
+    // parks, not all of them.
+    std::vector<FleetEndpoint> grown = map.endpoints();
+    grown.insert(grown.end(), added->begin(), added->end());
+    auto new_map = FleetMap::Create(std::move(grown), replicas,
+                                    map.version() + 1,
+                                    map.vnodes_per_endpoint());
+    CheckOrDie(new_map.ok(), "fleet_loadgen: resize FleetMap build failed");
+    resized_version = new_map->version();
+
+    std::printf("resizing fleet %d -> %d shards under load...\n",
+                map.num_endpoints(), new_map->num_endpoints());
+    std::fflush(stdout);
+    FleetAdmin admin(&map);
+    const MigrationReport migration = admin.MigrateParks(*new_map, park_ids);
+    std::printf("  migrated   %zu parks moved, %llu unchanged, "
+                "%zu map pushes\n",
+                migration.moves.size(),
+                static_cast<unsigned long long>(migration.parks_unchanged),
+                migration.map_pushes.size());
+    if (!migration.ok) {
+      resize_ok = false;
+      for (const auto& move : migration.moves) {
+        if (move.ok) continue;
+        std::fprintf(stderr, "fleet_loadgen: move of '%s' failed: %s\n",
+                     move.park_id.c_str(), move.pull.ToString().c_str());
+        for (const auto& target : move.targets) {
+          if (!target.push.ok() || !target.verify.ok()) {
+            std::fprintf(
+                stderr, "  target %s: %s\n", target.address.c_str(),
+                (!target.push.ok() ? target.push : target.verify)
+                    .ToString()
+                    .c_str());
+          }
+        }
+      }
+      for (const auto& push : migration.map_pushes) {
+        if (!push.push.ok()) {
+          std::fprintf(stderr, "fleet_loadgen: map push to %s failed: %s\n",
+                       push.address.c_str(), push.push.ToString().c_str());
+        }
+      }
+    }
+    const double remaining = seconds - resize_after;
+    if (remaining > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(remaining));
+    }
+  } else {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
   stop = true;
   for (auto& thread : threads) thread.join();
   const double wall_s =
@@ -329,20 +416,39 @@ int main(int argc, char** argv) {
   uint64_t failovers = 0;
   uint64_t transport_errors = 0;
   uint64_t exhausted = 0;
-  std::vector<uint64_t> shard_requests(map.num_endpoints(), 0);
+  uint64_t map_reloads = 0;
+  int routers_converged = 0;
   for (WorkerResult& result : results) {
     latencies.insert(latencies.end(), result.latencies_us.begin(),
                      result.latencies_us.end());
     errors += result.errors;
     mismatches += result.mismatches;
   }
+  // Shard balance is keyed by address, not index: after a hot reload the
+  // routers' endpoint indices belong to the *new* map.
+  std::vector<std::string> shard_addresses;
+  std::vector<uint64_t> shard_requests;
+  auto add_shard = [&](const std::string& address, uint64_t count) {
+    for (size_t s = 0; s < shard_addresses.size(); ++s) {
+      if (shard_addresses[s] == address) {
+        shard_requests[s] += count;
+        return;
+      }
+    }
+    shard_addresses.push_back(address);
+    shard_requests.push_back(count);
+  };
   for (const auto& router : routers) {
     const FleetRouter::Stats stats = router->stats();
     failovers += stats.failovers;
     transport_errors += stats.transport_errors;
     exhausted += stats.exhausted;
-    for (int e = 0; e < map.num_endpoints(); ++e) {
-      shard_requests[e] += stats.per_endpoint_requests[e];
+    map_reloads += stats.map_reloads;
+    if (stats.map_version == resized_version) ++routers_converged;
+    const FleetMap router_map = router->map_snapshot();
+    for (int e = 0; e < router_map.num_endpoints(); ++e) {
+      add_shard(router_map.endpoints()[e].ToString(),
+                stats.per_endpoint_requests[e]);
     }
   }
   const uint64_t completed = latencies.size();
@@ -366,17 +472,22 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(failovers),
               static_cast<unsigned long long>(transport_errors),
               static_cast<unsigned long long>(exhausted));
-  for (int e = 0; e < map.num_endpoints(); ++e) {
-    std::printf("  shard      %s served %llu\n",
-                map.endpoints()[e].ToString().c_str(),
-                static_cast<unsigned long long>(shard_requests[e]));
+  if (resize) {
+    std::printf("  resize     %d/%d routers on map v%llu, %llu hot reloads\n",
+                routers_converged, connections,
+                static_cast<unsigned long long>(resized_version),
+                static_cast<unsigned long long>(map_reloads));
+  }
+  for (size_t s = 0; s < shard_addresses.size(); ++s) {
+    std::printf("  shard      %s served %llu\n", shard_addresses[s].c_str(),
+                static_cast<unsigned long long>(shard_requests[s]));
   }
 
   if (!json_path.empty()) {
     std::string shard_json = "[";
-    for (int e = 0; e < map.num_endpoints(); ++e) {
-      if (e > 0) shard_json += ",";
-      shard_json += std::to_string(shard_requests[e]);
+    for (size_t s = 0; s < shard_requests.size(); ++s) {
+      if (s > 0) shard_json += ",";
+      shard_json += std::to_string(shard_requests[s]);
     }
     shard_json += "]";
     char section[1024];
@@ -387,6 +498,7 @@ int main(int argc, char** argv) {
         "\"req_per_s\":%.17g,\"p50_us\":%.17g,\"p99_us\":%.17g,"
         "\"errors\":%llu,\"mismatches\":%llu,\"failovers\":%llu,"
         "\"transport_errors\":%llu,\"exhausted\":%llu,"
+        "\"map_reloads\":%llu,\"routers_converged\":%d,"
         "\"shard_requests\":%s}",
         map.num_endpoints(), map.replication(), parks, connections, wall_s,
         static_cast<unsigned long long>(completed), req_per_s, p50, p99,
@@ -394,7 +506,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(mismatches),
         static_cast<unsigned long long>(failovers),
         static_cast<unsigned long long>(transport_errors),
-        static_cast<unsigned long long>(exhausted), shard_json.c_str());
+        static_cast<unsigned long long>(exhausted),
+        static_cast<unsigned long long>(map_reloads), routers_converged,
+        shard_json.c_str());
     MergeJsonSection(json_path, section);
     std::printf("  json       %s\n", json_path.c_str());
   }
@@ -409,6 +523,19 @@ int main(int argc, char** argv) {
                  "(%llu errors, %llu mismatches)\n",
                  static_cast<unsigned long long>(errors),
                  static_cast<unsigned long long>(mismatches));
+    return 1;
+  }
+  if (resize && !resize_ok) {
+    std::fprintf(stderr,
+                 "fleet_loadgen: FAIL — resize migration did not complete\n");
+    return 1;
+  }
+  if (expect_reload && routers_converged != connections) {
+    std::fprintf(stderr,
+                 "fleet_loadgen: FAIL — only %d/%d routers converged on "
+                 "map v%llu\n",
+                 routers_converged, connections,
+                 static_cast<unsigned long long>(resized_version));
     return 1;
   }
   if (expect_failovers && failovers == 0) {

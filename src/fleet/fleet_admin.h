@@ -28,6 +28,44 @@ struct FleetAdminOptions {
   }
 };
 
+/// Outcome of one elastic-resize bulk migration (FleetAdmin::MigrateParks).
+struct MigrationReport {
+  struct TargetResult {
+    /// "host:port" of the daemon that gained the park.
+    std::string address;
+    /// The SwapSnapshot push (upsert) of the moved artifact.
+    Status push;
+    /// The bit-exact read-back (verify-before-advance).
+    Status verify;
+  };
+  struct ParkMove {
+    std::string park_id;
+    /// "host:port" of the old replica the artifact was pulled from.
+    std::string source;
+    /// The kGetSnapshot pull.
+    Status pull;
+    std::vector<TargetResult> targets;
+    /// Pull succeeded and every target pushed + verified.
+    bool ok = false;
+  };
+  struct MapPush {
+    std::string address;
+    Status push;
+  };
+
+  /// One entry per park whose replica set changed.
+  std::vector<ParkMove> moves;
+  /// Parks whose replica addresses are identical in both maps (nothing
+  /// to move).
+  uint64_t parks_unchanged = 0;
+  /// kSwapFleetMap publications, one per endpoint of the old∪new union —
+  /// only attempted after every move verified.
+  std::vector<MapPush> map_pushes;
+  /// Every move verified and every *new-map* endpoint stored the map
+  /// (old-only endpoints are best-effort: they may already be draining).
+  bool ok = false;
+};
+
 /// Outcome of one fleet-wide snapshot rollout.
 struct RolloutReport {
   struct ReplicaResult {
@@ -90,9 +128,39 @@ class FleetAdmin {
   Status VerifyReplica(int endpoint_index, const std::string& park_id,
                        const std::string& snapshot_bytes);
 
+  /// Elastic resize: migrates every park of `park_ids` whose replica
+  /// address set differs between the admin's current map (before) and
+  /// `new_map` (after), then publishes `new_map` to the fleet.
+  ///
+  ///   for each moved park:
+  ///     1. pull its snapshot archive from an old replica  (kGetSnapshot)
+  ///     2. push it to each newly-gained replica            (SwapSnapshot)
+  ///     3. read back and compare bit-exactly               (verify)
+  ///   only when every move verified: publish the new map artifact to the
+  ///   old∪new endpoint union (kSwapFleetMap), which flips the routers'
+  ///   kMapVersion handshake to the new generation.
+  ///
+  /// Verify-before-advance at fleet scale: a failed move leaves the old
+  /// map in force everywhere — routers keep routing on the old replica
+  /// sets, which still hold every park.
+  MigrationReport MigrateParks(const FleetMap& new_map,
+                               const std::vector<std::string>& park_ids);
+
  private:
   Status PushTo(int endpoint_index, const std::string& park_id,
                 const std::string& snapshot_bytes);
+  /// Address-based primitives (migration spans two maps, so endpoint
+  /// *indices* are ambiguous; "host:port" is the stable identity).
+  Status PushSnapshotTo(const FleetEndpoint& endpoint,
+                        const std::string& park_id,
+                        const std::string& snapshot_bytes);
+  Status VerifyEndpoint(const FleetEndpoint& endpoint,
+                        const std::string& park_id,
+                        const std::string& snapshot_bytes);
+  StatusOr<std::string> PullSnapshot(const FleetEndpoint& endpoint,
+                                     const std::string& park_id);
+  Status PushMapTo(const FleetEndpoint& endpoint,
+                   const std::string& map_bytes);
 
   const FleetMap* map_;
   FleetAdminOptions options_;

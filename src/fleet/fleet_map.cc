@@ -189,4 +189,27 @@ StatusOr<FleetMap> FleetMap::ReadFile(const std::string& path) {
   return FromBytes(bytes);
 }
 
+std::vector<std::string> ReplicaAddresses(const FleetMap& map,
+                                          const std::string& park_id) {
+  std::vector<std::string> addresses;
+  for (int index : map.ReplicasFor(park_id)) {
+    addresses.push_back(map.endpoints()[index].ToString());
+  }
+  return addresses;
+}
+
+std::vector<std::string> ParksMoved(const FleetMap& before,
+                                    const FleetMap& after,
+                                    const std::vector<std::string>& park_ids) {
+  std::vector<std::string> moved;
+  for (const std::string& park_id : park_ids) {
+    std::vector<std::string> old_addrs = ReplicaAddresses(before, park_id);
+    std::vector<std::string> new_addrs = ReplicaAddresses(after, park_id);
+    std::sort(old_addrs.begin(), old_addrs.end());
+    std::sort(new_addrs.begin(), new_addrs.end());
+    if (old_addrs != new_addrs) moved.push_back(park_id);
+  }
+  return moved;
+}
+
 }  // namespace paws

@@ -93,6 +93,21 @@ class FleetMap {
   std::vector<std::pair<uint64_t, int>> ring_;
 };
 
+/// The "host:port" strings of ReplicasFor(park_id), preference order.
+/// Replica *indices* are map-relative (the same daemon can sit at index 2
+/// in one map and index 0 in its successor), so cross-map comparisons —
+/// the elastic-resize diff — must work in addresses.
+std::vector<std::string> ReplicaAddresses(const FleetMap& map,
+                                          const std::string& park_id);
+
+/// The subset of `park_ids` whose replica *address set* differs between
+/// `before` and `after` — the parks an elastic resize must migrate.
+/// Preference-order changes among the same addresses do not count: every
+/// replica already holds the artifact, so nothing needs to move.
+std::vector<std::string> ParksMoved(const FleetMap& before,
+                                    const FleetMap& after,
+                                    const std::vector<std::string>& park_ids);
+
 }  // namespace paws
 
 #endif  // PAWS_FLEET_FLEET_MAP_H_

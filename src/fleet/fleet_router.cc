@@ -20,22 +20,36 @@ double UnitUniform(uint64_t* state) {
          (1.0 / 9007199254740992.0);
 }
 
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 FleetRouter::FleetRouter(FleetMap map, FleetRouterOptions options)
-    : map_(std::move(map)),
-      options_(std::move(options)),
-      per_endpoint_requests_(map_.num_endpoints()) {
-  endpoints_.reserve(map_.num_endpoints());
-  for (int e = 0; e < map_.num_endpoints(); ++e) {
-    endpoints_.push_back(std::make_unique<Endpoint>(options_.client));
+    : options_(std::move(options)) {
+  auto state = std::make_shared<RoutingState>(std::move(map));
+  state->endpoints.reserve(state->map.num_endpoints());
+  for (int e = 0; e < state->map.num_endpoints(); ++e) {
+    state->endpoints.push_back(std::make_shared<Endpoint>(
+        options_.client, state->map.endpoints()[e]));
   }
+  state_ = std::move(state);
+
+  retry_tokens_milli_.store(
+      static_cast<int64_t>(options_.retry_budget_initial * 1000.0),
+      std::memory_order_relaxed);
+
   probe_jitter_state_ = options_.probe_jitter_seed;
   if (probe_jitter_state_ == 0) {
     probe_jitter_state_ =
         static_cast<uint64_t>(Clock::now().time_since_epoch().count()) ^
         (static_cast<uint64_t>(reinterpret_cast<uintptr_t>(this)) << 1);
   }
+  next_map_check_ =
+      Clock::now() + std::chrono::milliseconds(options_.map_refresh_ms);
   if (options_.enable_probe_thread) {
     probe_thread_ = std::thread([this] { ProbeLoop(); });
   }
@@ -50,137 +64,366 @@ FleetRouter::~FleetRouter() {
   if (probe_thread_.joinable()) probe_thread_.join();
 }
 
+std::shared_ptr<const FleetRouter::RoutingState> FleetRouter::State() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
+}
+
+uint64_t FleetRouter::map_version() const { return State()->map.version(); }
+
+FleetMap FleetRouter::map_snapshot() const { return State()->map; }
+
 void FleetRouter::ProbeLoop() {
   std::unique_lock<std::mutex> lock(probe_mu_);
   while (!stop_) {
     probe_cv_.wait_for(lock,
                        std::chrono::milliseconds(options_.probe_tick_ms));
     if (stop_) break;
+    bool check_map = false;
+    if (options_.map_refresh_ms > 0 && Clock::now() >= next_map_check_) {
+      next_map_check_ =
+          Clock::now() + std::chrono::milliseconds(options_.map_refresh_ms);
+      check_map = true;
+    }
     lock.unlock();
     ProbeOnce();
+    if (check_map) CheckMapOnce();
     lock.lock();
   }
 }
 
-void FleetRouter::MarkUnhealthy(int endpoint_index) {
-  Endpoint& endpoint = *endpoints_[endpoint_index];
-  endpoint.healthy.store(false, std::memory_order_relaxed);
+bool FleetRouter::BreakerOpen(const Endpoint& endpoint) const {
+  if (options_.breaker_failure_threshold <= 0) return false;
+  if (endpoint.consecutive_failures.load(std::memory_order_relaxed) <
+      options_.breaker_failure_threshold) {
+    return false;
+  }
+  return NowMs() <
+         endpoint.breaker_open_until_ms.load(std::memory_order_relaxed);
+}
+
+bool FleetRouter::TryDrawRetryToken() {
+  int64_t current = retry_tokens_milli_.load(std::memory_order_relaxed);
+  while (current >= 1000) {
+    if (retry_tokens_milli_.compare_exchange_weak(
+            current, current - 1000, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FleetRouter::DepositRetryToken() {
+  const int64_t deposit =
+      static_cast<int64_t>(options_.retry_budget_ratio * 1000.0);
+  if (deposit <= 0) return;
+  const int64_t cap =
+      static_cast<int64_t>(options_.retry_budget_cap * 1000.0);
+  int64_t current = retry_tokens_milli_.load(std::memory_order_relaxed);
+  while (current < cap) {
+    const int64_t next = std::min(current + deposit, cap);
+    if (retry_tokens_milli_.compare_exchange_weak(current, next,
+                                                  std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void FleetRouter::MarkUnhealthy(const std::shared_ptr<Endpoint>& endpoint,
+                                const std::string& park_id) {
+  endpoint->healthy.store(false, std::memory_order_relaxed);
+
+  // Breaker accounting: enough consecutive failures trips it open.
+  const int failures =
+      endpoint->consecutive_failures.fetch_add(1, std::memory_order_relaxed) +
+      1;
+  if (options_.breaker_failure_threshold > 0 &&
+      failures >= options_.breaker_failure_threshold) {
+    endpoint->breaker_open_until_ms.store(NowMs() + options_.breaker_open_ms,
+                                          std::memory_order_relaxed);
+    // Count the closed→open edge once per failure streak.
+    if (failures == options_.breaker_failure_threshold) {
+      breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Read-repair bookkeeping: this park was routed *around* the endpoint,
+  // so when it comes back its artifact for the park is re-verified.
+  if (!park_id.empty()) {
+    std::lock_guard<std::mutex> lock(endpoint->repair_mu);
+    if (endpoint->repair_parks.size() < options_.max_repair_parks &&
+        std::find(endpoint->repair_parks.begin(),
+                  endpoint->repair_parks.end(),
+                  park_id) == endpoint->repair_parks.end()) {
+      endpoint->repair_parks.push_back(park_id);
+    }
+  }
+
   std::lock_guard<std::mutex> lock(probe_mu_);
-  endpoint.probe_backoff_ms = options_.probe_initial_backoff_ms;
-  endpoint.next_probe =
+  endpoint->probe_backoff_ms = options_.probe_initial_backoff_ms;
+  endpoint->next_probe =
       Clock::now() +
       std::chrono::milliseconds(JitteredBackoffMs(
-          endpoint.probe_backoff_ms, options_.probe_jitter_pct,
+          endpoint->probe_backoff_ms, options_.probe_jitter_pct,
           UnitUniform(&probe_jitter_state_)));
 }
 
+void FleetRouter::SendRepairNudges(
+    const std::shared_ptr<const RoutingState>& state,
+    const std::shared_ptr<Endpoint>& endpoint) {
+  std::vector<std::string> parks;
+  {
+    std::lock_guard<std::mutex> lock(endpoint->repair_mu);
+    parks.swap(endpoint->repair_parks);
+  }
+  for (const std::string& park_id : parks) {
+    // Sources: the park's *other* replicas in the current map — the
+    // copies that kept serving while this endpoint was down.
+    std::vector<std::string> sources;
+    for (const std::string& address : ReplicaAddresses(state->map, park_id)) {
+      if (address != endpoint->address) sources.push_back(address);
+    }
+    std::lock_guard<std::mutex> lock(endpoint->mu);
+    // Best effort: a failed nudge re-queues so the next recovery retries.
+    StatusOr<RepairResponse> repaired =
+        endpoint->client.Repair(park_id, sources);
+    repair_nudges_.fetch_add(1, std::memory_order_relaxed);
+    if (!repaired.ok()) {
+      std::lock_guard<std::mutex> repair_lock(endpoint->repair_mu);
+      if (endpoint->repair_parks.size() < options_.max_repair_parks) {
+        endpoint->repair_parks.push_back(park_id);
+      }
+    }
+  }
+}
+
 int FleetRouter::ProbeOnce(bool force) {
+  const std::shared_ptr<const RoutingState> state = State();
   // Collect the due endpoints under the schedule lock, then probe them
   // over the network without it — a slow probe must not block request
   // threads calling MarkUnhealthy.
-  std::vector<int> due;
+  std::vector<std::shared_ptr<Endpoint>> due;
   {
     std::lock_guard<std::mutex> lock(probe_mu_);
     const auto now = Clock::now();
-    for (int e = 0; e < map_.num_endpoints(); ++e) {
-      if (endpoints_[e]->healthy.load(std::memory_order_relaxed)) continue;
-      if (force || endpoints_[e]->next_probe <= now) due.push_back(e);
+    for (const std::shared_ptr<Endpoint>& endpoint : state->endpoints) {
+      if (endpoint->healthy.load(std::memory_order_relaxed)) continue;
+      if (force || endpoint->next_probe <= now) due.push_back(endpoint);
     }
   }
   int recovered = 0;
-  for (int e : due) {
-    Endpoint& endpoint = *endpoints_[e];
+  for (const std::shared_ptr<Endpoint>& endpoint : due) {
     bool ok;
     {
-      std::lock_guard<std::mutex> lock(endpoint.mu);
-      if (!endpoint.connected_once.load(std::memory_order_relaxed)) {
-        ok = endpoint.client
-                 .Connect(map_.endpoints()[e].host, map_.endpoints()[e].port)
-                 .ok();
-        if (ok) endpoint.connected_once.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(endpoint->mu);
+      if (!endpoint->connected_once.load(std::memory_order_relaxed)) {
+        ok = endpoint->client.Connect(endpoint->host, endpoint->port).ok();
+        if (ok) {
+          endpoint->connected_once.store(true, std::memory_order_relaxed);
+        }
       } else {
         ok = true;
       }
       // The cheapest opcode the server answers from counters alone.
-      if (ok) ok = endpoint.client.Stats().ok();
+      if (ok) ok = endpoint->client.Stats().ok();
     }
     if (ok) {
-      endpoint.healthy.store(true, std::memory_order_relaxed);
+      endpoint->healthy.store(true, std::memory_order_relaxed);
+      // A live answer closes the breaker: recovery must be immediate,
+      // not delayed by a stale open window.
+      endpoint->consecutive_failures.store(0, std::memory_order_relaxed);
+      endpoint->breaker_open_until_ms.store(0, std::memory_order_relaxed);
       probe_recoveries_.fetch_add(1, std::memory_order_relaxed);
       ++recovered;
+      SendRepairNudges(state, endpoint);
       continue;
     }
     std::lock_guard<std::mutex> lock(probe_mu_);
-    endpoint.probe_backoff_ms =
-        std::min(endpoint.probe_backoff_ms * 2, options_.probe_max_backoff_ms);
-    if (endpoint.probe_backoff_ms < options_.probe_initial_backoff_ms) {
-      endpoint.probe_backoff_ms = options_.probe_initial_backoff_ms;
+    endpoint->probe_backoff_ms = std::min(endpoint->probe_backoff_ms * 2,
+                                          options_.probe_max_backoff_ms);
+    if (endpoint->probe_backoff_ms < options_.probe_initial_backoff_ms) {
+      endpoint->probe_backoff_ms = options_.probe_initial_backoff_ms;
     }
-    endpoint.next_probe =
+    endpoint->next_probe =
         Clock::now() +
         std::chrono::milliseconds(JitteredBackoffMs(
-            endpoint.probe_backoff_ms, options_.probe_jitter_pct,
+            endpoint->probe_backoff_ms, options_.probe_jitter_pct,
             UnitUniform(&probe_jitter_state_)));
   }
   return recovered;
 }
 
+Status FleetRouter::ReloadMap(FleetMap new_map) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (new_map.version() <= state_->map.version()) {
+    return Status::FailedPrecondition(
+        "fleet: map version " + std::to_string(new_map.version()) +
+        " does not advance routing version " +
+        std::to_string(state_->map.version()));
+  }
+  auto next = std::make_shared<RoutingState>(std::move(new_map));
+  next->endpoints.reserve(next->map.num_endpoints());
+  for (const FleetEndpoint& ep : next->map.endpoints()) {
+    const std::string address = ep.ToString();
+    std::shared_ptr<Endpoint> existing;
+    for (const std::shared_ptr<Endpoint>& old : state_->endpoints) {
+      if (old->address == address) {
+        existing = old;
+        break;
+      }
+    }
+    // Surviving endpoints carry their connection, health, breaker and
+    // repair queue across the swap; only genuinely new daemons start
+    // cold. In-flight requests keep routing on the old state (they hold
+    // its shared_ptr) — nothing is dropped mid-flight.
+    next->endpoints.push_back(
+        existing != nullptr
+            ? existing
+            : std::make_shared<Endpoint>(options_.client, ep));
+  }
+  state_ = std::move(next);
+  map_reloads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+int FleetRouter::CheckMapOnce() {
+  const std::shared_ptr<const RoutingState> state = State();
+  map_checks_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t known = state->map.version();
+  for (const std::shared_ptr<Endpoint>& endpoint : state->endpoints) {
+    if (!endpoint->healthy.load(std::memory_order_relaxed)) continue;
+    StatusOr<MapVersionResponse> response =
+        Status::Internal("map check unattempted");
+    {
+      std::lock_guard<std::mutex> lock(endpoint->mu);
+      if (!endpoint->connected_once.load(std::memory_order_relaxed)) {
+        if (!endpoint->client.Connect(endpoint->host, endpoint->port).ok()) {
+          continue;
+        }
+        endpoint->connected_once.store(true, std::memory_order_relaxed);
+      }
+      response = endpoint->client.MapVersion(known);
+    }
+    if (!response.ok()) continue;  // next healthy endpoint answers
+    if (!response->has_map || response->version <= known) return 0;
+    StatusOr<FleetMap> map = FleetMap::FromBytes(response->map_bytes);
+    if (!map.ok()) return 0;  // a corrupt artifact must not poison routing
+    if (ReloadMap(std::move(*map)).ok()) return 1;
+    return 0;
+  }
+  return 0;
+}
+
 bool FleetRouter::endpoint_healthy(int endpoint_index) const {
-  return endpoints_[endpoint_index]->healthy.load(std::memory_order_relaxed);
+  const std::shared_ptr<const RoutingState> state = State();
+  if (endpoint_index < 0 ||
+      endpoint_index >= static_cast<int>(state->endpoints.size())) {
+    return false;
+  }
+  return state->endpoints[endpoint_index]->healthy.load(
+      std::memory_order_relaxed);
 }
 
 template <typename Fn>
-Status FleetRouter::Attempt(int endpoint_index, Fn&& fn, bool* transport) {
-  Endpoint& endpoint = *endpoints_[endpoint_index];
-  std::lock_guard<std::mutex> lock(endpoint.mu);
-  if (!endpoint.connected_once.load(std::memory_order_relaxed)) {
-    Status connected = endpoint.client.Connect(
-        map_.endpoints()[endpoint_index].host,
-        map_.endpoints()[endpoint_index].port);
+Status FleetRouter::Attempt(const std::shared_ptr<Endpoint>& endpoint,
+                            Fn&& fn, bool* transport,
+                            Clock::time_point deadline, bool has_deadline) {
+  std::lock_guard<std::mutex> lock(endpoint->mu);
+  if (has_deadline) endpoint->client.set_call_deadline(deadline);
+  if (!endpoint->connected_once.load(std::memory_order_relaxed)) {
+    Status connected = endpoint->client.Connect(endpoint->host,
+                                                endpoint->port);
     if (!connected.ok()) {
+      if (has_deadline) endpoint->client.clear_call_deadline();
       *transport = true;
       return connected;
     }
-    endpoint.connected_once.store(true, std::memory_order_relaxed);
+    endpoint->connected_once.store(true, std::memory_order_relaxed);
   }
   // Dropped connections reconnect transparently inside the client
   // (single attempt: this router owns retry policy, see options).
-  Status status = fn(&endpoint.client);
-  *transport = !status.ok() && endpoint.client.last_error_was_transport();
+  Status status = fn(&endpoint->client);
+  *transport = !status.ok() && endpoint->client.last_error_was_transport();
+  if (has_deadline) endpoint->client.clear_call_deadline();
   return status;
 }
 
 template <typename Fn>
 Status FleetRouter::Route(const std::string& park_id, Fn&& fn) {
-  const std::vector<int> replicas = map_.ReplicasFor(park_id);
+  const std::shared_ptr<const RoutingState> state = State();
+  const std::vector<int> replicas = state->map.ReplicasFor(park_id);
   requests_.fetch_add(1, std::memory_order_relaxed);
+
+  const bool has_deadline = options_.request_deadline_ms > 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(
+                         has_deadline ? options_.request_deadline_ms : 0);
+
   Status last = Status::Internal("fleet: no replica attempted");
   int failed_attempts = 0;
   std::vector<bool> attempted(replicas.size(), false);
-  // Pass 0 tries the healthy replicas in preference order; pass 1 is the
-  // last resort — every remaining replica was unhealthy going in, so try
-  // them anyway rather than failing without touching the network.
-  for (int pass = 0; pass < 2; ++pass) {
+  // Pass 0 tries the healthy, breaker-closed replicas in preference
+  // order; pass 1 adds the unhealthy ones (last resort — try them rather
+  // than failing without touching the network); pass 2 adds even
+  // breaker-open endpoints (last-last resort: shedding is pointless when
+  // there is nowhere left to shed to).
+  for (int pass = 0; pass < 3; ++pass) {
     for (size_t r = 0; r < replicas.size(); ++r) {
       const int endpoint_index = replicas[r];
       if (attempted[r]) continue;
-      if (pass == 0 && !endpoint_healthy(endpoint_index)) continue;
+      const std::shared_ptr<Endpoint>& endpoint =
+          state->endpoints[endpoint_index];
+      if (pass < 2 && BreakerOpen(*endpoint)) {
+        if (pass == 0) breaker_shed_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (pass == 0 &&
+          !endpoint->healthy.load(std::memory_order_relaxed)) {
+        continue;
+      }
       attempted[r] = true;
+
+      // Truncate to whole milliseconds, matching the client's own call
+      // deadline: with <1ms left the client would refuse to send anyway,
+      // so attempting would misreport the expiry as a transport error.
+      if (has_deadline &&
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - Clock::now())
+                  .count() <= 0) {
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        return Status::ResourceExhausted(
+            "fleet: request deadline exceeded after " +
+            std::to_string(failed_attempts) + " failed attempts on '" +
+            park_id + "'");
+      }
+      // Degradation policy: the first attempt is free; every failover
+      // retry draws a token that only successes refill. When the whole
+      // fleet is down the budget drains and requests degrade to one
+      // attempt each instead of multiplying timeouts.
+      if (failed_attempts > 0 && !TryDrawRetryToken()) {
+        retry_budget_exhausted_.fetch_add(1, std::memory_order_relaxed);
+        return Status(last.code(),
+                      "fleet: retry budget exhausted routing '" + park_id +
+                          "'; last: " + last.message());
+      }
+
       bool transport = false;
-      Status status = Attempt(endpoint_index, fn, &transport);
+      Status status = Attempt(endpoint, fn, &transport, deadline,
+                              has_deadline);
       if (status.ok() || !transport) {
         // Served, or answered with an application status — either way
         // this endpoint handled the request; never fail over on answers.
-        per_endpoint_requests_[endpoint_index].fetch_add(
-            1, std::memory_order_relaxed);
+        endpoint->requests.fetch_add(1, std::memory_order_relaxed);
+        endpoint->consecutive_failures.store(0, std::memory_order_relaxed);
         if (failed_attempts > 0) {
           failovers_.fetch_add(1, std::memory_order_relaxed);
         }
+        DepositRetryToken();
         return status;
       }
       transport_errors_.fetch_add(1, std::memory_order_relaxed);
       ++failed_attempts;
-      MarkUnhealthy(endpoint_index);
+      MarkUnhealthy(endpoint, park_id);
       last = status;
     }
   }
@@ -228,33 +471,45 @@ StatusOr<PatrolPlan> FleetRouter::PlanForPost(const std::string& park_id,
 }
 
 StatusOr<ServerStatsReport> FleetRouter::EndpointStats(int endpoint_index) {
-  if (endpoint_index < 0 || endpoint_index >= map_.num_endpoints()) {
+  const std::shared_ptr<const RoutingState> state = State();
+  if (endpoint_index < 0 ||
+      endpoint_index >= static_cast<int>(state->endpoints.size())) {
     return Status::InvalidArgument("fleet: endpoint index out of range");
   }
   StatusOr<ServerStatsReport> result{Status::Internal("fleet: unrouted")};
   bool transport = false;
   Status status = Attempt(
-      endpoint_index,
+      state->endpoints[endpoint_index],
       [&](ParkClient* client) {
         result = client->Stats();
         return result.status();
       },
-      &transport);
+      &transport, Clock::time_point{}, false);
   if (!status.ok()) return status;
   return result;
 }
 
 FleetRouter::Stats FleetRouter::stats() const {
+  const std::shared_ptr<const RoutingState> state = State();
   Stats out;
   out.requests = requests_.load(std::memory_order_relaxed);
   out.failovers = failovers_.load(std::memory_order_relaxed);
   out.transport_errors = transport_errors_.load(std::memory_order_relaxed);
   out.exhausted = exhausted_.load(std::memory_order_relaxed);
   out.probe_recoveries = probe_recoveries_.load(std::memory_order_relaxed);
-  out.per_endpoint_requests.reserve(per_endpoint_requests_.size());
-  for (const std::atomic<uint64_t>& count : per_endpoint_requests_) {
+  out.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  out.retry_budget_exhausted =
+      retry_budget_exhausted_.load(std::memory_order_relaxed);
+  out.breaker_opens = breaker_opens_.load(std::memory_order_relaxed);
+  out.breaker_shed = breaker_shed_.load(std::memory_order_relaxed);
+  out.map_reloads = map_reloads_.load(std::memory_order_relaxed);
+  out.map_checks = map_checks_.load(std::memory_order_relaxed);
+  out.repair_nudges = repair_nudges_.load(std::memory_order_relaxed);
+  out.map_version = state->map.version();
+  out.per_endpoint_requests.reserve(state->endpoints.size());
+  for (const std::shared_ptr<Endpoint>& endpoint : state->endpoints) {
     out.per_endpoint_requests.push_back(
-        count.load(std::memory_order_relaxed));
+        endpoint->requests.load(std::memory_order_relaxed));
   }
   return out;
 }

@@ -39,6 +39,40 @@ struct FleetRouterOptions {
   /// Disable the background probe thread (tests drive ProbeOnce()).
   bool enable_probe_thread = true;
 
+  /// End-to-end deadline for one routed request including every failover
+  /// attempt; 0 = none. Propagated into each attempt via the client's
+  /// call deadline, so a request never spends its whole budget inside one
+  /// dead replica's connect timeout and then retries anyway.
+  int request_deadline_ms = 0;
+
+  /// Retry budget (degradation policy): failover retries draw from a
+  /// token bucket that only successful requests refill, so when *every*
+  /// replica is down the router degrades to ~one attempt per request
+  /// instead of multiplying a dead fleet's connect timeouts by the
+  /// replica count. First attempts are never throttled.
+  double retry_budget_initial = 10.0;
+  /// Tokens deposited per successfully handled request (ratio of one
+  /// retry), capped at retry_budget_cap.
+  double retry_budget_ratio = 0.1;
+  double retry_budget_cap = 100.0;
+
+  /// Per-endpoint circuit breaker: after this many *consecutive*
+  /// transport failures the endpoint is shed from routing (requests go
+  /// straight to its replicas) for breaker_open_ms. 0 disables the
+  /// breaker. A successful probe or request closes it immediately.
+  int breaker_failure_threshold = 3;
+  int breaker_open_ms = 1000;
+
+  /// When > 0, the probe thread additionally runs CheckMapOnce() — the
+  /// map-version handshake against a healthy endpoint — at this period,
+  /// hot-reloading the routing table when the fleet has a newer FleetMap.
+  /// 0 leaves map refresh to explicit CheckMapOnce()/ReloadMap() calls.
+  int map_refresh_ms = 0;
+
+  /// Read-repair queue bound per endpoint (parks recorded at failover,
+  /// re-verified on recovery).
+  size_t max_repair_parks = 64;
+
   FleetRouterOptions() {
     client.connect_timeout_ms = 1000;
     client.max_connect_attempts = 1;
@@ -61,6 +95,21 @@ struct FleetRouterOptions {
 /// every replica of a park is unhealthy, the request tries them anyway
 /// (last resort) rather than failing without touching the network.
 ///
+/// Degradation policies (PR 9): a per-request deadline propagates through
+/// every failover attempt; retries draw from a success-refilled token
+/// budget; endpoints failing repeatedly trip a circuit breaker and shed
+/// their traffic to replicas until a probe closes it.
+///
+/// Elasticity (PR 9): the routing table is an immutable RoutingState
+/// snapshot swapped atomically by ReloadMap — in-flight requests finish
+/// on the state they started with while new requests route on the new
+/// map, so a resize never drops traffic. Endpoints surviving a reload
+/// keep their connections and health/breaker history (matched by
+/// "host:port" address). CheckMapOnce runs the kMapVersion handshake so
+/// routers converge on a published map without restart. Read repair: the
+/// parks a failed-over request was routed around are re-verified on the
+/// endpoint's recovery via kRepair nudges.
+///
 /// All routed reads are idempotent (RiskMap / CellCurves / PlanForPost /
 /// Stats), so transport-level retry against another replica can never
 /// duplicate a side effect. Writes (snapshot rollout) deliberately do
@@ -78,7 +127,11 @@ class FleetRouter {
   FleetRouter(const FleetRouter&) = delete;
   FleetRouter& operator=(const FleetRouter&) = delete;
 
-  const FleetMap& map() const { return map_; }
+  /// The version of the FleetMap currently routing requests.
+  uint64_t map_version() const;
+  /// A copy of the current map (the routing table may be hot-swapped at
+  /// any moment; references into it would dangle).
+  FleetMap map_snapshot() const;
 
   /// Routed serving calls — the ParkClient API minus explicit endpoints.
   StatusOr<RiskMaps> RiskMap(const std::string& park_id,
@@ -98,8 +151,21 @@ class FleetRouter {
   /// One synchronous probe pass over the currently-unhealthy endpoints
   /// whose backoff has elapsed (`force` ignores the backoff clock).
   /// The background thread calls this on its tick; tests call it
-  /// directly for determinism. Returns the number of recoveries.
+  /// directly for determinism. Returns the number of recoveries. A
+  /// recovered endpoint's circuit breaker closes and its queued
+  /// read-repair nudges are sent.
   int ProbeOnce(bool force = false);
+
+  /// Installs a newer FleetMap without dropping in-flight requests.
+  /// Endpoints present in both maps (same "host:port") keep their
+  /// connections, health and breaker state. Rejects maps whose version
+  /// does not advance the current one (FailedPrecondition).
+  Status ReloadMap(FleetMap new_map);
+
+  /// The kMapVersion handshake: asks a healthy endpoint for the fleet's
+  /// published map version and hot-reloads when it is newer. Returns 1
+  /// if a reload happened, else 0.
+  int CheckMapOnce();
 
   struct Stats {
     /// Routed requests issued through the router.
@@ -112,24 +178,74 @@ class FleetRouter {
     uint64_t exhausted = 0;
     /// Unhealthy endpoints brought back by a successful probe.
     uint64_t probe_recoveries = 0;
-    /// Requests served per endpoint index (shard balance).
+    /// Requests abandoned at the router's request deadline.
+    uint64_t deadline_exceeded = 0;
+    /// Failover retries suppressed by an empty retry budget.
+    uint64_t retry_budget_exhausted = 0;
+    /// Circuit-breaker trips (closed → open).
+    uint64_t breaker_opens = 0;
+    /// Attempts skipped because the endpoint's breaker was open.
+    uint64_t breaker_shed = 0;
+    /// Hot map reloads (ReloadMap successes).
+    uint64_t map_reloads = 0;
+    /// Map-version handshakes issued.
+    uint64_t map_checks = 0;
+    /// Read-repair nudges sent to recovered endpoints.
+    uint64_t repair_nudges = 0;
+    /// The current routing map's version.
+    uint64_t map_version = 0;
+    /// Requests served per endpoint index of the *current* map (shard
+    /// balance).
     std::vector<uint64_t> per_endpoint_requests;
   };
   Stats stats() const;
 
  private:
   struct Endpoint {
+    /// "host:port" — the reload-stable identity of this daemon.
+    std::string address;
+    std::string host;
+    int port = 0;
+
     /// Serializes the (blocking, single-connection) client.
     std::mutex mu;
     ParkClient client;
     std::atomic<bool> healthy{true};
     std::atomic<bool> connected_once{false};
+    std::atomic<uint64_t> requests{0};
+
+    /// Circuit breaker: consecutive transport failures and the
+    /// steady-clock ms tick the breaker stays open until.
+    std::atomic<int> consecutive_failures{0};
+    std::atomic<int64_t> breaker_open_until_ms{0};
+
     /// Probe bookkeeping, guarded by probe_mu_.
     int probe_backoff_ms = 0;
     std::chrono::steady_clock::time_point next_probe{};
 
-    explicit Endpoint(const ClientOptions& options) : client(options) {}
+    /// Parks routed around this endpoint while it was failing —
+    /// re-verified via kRepair when it recovers. Guarded by repair_mu.
+    std::mutex repair_mu;
+    std::vector<std::string> repair_parks;
+
+    Endpoint(const ClientOptions& options, const FleetEndpoint& ep)
+        : address(ep.ToString()),
+          host(ep.host),
+          port(ep.port),
+          client(options) {}
   };
+
+  /// Immutable routing table snapshot: requests grab a shared_ptr and
+  /// route on it end to end; ReloadMap publishes a successor. Endpoints
+  /// are shared between consecutive states when their address survives.
+  struct RoutingState {
+    FleetMap map;
+    std::vector<std::shared_ptr<Endpoint>> endpoints;
+
+    explicit RoutingState(FleetMap m) : map(std::move(m)) {}
+  };
+
+  std::shared_ptr<const RoutingState> State() const;
 
   /// Runs `fn(client)` against `park_id`'s replicas with failover.
   /// `fn` returns the call's Status; `transport` distinguishes retryable
@@ -139,27 +255,48 @@ class FleetRouter {
 
   /// Connects lazily (first use / after close) and runs one attempt.
   template <typename Fn>
-  Status Attempt(int endpoint_index, Fn&& fn, bool* transport);
+  Status Attempt(const std::shared_ptr<Endpoint>& endpoint, Fn&& fn,
+                 bool* transport,
+                 std::chrono::steady_clock::time_point deadline,
+                 bool has_deadline);
 
-  void MarkUnhealthy(int endpoint_index);
+  void MarkUnhealthy(const std::shared_ptr<Endpoint>& endpoint,
+                     const std::string& park_id);
+  bool BreakerOpen(const Endpoint& endpoint) const;
+  bool TryDrawRetryToken();
+  void DepositRetryToken();
+  void SendRepairNudges(const std::shared_ptr<const RoutingState>& state,
+                        const std::shared_ptr<Endpoint>& endpoint);
   void ProbeLoop();
 
-  FleetMap map_;
   FleetRouterOptions options_;
-  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const RoutingState> state_;
 
   mutable std::mutex probe_mu_;
   std::condition_variable probe_cv_;
   bool stop_ = false;
   uint64_t probe_jitter_state_ = 0;
   std::thread probe_thread_;
+  std::chrono::steady_clock::time_point next_map_check_{};
+
+  /// Retry budget in milli-tokens (atomic integer so the hot path never
+  /// takes a lock to draw).
+  std::atomic<int64_t> retry_tokens_milli_{0};
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> failovers_{0};
   std::atomic<uint64_t> transport_errors_{0};
   std::atomic<uint64_t> exhausted_{0};
   std::atomic<uint64_t> probe_recoveries_{0};
-  std::vector<std::atomic<uint64_t>> per_endpoint_requests_;
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> retry_budget_exhausted_{0};
+  std::atomic<uint64_t> breaker_opens_{0};
+  std::atomic<uint64_t> breaker_shed_{0};
+  std::atomic<uint64_t> map_reloads_{0};
+  std::atomic<uint64_t> map_checks_{0};
+  std::atomic<uint64_t> repair_nudges_{0};
 };
 
 }  // namespace paws

@@ -1,30 +1,17 @@
 #include "net/client.h"
 
-#include <errno.h>
-#include <fcntl.h>
-#include <netdb.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <string.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <chrono>
 #include <thread>
 #include <utility>
 
 #include "core/risk_map.h"
 #include "ml/effort_curve.h"
+#include "net/fault_injector.h"
 #include "plan/planner.h"
 #include "util/archive.h"
 
 namespace paws {
 namespace {
-
-#ifndef MSG_NOSIGNAL
-#define MSG_NOSIGNAL 0
-#endif
 
 using Clock = std::chrono::steady_clock;
 
@@ -35,20 +22,6 @@ int MsLeft(Clock::time_point deadline) {
   if (left < 0) return 0;
   if (left > 1000000000) return 1000000000;
   return static_cast<int>(left);
-}
-
-Status SetNonBlocking(int fd, bool non_blocking) {
-  int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0) return Status::Internal("fcntl(F_GETFL) failed");
-  if (non_blocking) {
-    flags |= O_NONBLOCK;
-  } else {
-    flags &= ~O_NONBLOCK;
-  }
-  if (::fcntl(fd, F_SETFL, flags) < 0) {
-    return Status::Internal("fcntl(F_SETFL) failed");
-  }
-  return Status::OK();
 }
 
 uint64_t SplitMix64(uint64_t* state) {
@@ -89,12 +62,16 @@ double WireClient::NextJitterUniform() {
 WireClient::~WireClient() { Close(); }
 
 void WireClient::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  if (transport_ != nullptr) transport_->Close();
   // A half-received response must not leak into the next exchange.
   parser_ = FrameParser(options_.max_frame_bytes);
+}
+
+int WireClient::DeadlineBudgetMs(int cap) const {
+  if (!has_call_deadline_) return cap;
+  const int left = MsLeft(call_deadline_);
+  if (cap <= 0) return left;
+  return left < cap ? left : cap;
 }
 
 Status WireClient::Connect(const std::string& host, int port) {
@@ -104,12 +81,20 @@ Status WireClient::Connect(const std::string& host, int port) {
   host_ = host;
   port_ = port;
   Close();
+  // The transport is (re)built per endpoint so the fault injector's
+  // per-endpoint rules key on the right "host:port" label.
+  transport_ = MakeTcpTransport();
+  if (options_.fault_injector != nullptr) {
+    transport_ = MakeFaultInjectedTransport(
+        std::move(transport_), options_.fault_injector,
+        host_ + ":" + std::to_string(port_));
+  }
   return EnsureConnected();
 }
 
 Status WireClient::EnsureConnected() {
-  if (fd_ >= 0) return Status::OK();
-  if (port_ < 0) {
+  if (connected()) return Status::OK();
+  if (port_ < 0 || transport_ == nullptr) {
     return Status::FailedPrecondition("WireClient: Connect was never called");
   }
   Status last = Status::Internal("connect never attempted");
@@ -119,10 +104,18 @@ Status WireClient::EnsureConnected() {
                      : options_.max_connect_attempts;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          JitteredBackoffMs(backoff_ms, options_.backoff_jitter_pct,
-                            NextJitterUniform())));
+      int sleep_ms = JitteredBackoffMs(backoff_ms, options_.backoff_jitter_pct,
+                                       NextJitterUniform());
+      if (has_call_deadline_) {
+        const int left = MsLeft(call_deadline_);
+        if (sleep_ms > left) sleep_ms = left;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
       backoff_ms *= 2;
+    }
+    if (has_call_deadline_ && MsLeft(call_deadline_) <= 0) {
+      return Status::ResourceExhausted(
+          "call deadline expired before connecting");
     }
     last = ConnectOnce();
     if (last.ok()) return Status::OK();
@@ -131,108 +124,17 @@ Status WireClient::EnsureConnected() {
 }
 
 Status WireClient::ConnectOnce() {
-  struct addrinfo hints;
-  ::memset(&hints, 0, sizeof(hints));
-  hints.ai_family = AF_UNSPEC;
-  hints.ai_socktype = SOCK_STREAM;
-  struct addrinfo* result = nullptr;
-  const std::string port_str = std::to_string(port_);
-  int rc = ::getaddrinfo(host_.c_str(), port_str.c_str(), &hints, &result);
-  if (rc != 0 || result == nullptr) {
-    return Status::Internal("getaddrinfo failed for " + host_ + ": " +
-                         std::string(::gai_strerror(rc)));
-  }
-
-  Status last = Status::Internal("no addresses resolved for " + host_);
-  for (struct addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
-    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
-    if (fd < 0) {
-      last = Status::Internal("socket() failed");
-      continue;
-    }
-    Status nb = SetNonBlocking(fd, true);
-    if (!nb.ok()) {
-      ::close(fd);
-      last = nb;
-      continue;
-    }
-    rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
-    if (rc != 0 && errno == EINPROGRESS) {
-      struct pollfd pfd;
-      pfd.fd = fd;
-      pfd.events = POLLOUT;
-      pfd.revents = 0;
-      rc = ::poll(&pfd, 1, options_.connect_timeout_ms);
-      if (rc <= 0) {
-        ::close(fd);
-        last = Status::ResourceExhausted("connect to " + host_ + ":" + port_str +
-                                      " timed out");
-        continue;
-      }
-      int err = 0;
-      socklen_t len = sizeof(err);
-      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
-          err != 0) {
-        ::close(fd);
-        last = Status::Internal("connect to " + host_ + ":" + port_str +
-                             " failed: " + std::string(::strerror(err)));
-        continue;
-      }
-    } else if (rc != 0) {
-      int err = errno;
-      ::close(fd);
-      last = Status::Internal("connect to " + host_ + ":" + port_str +
-                           " failed: " + std::string(::strerror(err)));
-      continue;
-    }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    fd_ = fd;
-    parser_ = FrameParser(options_.max_frame_bytes);
-    ::freeaddrinfo(result);
-    return Status::OK();
-  }
-  ::freeaddrinfo(result);
-  return last;
-}
-
-Status WireClient::SendAll(const std::string& bytes, int deadline_ms) {
-  const auto deadline =
-      Clock::now() + std::chrono::milliseconds(
-                         deadline_ms > 0 ? deadline_ms : 1000000000);
-  size_t sent = 0;
-  while (sent < bytes.size()) {
-    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<size_t>(n);
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      struct pollfd pfd;
-      pfd.fd = fd_;
-      pfd.events = POLLOUT;
-      pfd.revents = 0;
-      int left = MsLeft(deadline);
-      if (left <= 0) {
-        return Status::ResourceExhausted("request timed out while sending");
-      }
-      int rc = ::poll(&pfd, 1, left);
-      if (rc < 0 && errno != EINTR) {
-        return Status::Internal("poll failed while sending");
-      }
-      if (rc == 0) {
-        return Status::ResourceExhausted("request timed out while sending");
-      }
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return Status::Internal("connection broken while sending");
-  }
-  return Status::OK();
+  const Status connected = transport_->Connect(
+      host_, port_, DeadlineBudgetMs(options_.connect_timeout_ms));
+  if (connected.ok()) parser_ = FrameParser(options_.max_frame_bytes);
+  return connected;
 }
 
 StatusOr<Frame> WireClient::Call(Opcode opcode, std::string payload) {
+  if (has_call_deadline_ && MsLeft(call_deadline_) <= 0) {
+    return StatusOr<Frame>(Status::ResourceExhausted(
+        "call deadline expired before the request was sent"));
+  }
   PAWS_RETURN_IF_ERROR(EnsureConnected());
 
   Frame request;
@@ -241,17 +143,21 @@ StatusOr<Frame> WireClient::Call(Opcode opcode, std::string payload) {
   request.payload = std::move(payload);
   const std::string bytes = EncodeFrame(request);
 
-  Status sent = SendAll(bytes, options_.request_timeout_ms);
+  auto deadline =
+      Clock::now() +
+      std::chrono::milliseconds(options_.request_timeout_ms > 0
+                                    ? options_.request_timeout_ms
+                                    : 1000000000);
+  if (has_call_deadline_ && call_deadline_ < deadline) {
+    deadline = call_deadline_;
+  }
+
+  Status sent = transport_->Send(bytes.data(), bytes.size(), MsLeft(deadline));
   if (!sent.ok()) {
     Close();
     return sent;
   }
 
-  const auto deadline =
-      Clock::now() +
-      std::chrono::milliseconds(options_.request_timeout_ms > 0
-                                    ? options_.request_timeout_ms
-                                    : 1000000000);
   char buf[65536];
   while (true) {
     // Drain any already-buffered frame first.
@@ -272,38 +178,18 @@ StatusOr<Frame> WireClient::Call(Opcode opcode, std::string payload) {
       return response;
     }
 
-    int left = MsLeft(deadline);
+    const int left = MsLeft(deadline);
     if (left <= 0) {
       Close();
       return StatusOr<Frame>(
           Status::ResourceExhausted("request timed out waiting for response"));
     }
-    struct pollfd pfd;
-    pfd.fd = fd_;
-    pfd.events = POLLIN;
-    pfd.revents = 0;
-    int rc = ::poll(&pfd, 1, left);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
+    StatusOr<size_t> received = transport_->Recv(buf, sizeof(buf), left);
+    if (!received.ok()) {
       Close();
-      return StatusOr<Frame>(Status::Internal("poll failed while receiving"));
+      return received.status();
     }
-    if (rc == 0) {
-      Close();
-      return StatusOr<Frame>(
-          Status::ResourceExhausted("request timed out waiting for response"));
-    }
-    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
-    if (n > 0) {
-      parser_.Append(buf, static_cast<size_t>(n));
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
-      continue;
-    }
-    Close();
-    return StatusOr<Frame>(
-        Status::Internal("connection closed while waiting for response"));
+    if (*received > 0) parser_.Append(buf, *received);
   }
 }
 
@@ -407,6 +293,50 @@ StatusOr<ServerStatsReport> ParkClient::Stats(const std::string& park_id) {
   PAWS_ASSIGN_OR_RETURN(std::string payload,
                         CallOk(Opcode::kStats, EncodeStatsRequest(request)));
   return TagDecode(DecodeStatsReportPayload(payload));
+}
+
+StatusOr<MapVersionResponse> ParkClient::MapVersion(uint64_t known_version) {
+  MapVersionRequest request;
+  request.known_version = known_version;
+  PAWS_ASSIGN_OR_RETURN(
+      std::string payload,
+      CallOk(Opcode::kMapVersion, EncodeMapVersionRequest(request)));
+  return TagDecode(DecodeMapVersionResponse(payload));
+}
+
+Status ParkClient::SwapFleetMap(const std::string& map_bytes) {
+  SwapFleetMapRequest request;
+  request.map_bytes = map_bytes;
+  PAWS_ASSIGN_OR_RETURN(
+      std::string payload,
+      CallOk(Opcode::kSwapFleetMap, EncodeSwapFleetMapRequest(request)));
+  (void)payload;
+  return Status::OK();
+}
+
+StatusOr<std::string> ParkClient::GetSnapshot(const std::string& park_id) {
+  GetSnapshotRequest request;
+  request.park_id = park_id;
+  PAWS_ASSIGN_OR_RETURN(
+      std::string payload,
+      CallOk(Opcode::kGetSnapshot, EncodeGetSnapshotRequest(request)));
+  StatusOr<GetSnapshotResponse> decoded = DecodeGetSnapshotResponse(payload);
+  if (!decoded.ok()) {
+    last_error_transport_ = true;
+    return decoded.status();
+  }
+  return std::move(decoded->snapshot_bytes);
+}
+
+StatusOr<RepairResponse> ParkClient::Repair(
+    const std::string& park_id, const std::vector<std::string>& sources) {
+  RepairRequest request;
+  request.park_id = park_id;
+  request.sources = sources;
+  PAWS_ASSIGN_OR_RETURN(
+      std::string payload,
+      CallOk(Opcode::kRepair, EncodeRepairRequest(request)));
+  return TagDecode(DecodeRepairResponse(payload));
 }
 
 }  // namespace paws

@@ -1,14 +1,19 @@
 #ifndef PAWS_NET_CLIENT_H_
 #define PAWS_NET_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "net/transport.h"
 #include "net/wire.h"
 #include "util/status.h"
 
 namespace paws {
+
+class FaultInjector;
 
 struct ClientOptions {
   /// Per-connect-attempt timeout.
@@ -33,6 +38,12 @@ struct ClientOptions {
   /// jitter independently. Tests pin it for reproducible schedules.
   uint64_t backoff_jitter_seed = 0;
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Chaos seam: when set, every connection's transport is wrapped in a
+  /// FaultInjectedTransport consulting this injector. One injector is
+  /// shared across all the clients of a router or fleet under test, so a
+  /// single `{seed, schedule}` artifact drives — and reproduces — the
+  /// whole run (see net/fault_injector.h).
+  std::shared_ptr<FaultInjector> fault_injector;
 };
 
 /// The jittered backoff sleep: `base_ms` scaled by
@@ -45,6 +56,10 @@ int JitteredBackoffMs(int base_ms, double jitter_pct, double unit_uniform);
 /// wait for the matching response. Reconnects with exponential backoff
 /// when the connection is gone (server restart, idle-timeout close), so a
 /// long-lived field client survives serving-side churn.
+///
+/// All socket work goes through the Transport seam (net/transport.h): a
+/// real TCP transport in production, optionally wrapped by the fault
+/// injector when options.fault_injector is set.
 class WireClient {
  public:
   explicit WireClient(ClientOptions options = {});
@@ -57,7 +72,7 @@ class WireClient {
   /// later reconnects.
   Status Connect(const std::string& host, int port);
 
-  bool connected() const { return fd_ >= 0; }
+  bool connected() const { return transport_ != nullptr && transport_->connected(); }
   void Close();
 
   /// One blocking request/response exchange. Reconnects first if the
@@ -66,21 +81,36 @@ class WireClient {
   /// connection); a served response comes back whole.
   StatusOr<Frame> Call(Opcode opcode, std::string payload);
 
+  /// Per-call deadline override: until cleared, every Call (including its
+  /// reconnect) must finish by `deadline` — whichever of it and
+  /// options.request_timeout_ms is sooner wins. FleetRouter propagates
+  /// one request's end-to-end deadline across failover attempts with
+  /// this; an expired deadline fails with ResourceExhausted before
+  /// touching the network.
+  void set_call_deadline(std::chrono::steady_clock::time_point deadline) {
+    call_deadline_ = deadline;
+    has_call_deadline_ = true;
+  }
+  void clear_call_deadline() { has_call_deadline_ = false; }
+
  private:
   Status EnsureConnected();
   Status ConnectOnce();
-  /// Sends all of `bytes` before `deadline_ms` elapses.
-  Status SendAll(const std::string& bytes, int deadline_ms);
+  /// Remaining ms until the per-call deadline, clamped into [0, cap];
+  /// `cap` when no deadline is set.
+  int DeadlineBudgetMs(int cap) const;
   /// Uniform in [0, 1) from the jitter stream (splitmix64).
   double NextJitterUniform();
 
   ClientOptions options_;
   std::string host_;
   int port_ = -1;
-  int fd_ = -1;
+  std::unique_ptr<Transport> transport_;
   uint64_t next_request_id_ = 1;
   uint64_t jitter_state_ = 0;
   FrameParser parser_;
+  std::chrono::steady_clock::time_point call_deadline_{};
+  bool has_call_deadline_ = false;
 };
 
 /// Typed ParkService client: the serving API of ParkService, spoken over
@@ -122,6 +152,26 @@ class ParkClient {
   /// Server transport counters + per-park cache stats (empty park_id =
   /// every registered park).
   StatusOr<ServerStatsReport> Stats(const std::string& park_id = "");
+
+  /// Map-version handshake: reports `known_version`, gets the server's
+  /// stored FleetMap version back — plus the map bytes when the server's
+  /// is strictly newer (FleetRouter's hot-reload trigger).
+  StatusOr<MapVersionResponse> MapVersion(uint64_t known_version);
+  /// Publishes a FleetMap artifact to the daemon (admin/rollout path);
+  /// the server rejects version regressions with FailedPrecondition.
+  Status SwapFleetMap(const std::string& map_bytes);
+  /// Pulls the exact snapshot archive the daemon serves for `park_id`.
+  StatusOr<std::string> GetSnapshot(const std::string& park_id);
+  /// Read-repair nudge: the daemon re-verifies its artifact for
+  /// `park_id`, re-pulling from `sources` ("host:port") if needed.
+  StatusOr<RepairResponse> Repair(const std::string& park_id,
+                                  const std::vector<std::string>& sources);
+
+  /// See WireClient::set_call_deadline.
+  void set_call_deadline(std::chrono::steady_clock::time_point deadline) {
+    client_.set_call_deadline(deadline);
+  }
+  void clear_call_deadline() { client_.clear_call_deadline(); }
 
   /// True iff the most recent failed method call failed at the transport
   /// layer (see class comment). Meaningful only immediately after a

@@ -134,14 +134,24 @@ FrameServer::Stats FrameServer::stats() const {
 
 void FrameServer::WakeEventLoop() {
   const char byte = 1;
-  // EAGAIN means the pipe already holds a wakeup; that is enough.
-  (void)!::write(wake_pipe_[1], &byte, 1);
+  // EAGAIN means the pipe already holds a wakeup; that is enough. EINTR
+  // means nothing was written yet — losing that wakeup could leave a
+  // finished response sitting unflushed until the next poll timeout, so
+  // retry.
+  while (::write(wake_pipe_[1], &byte, 1) < 0 && errno == EINTR) {
+  }
 }
 
 void FrameServer::AcceptNewConnections() {
   while (true) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) break;  // EAGAIN (drained) or transient error
+    if (fd < 0) {
+      // A signal mid-accept must not abandon connections still waiting
+      // in the backlog — only a drained queue (EAGAIN) or a real error
+      // ends the sweep.
+      if (errno == EINTR) continue;
+      break;
+    }
     if (conns_.size() >= static_cast<size_t>(options_.max_connections)) {
       // Accept-then-close: leaving the connection in the backlog would
       // make poll report the listener readable forever.
@@ -167,8 +177,13 @@ void FrameServer::AcceptNewConnections() {
 
 bool FrameServer::ReadFromConn(uint64_t conn_id, Conn* conn) {
   char buf[64 * 1024];
+  size_t cap = sizeof(buf);
+  if (options_.max_read_bytes_for_test > 0 &&
+      options_.max_read_bytes_for_test < cap) {
+    cap = options_.max_read_bytes_for_test;
+  }
   while (true) {
-    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    const ssize_t n = ::recv(conn->fd, buf, cap, 0);
     if (n > 0) {
       conn->last_activity = Clock::now();
       conn->parser.Append(buf, static_cast<size_t>(n));
@@ -203,9 +218,13 @@ bool FrameServer::ReadFromConn(uint64_t conn_id, Conn* conn) {
 
 bool FrameServer::WriteToConn(Conn* conn) {
   while (conn->out_pos < conn->outbuf.size()) {
-    const ssize_t n =
-        ::send(conn->fd, conn->outbuf.data() + conn->out_pos,
-               conn->outbuf.size() - conn->out_pos, MSG_NOSIGNAL);
+    size_t chunk = conn->outbuf.size() - conn->out_pos;
+    if (options_.max_write_bytes_for_test > 0 &&
+        options_.max_write_bytes_for_test < chunk) {
+      chunk = options_.max_write_bytes_for_test;
+    }
+    const ssize_t n = ::send(conn->fd, conn->outbuf.data() + conn->out_pos,
+                             chunk, MSG_NOSIGNAL);
     if (n > 0) {
       conn->out_pos += static_cast<size_t>(n);
       conn->last_activity = Clock::now();

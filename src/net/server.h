@@ -45,6 +45,11 @@ struct FrameServerOptions {
   /// (after the deadline check). Lets tests make dispatch observably slow
   /// without a timing-dependent workload.
   std::function<void()> pre_dispatch_hook_for_test;
+  /// Test seams: cap a single recv()/send() to this many bytes (0 = no
+  /// cap). Forces the partial-read reassembly and partial-write resume
+  /// paths deterministically, instead of hoping the kernel fragments.
+  size_t max_read_bytes_for_test = 0;
+  size_t max_write_bytes_for_test = 0;
 };
 
 /// Portable readiness-loop frame server: one listener/event thread owns

@@ -1,0 +1,210 @@
+#include "net/transport.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+namespace paws {
+namespace {
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+using Clock = std::chrono::steady_clock;
+
+int MsLeft(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  if (left < 0) return 0;
+  if (left > 1000000000) return 1000000000;
+  return static_cast<int>(left);
+}
+
+Status SetNonBlocking(int fd, bool non_blocking) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::Internal("fcntl(F_GETFL) failed");
+  if (non_blocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return Status::Internal("fcntl(F_SETFL) failed");
+  }
+  return Status::OK();
+}
+
+/// poll() that survives signal interruption: EINTR re-polls with the
+/// remaining budget instead of being misreported as a timeout (the gap
+/// the fault-injection audit found in the original connect path).
+int PollUninterrupted(struct pollfd* pfd, Clock::time_point deadline) {
+  while (true) {
+    const int left = MsLeft(deadline);
+    const int rc = ::poll(pfd, 1, left);
+    if (rc < 0 && errno == EINTR) {
+      if (MsLeft(deadline) <= 0) return 0;
+      continue;
+    }
+    return rc;
+  }
+}
+
+class TcpTransport final : public Transport {
+ public:
+  ~TcpTransport() override { Close(); }
+
+  Status Connect(const std::string& host, int port, int timeout_ms) override {
+    Close();
+    const auto deadline =
+        Clock::now() +
+        std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 1000000000);
+
+    struct addrinfo hints;
+    ::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo* result = nullptr;
+    const std::string port_str = std::to_string(port);
+    int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &result);
+    if (rc != 0 || result == nullptr) {
+      return Status::Internal("getaddrinfo failed for " + host + ": " +
+                              std::string(::gai_strerror(rc)));
+    }
+
+    Status last = Status::Internal("no addresses resolved for " + host);
+    for (struct addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+      int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) {
+        last = Status::Internal("socket() failed");
+        continue;
+      }
+      Status nb = SetNonBlocking(fd, true);
+      if (!nb.ok()) {
+        ::close(fd);
+        last = nb;
+        continue;
+      }
+      rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+      if (rc != 0 && errno == EINPROGRESS) {
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        pfd.revents = 0;
+        rc = PollUninterrupted(&pfd, deadline);
+        if (rc <= 0) {
+          ::close(fd);
+          last = Status::ResourceExhausted("connect to " + host + ":" +
+                                           port_str + " timed out");
+          continue;
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+            err != 0) {
+          ::close(fd);
+          last = Status::Internal("connect to " + host + ":" + port_str +
+                                  " failed: " + std::string(::strerror(err)));
+          continue;
+        }
+      } else if (rc != 0) {
+        int err = errno;
+        ::close(fd);
+        last = Status::Internal("connect to " + host + ":" + port_str +
+                                " failed: " + std::string(::strerror(err)));
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      fd_ = fd;
+      ::freeaddrinfo(result);
+      return Status::OK();
+    }
+    ::freeaddrinfo(result);
+    return last;
+  }
+
+  bool connected() const override { return fd_ >= 0; }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  Status Send(const char* data, size_t len, int deadline_ms) override {
+    if (fd_ < 0) return Status::FailedPrecondition("transport not connected");
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(
+                           deadline_ms > 0 ? deadline_ms : 1000000000);
+    size_t sent = 0;
+    while (sent < len) {
+      ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        struct pollfd pfd;
+        pfd.fd = fd_;
+        pfd.events = POLLOUT;
+        pfd.revents = 0;
+        if (MsLeft(deadline) <= 0) {
+          return Status::ResourceExhausted("request timed out while sending");
+        }
+        int rc = PollUninterrupted(&pfd, deadline);
+        if (rc < 0) {
+          return Status::Internal("poll failed while sending");
+        }
+        if (rc == 0) {
+          return Status::ResourceExhausted("request timed out while sending");
+        }
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return Status::Internal("connection broken while sending");
+    }
+    return Status::OK();
+  }
+
+  StatusOr<size_t> Recv(char* buf, size_t len, int timeout_ms) override {
+    if (fd_ < 0) return Status::FailedPrecondition("transport not connected");
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const auto deadline =
+        Clock::now() +
+        std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
+    int rc = PollUninterrupted(&pfd, deadline);
+    if (rc < 0) return Status::Internal("poll failed while receiving");
+    if (rc == 0) return static_cast<size_t>(0);
+    ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n > 0) return static_cast<size_t>(n);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      return static_cast<size_t>(0);
+    }
+    return Status::Internal("connection closed while waiting for response");
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> MakeTcpTransport() {
+  return std::make_unique<TcpTransport>();
+}
+
+}  // namespace paws

@@ -1,0 +1,51 @@
+#ifndef PAWS_NET_TRANSPORT_H_
+#define PAWS_NET_TRANSPORT_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace paws {
+
+/// The byte-stream seam under WireClient: one connection's connect, send
+/// and receive. The seam exists so a schedule-driven FaultInjector can
+/// interpose on exactly the operations the kernel would otherwise own —
+/// every chaos failure mode (connect refusal, latency, mid-frame
+/// truncation, byte corruption, reset, one-way stall) becomes a
+/// deterministic Transport wrapper instead of an irreproducible network
+/// accident (see net/fault_injector.h).
+///
+/// Contract:
+///  - Connect resolves `host` and establishes the connection within
+///    `timeout_ms` (EINTR never shortens the wait — the implementation
+///    re-polls with the remaining budget).
+///  - Send delivers the WHOLE buffer before `deadline_ms` elapses,
+///    absorbing partial writes, EAGAIN and EINTR internally; a non-OK
+///    return leaves the stream position undefined and the caller must
+///    Close().
+///  - Recv waits up to `timeout_ms` for data and returns the byte count
+///    read (> 0), or 0 when the wait elapsed / was interrupted with
+///    nothing to read (the caller owns the end-to-end deadline and just
+///    loops), or a Status for EOF and hard socket errors.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual Status Connect(const std::string& host, int port,
+                         int timeout_ms) = 0;
+  virtual bool connected() const = 0;
+  virtual void Close() = 0;
+  virtual Status Send(const char* data, size_t len, int deadline_ms) = 0;
+  virtual StatusOr<size_t> Recv(char* buf, size_t len, int timeout_ms) = 0;
+};
+
+/// The real thing: a non-blocking TCP socket (TCP_NODELAY, poll-driven
+/// timeouts), extracted verbatim from the original WireClient socket code
+/// plus the EINTR fixes the chaos suite regression-tests.
+std::unique_ptr<Transport> MakeTcpTransport();
+
+}  // namespace paws
+
+#endif  // PAWS_NET_TRANSPORT_H_

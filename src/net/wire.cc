@@ -19,6 +19,13 @@ constexpr uint32_t kSwapReqTag = FourCc("RQSS");
 constexpr uint32_t kStatsReqTag = FourCc("RQST");
 constexpr uint32_t kRiskBatchRespTag = FourCc("RSRB");
 constexpr uint32_t kStatsRespTag = FourCc("RSST");
+constexpr uint32_t kMapVersionReqTag = FourCc("RQMV");
+constexpr uint32_t kMapVersionRespTag = FourCc("RSMV");
+constexpr uint32_t kSwapMapReqTag = FourCc("RQFM");
+constexpr uint32_t kGetSnapReqTag = FourCc("RQGS");
+constexpr uint32_t kGetSnapRespTag = FourCc("RSGS");
+constexpr uint32_t kRepairReqTag = FourCc("RQRP");
+constexpr uint32_t kRepairRespTag = FourCc("RSRP");
 
 void AppendU32(std::string* out, uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -68,6 +75,14 @@ std::string OpcodeName(uint32_t opcode) {
       return "SwapSnapshot";
     case Opcode::kStats:
       return "Stats";
+    case Opcode::kMapVersion:
+      return "MapVersion";
+    case Opcode::kSwapFleetMap:
+      return "SwapFleetMap";
+    case Opcode::kGetSnapshot:
+      return "GetSnapshot";
+    case Opcode::kRepair:
+      return "Repair";
     case Opcode::kOkResponse:
       return "OkResponse";
     case Opcode::kStatusResponse:
@@ -78,7 +93,7 @@ std::string OpcodeName(uint32_t opcode) {
 
 bool IsRequestOpcode(uint32_t opcode) {
   return opcode >= static_cast<uint32_t>(Opcode::kRiskMap) &&
-         opcode <= static_cast<uint32_t>(Opcode::kStats);
+         opcode <= static_cast<uint32_t>(Opcode::kRepair);
 }
 
 std::string EncodeFrame(const Frame& frame) {
@@ -94,7 +109,21 @@ std::string EncodeFrame(const Frame& frame) {
 }
 
 void FrameParser::Append(const void* data, size_t n) {
+  // A broken stream never recovers (the framing is lost); buffering more
+  // of it would only let a hostile peer grow the buffer after the parser
+  // already refused to serve from it.
+  if (broken_) return;
   buffer_.append(static_cast<const char*>(data), n);
+}
+
+StatusOr<bool> FrameParser::Break(const std::string& why) {
+  broken_ = true;
+  // Release the bytes already buffered, not just refuse new ones: nothing
+  // will ever be parsed from a broken stream, so holding them would let a
+  // hostile peer pin up to a header+cap of memory per poisoned connection.
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  return BrokenStream(why);
 }
 
 StatusOr<bool> FrameParser::Next(Frame* out) {
@@ -102,23 +131,20 @@ StatusOr<bool> FrameParser::Next(Frame* out) {
   // Validate the header prefix as soon as its bytes arrive: garbage is
   // rejected after 4 bytes, not buffered until a bogus length shows up.
   if (buffer_.size() >= 4 && LoadU32(buffer_.data()) != kWireMagic) {
-    broken_ = true;
-    return BrokenStream("bad magic");
+    return Break("bad magic");
   }
   if (buffer_.size() >= 8 && LoadU32(buffer_.data() + 4) !=
                                  kWireProtocolVersion) {
-    broken_ = true;
-    return BrokenStream("unsupported protocol version " +
-                        std::to_string(LoadU32(buffer_.data() + 4)));
+    return Break("unsupported protocol version " +
+                 std::to_string(LoadU32(buffer_.data() + 4)));
   }
   if (buffer_.size() < kWireHeaderBytes) return false;
   const uint64_t payload_len = LoadU64(buffer_.data() + 20);
   // The length prefix is attacker-controlled until this check passes; it
   // bounds every subsequent buffer operation.
   if (payload_len > max_frame_bytes_) {
-    broken_ = true;
-    return BrokenStream("frame length " + std::to_string(payload_len) +
-                        " exceeds cap " + std::to_string(max_frame_bytes_));
+    return Break("frame length " + std::to_string(payload_len) +
+                 " exceeds cap " + std::to_string(max_frame_bytes_));
   }
   if (buffer_.size() < kWireHeaderBytes + payload_len) return false;
   out->request_id = LoadU64(buffer_.data() + 8);
@@ -413,6 +439,164 @@ StatusOr<StatsRequest> DecodeStatsRequest(const std::string& payload) {
   PAWS_RETURN_IF_ERROR(reader.LeaveSection());
   PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
   return req;
+}
+
+std::string EncodeMapVersionRequest(const MapVersionRequest& req) {
+  ArchiveWriter writer;
+  writer.BeginSection(kMapVersionReqTag);
+  writer.WriteU64(req.known_version);
+  writer.EndSection();
+  return writer.Bytes();
+}
+
+StatusOr<MapVersionRequest> DecodeMapVersionRequest(
+    const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  MapVersionRequest req;
+  PAWS_RETURN_IF_ERROR(reader.EnterSection(kMapVersionReqTag));
+  PAWS_RETURN_IF_ERROR(reader.ReadU64(&req.known_version));
+  PAWS_RETURN_IF_ERROR(reader.LeaveSection());
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return req;
+}
+
+std::string EncodeMapVersionResponse(const MapVersionResponse& resp) {
+  ArchiveWriter writer;
+  writer.BeginSection(kMapVersionRespTag);
+  writer.WriteU64(resp.version);
+  writer.WriteBool(resp.has_map);
+  writer.WriteString(resp.map_bytes);
+  writer.EndSection();
+  return writer.Bytes();
+}
+
+StatusOr<MapVersionResponse> DecodeMapVersionResponse(
+    const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  MapVersionResponse resp;
+  PAWS_RETURN_IF_ERROR(reader.EnterSection(kMapVersionRespTag));
+  PAWS_RETURN_IF_ERROR(reader.ReadU64(&resp.version));
+  PAWS_RETURN_IF_ERROR(reader.ReadBool(&resp.has_map));
+  PAWS_RETURN_IF_ERROR(reader.ReadString(&resp.map_bytes));
+  PAWS_RETURN_IF_ERROR(reader.LeaveSection());
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return resp;
+}
+
+std::string EncodeSwapFleetMapRequest(const SwapFleetMapRequest& req) {
+  ArchiveWriter writer;
+  writer.BeginSection(kSwapMapReqTag);
+  writer.WriteString(req.map_bytes);
+  writer.EndSection();
+  return writer.Bytes();
+}
+
+StatusOr<SwapFleetMapRequest> DecodeSwapFleetMapRequest(
+    const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  SwapFleetMapRequest req;
+  PAWS_RETURN_IF_ERROR(reader.EnterSection(kSwapMapReqTag));
+  PAWS_RETURN_IF_ERROR(reader.ReadString(&req.map_bytes));
+  PAWS_RETURN_IF_ERROR(reader.LeaveSection());
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return req;
+}
+
+std::string EncodeGetSnapshotRequest(const GetSnapshotRequest& req) {
+  ArchiveWriter writer;
+  writer.BeginSection(kGetSnapReqTag);
+  writer.WriteString(req.park_id);
+  writer.EndSection();
+  return writer.Bytes();
+}
+
+StatusOr<GetSnapshotRequest> DecodeGetSnapshotRequest(
+    const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  GetSnapshotRequest req;
+  PAWS_RETURN_IF_ERROR(reader.EnterSection(kGetSnapReqTag));
+  PAWS_RETURN_IF_ERROR(reader.ReadString(&req.park_id));
+  PAWS_RETURN_IF_ERROR(reader.LeaveSection());
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return req;
+}
+
+std::string EncodeGetSnapshotResponse(const GetSnapshotResponse& resp) {
+  ArchiveWriter writer;
+  writer.BeginSection(kGetSnapRespTag);
+  writer.WriteString(resp.snapshot_bytes);
+  writer.EndSection();
+  return writer.Bytes();
+}
+
+StatusOr<GetSnapshotResponse> DecodeGetSnapshotResponse(
+    const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  GetSnapshotResponse resp;
+  PAWS_RETURN_IF_ERROR(reader.EnterSection(kGetSnapRespTag));
+  PAWS_RETURN_IF_ERROR(reader.ReadString(&resp.snapshot_bytes));
+  PAWS_RETURN_IF_ERROR(reader.LeaveSection());
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return resp;
+}
+
+std::string EncodeRepairRequest(const RepairRequest& req) {
+  ArchiveWriter writer;
+  writer.BeginSection(kRepairReqTag);
+  writer.WriteString(req.park_id);
+  writer.WriteU64(req.sources.size());
+  for (const std::string& source : req.sources) {
+    writer.WriteString(source);
+  }
+  writer.EndSection();
+  return writer.Bytes();
+}
+
+StatusOr<RepairRequest> DecodeRepairRequest(const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  RepairRequest req;
+  PAWS_RETURN_IF_ERROR(reader.EnterSection(kRepairReqTag));
+  PAWS_RETURN_IF_ERROR(reader.ReadString(&req.park_id));
+  uint64_t count = 0;
+  PAWS_RETURN_IF_ERROR(reader.ReadU64(&count));
+  // Each source costs at least its length prefix; bound the reserve.
+  if (count > reader.remaining() / 8) {
+    return BrokenStream("repair source count overruns payload");
+  }
+  req.sources.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string source;
+    PAWS_RETURN_IF_ERROR(reader.ReadString(&source));
+    req.sources.push_back(std::move(source));
+  }
+  PAWS_RETURN_IF_ERROR(reader.LeaveSection());
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return req;
+}
+
+std::string EncodeRepairResponse(const RepairResponse& resp) {
+  ArchiveWriter writer;
+  writer.BeginSection(kRepairRespTag);
+  writer.WriteString(resp.action);
+  writer.EndSection();
+  return writer.Bytes();
+}
+
+StatusOr<RepairResponse> DecodeRepairResponse(const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  RepairResponse resp;
+  PAWS_RETURN_IF_ERROR(reader.EnterSection(kRepairRespTag));
+  PAWS_RETURN_IF_ERROR(reader.ReadString(&resp.action));
+  PAWS_RETURN_IF_ERROR(reader.LeaveSection());
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return resp;
 }
 
 std::string EncodeRiskMapsPayload(const RiskMaps& maps) {

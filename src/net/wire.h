@@ -56,6 +56,12 @@ enum class Opcode : uint32_t {
   kPlanForPost = 4,
   kSwapSnapshot = 5,
   kStats = 6,
+  /// Fleet elasticity (PR 9): map-version handshake, map publication,
+  /// replica-to-replica artifact pull, and the read-repair nudge.
+  kMapVersion = 7,
+  kSwapFleetMap = 8,
+  kGetSnapshot = 9,
+  kRepair = 10,
   kOkResponse = 100,
   kStatusResponse = 101,
 };
@@ -97,6 +103,8 @@ class FrameParser {
   size_t buffered_bytes() const { return buffer_.size(); }
 
  private:
+  StatusOr<bool> Break(const std::string& why);
+
   size_t max_frame_bytes_;
   std::string buffer_;
   bool broken_ = false;
@@ -167,6 +175,50 @@ struct StatsRequest {
   std::string park_id;
 };
 
+/// Map-version handshake: the client reports the newest FleetMap version
+/// it routes by; the server answers with its own stored version and — only
+/// when strictly newer — piggy-backs the whole map artifact, so a router
+/// hot-reloads in one round trip. A server that holds no map answers
+/// version 0 with no bytes.
+struct MapVersionRequest {
+  uint64_t known_version = 0;
+};
+struct MapVersionResponse {
+  uint64_t version = 0;
+  bool has_map = false;
+  std::string map_bytes;
+};
+
+/// Publishes a FleetMap artifact to a daemon (FleetAdmin after a resize).
+/// The server validates the bytes and rejects version regressions with
+/// kFailedPrecondition — rollouts have a total order.
+struct SwapFleetMapRequest {
+  std::string map_bytes;
+};
+
+/// Replica-to-replica artifact pull: the exact snapshot archive the
+/// daemon serves for `park_id` (the inverse of SwapSnapshot). Bulk
+/// migration and read repair are built on it.
+struct GetSnapshotRequest {
+  std::string park_id;
+};
+struct GetSnapshotResponse {
+  std::string snapshot_bytes;
+};
+
+/// Read-repair nudge: re-verify the locally served artifact for
+/// `park_id`, and when it is missing or fails validation, re-pull it from
+/// the listed source daemons ("host:port") in order. The response reports
+/// what happened: "verified" (local artifact checked out) or "repaired"
+/// (re-pulled and installed).
+struct RepairRequest {
+  std::string park_id;
+  std::vector<std::string> sources;
+};
+struct RepairResponse {
+  std::string action;
+};
+
 /// Stats response: transport counters plus per-park cache economics (the
 /// risk-map LRU and the effort-curve-table LRU) and the scoring backend
 /// each park's model dispatches through.
@@ -214,6 +266,32 @@ StatusOr<SwapSnapshotRequest> DecodeSwapSnapshotRequest(
 
 std::string EncodeStatsRequest(const StatsRequest& req);
 StatusOr<StatsRequest> DecodeStatsRequest(const std::string& payload);
+
+std::string EncodeMapVersionRequest(const MapVersionRequest& req);
+StatusOr<MapVersionRequest> DecodeMapVersionRequest(
+    const std::string& payload);
+
+std::string EncodeMapVersionResponse(const MapVersionResponse& resp);
+StatusOr<MapVersionResponse> DecodeMapVersionResponse(
+    const std::string& payload);
+
+std::string EncodeSwapFleetMapRequest(const SwapFleetMapRequest& req);
+StatusOr<SwapFleetMapRequest> DecodeSwapFleetMapRequest(
+    const std::string& payload);
+
+std::string EncodeGetSnapshotRequest(const GetSnapshotRequest& req);
+StatusOr<GetSnapshotRequest> DecodeGetSnapshotRequest(
+    const std::string& payload);
+
+std::string EncodeGetSnapshotResponse(const GetSnapshotResponse& resp);
+StatusOr<GetSnapshotResponse> DecodeGetSnapshotResponse(
+    const std::string& payload);
+
+std::string EncodeRepairRequest(const RepairRequest& req);
+StatusOr<RepairRequest> DecodeRepairRequest(const std::string& payload);
+
+std::string EncodeRepairResponse(const RepairResponse& resp);
+StatusOr<RepairResponse> DecodeRepairResponse(const std::string& payload);
 
 std::string EncodeRiskMapsPayload(const RiskMaps& maps);
 StatusOr<RiskMaps> DecodeRiskMapsPayload(const std::string& payload);

@@ -1,10 +1,12 @@
 #include "serve/park_server.h"
 
+#include <cstdlib>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "core/snapshot.h"
+#include "fleet/fleet_map.h"
 
 namespace paws {
 
@@ -34,6 +36,18 @@ Frame ParkServer::Handle(const Frame& request) {
       break;
     case static_cast<uint32_t>(Opcode::kStats):
       payload = HandleStats(request.payload, &error);
+      break;
+    case static_cast<uint32_t>(Opcode::kMapVersion):
+      payload = HandleMapVersion(request.payload, &error);
+      break;
+    case static_cast<uint32_t>(Opcode::kSwapFleetMap):
+      payload = HandleSwapFleetMap(request.payload, &error);
+      break;
+    case static_cast<uint32_t>(Opcode::kGetSnapshot):
+      payload = HandleGetSnapshot(request.payload, &error);
+      break;
+    case static_cast<uint32_t>(Opcode::kRepair):
+      payload = HandleRepair(request.payload, &error);
       break;
     default:
       error = Status::InvalidArgument("unknown request opcode " +
@@ -215,6 +229,148 @@ std::string ParkServer::HandleStats(const std::string& payload,
     report.parks.push_back(std::move(park));
   }
   return EncodeStatsReportPayload(report);
+}
+
+std::string ParkServer::HandleMapVersion(const std::string& payload,
+                                         Status* error) {
+  StatusOr<MapVersionRequest> request = DecodeMapVersionRequest(payload);
+  if (!request.ok()) {
+    *error = request.status();
+    return "";
+  }
+  MapVersionResponse response;
+  std::lock_guard<std::mutex> lock(fleet_mu_);
+  response.version = fleet_map_version_;
+  // The map travels only when the caller is behind: the handshake is a
+  // cheap per-connection heartbeat, and routers that are current must not
+  // pay the artifact's bytes on every probe.
+  if (fleet_map_version_ > request->known_version) {
+    response.has_map = true;
+    response.map_bytes = fleet_map_bytes_;
+  }
+  return EncodeMapVersionResponse(response);
+}
+
+std::string ParkServer::HandleSwapFleetMap(const std::string& payload,
+                                           Status* error) {
+  StatusOr<SwapFleetMapRequest> request = DecodeSwapFleetMapRequest(payload);
+  if (!request.ok()) {
+    *error = request.status();
+    return "";
+  }
+  StatusOr<FleetMap> map = FleetMap::FromBytes(request->map_bytes);
+  if (!map.ok()) {
+    *error = map.status();
+    return "";
+  }
+  std::lock_guard<std::mutex> lock(fleet_mu_);
+  if (map->version() <= fleet_map_version_ && fleet_map_version_ != 0) {
+    *error = Status::FailedPrecondition(
+        "fleet map version " + std::to_string(map->version()) +
+        " does not advance stored version " +
+        std::to_string(fleet_map_version_));
+    return "";
+  }
+  fleet_map_version_ = map->version();
+  fleet_map_bytes_ = request->map_bytes;
+  return "";
+}
+
+std::string ParkServer::HandleGetSnapshot(const std::string& payload,
+                                          Status* error) {
+  StatusOr<GetSnapshotRequest> request = DecodeGetSnapshotRequest(payload);
+  if (!request.ok()) {
+    *error = request.status();
+    return "";
+  }
+  StatusOr<std::string> bytes = service_->SnapshotBytes(request->park_id);
+  if (!bytes.ok()) {
+    *error = bytes.status();
+    return "";
+  }
+  GetSnapshotResponse response;
+  response.snapshot_bytes = std::move(bytes).value();
+  return EncodeGetSnapshotResponse(response);
+}
+
+std::string ParkServer::HandleRepair(const std::string& payload,
+                                     Status* error) {
+  StatusOr<RepairRequest> request = DecodeRepairRequest(payload);
+  if (!request.ok()) {
+    *error = request.status();
+    return "";
+  }
+
+  // Verify before pulling: if the locally served artifact round-trips
+  // through the archive layer, the daemon is healthy and the nudge is a
+  // no-op ("verified").
+  StatusOr<std::string> local = service_->SnapshotBytes(request->park_id);
+  if (local.ok()) {
+    StatusOr<ModelSnapshot> decoded = ModelSnapshot::FromBytes(*local);
+    if (decoded.ok()) {
+      RepairResponse response;
+      response.action = "verified";
+      return EncodeRepairResponse(response);
+    }
+  }
+
+  // The park is missing or its artifact is damaged: re-pull from the
+  // listed source replicas, first healthy source wins.
+  ClientOptions pull_options;
+  {
+    std::lock_guard<std::mutex> lock(fleet_mu_);
+    pull_options = repair_client_options_;
+  }
+  Status last = Status::Internal("repair of '" + request->park_id +
+                                 "': no sources listed");
+  for (const std::string& source : request->sources) {
+    const size_t colon = source.rfind(':');
+    if (colon == std::string::npos) {
+      last = Status::InvalidArgument("bad repair source '" + source + "'");
+      continue;
+    }
+    const std::string host = source.substr(0, colon);
+    const int port = std::atoi(source.c_str() + colon + 1);
+    if (port == server_.port() &&
+        (host == "127.0.0.1" || host == "localhost")) {
+      continue;  // never pull from ourselves — that is the damaged copy
+    }
+    ParkClient peer(pull_options);
+    Status connected = peer.Connect(host, port);
+    if (!connected.ok()) {
+      last = connected;
+      continue;
+    }
+    StatusOr<std::string> pulled = peer.GetSnapshot(request->park_id);
+    if (!pulled.ok()) {
+      last = pulled.status();
+      continue;
+    }
+    StatusOr<ModelSnapshot> snapshot = ModelSnapshot::FromBytes(*pulled);
+    if (!snapshot.ok()) {
+      last = snapshot.status();
+      continue;
+    }
+    Status swapped =
+        service_->SwapSnapshot(request->park_id, std::move(*snapshot));
+    if (swapped.code() == StatusCode::kNotFound) {
+      StatusOr<ModelSnapshot> fresh = ModelSnapshot::FromBytes(*pulled);
+      if (!fresh.ok()) {
+        last = fresh.status();
+        continue;
+      }
+      swapped = service_->Register(request->park_id, std::move(*fresh));
+    }
+    if (!swapped.ok()) {
+      last = swapped;
+      continue;
+    }
+    RepairResponse response;
+    response.action = "repaired";
+    return EncodeRepairResponse(response);
+  }
+  *error = last;
+  return "";
 }
 
 }  // namespace paws

@@ -1,8 +1,11 @@
 #ifndef PAWS_SERVE_PARK_SERVER_H_
 #define PAWS_SERVE_PARK_SERVER_H_
 
+#include <cstdint>
+#include <mutex>
 #include <string>
 
+#include "net/client.h"
 #include "net/server.h"
 #include "net/wire.h"
 #include "serve/park_service.h"
@@ -19,6 +22,13 @@ namespace paws {
 /// Wire SwapSnapshot is an upsert: replacing an unknown park id registers
 /// it instead, so a fresh field daemon can be bootstrapped entirely over
 /// the network by the training fleet.
+///
+/// Fleet elasticity (PR 9): the daemon additionally stores the published
+/// FleetMap artifact (kSwapFleetMap) and answers the kMapVersion
+/// handshake from it, serves its exact snapshot archives to peer replicas
+/// (kGetSnapshot), and executes read-repair nudges (kRepair): verify the
+/// local artifact round-trips, else re-pull it from the listed source
+/// replicas.
 class ParkServer {
  public:
   /// `service` must outlive the server and Shutdown().
@@ -34,6 +44,19 @@ class ParkServer {
 
   FrameServer::Stats net_stats() const { return server_.stats(); }
 
+  /// Client options for the outbound repair-pull connections (kRepair
+  /// sources). Tests inject short timeouts or a fault injector here.
+  void set_repair_client_options(ClientOptions options) {
+    std::lock_guard<std::mutex> lock(fleet_mu_);
+    repair_client_options_ = std::move(options);
+  }
+
+  /// The stored FleetMap version (0 until one is published).
+  uint64_t fleet_map_version() const {
+    std::lock_guard<std::mutex> lock(fleet_mu_);
+    return fleet_map_version_;
+  }
+
   /// Exposed for tests: the exact request→response mapping, minus sockets.
   Frame Handle(const Frame& request);
 
@@ -44,9 +67,19 @@ class ParkServer {
   std::string HandlePlanForPost(const std::string& payload, Status* error);
   std::string HandleSwapSnapshot(const std::string& payload, Status* error);
   std::string HandleStats(const std::string& payload, Status* error);
+  std::string HandleMapVersion(const std::string& payload, Status* error);
+  std::string HandleSwapFleetMap(const std::string& payload, Status* error);
+  std::string HandleGetSnapshot(const std::string& payload, Status* error);
+  std::string HandleRepair(const std::string& payload, Status* error);
 
   ParkService* service_;
   FrameServer server_;
+
+  /// Guards the published fleet-map artifact and repair-client options.
+  mutable std::mutex fleet_mu_;
+  uint64_t fleet_map_version_ = 0;
+  std::string fleet_map_bytes_;
+  ClientOptions repair_client_options_;
 };
 
 }  // namespace paws

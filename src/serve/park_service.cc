@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "util/archive.h"
+
 namespace paws {
 
 namespace {
@@ -250,6 +252,16 @@ Status ParkService::SwapSnapshot(const std::string& park_id,
   entry->curve_hits.store(0, std::memory_order_relaxed);
   entry->curve_misses.store(0, std::memory_order_relaxed);
   return Status::OK();
+}
+
+StatusOr<std::string> ParkService::SnapshotBytes(
+    const std::string& park_id) const {
+  const std::shared_ptr<Entry> entry = Find(park_id);
+  if (entry == nullptr) return UnknownPark(park_id);
+  std::shared_lock<std::shared_mutex> lock(entry->mu);
+  ArchiveWriter writer;
+  entry->snapshot.Save(&writer);
+  return writer.Bytes();
 }
 
 std::vector<StatusOr<std::shared_ptr<const RiskMaps>>>

@@ -99,6 +99,12 @@ class ParkService {
   /// state; cached risk maps from the old snapshot die with its version.
   Status SwapSnapshot(const std::string& park_id, ModelSnapshot snapshot);
 
+  /// The wire-format snapshot archive (ModelSnapshot::Save bytes) the park
+  /// currently serves — what replica-to-replica migration and read repair
+  /// pull. Serialized under the park's reader lock, so it can never tear
+  /// against a concurrent SwapSnapshot.
+  StatusOr<std::string> SnapshotBytes(const std::string& park_id) const;
+
   /// One batched entry point: requests for different parks (or efforts)
   /// fan out across dedicated threads — NEVER the shared ThreadPool,
   /// whose tasks must stay lock-free (see the RiskMapBatch definition for

@@ -19,6 +19,7 @@
 #include "fleet/fleet_admin.h"
 #include "fleet/fleet_map.h"
 #include "net/client.h"
+#include "net/fault_injector.h"
 #include "serve/park_server.h"
 
 namespace paws {
@@ -231,6 +232,143 @@ TEST_F(FleetRouterTest, AllReplicasDownIsExhaustedNotHung) {
   EXPECT_GE(stats.transport_errors, 2u);  // both replicas were attempted
   EXPECT_FALSE(router.endpoint_healthy(0));
   EXPECT_FALSE(router.endpoint_healthy(1));
+}
+
+TEST_F(FleetRouterTest, AllReplicasDownErrorTaxonomyAndImmediateRecovery) {
+  const FleetMap map = StartFleet(2, /*replication=*/2, {"pk-0"});
+  FleetRouterOptions options = ManualProbes();
+  // A wide-open breaker window: recovery must come from the probe
+  // closing the breaker, never from waiting the window out.
+  options.breaker_failure_threshold = 2;
+  options.breaker_open_ms = 60000;
+  FleetRouter router(map, options);
+  ASSERT_TRUE(router.RiskMap("pk-0", 1.0).ok());
+
+  const int port0 = shards_[0]->server->port();
+  shards_[0]->server->Shutdown();
+  shards_[1]->server->Shutdown();
+
+  // Error taxonomy with the whole fleet dark: every failure is
+  // TRANSPORT-grade (Internal / ResourceExhausted), names the park, and
+  // is never dressed up as an application answer like NotFound.
+  for (int i = 0; i < 3; ++i) {
+    const auto got = router.RiskMap("pk-0", 1.0);
+    ASSERT_FALSE(got.ok());
+    EXPECT_TRUE(got.status().code() == StatusCode::kInternal ||
+                got.status().code() == StatusCode::kResourceExhausted)
+        << got.status();
+    EXPECT_NE(got.status().message().find("pk-0"), std::string::npos)
+        << got.status();
+  }
+  const FleetRouter::Stats down = router.stats();
+  EXPECT_EQ(down.exhausted, 3u);
+  EXPECT_EQ(down.transport_errors, 6u);  // 2 replicas × 3 requests
+  // Two failures per endpoint tripped both breakers; the third request
+  // shed them in pass 0 and reached them via the last-last-resort pass.
+  EXPECT_EQ(down.breaker_opens, 2u);
+  EXPECT_GE(down.breaker_shed, 2u);
+
+  // One shard returns; a forced probe readmits it, closes its breaker,
+  // and the VERY NEXT request succeeds — recovery is immediate, not
+  // breaker_open_ms later.
+  shards_[0]->server = nullptr;
+  ASSERT_EQ(shards_[0]->Start(port0), port0);
+  EXPECT_EQ(router.ProbeOnce(/*force=*/true), 1);
+  EXPECT_TRUE(router.endpoint_healthy(0));
+  EXPECT_GE(router.stats().probe_recoveries, 1u);
+  ASSERT_TRUE(router.RiskMap("pk-0", 1.0).ok());
+
+  // And the taxonomy's other half: an APPLICATION status from the
+  // recovered shard comes back verbatim — not a failover, not transport.
+  const auto ghost = router.RiskMap("ghost", 1.0);
+  ASSERT_FALSE(ghost.ok());
+  EXPECT_EQ(ghost.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FleetRouterTest, RequestDeadlinePropagatesAcrossFailoverAttempts) {
+  const FleetMap map = StartFleet(2, /*replication=*/2, {"pk-0"});
+  // Stall every response: without a deadline each attempt would burn the
+  // full 10 s per-request client timeout, twice.
+  FaultSchedule schedule;
+  FaultRule stall;
+  stall.kind = FaultKind::kStallRecv;
+  schedule.rules.push_back(stall);
+
+  FleetRouterOptions options = ManualProbes();
+  options.client.fault_injector = std::make_shared<FaultInjector>(schedule);
+  options.request_deadline_ms = 250;
+  FleetRouter router(map, options);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto got = router.RiskMap("pk-0", 1.0);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kResourceExhausted);
+  // The deadline bounded the WHOLE request including its failover
+  // attempt, an order of magnitude under the per-attempt timeout.
+  EXPECT_GE(elapsed, 200);
+  EXPECT_LT(elapsed, 5000);
+  EXPECT_EQ(router.stats().deadline_exceeded, 1u);
+}
+
+TEST_F(FleetRouterTest, RetryBudgetDegradesADeadFleetToSingleAttempts) {
+  const FleetMap map = StartFleet(2, /*replication=*/2, {"pk-0"});
+  FleetRouterOptions options = ManualProbes();
+  options.retry_budget_initial = 2.0;
+  options.retry_budget_ratio = 0.0;  // nothing refills: the bucket drains
+  options.breaker_failure_threshold = 0;  // isolate the budget policy
+  FleetRouter router(map, options);
+  shards_[0]->server->Shutdown();
+  shards_[1]->server->Shutdown();
+
+  for (int i = 0; i < 5; ++i) {
+    const auto got = router.RiskMap("pk-0", 1.0);
+    ASSERT_FALSE(got.ok());
+  }
+  const FleetRouter::Stats stats = router.stats();
+  // Requests 1-2 afford a failover retry each (2 tokens); from request 3
+  // the router degrades to ONE attempt per request instead of
+  // multiplying the dead fleet's connect latency by the replica count.
+  EXPECT_EQ(stats.transport_errors, 7u);  // 2 + 2 + 1 + 1 + 1
+  EXPECT_EQ(stats.exhausted, 2u);
+  EXPECT_EQ(stats.retry_budget_exhausted, 3u);
+}
+
+TEST_F(FleetRouterTest, SuccessesRefillTheRetryBudget) {
+  const FleetMap map = StartFleet(2, /*replication=*/2, {"pk-0"});
+  FleetRouterOptions options = ManualProbes();
+  options.retry_budget_initial = 1.0;
+  options.retry_budget_ratio = 1.0;  // every success funds one retry
+  options.breaker_failure_threshold = 0;
+  FleetRouter router(map, options);
+
+  // Drain the single token: with both shards down, request 1 uses it.
+  shards_[0]->server->Shutdown();
+  shards_[1]->server->Shutdown();
+  ASSERT_FALSE(router.RiskMap("pk-0", 1.0).ok());
+  ASSERT_FALSE(router.RiskMap("pk-0", 1.0).ok());
+  ASSERT_EQ(router.stats().retry_budget_exhausted, 1u);
+
+  // Both shards return; successful traffic refills the bucket...
+  const int port0 = shards_[0]->server->port();
+  const int port1 = shards_[1]->server->port();
+  shards_[0]->server = nullptr;
+  shards_[1]->server = nullptr;
+  ASSERT_EQ(shards_[0]->Start(port0), port0);
+  ASSERT_EQ(shards_[1]->Start(port1), port1);
+  EXPECT_EQ(router.ProbeOnce(/*force=*/true), 2);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(router.RiskMap("pk-0", 1.0).ok());
+  }
+
+  // ...so the next dark spell affords failover retries again.
+  shards_[0]->server->Shutdown();
+  shards_[1]->server->Shutdown();
+  const uint64_t errors_before = router.stats().transport_errors;
+  ASSERT_FALSE(router.RiskMap("pk-0", 1.0).ok());
+  EXPECT_EQ(router.stats().transport_errors, errors_before + 2);
 }
 
 TEST_F(FleetRouterTest, EndpointStatsAddressesOneEndpoint) {

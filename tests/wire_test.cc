@@ -7,6 +7,7 @@
 
 #include "plan/planner.h"
 #include "plan/robust.h"
+#include "util/archive.h"
 #include "util/status.h"
 
 namespace paws {
@@ -348,6 +349,140 @@ TEST(WireCodecTest, DecodersRejectCorruptionAndTrailingGarbage) {
       DecodeRiskMapRequest(EncodeStatsRequest(StatsRequest{"p"}));
   ASSERT_FALSE(wrong_type.ok());
   EXPECT_EQ(wrong_type.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireFrameTest, AdversarialLengthPrefixSweepNeverBuffersPastTheCap) {
+  // Every power-of-two length prefix against a 4 KiB cap: at or below the
+  // cap the parser waits for the payload; above it the stream breaks with
+  // a clean InvalidArgument from the header alone, and later appends are
+  // dropped (a hostile peer cannot make a broken connection buffer).
+  const std::string header =
+      EncodeFrame(MakeFrame(1, Opcode::kRiskMap, ""));
+  constexpr size_t kCap = 4096;
+  for (int k = 0; k < 64; ++k) {
+    std::string bytes = header;
+    const uint64_t len = 1ull << k;
+    for (int b = 0; b < 8; ++b) {
+      bytes[20 + b] = static_cast<char>((len >> (8 * b)) & 0xff);
+    }
+    FrameParser parser(kCap);
+    parser.Append(bytes.data(), bytes.size());
+    Frame frame;
+    const auto got = parser.Next(&frame);
+    if (len <= kCap) {
+      ASSERT_TRUE(got.ok()) << "length 2^" << k;
+      EXPECT_FALSE(*got) << "length 2^" << k;  // incomplete, not broken
+    } else {
+      ASSERT_FALSE(got.ok()) << "length 2^" << k;
+      EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+      const std::string more(256, 'z');
+      parser.Append(more.data(), more.size());
+      EXPECT_EQ(parser.buffered_bytes(), 0u) << "length 2^" << k;
+    }
+  }
+}
+
+TEST(WireFrameTest, FleetOpcodesHaveNamesAndAreRequests) {
+  for (Opcode op : {Opcode::kMapVersion, Opcode::kSwapFleetMap,
+                    Opcode::kGetSnapshot, Opcode::kRepair}) {
+    EXPECT_TRUE(IsRequestOpcode(static_cast<uint32_t>(op)));
+  }
+  EXPECT_EQ(OpcodeName(static_cast<uint32_t>(Opcode::kMapVersion)),
+            "MapVersion");
+  EXPECT_EQ(OpcodeName(static_cast<uint32_t>(Opcode::kSwapFleetMap)),
+            "SwapFleetMap");
+  EXPECT_EQ(OpcodeName(static_cast<uint32_t>(Opcode::kGetSnapshot)),
+            "GetSnapshot");
+  EXPECT_EQ(OpcodeName(static_cast<uint32_t>(Opcode::kRepair)), "Repair");
+  EXPECT_FALSE(
+      IsRequestOpcode(static_cast<uint32_t>(Opcode::kRepair) + 1));
+}
+
+TEST(WireCodecTest, FleetPayloadsRoundTrip) {
+  const auto map_req = DecodeMapVersionRequest(
+      EncodeMapVersionRequest(MapVersionRequest{77}));
+  ASSERT_TRUE(map_req.ok());
+  EXPECT_EQ(map_req->known_version, 77u);
+
+  // Binary-safe map bytes (embedded NULs travel intact).
+  MapVersionResponse behind;
+  behind.version = 9;
+  behind.has_map = true;
+  behind.map_bytes = std::string("\x00\x01\xff map", 8);
+  const auto got_behind =
+      DecodeMapVersionResponse(EncodeMapVersionResponse(behind));
+  ASSERT_TRUE(got_behind.ok());
+  EXPECT_EQ(got_behind->version, 9u);
+  EXPECT_TRUE(got_behind->has_map);
+  EXPECT_EQ(got_behind->map_bytes, behind.map_bytes);
+
+  MapVersionResponse current;
+  current.version = 9;
+  const auto got_current =
+      DecodeMapVersionResponse(EncodeMapVersionResponse(current));
+  ASSERT_TRUE(got_current.ok());
+  EXPECT_FALSE(got_current->has_map);
+  EXPECT_TRUE(got_current->map_bytes.empty());
+
+  const auto swap = DecodeSwapFleetMapRequest(
+      EncodeSwapFleetMapRequest(SwapFleetMapRequest{"map artifact"}));
+  ASSERT_TRUE(swap.ok());
+  EXPECT_EQ(swap->map_bytes, "map artifact");
+
+  const auto pull = DecodeGetSnapshotRequest(
+      EncodeGetSnapshotRequest(GetSnapshotRequest{"pk-3"}));
+  ASSERT_TRUE(pull.ok());
+  EXPECT_EQ(pull->park_id, "pk-3");
+  GetSnapshotResponse snap;
+  snap.snapshot_bytes = std::string("\x00\x7f\x80", 3);
+  const auto got_snap =
+      DecodeGetSnapshotResponse(EncodeGetSnapshotResponse(snap));
+  ASSERT_TRUE(got_snap.ok());
+  EXPECT_EQ(got_snap->snapshot_bytes, snap.snapshot_bytes);
+
+  RepairRequest repair;
+  repair.park_id = "pk-5";
+  repair.sources = {"10.0.0.1:9000", "10.0.0.2:9000"};
+  const auto got_repair =
+      DecodeRepairRequest(EncodeRepairRequest(repair));
+  ASSERT_TRUE(got_repair.ok());
+  EXPECT_EQ(got_repair->park_id, "pk-5");
+  EXPECT_EQ(got_repair->sources, repair.sources);
+
+  const auto action =
+      DecodeRepairResponse(EncodeRepairResponse(RepairResponse{"repaired"}));
+  ASSERT_TRUE(action.ok());
+  EXPECT_EQ(action->action, "repaired");
+}
+
+TEST(WireCodecTest, FleetDecodersRejectHostileCountsAndTruncation) {
+  // A well-formed archive (valid CRC) whose source count claims 2^40
+  // entries: the decoder must refuse from the count bound, not reserve.
+  ArchiveWriter hostile;
+  hostile.BeginSection(FourCc("RQRP"));
+  hostile.WriteString("pk-0");
+  hostile.WriteU64(1ull << 40);
+  hostile.EndSection();
+  const auto bomb = DecodeRepairRequest(hostile.Bytes());
+  ASSERT_FALSE(bomb.ok());
+  EXPECT_EQ(bomb.status().code(), StatusCode::kInvalidArgument);
+
+  // Truncation fuzz over the fleet payloads, same sweep as the serving
+  // codecs above.
+  RepairRequest repair;
+  repair.park_id = "pk";
+  repair.sources = {"a:1"};
+  const std::string payload = EncodeRepairRequest(repair);
+  for (size_t n = 0; n < payload.size(); ++n) {
+    ASSERT_FALSE(DecodeRepairRequest(payload.substr(0, n)).ok())
+        << "prefix length " << n;
+  }
+  const std::string handshake =
+      EncodeMapVersionResponse(MapVersionResponse{3, true, "bytes"});
+  for (size_t n = 0; n < handshake.size(); ++n) {
+    ASSERT_FALSE(DecodeMapVersionResponse(handshake.substr(0, n)).ok())
+        << "prefix length " << n;
+  }
 }
 
 }  // namespace
