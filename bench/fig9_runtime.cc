@@ -31,6 +31,8 @@
 
 #include "core/iware.h"
 #include "core/pipeline.h"
+#include "core/snapshot.h"
+#include "geo/synth.h"
 #include "ml/compiled_forest.h"
 #include "ml/compiled_gp.h"
 #include "serve/park_service.h"
@@ -48,6 +50,9 @@ bool g_smoke = false;
 // a pinned inducing-point count for the compiled-GP sweep (0 = defaults).
 int g_forest_cells = 0;
 int g_kernel_size = 0;
+// Tiled mega-park bench: approximate in-park cell count (0 = off outside
+// smoke mode; smoke runs a small park so CI catches bit-rot).
+long long g_mega_cells = 0;
 
 using Clock = std::chrono::steady_clock;
 
@@ -1088,13 +1093,172 @@ void ReportParkService(JsonWriter* json) {
   }
 }
 
+// High-water-mark RSS of this process in MiB (Linux VmHWM; 0 elsewhere) —
+// the number the mega-park memory ceiling is asserted against in CI.
+double ReadPeakRssMb() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double kb = 0.0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %lf", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb / 1024.0;
+#else
+  return 0.0;
+#endif
+}
+
+// Tiled mega-park serving: a park sized by --mega-cells served through a
+// tiled-only ModelSnapshot (no eager all-cells feature rows — the pooled
+// TiledFeaturePlane is the only row storage, LRU-bounded at 64 MiB).
+// Reports synthesis time, cold single-tile latency (rows materialized +
+// scored; the `ns_per_cell` bench_trend_check tracks), warm served-tile
+// LRU hits, pool/cache counters, and peak RSS — which stays at park
+// rasters + model + pool budget instead of growing an O(cells) row plane
+// (the `eager_rows_mb_avoided` line is what the eager path would add).
+void ReportMegaPark(long long target_cells, JsonWriter* json) {
+  // Train a small DTB model on a park with the same 11-feature stack; row
+  // widths match by construction, so the model serves the mega park.
+  Scenario scenario;
+  scenario.num_years = 3;
+  ScenarioData data = SimulateScenario(scenario, 7);
+  IWareConfig cfg;
+  cfg.weak_learner = WeakLearnerKind::kDecisionTreeBagging;
+  cfg.num_thresholds = 10;
+  cfg.cv_folds = 2;
+  cfg.bagging.num_estimators = 8;
+  cfg.tree.max_depth = 5;
+  cfg.tree.min_samples_leaf = 16;
+  IWareEnsemble model(cfg);
+  Rng rng(31);
+  const Dataset train = BuildDataset(data.park, data.history);
+  const auto t_train = Clock::now();
+  CheckOrDie(model.Fit(train, &rng).ok(), "fig9: mega-park fit failed");
+  const double train_ms = MsSince(t_train);
+
+  MegaParkConfig mega_cfg;
+  mega_cfg.target_cells = target_cells;
+  const auto t_gen = Clock::now();
+  Park mega = GenerateMegaPark(mega_cfg);
+  const double gen_ms = MsSince(t_gen);
+  CheckOrDie(mega.num_features() == data.park.num_features(),
+             "fig9: mega park must match the training feature stack");
+  const long long cells = mega.num_cells();
+  const int row_width = mega.num_features() + 1;
+  const double eager_rows_mb =
+      cells * static_cast<double>(row_width) * sizeof(double) / (1 << 20);
+
+  TiledPlaneOptions tiled;
+  tiled.pool_budget_bytes = 64ull << 20;
+  const double pool_budget_mb =
+      static_cast<double>(tiled.pool_budget_bytes) / (1 << 20);
+  ModelSnapshot snapshot(std::move(model), std::move(mega),
+                         std::vector<double>(cells, 0.0), tiled);
+  const int num_tiles = snapshot.num_tiles();
+
+  ParkServiceOptions opts;
+  opts.tile_cache_capacity = 512;  // >= the sweep below, so warm == hit
+  ParkService service(opts);
+  CheckOrDie(service.Register("mega", std::move(snapshot)).ok(),
+             "fig9: mega-park register failed");
+
+  std::printf("=== Tiled mega-park serving (tiled-only snapshot) ===\n");
+  std::printf(
+      "%lld cells, %d tiles, row width %d: synthesis %.0f ms, train %.0f ms; "
+      "pool budget %.0f MiB (eager rows would add %.1f MiB)\n",
+      cells, num_tiles, row_width, gen_ms, train_ms, pool_budget_mb,
+      eager_rows_mb);
+
+  // Evenly sampled tiles across the park: the cold pass materializes and
+  // scores each (served-tile cache miss), the warm pass replays the same
+  // ids as pure LRU hits.
+  const int sample = std::min(num_tiles, 256);
+  std::vector<int> tile_ids;
+  for (int i = 0; i < sample; ++i) {
+    tile_ids.push_back(static_cast<int>(1LL * i * num_tiles / sample));
+  }
+  long long scored_cells = 0;
+  const auto t_cold = Clock::now();
+  for (int t : tile_ids) {
+    const auto tile = service.RiskTile("mega", t, 2.0);
+    CheckOrDie(tile.ok(), "fig9: mega RiskTile failed");
+    scored_cells += static_cast<long long>((*tile)->cell_ids.size());
+  }
+  const double cold_ms = MsSince(t_cold);
+  const auto t_warm = Clock::now();
+  for (int t : tile_ids) {
+    auto tile = service.RiskTile("mega", t, 2.0);
+    benchmark::DoNotOptimize(tile);
+  }
+  const double warm_ms = MsSince(t_warm);
+
+  const double ns_per_cell =
+      scored_cells > 0 ? cold_ms * 1e6 / scored_cells : 0.0;
+  const double cold_tile_qps = cold_ms > 0 ? sample * 1000.0 / cold_ms : 0.0;
+  const double warm_tile_qps = warm_ms > 0 ? sample * 1000.0 / warm_ms : 0.0;
+  std::printf(
+      "single-tile queries (%d tiles, %lld cells): cold %.1f ms "
+      "(%.0f ns/cell, %.0f tiles/s), warm %.2f ms (%.0f tiles/s)\n",
+      sample, scored_cells, cold_ms, ns_per_cell, cold_tile_qps, warm_ms,
+      warm_tile_qps);
+
+  const auto stats = service.RiskTileStats("mega");
+  CheckOrDie(stats.ok(), "fig9: mega RiskTileStats failed");
+  const double pool_resident_mb =
+      static_cast<double>(stats->pool.resident_bytes) / (1 << 20);
+  const double peak_rss_mb = ReadPeakRssMb();
+  std::printf(
+      "tile cache: %llu hits / %llu misses; feature-tile pool: %llu "
+      "resident (%.1f MiB), %llu hits / %llu misses / %llu evictions; "
+      "peak RSS %.0f MiB\n\n",
+      static_cast<unsigned long long>(stats->hits),
+      static_cast<unsigned long long>(stats->misses),
+      static_cast<unsigned long long>(stats->pool.resident_tiles),
+      pool_resident_mb,
+      static_cast<unsigned long long>(stats->pool.hits),
+      static_cast<unsigned long long>(stats->pool.misses),
+      static_cast<unsigned long long>(stats->pool.evictions), peak_rss_mb);
+
+  if (json != nullptr) {
+    json->Begin("mega_park");
+    json->Add("cells", static_cast<double>(cells));
+    json->Add("tiles", num_tiles);
+    json->Add("tile_size", stats->tile_size);
+    json->Add("row_width", row_width);
+    json->Add("gen_ms", gen_ms);
+    json->Add("train_ms", train_ms);
+    json->Add("pool_budget_mb", pool_budget_mb);
+    json->Add("eager_rows_mb_avoided", eager_rows_mb);
+    json->Add("sampled_tiles", sample);
+    json->Add("scored_cells", static_cast<double>(scored_cells));
+    json->Add("cold_ms", cold_ms);
+    json->Add("ns_per_cell", ns_per_cell);
+    json->Add("cold_tile_qps", cold_tile_qps);
+    json->Add("warm_ms", warm_ms);
+    json->Add("warm_tile_qps", warm_tile_qps);
+    json->Add("tile_cache_hits", static_cast<double>(stats->hits));
+    json->Add("tile_cache_misses", static_cast<double>(stats->misses));
+    json->Add("pool_resident_tiles",
+              static_cast<double>(stats->pool.resident_tiles));
+    json->Add("pool_resident_mb", pool_resident_mb);
+    json->Add("pool_hits", static_cast<double>(stats->pool.hits));
+    json->Add("pool_misses", static_cast<double>(stats->pool.misses));
+    json->Add("pool_evictions", static_cast<double>(stats->pool.evictions));
+    json->Add("peak_rss_mb", peak_rss_mb);
+    json->End();
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
   const char* usage =
       "usage: %s [--smoke] [--json PATH] [--forest-cells N] "
-      "[--kernel-size K]\n";
+      "[--kernel-size K] [--mega-cells N]\n";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       g_smoke = true;
@@ -1122,6 +1286,15 @@ int main(int argc, char** argv) {
       for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
       argc -= 2;
       --i;
+    } else if (std::strcmp(argv[i], "--mega-cells") == 0) {
+      if (i + 1 >= argc || std::atoll(argv[i + 1]) <= 0) {
+        std::fprintf(stderr, usage, argv[0]);
+        return 2;
+      }
+      g_mega_cells = std::atoll(argv[i + 1]);
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      --i;
     }
   }
 
@@ -1144,6 +1317,11 @@ int main(int argc, char** argv) {
   ReportThreadScaling(GetFixture(ParkPreset::kMfnp), jp);
   ReportSnapshotRoundtrip(GetFixture(ParkPreset::kMfnp), jp);
   ReportParkService(jp);
+  // Mega-park tiled serving: explicit --mega-cells, or a small park in
+  // smoke mode so CI exercises the path every run.
+  if (g_mega_cells > 0 || g_smoke) {
+    ReportMegaPark(g_mega_cells > 0 ? g_mega_cells : 60000, jp);
+  }
 
   if (jp != nullptr) {
     const auto st = WriteStringToFile(json.ToString(), json_path);

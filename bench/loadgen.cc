@@ -13,6 +13,9 @@
 //                    parks soak most requests — the cache-friendly shape
 //                    of real fleet traffic
 //   --zipf-s         zipf exponent (default 1.1)
+//   --tile-frac F    fraction of traffic sent as RiskTile requests
+//                    (default 0, keeping the historical request mix — and
+//                    the p99 trend line — unchanged unless asked for)
 //   --json PATH      merge a "net_serving" section into PATH (appends to
 //                    an existing BENCH_fig9.json, creates it otherwise)
 //   --min-req-per-s  exit non-zero below this throughput (CI floor)
@@ -45,6 +48,7 @@ using Clock = std::chrono::steady_clock;
 struct WorkerResult {
   std::vector<double> latencies_us;
   uint64_t errors = 0;
+  uint64_t tile_requests = 0;
 };
 
 // Zipfian CDF over ranks 1..n with exponent s: traffic concentrates on
@@ -85,6 +89,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   int parks = 2;
   double zipf_s = 1.1;
+  double tile_frac = 0.0;
   std::string json_path;
   double min_req_per_s = 0.0;
   for (int i = 1; i < argc; ++i) {
@@ -102,6 +107,8 @@ int main(int argc, char** argv) {
       parks = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--zipf-s") == 0 && i + 1 < argc) {
       zipf_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--tile-frac") == 0 && i + 1 < argc) {
+      tile_frac = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--min-req-per-s") == 0 && i + 1 < argc) {
@@ -110,7 +117,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s --port P [--host H] [--connections N] "
                    "[--seconds S] [--smoke] [--parks N] [--zipf-s S] "
-                   "[--json PATH] [--min-req-per-s R]\n",
+                   "[--tile-frac F] [--json PATH] [--min-req-per-s R]\n",
                    argv[0]);
       return 2;
     }
@@ -121,6 +128,8 @@ int main(int argc, char** argv) {
   }
   if (smoke) seconds = std::min(seconds, 2.0);
   CheckOrDie(connections >= 1 && parks >= 1, "loadgen: bad arguments");
+  CheckOrDie(tile_frac >= 0.0 && tile_frac <= 1.0,
+             "loadgen: --tile-frac must be in [0, 1]");
 
   const std::vector<double> cdf = ZipfCdf(parks, zipf_s);
   // A small effort menu keeps the risk-map LRU hot, the way repeated
@@ -146,11 +155,17 @@ int main(int argc, char** argv) {
         const std::string park_id =
             "park-" + std::to_string(PickZipf(cdf, &rng));
         // ~90% risk maps, ~8% curve tables, ~2% stats — read-dominated
-        // serving traffic.
+        // serving traffic. --tile-frac carves its share out of the
+        // risk-map portion, so the non-tile mix keeps its proportions.
         const double mix = rng.Uniform();
         const auto t0 = Clock::now();
         bool ok;
-        if (mix < 0.90) {
+        if (mix < tile_frac * 0.90) {
+          // Tile 0 exists in every park regardless of size; the daemon's
+          // demo parks are small enough that it is often the only tile.
+          ok = client.RiskTile(park_id, 0, efforts[rng.UniformInt(3)]).ok();
+          result.tile_requests += 1;
+        } else if (mix < 0.90) {
           ok = client.RiskMap(park_id, efforts[rng.UniformInt(3)]).ok();
         } else if (mix < 0.98) {
           ok = client
@@ -178,19 +193,24 @@ int main(int argc, char** argv) {
 
   std::vector<double> latencies;
   uint64_t errors = 0;
+  uint64_t tile_requests = 0;
   for (WorkerResult& result : results) {
     latencies.insert(latencies.end(), result.latencies_us.begin(),
                      result.latencies_us.end());
     errors += result.errors;
+    tile_requests += result.tile_requests;
   }
   const uint64_t completed = latencies.size();
   const double req_per_s = wall_s > 0 ? completed / wall_s : 0.0;
   const double p50 = Percentile(&latencies, 0.50);
   const double p99 = Percentile(&latencies, 0.99);
 
-  // One last connection asks the server for its own view of the run.
+  // One last connection asks the server for its own view of the run,
+  // including the per-park tile-serving counters summed fleet-wide.
   uint64_t protocol_errors = 0;
   uint64_t server_frames_in = 0;
+  uint64_t tile_hits = 0, tile_misses = 0;
+  uint64_t pool_resident_bytes = 0, pool_evictions = 0;
   {
     ParkClient client;
     if (client.Connect(host, port).ok()) {
@@ -198,6 +218,12 @@ int main(int argc, char** argv) {
       if (stats.ok()) {
         protocol_errors = stats->protocol_errors;
         server_frames_in = stats->frames_in;
+        for (const auto& park : stats->parks) {
+          tile_hits += park.tile_hits;
+          tile_misses += park.tile_misses;
+          pool_resident_bytes += park.tile_pool_resident_bytes;
+          pool_evictions += park.tile_pool_evictions;
+        }
       }
     }
   }
@@ -212,17 +238,33 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(protocol_errors));
   std::printf("  server     %llu frames in\n",
               static_cast<unsigned long long>(server_frames_in));
+  if (tile_frac > 0.0) {
+    std::printf(
+        "  tiles      %llu requests; server cache %llu hits / %llu misses, "
+        "pool %.1f KiB resident, %llu evictions\n",
+        static_cast<unsigned long long>(tile_requests),
+        static_cast<unsigned long long>(tile_hits),
+        static_cast<unsigned long long>(tile_misses),
+        pool_resident_bytes / 1024.0,
+        static_cast<unsigned long long>(pool_evictions));
+  }
 
   if (!json_path.empty()) {
-    char section[512];
-    std::snprintf(section, sizeof(section),
-                  "\"net_serving\":{\"connections\":%d,\"seconds\":%.3f,"
-                  "\"completed\":%llu,\"req_per_s\":%.17g,\"p50_us\":%.17g,"
-                  "\"p99_us\":%.17g,\"errors\":%llu,\"protocol_errors\":%llu}",
-                  connections, wall_s,
-                  static_cast<unsigned long long>(completed), req_per_s, p50,
-                  p99, static_cast<unsigned long long>(errors),
-                  static_cast<unsigned long long>(protocol_errors));
+    char section[768];
+    std::snprintf(
+        section, sizeof(section),
+        "\"net_serving\":{\"connections\":%d,\"seconds\":%.3f,"
+        "\"completed\":%llu,\"req_per_s\":%.17g,\"p50_us\":%.17g,"
+        "\"p99_us\":%.17g,\"errors\":%llu,\"protocol_errors\":%llu,"
+        "\"tile_frac\":%.17g,\"tile_requests\":%llu,\"tile_hits\":%llu,"
+        "\"tile_misses\":%llu,\"tile_pool_evictions\":%llu}",
+        connections, wall_s, static_cast<unsigned long long>(completed),
+        req_per_s, p50, p99, static_cast<unsigned long long>(errors),
+        static_cast<unsigned long long>(protocol_errors), tile_frac,
+        static_cast<unsigned long long>(tile_requests),
+        static_cast<unsigned long long>(tile_hits),
+        static_cast<unsigned long long>(tile_misses),
+        static_cast<unsigned long long>(pool_evictions));
     MergeJsonSection(json_path, section);
     std::printf("  json       %s\n", json_path.c_str());
   }

@@ -131,6 +131,21 @@ int main(int argc, char** argv) {
       auto backend = service.ScoringBackendName(id);
       std::printf("park %s: scoring_backend=%s\n", id.c_str(),
                   backend.ok() ? backend.value().c_str() : "unknown");
+      // Tile-serving view: the tile grid this park partitions into, the
+      // served-tile LRU counters, and the feature-tile pool economics —
+      // the in-process twin of the wire Stats tile fields.
+      auto tiles = service.RiskTileStats(id);
+      if (tiles.ok()) {
+        std::printf(
+            "park %s: tiles=%dx%d (size %d), tile_cache %llu hits / %llu "
+            "misses, pool %llu tiles %.1f KiB resident, %llu evictions\n",
+            id.c_str(), tiles->tiles_x, tiles->tiles_y, tiles->tile_size,
+            static_cast<unsigned long long>(tiles->hits),
+            static_cast<unsigned long long>(tiles->misses),
+            static_cast<unsigned long long>(tiles->pool.resident_tiles),
+            tiles->pool.resident_bytes / 1024.0,
+            static_cast<unsigned long long>(tiles->pool.evictions));
+      }
     }
     return 0;
   }

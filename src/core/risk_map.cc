@@ -1,5 +1,9 @@
 #include "core/risk_map.h"
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
 #include "sim/dataset_builder.h"
 #include "util/thread_pool.h"
 
@@ -13,6 +17,7 @@ constexpr int kAssemblyGrain = 4096;
 
 constexpr uint32_t kRiskMapSchemaVersion = 1;
 constexpr uint32_t kRiskMapSectionTag = FourCc("RISK");
+constexpr uint32_t kRiskTileSectionTag = FourCc("RTIL");
 
 }  // namespace
 
@@ -87,6 +92,112 @@ RiskMaps PredictRiskMap(const IWareEnsemble& model, const FeaturePlane& plane,
   // The plane's rows are byte-identical to BuildCellFeatureRows output for
   // the same coverage layer, so this only skips the per-request assembly.
   return ScoreCellsToMaps(model, plane.Cells(), assumed_effort);
+}
+
+void SaveRiskTile(const RiskTile& tile, ArchiveWriter* ar) {
+  ar->BeginSection(kRiskTileSectionTag);
+  ar->WriteU32(kRiskMapSchemaVersion);
+  ar->WriteI32(tile.tile_id);
+  ar->WriteIntVector(tile.cell_ids);
+  ar->WriteDoubleVector(tile.risk);
+  ar->WriteDoubleVector(tile.variance);
+  ar->WriteDouble(tile.assumed_effort);
+  ar->EndSection();
+}
+
+StatusOr<RiskTile> LoadRiskTile(ArchiveReader* ar) {
+  PAWS_RETURN_IF_ERROR(ar->EnterSection(kRiskTileSectionTag));
+  uint32_t version = 0;
+  PAWS_RETURN_IF_ERROR(ar->ReadU32(&version));
+  if (version != kRiskMapSchemaVersion) {
+    return Status::InvalidArgument("RiskTile: unsupported schema version " +
+                                   std::to_string(version));
+  }
+  RiskTile tile;
+  PAWS_RETURN_IF_ERROR(ar->ReadI32(&tile.tile_id));
+  PAWS_RETURN_IF_ERROR(ar->ReadIntVector(&tile.cell_ids));
+  PAWS_RETURN_IF_ERROR(ar->ReadDoubleVector(&tile.risk));
+  PAWS_RETURN_IF_ERROR(ar->ReadDoubleVector(&tile.variance));
+  PAWS_RETURN_IF_ERROR(ar->ReadDouble(&tile.assumed_effort));
+  PAWS_RETURN_IF_ERROR(ar->LeaveSection());
+  if (tile.risk.size() != tile.cell_ids.size() ||
+      tile.variance.size() != tile.cell_ids.size()) {
+    return Status::InvalidArgument("RiskTile: layer size mismatch");
+  }
+  return tile;
+}
+
+RiskTile ScoreRiskTile(const IWareEnsemble& model,
+                       const TiledFeaturePlane::Tile& tile, int row_width,
+                       double assumed_effort) {
+  CheckOrDie(assumed_effort >= 0.0, "assumed_effort must be >= 0");
+  // thread_local scratch: steady-state tile scoring performs no
+  // prediction-buffer churn (the allocation regression test pins this).
+  thread_local std::vector<Prediction> preds;
+  preds.clear();
+  model.PredictBatch(tile.View(row_width), assumed_effort, &preds);
+  const size_t n = tile.cell_ids.size();
+  RiskTile out;
+  out.tile_id = tile.tile_id;
+  out.assumed_effort = assumed_effort;
+  out.cell_ids = tile.cell_ids;
+  out.risk.resize(n);
+  out.variance.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.risk[i] = preds[i].prob;
+    out.variance[i] = preds[i].variance;
+  }
+  return out;
+}
+
+RiskMaps PredictRiskMapTiled(const IWareEnsemble& model, const Park& park,
+                             const TiledFeaturePlane& plane,
+                             double assumed_effort,
+                             const ParallelismConfig& fanout) {
+  CheckOrDie(assumed_effort >= 0.0, "assumed_effort must be >= 0");
+  const int num_tiles = plane.num_tiles();
+  RiskMaps maps;
+  maps.assumed_effort = assumed_effort;
+  maps.risk.resize(park.num_cells());
+  maps.variance.resize(park.num_cells());
+  // Tiles partition the dense id space and each tile writes only its own
+  // cells, so assembly order — and the fan-out width — never changes the
+  // result (the same argument that makes ParallelFor bit-identical).
+  auto score_tile = [&](int t) {
+    const std::shared_ptr<const TiledFeaturePlane::Tile> tile =
+        plane.GetTile(park, t);
+    thread_local std::vector<Prediction> preds;
+    preds.clear();
+    model.PredictBatch(tile->View(plane.row_width()), assumed_effort,
+                       &preds);
+    for (size_t i = 0; i < tile->cell_ids.size(); ++i) {
+      maps.risk[tile->cell_ids[i]] = preds[i].prob;
+      maps.variance[tile->cell_ids[i]] = preds[i].variance;
+    }
+  };
+  const int num_threads =
+      std::min(fanout.ResolveNumThreads(), num_tiles);
+  if (num_threads <= 1) {
+    for (int t = 0; t < num_tiles; ++t) score_tile(t);
+    return maps;
+  }
+  // Dedicated threads, not the shared pool: GetTile locks the plane's
+  // pool mutex, and shared-pool tasks must stay lock-free (the tile's own
+  // PredictBatch below may run pool chunks while this thread holds
+  // nothing — but a pool chunk blocking on pool_mu_ while its holder
+  // waits for the pool would close the reader->pool->writer cycle).
+  std::atomic<int> next{0};
+  auto drain = [&] {
+    for (int t = next.fetch_add(1); t < num_tiles; t = next.fetch_add(1)) {
+      score_tile(t);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (int i = 0; i < num_threads - 1; ++i) threads.emplace_back(drain);
+  drain();
+  for (auto& t : threads) t.join();
+  return maps;
 }
 
 GridD ToGrid(const Park& park, const std::vector<double>& values) {

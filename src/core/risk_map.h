@@ -6,6 +6,7 @@
 #include "core/iware.h"
 #include "geo/feature_plane.h"
 #include "geo/park.h"
+#include "geo/tiled_feature_plane.h"
 #include "geo/raster_ops.h"
 #include "ml/effort_curve.h"
 #include "sim/patrol_sim.h"
@@ -43,6 +44,47 @@ RiskMaps PredictRiskMap(const IWareEnsemble& model, const Park& park,
 /// same coverage layer.
 RiskMaps PredictRiskMap(const IWareEnsemble& model, const FeaturePlane& plane,
                         double assumed_effort);
+
+/// One spatial tile's worth of risk map — the sub-park serving unit. Row i
+/// of risk/variance is the prediction for dense cell `cell_ids[i]`; the
+/// cell list is the tile's in-park cells in grid row-major order (see
+/// TileGeometry), so tiles reassemble into the whole-park RiskMaps by
+/// scattering on cell_ids.
+struct RiskTile {
+  int tile_id = 0;
+  std::vector<int> cell_ids;
+  std::vector<double> risk;      // per tile cell
+  std::vector<double> variance;  // per tile cell
+  double assumed_effort = 0.0;
+};
+
+/// Bit-exact tile serialization ("RTIL" section) — the kRiskTile wire body.
+void SaveRiskTile(const RiskTile& tile, ArchiveWriter* ar);
+StatusOr<RiskTile> LoadRiskTile(ArchiveReader* ar);
+
+/// Scores one materialized tile through the model. Per-row scoring is
+/// batch-composition independent (the thread-count and SIMD bit-identity
+/// suites enforce it), so prediction i here equals prediction
+/// tile.cell_ids[i] of a whole-park PredictRiskMap at the same coverage
+/// layer — tiling never changes bits. Steady-state allocation: the
+/// prediction scratch is thread_local, so repeated calls only allocate
+/// the returned tile's own vectors.
+RiskTile ScoreRiskTile(const IWareEnsemble& model,
+                       const TiledFeaturePlane::Tile& tile, int row_width,
+                       double assumed_effort);
+
+/// Whole-park risk map assembled tile by tile from a TiledFeaturePlane:
+/// every tile is fetched (materializing on demand through the plane's
+/// bounded pool), scored, and scattered into dense-id order. Bit-identical
+/// to the FeaturePlane overload at the same coverage layer. Tiles fan out
+/// across dedicated threads (never the shared ThreadPool: fetching a tile
+/// takes the plane's pool mutex, and pool tasks must stay lock-free —
+/// see ParkService::RiskMapBatch for the deadlock this rule prevents);
+/// each tile's model scoring still uses the pool internally.
+RiskMaps PredictRiskMapTiled(const IWareEnsemble& model, const Park& park,
+                             const TiledFeaturePlane& plane,
+                             double assumed_effort,
+                             const ParallelismConfig& fanout = {});
 
 /// Rasterizes a per-dense-cell vector onto the park grid (out-of-park = 0).
 GridD ToGrid(const Park& park, const std::vector<double>& values);

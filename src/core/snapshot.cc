@@ -52,31 +52,80 @@ std::vector<double> RequireParkSizedLag(const Park& park,
 
 ModelSnapshot::ModelSnapshot(IWareEnsemble model, Park park,
                              std::vector<double> lagged_effort)
-    : model_(std::move(model)),
-      park_(std::move(park)),
-      plane_(park_, RequireParkSizedLag(park_, std::move(lagged_effort))) {}
+    : model_(std::move(model)), park_(std::move(park)) {
+  std::vector<double> lag =
+      RequireParkSizedLag(park_, std::move(lagged_effort));
+  plane_ = std::make_unique<FeaturePlane>(park_, lag);
+  tiled_ = std::make_unique<TiledFeaturePlane>(park_, std::move(lag),
+                                               TiledPlaneOptions{});
+}
+
+ModelSnapshot::ModelSnapshot(IWareEnsemble model, Park park,
+                             std::vector<double> lagged_effort,
+                             TiledPlaneOptions tiled_options)
+    : model_(std::move(model)), park_(std::move(park)) {
+  tiled_ = std::make_unique<TiledFeaturePlane>(
+      park_, RequireParkSizedLag(park_, std::move(lagged_effort)),
+      tiled_options);
+}
+
+const FeaturePlane& ModelSnapshot::feature_plane() const {
+  CheckOrDie(plane_ != nullptr,
+             "ModelSnapshot: no eager feature plane in tiled-only mode");
+  return *plane_;
+}
 
 void ModelSnapshot::UpdateLaggedEffort(std::vector<double> lagged_effort) {
   CheckOrDie(static_cast<int>(lagged_effort.size()) == park_.num_cells(),
              "ModelSnapshot: lagged-effort layer does not match the park");
-  plane_.UpdateLaggedEffort(std::move(lagged_effort));
+  if (plane_ != nullptr) plane_->UpdateLaggedEffort(lagged_effort);
+  tiled_->UpdateLaggedEffort(park_, std::move(lagged_effort));
 }
 
 RiskMaps ModelSnapshot::PredictRisk(double assumed_effort) const {
-  return PredictRiskMap(model_, plane_, assumed_effort);
+  if (plane_ != nullptr) {
+    return PredictRiskMap(model_, *plane_, assumed_effort);
+  }
+  return PredictRiskMapTiled(model_, park_, *tiled_, assumed_effort);
+}
+
+RiskTile ModelSnapshot::PredictRiskTile(int tile_id,
+                                        double assumed_effort) const {
+  const std::shared_ptr<const TiledFeaturePlane::Tile> tile =
+      tiled_->GetTile(park_, tile_id);
+  return ScoreRiskTile(model_, *tile, tiled_->row_width(), assumed_effort);
+}
+
+RiskMaps ModelSnapshot::PredictRiskTiled(double assumed_effort,
+                                         const ParallelismConfig& fanout)
+    const {
+  return PredictRiskMapTiled(model_, park_, *tiled_, assumed_effort, fanout);
 }
 
 EffortCurveTable ModelSnapshot::PredictCellCurves(
     const std::vector<int>& cell_ids, std::vector<double> effort_grid) const {
-  return PredictCellEffortCurves(model_, plane_, cell_ids,
-                                 std::move(effort_grid));
+  if (plane_ != nullptr) {
+    return PredictCellEffortCurves(model_, *plane_, cell_ids,
+                                   std::move(effort_grid));
+  }
+  // Tiled-only mode: gather straight from the rasters (no O(cells) rows).
+  std::vector<double> buf;
+  const FeatureMatrixView rows = tiled_->GatherCells(park_, cell_ids, &buf);
+  return model_.PredictEffortCurves(rows, std::move(effort_grid));
 }
 
 StatusOr<PatrolPlan> ModelSnapshot::PlanForPost(
     int post_index, const PlannerConfig& config,
     const RobustParams& robust) const {
-  return PlanForPostWithPlane(model_, park_, plane_, post_index, config,
-                              robust);
+  if (plane_ != nullptr) {
+    return PlanForPostWithPlane(model_, park_, *plane_, post_index, config,
+                                robust);
+  }
+  return PlanForPostImpl(
+      park_, post_index, config, robust,
+      [&](const std::vector<int>& cell_ids, std::vector<double> grid) {
+        return PredictCellCurves(cell_ids, std::move(grid));
+      });
 }
 
 void SaveModelSnapshotParts(const IWareEnsemble& model, const Park& park,
@@ -93,7 +142,7 @@ void SaveModelSnapshotParts(const IWareEnsemble& model, const Park& park,
 }
 
 void ModelSnapshot::Save(ArchiveWriter* ar) const {
-  SaveModelSnapshotParts(model_, park_, plane_.lagged_effort(), ar);
+  SaveModelSnapshotParts(model_, park_, tiled_->lagged_effort(), ar);
 }
 
 StatusOr<ModelSnapshot> ModelSnapshot::Load(ArchiveReader* ar) {

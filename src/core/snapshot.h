@@ -1,6 +1,7 @@
 #ifndef PAWS_CORE_SNAPSHOT_H_
 #define PAWS_CORE_SNAPSHOT_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "core/risk_map.h"
 #include "geo/feature_plane.h"
 #include "geo/park.h"
+#include "geo/tiled_feature_plane.h"
 #include "plan/planner.h"
 #include "plan/robust.h"
 #include "util/archive.h"
@@ -22,41 +24,90 @@ namespace paws {
 /// present, and its predictions are bit-identical to the model that was
 /// saved.
 ///
-/// Serving reads feature rows from a FeaturePlane built once at
-/// construction/load (derived state, never serialized): all-cells rows
-/// plus the lagged-coverage column, so no per-request raster re-assembly.
-/// UpdateLaggedEffort is the only invalidation point — it rewrites the
-/// plane's coverage column and bumps coverage_version(), which serving
-/// caches above (ParkService) key on.
+/// Feature rows live in two derived (never serialized) forms:
+///
+///  - An eager FeaturePlane: all-cells rows built once at construction —
+///    the classic serving path, O(cells) memory.
+///  - A TiledFeaturePlane: rows materialized per 64x64-cell tile on
+///    demand into a bounded LRU pool — the sub-park serving unit and the
+///    only feature-row storage for mega parks.
+///
+/// The default constructor builds both (small parks: eager rows for
+/// whole-park serving, tiles for per-tile serving). The TiledPlaneOptions
+/// constructor builds ONLY the tiled plane, so a multi-million-cell park
+/// serves with feature-row memory bounded by the pool budget instead of
+/// O(cells); whole-park calls stream tiles through the pool.
+///
+/// Both planes always carry the same coverage layer: UpdateLaggedEffort is
+/// the only invalidation point — it rewrites the coverage column(s) and
+/// bumps coverage_version(), which serving caches above (ParkService) key
+/// on; per-tile caches key on tile_coverage_version(t), which only moves
+/// for tiles whose cells actually changed.
 ///
 /// Produced by PawsPipeline::SaveModel / LoadModel (or assembled directly
 /// from parts for custom serving stacks).
 class ModelSnapshot {
  public:
   /// `lagged_effort` is the previous step's per-dense-cell patrol coverage
-  /// — the time-variant feature every serving-side row carries.
+  /// — the time-variant feature every serving-side row carries. Builds the
+  /// eager plane AND the tiled plane (default tile size, unbounded pool).
   ModelSnapshot(IWareEnsemble model, Park park,
                 std::vector<double> lagged_effort);
+
+  /// Tiled-only mode: no eager all-cells rows are ever built — feature-row
+  /// memory is bounded by `tiled_options.pool_budget_bytes`, not by the
+  /// park size. Whole-park predictions stream tiles; feature_plane() must
+  /// not be called.
+  ModelSnapshot(IWareEnsemble model, Park park,
+                std::vector<double> lagged_effort,
+                TiledPlaneOptions tiled_options);
 
   const IWareEnsemble& model() const { return model_; }
   /// For re-pinning prediction parallelism (IWareEnsemble::set_parallelism).
   IWareEnsemble& mutable_model() { return model_; }
   const Park& park() const { return park_; }
-  const FeaturePlane& feature_plane() const { return plane_; }
+  /// The eager all-cells plane. Dies (CheckOrDie) in tiled-only mode —
+  /// callers that can see mega parks must use the tiled accessors.
+  const FeaturePlane& feature_plane() const;
+  /// Always present, in both modes.
+  const TiledFeaturePlane& tiled_plane() const { return *tiled_; }
+  bool has_eager_plane() const { return plane_ != nullptr; }
   const std::vector<double>& lagged_effort() const {
-    return plane_.lagged_effort();
+    return tiled_->lagged_effort();
   }
-  /// Bumped by every UpdateLaggedEffort (see FeaturePlane).
-  uint64_t coverage_version() const { return plane_.coverage_version(); }
+  /// Bumped by every UpdateLaggedEffort (see TiledFeaturePlane).
+  uint64_t coverage_version() const { return tiled_->coverage_version(); }
+
+  int num_tiles() const { return tiled_->num_tiles(); }
+  /// The coverage version as of the last update that touched tile `t` —
+  /// what per-tile serving caches key on.
+  uint64_t tile_coverage_version(int tile_id) const {
+    return tiled_->tile_coverage_version(tile_id);
+  }
+  TilePoolStats tile_pool_stats() const { return tiled_->pool_stats(); }
 
   /// Installs a new lagged patrol-coverage layer (a fresh step of SMART
-  /// data arriving in the field): rewrites the plane's coverage column in
-  /// place and invalidates anything keyed on coverage_version().
+  /// data arriving in the field): rewrites the coverage column(s) in
+  /// place and invalidates anything keyed on coverage_version() /
+  /// tile_coverage_version(t) for changed tiles.
   void UpdateLaggedEffort(std::vector<double> lagged_effort);
 
   /// Risk/uncertainty maps over every park cell at `assumed_effort` km —
-  /// the serving analogue of PawsPipeline::PredictRisk.
+  /// the serving analogue of PawsPipeline::PredictRisk. Eager mode scores
+  /// the cached all-cells rows in one batch; tiled-only mode streams
+  /// tiles (bit-identical either way).
   RiskMaps PredictRisk(double assumed_effort) const;
+
+  /// One tile's risk/uncertainty at `assumed_effort` km — the sub-park
+  /// serving unit. Prediction i equals the whole-park PredictRisk value
+  /// at dense cell cell_ids[i], bit for bit.
+  RiskTile PredictRiskTile(int tile_id, double assumed_effort) const;
+
+  /// Whole-park risk map assembled tile by tile through the pool, fanning
+  /// tiles out across `fanout` dedicated threads. Bit-identical to
+  /// PredictRisk; this is the serving path (ParkService) in both modes.
+  RiskMaps PredictRiskTiled(double assumed_effort,
+                            const ParallelismConfig& fanout = {}) const;
 
   /// Tabulated g_v(c)/nu_v(c) planner inputs for the given cells.
   EffortCurveTable PredictCellCurves(const std::vector<int>& cell_ids,
@@ -81,9 +132,10 @@ class ModelSnapshot {
  private:
   IWareEnsemble model_;
   Park park_;
-  /// Derived serving state: cached all-cells feature rows + lagged
-  /// coverage (rebuilt on construction/load, never serialized).
-  FeaturePlane plane_;
+  /// Derived serving state (rebuilt on construction/load, never
+  /// serialized). plane_ is null in tiled-only mode; tiled_ always exists.
+  std::unique_ptr<FeaturePlane> plane_;
+  std::unique_ptr<TiledFeaturePlane> tiled_;
 };
 
 /// Writes the ModelSnapshot wire format from unowned parts — how the

@@ -445,6 +445,17 @@ StatusOr<RiskMaps> FleetRouter::RiskMap(const std::string& park_id,
   return result;
 }
 
+StatusOr<RiskTile> FleetRouter::RiskTile(const std::string& park_id,
+                                         int tile_id, double assumed_effort) {
+  StatusOr<paws::RiskTile> result{Status::Internal("fleet: unrouted")};
+  Status routed = Route(park_id, [&](ParkClient* client) {
+    result = client->RiskTile(park_id, tile_id, assumed_effort);
+    return result.status();
+  });
+  if (!routed.ok()) return routed;
+  return result;
+}
+
 StatusOr<EffortCurveTable> FleetRouter::CellCurves(
     const std::string& park_id, const std::vector<int>& cell_ids,
     std::vector<double> effort_grid) {

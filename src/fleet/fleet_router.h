@@ -136,6 +136,10 @@ class FleetRouter {
   /// Routed serving calls — the ParkClient API minus explicit endpoints.
   StatusOr<RiskMaps> RiskMap(const std::string& park_id,
                              double assumed_effort);
+  /// Routed exactly like RiskMap: tiles are sub-park, so the park id is
+  /// still the (only) routing key and the shard layout is unchanged.
+  StatusOr<paws::RiskTile> RiskTile(const std::string& park_id, int tile_id,
+                                    double assumed_effort);
   StatusOr<EffortCurveTable> CellCurves(const std::string& park_id,
                                         const std::vector<int>& cell_ids,
                                         std::vector<double> effort_grid);

@@ -283,4 +283,243 @@ Park GenerateSyntheticPark(const SynthParkConfig& cfg) {
   return park;
 }
 
+namespace {
+
+// One straight piece of a parametric polyline, in grid coordinates.
+struct Segment {
+  double ax = 0.0, ay = 0.0, bx = 0.0, by = 0.0;
+};
+
+double PointSegmentDistance(double px, double py, const Segment& s) {
+  const double dx = s.bx - s.ax, dy = s.by - s.ay;
+  const double len2 = dx * dx + dy * dy;
+  double t = len2 > 0.0 ? ((px - s.ax) * dx + (py - s.ay) * dy) / len2 : 0.0;
+  t = std::clamp(t, 0.0, 1.0);
+  const double qx = s.ax + t * dx, qy = s.ay + t * dy;
+  return std::sqrt((px - qx) * (px - qx) + (py - qy) * (py - qy));
+}
+
+// A meandering polyline crossing the ellipse: two roughly opposite
+// boundary points joined by segments with perpendicular noise. Kept as
+// parametric segments (a handful of doubles), never rasterized — distance
+// features are evaluated analytically per cell.
+void AppendMeander(double cx, double cy, double rx, double ry, Rng* rng,
+                   std::vector<Segment>* out) {
+  const double ta = rng->Uniform(0.0, 2.0 * 3.14159265358979323846);
+  const double tb = ta + 3.14159265358979323846 + rng->Uniform(-0.6, 0.6);
+  const double ax = cx + 0.98 * rx * std::cos(ta);
+  const double ay = cy + 0.98 * ry * std::sin(ta);
+  const double bx = cx + 0.98 * rx * std::cos(tb);
+  const double by = cy + 0.98 * ry * std::sin(tb);
+  const double span = std::sqrt((bx - ax) * (bx - ax) + (by - ay) * (by - ay));
+  double px = -(by - ay), py = (bx - ax);
+  const double plen = std::max(1.0, std::sqrt(px * px + py * py));
+  px /= plen;
+  py /= plen;
+  const int segments = 8;
+  double prev_x = ax, prev_y = ay;
+  for (int s = 1; s <= segments; ++s) {
+    const double t = static_cast<double>(s) / segments;
+    const double amp =
+        s == segments ? 0.0 : rng->Uniform(-0.12, 0.12) * span;
+    const double x = ax + t * (bx - ax) + amp * px;
+    const double y = ay + t * (by - ay) + amp * py;
+    out->push_back(Segment{prev_x, prev_y, x, y});
+    prev_x = x;
+    prev_y = y;
+  }
+}
+
+double MinSegmentDistance(double px, double py,
+                          const std::vector<Segment>& segments, double cap) {
+  double best = cap;
+  for (const Segment& s : segments) {
+    best = std::min(best, PointSegmentDistance(px, py, s));
+  }
+  return best;
+}
+
+double MinPointDistance(double px, double py,
+                        const std::vector<Cell>& points, double cap) {
+  double best = cap;
+  for (const Cell& p : points) {
+    const double dx = px - p.x, dy = py - p.y;
+    best = std::min(best, std::sqrt(dx * dx + dy * dy));
+  }
+  return best;
+}
+
+// Three octaves of value noise in [0, 1] — the analytic stand-in for
+// FractalNoise that needs no intermediate grid.
+double OctaveNoise(double x, double y, double base_frequency,
+                   uint64_t seed) {
+  double sum = 0.0, weight = 0.0, freq = base_frequency, amp = 1.0;
+  for (int octave = 0; octave < 3; ++octave) {
+    sum += amp * ValueNoise2D(x * freq, y * freq, seed + octave);
+    weight += amp;
+    freq *= 2.0;
+    amp *= 0.5;
+  }
+  return sum / weight;
+}
+
+}  // namespace
+
+Park GenerateMegaPark(const MegaParkConfig& cfg) {
+  CheckOrDie(cfg.target_cells >= 64, "mega park needs at least 64 cells");
+  CheckOrDie(cfg.num_patrol_posts >= 1, "park needs at least one patrol post");
+  // An ellipse with semi-axes 0.48*side covers pi * 0.48^2 ~ 72.4% of a
+  // square grid; size the grid so the in-park count lands on target.
+  const double kFill = 3.14159265358979323846 * 0.48 * 0.48;
+  const int side = static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(cfg.target_cells) / kFill)));
+  const int width = side, height = side;
+  const double cx = 0.5 * (width - 1), cy = 0.5 * (height - 1);
+  const double rx = 0.48 * width, ry = 0.48 * height;
+
+  Rng rng(cfg.seed);
+
+  // Un-noised ellipse: convex, so connected by construction — the largest-
+  // component flood fill the small generator needs is unnecessary here.
+  GridB mask(width, height, false);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double nx = (x - cx) / rx, ny = (y - cy) / ry;
+      if (nx * nx + ny * ny <= 1.0) mask.At(x, y) = true;
+    }
+  }
+  Park park(cfg.name, std::move(mask));
+  const GridB& m = park.mask();
+
+  // Infrastructure is parametric: segment lists and point lists, O(count)
+  // storage, evaluated per cell below.
+  std::vector<Segment> rivers, roads;
+  for (int r = 0; r < cfg.num_rivers; ++r) {
+    AppendMeander(cx, cy, rx, ry, &rng, &rivers);
+  }
+  for (int r = 0; r < cfg.num_roads; ++r) {
+    AppendMeander(cx, cy, rx, ry, &rng, &roads);
+  }
+  std::vector<Cell> villages;
+  for (int v = 0; v < cfg.num_villages; ++v) {
+    const double t = rng.Uniform(0.0, 2.0 * 3.14159265358979323846);
+    villages.push_back(
+        Cell{static_cast<int>(std::lround(cx + 0.97 * rx * std::cos(t))),
+             static_cast<int>(std::lround(cy + 0.97 * ry * std::sin(t)))});
+  }
+  std::vector<Cell> posts;
+  for (int p = 0; p < cfg.num_patrol_posts; ++p) {
+    // Evenly spread around the boundary, pulled inside the ellipse so the
+    // rounded cell is always in-park.
+    const double t = (2.0 * 3.14159265358979323846 * p) /
+                     cfg.num_patrol_posts;
+    posts.push_back(
+        Cell{static_cast<int>(std::lround(cx + 0.9 * rx * std::cos(t))),
+             static_cast<int>(std::lround(cy + 0.9 * ry * std::sin(t)))});
+  }
+  const double dist_cap = width + height;
+
+  // --- Terrain (one raster at a time; per-cell analytic noise) ---
+  const uint64_t elev_seed = rng.NextUint64();
+  GridD elevation(width, height, 0.0);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      elevation.At(x, y) = OctaveNoise(x, y, 0.06, elev_seed);
+    }
+  }
+  GridD slope = GradientMagnitude(elevation);
+  RescaleInPlace(&slope, m, 0.0, 1.0);
+
+  const uint64_t forest_seed = rng.NextUint64();
+  GridD forest(width, height, 0.0);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      forest.At(x, y) = OctaveNoise(x, y, 0.10, forest_seed);
+    }
+  }
+
+  // --- Distances: exact point-to-segment/point math, no BFS transform ---
+  GridD dist_river(width, height, dist_cap);
+  GridD water(width, height, 0.0);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double d = MinSegmentDistance(x, y, rivers, dist_cap);
+      dist_river.At(x, y) = d;
+      // The meander's rasterization would mark cells it passes through;
+      // a sub-cell distance band is the analytic equivalent.
+      if (d <= 0.71 && m.At(x, y)) water.At(x, y) = 1.0;
+    }
+  }
+  GridD dist_road(width, height, dist_cap);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      dist_road.At(x, y) = MinSegmentDistance(x, y, roads, dist_cap);
+    }
+  }
+  GridD dist_village(width, height, dist_cap);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      dist_village.At(x, y) = MinPointDistance(x, y, villages, dist_cap);
+    }
+  }
+  GridD dist_post(width, height, dist_cap);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      dist_post.At(x, y) = MinPointDistance(x, y, posts, dist_cap);
+    }
+  }
+  // Distance to the park outline, analytically: how far the cell's radial
+  // coordinate sits from the ellipse edge, scaled by the local radius.
+  GridD dist_boundary(width, height, 0.0);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double nx = (x - cx) / rx, ny = (y - cy) / ry;
+      const double r = std::sqrt(nx * nx + ny * ny);
+      dist_boundary.At(x, y) = std::abs(1.0 - r) * std::min(rx, ry);
+    }
+  }
+
+  // --- Ecology: same shaping as the small generator, from built rasters ---
+  const uint64_t animal_seed = rng.NextUint64();
+  GridD animal(width, height, 0.0);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (!m.At(x, y)) continue;
+      const double base = OctaveNoise(x, y, 0.05, animal_seed);
+      const double far_people =
+          1.0 - std::exp(-0.25 * std::min(dist_village.At(x, y),
+                                          dist_road.At(x, y)));
+      const double near_water = std::exp(-0.15 * dist_river.At(x, y));
+      animal.At(x, y) = 0.5 * base + 0.3 * far_people + 0.2 * near_water;
+    }
+  }
+  RescaleInPlace(&animal, m, 0.0, 1.0);
+
+  const uint64_t npp_seed = rng.NextUint64();
+  GridD npp(width, height, 0.0);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      npp.At(x, y) =
+          0.6 * forest.At(x, y) + 0.4 * OctaveNoise(x, y, 0.12, npp_seed);
+    }
+  }
+  RescaleInPlace(&npp, m, 0.0, 1.0);
+
+  for (const Cell& p : posts) park.AddPatrolPost(p);
+
+  // Same 11-feature stack, same names and order, as GenerateSyntheticPark.
+  park.AddFeature("elevation", std::move(elevation));
+  park.AddFeature("slope", std::move(slope));
+  park.AddFeature("forest_cover", std::move(forest));
+  park.AddFeature("animal_density", std::move(animal));
+  park.AddFeature("npp", std::move(npp));
+  park.AddFeature("dist_river", std::move(dist_river));
+  park.AddFeature("dist_road", std::move(dist_road));
+  park.AddFeature("dist_village", std::move(dist_village));
+  park.AddFeature("dist_patrol_post", std::move(dist_post));
+  park.AddFeature("dist_boundary", std::move(dist_boundary));
+  park.AddFeature("water", std::move(water));
+  return park;
+}
+
 }  // namespace paws

@@ -43,6 +43,34 @@ struct SynthParkConfig {
 /// which are in km. Patrol posts are placed near the boundary, spaced apart.
 Park GenerateSyntheticPark(const SynthParkConfig& config);
 
+/// Parameters of the streamed mega-park generator. `target_cells` is the
+/// approximate number of IN-PARK cells; the grid is sized so an elliptical
+/// mask covers that many (the actual count lands within a few percent).
+struct MegaParkConfig {
+  std::string name = "mega-park";
+  std::int64_t target_cells = 1000000;
+  int num_rivers = 4;
+  int num_roads = 3;
+  int num_villages = 8;
+  int num_patrol_posts = 8;
+  uint64_t seed = 7;
+};
+
+/// Generates a multi-million-cell park with the same feature stack as
+/// GenerateSyntheticPark (11 features; identical names and order), sized
+/// by cell count instead of grid dims — the tiled-serving benchmark
+/// substrate. A model trained on any park with the same row width serves
+/// it directly.
+///
+/// Built for scale: every layer is computed analytically per cell, one
+/// raster at a time — an un-noised elliptical mask (connected by
+/// construction: no flood fill), value-noise terrain, and exact
+/// point-to-segment distances against parametric river/road polylines
+/// (no BFS distance transform). Peak memory during generation is the park
+/// being built plus O(1) scratch; there are no O(cells) temporaries
+/// beyond the rasters the Park keeps.
+Park GenerateMegaPark(const MegaParkConfig& config);
+
 }  // namespace paws
 
 #endif  // PAWS_GEO_SYNTH_H_

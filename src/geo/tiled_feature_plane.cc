@@ -1,0 +1,233 @@
+#include "geo/tiled_feature_plane.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace paws {
+
+TileGeometry TileGeometry::For(int grid_width, int grid_height,
+                               int tile_size) {
+  CheckOrDie(tile_size > 0, "TileGeometry: tile_size must be positive");
+  CheckOrDie(grid_width > 0 && grid_height > 0,
+             "TileGeometry: empty grid");
+  TileGeometry g;
+  g.tile_size = tile_size;
+  g.tiles_x = (grid_width + tile_size - 1) / tile_size;
+  g.tiles_y = (grid_height + tile_size - 1) / tile_size;
+  return g;
+}
+
+void TileGeometry::TileRect(int tile_id, int grid_width, int grid_height,
+                            int* x0, int* y0, int* x1, int* y1) const {
+  CheckOrDie(tile_id >= 0 && tile_id < num_tiles(),
+             "TileGeometry: tile id out of range");
+  const int tx = tile_id % tiles_x;
+  const int ty = tile_id / tiles_x;
+  *x0 = tx * tile_size;
+  *y0 = ty * tile_size;
+  *x1 = std::min(*x0 + tile_size, grid_width);
+  *y1 = std::min(*y0 + tile_size, grid_height);
+}
+
+TiledFeaturePlane::TiledFeaturePlane(const Park& park,
+                                     std::vector<double> lagged_effort,
+                                     TiledPlaneOptions options)
+    : num_cells_(park.num_cells()),
+      row_width_(park.num_features() + 1),
+      grid_width_(park.width()),
+      grid_height_(park.height()),
+      geometry_(TileGeometry::For(park.width(), park.height(),
+                                  options.tile_size)),
+      options_(options) {
+  if (lagged_effort.empty()) {
+    lagged_effort.assign(num_cells_, 0.0);
+  }
+  CheckOrDie(static_cast<int>(lagged_effort.size()) == num_cells_,
+             "TiledFeaturePlane: lagged-effort layer does not match the park");
+  lagged_effort_ = std::move(lagged_effort);
+  tile_versions_.assign(geometry_.num_tiles(), 0);
+}
+
+uint64_t TiledFeaturePlane::tile_coverage_version(int tile_id) const {
+  CheckOrDie(tile_id >= 0 && tile_id < geometry_.num_tiles(),
+             "TiledFeaturePlane: tile id out of range");
+  return tile_versions_[tile_id];
+}
+
+void TiledFeaturePlane::TileCellIds(const Park& park, int tile_id,
+                                    std::vector<int>* out) const {
+  CheckOrDie(park.num_cells() == num_cells_ &&
+                 park.width() == grid_width_ &&
+                 park.height() == grid_height_,
+             "TiledFeaturePlane: park does not match this plane");
+  int x0, y0, x1, y1;
+  geometry_.TileRect(tile_id, grid_width_, grid_height_, &x0, &y0, &x1, &y1);
+  out->clear();
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      const int id = park.DenseIdOf(Cell{x, y});
+      if (id >= 0) out->push_back(id);
+    }
+  }
+}
+
+std::shared_ptr<TiledFeaturePlane::Tile> TiledFeaturePlane::Materialize(
+    const Park& park, int tile_id) const {
+  auto tile = std::make_shared<Tile>();
+  tile->tile_id = tile_id;
+  tile->coverage_version = tile_versions_[tile_id];
+  TileCellIds(park, tile_id, &tile->cell_ids);
+  // Row assembly mirrors FeaturePlane::BuildRows cell for cell: the static
+  // raster features in park order, then the lagged-coverage column. Same
+  // source doubles, same order — byte-identical rows by construction.
+  tile->rows.reserve(tile->cell_ids.size() * row_width_);
+  for (int id : tile->cell_ids) {
+    const std::vector<double> static_x = park.FeatureVector(id);
+    tile->rows.insert(tile->rows.end(), static_x.begin(), static_x.end());
+    tile->rows.push_back(lagged_effort_[id]);
+  }
+  return tile;
+}
+
+std::shared_ptr<const TiledFeaturePlane::Tile> TiledFeaturePlane::GetTile(
+    const Park& park, int tile_id) const {
+  CheckOrDie(tile_id >= 0 && tile_id < geometry_.num_tiles(),
+             "TiledFeaturePlane: tile id out of range");
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    const auto it = pool_index_.find(tile_id);
+    if (it != pool_index_.end()) {
+      pool_lru_.splice(pool_lru_.begin(), pool_lru_, it->second);
+      ++pool_hits_;
+      return *it->second;
+    }
+    ++pool_misses_;
+  }
+  // Materialize outside the lock: a racing miss on the same tile builds
+  // bit-identical rows, and the loser's insert below just refreshes the
+  // entry — cheaper than serializing every materialization.
+  std::shared_ptr<const Tile> tile = Materialize(park, tile_id);
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    const auto it = pool_index_.find(tile_id);
+    if (it != pool_index_.end()) {
+      // The racing winner's tile is already indexed; serve that one so
+      // the pool accounts each tile id once.
+      pool_lru_.splice(pool_lru_.begin(), pool_lru_, it->second);
+      return *it->second;
+    }
+    pool_lru_.push_front(tile);
+    pool_index_.emplace(tile_id, pool_lru_.begin());
+    pool_bytes_ += tile->bytes();
+    ShrinkToBudgetLocked();
+  }
+  return tile;
+}
+
+void TiledFeaturePlane::EvictLocked(int tile_id) const {
+  const auto it = pool_index_.find(tile_id);
+  if (it == pool_index_.end()) return;
+  pool_bytes_ -= (*it->second)->bytes();
+  pool_lru_.erase(it->second);
+  pool_index_.erase(it);
+  ++pool_evictions_;
+}
+
+void TiledFeaturePlane::ShrinkToBudgetLocked() const {
+  if (options_.pool_budget_bytes == 0) return;
+  // Always keep the most recent tile: a budget smaller than one tile must
+  // still serve (the pool degrades to materialize-per-request).
+  while (pool_bytes_ > options_.pool_budget_bytes && pool_lru_.size() > 1) {
+    const std::shared_ptr<const Tile>& victim = pool_lru_.back();
+    pool_bytes_ -= victim->bytes();
+    pool_index_.erase(victim->tile_id);
+    pool_lru_.pop_back();
+    ++pool_evictions_;
+  }
+}
+
+void TiledFeaturePlane::UpdateLaggedEffort(
+    const Park& park, std::vector<double> lagged_effort) {
+  if (lagged_effort.empty()) {
+    lagged_effort.assign(num_cells_, 0.0);
+  }
+  CheckOrDie(static_cast<int>(lagged_effort.size()) == num_cells_,
+             "TiledFeaturePlane::UpdateLaggedEffort: layer/park mismatch");
+  CheckOrDie(park.num_cells() == num_cells_ &&
+                 park.width() == grid_width_ &&
+                 park.height() == grid_height_,
+             "TiledFeaturePlane: park does not match this plane");
+  ++coverage_version_;
+  // Diff the layers cell by cell (by bit pattern: a -0.0 -> 0.0 flip is a
+  // row change even though == would miss it) and mark the containing
+  // tiles dirty. Only dirty tiles pay: version bump + pool eviction.
+  std::vector<bool> dirty(geometry_.num_tiles(), false);
+  const std::vector<int>& indices = park.cell_indices();
+  for (int id = 0; id < num_cells_; ++id) {
+    const double a = lagged_effort_[id];
+    const double b = lagged_effort[id];
+    if (std::memcmp(&a, &b, sizeof(double)) == 0) continue;
+    const int grid_index = indices[id];
+    dirty[geometry_.TileOf(grid_index % grid_width_,
+                           grid_index / grid_width_)] = true;
+  }
+  lagged_effort_ = std::move(lagged_effort);
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  for (int t = 0; t < geometry_.num_tiles(); ++t) {
+    if (!dirty[t]) continue;
+    tile_versions_[t] = coverage_version_;
+    // Evict instead of patching in place: in-flight readers may still
+    // hold the old tile (shared_ptr), and they must keep seeing the
+    // coverage layer they started under.
+    EvictLocked(t);
+  }
+}
+
+std::vector<double> TiledFeaturePlane::BuildAllRows(const Park& park) const {
+  std::vector<double> rows;
+  rows.resize(static_cast<size_t>(num_cells_) * row_width_);
+  // Tiles partition the grid, and within a tile cells stream in grid
+  // row-major order — so scattering each tile's rows by dense id fills
+  // the buffer exactly once per cell.
+  for (int t = 0; t < geometry_.num_tiles(); ++t) {
+    const std::shared_ptr<const Tile> tile = GetTile(park, t);
+    for (size_t i = 0; i < tile->cell_ids.size(); ++i) {
+      std::copy(tile->rows.begin() + i * row_width_,
+                tile->rows.begin() + (i + 1) * row_width_,
+                rows.begin() +
+                    static_cast<size_t>(tile->cell_ids[i]) * row_width_);
+    }
+  }
+  return rows;
+}
+
+FeatureMatrixView TiledFeaturePlane::GatherCells(
+    const Park& park, const std::vector<int>& cell_ids,
+    std::vector<double>* buf) const {
+  CheckOrDie(park.num_cells() == num_cells_,
+             "TiledFeaturePlane: park does not match this plane");
+  buf->clear();
+  buf->reserve(cell_ids.size() * row_width_);
+  for (int id : cell_ids) {
+    CheckOrDie(id >= 0 && id < num_cells_,
+               "TiledFeaturePlane::GatherCells: cell id out of range");
+    const std::vector<double> static_x = park.FeatureVector(id);
+    buf->insert(buf->end(), static_x.begin(), static_x.end());
+    buf->push_back(lagged_effort_[id]);
+  }
+  return FeatureMatrixView::FromFlat(*buf, row_width_);
+}
+
+TilePoolStats TiledFeaturePlane::pool_stats() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  TilePoolStats stats;
+  stats.resident_tiles = pool_lru_.size();
+  stats.resident_bytes = pool_bytes_;
+  stats.hits = pool_hits_;
+  stats.misses = pool_misses_;
+  stats.evictions = pool_evictions_;
+  return stats;
+}
+
+}  // namespace paws

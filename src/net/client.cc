@@ -247,6 +247,18 @@ StatusOr<std::vector<StatusOr<RiskMaps>>> ParkClient::RiskMapBatch(
   return TagDecode(DecodeRiskMapBatchPayload(payload));
 }
 
+StatusOr<RiskTile> ParkClient::RiskTile(const std::string& park_id,
+                                        int tile_id, double assumed_effort) {
+  RiskTileRequest request;
+  request.park_id = park_id;
+  request.tile_id = tile_id;
+  request.assumed_effort = assumed_effort;
+  PAWS_ASSIGN_OR_RETURN(
+      std::string payload,
+      CallOk(Opcode::kRiskTile, EncodeRiskTileRequest(request)));
+  return TagDecode(DecodeRiskTilePayload(payload));
+}
+
 StatusOr<EffortCurveTable> ParkClient::CellCurves(
     const std::string& park_id, const std::vector<int>& cell_ids,
     std::vector<double> effort_grid) {

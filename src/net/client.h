@@ -138,6 +138,10 @@ class ParkClient {
                              double assumed_effort);
   StatusOr<std::vector<StatusOr<RiskMaps>>> RiskMapBatch(
       const std::vector<RiskMapRequest>& requests);
+  /// One 64x64-cell tile of the park's risk map (tile ids row-major over
+  /// the tile grid) — the sub-park request a pan/zoom frontend issues.
+  StatusOr<paws::RiskTile> RiskTile(const std::string& park_id, int tile_id,
+                                    double assumed_effort);
   StatusOr<EffortCurveTable> CellCurves(const std::string& park_id,
                                         const std::vector<int>& cell_ids,
                                         std::vector<double> effort_grid);

@@ -26,6 +26,7 @@ constexpr uint32_t kGetSnapReqTag = FourCc("RQGS");
 constexpr uint32_t kGetSnapRespTag = FourCc("RSGS");
 constexpr uint32_t kRepairReqTag = FourCc("RQRP");
 constexpr uint32_t kRepairRespTag = FourCc("RSRP");
+constexpr uint32_t kRiskTileReqTag = FourCc("RQRT");
 
 void AppendU32(std::string* out, uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -83,6 +84,8 @@ std::string OpcodeName(uint32_t opcode) {
       return "GetSnapshot";
     case Opcode::kRepair:
       return "Repair";
+    case Opcode::kRiskTile:
+      return "RiskTile";
     case Opcode::kOkResponse:
       return "OkResponse";
     case Opcode::kStatusResponse:
@@ -93,7 +96,7 @@ std::string OpcodeName(uint32_t opcode) {
 
 bool IsRequestOpcode(uint32_t opcode) {
   return opcode >= static_cast<uint32_t>(Opcode::kRiskMap) &&
-         opcode <= static_cast<uint32_t>(Opcode::kRepair);
+         opcode <= static_cast<uint32_t>(Opcode::kRiskTile);
 }
 
 std::string EncodeFrame(const Frame& frame) {
@@ -315,6 +318,29 @@ StatusOr<RiskMapBatchRequest> DecodeRiskMapBatchRequest(
     PAWS_RETURN_IF_ERROR(reader.ReadDouble(&item.assumed_effort));
     req.requests.push_back(std::move(item));
   }
+  PAWS_RETURN_IF_ERROR(reader.LeaveSection());
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return req;
+}
+
+std::string EncodeRiskTileRequest(const RiskTileRequest& req) {
+  ArchiveWriter writer;
+  writer.BeginSection(kRiskTileReqTag);
+  writer.WriteString(req.park_id);
+  writer.WriteI32(req.tile_id);
+  writer.WriteDouble(req.assumed_effort);
+  writer.EndSection();
+  return writer.Bytes();
+}
+
+StatusOr<RiskTileRequest> DecodeRiskTileRequest(const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  RiskTileRequest req;
+  PAWS_RETURN_IF_ERROR(reader.EnterSection(kRiskTileReqTag));
+  PAWS_RETURN_IF_ERROR(reader.ReadString(&req.park_id));
+  PAWS_RETURN_IF_ERROR(reader.ReadI32(&req.tile_id));
+  PAWS_RETURN_IF_ERROR(reader.ReadDouble(&req.assumed_effort));
   PAWS_RETURN_IF_ERROR(reader.LeaveSection());
   PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
   return req;
@@ -663,6 +689,20 @@ StatusOr<std::vector<StatusOr<RiskMaps>>> DecodeRiskMapBatchPayload(
   return results;
 }
 
+std::string EncodeRiskTilePayload(const RiskTile& tile) {
+  ArchiveWriter writer;
+  SaveRiskTile(tile, &writer);
+  return writer.Bytes();
+}
+
+StatusOr<RiskTile> DecodeRiskTilePayload(const std::string& payload) {
+  PAWS_ASSIGN_OR_RETURN(ArchiveReader reader,
+                        ArchiveReader::FromBytes(payload));
+  PAWS_ASSIGN_OR_RETURN(RiskTile tile, LoadRiskTile(&reader));
+  PAWS_RETURN_IF_ERROR(reader.ExpectEnd());
+  return tile;
+}
+
 std::string EncodeEffortCurveTablePayload(const EffortCurveTable& table) {
   ArchiveWriter writer;
   SaveEffortCurveTable(table, &writer);
@@ -710,6 +750,13 @@ std::string EncodeStatsReportPayload(const ServerStatsReport& report) {
     writer.WriteU64(park.risk_misses);
     writer.WriteU64(park.curve_hits);
     writer.WriteU64(park.curve_misses);
+    writer.WriteU64(park.tile_hits);
+    writer.WriteU64(park.tile_misses);
+    writer.WriteU64(park.tile_pool_resident_tiles);
+    writer.WriteU64(park.tile_pool_resident_bytes);
+    writer.WriteU64(park.tile_pool_hits);
+    writer.WriteU64(park.tile_pool_misses);
+    writer.WriteU64(park.tile_pool_evictions);
     writer.WriteString(park.scoring_backend);
   }
   writer.EndSection();
@@ -731,7 +778,7 @@ StatusOr<ServerStatsReport> DecodeStatsReportPayload(
   PAWS_RETURN_IF_ERROR(reader.ReadU64(&report.deadline_expired));
   uint64_t count = 0;
   PAWS_RETURN_IF_ERROR(reader.ReadU64(&count));
-  if (count > reader.remaining() / (8 + 4 * 8)) {
+  if (count > reader.remaining() / (8 + 11 * 8)) {
     return BrokenStream("park count overruns payload");
   }
   report.parks.reserve(count);
@@ -742,6 +789,13 @@ StatusOr<ServerStatsReport> DecodeStatsReportPayload(
     PAWS_RETURN_IF_ERROR(reader.ReadU64(&park.risk_misses));
     PAWS_RETURN_IF_ERROR(reader.ReadU64(&park.curve_hits));
     PAWS_RETURN_IF_ERROR(reader.ReadU64(&park.curve_misses));
+    PAWS_RETURN_IF_ERROR(reader.ReadU64(&park.tile_hits));
+    PAWS_RETURN_IF_ERROR(reader.ReadU64(&park.tile_misses));
+    PAWS_RETURN_IF_ERROR(reader.ReadU64(&park.tile_pool_resident_tiles));
+    PAWS_RETURN_IF_ERROR(reader.ReadU64(&park.tile_pool_resident_bytes));
+    PAWS_RETURN_IF_ERROR(reader.ReadU64(&park.tile_pool_hits));
+    PAWS_RETURN_IF_ERROR(reader.ReadU64(&park.tile_pool_misses));
+    PAWS_RETURN_IF_ERROR(reader.ReadU64(&park.tile_pool_evictions));
     PAWS_RETURN_IF_ERROR(reader.ReadString(&park.scoring_backend));
     report.parks.push_back(std::move(park));
   }

@@ -62,6 +62,10 @@ enum class Opcode : uint32_t {
   kSwapFleetMap = 8,
   kGetSnapshot = 9,
   kRepair = 10,
+  /// Tiled serving (PR 10): one 64x64-cell risk-map tile — the sub-park
+  /// request unit behind pan/zoom map frontends. Routed exactly like
+  /// kRiskMap (tiles are sub-park; the park id is the routing key).
+  kRiskTile = 11,
   kOkResponse = 100,
   kStatusResponse = 101,
 };
@@ -150,6 +154,15 @@ struct RiskMapBatchRequest {
   std::vector<RiskMapRequest> requests;
 };
 
+/// One tile of `park_id`'s risk map at `assumed_effort` km. Tile ids are
+/// row-major over the park's tile grid (see TileGeometry); the response
+/// body is a RiskTile archive (SaveRiskTile).
+struct RiskTileRequest {
+  std::string park_id;
+  int tile_id = 0;
+  double assumed_effort = 0.0;
+};
+
 struct CellCurvesRequest {
   std::string park_id;
   std::vector<int> cell_ids;
@@ -236,6 +249,18 @@ struct ServerStatsReport {
     uint64_t risk_misses = 0;
     uint64_t curve_hits = 0;
     uint64_t curve_misses = 0;
+    /// Served-tile LRU counters (ParkService::RiskTileStats).
+    uint64_t tile_hits = 0;
+    uint64_t tile_misses = 0;
+    /// Feature-tile pool economics (TilePoolStats of the park's
+    /// TiledFeaturePlane): how many tiles'-worth of feature rows are
+    /// resident, how many bytes they pin, and the materialize/evict
+    /// traffic — the observable side of the bounded-memory contract.
+    uint64_t tile_pool_resident_tiles = 0;
+    uint64_t tile_pool_resident_bytes = 0;
+    uint64_t tile_pool_hits = 0;
+    uint64_t tile_pool_misses = 0;
+    uint64_t tile_pool_evictions = 0;
     /// ScoringBackend::name() of the park's model (see
     /// kScoringBackendNames in ml/scoring_backend.h): which compiled
     /// serving layer — and on forests, which SIMD dispatch tier — this
@@ -251,6 +276,9 @@ StatusOr<RiskMapRequest> DecodeRiskMapRequest(const std::string& payload);
 std::string EncodeRiskMapBatchRequest(const RiskMapBatchRequest& req);
 StatusOr<RiskMapBatchRequest> DecodeRiskMapBatchRequest(
     const std::string& payload);
+
+std::string EncodeRiskTileRequest(const RiskTileRequest& req);
+StatusOr<RiskTileRequest> DecodeRiskTileRequest(const std::string& payload);
 
 std::string EncodeCellCurvesRequest(const CellCurvesRequest& req);
 StatusOr<CellCurvesRequest> DecodeCellCurvesRequest(
@@ -301,6 +329,9 @@ std::string EncodeRiskMapBatchPayload(
     const std::vector<StatusOr<RiskMaps>>& results);
 StatusOr<std::vector<StatusOr<RiskMaps>>> DecodeRiskMapBatchPayload(
     const std::string& payload);
+
+std::string EncodeRiskTilePayload(const RiskTile& tile);
+StatusOr<RiskTile> DecodeRiskTilePayload(const std::string& payload);
 
 std::string EncodeEffortCurveTablePayload(const EffortCurveTable& table);
 StatusOr<EffortCurveTable> DecodeEffortCurveTablePayload(

@@ -49,6 +49,9 @@ Frame ParkServer::Handle(const Frame& request) {
     case static_cast<uint32_t>(Opcode::kRepair):
       payload = HandleRepair(request.payload, &error);
       break;
+    case static_cast<uint32_t>(Opcode::kRiskTile):
+      payload = HandleRiskTile(request.payload, &error);
+      break;
     default:
       error = Status::InvalidArgument("unknown request opcode " +
                                    OpcodeName(request.opcode));
@@ -108,6 +111,22 @@ std::string ParkServer::HandleRiskMapBatch(const std::string& payload,
     }
   }
   return EncodeRiskMapBatchPayload(results);
+}
+
+std::string ParkServer::HandleRiskTile(const std::string& payload,
+                                       Status* error) {
+  StatusOr<RiskTileRequest> request = DecodeRiskTileRequest(payload);
+  if (!request.ok()) {
+    *error = request.status();
+    return "";
+  }
+  StatusOr<std::shared_ptr<const RiskTile>> tile = service_->RiskTile(
+      request->park_id, request->tile_id, request->assumed_effort);
+  if (!tile.ok()) {
+    *error = tile.status();
+    return "";
+  }
+  return EncodeRiskTilePayload(**tile);
 }
 
 std::string ParkServer::HandleCellCurves(const std::string& payload,
@@ -214,6 +233,11 @@ std::string ParkServer::HandleStats(const std::string& payload,
       *error = curve.status();
       return "";
     }
+    StatusOr<ParkService::TileStats> tile = service_->RiskTileStats(park_id);
+    if (!tile.ok()) {
+      *error = tile.status();
+      return "";
+    }
     StatusOr<std::string> backend = service_->ScoringBackendName(park_id);
     if (!backend.ok()) {
       *error = backend.status();
@@ -225,6 +249,13 @@ std::string ParkServer::HandleStats(const std::string& payload,
     park.risk_misses = risk->misses;
     park.curve_hits = curve->hits;
     park.curve_misses = curve->misses;
+    park.tile_hits = tile->hits;
+    park.tile_misses = tile->misses;
+    park.tile_pool_resident_tiles = tile->pool.resident_tiles;
+    park.tile_pool_resident_bytes = tile->pool.resident_bytes;
+    park.tile_pool_hits = tile->pool.hits;
+    park.tile_pool_misses = tile->pool.misses;
+    park.tile_pool_evictions = tile->pool.evictions;
     park.scoring_backend = std::move(backend).value();
     report.parks.push_back(std::move(park));
   }

@@ -63,6 +63,7 @@ class ParkServer {
  private:
   std::string HandleRiskMap(const std::string& payload, Status* error);
   std::string HandleRiskMapBatch(const std::string& payload, Status* error);
+  std::string HandleRiskTile(const std::string& payload, Status* error);
   std::string HandleCellCurves(const std::string& payload, Status* error);
   std::string HandlePlanForPost(const std::string& payload, Status* error);
   std::string HandleSwapSnapshot(const std::string& payload, Status* error);

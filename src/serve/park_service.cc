@@ -39,6 +39,21 @@ size_t ParkService::RiskKeyHash::operator()(const RiskKey& key) const {
   return static_cast<size_t>(h);
 }
 
+size_t ParkService::TileKeyHash::operator()(const TileKey& key) const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(key.snapshot_version);
+  mix(key.tile_coverage_version);
+  mix(static_cast<uint64_t>(key.tile_id));
+  mix(key.effort_bits);
+  return static_cast<size_t>(h);
+}
+
 size_t ParkService::CurveKeyHash::operator()(const CurveKey& key) const {
   uint64_t h = 0xcbf29ce484222325ull;
   auto mix = [&h](uint64_t v) {
@@ -61,6 +76,8 @@ ParkService::ParkService(ParkServiceOptions options)
              "ParkService: risk_cache_capacity must be positive");
   CheckOrDie(options_.curve_cache_capacity > 0,
              "ParkService: curve_cache_capacity must be positive");
+  CheckOrDie(options_.tile_cache_capacity > 0,
+             "ParkService: tile_cache_capacity must be positive");
 }
 
 Status ParkService::Register(const std::string& park_id,
@@ -70,7 +87,8 @@ Status ParkService::Register(const std::string& park_id,
   }
   auto entry = std::make_shared<Entry>(std::move(snapshot),
                                        options_.risk_cache_capacity,
-                                       options_.curve_cache_capacity);
+                                       options_.curve_cache_capacity,
+                                       options_.tile_cache_capacity);
   std::unique_lock<std::shared_mutex> lock(registry_mu_);
   if (!parks_.emplace(park_id, std::move(entry)).second) {
     return Status::InvalidArgument("ParkService: park '" + park_id +
@@ -135,8 +153,15 @@ StatusOr<std::shared_ptr<const RiskMaps>> ParkService::RiskMap(
     }
   }
   entry->misses.fetch_add(1, std::memory_order_relaxed);
+  // Whole-park maps are assembled tile by tile through the snapshot's
+  // feature-tile pool — bit-identical to PredictRisk (per-row scoring is
+  // batch-composition independent) and the only viable path for
+  // tiled-only mega parks, where no eager all-cells rows exist. Tiles
+  // fan out across dedicated threads (never the shared pool; the tile
+  // fetch takes the plane's pool mutex).
   auto maps = std::make_shared<const RiskMaps>(
-      entry->snapshot.PredictRisk(assumed_effort));
+      entry->snapshot.PredictRiskTiled(assumed_effort,
+                                       options_.parallelism));
   {
     // Two concurrent misses on one key both compute (bit-identical) maps;
     // the second Put simply refreshes the entry — no special casing.
@@ -144,6 +169,44 @@ StatusOr<std::shared_ptr<const RiskMaps>> ParkService::RiskMap(
     entry->cache.Put(key, maps);
   }
   return StatusOr<std::shared_ptr<const RiskMaps>>(std::move(maps));
+}
+
+StatusOr<std::shared_ptr<const paws::RiskTile>> ParkService::RiskTile(
+    const std::string& park_id, int tile_id, double assumed_effort) const {
+  if (!(assumed_effort >= 0.0)) {
+    return Status::InvalidArgument(
+        "ParkService: assumed_effort must be >= 0");
+  }
+  const std::shared_ptr<Entry> entry = Find(park_id);
+  if (entry == nullptr) return UnknownPark(park_id);
+  std::shared_lock<std::shared_mutex> lock(entry->mu);
+  // Tile ids are client input (the CheckOrDie inside the plane would
+  // abort the process).
+  if (tile_id < 0 || tile_id >= entry->snapshot.num_tiles()) {
+    return Status::InvalidArgument("ParkService: tile id out of range");
+  }
+  // Keyed on the TILE's coverage version: an UpdateCoverage that changed
+  // other tiles leaves this key — and its cached result — valid.
+  const TileKey key{entry->snapshot_version,
+                    entry->snapshot.tile_coverage_version(tile_id), tile_id,
+                    EffortBits(assumed_effort)};
+  {
+    std::lock_guard<std::mutex> cache_lock(entry->tile_cache_mu);
+    if (const auto* hit = entry->tile_cache.Get(key)) {
+      entry->tile_hits.fetch_add(1, std::memory_order_relaxed);
+      return *hit;
+    }
+  }
+  entry->tile_misses.fetch_add(1, std::memory_order_relaxed);
+  auto tile = std::make_shared<const paws::RiskTile>(
+      entry->snapshot.PredictRiskTile(tile_id, assumed_effort));
+  {
+    // Racing misses both compute bit-identical tiles; the second Put just
+    // refreshes the entry.
+    std::lock_guard<std::mutex> cache_lock(entry->tile_cache_mu);
+    entry->tile_cache.Put(key, tile);
+  }
+  return StatusOr<std::shared_ptr<const paws::RiskTile>>(std::move(tile));
 }
 
 StatusOr<std::shared_ptr<const EffortCurveTable>> ParkService::CellCurves(
@@ -247,10 +310,16 @@ Status ParkService::SwapSnapshot(const std::string& park_id,
     std::lock_guard<std::mutex> cache_lock(entry->curve_cache_mu);
     entry->curve_cache.Clear();
   }
+  {
+    std::lock_guard<std::mutex> cache_lock(entry->tile_cache_mu);
+    entry->tile_cache.Clear();
+  }
   entry->hits.store(0, std::memory_order_relaxed);
   entry->misses.store(0, std::memory_order_relaxed);
   entry->curve_hits.store(0, std::memory_order_relaxed);
   entry->curve_misses.store(0, std::memory_order_relaxed);
+  entry->tile_hits.store(0, std::memory_order_relaxed);
+  entry->tile_misses.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -316,6 +385,24 @@ StatusOr<ParkService::CacheStats> ParkService::CurveCacheStats(
   CacheStats stats;
   stats.hits = entry->curve_hits.load(std::memory_order_relaxed);
   stats.misses = entry->curve_misses.load(std::memory_order_relaxed);
+  return stats;
+}
+
+StatusOr<ParkService::TileStats> ParkService::RiskTileStats(
+    const std::string& park_id) const {
+  const std::shared_ptr<Entry> entry = Find(park_id);
+  if (entry == nullptr) return UnknownPark(park_id);
+  TileStats stats;
+  stats.hits = entry->tile_hits.load(std::memory_order_relaxed);
+  stats.misses = entry->tile_misses.load(std::memory_order_relaxed);
+  // Shared lock: the pool and geometry live inside the snapshot, which
+  // SwapSnapshot replaces under the exclusive lock.
+  std::shared_lock<std::shared_mutex> lock(entry->mu);
+  stats.pool = entry->snapshot.tile_pool_stats();
+  const TileGeometry& geo = entry->snapshot.tiled_plane().geometry();
+  stats.tile_size = geo.tile_size;
+  stats.tiles_x = geo.tiles_x;
+  stats.tiles_y = geo.tiles_y;
   return stats;
 }
 

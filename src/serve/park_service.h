@@ -21,6 +21,12 @@ struct ParkServiceOptions {
   /// Per-park LRU capacity for served effort-curve tables (entries keyed
   /// by snapshot version + coverage version + requested cells + grid).
   int curve_cache_capacity = 16;
+  /// Per-park LRU capacity for served risk-map tiles (entries keyed by
+  /// snapshot version + the TILE's coverage version + tile id + effort).
+  /// Tiles are the sub-park serving unit, so the capacity is wider than
+  /// the whole-map cache: a mega park serves a working set of tiles, not
+  /// a handful of whole maps.
+  int tile_cache_capacity = 64;
   /// Fan-out width for the batched request API. Requests run on dedicated
   /// threads (not the shared pool — pool tasks must stay lock-free; see
   /// RiskMapBatch) and each request's own model scoring still uses the
@@ -29,11 +35,12 @@ struct ParkServiceOptions {
 };
 
 /// Multi-tenant serving front end: one process answering risk-map,
-/// effort-curve and patrol-plan queries for many protected areas at once.
-/// Three layers deep — each park's ModelSnapshot carries a FeaturePlane
-/// (cached feature rows), its model scores through the selected
-/// ScoringBackend, and this registry adds concurrent lookup plus a
-/// per-park LRU of recently served risk maps.
+/// risk-tile, effort-curve and patrol-plan queries for many protected
+/// areas at once. Three layers deep — each park's ModelSnapshot carries
+/// its feature rows (an eager FeaturePlane and/or a pooled
+/// TiledFeaturePlane), its model scores through the selected
+/// ScoringBackend, and this registry adds concurrent lookup plus per-park
+/// LRUs of recently served risk maps, tiles and curve tables.
 ///
 /// Concurrency model (read-mostly):
 ///  - The registry map is guarded by a shared_mutex: serving calls take it
@@ -76,6 +83,16 @@ class ParkService {
   /// coverage, effort) triple was served recently.
   StatusOr<std::shared_ptr<const RiskMaps>> RiskMap(
       const std::string& park_id, double assumed_effort) const;
+
+  /// One 64x64-cell tile of the risk map of `park_id` at `assumed_effort`
+  /// km — the sub-park serving unit behind pan/zoom map frontends and the
+  /// kRiskTile wire opcode. Served from the per-park tile LRU on a key of
+  /// (snapshot_version, tile_coverage_version(tile_id), tile_id, effort):
+  /// keying on the TILE's coverage version (not the global one) keeps
+  /// every untouched tile's cached result valid across a partial
+  /// UpdateCoverage. Bit-identical to the matching cells of RiskMap.
+  StatusOr<std::shared_ptr<const paws::RiskTile>> RiskTile(
+      const std::string& park_id, int tile_id, double assumed_effort) const;
 
   /// Tabulated effort curves for the given cells of `park_id` — served
   /// from the per-park curve LRU when an identical (snapshot, coverage,
@@ -127,6 +144,20 @@ class ParkService {
   /// Same counters for the effort-curve-table LRU.
   StatusOr<CacheStats> CurveCacheStats(const std::string& park_id) const;
 
+  /// Tile-serving counters for one park: the served-tile LRU (hits /
+  /// misses, zeroed on SwapSnapshot) plus the snapshot's feature-tile
+  /// pool (see TilePoolStats — pool counters reset with the snapshot
+  /// because the pool lives inside it) and the tile geometry.
+  struct TileStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    TilePoolStats pool;
+    int tile_size = 0;
+    int tiles_x = 0;
+    int tiles_y = 0;
+  };
+  StatusOr<TileStats> RiskTileStats(const std::string& park_id) const;
+
   /// The ScoringBackend the park's model currently dispatches through
   /// (see kScoringBackendNames in ml/scoring_backend.h) — e.g.
   /// "compiled-dtb-avx2" on an AVX2 host serving bagged trees. Can change
@@ -152,6 +183,26 @@ class ParkService {
     size_t operator()(const RiskKey& key) const;
   };
 
+  /// Served-tile cache key. tile_coverage_version is the coverage version
+  /// as of the last update that touched this tile — cached tiles survive
+  /// coverage updates that changed only other tiles. Full-key equality:
+  /// a hash collision can never serve the wrong tile.
+  struct TileKey {
+    uint64_t snapshot_version = 0;
+    uint64_t tile_coverage_version = 0;
+    int tile_id = 0;
+    uint64_t effort_bits = 0;
+
+    bool operator==(const TileKey& other) const {
+      return snapshot_version == other.snapshot_version &&
+             tile_coverage_version == other.tile_coverage_version &&
+             tile_id == other.tile_id && effort_bits == other.effort_bits;
+    }
+  };
+  struct TileKeyHash {
+    size_t operator()(const TileKey& key) const;
+  };
+
   /// Curve-table cache key: versions + the full request shape. Effort
   /// grid points are keyed by IEEE-754 bit pattern for the same reason
   /// RiskKey is; cell ids and grid are compared in full, so a hash
@@ -173,10 +224,12 @@ class ParkService {
   };
 
   struct Entry {
-    Entry(ModelSnapshot snap, int cache_capacity, int curve_capacity)
+    Entry(ModelSnapshot snap, int cache_capacity, int curve_capacity,
+          int tile_capacity)
         : snapshot(std::move(snap)),
           cache(cache_capacity),
-          curve_cache(curve_capacity) {}
+          curve_cache(curve_capacity),
+          tile_cache(tile_capacity) {}
 
     /// Guards `snapshot` and `snapshot_version`: serving reads hold it
     /// shared, SwapSnapshot/UpdateCoverage hold it exclusive.
@@ -198,6 +251,13 @@ class ParkService {
         curve_cache;
     mutable std::atomic<uint64_t> curve_hits{0};
     mutable std::atomic<uint64_t> curve_misses{0};
+
+    mutable std::mutex tile_cache_mu;
+    mutable LruCache<TileKey, std::shared_ptr<const paws::RiskTile>,
+                     TileKeyHash>
+        tile_cache;
+    mutable std::atomic<uint64_t> tile_hits{0};
+    mutable std::atomic<uint64_t> tile_misses{0};
   };
 
   /// Shared-locked registry lookup; nullptr when absent.

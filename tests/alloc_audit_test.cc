@@ -1,0 +1,192 @@
+// Hot-path allocation audit. The serving contract is that a warm
+// ParkService::RiskTile hit — the request the tile LRU exists to make
+// cheap — performs ZERO heap allocations on the calling thread, and that
+// a steady-state miss (scratch buffers already warmed) allocates the same
+// bounded count every time instead of drifting.
+//
+// The audit instruments the global allocator: this TU replaces the
+// replaceable global operator new/delete family with malloc-backed
+// versions that bump a thread_local counter while a thread_local gate is
+// set. The gate is per-thread, so background threads (server pollers,
+// fan-out workers) never perturb a measurement; with the gate down the
+// replacements are a plain malloc forward, so the rest of the test binary
+// is unaffected.
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/pipeline.h"
+#include "core/snapshot.h"
+#include "serve/park_service.h"
+
+namespace {
+
+thread_local bool t_counting = false;
+thread_local std::uint64_t t_allocs = 0;
+
+void* CountedAlloc(std::size_t size) {
+  if (t_counting) ++t_allocs;
+  void* ptr = std::malloc(size ? size : 1);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  if (t_counting) ++t_allocs;
+  void* ptr = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&ptr, align, size ? size : align) != 0) {
+    throw std::bad_alloc();
+  }
+  return ptr;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  if (t_counting) ++t_allocs;
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  if (t_counting) ++t_allocs;
+  return std::malloc(size ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+
+namespace paws {
+namespace {
+
+template <typename Fn>
+std::uint64_t CountAllocations(Fn&& fn) {
+  t_allocs = 0;
+  t_counting = true;
+  fn();
+  t_counting = false;
+  return t_allocs;
+}
+
+class AllocAuditTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Scenario scenario = MakeScenario(ParkPreset::kMfnp, 3);
+    scenario.park.width = 26;
+    scenario.park.height = 22;
+    scenario.num_years = 3;
+    ScenarioData data = SimulateScenario(scenario, 5);
+    IWareConfig cfg;
+    cfg.num_thresholds = 3;
+    cfg.cv_folds = 2;
+    cfg.weak_learner = WeakLearnerKind::kDecisionTreeBagging;
+    cfg.bagging.num_estimators = 4;
+    IWareEnsemble model(cfg);
+    Rng rng(7);
+    const Dataset train = BuildDataset(data.park, data.history);
+    CheckOrDie(model.Fit(train, &rng).ok(), "fixture fit failed");
+    const std::vector<double> lagged =
+        data.history.steps[data.num_steps() - 2].effort;
+    TiledPlaneOptions options;
+    options.tile_size = 8;
+    service_ = new ParkService();
+    CheckOrDie(service_
+                   ->Register("p", ModelSnapshot(std::move(model), data.park,
+                                                 lagged, options))
+                   .ok(),
+               "fixture register failed");
+  }
+  static void TearDownTestSuite() {
+    delete service_;
+    service_ = nullptr;
+  }
+  static ParkService* service_;
+};
+
+ParkService* AllocAuditTest::service_ = nullptr;
+
+// The warm path: once a tile result sits in the served-tile LRU, the next
+// request for the same key is a map find plus a list splice plus a
+// shared_ptr refcount bump — none of which may touch the heap.
+TEST_F(AllocAuditTest, WarmRiskTileHitAllocatesNothing) {
+  const std::string park_id = "p";
+  ASSERT_TRUE(service_->RiskTile(park_id, 0, 2.0).ok());  // prime the LRU
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t allocs = CountAllocations([&] {
+      const auto tile = service_->RiskTile(park_id, 0, 2.0);
+      CheckOrDie(tile.ok(), "warm hit failed");
+    });
+    EXPECT_EQ(allocs, 0u) << "warm hit " << i << " touched the heap";
+  }
+}
+
+// Rejected requests take the early-return path before any computation;
+// the only heap traffic allowed is the Status error message itself (one
+// string, too long for the small-string buffer).
+TEST_F(AllocAuditTest, RangeCheckRejectionAllocatesOnlyTheErrorMessage) {
+  const std::string park_id = "p";
+  ASSERT_FALSE(service_->RiskTile(park_id, 1 << 20, 2.0).ok());
+  const std::uint64_t allocs = CountAllocations([&] {
+    const auto tile = service_->RiskTile(park_id, 1 << 20, 2.0);
+    CheckOrDie(!tile.ok(), "range check did not reject");
+  });
+  EXPECT_LE(allocs, 2u);
+}
+
+// The cold path allocates (the tile result, its cache slot, pool fills),
+// but steady state must be FLAT: after the per-thread scoring scratch is
+// warm, every further miss allocates the same count — a drift here is a
+// hot-loop allocation regression.
+TEST_F(AllocAuditTest, SteadyStateMissAllocationCountIsFlat) {
+  const std::string park_id = "p";
+  // Warm the thread's scoring scratch and the feature-tile pool; distinct
+  // efforts make distinct cache keys, so each call is a genuine miss.
+  ASSERT_TRUE(service_->RiskTile(park_id, 0, 50.0).ok());
+  ASSERT_TRUE(service_->RiskTile(park_id, 0, 51.0).ok());
+  std::vector<std::uint64_t> counts;
+  for (int i = 0; i < 4; ++i) {
+    const double effort = 60.0 + i;
+    counts.push_back(CountAllocations([&] {
+      const auto tile = service_->RiskTile(park_id, 0, effort);
+      CheckOrDie(tile.ok(), "steady-state miss failed");
+    }));
+  }
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], counts[0])
+        << "miss " << i << " allocation count drifted";
+  }
+  // A miss does real work; the audit itself is live if this is non-zero.
+  EXPECT_GT(counts[0], 0u);
+}
+
+}  // namespace
+}  // namespace paws

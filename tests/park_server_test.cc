@@ -221,6 +221,46 @@ TEST_F(ParkServerTest, LoopbackResultsAreBitIdenticalToDirectCalls) {
   EXPECT_TRUE(client.RiskMap("p", 2.0).ok());
 }
 
+TEST_F(ParkServerTest, WireRiskTilesAreBitIdenticalAndErrorsAreTyped) {
+  ParkService service;
+  ASSERT_TRUE(service.Register("p", MakeSnapshot()).ok());
+  StartServer(&service);
+  ParkClient client(FastClient());
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+
+  // The decoded tile equals the in-process result bit for bit.
+  const auto direct = service.RiskTile("p", 0, 2.0);
+  ASSERT_TRUE(direct.ok());
+  const auto wire = client.RiskTile("p", 0, 2.0);
+  ASSERT_TRUE(wire.ok()) << wire.status();
+  EXPECT_EQ(wire->tile_id, (*direct)->tile_id);
+  EXPECT_EQ(wire->cell_ids, (*direct)->cell_ids);
+  EXPECT_EQ(wire->risk, (*direct)->risk);
+  EXPECT_EQ(wire->variance, (*direct)->variance);
+  EXPECT_EQ(wire->assumed_effort, (*direct)->assumed_effort);
+
+  // Serving errors arrive as typed application statuses (not transport
+  // failures), and the connection survives each one.
+  EXPECT_EQ(client.RiskTile("ghost", 0, 2.0).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(client.last_error_was_transport());
+  EXPECT_EQ(client.RiskTile("p", 999, 2.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(client.RiskTile("p", 0, -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(client.RiskTile("p", 0, 2.0).ok());
+
+  // The wire stats report carries the park's tile counters: the direct
+  // call above was the miss, the wire calls were hits on the same key.
+  const auto stats = client.Stats("p");
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  ASSERT_EQ(stats->parks.size(), 1u);
+  EXPECT_EQ(stats->parks[0].tile_misses, 1u);
+  EXPECT_GE(stats->parks[0].tile_hits, 2u);
+  EXPECT_GE(stats->parks[0].tile_pool_misses, 1u);
+  EXPECT_GE(stats->parks[0].tile_pool_resident_bytes, 1u);
+}
+
 TEST_F(ParkServerTest, WireSwapSnapshotReplacesAndUpserts) {
   ParkService service;
   ASSERT_TRUE(service.Register("p", MakeSnapshot()).ok());

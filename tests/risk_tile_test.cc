@@ -1,0 +1,349 @@
+// Risk-map tiles: the sub-park serving unit. The contract under test is
+// bit-identity at every boundary — a tile's predictions equal the
+// whole-park risk map at its cells bit for bit, regardless of tile
+// raggedness, masked-out cells, the SIMD dispatch tier the scoring
+// backend runs, the tile fan-out thread count, eager vs tiled-only
+// snapshot mode, or a snapshot save/load round trip. Plus the RiskTile
+// archive codec round trip and its truncation rejection.
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/pipeline.h"
+#include "core/risk_map.h"
+#include "core/snapshot.h"
+#include "serve/park_service.h"
+#include "util/cpu_features.h"
+
+namespace paws {
+namespace {
+
+// Sets PAWS_FORCE_BACKEND for the enclosing scope and restores the prior
+// environment on exit (same idiom as simd_traversal_test).
+class ScopedForceBackend {
+ public:
+  explicit ScopedForceBackend(const char* value) {
+    const char* old = std::getenv("PAWS_FORCE_BACKEND");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value == nullptr) {
+      unsetenv("PAWS_FORCE_BACKEND");
+    } else {
+      setenv("PAWS_FORCE_BACKEND", value, /*overwrite=*/1);
+    }
+  }
+  ~ScopedForceBackend() {
+    if (had_old_) {
+      setenv("PAWS_FORCE_BACKEND", old_.c_str(), 1);
+    } else {
+      unsetenv("PAWS_FORCE_BACKEND");
+    }
+  }
+  ScopedForceBackend(const ScopedForceBackend&) = delete;
+  ScopedForceBackend& operator=(const ScopedForceBackend&) = delete;
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+class RiskTileTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Scenario scenario = MakeScenario(ParkPreset::kMfnp, 3);
+    scenario.park.width = 26;
+    scenario.park.height = 22;
+    scenario.num_years = 3;
+    data_ = new ScenarioData(SimulateScenario(scenario, 5));
+    IWareConfig cfg;
+    cfg.num_thresholds = 3;
+    cfg.cv_folds = 2;
+    cfg.weak_learner = WeakLearnerKind::kDecisionTreeBagging;
+    cfg.bagging.num_estimators = 4;
+    IWareEnsemble model(cfg);
+    Rng rng(7);
+    const Dataset train = BuildDataset(data_->park, data_->history);
+    CheckOrDie(model.Fit(train, &rng).ok(), "fixture fit failed");
+    ArchiveWriter writer;
+    model.Save(&writer);
+    model_bytes_ = new std::string(writer.Bytes());
+  }
+  static void TearDownTestSuite() {
+    delete model_bytes_;
+    delete data_;
+  }
+  static ScenarioData* data_;
+  static std::string* model_bytes_;
+
+  static IWareEnsemble LoadModel() {
+    auto reader = ArchiveReader::FromBytes(*model_bytes_);
+    CheckOrDie(reader.ok(), "fixture model archive invalid");
+    auto model = IWareEnsemble::Load(&*reader);
+    CheckOrDie(model.ok(), "fixture model load failed");
+    return std::move(model).value();
+  }
+  std::vector<double> Lagged() const {
+    return data_->history.steps[data_->num_steps() - 2].effort;
+  }
+  // Eager+tiled snapshot with small (8-cell) tiles via the tiled-only
+  // ctor; `eager` selects the default two-plane mode (64-cell tiles).
+  ModelSnapshot MakeSnapshot(bool eager) const {
+    if (eager) {
+      return ModelSnapshot(LoadModel(), data_->park, Lagged());
+    }
+    TiledPlaneOptions options;
+    options.tile_size = 8;
+    return ModelSnapshot(LoadModel(), data_->park, Lagged(), options);
+  }
+};
+
+ScenarioData* RiskTileTest::data_ = nullptr;
+std::string* RiskTileTest::model_bytes_ = nullptr;
+
+// Tile predictions must equal the whole-park map at the tile's cells,
+// bit for bit, on every tile (interior, ragged, mostly masked).
+void ExpectTilesMatchMap(const ModelSnapshot& snapshot, double effort) {
+  const RiskMaps whole = snapshot.PredictRisk(effort);
+  int covered = 0;
+  for (int t = 0; t < snapshot.num_tiles(); ++t) {
+    const RiskTile tile = snapshot.PredictRiskTile(t, effort);
+    EXPECT_EQ(tile.tile_id, t);
+    EXPECT_EQ(tile.assumed_effort, effort);
+    for (size_t i = 0; i < tile.cell_ids.size(); ++i) {
+      const int id = tile.cell_ids[i];
+      EXPECT_EQ(tile.risk[i], whole.risk[id]);
+      EXPECT_EQ(tile.variance[i], whole.variance[id]);
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, snapshot.park().num_cells());
+}
+
+TEST_F(RiskTileTest, TilesBitIdenticalToWholeParkMapBothModes) {
+  ExpectTilesMatchMap(MakeSnapshot(/*eager=*/true), 2.0);
+  ExpectTilesMatchMap(MakeSnapshot(/*eager=*/false), 2.0);
+}
+
+TEST_F(RiskTileTest, TiledOnlyModeMatchesEagerModeBitForBit) {
+  const ModelSnapshot eager = MakeSnapshot(/*eager=*/true);
+  const ModelSnapshot tiled = MakeSnapshot(/*eager=*/false);
+  const RiskMaps a = eager.PredictRisk(1.5);
+  const RiskMaps b = tiled.PredictRisk(1.5);
+  EXPECT_EQ(a.risk, b.risk);
+  EXPECT_EQ(a.variance, b.variance);
+  // The planner inputs too: curves gathered straight from rasters.
+  const std::vector<int> cells = {0, 3, 9, eager.park().num_cells() - 1};
+  const EffortCurveTable ca = eager.PredictCellCurves(cells, {0.0, 1.0, 2.0});
+  const EffortCurveTable cb = tiled.PredictCellCurves(cells, {0.0, 1.0, 2.0});
+  EXPECT_EQ(ca.prob, cb.prob);
+  EXPECT_EQ(ca.variance, cb.variance);
+}
+
+TEST_F(RiskTileTest, TiledAssemblyBitIdenticalAcrossThreadCounts) {
+  const ModelSnapshot snapshot = MakeSnapshot(/*eager=*/false);
+  const RiskMaps want = snapshot.PredictRisk(2.0);
+  for (const int threads : {1, 2, 3, 0 /* hardware default */}) {
+    ParallelismConfig fanout;
+    fanout.num_threads = threads;
+    const RiskMaps got = snapshot.PredictRiskTiled(2.0, fanout);
+    EXPECT_EQ(got.risk, want.risk) << "threads=" << threads;
+    EXPECT_EQ(got.variance, want.variance) << "threads=" << threads;
+  }
+}
+
+TEST_F(RiskTileTest, TilesBitIdenticalOnEverySimdTierThisHostRuns) {
+  const SimdTier detected = DetectSimdTier();
+  const std::vector<const char*> tiers = {nullptr, "scalar", "avx2",
+                                          "avx512"};
+  for (const char* tier : tiers) {
+    if (tier != nullptr) {
+      const SimdTier want = std::string(tier) == "scalar" ? SimdTier::kScalar
+                            : std::string(tier) == "avx2" ? SimdTier::kAvx2
+                                                          : SimdTier::kAvx512;
+      if (static_cast<int>(detected) < static_cast<int>(want)) continue;
+    }
+    ScopedForceBackend force(tier);
+    // Backend selection happens at construction; build under the pin.
+    ModelSnapshot snapshot = MakeSnapshot(/*eager=*/false);
+    snapshot.mutable_model().set_compiled_serving(true);
+    ExpectTilesMatchMap(snapshot, 2.0);
+  }
+}
+
+TEST_F(RiskTileTest, TilesSurviveSnapshotRoundTripBitForBit) {
+  const ModelSnapshot original = MakeSnapshot(/*eager=*/true);
+  ArchiveWriter writer;
+  original.Save(&writer);
+  auto loaded = ModelSnapshot::FromBytes(writer.Bytes());
+  ASSERT_TRUE(loaded.ok());
+  for (int t = 0; t < original.num_tiles(); ++t) {
+    const RiskTile a = original.PredictRiskTile(t, 2.0);
+    const RiskTile b = loaded->PredictRiskTile(t, 2.0);
+    EXPECT_EQ(a.cell_ids, b.cell_ids);
+    EXPECT_EQ(a.risk, b.risk);
+    EXPECT_EQ(a.variance, b.variance);
+  }
+}
+
+TEST_F(RiskTileTest, CoverageUpdateChangesOnlyTouchedTilesOutputs) {
+  ModelSnapshot snapshot = MakeSnapshot(/*eager=*/false);
+  std::vector<RiskTile> before;
+  for (int t = 0; t < snapshot.num_tiles(); ++t) {
+    before.push_back(snapshot.PredictRiskTile(t, 2.0));
+  }
+  // Bump one cell's coverage.
+  std::vector<double> lag = Lagged();
+  const int changed_cell = snapshot.park().num_cells() / 3;
+  lag[changed_cell] += 2.0;
+  snapshot.UpdateLaggedEffort(lag);
+  // Re-derive from scratch what the new outputs should be.
+  const ModelSnapshot fresh(LoadModel(), data_->park, lag);
+  const RiskMaps want = fresh.PredictRisk(2.0);
+  for (int t = 0; t < snapshot.num_tiles(); ++t) {
+    const RiskTile after = snapshot.PredictRiskTile(t, 2.0);
+    for (size_t i = 0; i < after.cell_ids.size(); ++i) {
+      EXPECT_EQ(after.risk[i], want.risk[after.cell_ids[i]]);
+    }
+    // Untouched tiles must not have moved at all.
+    const bool touched =
+        snapshot.tile_coverage_version(t) == snapshot.coverage_version();
+    if (!touched) {
+      EXPECT_EQ(after.risk, before[t].risk);
+      EXPECT_EQ(after.variance, before[t].variance);
+    }
+  }
+}
+
+// --- ParkService tile serving: the per-tile LRU above the snapshot. ---
+
+TEST_F(RiskTileTest, ServiceTileCacheHitsServeTheSameObjectAndCount) {
+  ParkService service;
+  ASSERT_TRUE(service.Register("p", MakeSnapshot(/*eager=*/false)).ok());
+  const auto first = service.RiskTile("p", 2, 2.0);
+  ASSERT_TRUE(first.ok());
+  const auto second = service.RiskTile("p", 2, 2.0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // hit = the cached object
+  const auto other_tile = service.RiskTile("p", 3, 2.0);
+  const auto other_effort = service.RiskTile("p", 2, 3.0);
+  ASSERT_TRUE(other_tile.ok());
+  ASSERT_TRUE(other_effort.ok());
+  EXPECT_NE(first->get(), other_tile->get());
+  EXPECT_NE(first->get(), other_effort->get());
+  const auto stats = service.RiskTileStats("p");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->hits, 1u);
+  EXPECT_EQ(stats->misses, 3u);
+  // Efforts key by bit pattern: 0.0 and -0.0 are distinct keys with
+  // identical served values.
+  const auto zero = service.RiskTile("p", 2, 0.0);
+  const auto neg_zero = service.RiskTile("p", 2, -0.0);
+  ASSERT_TRUE(zero.ok());
+  ASSERT_TRUE(neg_zero.ok());
+  EXPECT_NE(zero->get(), neg_zero->get());
+  EXPECT_EQ((*zero)->risk, (*neg_zero)->risk);
+}
+
+TEST_F(RiskTileTest, ServiceServedTilesMatchServedWholeMapBitForBit) {
+  ParkService service;
+  ASSERT_TRUE(service.Register("p", MakeSnapshot(/*eager=*/false)).ok());
+  const auto map = service.RiskMap("p", 2.0);
+  ASSERT_TRUE(map.ok());
+  const auto stats = service.RiskTileStats("p");
+  ASSERT_TRUE(stats.ok());
+  for (int t = 0; t < stats->tiles_x * stats->tiles_y; ++t) {
+    const auto tile = service.RiskTile("p", t, 2.0);
+    ASSERT_TRUE(tile.ok());
+    for (size_t i = 0; i < (*tile)->cell_ids.size(); ++i) {
+      const int id = (*tile)->cell_ids[i];
+      EXPECT_EQ((*tile)->risk[i], (*map)->risk[id]);
+      EXPECT_EQ((*tile)->variance[i], (*map)->variance[id]);
+    }
+  }
+}
+
+TEST_F(RiskTileTest, ServiceCoverageUpdateKeepsUntouchedTilesWarm) {
+  ParkService service;
+  ASSERT_TRUE(service.Register("p", MakeSnapshot(/*eager=*/false)).ok());
+  const int num_tiles = MakeSnapshot(/*eager=*/false).num_tiles();
+  std::vector<std::shared_ptr<const paws::RiskTile>> before;
+  for (int t = 0; t < num_tiles; ++t) {
+    auto tile = service.RiskTile("p", t, 2.0);
+    ASSERT_TRUE(tile.ok());
+    before.push_back(*tile);
+  }
+  // Touch one cell; only its tile's key moves.
+  std::vector<double> lag = Lagged();
+  const int changed_cell = data_->park.num_cells() / 3;
+  lag[changed_cell] += 2.0;
+  ASSERT_TRUE(service.UpdateCoverage("p", lag).ok());
+  ModelSnapshot fresh = MakeSnapshot(/*eager=*/false);
+  fresh.UpdateLaggedEffort(lag);
+  int recomputed = 0;
+  for (int t = 0; t < num_tiles; ++t) {
+    const auto after = service.RiskTile("p", t, 2.0);
+    ASSERT_TRUE(after.ok());
+    if (after->get() == before[t].get()) continue;  // served from cache
+    ++recomputed;
+    // The recomputed tile reflects the new coverage exactly.
+    const RiskTile want = fresh.PredictRiskTile(t, 2.0);
+    EXPECT_EQ((*after)->risk, want.risk);
+    EXPECT_EQ((*after)->variance, want.variance);
+  }
+  EXPECT_EQ(recomputed, 1);  // exactly the touched tile
+}
+
+TEST_F(RiskTileTest, ServiceSwapSnapshotResetsTileCacheAndCounters) {
+  ParkService service;
+  ASSERT_TRUE(service.Register("p", MakeSnapshot(/*eager=*/false)).ok());
+  ASSERT_TRUE(service.RiskTile("p", 1, 2.0).ok());
+  ASSERT_TRUE(service.RiskTile("p", 1, 2.0).ok());
+  ASSERT_TRUE(service.SwapSnapshot("p", MakeSnapshot(/*eager=*/false)).ok());
+  const auto stats = service.RiskTileStats("p");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->hits, 0u);
+  EXPECT_EQ(stats->misses, 0u);
+  EXPECT_TRUE(service.RiskTile("p", 1, 2.0).ok());
+}
+
+TEST_F(RiskTileTest, ServiceRejectsBadTileRequestsWithTypedStatuses) {
+  ParkService service;
+  ASSERT_TRUE(service.Register("p", MakeSnapshot(/*eager=*/false)).ok());
+  EXPECT_EQ(service.RiskTile("ghost", 0, 2.0).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.RiskTile("p", -1, 2.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.RiskTile("p", 1 << 20, 2.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.RiskTile("p", 0, -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(RiskTileTest, RiskTileArchiveRoundTripsExactly) {
+  const ModelSnapshot snapshot = MakeSnapshot(/*eager=*/false);
+  const RiskTile tile = snapshot.PredictRiskTile(1, 2.5);
+  ArchiveWriter writer;
+  SaveRiskTile(tile, &writer);
+  const std::string bytes = writer.Bytes();
+  auto reader = ArchiveReader::FromBytes(bytes);
+  ASSERT_TRUE(reader.ok());
+  auto loaded = LoadRiskTile(&*reader);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->tile_id, tile.tile_id);
+  EXPECT_EQ(loaded->assumed_effort, tile.assumed_effort);
+  EXPECT_EQ(loaded->cell_ids, tile.cell_ids);
+  EXPECT_EQ(loaded->risk, tile.risk);
+  EXPECT_EQ(loaded->variance, tile.variance);
+  // Every truncation must fail cleanly — at the archive envelope or at
+  // the tile decoder — never crash or misparse.
+  for (size_t cut = 0; cut < bytes.size(); cut += 7) {
+    auto trunc = ArchiveReader::FromBytes(bytes.substr(0, cut));
+    if (!trunc.ok()) continue;
+    EXPECT_FALSE(LoadRiskTile(&*trunc).ok()) << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace paws

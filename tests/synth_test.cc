@@ -107,5 +107,59 @@ TEST(SynthTest, BoundaryDistanceZeroSomewherePositiveInside) {
   EXPECT_GT(hi, 1.0);
 }
 
+TEST(MegaParkTest, HitsTheTargetCellCountWithinAFewPercent) {
+  MegaParkConfig cfg;
+  cfg.target_cells = 60000;
+  cfg.seed = 11;
+  const Park park = GenerateMegaPark(cfg);
+  const double ratio =
+      static_cast<double>(park.num_cells()) / static_cast<double>(
+                                                  cfg.target_cells);
+  EXPECT_GT(ratio, 0.95);
+  EXPECT_LT(ratio, 1.05);
+}
+
+TEST(MegaParkTest, FeatureStackMatchesTheStandardSynthParkExactly) {
+  // A model trained on a GenerateSyntheticPark park must serve a mega
+  // park directly, so the feature names AND their order must agree.
+  MegaParkConfig cfg;
+  cfg.target_cells = 20000;
+  const Park mega = GenerateMegaPark(cfg);
+  const Park standard = GenerateSyntheticPark(SynthParkConfig{});
+  ASSERT_EQ(mega.num_features(), standard.num_features());
+  EXPECT_EQ(mega.feature_names(), standard.feature_names());
+}
+
+TEST(MegaParkTest, ValuesAreFiniteAndPostsAreInParkDistinctCells) {
+  MegaParkConfig cfg;
+  cfg.target_cells = 20000;
+  cfg.num_patrol_posts = 6;
+  const Park park = GenerateMegaPark(cfg);
+  ASSERT_EQ(park.patrol_posts().size(), 6u);
+  std::set<int> distinct;
+  for (const Cell& p : park.patrol_posts()) {
+    EXPECT_GE(park.DenseIdOf(p), 0) << p.x << "," << p.y;
+    distinct.insert(park.DenseIdOf(p));
+  }
+  EXPECT_EQ(distinct.size(), 6u);
+  for (int f = 0; f < park.num_features(); ++f) {
+    for (int id = 0; id < park.num_cells(); id += 97) {
+      EXPECT_TRUE(std::isfinite(park.feature(f).At(park.CellOf(id))))
+          << park.feature_names()[f];
+    }
+  }
+}
+
+TEST(MegaParkTest, DeterministicInSeed) {
+  MegaParkConfig cfg;
+  cfg.target_cells = 20000;
+  const Park a = GenerateMegaPark(cfg);
+  const Park b = GenerateMegaPark(cfg);
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  for (int id = 0; id < a.num_cells(); id += 131) {
+    EXPECT_EQ(a.FeatureVector(id), b.FeatureVector(id));
+  }
+}
+
 }  // namespace
 }  // namespace paws

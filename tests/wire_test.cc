@@ -209,6 +209,45 @@ TEST(WireCodecTest, BatchRequestRoundTripsEveryItemInOrder) {
   }
 }
 
+TEST(WireCodecTest, RiskTileRequestAndPayloadRoundTripBitExact) {
+  RiskTileRequest sent;
+  sent.park_id = "mega";
+  sent.tile_id = 3481;
+  sent.assumed_effort = 0.1 + 0.2;  // a value with an inexact decimal form
+  const auto got = DecodeRiskTileRequest(EncodeRiskTileRequest(sent));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->park_id, sent.park_id);
+  EXPECT_EQ(got->tile_id, sent.tile_id);
+  EXPECT_EQ(got->assumed_effort, sent.assumed_effort);
+
+  RiskTile tile;
+  tile.tile_id = 7;
+  tile.cell_ids = {12, 13, 40, 41};
+  tile.risk = {0.25, 1.0 / 3.0, 0.0, 1.0};
+  tile.variance = {0.0, 1e-9, 0.125, 2.0 / 7.0};
+  tile.assumed_effort = 1.5;
+  const auto back = DecodeRiskTilePayload(EncodeRiskTilePayload(tile));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->tile_id, tile.tile_id);
+  EXPECT_EQ(back->cell_ids, tile.cell_ids);
+  EXPECT_EQ(back->risk, tile.risk);
+  EXPECT_EQ(back->variance, tile.variance);
+  EXPECT_EQ(back->assumed_effort, tile.assumed_effort);
+
+  // Truncation fuzz: every strict prefix decodes to a clean error.
+  const std::string request_bytes = EncodeRiskTileRequest(sent);
+  for (size_t n = 0; n < request_bytes.size(); ++n) {
+    const auto trunc = DecodeRiskTileRequest(request_bytes.substr(0, n));
+    ASSERT_FALSE(trunc.ok()) << "prefix length " << n;
+    EXPECT_EQ(trunc.status().code(), StatusCode::kInvalidArgument)
+        << "prefix length " << n;
+  }
+  // A payload of the wrong type fails its section tag check.
+  const auto wrong_type = DecodeRiskTileRequest(EncodeRiskMapRequest({"p"}));
+  ASSERT_FALSE(wrong_type.ok());
+  EXPECT_EQ(wrong_type.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(WireCodecTest, CellCurvesRequestRoundTrips) {
   CellCurvesRequest sent;
   sent.park_id = "qenp";
@@ -307,8 +346,9 @@ TEST(WireCodecTest, StatsReportRoundTripsCountersAndParks) {
   sent.frames_out = 99;
   sent.protocol_errors = 1;
   sent.deadline_expired = 4;
-  sent.parks = {{"a", 5, 6, 7, 8, "compiled-dtb-avx2"},
-                {"b", 0, 1, 0, 2, "reference"}};
+  sent.parks = {{"a", 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+                 "compiled-dtb-avx2"},
+                {"b", 0, 1, 0, 2, 3, 4, 5, 6, 7, 8, 9, "reference"}};
   const auto got = DecodeStatsReportPayload(EncodeStatsReportPayload(sent));
   ASSERT_TRUE(got.ok()) << got.status();
   EXPECT_EQ(got->accepted_connections, 10u);
@@ -324,9 +364,17 @@ TEST(WireCodecTest, StatsReportRoundTripsCountersAndParks) {
   EXPECT_EQ(got->parks[0].risk_misses, 6u);
   EXPECT_EQ(got->parks[0].curve_hits, 7u);
   EXPECT_EQ(got->parks[0].curve_misses, 8u);
+  EXPECT_EQ(got->parks[0].tile_hits, 9u);
+  EXPECT_EQ(got->parks[0].tile_misses, 10u);
+  EXPECT_EQ(got->parks[0].tile_pool_resident_tiles, 11u);
+  EXPECT_EQ(got->parks[0].tile_pool_resident_bytes, 12u);
+  EXPECT_EQ(got->parks[0].tile_pool_hits, 13u);
+  EXPECT_EQ(got->parks[0].tile_pool_misses, 14u);
+  EXPECT_EQ(got->parks[0].tile_pool_evictions, 15u);
   EXPECT_EQ(got->parks[0].scoring_backend, "compiled-dtb-avx2");
   EXPECT_EQ(got->parks[1].park_id, "b");
   EXPECT_EQ(got->parks[1].curve_misses, 2u);
+  EXPECT_EQ(got->parks[1].tile_pool_evictions, 9u);
   EXPECT_EQ(got->parks[1].scoring_backend, "reference");
 }
 
@@ -394,8 +442,11 @@ TEST(WireFrameTest, FleetOpcodesHaveNamesAndAreRequests) {
   EXPECT_EQ(OpcodeName(static_cast<uint32_t>(Opcode::kGetSnapshot)),
             "GetSnapshot");
   EXPECT_EQ(OpcodeName(static_cast<uint32_t>(Opcode::kRepair)), "Repair");
+  EXPECT_TRUE(IsRequestOpcode(static_cast<uint32_t>(Opcode::kRiskTile)));
+  EXPECT_EQ(OpcodeName(static_cast<uint32_t>(Opcode::kRiskTile)),
+            "RiskTile");
   EXPECT_FALSE(
-      IsRequestOpcode(static_cast<uint32_t>(Opcode::kRepair) + 1));
+      IsRequestOpcode(static_cast<uint32_t>(Opcode::kRiskTile) + 1));
 }
 
 TEST(WireCodecTest, FleetPayloadsRoundTrip) {
